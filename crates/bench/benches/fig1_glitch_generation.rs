@@ -1,0 +1,46 @@
+//! Criterion bench behind Fig. 1: the strike-transient kernel that
+//! produces one generated-glitch-width point, plus the full four-knob
+//! sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ser_bench::sweeps::{fig1_series, SweepConfig, SweepParam};
+use ser_netlist::GateKind;
+use ser_spice::transient::{generated_glitch_width, TransientConfig};
+use ser_spice::units::FF;
+use ser_spice::{GateElectrical, GateParams, Strike, Technology};
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    let tech = Technology::ptm70();
+    let cfg = TransientConfig::default();
+    let strike = Strike::charge_fc(16.0);
+    let inv = GateElectrical::from_params(&tech, &GateParams::new(GateKind::Not, 1));
+
+    c.bench_function("fig1/strike_transient_point", |b| {
+        b.iter(|| {
+            black_box(generated_glitch_width(
+                &tech,
+                black_box(&inv),
+                false,
+                2.0 * FF,
+                &strike,
+                &cfg,
+            ))
+        })
+    });
+
+    let mut group = c.benchmark_group("fig1/full_sweep");
+    group.sample_size(10);
+    group.bench_function("all_four_knobs", |b| {
+        let sweep_cfg = SweepConfig::default();
+        b.iter(|| {
+            for p in SweepParam::ALL {
+                black_box(fig1_series(&tech, p, &sweep_cfg));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench behind Fig. 2: the glitch-propagation transient kernel
+//! (one 50 ps input-glitch response).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ser_netlist::GateKind;
+use ser_spice::transient::{propagated_glitch_width, TransientConfig};
+use ser_spice::units::{FF, PS};
+use ser_spice::{GateElectrical, GateParams, Technology};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let tech = Technology::ptm70();
+    let cfg = TransientConfig::default();
+    let inv = GateElectrical::from_params(&tech, &GateParams::new(GateKind::Not, 1));
+    let and2 = GateElectrical::from_params(&tech, &GateParams::new(GateKind::And, 2));
+
+    c.bench_function("fig2/propagate_50ps_inverter", |b| {
+        b.iter(|| {
+            black_box(propagated_glitch_width(
+                &tech,
+                black_box(&inv),
+                50.0 * PS,
+                10.0 * PS,
+                2.0 * FF,
+                &cfg,
+            ))
+        })
+    });
+    c.bench_function("fig2/propagate_50ps_two_stage_and", |b| {
+        b.iter(|| {
+            black_box(propagated_glitch_width(
+                &tech,
+                black_box(&and2),
+                50.0 * PS,
+                10.0 * PS,
+                2.0 * FF,
+                &cfg,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Regenerates **Fig. 1**: glitch generation characteristics of an
+//! inverter for a 16 fC injected charge, as gate size, channel length,
+//! VDD and Vth vary.
+//!
+//! ```text
+//! cargo run --release -p ser-bench --bin fig1
+//! ```
+
+use ser_bench::sweeps::{fig1_series, SweepConfig, SweepParam};
+use ser_bench::print_series;
+use ser_spice::Technology;
+
+fn main() {
+    let tech = Technology::ptm70();
+    let cfg = SweepConfig::default();
+    println!("# Fig. 1 — generated glitch width, inverter, Q = 16 fC, load = 2 fF");
+    println!("# paper trend: slower gate (smaller, longer-L, lower-VDD, higher-Vth)");
+    println!("#              => WIDER generated glitch");
+    for param in SweepParam::ALL {
+        let series = fig1_series(&tech, param, &cfg);
+        print_series(
+            &format!("generated glitch width vs {}", param.label()),
+            param.label(),
+            "width (ps)",
+            &series,
+        );
+    }
+}

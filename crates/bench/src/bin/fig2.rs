@@ -1,0 +1,27 @@
+//! Regenerates **Fig. 2**: glitch propagation characteristics of an
+//! inverter for an input glitch of duration 50 ps, as gate size, channel
+//! length, VDD and Vth vary.
+//!
+//! ```text
+//! cargo run --release -p ser-bench --bin fig2
+//! ```
+
+use ser_bench::sweeps::{fig2_series, SweepConfig, SweepParam};
+use ser_bench::print_series;
+use ser_spice::Technology;
+
+fn main() {
+    let tech = Technology::ptm70();
+    let cfg = SweepConfig::default();
+    println!("# Fig. 2 — propagated glitch width, inverter, input glitch 50 ps, load = 2 fF");
+    println!("# paper trend: slower gate => NARROWER propagated glitch (more attenuation)");
+    for param in SweepParam::ALL {
+        let series = fig2_series(&tech, param, &cfg);
+        print_series(
+            &format!("propagated glitch width vs {}", param.label()),
+            param.label(),
+            "width (ps)",
+            &series,
+        );
+    }
+}

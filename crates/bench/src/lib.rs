@@ -1,0 +1,40 @@
+//! Experiment harness: regenerates every table and figure of the DATE'05
+//! paper.
+//!
+//! Each paper artifact has a **binary** that prints the same rows/series
+//! the paper reports and a **Criterion bench** that measures the
+//! underlying kernel:
+//!
+//! | Paper artifact | Binary | Bench |
+//! |---|---|---|
+//! | Fig. 1 (generated glitch width vs size/L/VDD/Vth) | `fig1` | `fig1_glitch_generation` |
+//! | Fig. 2 (propagated glitch width vs the same) | `fig2` | `fig2_glitch_propagation` |
+//! | Fig. 3 (ASERTA vs SPICE unreliability, c432) | `fig3` | `fig3_unreliability` |
+//! | Table 1 (optimization results) | `table1` | `table1_optimization` |
+//! | §5 runtimes | `runtimes` | `runtime_scaling` |
+//!
+//! Run a binary with `cargo run --release -p ser-bench --bin fig1`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sweeps;
+pub mod table1;
+
+use std::time::Instant;
+
+/// Times a closure, returning `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+/// Prints a two-column series with a title (the textual "figure").
+pub fn print_series(title: &str, x_label: &str, y_label: &str, series: &[(f64, f64)]) {
+    println!("\n## {title}");
+    println!("{x_label:>12} {y_label:>16}");
+    for (x, y) in series {
+        println!("{x:>12.4} {y:>16.4}");
+    }
+}

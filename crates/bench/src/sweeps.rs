@@ -1,0 +1,202 @@
+//! Parameter sweeps behind Figs. 1 and 2: an inverter's generated and
+//! propagated glitch widths as one of {size, channel length, VDD, Vth}
+//! varies.
+
+use ser_netlist::GateKind;
+use ser_spice::transient::{
+    generated_glitch_width, propagated_glitch_width, TransientConfig,
+};
+use ser_spice::units::{FF, PS};
+use ser_spice::{GateElectrical, GateParams, Strike, Technology};
+
+/// Which knob a sweep varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepParam {
+    /// Gate size in unit widths (paper: size 1 = 100 nm width).
+    Size,
+    /// Channel length, nanometres.
+    Length,
+    /// Supply voltage, volts.
+    Vdd,
+    /// Threshold voltage, volts.
+    Vth,
+}
+
+impl SweepParam {
+    /// All four knobs, in the paper's figure order.
+    pub const ALL: [SweepParam; 4] = [
+        SweepParam::Size,
+        SweepParam::Length,
+        SweepParam::Vdd,
+        SweepParam::Vth,
+    ];
+
+    /// Human-readable axis label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SweepParam::Size => "size (unit widths)",
+            SweepParam::Length => "channel length (nm)",
+            SweepParam::Vdd => "VDD (V)",
+            SweepParam::Vth => "Vth (V)",
+        }
+    }
+
+    /// The sweep points used in the figures (min..max as in the paper's
+    /// x-axes).
+    pub fn points(self) -> Vec<f64> {
+        match self {
+            SweepParam::Size => vec![0.5, 1.0, 2.0, 4.0, 8.0],
+            SweepParam::Length => vec![70.0, 100.0, 150.0, 250.0, 300.0],
+            SweepParam::Vdd => vec![0.7, 0.8, 0.9, 1.0, 1.1, 1.2],
+            SweepParam::Vth => vec![0.10, 0.15, 0.20, 0.25, 0.30, 0.35],
+        }
+    }
+
+    /// The inverter cell with this knob set to `x`, others nominal.
+    pub fn params_at(self, x: f64) -> GateParams {
+        let base = GateParams::new(GateKind::Not, 1);
+        match self {
+            SweepParam::Size => base.with_size(x),
+            SweepParam::Length => base.with_length(x),
+            SweepParam::Vdd => base.with_vdd(x),
+            SweepParam::Vth => base.with_vth(x),
+        }
+    }
+}
+
+/// Sweep configuration shared by both figures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepConfig {
+    /// Output load on the inverter, farads (fixed across the sweep).
+    pub load: f64,
+    /// Injected charge for Fig. 1, coulombs (paper: 16 fC).
+    pub charge: f64,
+    /// Input glitch width for Fig. 2, seconds (paper: 50 ps).
+    pub input_width: f64,
+    /// Input glitch edge time for Fig. 2, seconds.
+    pub input_edge: f64,
+    /// Transient settings.
+    pub transient: TransientConfig,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            load: 2.0 * FF,
+            charge: 16.0e-15,
+            input_width: 50.0 * PS,
+            input_edge: 10.0 * PS,
+            transient: TransientConfig::default(),
+        }
+    }
+}
+
+/// Fig. 1: generated glitch width (ps) vs the swept knob, struck-low
+/// state, fixed charge.
+pub fn fig1_series(tech: &Technology, param: SweepParam, cfg: &SweepConfig) -> Vec<(f64, f64)> {
+    let strike = Strike::new(cfg.charge, Strike::DEFAULT_TAU_RISE, Strike::DEFAULT_TAU_FALL);
+    param
+        .points()
+        .into_iter()
+        .map(|x| {
+            let gate = GateElectrical::from_params(tech, &param.params_at(x));
+            let w =
+                generated_glitch_width(tech, &gate, false, cfg.load, &strike, &cfg.transient);
+            (x, w / PS)
+        })
+        .collect()
+}
+
+/// Fig. 2: propagated glitch width (ps) for the fixed input glitch vs the
+/// swept knob.
+pub fn fig2_series(tech: &Technology, param: SweepParam, cfg: &SweepConfig) -> Vec<(f64, f64)> {
+    param
+        .points()
+        .into_iter()
+        .map(|x| {
+            let gate = GateElectrical::from_params(tech, &param.params_at(x));
+            let w = propagated_glitch_width(
+                tech,
+                &gate,
+                cfg.input_width,
+                cfg.input_edge,
+                cfg.load,
+                &cfg.transient,
+            );
+            (x, w / PS)
+        })
+        .collect()
+}
+
+/// Direction check with tolerance: +1 for an increasing series, −1 for
+/// decreasing, 0 for neither. Steps smaller than `eps` in the opposing
+/// direction are ignored (plot-resolution noise, e.g. the sub-ps
+/// rise/fall asymmetry of large inverters), but the overall excursion
+/// must exceed `eps` for a non-zero verdict.
+pub fn trend_with_tolerance(series: &[(f64, f64)], eps: f64) -> i32 {
+    let inc = series.windows(2).all(|w| w[1].1 >= w[0].1 - eps);
+    let dec = series.windows(2).all(|w| w[1].1 <= w[0].1 + eps);
+    let span = series.last().expect("non-empty").1 - series.first().expect("non-empty").1;
+    match (inc, dec) {
+        (true, false) => 1,
+        (false, true) => -1,
+        (true, true) => {
+            if span > eps {
+                1
+            } else if span < -eps {
+                -1
+            } else {
+                0
+            }
+        }
+        (false, false) => 0,
+    }
+}
+
+/// Strict direction check (`eps` = 1 as in one double ulp-scale).
+pub fn trend(series: &[(f64, f64)]) -> i32 {
+    trend_with_tolerance(series, 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 1's paper statement: "factors that slow down a gate (decrease
+    /// in size, increase in channel length, reduction in VDD, increase in
+    /// Vth) increase generated glitch width".
+    #[test]
+    fn fig1_trends_match_paper() {
+        let tech = Technology::ptm70();
+        let cfg = SweepConfig::default();
+        assert_eq!(trend(&fig1_series(&tech, SweepParam::Size, &cfg)), -1);
+        assert_eq!(trend(&fig1_series(&tech, SweepParam::Length, &cfg)), 1);
+        assert_eq!(trend(&fig1_series(&tech, SweepParam::Vdd, &cfg)), -1);
+        assert_eq!(trend(&fig1_series(&tech, SweepParam::Vth, &cfg)), 1);
+    }
+
+    /// "…but also increase the attenuation of propagating glitches" — the
+    /// opposite directions for Fig. 2 (1 ps tolerance absorbs rise/fall
+    /// asymmetry wobble well below the figure's resolution).
+    #[test]
+    fn fig2_trends_match_paper() {
+        let tech = Technology::ptm70();
+        let cfg = SweepConfig::default();
+        assert_eq!(
+            trend_with_tolerance(&fig2_series(&tech, SweepParam::Size, &cfg), 1.0),
+            1
+        );
+        assert_eq!(
+            trend_with_tolerance(&fig2_series(&tech, SweepParam::Length, &cfg), 1.0),
+            -1
+        );
+        assert_eq!(
+            trend_with_tolerance(&fig2_series(&tech, SweepParam::Vdd, &cfg), 1.0),
+            1
+        );
+        assert_eq!(
+            trend_with_tolerance(&fig2_series(&tech, SweepParam::Vth, &cfg), 1.0),
+            -1
+        );
+    }
+}

@@ -1,0 +1,128 @@
+use serde::{Deserialize, Serialize};
+use ser_spice::{GateParams, Technology};
+
+use crate::lut::Lut2;
+
+/// One fully characterized cell variant: a [`GateParams`] point plus the
+/// lookup tables the paper's tools consult.
+///
+/// Tables (all SI units):
+/// * `delay(load F, input ramp s) → s` — propagation delay;
+/// * `out_ramp(load, input ramp) → s` — output transition time;
+/// * `glitch(load, charge C) → s` — width of the strike-generated glitch
+///   at the cell output (the paper's "generated glitch width" table, with
+///   the charge axis its stated future-work extension);
+///
+/// plus analytic scalars: per-pin input capacitance, leakage power, total
+/// self capacitance (for `C·V²` dynamic energy), and abstract area.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CharacterizedCell {
+    /// The cell's parameter point.
+    pub params: GateParams,
+    /// Capacitance of one input pin, farads.
+    pub input_cap: f64,
+    /// Propagation delay table over (load, input ramp).
+    pub delay: Lut2,
+    /// Output transition-time table over (load, input ramp).
+    pub out_ramp: Lut2,
+    /// Generated-glitch-width table over (load, injected charge).
+    pub glitch: Lut2,
+    /// Static (leakage) power at the cell's VDD, watts.
+    pub leak_power: f64,
+    /// Self capacitance charged on every output transition, farads
+    /// (output + interstage nodes).
+    pub c_self_total: f64,
+    /// Abstract area units (see [`GateParams::area`]).
+    pub area: f64,
+}
+
+impl CharacterizedCell {
+    /// Interpolated propagation delay for a load and input ramp.
+    #[inline]
+    pub fn delay_at(&self, load_f: f64, in_ramp_s: f64) -> f64 {
+        self.delay.eval(load_f, in_ramp_s)
+    }
+
+    /// Interpolated output transition time.
+    #[inline]
+    pub fn out_ramp_at(&self, load_f: f64, in_ramp_s: f64) -> f64 {
+        self.out_ramp.eval(load_f, in_ramp_s)
+    }
+
+    /// Interpolated strike-glitch width for a load and charge.
+    #[inline]
+    pub fn glitch_width_at(&self, load_f: f64, charge_c: f64) -> f64 {
+        self.glitch.eval(load_f, charge_c)
+    }
+
+    /// Dynamic energy of one full output transition into `load_f`, joules.
+    #[inline]
+    pub fn dynamic_energy(&self, load_f: f64) -> f64 {
+        (self.c_self_total + load_f) * self.params.vdd * self.params.vdd
+    }
+
+    /// Static energy over one clock period, joules.
+    #[inline]
+    pub fn static_energy(&self, clock_period_s: f64) -> f64 {
+        self.leak_power * clock_period_s
+    }
+
+    /// Convenience: re-derive the electrical view (e.g. for validation
+    /// re-simulation).
+    pub fn electrical(&self, tech: &Technology) -> ser_spice::GateElectrical {
+        ser_spice::GateElectrical::from_params(tech, &self.params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lut::{Axis, Lut2};
+    use ser_netlist::GateKind;
+
+    fn dummy_lut(v: f64) -> Lut2 {
+        Lut2::new(
+            Axis::new(vec![1e-15]).unwrap(),
+            Axis::new(vec![1e-12]).unwrap(),
+            vec![v],
+        )
+        .unwrap()
+    }
+
+    fn cell() -> CharacterizedCell {
+        CharacterizedCell {
+            params: GateParams::new(GateKind::Nand, 2),
+            input_cap: 0.3e-15,
+            delay: dummy_lut(20e-12),
+            out_ramp: dummy_lut(30e-12),
+            glitch: dummy_lut(100e-12),
+            leak_power: 1e-9,
+            c_self_total: 0.5e-15,
+            area: 2.0,
+        }
+    }
+
+    #[test]
+    fn energies() {
+        let c = cell();
+        let e_dyn = c.dynamic_energy(1.5e-15);
+        assert!((e_dyn - 2.0e-15).abs() < 1e-20);
+        let e_sta = c.static_energy(1e-9);
+        assert!((e_sta - 1e-18).abs() < 1e-24);
+    }
+
+    #[test]
+    fn lookup_passthrough() {
+        let c = cell();
+        assert_eq!(c.delay_at(1e-15, 1e-12), 20e-12);
+        assert_eq!(c.glitch_width_at(1e-15, 16e-15), 100e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = cell();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: CharacterizedCell = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

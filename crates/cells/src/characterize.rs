@@ -1,0 +1,192 @@
+//! The characterization driver: fills a [`CharacterizedCell`]'s tables by
+//! running the transistor-level simulator, the way the paper builds its
+//! SPICE look-up tables.
+
+use serde::{Deserialize, Serialize};
+use ser_spice::transient::{gate_delay, generated_glitch_width, TransientConfig};
+use ser_spice::units::{FC, FF, PS};
+use ser_spice::{GateElectrical, GateParams, Strike, Technology};
+
+use crate::cell::CharacterizedCell;
+use crate::lut::{Axis, Lut2};
+
+/// The table grids used when characterizing a cell: output loads, input
+/// ramps and injected charges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CharGrids {
+    /// Output load sample points, farads.
+    pub loads: Vec<f64>,
+    /// Input transition-time sample points, seconds.
+    pub ramps: Vec<f64>,
+    /// Injected charge sample points, coulombs.
+    pub charges: Vec<f64>,
+    /// Transient integration settings used during characterization.
+    pub dt: f64,
+    /// Transient horizon, seconds.
+    pub max_window: f64,
+}
+
+impl CharGrids {
+    /// The default grids: loads 0.5–16 fF, ramps 5–80 ps, charges
+    /// 4–64 fC (bracketing the paper's 16 fC).
+    pub fn standard() -> Self {
+        CharGrids {
+            loads: vec![0.5 * FF, 1.0 * FF, 2.0 * FF, 4.0 * FF, 8.0 * FF, 16.0 * FF],
+            ramps: vec![5.0 * PS, 20.0 * PS, 80.0 * PS],
+            charges: vec![4.0 * FC, 8.0 * FC, 16.0 * FC, 32.0 * FC, 64.0 * FC],
+            dt: 0.25 * PS,
+            max_window: 3.0e-9,
+        }
+    }
+
+    /// Coarse grids for tests and quick experiments (2×2×2 points, larger
+    /// step). Roughly 10× faster than [`CharGrids::standard`].
+    pub fn coarse() -> Self {
+        CharGrids {
+            loads: vec![1.0 * FF, 8.0 * FF],
+            ramps: vec![10.0 * PS, 60.0 * PS],
+            charges: vec![8.0 * FC, 32.0 * FC],
+            dt: 0.5 * PS,
+            max_window: 2.5e-9,
+        }
+    }
+
+    fn transient(&self) -> TransientConfig {
+        TransientConfig {
+            dt: self.dt,
+            max_window: self.max_window,
+            ..TransientConfig::default()
+        }
+    }
+}
+
+/// Characterizes one cell variant: runs the delay experiment at every
+/// (load, ramp) grid point and the strike experiment at every
+/// (load, charge) point (both struck states, averaged), then wraps the
+/// results in interpolated tables.
+///
+/// Cells too weak to complete a transition inside the window get the
+/// window length as a pessimistic delay bound (they are uncompetitive in
+/// matching anyway).
+///
+/// # Panics
+///
+/// Panics if a grid axis is empty or unsorted (construct [`CharGrids`]
+/// from the provided constructors to avoid this).
+pub fn characterize_cell(
+    tech: &Technology,
+    params: &GateParams,
+    grids: &CharGrids,
+) -> CharacterizedCell {
+    let gate = GateElectrical::from_params(tech, params);
+    let cfg = grids.transient();
+
+    let load_axis = Axis::new(grids.loads.clone()).expect("load grid must be a valid axis");
+    let ramp_axis = Axis::new(grids.ramps.clone()).expect("ramp grid must be a valid axis");
+    let charge_axis =
+        Axis::new(grids.charges.clone()).expect("charge grid must be a valid axis");
+
+    let mut delays = Vec::with_capacity(grids.loads.len() * grids.ramps.len());
+    let mut slews = Vec::with_capacity(delays.capacity());
+    for &load in &grids.loads {
+        for &ramp in &grids.ramps {
+            match gate_delay(tech, &gate, load, ramp, &cfg) {
+                Some(m) => {
+                    delays.push(m.tpd);
+                    slews.push(m.out_transition);
+                }
+                None => {
+                    delays.push(grids.max_window);
+                    slews.push(grids.max_window);
+                }
+            }
+        }
+    }
+
+    let mut glitches = Vec::with_capacity(grids.loads.len() * grids.charges.len());
+    for &load in &grids.loads {
+        for &q in &grids.charges {
+            let strike = Strike::new(q, Strike::DEFAULT_TAU_RISE, Strike::DEFAULT_TAU_FALL);
+            let w_low = generated_glitch_width(tech, &gate, false, load, &strike, &cfg);
+            let w_high = generated_glitch_width(tech, &gate, true, load, &strike, &cfg);
+            glitches.push(0.5 * (w_low + w_high));
+        }
+    }
+
+    let c_self_total = {
+        let out = gate.stages().last().expect("cells have stages").c_self;
+        let inter = if gate.stages().len() == 2 {
+            gate.stages()[0].c_self + gate.interstage_cap(tech)
+        } else {
+            0.0
+        };
+        out + inter
+    };
+
+    CharacterizedCell {
+        params: *params,
+        input_cap: gate.input_capacitance(),
+        delay: Lut2::new(load_axis.clone(), ramp_axis.clone(), delays)
+            .expect("delay table matches its grids"),
+        out_ramp: Lut2::new(load_axis.clone(), ramp_axis, slews)
+            .expect("slew table matches its grids"),
+        glitch: Lut2::new(load_axis, charge_axis, glitches)
+            .expect("glitch table matches its grids"),
+        leak_power: gate.static_power(tech),
+        c_self_total,
+        area: params.area(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ser_netlist::GateKind;
+
+    fn tech() -> Technology {
+        Technology::ptm70()
+    }
+
+    #[test]
+    fn characterized_inverter_tables_are_sane() {
+        let cell = characterize_cell(
+            &tech(),
+            &GateParams::new(GateKind::Not, 1),
+            &CharGrids::coarse(),
+        );
+        // Delay grows with load.
+        let d_small = cell.delay_at(1.0 * FF, 10.0 * PS);
+        let d_big = cell.delay_at(8.0 * FF, 10.0 * PS);
+        assert!(d_big > d_small && d_small > 0.0);
+        // Glitch width grows with charge.
+        let w8 = cell.glitch_width_at(1.0 * FF, 8.0 * FC);
+        let w32 = cell.glitch_width_at(1.0 * FF, 32.0 * FC);
+        assert!(w32 > w8, "{w32:e} vs {w8:e}");
+    }
+
+    #[test]
+    fn interpolation_brackets_grid_points() {
+        let cell = characterize_cell(
+            &tech(),
+            &GateParams::new(GateKind::Not, 1),
+            &CharGrids::coarse(),
+        );
+        let d1 = cell.delay_at(1.0 * FF, 10.0 * PS);
+        let d8 = cell.delay_at(8.0 * FF, 10.0 * PS);
+        let mid = cell.delay_at(4.5 * FF, 10.0 * PS);
+        assert!(mid > d1 && mid < d8);
+    }
+
+    #[test]
+    fn slower_cell_variants_generate_wider_glitches() {
+        // Fig. 1: low VDD widens the generated glitch.
+        let g = CharGrids::coarse();
+        let t = tech();
+        let nominal = characterize_cell(&t, &GateParams::new(GateKind::Not, 1), &g);
+        let low_vdd =
+            characterize_cell(&t, &GateParams::new(GateKind::Not, 1).with_vdd(0.8), &g);
+        let w_nom = nominal.glitch_width_at(1.0 * FF, 16.0 * FC);
+        let w_low = low_vdd.glitch_width_at(1.0 * FF, 16.0 * FC);
+        assert!(w_low > w_nom, "{w_low:e} vs {w_nom:e}");
+    }
+}

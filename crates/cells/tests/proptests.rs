@@ -1,0 +1,90 @@
+//! Property-based tests of the lookup-table interpolation.
+
+use proptest::prelude::*;
+use ser_cells::lut::{Axis, Lut1, Lut2};
+
+fn arb_axis(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.01f64..10.0, 1..max_len).prop_map(|steps| {
+        let mut x = 0.0;
+        let mut out = Vec::with_capacity(steps.len());
+        for s in steps {
+            x += s;
+            out.push(x);
+        }
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// 1-D interpolation is exact at grid points and bounded between the
+    /// table's min and max everywhere.
+    #[test]
+    fn lut1_exact_and_bounded(
+        axis in arb_axis(12),
+        seed in 0u64..1000,
+        q in -5.0f64..60.0,
+    ) {
+        let n = axis.len();
+        let values: Vec<f64> = (0..n).map(|i| {
+            // Deterministic pseudo-random values.
+            let h = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(i as u64 * 77);
+            (h % 1000) as f64 / 10.0
+        }).collect();
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lut = Lut1::new(Axis::new(axis.clone()).unwrap(), values.clone()).unwrap();
+        for (x, v) in axis.iter().zip(&values) {
+            prop_assert!((lut.eval(*x) - v).abs() < 1e-9);
+        }
+        let y = lut.eval(q);
+        prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9);
+    }
+
+    /// Bilinear interpolation reproduces affine functions exactly.
+    #[test]
+    fn lut2_reproduces_affine(
+        ax in arb_axis(8),
+        ay in arb_axis(8),
+        a in -5.0f64..5.0,
+        b in -5.0f64..5.0,
+        c in -5.0f64..5.0,
+        qx in 0.0f64..90.0,
+        qy in 0.0f64..90.0,
+    ) {
+        let f = |x: f64, y: f64| a * x + b * y + c;
+        let mut values = Vec::new();
+        for &x in &ax {
+            for &y in &ay {
+                values.push(f(x, y));
+            }
+        }
+        let lut = Lut2::new(
+            Axis::new(ax.clone()).unwrap(),
+            Axis::new(ay.clone()).unwrap(),
+            values,
+        ).unwrap();
+        // Inside the hull: exact. Outside: clamped, so compare against
+        // the clamped coordinates.
+        let cx = qx.clamp(ax[0], *ax.last().unwrap());
+        let cy = qy.clamp(ay[0], *ay.last().unwrap());
+        prop_assert!((lut.eval(qx, qy) - f(cx, cy)).abs() < 1e-6,
+            "f({qx},{qy}) -> {} vs {}", lut.eval(qx, qy), f(cx, cy));
+    }
+
+    /// Axis::locate brackets correctly for in-range queries.
+    #[test]
+    fn axis_locate_brackets(axis in arb_axis(16), t in 0.0f64..1.0) {
+        if axis.len() < 2 { return Ok(()); }
+        let a = Axis::new(axis.clone()).unwrap();
+        let lo = axis[0];
+        let hi = *axis.last().unwrap();
+        let q = lo + t * (hi - lo);
+        let (i, frac) = a.locate(q);
+        prop_assert!(i + 1 < axis.len());
+        prop_assert!((0.0..=1.0).contains(&frac));
+        let reconstructed = axis[i] * (1.0 - frac) + axis[i + 1] * frac;
+        prop_assert!((reconstructed - q).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,274 @@
+//! Binding a circuit to cell parameters and deriving its timing view
+//! (loads, ramps, delays) from library lookups.
+
+use serde::{Deserialize, Serialize};
+use ser_cells::Library;
+use ser_netlist::{Circuit, NodeId};
+use ser_spice::GateParams;
+
+/// Per-gate cell parameter assignment — the object SERTOPT mutates and
+/// ASERTA analyses.
+///
+/// # Example
+///
+/// ```
+/// use aserta::CircuitCells;
+/// use ser_netlist::generate;
+///
+/// let c17 = generate::c17();
+/// let mut cells = CircuitCells::nominal(&c17);
+/// let g = c17.find("10").unwrap();
+/// let mut p = *cells.get(g).unwrap();
+/// p.size = 4.0;
+/// cells.set(g, p);
+/// assert_eq!(cells.get(g).unwrap().size, 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CircuitCells {
+    params: Vec<Option<GateParams>>,
+}
+
+impl CircuitCells {
+    /// Nominal assignment: every gate at size 1, L 70 nm, VDD 1 V,
+    /// Vth 0.2 V (the paper's §5 baseline operating point).
+    pub fn nominal(circuit: &Circuit) -> Self {
+        let mut params = vec![None; circuit.node_count()];
+        for id in circuit.gates() {
+            let node = circuit.node(id);
+            params[id.index()] = Some(GateParams::new(node.kind, node.fanin.len()));
+        }
+        CircuitCells { params }
+    }
+
+    /// Assignment produced by a custom function over gate ids.
+    pub fn from_fn(circuit: &Circuit, mut f: impl FnMut(NodeId) -> GateParams) -> Self {
+        let mut params = vec![None; circuit.node_count()];
+        for id in circuit.gates() {
+            params[id.index()] = Some(f(id));
+        }
+        CircuitCells { params }
+    }
+
+    /// The parameters of a gate (`None` for primary inputs).
+    #[inline]
+    pub fn get(&self, id: NodeId) -> Option<&GateParams> {
+        self.params[id.index()].as_ref()
+    }
+
+    /// Replaces the parameters of a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` refers to a primary input.
+    pub fn set(&mut self, id: NodeId, params: GateParams) {
+        let slot = &mut self.params[id.index()];
+        assert!(slot.is_some(), "primary inputs carry no cell parameters");
+        *slot = Some(params);
+    }
+
+    /// Total abstract area of the assignment (Eq. 5's `A` term).
+    pub fn total_area(&self) -> f64 {
+        self.params
+            .iter()
+            .flatten()
+            .map(|p| p.area())
+            .sum()
+    }
+}
+
+/// Capacitive load model shared by analysis and validation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadModel {
+    /// Wire capacitance per fan-out pin, farads.
+    pub wire_cap_per_pin: f64,
+    /// Latch capacitance at each primary output, farads.
+    pub po_load: f64,
+}
+
+/// The timing view of a bound circuit: per-node output load, input ramp,
+/// propagation delay and output ramp, all from library lookups (the
+/// paper's "delays … looked up from the SPICE tables").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingView {
+    /// External load at each node's output, farads.
+    pub loads: Vec<f64>,
+    /// Input transition time seen by each gate, seconds.
+    pub in_ramps: Vec<f64>,
+    /// Propagation delay of each gate, seconds (0 for primary inputs).
+    pub delays: Vec<f64>,
+    /// Output transition time of each node, seconds.
+    pub out_ramps: Vec<f64>,
+}
+
+impl TimingView {
+    /// Longest PI→PO path delay under this view (static timing analysis,
+    /// topological longest path).
+    pub fn critical_path_delay(&self, circuit: &Circuit) -> f64 {
+        let mut arrival = vec![0.0f64; circuit.node_count()];
+        let mut worst = 0.0f64;
+        for &id in circuit.topological_order() {
+            let node = circuit.node(id);
+            let arr_in = node
+                .fanin
+                .iter()
+                .map(|f| arrival[f.index()])
+                .fold(0.0, f64::max);
+            arrival[id.index()] = arr_in + self.delays[id.index()];
+            if circuit.is_primary_output(id) {
+                worst = worst.max(arrival[id.index()]);
+            }
+        }
+        worst
+    }
+}
+
+/// Computes the timing view for a cell assignment: loads from successor
+/// pin capacitances (plus wire and latch loads), then one topological pass
+/// propagating ramps and looking up delays.
+///
+/// `pi_ramp` is the transition time assumed at primary inputs; a gate's
+/// input ramp is the worst (slowest) fan-in output ramp.
+pub fn timing_view(
+    circuit: &Circuit,
+    cells: &CircuitCells,
+    library: &mut Library,
+    loads_model: LoadModel,
+    pi_ramp: f64,
+) -> TimingView {
+    let n = circuit.node_count();
+    // Loads need successor input capacitances.
+    let mut loads = vec![0.0f64; n];
+    for id in circuit.node_ids() {
+        let mut c = 0.0;
+        for &s in circuit.fanout(id) {
+            c += loads_model.wire_cap_per_pin;
+            if let Some(p) = cells.get(s) {
+                c += library.get_or_characterize(p).input_cap;
+            }
+        }
+        if circuit.is_primary_output(id) {
+            c += loads_model.po_load;
+        }
+        loads[id.index()] = c;
+    }
+
+    let mut in_ramps = vec![pi_ramp; n];
+    let mut delays = vec![0.0f64; n];
+    let mut out_ramps = vec![pi_ramp; n];
+    for &id in circuit.topological_order() {
+        let node = circuit.node(id);
+        if node.is_input() {
+            continue;
+        }
+        let ramp_in = node
+            .fanin
+            .iter()
+            .map(|f| out_ramps[f.index()])
+            .fold(0.0, f64::max)
+            .max(1.0e-12);
+        let p = cells.get(id).expect("gates carry parameters");
+        let cell = library.get_or_characterize(p);
+        in_ramps[id.index()] = ramp_in;
+        delays[id.index()] = cell.delay_at(loads[id.index()], ramp_in);
+        out_ramps[id.index()] = cell.out_ramp_at(loads[id.index()], ramp_in);
+    }
+
+    TimingView {
+        loads,
+        in_ramps,
+        delays,
+        out_ramps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ser_cells::CharGrids;
+    use ser_netlist::generate;
+    use ser_spice::Technology;
+
+    fn lib() -> Library {
+        Library::new(Technology::ptm70(), CharGrids::coarse())
+    }
+
+    fn model() -> LoadModel {
+        LoadModel {
+            wire_cap_per_pin: 0.05e-15,
+            po_load: 2.0e-15,
+        }
+    }
+
+    #[test]
+    fn nominal_assignment_covers_gates_only() {
+        let c = generate::c17();
+        let cells = CircuitCells::nominal(&c);
+        for &pi in c.primary_inputs() {
+            assert!(cells.get(pi).is_none());
+        }
+        for g in c.gates() {
+            assert!(cells.get(g).is_some());
+        }
+    }
+
+    #[test]
+    fn timing_view_is_positive_and_ordered() {
+        let c = generate::c17();
+        let cells = CircuitCells::nominal(&c);
+        let mut l = lib();
+        let tv = timing_view(&c, &cells, &mut l, model(), 20.0e-12);
+        for g in c.gates() {
+            assert!(tv.delays[g.index()] > 0.0, "gate {g}");
+            assert!(tv.loads[g.index()] > 0.0, "gate {g}");
+        }
+        let t = tv.critical_path_delay(&c);
+        // Three NAND levels: strictly more than one gate delay, less than
+        // the sum of all six.
+        let dmax = c
+            .gates()
+            .map(|g| tv.delays[g.index()])
+            .fold(0.0, f64::max);
+        let dsum: f64 = c.gates().map(|g| tv.delays[g.index()]).sum();
+        assert!(t > dmax && t < dsum, "{t} vs {dmax}/{dsum}");
+    }
+
+    #[test]
+    fn upsizing_a_fanin_increases_predecessor_load() {
+        let c = generate::c17();
+        let mut cells = CircuitCells::nominal(&c);
+        let mut l = lib();
+        let g16 = c.find("16").unwrap();
+        let g11 = c.find("11").unwrap();
+        let tv_before = timing_view(&c, &cells, &mut l, model(), 20.0e-12);
+        let mut p = *cells.get(g16).unwrap();
+        p.size = 4.0;
+        cells.set(g16, p);
+        let tv_after = timing_view(&c, &cells, &mut l, model(), 20.0e-12);
+        assert!(tv_after.loads[g11.index()] > tv_before.loads[g11.index()]);
+    }
+
+    #[test]
+    fn bigger_cells_shrink_critical_path() {
+        let c = generate::c17();
+        let mut l = lib();
+        let nominal = CircuitCells::nominal(&c);
+        let upsized = CircuitCells::from_fn(&c, |id| {
+            let node = c.node(id);
+            GateParams::new(node.kind, node.fanin.len()).with_size(4.0)
+        });
+        let t_nom = timing_view(&c, &nominal, &mut l, model(), 20.0e-12)
+            .critical_path_delay(&c);
+        let t_big = timing_view(&c, &upsized, &mut l, model(), 20.0e-12)
+            .critical_path_delay(&c);
+        assert!(t_big < t_nom, "{t_big} vs {t_nom}");
+    }
+
+    #[test]
+    #[should_panic(expected = "primary inputs")]
+    fn setting_pi_params_panics() {
+        let c = generate::c17();
+        let mut cells = CircuitCells::nominal(&c);
+        let pi = c.primary_inputs()[0];
+        cells.set(pi, GateParams::new(ser_netlist::GateKind::Not, 1));
+    }
+}

@@ -1,0 +1,334 @@
+//! Electrical masking: the reverse-topological pass computing, for every
+//! gate `i` and primary output `j`, the expected output glitch width
+//! `WS_ijk` at each of the `K` sample input widths (paper §3.2,
+//! steps i–iv), combining Eq. 1 attenuation with the Eq. 2 logical
+//! weights.
+//!
+//! Fidelity note (the paper's own concession): `π_isj` treats branch
+//! propagation independently, so observability that exists *only* through
+//! joint flips of reconvergent branches (every single-successor `P_sj` is
+//! 0 while `P_ij > 0`) is not representable — the expected width
+//! under-approximates there. Lemma 1 therefore holds exactly off those
+//! anomaly cones and as the upper bound `WS ≤ ww·P_ij` in general; the
+//! workspace property test `lemma1_holds_on_random_circuits` checks both
+//! sides.
+
+use ser_logicsim::SensitizationMatrix;
+use ser_netlist::{Circuit, NodeId};
+
+use crate::glitch::AttenuationModel;
+use crate::logical::{pi_weights, successor_sensitizations};
+
+/// The computed expected-width tables.
+///
+/// Storage is node-major, then sample-width, then PO column:
+/// `ws[(node·K + k)·n_pos + j]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpectedWidths {
+    outputs: Vec<NodeId>,
+    grid: Vec<f64>,
+    n_pos: usize,
+    ws: Vec<f64>,
+}
+
+impl ExpectedWidths {
+    /// Runs the reverse-topological pass.
+    ///
+    /// * `probs` — static 1-probabilities per node;
+    /// * `pij` — sensitization matrix (defines the PO column order);
+    /// * `delays` — per-node propagation delays (library lookups);
+    /// * `grid` — the `K` sample widths, sorted ascending, `grid[0] = 0`,
+    ///   top entry "very wide" (see
+    ///   [`AsertaConfig::sample_width_grid`](crate::AsertaConfig::sample_width_grid)).
+    ///
+    /// Complexity `O((V+E)·K·|PO|)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid` is unsorted or does not start at 0.
+    pub fn compute(
+        circuit: &Circuit,
+        probs: &[f64],
+        pij: &SensitizationMatrix,
+        delays: &[f64],
+        grid: Vec<f64>,
+    ) -> Self {
+        Self::compute_with_model(circuit, probs, pij, delays, grid, AttenuationModel::PaperEq1)
+    }
+
+    /// [`ExpectedWidths::compute`] with an explicit attenuation law — the
+    /// ablation hook comparing Eq. 1 against the smooth variant.
+    ///
+    /// # Panics
+    ///
+    /// As for [`ExpectedWidths::compute`].
+    pub fn compute_with_model(
+        circuit: &Circuit,
+        probs: &[f64],
+        pij: &SensitizationMatrix,
+        delays: &[f64],
+        grid: Vec<f64>,
+        model: AttenuationModel,
+    ) -> Self {
+        assert!(
+            grid.windows(2).all(|w| w[1] > w[0]),
+            "sample grid must be strictly increasing"
+        );
+        assert_eq!(grid.first(), Some(&0.0), "sample grid must start at 0");
+        let outputs: Vec<NodeId> = pij.outputs().to_vec();
+        let n_pos = outputs.len();
+        let k_n = grid.len();
+        let n = circuit.node_count();
+        let mut ws = vec![0.0f64; n * k_n * n_pos];
+
+        // Column index of each PO node (POs can appear once only).
+        let mut po_col = vec![usize::MAX; n];
+        for (j, &po) in outputs.iter().enumerate() {
+            po_col[po.index()] = j;
+        }
+
+        for &id in circuit.topological_order().iter().rev() {
+            let base = id.index() * k_n * n_pos;
+
+            // Step (ii): a primary output latches its own glitch verbatim.
+            let self_col = po_col[id.index()];
+            if self_col != usize::MAX {
+                for k in 0..k_n {
+                    ws[base + k * n_pos + self_col] = grid[k];
+                }
+            }
+
+            // Step (iii): propagate through successors (applies to PO
+            // nodes that also feed logic — a strict generalization of the
+            // paper, reducing to it when POs are sinks).
+            let successors = successor_sensitizations(circuit, probs, id);
+            if successors.is_empty() {
+                continue;
+            }
+            for j in 0..n_pos {
+                // π weights share the denominator across k; compute once.
+                let p_ij = pij.p(id, j);
+                if p_ij <= 0.0 {
+                    continue;
+                }
+                let pis = pi_weights(&successors, p_ij, |s| pij.p(s, j));
+                if pis.iter().all(|&x| x == 0.0) {
+                    continue;
+                }
+                for k in 0..k_n {
+                    let mut sum = 0.0;
+                    for (&(s, _), &pi_w) in successors.iter().zip(&pis) {
+                        if pi_w == 0.0 {
+                            continue;
+                        }
+                        let wos = model.apply(grid[k], delays[s.index()]);
+                        let we = interp_width(
+                            &ws,
+                            s.index() * k_n * n_pos,
+                            n_pos,
+                            j,
+                            &grid,
+                            wos,
+                        );
+                        sum += pi_w * we;
+                    }
+                    ws[base + k * n_pos + j] += sum;
+                }
+            }
+        }
+
+        ExpectedWidths {
+            outputs,
+            grid,
+            n_pos,
+            ws,
+        }
+    }
+
+    /// The PO column order.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// The sample-width grid.
+    pub fn grid(&self) -> &[f64] {
+        &self.grid
+    }
+
+    /// `WS_ijk`: expected width at PO column `j` for sample width index
+    /// `k` at gate `i`.
+    pub fn at_sample(&self, i: NodeId, j: usize, k: usize) -> f64 {
+        self.ws[(i.index() * self.grid.len() + k) * self.n_pos + j]
+    }
+
+    /// Step (iv): the expected width `W_ij` at PO column `j` for an
+    /// arbitrary generated width `w_gen` at gate `i`, interpolating the
+    /// sample tables.
+    pub fn expected_width(&self, i: NodeId, j: usize, w_gen: f64) -> f64 {
+        interp_width(
+            &self.ws,
+            i.index() * self.grid.len() * self.n_pos,
+            self.n_pos,
+            j,
+            &self.grid,
+            w_gen,
+        )
+    }
+
+    /// `Σ_j W_ij` for a generated width — the latching-window-masked
+    /// total the unreliability formula consumes.
+    pub fn total_expected_width(&self, i: NodeId, w_gen: f64) -> f64 {
+        (0..self.n_pos)
+            .map(|j| self.expected_width(i, j, w_gen))
+            .sum()
+    }
+}
+
+/// Interpolates a node's `[k][j]` table along k at width `w` (clamped).
+#[inline]
+fn interp_width(
+    ws: &[f64],
+    node_base: usize,
+    n_pos: usize,
+    j: usize,
+    grid: &[f64],
+    w: f64,
+) -> f64 {
+    let k_n = grid.len();
+    if w <= grid[0] {
+        return ws[node_base + j];
+    }
+    if w >= grid[k_n - 1] {
+        return ws[node_base + (k_n - 1) * n_pos + j];
+    }
+    let mut lo = 0usize;
+    let mut hi = k_n - 1;
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if grid[mid] <= w {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let frac = (w - grid[lo]) / (grid[lo + 1] - grid[lo]);
+    let a = ws[node_base + lo * n_pos + j];
+    let b = ws[node_base + (lo + 1) * n_pos + j];
+    a * (1.0 - frac) + b * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ser_logicsim::sensitize::sensitization_probabilities;
+    use ser_netlist::{generate, CircuitBuilder, GateKind};
+
+    fn grid() -> Vec<f64> {
+        vec![0.0, 10e-12, 20e-12, 40e-12, 80e-12, 160e-12, 320e-12, 640e-12, 1280e-12, 2560e-12]
+    }
+
+    #[test]
+    fn po_row_is_identity() {
+        let c = generate::c17();
+        let pij = sensitization_probabilities(&c, 1024, 1);
+        let probs = vec![0.5; c.node_count()];
+        let delays = vec![15e-12; c.node_count()];
+        let ew = ExpectedWidths::compute(&c, &probs, &pij, &delays, grid());
+        for (j, &po) in ew.outputs().to_vec().iter().enumerate() {
+            for (k, &w) in ew.grid().to_vec().iter().enumerate() {
+                assert_eq!(ew.at_sample(po, j, k), w);
+            }
+        }
+    }
+
+    #[test]
+    fn lemma1_wide_glitch_reaches_po_with_p_ij() {
+        // The machine-checked Lemma 1: for the top (very wide) sample,
+        // W_ij = ww · P_ij exactly.
+        let c = generate::c17();
+        let pij = sensitization_probabilities(&c, 4096, 7);
+        let probs = ser_logicsim::probability::static_probabilities_sampled(&c, 4096, 7);
+        let delays = vec![18e-12; c.node_count()];
+        let g = grid();
+        let ww = *g.last().unwrap();
+        let ew = ExpectedWidths::compute(&c, &probs, &pij, &delays, g);
+        for i in c.gates() {
+            for j in 0..ew.outputs().len() {
+                let got = ew.expected_width(i, j, ww);
+                let want = ww * pij.p(i, j);
+                assert!(
+                    (got - want).abs() <= ww * 0.02 + 1e-15,
+                    "node {i} col {j}: {got:e} vs {want:e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_glitch_dies_before_reaching_po() {
+        // Chain of 3 inverters with delay 20 ps: a 15 ps glitch at the
+        // head is filtered (15 < d), so nothing arrives.
+        let mut b = CircuitBuilder::new("chain");
+        let a = b.input("a");
+        let g1 = b.gate(GateKind::Not, "g1", &[a]).unwrap();
+        let g2 = b.gate(GateKind::Not, "g2", &[g1]).unwrap();
+        let g3 = b.gate(GateKind::Not, "g3", &[g2]).unwrap();
+        b.mark_output(g3);
+        let c = b.finish().unwrap();
+        let pij = sensitization_probabilities(&c, 128, 1);
+        let probs = vec![0.5; c.node_count()];
+        let delays = vec![20e-12; c.node_count()];
+        let ew = ExpectedWidths::compute(&c, &probs, &pij, &delays, grid());
+        assert_eq!(ew.expected_width(g1, 0, 15e-12), 0.0);
+        // A wide glitch sails through.
+        assert!((ew.expected_width(g1, 0, 2560e-12) - 2560e-12).abs() < 1e-15);
+        // The PO driver's own glitch is latched verbatim.
+        assert!((ew.expected_width(g3, 0, 15e-12) - 15e-12).abs() < 1e-15);
+    }
+
+    #[test]
+    fn attenuation_compounds_along_the_chain() {
+        // Same chain; a 30 ps glitch at g1 passes g2 (2(30−20) = 20 ps),
+        // then dies at g3 (20 ≤ d). From g2 it reaches the PO as
+        // 2(30−20) = 20 ps.
+        let mut b = CircuitBuilder::new("chain");
+        let a = b.input("a");
+        let g1 = b.gate(GateKind::Not, "g1", &[a]).unwrap();
+        let g2 = b.gate(GateKind::Not, "g2", &[g1]).unwrap();
+        let g3 = b.gate(GateKind::Not, "g3", &[g2]).unwrap();
+        b.mark_output(g3);
+        let c = b.finish().unwrap();
+        let pij = sensitization_probabilities(&c, 128, 1);
+        let probs = vec![0.5; c.node_count()];
+        let delays = vec![20e-12; c.node_count()];
+        // Grid dense around the interesting widths for exactness.
+        let g = vec![0.0, 10e-12, 20e-12, 30e-12, 40e-12, 2560e-12];
+        let ew = ExpectedWidths::compute(&c, &probs, &pij, &delays, g);
+        let w_from_g2 = ew.expected_width(g2, 0, 30e-12);
+        assert!((w_from_g2 - 20e-12).abs() < 1e-15, "{w_from_g2:e}");
+        let w_from_g1 = ew.expected_width(g1, 0, 30e-12);
+        assert!(
+            w_from_g1.abs() < 1e-15,
+            "20 ps remnant dies at g3 (float seam only): {w_from_g1:e}"
+        );
+    }
+
+    #[test]
+    fn logical_masking_scales_expected_width() {
+        // y = AND(i, b): with p(b)=0.5 the expected width halves.
+        let mut bb = CircuitBuilder::new("and");
+        let i = bb.input("i");
+        let b2 = bb.input("b");
+        let g = bb.gate(GateKind::Buf, "g", &[i]).unwrap();
+        let y = bb.gate(GateKind::And, "y", &[g, b2]).unwrap();
+        bb.mark_output(y);
+        let c = bb.finish().unwrap();
+        let pij = sensitization_probabilities(&c, 64 * 512, 3);
+        let probs = ser_logicsim::probability::static_probabilities_analytic(&c, 0.5);
+        let delays = vec![5e-12; c.node_count()];
+        let ew = ExpectedWidths::compute(&c, &probs, &pij, &delays, grid());
+        let wide = 2560e-12;
+        let w = ew.expected_width(g, 0, wide);
+        assert!((w - 0.5 * wide).abs() < 0.03 * wide, "{w:e}");
+    }
+}

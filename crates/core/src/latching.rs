@@ -1,0 +1,102 @@
+//! Latching-window masking with explicit timing constants — the paper
+//! folds these into a proportionality ("the probability of a glitch being
+//! captured by a latch is directly proportional to its duration"); this
+//! module makes the constants available for absolute-rate work (§3.3 +
+//! the FIT extension).
+
+use serde::{Deserialize, Serialize};
+
+/// Latch timing model: a glitch is captured when it overlaps the
+/// setup+hold aperture around a clock edge whose arrival is uniformly
+/// distributed over the cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatchingWindow {
+    /// Setup time, seconds.
+    pub setup: f64,
+    /// Hold time, seconds.
+    pub hold: f64,
+    /// Clock period, seconds.
+    pub clock_period: f64,
+}
+
+impl Default for LatchingWindow {
+    /// 1 GHz clock with 20 ps setup and 10 ps hold.
+    fn default() -> Self {
+        LatchingWindow {
+            setup: 20.0e-12,
+            hold: 10.0e-12,
+            clock_period: 1.0e-9,
+        }
+    }
+}
+
+impl LatchingWindow {
+    /// Probability that a glitch of `width` seconds arriving at the latch
+    /// input is captured: `min(1, (width + setup + hold) / T_clk)` for
+    /// positive widths, 0 otherwise.
+    ///
+    /// The paper's proportional model is the `setup + hold → 0`,
+    /// `width ≪ T_clk` limit of this expression.
+    pub fn capture_probability(&self, width: f64) -> f64 {
+        if width <= 0.0 {
+            return 0.0;
+        }
+        ((width + self.setup + self.hold) / self.clock_period).min(1.0)
+    }
+
+    /// The aperture the glitch must overlap, seconds.
+    pub fn aperture(&self) -> f64 {
+        self.setup + self.hold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_width_is_never_captured() {
+        let w = LatchingWindow::default();
+        assert_eq!(w.capture_probability(0.0), 0.0);
+        assert_eq!(w.capture_probability(-1.0e-12), 0.0);
+    }
+
+    #[test]
+    fn probability_is_proportional_then_saturates() {
+        let w = LatchingWindow {
+            setup: 0.0,
+            hold: 0.0,
+            clock_period: 1.0e-9,
+        };
+        let p100 = w.capture_probability(100.0e-12);
+        let p200 = w.capture_probability(200.0e-12);
+        assert!((p200 / p100 - 2.0).abs() < 1e-12, "proportional regime");
+        assert_eq!(w.capture_probability(2.0e-9), 1.0, "saturates at 1");
+    }
+
+    #[test]
+    fn aperture_adds_to_effective_width() {
+        let w = LatchingWindow::default();
+        let bare = 50.0e-12 / w.clock_period;
+        let p = w.capture_probability(50.0e-12);
+        assert!(p > bare, "setup+hold widen the capture window");
+        assert!((p - (50.0e-12 + 30.0e-12) / 1.0e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faster_clock_captures_more() {
+        let slow = LatchingWindow {
+            clock_period: 2.0e-9,
+            ..LatchingWindow::default()
+        };
+        let fast = LatchingWindow {
+            clock_period: 0.5e-9,
+            ..LatchingWindow::default()
+        };
+        // The paper's motivation: rising clock frequencies reduce
+        // latching-window masking.
+        assert!(
+            fast.capture_probability(80.0e-12) > slow.capture_probability(80.0e-12)
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Plain-text report formatting for analysis results.
+
+use ser_netlist::{Circuit, NodeId};
+
+/// Formats a per-node value table (name, value) sorted descending, top
+/// `limit` rows, with a caption — handy for soft-spot listings.
+pub fn format_ranked_table(
+    circuit: &Circuit,
+    caption: &str,
+    values: &[f64],
+    limit: usize,
+) -> String {
+    let mut rows: Vec<(NodeId, f64)> = circuit
+        .gates()
+        .map(|g| (g, values[g.index()]))
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("values are finite"));
+    rows.truncate(limit);
+    let mut out = String::new();
+    out.push_str(caption);
+    out.push('\n');
+    out.push_str(&format!("{:<16} {:>14}\n", "gate", "value"));
+    for (id, v) in rows {
+        out.push_str(&format!("{:<16} {:>14.4e}\n", circuit.node(id).name, v));
+    }
+    out
+}
+
+/// Formats two aligned series (e.g. ASERTA vs reference unreliability)
+/// for the nodes given — the textual Fig. 3.
+pub fn format_comparison(
+    circuit: &Circuit,
+    nodes: &[NodeId],
+    left_name: &str,
+    left: &[f64],
+    right_name: &str,
+    right: &[f64],
+) -> String {
+    let mut out = format!("{:<16} {:>14} {:>14}\n", "gate", left_name, right_name);
+    for ((n, l), r) in nodes.iter().zip(left).zip(right) {
+        out.push_str(&format!(
+            "{:<16} {:>14.4e} {:>14.4e}\n",
+            circuit.node(*n).name,
+            l,
+            r
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ser_netlist::generate;
+
+    #[test]
+    fn ranked_table_has_caption_and_rows() {
+        let c = generate::c17();
+        let values: Vec<f64> = (0..c.node_count()).map(|i| i as f64).collect();
+        let t = format_ranked_table(&c, "soft spots", &values, 3);
+        assert!(t.starts_with("soft spots"));
+        // caption + header + 3 rows
+        assert_eq!(t.lines().count(), 5);
+    }
+
+    #[test]
+    fn comparison_lines_up() {
+        let c = generate::c17();
+        let nodes = vec![c.find("22").unwrap(), c.find("23").unwrap()];
+        let t = format_comparison(&c, &nodes, "aserta", &[1.0, 2.0], "spice", &[1.1, 2.2]);
+        assert_eq!(t.lines().count(), 3);
+        assert!(t.contains("22"));
+        assert!(t.contains("aserta"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Deterministic random stimulus generation.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One word (64 vectors) of random bits per primary input, with
+/// independent per-input probability `p_one` of each bit being 1.
+///
+/// Deterministic in `(n_inputs, p_one, seed)`.
+pub fn random_word(n_inputs: usize, p_one: f64, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_inputs)
+        .map(|_| {
+            if (p_one - 0.5).abs() < f64::EPSILON {
+                rng.random::<u64>()
+            } else {
+                let mut w = 0u64;
+                for bit in 0..64 {
+                    if rng.random::<f64>() < p_one {
+                        w |= 1 << bit;
+                    }
+                }
+                w
+            }
+        })
+        .collect()
+}
+
+/// `n_vectors` boolean vectors with P(bit = 1) = `p_one`, deterministic in
+/// the seed.
+///
+/// # Example
+///
+/// ```
+/// use ser_logicsim::random::random_vectors;
+///
+/// let v = random_vectors(5, 50, 0.5, 42);
+/// assert_eq!(v.len(), 50);
+/// assert!(v.iter().all(|x| x.len() == 5));
+/// assert_eq!(v, random_vectors(5, 50, 0.5, 42));
+/// ```
+pub fn random_vectors(n_inputs: usize, n_vectors: usize, p_one: f64, seed: u64) -> Vec<Vec<bool>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_vectors)
+        .map(|_| (0..n_inputs).map(|_| rng.random::<f64>() < p_one).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_is_deterministic() {
+        assert_eq!(random_word(8, 0.5, 3), random_word(8, 0.5, 3));
+        assert_ne!(random_word(8, 0.5, 3), random_word(8, 0.5, 4));
+    }
+
+    #[test]
+    fn biased_words_have_biased_popcount() {
+        let lo = random_word(64, 0.1, 11);
+        let hi = random_word(64, 0.9, 11);
+        let c_lo: u32 = lo.iter().map(|w| w.count_ones()).sum();
+        let c_hi: u32 = hi.iter().map(|w| w.count_ones()).sum();
+        let total = 64 * 64;
+        assert!((c_lo as f64) < 0.2 * total as f64, "{c_lo}");
+        assert!((c_hi as f64) > 0.8 * total as f64, "{c_hi}");
+    }
+
+    #[test]
+    fn vectors_have_right_shape() {
+        let v = random_vectors(3, 7, 0.5, 0);
+        assert_eq!(v.len(), 7);
+        assert!(v.iter().all(|x| x.len() == 3));
+    }
+}

@@ -1,0 +1,228 @@
+//! Sensitization probabilities `P_ij`: the probability that at least one
+//! path from node `i` to primary output `j` is sensitized.
+//!
+//! Exact computation is NP-complete for circuits with reconvergent
+//! fan-out (the paper's ref. \[9\]); following the paper (and its ref.
+//! \[5\]), `P_ij` is estimated by zero-delay simulation with random
+//! vectors: for
+//! each vector, node `i` is flipped, the fan-out cone is re-evaluated, and
+//! `P_ij` accumulates whether PO `j` changed — 64 vectors per pass thanks
+//! to bit-parallel words.
+
+use ser_netlist::cone::fanout_cone;
+use ser_netlist::{Circuit, NodeId};
+
+use crate::random::random_word;
+use crate::sim::{eval_cone_forced, eval_word};
+
+/// Dense `node × PO` matrix of sensitization probabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitizationMatrix {
+    outputs: Vec<NodeId>,
+    n_nodes: usize,
+    /// node-major storage: `p[node * outputs.len() + j]`.
+    p: Vec<f64>,
+    vectors_used: usize,
+}
+
+impl SensitizationMatrix {
+    /// The primary outputs, defining the column order.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Number of random vectors behind the estimate.
+    pub fn vectors_used(&self) -> usize {
+        self.vectors_used
+    }
+
+    /// `P_ij` for a node and PO **column index** (see
+    /// [`SensitizationMatrix::outputs`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node or column is out of range.
+    #[inline]
+    pub fn p(&self, node: NodeId, po_col: usize) -> f64 {
+        assert!(po_col < self.outputs.len(), "PO column out of range");
+        self.p[node.index() * self.outputs.len() + po_col]
+    }
+
+    /// The whole row of a node (one entry per PO).
+    #[inline]
+    pub fn row(&self, node: NodeId) -> &[f64] {
+        let n = self.outputs.len();
+        &self.p[node.index() * n..(node.index() + 1) * n]
+    }
+
+    /// Probability that a flip of `node` is observed at *any* output
+    /// (upper-bounded union estimate: measured directly, not via the
+    /// per-PO marginals).
+    pub fn observability(&self, node: NodeId) -> f64 {
+        // With per-PO marginals only, use the max as a lower bound on the
+        // union; rows are what ASERTA consumes, this is a convenience.
+        self.row(node).iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Estimates the full matrix with `n_vectors` random vectors (rounded up
+/// to a multiple of 64), PI probability 0.5, deterministic in `seed`.
+///
+/// The paper uses 10 000 vectors; 64-way packing makes that ~157 passes
+/// over each fan-out cone.
+///
+/// # Panics
+///
+/// Panics if `n_vectors` is 0.
+pub fn sensitization_probabilities(
+    circuit: &Circuit,
+    n_vectors: usize,
+    seed: u64,
+) -> SensitizationMatrix {
+    assert!(n_vectors > 0, "need at least one vector");
+    let outputs: Vec<NodeId> = circuit.primary_outputs().to_vec();
+    let n_pos = outputs.len();
+    let n_nodes = circuit.node_count();
+    let n_words = n_vectors.div_ceil(64);
+    let n_pi = circuit.primary_inputs().len();
+
+    // Precompute cones once (dominant cost is resimulation anyway).
+    let cones: Vec<Vec<NodeId>> = circuit
+        .node_ids()
+        .map(|id| fanout_cone(circuit, id))
+        .collect();
+
+    let mut counts = vec![0u64; n_nodes * n_pos];
+    let mut scratch = vec![0u64; n_nodes];
+    for w in 0..n_words {
+        let pi_words = random_word(n_pi, 0.5, seed.wrapping_add(w as u64));
+        let base = eval_word(circuit, &pi_words);
+        // Invariant between nodes: scratch == base everywhere, so cone
+        // side-inputs read correct values and non-cone POs diff to zero.
+        scratch.copy_from_slice(&base);
+        for id in circuit.node_ids() {
+            let cone = &cones[id.index()];
+            eval_cone_forced(circuit, cone, id, !base[id.index()], &mut scratch);
+            let row = &mut counts[id.index() * n_pos..(id.index() + 1) * n_pos];
+            for (j, &po) in outputs.iter().enumerate() {
+                let diff = scratch[po.index()] ^ base[po.index()];
+                row[j] += diff.count_ones() as u64;
+            }
+            // Restore the invariant (cheaper than a full copy: cones are
+            // usually small).
+            for &c in cone {
+                scratch[c.index()] = base[c.index()];
+            }
+        }
+    }
+
+    let total = (n_words * 64) as f64;
+    SensitizationMatrix {
+        outputs,
+        n_nodes,
+        p: counts.into_iter().map(|c| c as f64 / total).collect(),
+        vectors_used: n_words * 64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ser_netlist::{generate, CircuitBuilder, GateKind};
+
+    #[test]
+    fn po_is_self_sensitized() {
+        let c = generate::c17();
+        let m = sensitization_probabilities(&c, 256, 5);
+        for (j, &po) in m.outputs().iter().enumerate() {
+            assert_eq!(m.p(po, j), 1.0, "P_jj must be 1");
+        }
+    }
+
+    #[test]
+    fn unreachable_output_has_zero_probability() {
+        let c = generate::c17();
+        let m = sensitization_probabilities(&c, 256, 5);
+        // Gate 10 feeds only output 22 (never 23).
+        let g10 = c.find("10").unwrap();
+        let col23 = m
+            .outputs()
+            .iter()
+            .position(|&po| c.node(po).name == "23")
+            .unwrap();
+        assert_eq!(m.p(g10, col23), 0.0);
+    }
+
+    #[test]
+    fn inverter_chain_is_always_sensitized() {
+        let mut b = CircuitBuilder::new("chain");
+        let a = b.input("a");
+        let g1 = b.gate(GateKind::Not, "g1", &[a]).unwrap();
+        let g2 = b.gate(GateKind::Not, "g2", &[g1]).unwrap();
+        b.mark_output(g2);
+        let c = b.finish().unwrap();
+        let m = sensitization_probabilities(&c, 128, 1);
+        for id in c.node_ids() {
+            assert_eq!(m.p(id, 0), 1.0, "node {id}");
+        }
+    }
+
+    #[test]
+    fn and_gate_side_probability() {
+        // y = AND(a, b): a flip of `a` reaches y iff b = 1 → P = 0.5.
+        let mut bb = CircuitBuilder::new("and");
+        let a = bb.input("a");
+        let b2 = bb.input("b");
+        let y = bb.gate(GateKind::And, "y", &[a, b2]).unwrap();
+        bb.mark_output(y);
+        let c = bb.finish().unwrap();
+        let m = sensitization_probabilities(&c, 64 * 256, 123);
+        assert!((m.p(a, 0) - 0.5).abs() < 0.03, "{}", m.p(a, 0));
+    }
+
+    #[test]
+    fn xor_tree_is_fully_observable() {
+        // XOR trees never mask: every node flip reaches the output.
+        let mut b = CircuitBuilder::new("xt");
+        let i0 = b.input("i0");
+        let i1 = b.input("i1");
+        let i2 = b.input("i2");
+        let i3 = b.input("i3");
+        let x0 = b.gate(GateKind::Xor, "x0", &[i0, i1]).unwrap();
+        let x1 = b.gate(GateKind::Xor, "x1", &[i2, i3]).unwrap();
+        let y = b.gate(GateKind::Xor, "y", &[x0, x1]).unwrap();
+        b.mark_output(y);
+        let c = b.finish().unwrap();
+        let m = sensitization_probabilities(&c, 128, 3);
+        for id in c.node_ids() {
+            assert_eq!(m.p(id, 0), 1.0, "node {id}");
+        }
+    }
+
+    #[test]
+    fn estimates_are_stable_across_seeds() {
+        let c = generate::c17();
+        let m1 = sensitization_probabilities(&c, 64 * 128, 10);
+        let m2 = sensitization_probabilities(&c, 64 * 128, 20);
+        for id in c.node_ids() {
+            for j in 0..m1.outputs().len() {
+                assert!(
+                    (m1.p(id, j) - m2.p(id, j)).abs() < 0.05,
+                    "node {id} col {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn observability_bounds_row() {
+        let c = generate::c17();
+        let m = sensitization_probabilities(&c, 256, 5);
+        for id in c.node_ids() {
+            let o = m.observability(id);
+            for j in 0..m.outputs().len() {
+                assert!(m.p(id, j) <= o + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! 64-way packed zero-delay simulation kernels.
+
+use ser_netlist::{Circuit, NodeId};
+
+/// Evaluates the whole circuit for one word of 64 input vectors.
+///
+/// `pi_words[k]` carries vector bits for the `k`-th primary input (in
+/// declaration order). Returns one word per node.
+///
+/// # Panics
+///
+/// Panics if `pi_words.len()` differs from the primary-input count.
+///
+/// # Example
+///
+/// ```
+/// use ser_logicsim::sim;
+/// use ser_netlist::generate;
+///
+/// let c17 = generate::c17();
+/// // Two vectors in one word: all-zeros (bit 0) and all-ones (bit 1).
+/// let words: Vec<u64> = vec![0b10; 5];
+/// let out = sim::eval_word(&c17, &words);
+/// let g10 = c17.find("10").unwrap(); // 10 = NAND(1, 3)
+/// assert_eq!(out[g10.index()] & 0b11, 0b01); // NAND(0,0)=1, NAND(1,1)=0
+/// ```
+pub fn eval_word(circuit: &Circuit, pi_words: &[u64]) -> Vec<u64> {
+    assert_eq!(
+        pi_words.len(),
+        circuit.primary_inputs().len(),
+        "one word per primary input"
+    );
+    let mut words = vec![0u64; circuit.node_count()];
+    for (k, &pi) in circuit.primary_inputs().iter().enumerate() {
+        words[pi.index()] = pi_words[k];
+    }
+    let mut pins: Vec<u64> = Vec::with_capacity(8);
+    for &id in circuit.topological_order() {
+        let node = circuit.node(id);
+        if node.is_input() {
+            continue;
+        }
+        pins.clear();
+        pins.extend(node.fanin.iter().map(|f| words[f.index()]));
+        words[id.index()] = node.kind.eval_packed(&pins);
+    }
+    words
+}
+
+/// Re-evaluates only the fan-out cone of `root` after forcing its word to
+/// `forced`, writing updated values into `scratch` (which must start as a
+/// copy of the base evaluation). Returns nothing; `scratch` holds the
+/// perturbed state. `cone` must be `root`'s fan-out cone in topological
+/// order (see [`ser_netlist::cone::fanout_cone`]).
+pub fn eval_cone_forced(
+    circuit: &Circuit,
+    cone: &[NodeId],
+    root: NodeId,
+    forced: u64,
+    scratch: &mut [u64],
+) {
+    scratch[root.index()] = forced;
+    let mut pins: Vec<u64> = Vec::with_capacity(8);
+    for &id in cone {
+        if id == root {
+            continue;
+        }
+        let node = circuit.node(id);
+        pins.clear();
+        pins.extend(node.fanin.iter().map(|f| scratch[f.index()]));
+        scratch[id.index()] = node.kind.eval_packed(&pins);
+    }
+}
+
+/// Evaluates a single boolean vector (convenience wrapper over the packed
+/// kernel).
+pub fn eval_vector(circuit: &Circuit, pi_values: &[bool]) -> Vec<bool> {
+    let words: Vec<u64> = pi_values.iter().map(|&b| if b { 1 } else { 0 }).collect();
+    eval_word(circuit, &words)
+        .into_iter()
+        .map(|w| w & 1 == 1)
+        .collect()
+}
+
+/// Evaluates the circuit with the listed nodes **forced to the complement
+/// of their fault-free value** — multi-node upset injection at the logic
+/// level (the paper's c499 discussion: "a modelling scheme that takes
+/// into account simultaneous multiple-error injections").
+///
+/// Returns `(faulty_values, corrupted_outputs)`: the full node valuation
+/// under the flips and the primary outputs whose value changed.
+pub fn eval_with_flips(
+    circuit: &Circuit,
+    pi_values: &[bool],
+    flipped: &[NodeId],
+) -> (Vec<bool>, Vec<NodeId>) {
+    let words: Vec<u64> = pi_values.iter().map(|&b| if b { 1 } else { 0 }).collect();
+    let golden = eval_word(circuit, &words);
+
+    let mut faulty = vec![0u64; circuit.node_count()];
+    for (i, &pi) in circuit.primary_inputs().iter().enumerate() {
+        faulty[pi.index()] = words[i];
+    }
+    let flip = |id: NodeId| flipped.contains(&id);
+    let mut pins: Vec<u64> = Vec::with_capacity(8);
+    for &id in circuit.topological_order() {
+        let node = circuit.node(id);
+        if !node.is_input() {
+            pins.clear();
+            pins.extend(node.fanin.iter().map(|f| faulty[f.index()]));
+            faulty[id.index()] = node.kind.eval_packed(&pins);
+        }
+        if flip(id) {
+            faulty[id.index()] = !golden[id.index()];
+        }
+    }
+    let corrupted: Vec<NodeId> = circuit
+        .primary_outputs()
+        .iter()
+        .copied()
+        .filter(|po| faulty[po.index()] & 1 != golden[po.index()] & 1)
+        .collect();
+    (
+        faulty.into_iter().map(|w| w & 1 == 1).collect(),
+        corrupted,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ser_netlist::cone::fanout_cone;
+    use ser_netlist::{generate, CircuitBuilder, GateKind};
+
+    #[test]
+    fn packed_matches_scalar_on_c17() {
+        let c = generate::c17();
+        // 32 exhaustive input combinations fit in one word.
+        let n = c.primary_inputs().len();
+        let mut words = vec![0u64; n];
+        for v in 0..32u64 {
+            for (k, w) in words.iter_mut().enumerate() {
+                if v >> k & 1 == 1 {
+                    *w |= 1 << v;
+                }
+            }
+        }
+        let packed = eval_word(&c, &words);
+        for v in 0..32usize {
+            let pi_vals: Vec<bool> = (0..n).map(|k| v >> k & 1 == 1).collect();
+            let scalar = eval_vector(&c, &pi_vals);
+            for id in c.node_ids() {
+                assert_eq!(
+                    packed[id.index()] >> v & 1 == 1,
+                    scalar[id.index()],
+                    "node {id} vector {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cone_forcing_matches_full_resim() {
+        let c = generate::c17();
+        let n = c.primary_inputs().len();
+        let words: Vec<u64> = (0..n as u64).map(|k| 0xDEADBEEF_CAFEF00D ^ (k * 77)).collect();
+        let base = eval_word(&c, &words);
+        for root in c.gates() {
+            let cone = fanout_cone(&c, root);
+            let mut scratch = base.clone();
+            eval_cone_forced(&c, &cone, root, !base[root.index()], &mut scratch);
+            // Verify against brute force: a circuit where `root` evaluates
+            // to the complement — emulate by full evaluation with root
+            // forced at every topological step.
+            let mut truth = vec![0u64; c.node_count()];
+            for (k, &pi) in c.primary_inputs().iter().enumerate() {
+                truth[pi.index()] = words[k];
+            }
+            for &id in c.topological_order() {
+                let node = c.node(id);
+                if node.is_input() {
+                    continue;
+                }
+                let pins: Vec<u64> = node.fanin.iter().map(|f| truth[f.index()]).collect();
+                truth[id.index()] = node.kind.eval_packed(&pins);
+                if id == root {
+                    truth[id.index()] = !base[root.index()];
+                }
+            }
+            for id in c.node_ids() {
+                assert_eq!(scratch[id.index()], truth[id.index()], "root {root} node {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_vector_on_buffer_chain() {
+        let mut b = CircuitBuilder::new("chain");
+        let a = b.input("a");
+        let g = b.gate(GateKind::Buf, "g", &[a]).unwrap();
+        let h = b.gate(GateKind::Not, "h", &[g]).unwrap();
+        b.mark_output(h);
+        let c = b.finish().unwrap();
+        let v = eval_vector(&c, &[true]);
+        assert!(v[a.index()] && v[g.index()] && !v[h.index()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one word per primary input")]
+    fn word_count_checked() {
+        let c = generate::c17();
+        let _ = eval_word(&c, &[0, 0]);
+    }
+
+    #[test]
+    fn single_flip_matches_cone_semantics() {
+        let c = generate::c17();
+        let pi = vec![true, false, true, false, true];
+        for g in c.gates() {
+            let (_, corrupted) = eval_with_flips(&c, &pi, &[g]);
+            // Cross-check against the packed cone machinery.
+            let words: Vec<u64> = pi.iter().map(|&b| if b { 1 } else { 0 }).collect();
+            let base = eval_word(&c, &words);
+            let cone = fanout_cone(&c, g);
+            let mut scratch = base.clone();
+            eval_cone_forced(&c, &cone, g, !base[g.index()], &mut scratch);
+            for &po in c.primary_outputs() {
+                let diff = (scratch[po.index()] ^ base[po.index()]) & 1 == 1;
+                assert_eq!(diff, corrupted.contains(&po), "gate {g} po {po}");
+            }
+        }
+    }
+
+    #[test]
+    fn ecc_corrects_single_but_not_all_double_flips() {
+        // The paper's c499 story at the logic level: single data upsets
+        // are corrected, simultaneous double upsets are not always.
+        let ecc = generate::sec32("c499");
+        let pi = vec![false; ecc.primary_inputs().len()];
+        // Strike a syndrome-tree gate: single flips may corrupt (they sit
+        // behind the corrector), but flipping a *data input buffer* plus
+        // its own corrector path defeats the code. Use two distinct
+        // syndrome gates to witness at least one double-flip corruption.
+        let gates: Vec<_> = ecc.gates().collect();
+        let mut single_corruptions = 0usize;
+        for &g in gates.iter().take(64) {
+            let (_, corrupted) = eval_with_flips(&ecc, &pi, &[g]);
+            single_corruptions += corrupted.len();
+        }
+        let mut double_corruptions = 0usize;
+        for w in gates.windows(2).take(64) {
+            let (_, corrupted) = eval_with_flips(&ecc, &pi, &[w[0], w[1]]);
+            double_corruptions += corrupted.len();
+        }
+        assert!(
+            double_corruptions >= single_corruptions,
+            "double upsets must corrupt at least as much: {double_corruptions} vs {single_corruptions}"
+        );
+    }
+}

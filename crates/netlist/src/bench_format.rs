@@ -1,0 +1,318 @@
+//! ISCAS'85 `.bench` format parsing and writing.
+//!
+//! The `.bench` dialect accepted here is the common one used by the
+//! ISCAS'85/89 distributions and academic tools:
+//!
+//! ```text
+//! # comment
+//! INPUT(1)
+//! INPUT(2)
+//! OUTPUT(22)
+//! 22 = NAND(10, 16)
+//! 10 = NOT(1)
+//! ```
+//!
+//! Signals may be defined in any order (the original files are not
+//! topologically sorted); `OUTPUT` may precede the definition of its
+//! signal. `DFF` and other sequential elements are rejected — the paper
+//! (and this reproduction) treats combinational logic only.
+
+use std::collections::HashMap;
+
+use crate::circuit::Circuit;
+use crate::error::ParseBenchError;
+use crate::gate::{GateKind, Node};
+use crate::id::NodeId;
+
+/// Parses `.bench` text into a [`Circuit`] named `name`.
+///
+/// # Errors
+///
+/// Returns a [`ParseBenchError`] on syntax errors, unknown gate kinds,
+/// undefined or doubly-driven signals, or structural problems (cycles,
+/// bad arity, missing outputs).
+///
+/// # Example
+///
+/// ```
+/// use ser_netlist::bench_format;
+///
+/// let src = "\
+/// INPUT(a)
+/// INPUT(b)
+/// OUTPUT(y)
+/// y = AND(a, b)
+/// ";
+/// let c = bench_format::parse(src, "toy")?;
+/// assert_eq!(c.gate_count(), 1);
+/// # Ok::<(), ser_netlist::ParseBenchError>(())
+/// ```
+pub fn parse(text: &str, name: &str) -> Result<Circuit, ParseBenchError> {
+    enum Decl {
+        Input,
+        Gate { kind: GateKind, fanin: Vec<String> },
+    }
+
+    let mut decls: Vec<(String, Decl)> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut defined_at: HashMap<String, usize> = HashMap::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let code = match raw.split('#').next() {
+            Some(c) => c.trim(),
+            None => "",
+        };
+        if code.is_empty() {
+            continue;
+        }
+
+        if let Some(rest) = strip_directive(code, "INPUT") {
+            let sig = rest.to_owned();
+            if defined_at.insert(sig.clone(), line).is_some() {
+                return Err(ParseBenchError::Redefined { line, name: sig });
+            }
+            decls.push((sig, Decl::Input));
+        } else if let Some(rest) = strip_directive(code, "OUTPUT") {
+            outputs.push(rest.to_owned());
+        } else if let Some((lhs, rhs)) = code.split_once('=') {
+            let sig = lhs.trim().to_owned();
+            let rhs = rhs.trim();
+            let (kind_tok, args) = rhs
+                .split_once('(')
+                .ok_or_else(|| ParseBenchError::Syntax {
+                    line,
+                    text: code.to_owned(),
+                })?;
+            let args = args
+                .strip_suffix(')')
+                .ok_or_else(|| ParseBenchError::Syntax {
+                    line,
+                    text: code.to_owned(),
+                })?;
+            let kind: GateKind =
+                kind_tok
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseBenchError::UnknownGate {
+                        line,
+                        kind: kind_tok.trim().to_owned(),
+                    })?;
+            if kind == GateKind::Input {
+                return Err(ParseBenchError::Syntax {
+                    line,
+                    text: code.to_owned(),
+                });
+            }
+            let fanin: Vec<String> = args
+                .split(',')
+                .map(|a| a.trim().to_owned())
+                .filter(|a| !a.is_empty())
+                .collect();
+            if defined_at.insert(sig.clone(), line).is_some() {
+                return Err(ParseBenchError::Redefined { line, name: sig });
+            }
+            decls.push((sig, Decl::Gate { kind, fanin }));
+        } else {
+            return Err(ParseBenchError::Syntax {
+                line,
+                text: code.to_owned(),
+            });
+        }
+    }
+
+    // Assign dense ids in declaration order, then resolve references.
+    let index: HashMap<&str, usize> = decls
+        .iter()
+        .enumerate()
+        .map(|(i, (sig, _))| (sig.as_str(), i))
+        .collect();
+
+    let mut nodes = Vec::with_capacity(decls.len());
+    for (sig, decl) in &decls {
+        let node = match decl {
+            Decl::Input => Node {
+                kind: GateKind::Input,
+                fanin: Vec::new(),
+                name: sig.clone(),
+            },
+            Decl::Gate { kind, fanin } => {
+                let mut pins = Vec::with_capacity(fanin.len());
+                for f in fanin {
+                    let &i = index
+                        .get(f.as_str())
+                        .ok_or_else(|| ParseBenchError::UndefinedSignal { name: f.clone() })?;
+                    pins.push(NodeId::new(i));
+                }
+                Node {
+                    kind: *kind,
+                    fanin: pins,
+                    name: sig.clone(),
+                }
+            }
+        };
+        nodes.push(node);
+    }
+
+    let mut pos = Vec::with_capacity(outputs.len());
+    for out in &outputs {
+        let &i = index
+            .get(out.as_str())
+            .ok_or_else(|| ParseBenchError::UndefinedSignal { name: out.clone() })?;
+        pos.push(NodeId::new(i));
+    }
+
+    Ok(Circuit::from_parts(name, nodes, pos)?)
+}
+
+fn strip_directive<'a>(code: &'a str, directive: &str) -> Option<&'a str> {
+    let rest = code.strip_prefix(directive)?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let rest = rest.strip_suffix(')')?;
+    Some(rest.trim())
+}
+
+/// Serializes a [`Circuit`] to `.bench` text. The output parses back to a
+/// structurally identical circuit (same kinds, connectivity, PI/PO order).
+pub fn write(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", circuit.name()));
+    out.push_str(&format!(
+        "# {} inputs  {} outputs  {} gates\n",
+        circuit.primary_inputs().len(),
+        circuit.primary_outputs().len(),
+        circuit.gate_count()
+    ));
+    for &pi in circuit.primary_inputs() {
+        out.push_str(&format!("INPUT({})\n", circuit.node(pi).name));
+    }
+    for &po in circuit.primary_outputs() {
+        out.push_str(&format!("OUTPUT({})\n", circuit.node(po).name));
+    }
+    for &id in circuit.topological_order() {
+        let node = circuit.node(id);
+        if node.is_input() {
+            continue;
+        }
+        let pins: Vec<&str> = node
+            .fanin
+            .iter()
+            .map(|f| circuit.node(*f).name.as_str())
+            .collect();
+        out.push_str(&format!(
+            "{} = {}({})\n",
+            node.name,
+            node.kind.bench_name(),
+            pins.join(", ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    const C17_TEXT: &str = "\
+# c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+    #[test]
+    fn parses_c17() {
+        let c = parse(C17_TEXT, "c17").unwrap();
+        assert_eq!(c.primary_inputs().len(), 5);
+        assert_eq!(c.primary_outputs().len(), 2);
+        assert_eq!(c.gate_count(), 6);
+        let g22 = c.find("22").unwrap();
+        assert_eq!(c.node(g22).kind, GateKind::Nand);
+        assert_eq!(c.node(g22).fanin.len(), 2);
+    }
+
+    #[test]
+    fn out_of_order_definitions_ok() {
+        let src = "\
+OUTPUT(y)
+y = NOT(x)
+x = AND(a, b)
+INPUT(a)
+INPUT(b)
+";
+        let c = parse(src, "ooo").unwrap();
+        assert_eq!(c.gate_count(), 2);
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let c = generate::c17();
+        let text = write(&c);
+        let c2 = parse(&text, c.name()).unwrap();
+        assert_eq!(c.gate_count(), c2.gate_count());
+        assert_eq!(c.primary_inputs().len(), c2.primary_inputs().len());
+        assert_eq!(c.primary_outputs().len(), c2.primary_outputs().len());
+        // Same connectivity by name.
+        for id in c.node_ids() {
+            let n1 = c.node(id);
+            let id2 = c2.find(&n1.name).unwrap();
+            let n2 = c2.node(id2);
+            assert_eq!(n1.kind, n2.kind, "{}", n1.name);
+            let pins1: Vec<&str> = n1.fanin.iter().map(|f| c.node(*f).name.as_str()).collect();
+            let pins2: Vec<&str> = n2.fanin.iter().map(|f| c2.node(*f).name.as_str()).collect();
+            assert_eq!(pins1, pins2, "{}", n1.name);
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_gate() {
+        let err = parse("INPUT(a)\nOUTPUT(y)\ny = LATCH(a)\n", "t").unwrap_err();
+        assert!(matches!(err, ParseBenchError::UnknownGate { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_undefined_signal() {
+        let err = parse("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n", "t").unwrap_err();
+        assert!(
+            matches!(err, ParseBenchError::UndefinedSignal { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_double_drive() {
+        let err = parse("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUFF(a)\n", "t").unwrap_err();
+        assert!(matches!(err, ParseBenchError::Redefined { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_garbage_line() {
+        let err = parse("INPUT(a)\nOUTPUT(a)\nwhat is this\n", "t").unwrap_err();
+        assert!(matches!(err, ParseBenchError::Syntax { .. }), "{err}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "\n# full comment\nINPUT(a)  # trailing\n\nOUTPUT(y)\ny = NOT(a)\n";
+        let c = parse(src, "t").unwrap();
+        assert_eq!(c.gate_count(), 1);
+    }
+
+    #[test]
+    fn spaces_inside_directive() {
+        let c = parse("INPUT( a )\nOUTPUT( y )\ny = NOT( a )\n", "t").unwrap();
+        assert_eq!(c.gate_count(), 1);
+    }
+}

@@ -1,0 +1,158 @@
+use crate::circuit::Circuit;
+use crate::error::NetlistError;
+use crate::gate::{GateKind, Node};
+use crate::id::NodeId;
+
+/// Incremental, validated construction of a [`Circuit`].
+///
+/// Nodes must be added fan-ins-first (the builder hands out ids as it
+/// goes), which makes accidental cycles impossible to *express*; the final
+/// [`CircuitBuilder::finish`] still validates everything via
+/// [`Circuit::from_parts`].
+///
+/// # Example
+///
+/// ```
+/// use ser_netlist::{CircuitBuilder, GateKind};
+///
+/// let mut b = CircuitBuilder::new("mux");
+/// let sel = b.input("sel");
+/// let a = b.input("a");
+/// let c = b.input("b");
+/// let nsel = b.gate(GateKind::Not, "nsel", &[sel])?;
+/// let t0 = b.gate(GateKind::And, "t0", &[a, sel])?;
+/// let t1 = b.gate(GateKind::And, "t1", &[c, nsel])?;
+/// let y = b.gate(GateKind::Or, "y", &[t0, t1])?;
+/// b.mark_output(y);
+/// let mux = b.finish()?;
+/// assert_eq!(mux.gate_count(), 4);
+/// # Ok::<(), ser_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CircuitBuilder {
+    name: String,
+    nodes: Vec<Node>,
+    outputs: Vec<NodeId>,
+}
+
+impl CircuitBuilder {
+    /// Starts an empty circuit with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        CircuitBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Adds a primary input and returns its id.
+    pub fn input(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId::new(self.nodes.len());
+        self.nodes.push(Node {
+            kind: GateKind::Input,
+            fanin: Vec::new(),
+            name: name.into(),
+        });
+        id
+    }
+
+    /// Adds a gate and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadArity`] if `kind` cannot take
+    /// `fanin.len()` pins, or [`NetlistError::DanglingFanin`] if a fan-in
+    /// id has not been handed out yet (which would also make a cycle
+    /// expressible).
+    pub fn gate(
+        &mut self,
+        kind: GateKind,
+        name: impl Into<String>,
+        fanin: &[NodeId],
+    ) -> Result<NodeId, NetlistError> {
+        let id = NodeId::new(self.nodes.len());
+        if !kind.arity_ok(fanin.len()) {
+            return Err(NetlistError::BadArity {
+                node: id,
+                kind,
+                fanin: fanin.len(),
+            });
+        }
+        for &f in fanin {
+            if f.index() >= self.nodes.len() {
+                return Err(NetlistError::DanglingFanin { node: id, missing: f });
+            }
+        }
+        self.nodes.push(Node {
+            kind,
+            fanin: fanin.to_vec(),
+            name: name.into(),
+        });
+        Ok(id)
+    }
+
+    /// Marks an existing node as a primary output. Marking the same node
+    /// twice is reported by [`CircuitBuilder::finish`].
+    pub fn mark_output(&mut self, id: NodeId) -> &mut Self {
+        self.outputs.push(id);
+        self
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Finalizes the circuit, running full structural validation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`NetlistError`] from [`Circuit::from_parts`].
+    pub fn finish(self) -> Result<Circuit, NetlistError> {
+        Circuit::from_parts(self.name, self.nodes, self.outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_in_order() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let g = b.gate(GateKind::Buf, "g", &[a]).unwrap();
+        b.mark_output(g);
+        let c = b.finish().unwrap();
+        assert_eq!(c.name(), "t");
+        assert_eq!(c.node_count(), 2);
+    }
+
+    #[test]
+    fn forward_reference_rejected_eagerly() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let future = NodeId::new(10);
+        let err = b.gate(GateKind::And, "g", &[a, future]).unwrap_err();
+        assert!(matches!(err, NetlistError::DanglingFanin { .. }));
+    }
+
+    #[test]
+    fn arity_rejected_eagerly() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let err = b.gate(GateKind::Not, "g", &[a, a]).unwrap_err();
+        assert!(matches!(err, NetlistError::BadArity { .. }));
+    }
+
+    #[test]
+    fn duplicate_output_reported_at_finish() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let g = b.gate(GateKind::Not, "g", &[a]).unwrap();
+        b.mark_output(g);
+        b.mark_output(g);
+        let err = b.finish().unwrap_err();
+        assert!(matches!(err, NetlistError::DuplicateOutput { .. }));
+    }
+}

@@ -1,0 +1,396 @@
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetlistError;
+use crate::gate::Node;
+use crate::id::NodeId;
+
+/// A combinational, single-driver, gate-level netlist.
+///
+/// Nodes are primary inputs or gates; each node drives exactly one net that
+/// shares its [`NodeId`], so the paper's "output of gate *i*" is simply
+/// node *i*. Construction goes through [`CircuitBuilder`], which validates
+/// acyclicity, arity and name uniqueness; once built, a circuit is
+/// immutable and carries precomputed fan-outs and a topological order.
+///
+/// [`CircuitBuilder`]: crate::CircuitBuilder
+///
+/// # Example
+///
+/// ```
+/// use ser_netlist::{CircuitBuilder, GateKind};
+///
+/// let mut b = CircuitBuilder::new("half_adder");
+/// let a = b.input("a");
+/// let c = b.input("b");
+/// let sum = b.gate(GateKind::Xor, "sum", &[a, c]).unwrap();
+/// let carry = b.gate(GateKind::And, "carry", &[a, c]).unwrap();
+/// b.mark_output(sum);
+/// b.mark_output(carry);
+/// let circuit = b.finish().unwrap();
+///
+/// assert_eq!(circuit.gate_count(), 2);
+/// assert_eq!(circuit.fanout(a), &[sum, carry]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Circuit {
+    name: String,
+    nodes: Vec<Node>,
+    primary_inputs: Vec<NodeId>,
+    primary_outputs: Vec<NodeId>,
+    fanouts: Vec<Vec<NodeId>>,
+    topo: Vec<NodeId>,
+}
+
+impl Circuit {
+    /// Assembles a circuit from parts, validating every structural
+    /// invariant. Prefer [`CircuitBuilder`](crate::CircuitBuilder); this
+    /// constructor is the common funnel it uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetlistError`] if any node has out-of-range fan-in ids,
+    /// an arity its kind forbids, a duplicate name, if the graph has a
+    /// cycle, if no primary output is marked, or if an output id is out of
+    /// range or duplicated.
+    pub fn from_parts(
+        name: impl Into<String>,
+        nodes: Vec<Node>,
+        primary_outputs: Vec<NodeId>,
+    ) -> Result<Self, NetlistError> {
+        let name = name.into();
+        let n = nodes.len();
+
+        let mut seen_names: HashMap<&str, usize> = HashMap::with_capacity(n);
+        for (i, node) in nodes.iter().enumerate() {
+            if let Some(prev) = seen_names.insert(node.name.as_str(), i) {
+                return Err(NetlistError::DuplicateName {
+                    name: node.name.clone(),
+                    first: NodeId::new(prev),
+                    second: NodeId::new(i),
+                });
+            }
+            if !node.kind.arity_ok(node.fanin.len()) {
+                return Err(NetlistError::BadArity {
+                    node: NodeId::new(i),
+                    kind: node.kind,
+                    fanin: node.fanin.len(),
+                });
+            }
+            for &f in &node.fanin {
+                if f.index() >= n {
+                    return Err(NetlistError::DanglingFanin {
+                        node: NodeId::new(i),
+                        missing: f,
+                    });
+                }
+            }
+        }
+
+        if primary_outputs.is_empty() {
+            return Err(NetlistError::NoOutputs);
+        }
+        let mut seen_po = vec![false; n];
+        for &po in &primary_outputs {
+            if po.index() >= n {
+                return Err(NetlistError::DanglingOutput { missing: po });
+            }
+            if seen_po[po.index()] {
+                return Err(NetlistError::DuplicateOutput { output: po });
+            }
+            seen_po[po.index()] = true;
+        }
+
+        let mut fanouts: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (i, node) in nodes.iter().enumerate() {
+            for &f in &node.fanin {
+                fanouts[f.index()].push(NodeId::new(i));
+            }
+        }
+
+        let topo = kahn_topological_order(&nodes, &fanouts)?;
+
+        let primary_inputs = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, node)| node.is_input())
+            .map(|(i, _)| NodeId::new(i))
+            .collect();
+
+        Ok(Circuit {
+            name,
+            nodes,
+            primary_inputs,
+            primary_outputs,
+            fanouts,
+            topo,
+        })
+    }
+
+    /// Circuit name (e.g. `"c432"`).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of nodes (primary inputs + gates).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of gate nodes (excludes primary inputs).
+    #[inline]
+    pub fn gate_count(&self) -> usize {
+        self.nodes.len() - self.primary_inputs.len()
+    }
+
+    /// Number of fan-in edges in the circuit graph.
+    pub fn edge_count(&self) -> usize {
+        self.nodes.iter().map(|g| g.fanin.len()).sum()
+    }
+
+    /// The node behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this circuit.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// All nodes, indexable by [`NodeId::index`].
+    #[inline]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Ids of all nodes, in storage order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId::new)
+    }
+
+    /// Ids of the gate nodes (excluding primary inputs), in storage order.
+    pub fn gates(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, node)| !node.is_input())
+            .map(|(i, _)| NodeId::new(i))
+    }
+
+    /// Primary inputs, in declaration order.
+    #[inline]
+    pub fn primary_inputs(&self) -> &[NodeId] {
+        &self.primary_inputs
+    }
+
+    /// Primary outputs, in declaration order. A node may be both a gate
+    /// feeding further logic and a primary output.
+    #[inline]
+    pub fn primary_outputs(&self) -> &[NodeId] {
+        &self.primary_outputs
+    }
+
+    /// Returns `true` if `id` is marked as a primary output.
+    pub fn is_primary_output(&self, id: NodeId) -> bool {
+        self.primary_outputs.contains(&id)
+    }
+
+    /// Nodes driven by `id`'s output net, in fan-in declaration order. A
+    /// node appears once per pin it feeds.
+    #[inline]
+    pub fn fanout(&self, id: NodeId) -> &[NodeId] {
+        &self.fanouts[id.index()]
+    }
+
+    /// A topological order over all nodes (every node appears after its
+    /// fan-ins). Stable for a given circuit.
+    #[inline]
+    pub fn topological_order(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// Looks a node up by net name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|g| g.name == name)
+            .map(NodeId::new)
+    }
+}
+
+/// Kahn's algorithm; detects cycles.
+fn kahn_topological_order(
+    nodes: &[Node],
+    fanouts: &[Vec<NodeId>],
+) -> Result<Vec<NodeId>, NetlistError> {
+    let n = nodes.len();
+    let mut indegree: Vec<usize> = nodes.iter().map(|g| g.fanin.len()).collect();
+    let mut queue: Vec<NodeId> = (0..n)
+        .filter(|&i| indegree[i] == 0)
+        .map(NodeId::new)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        order.push(u);
+        for &v in &fanouts[u.index()] {
+            indegree[v.index()] -= 1;
+            if indegree[v.index()] == 0 {
+                queue.push(v);
+            }
+        }
+    }
+    if order.len() != n {
+        let stuck = (0..n)
+            .find(|&i| indegree[i] > 0)
+            .map(NodeId::new)
+            .expect("cycle implies a node with residual indegree");
+        return Err(NetlistError::Cycle { witness: stuck });
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use crate::gate::GateKind;
+
+    fn tiny() -> Circuit {
+        let mut b = CircuitBuilder::new("tiny");
+        let a = b.input("a");
+        let bb = b.input("b");
+        let g = b.gate(GateKind::And, "g", &[a, bb]).unwrap();
+        let h = b.gate(GateKind::Not, "h", &[g]).unwrap();
+        b.mark_output(h);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn counts() {
+        let c = tiny();
+        assert_eq!(c.node_count(), 4);
+        assert_eq!(c.gate_count(), 2);
+        assert_eq!(c.edge_count(), 3);
+        assert_eq!(c.primary_inputs().len(), 2);
+        assert_eq!(c.primary_outputs().len(), 1);
+    }
+
+    #[test]
+    fn fanout_tracks_fanin() {
+        let c = tiny();
+        let a = c.find("a").unwrap();
+        let g = c.find("g").unwrap();
+        let h = c.find("h").unwrap();
+        assert_eq!(c.fanout(a), &[g]);
+        assert_eq!(c.fanout(g), &[h]);
+        assert!(c.fanout(h).is_empty());
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let c = tiny();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; c.node_count()];
+            for (rank, id) in c.topological_order().iter().enumerate() {
+                p[id.index()] = rank;
+            }
+            p
+        };
+        for id in c.node_ids() {
+            for &f in &c.node(id).fanin {
+                assert!(pos[f.index()] < pos[id.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        // Hand-roll nodes with a 2-cycle g <-> h.
+        let nodes = vec![
+            Node {
+                kind: GateKind::Input,
+                fanin: vec![],
+                name: "a".into(),
+            },
+            Node {
+                kind: GateKind::And,
+                fanin: vec![NodeId::new(0), NodeId::new(2)],
+                name: "g".into(),
+            },
+            Node {
+                kind: GateKind::Not,
+                fanin: vec![NodeId::new(1)],
+                name: "h".into(),
+            },
+        ];
+        let err = Circuit::from_parts("cyclic", nodes, vec![NodeId::new(2)]).unwrap_err();
+        assert!(matches!(err, NetlistError::Cycle { .. }), "{err}");
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let nodes = vec![
+            Node {
+                kind: GateKind::Input,
+                fanin: vec![],
+                name: "x".into(),
+            },
+            Node {
+                kind: GateKind::Not,
+                fanin: vec![NodeId::new(0)],
+                name: "x".into(),
+            },
+        ];
+        let err = Circuit::from_parts("dup", nodes, vec![NodeId::new(1)]).unwrap_err();
+        assert!(matches!(err, NetlistError::DuplicateName { .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_outputs_rejected() {
+        let nodes = vec![Node {
+            kind: GateKind::Input,
+            fanin: vec![],
+            name: "a".into(),
+        }];
+        let err = Circuit::from_parts("noout", nodes, vec![]).unwrap_err();
+        assert!(matches!(err, NetlistError::NoOutputs), "{err}");
+    }
+
+    #[test]
+    fn bad_arity_rejected() {
+        let nodes = vec![
+            Node {
+                kind: GateKind::Input,
+                fanin: vec![],
+                name: "a".into(),
+            },
+            Node {
+                kind: GateKind::Not,
+                fanin: vec![NodeId::new(0), NodeId::new(0)],
+                name: "inv".into(),
+            },
+        ];
+        let err = Circuit::from_parts("arity", nodes, vec![NodeId::new(1)]).unwrap_err();
+        assert!(matches!(err, NetlistError::BadArity { .. }), "{err}");
+    }
+
+    #[test]
+    fn po_can_feed_logic() {
+        let mut b = CircuitBuilder::new("po_fan");
+        let a = b.input("a");
+        let g = b.gate(GateKind::Not, "g", &[a]).unwrap();
+        let h = b.gate(GateKind::Not, "h", &[g]).unwrap();
+        b.mark_output(g);
+        b.mark_output(h);
+        let c = b.finish().unwrap();
+        assert!(c.is_primary_output(g));
+        assert_eq!(c.fanout(g), &[h]);
+    }
+}

@@ -1,0 +1,173 @@
+use std::fmt;
+
+use crate::gate::GateKind;
+use crate::id::NodeId;
+
+/// Structural error produced while building or validating a circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// Two nodes carry the same net name.
+    DuplicateName {
+        /// The offending name.
+        name: String,
+        /// First node with the name.
+        first: NodeId,
+        /// Second node with the name.
+        second: NodeId,
+    },
+    /// A gate has a fan-in count its kind does not allow.
+    BadArity {
+        /// The offending node.
+        node: NodeId,
+        /// Its kind.
+        kind: GateKind,
+        /// The fan-in count it was given.
+        fanin: usize,
+    },
+    /// A fan-in id does not refer to any node.
+    DanglingFanin {
+        /// The node with the bad pin.
+        node: NodeId,
+        /// The nonexistent id.
+        missing: NodeId,
+    },
+    /// A primary-output id does not refer to any node.
+    DanglingOutput {
+        /// The nonexistent id.
+        missing: NodeId,
+    },
+    /// The same node is marked as a primary output twice.
+    DuplicateOutput {
+        /// The node marked twice.
+        output: NodeId,
+    },
+    /// No primary output was marked.
+    NoOutputs,
+    /// The netlist graph contains a cycle.
+    Cycle {
+        /// A node on (or blocked by) the cycle.
+        witness: NodeId,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateName {
+                name,
+                first,
+                second,
+            } => write!(f, "duplicate net name `{name}` on nodes {first} and {second}"),
+            NetlistError::BadArity { node, kind, fanin } => {
+                write!(f, "node {node}: gate kind {kind} cannot take {fanin} fan-ins")
+            }
+            NetlistError::DanglingFanin { node, missing } => {
+                write!(f, "node {node} references nonexistent fan-in {missing}")
+            }
+            NetlistError::DanglingOutput { missing } => {
+                write!(f, "primary output references nonexistent node {missing}")
+            }
+            NetlistError::DuplicateOutput { output } => {
+                write!(f, "node {output} marked as primary output more than once")
+            }
+            NetlistError::NoOutputs => write!(f, "circuit has no primary outputs"),
+            NetlistError::Cycle { witness } => {
+                write!(f, "combinational cycle detected (witness node {witness})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// Error produced while parsing an ISCAS'85 `.bench` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseBenchError {
+    /// A line could not be parsed at all.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// A gate definition names an unknown gate kind.
+    UnknownGate {
+        /// 1-based line number.
+        line: usize,
+        /// The unrecognized kind token.
+        kind: String,
+    },
+    /// A signal is referenced but never defined.
+    UndefinedSignal {
+        /// The undefined signal name.
+        name: String,
+    },
+    /// A signal is defined (driven) more than once.
+    Redefined {
+        /// 1-based line number of the second definition.
+        line: usize,
+        /// The redefined signal name.
+        name: String,
+    },
+    /// The netlist parsed but failed structural validation.
+    Structure(NetlistError),
+}
+
+impl fmt::Display for ParseBenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBenchError::Syntax { line, text } => {
+                write!(f, "line {line}: cannot parse `{text}`")
+            }
+            ParseBenchError::UnknownGate { line, kind } => {
+                write!(f, "line {line}: unknown gate kind `{kind}`")
+            }
+            ParseBenchError::UndefinedSignal { name } => {
+                write!(f, "signal `{name}` referenced but never defined")
+            }
+            ParseBenchError::Redefined { line, name } => {
+                write!(f, "line {line}: signal `{name}` driven more than once")
+            }
+            ParseBenchError::Structure(e) => write!(f, "invalid netlist structure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseBenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseBenchError::Structure(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for ParseBenchError {
+    fn from(e: NetlistError) -> Self {
+        ParseBenchError::Structure(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = NetlistError::NoOutputs;
+        let s = e.to_string();
+        assert!(s.starts_with(char::is_lowercase));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn parse_error_wraps_structure() {
+        let inner = NetlistError::NoOutputs;
+        let outer: ParseBenchError = inner.clone().into();
+        assert!(outer.to_string().contains("no primary outputs"));
+        use std::error::Error;
+        assert!(outer.source().is_some());
+    }
+}

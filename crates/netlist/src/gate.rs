@@ -1,0 +1,347 @@
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::NodeId;
+
+/// The logic function of a node in a [`Circuit`].
+///
+/// `Input` marks a primary input (no fan-in); every other variant is a
+/// combinational gate. The set matches the ISCAS'85 `.bench` vocabulary
+/// used by the paper's evaluation.
+///
+/// [`Circuit`]: crate::Circuit
+///
+/// # Example
+///
+/// ```
+/// use ser_netlist::GateKind;
+///
+/// assert_eq!(GateKind::Nand.controlling_value(), Some(false));
+/// assert!(GateKind::Xor.controlling_value().is_none());
+/// assert_eq!("NAND".parse::<GateKind>().unwrap(), GateKind::Nand);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum GateKind {
+    /// Primary input (no fan-in).
+    Input,
+    /// Logical AND of all fan-ins.
+    And,
+    /// Logical NAND of all fan-ins.
+    Nand,
+    /// Logical OR of all fan-ins.
+    Or,
+    /// Logical NOR of all fan-ins.
+    Nor,
+    /// Logical XOR (odd parity) of all fan-ins.
+    Xor,
+    /// Logical XNOR (even parity) of all fan-ins.
+    Xnor,
+    /// Logical inverter (single fan-in).
+    Not,
+    /// Buffer (single fan-in).
+    Buf,
+}
+
+impl GateKind {
+    /// All gate variants (excluding [`GateKind::Input`]).
+    pub const GATES: [GateKind; 8] = [
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Not,
+        GateKind::Buf,
+    ];
+
+    /// Returns the input value that forces the gate's output regardless of
+    /// the other inputs, or `None` if every input always matters
+    /// (XOR/XNOR/NOT/BUF and primary inputs).
+    ///
+    /// This drives the paper's logical-masking term `S_is`: a glitch on one
+    /// fan-in propagates only when all *other* fan-ins carry the
+    /// **non-controlling** value.
+    #[inline]
+    pub fn controlling_value(self) -> Option<bool> {
+        match self {
+            GateKind::And | GateKind::Nand => Some(false),
+            GateKind::Or | GateKind::Nor => Some(true),
+            GateKind::Xor | GateKind::Xnor | GateKind::Not | GateKind::Buf | GateKind::Input => {
+                None
+            }
+        }
+    }
+
+    /// Returns `true` if the gate logically inverts (NAND/NOR/XNOR/NOT).
+    #[inline]
+    pub fn is_inverting(self) -> bool {
+        matches!(
+            self,
+            GateKind::Nand | GateKind::Nor | GateKind::Xnor | GateKind::Not
+        )
+    }
+
+    /// Returns `true` for the primary-input pseudo-kind.
+    #[inline]
+    pub fn is_input(self) -> bool {
+        self == GateKind::Input
+    }
+
+    /// Evaluates the gate over boolean fan-in values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on [`GateKind::Input`] (inputs have no function) or
+    /// with an arity the kind does not support (see [`GateKind::arity_ok`]).
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert!(
+            self.arity_ok(inputs.len()),
+            "gate kind {self} cannot take {} inputs",
+            inputs.len()
+        );
+        match self {
+            GateKind::Input => panic!("primary inputs have no logic function"),
+            GateKind::And => inputs.iter().all(|&b| b),
+            GateKind::Nand => !inputs.iter().all(|&b| b),
+            GateKind::Or => inputs.iter().any(|&b| b),
+            GateKind::Nor => !inputs.iter().any(|&b| b),
+            GateKind::Xor => inputs.iter().fold(false, |acc, &b| acc ^ b),
+            GateKind::Xnor => !inputs.iter().fold(false, |acc, &b| acc ^ b),
+            GateKind::Not => !inputs[0],
+            GateKind::Buf => inputs[0],
+        }
+    }
+
+    /// Evaluates the gate over 64-way packed fan-in words (one bit per
+    /// vector), the kernel of the bit-parallel logic simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`GateKind::eval`].
+    pub fn eval_packed(self, inputs: &[u64]) -> u64 {
+        assert!(
+            self.arity_ok(inputs.len()),
+            "gate kind {self} cannot take {} inputs",
+            inputs.len()
+        );
+        match self {
+            GateKind::Input => panic!("primary inputs have no logic function"),
+            GateKind::And => inputs.iter().fold(!0u64, |acc, &w| acc & w),
+            GateKind::Nand => !inputs.iter().fold(!0u64, |acc, &w| acc & w),
+            GateKind::Or => inputs.iter().fold(0u64, |acc, &w| acc | w),
+            GateKind::Nor => !inputs.iter().fold(0u64, |acc, &w| acc | w),
+            GateKind::Xor => inputs.iter().fold(0u64, |acc, &w| acc ^ w),
+            GateKind::Xnor => !inputs.iter().fold(0u64, |acc, &w| acc ^ w),
+            GateKind::Not => !inputs[0],
+            GateKind::Buf => inputs[0],
+        }
+    }
+
+    /// Returns `true` if a gate of this kind may have `n` fan-ins.
+    ///
+    /// NOT and BUF are strictly unary; every other gate requires at least
+    /// one fan-in (ISCAS'85 files contain the occasional single-input
+    /// AND/OR, which degenerate to buffers); primary inputs require zero.
+    #[inline]
+    pub fn arity_ok(self, n: usize) -> bool {
+        match self {
+            GateKind::Input => n == 0,
+            GateKind::Not | GateKind::Buf => n == 1,
+            _ => n >= 1,
+        }
+    }
+
+    /// Canonical upper-case name used by the `.bench` format.
+    pub fn bench_name(self) -> &'static str {
+        match self {
+            GateKind::Input => "INPUT",
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Not => "NOT",
+            GateKind::Buf => "BUFF",
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.bench_name())
+    }
+}
+
+/// Error returned when parsing a [`GateKind`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGateKindError {
+    token: String,
+}
+
+impl fmt::Display for ParseGateKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown gate kind `{}`", self.token)
+    }
+}
+
+impl std::error::Error for ParseGateKindError {}
+
+impl FromStr for GateKind {
+    type Err = ParseGateKindError;
+
+    /// Parses the `.bench` gate vocabulary, case-insensitively. Both
+    /// `BUF` and `BUFF` are accepted for buffers, and `INV` for `NOT`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "INPUT" => Ok(GateKind::Input),
+            "AND" => Ok(GateKind::And),
+            "NAND" => Ok(GateKind::Nand),
+            "OR" => Ok(GateKind::Or),
+            "NOR" => Ok(GateKind::Nor),
+            "XOR" => Ok(GateKind::Xor),
+            "XNOR" => Ok(GateKind::Xnor),
+            "NOT" | "INV" => Ok(GateKind::Not),
+            "BUF" | "BUFF" => Ok(GateKind::Buf),
+            _ => Err(ParseGateKindError {
+                token: s.to_owned(),
+            }),
+        }
+    }
+}
+
+/// A node of a [`Circuit`]: a primary input or a gate, together with the
+/// net it drives.
+///
+/// [`Circuit`]: crate::Circuit
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    /// Logic function of the node.
+    pub kind: GateKind,
+    /// Driving nodes, in pin order. Empty exactly when `kind` is
+    /// [`GateKind::Input`].
+    pub fanin: Vec<NodeId>,
+    /// Net name (unique within the circuit).
+    pub name: String,
+}
+
+impl Node {
+    /// Number of fan-in pins.
+    #[inline]
+    pub fn fanin_count(&self) -> usize {
+        self.fanin.len()
+    }
+
+    /// Returns `true` if the node is a primary input.
+    #[inline]
+    pub fn is_input(&self) -> bool {
+        self.kind.is_input()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controlling_values() {
+        assert_eq!(GateKind::And.controlling_value(), Some(false));
+        assert_eq!(GateKind::Nand.controlling_value(), Some(false));
+        assert_eq!(GateKind::Or.controlling_value(), Some(true));
+        assert_eq!(GateKind::Nor.controlling_value(), Some(true));
+        for k in [GateKind::Xor, GateKind::Xnor, GateKind::Not, GateKind::Buf] {
+            assert_eq!(k.controlling_value(), None, "{k}");
+        }
+    }
+
+    #[test]
+    fn eval_truth_tables_two_input() {
+        let cases = [
+            (GateKind::And, [false, false, false, true]),
+            (GateKind::Nand, [true, true, true, false]),
+            (GateKind::Or, [false, true, true, true]),
+            (GateKind::Nor, [true, false, false, false]),
+            (GateKind::Xor, [false, true, true, false]),
+            (GateKind::Xnor, [true, false, false, true]),
+        ];
+        for (kind, expect) in cases {
+            for (i, &e) in expect.iter().enumerate() {
+                let a = i & 1 != 0;
+                let b = i & 2 != 0;
+                assert_eq!(kind.eval(&[a, b]), e, "{kind}({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_unary() {
+        assert!(GateKind::Not.eval(&[false]));
+        assert!(!GateKind::Not.eval(&[true]));
+        assert!(GateKind::Buf.eval(&[true]));
+        assert!(!GateKind::Buf.eval(&[false]));
+    }
+
+    #[test]
+    fn eval_packed_matches_eval() {
+        for kind in [
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ] {
+            for bits in 0..8u64 {
+                let a = bits & 1 != 0;
+                let b = bits & 2 != 0;
+                let c = bits & 4 != 0;
+                let words = [
+                    if a { !0 } else { 0 },
+                    if b { !0 } else { 0 },
+                    if c { !0 } else { 0 },
+                ];
+                let packed = kind.eval_packed(&words);
+                let scalar = kind.eval(&[a, b, c]);
+                assert_eq!(packed == !0, scalar, "{kind}({a},{b},{c})");
+                assert!(packed == 0 || packed == !0);
+            }
+        }
+    }
+
+    #[test]
+    fn xor_is_odd_parity() {
+        assert!(GateKind::Xor.eval(&[true, true, true]));
+        assert!(!GateKind::Xor.eval(&[true, true, false, false]));
+        assert!(GateKind::Xnor.eval(&[true, true, false, false]));
+    }
+
+    #[test]
+    fn parse_round_trips_bench_names() {
+        for kind in GateKind::GATES {
+            assert_eq!(kind.bench_name().parse::<GateKind>().unwrap(), kind);
+        }
+        assert_eq!("input".parse::<GateKind>().unwrap(), GateKind::Input);
+        assert_eq!("inv".parse::<GateKind>().unwrap(), GateKind::Not);
+        assert_eq!("buf".parse::<GateKind>().unwrap(), GateKind::Buf);
+        assert!("MAJORITY".parse::<GateKind>().is_err());
+    }
+
+    #[test]
+    fn arity_rules() {
+        assert!(GateKind::Input.arity_ok(0));
+        assert!(!GateKind::Input.arity_ok(1));
+        assert!(GateKind::Not.arity_ok(1));
+        assert!(!GateKind::Not.arity_ok(2));
+        assert!(GateKind::Nand.arity_ok(4));
+        assert!(!GateKind::Nand.arity_ok(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot take")]
+    fn eval_rejects_bad_arity() {
+        let _ = GateKind::Not.eval(&[true, false]);
+    }
+}

@@ -1,0 +1,308 @@
+//! Arithmetic circuit generators: ripple-carry adders and array
+//! multipliers (the c6288 family).
+
+use crate::builder::CircuitBuilder;
+use crate::circuit::Circuit;
+use crate::gate::GateKind;
+use crate::id::NodeId;
+
+/// Adder-cell realization style for [`multiplier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CellStyle {
+    /// XOR/AND/OR cells: 5-gate full adder, 2-gate half adder.
+    #[default]
+    Canonical,
+    /// NOR-dominated cells like the real c6288: 9-NOR full adder,
+    /// 5-NOR + 1-NOT half adder.
+    Nor,
+}
+
+/// Full adder from 9 NOR2 gates (the c6288 cell family).
+///
+/// Derivation: `n4 = XNOR(x,y)` from four NORs; `n5 = NOR(n4, z)`;
+/// `sum = XNOR(n4', z)`-style from three more; and
+/// `carry = NOR(n1, n5) = (x+y)·(XNOR(x,y)+z) = xy + (x+y)z = maj(x,y,z)`.
+fn full_adder_nor(
+    b: &mut CircuitBuilder,
+    x: NodeId,
+    y: NodeId,
+    z: NodeId,
+    tag: &str,
+) -> (NodeId, NodeId) {
+    let g = |b: &mut CircuitBuilder, n: &str, pins: &[NodeId]| {
+        b.gate(GateKind::Nor, format!("{tag}_{n}"), pins)
+            .expect("pins exist")
+    };
+    let n1 = g(b, "n1", &[x, y]);
+    let n2 = g(b, "n2", &[x, n1]);
+    let n3 = g(b, "n3", &[y, n1]);
+    let n4 = g(b, "n4", &[n2, n3]); // XNOR(x, y)
+    let n5 = g(b, "n5", &[n4, z]);
+    let n6 = g(b, "n6", &[n4, n5]);
+    let n7 = g(b, "n7", &[z, n5]);
+    let sum = g(b, "s", &[n6, n7]); // XOR(x, y, z)
+    let carry = g(b, "c", &[n1, n5]); // maj(x, y, z)
+    (sum, carry)
+}
+
+/// Half adder from 5 NOR2 gates plus one inverter.
+fn half_adder_nor(b: &mut CircuitBuilder, x: NodeId, y: NodeId, tag: &str) -> (NodeId, NodeId) {
+    let g = |b: &mut CircuitBuilder, n: &str, pins: &[NodeId]| {
+        b.gate(GateKind::Nor, format!("{tag}_{n}"), pins)
+            .expect("pins exist")
+    };
+    let n1 = g(b, "n1", &[x, y]);
+    let n2 = g(b, "n2", &[x, n1]);
+    let n3 = g(b, "n3", &[y, n1]);
+    let n4 = g(b, "n4", &[n2, n3]); // XNOR(x, y)
+    let sum = b
+        .gate(GateKind::Not, format!("{tag}_s"), &[n4])
+        .expect("pins exist");
+    let carry = g(b, "c", &[n1, sum]); // (x+y)·XNOR(x,y) = x·y
+    (sum, carry)
+}
+
+/// Full adder from 2 XOR, 2 AND, 1 OR. Returns `(sum, carry)`.
+fn full_adder(
+    b: &mut CircuitBuilder,
+    x: NodeId,
+    y: NodeId,
+    z: NodeId,
+    tag: &str,
+) -> (NodeId, NodeId) {
+    let s1 = b
+        .gate(GateKind::Xor, format!("{tag}_s1"), &[x, y])
+        .expect("pins exist");
+    let sum = b
+        .gate(GateKind::Xor, format!("{tag}_s"), &[s1, z])
+        .expect("pins exist");
+    let c1 = b
+        .gate(GateKind::And, format!("{tag}_c1"), &[x, y])
+        .expect("pins exist");
+    let c2 = b
+        .gate(GateKind::And, format!("{tag}_c2"), &[s1, z])
+        .expect("pins exist");
+    let carry = b
+        .gate(GateKind::Or, format!("{tag}_c"), &[c1, c2])
+        .expect("pins exist");
+    (sum, carry)
+}
+
+/// Half adder from 1 XOR, 1 AND. Returns `(sum, carry)`.
+fn half_adder(b: &mut CircuitBuilder, x: NodeId, y: NodeId, tag: &str) -> (NodeId, NodeId) {
+    let sum = b
+        .gate(GateKind::Xor, format!("{tag}_s"), &[x, y])
+        .expect("pins exist");
+    let carry = b
+        .gate(GateKind::And, format!("{tag}_c"), &[x, y])
+        .expect("pins exist");
+    (sum, carry)
+}
+
+/// An `n`-bit ripple-carry adder: inputs `a0..`, `b0..`, `cin`; outputs
+/// `s0..s{n-1}`, `cout`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use ser_netlist::generate;
+///
+/// let add4 = generate::ripple_carry_adder("add4", 4);
+/// assert_eq!(add4.primary_inputs().len(), 9);  // 4 + 4 + carry-in
+/// assert_eq!(add4.primary_outputs().len(), 5); // 4 sums + carry-out
+/// ```
+pub fn ripple_carry_adder(name: &str, n: usize) -> Circuit {
+    assert!(n > 0, "adder width must be positive");
+    let mut b = CircuitBuilder::new(name);
+    let a: Vec<NodeId> = (0..n).map(|i| b.input(format!("a{i}"))).collect();
+    let bb: Vec<NodeId> = (0..n).map(|i| b.input(format!("b{i}"))).collect();
+    let mut carry = b.input("cin");
+    for i in 0..n {
+        let (s, c) = full_adder(&mut b, a[i], bb[i], carry, &format!("fa{i}"));
+        b.mark_output(s);
+        carry = c;
+    }
+    b.mark_output(carry);
+    b.finish().expect("adder structure is valid")
+}
+
+/// An `n×m` unsigned array multiplier with [`CellStyle::Canonical`] adder
+/// cells. See [`multiplier_with_style`].
+pub fn multiplier(name: &str, n: usize, m: usize) -> Circuit {
+    multiplier_with_style(name, n, m, CellStyle::Canonical)
+}
+
+/// An `n×m` unsigned array multiplier (carry-save partial-product rows,
+/// ripple final row). `multiplier_with_style("c6288", 16, 16,
+/// CellStyle::Nor)` reproduces ISCAS'85 c6288's interface (32 PIs, 32 POs)
+/// and its NOR-dominated cell structure to within ~2% of its 2406 gates.
+///
+/// # Panics
+///
+/// Panics if either width is zero.
+pub fn multiplier_with_style(name: &str, n: usize, m: usize, style: CellStyle) -> Circuit {
+    assert!(n > 0 && m > 0, "multiplier widths must be positive");
+    let mut b = CircuitBuilder::new(name);
+    let a: Vec<NodeId> = (0..n).map(|i| b.input(format!("a{i}"))).collect();
+    let x: Vec<NodeId> = (0..m).map(|j| b.input(format!("b{j}"))).collect();
+
+    // Partial products p[i][j] = a_i AND b_j, weight i+j.
+    let mut pp: Vec<Vec<NodeId>> = vec![Vec::new(); n + m];
+    for i in 0..n {
+        for j in 0..m {
+            let p = b
+                .gate(GateKind::And, format!("pp_{i}_{j}"), &[a[i], x[j]])
+                .expect("pins exist");
+            pp[i + j].push(p);
+        }
+    }
+
+    // Reduce each weight column to at most one bit with half/full adders,
+    // pushing carries to the next column (Wallace-ish serial reduction).
+    let mut outputs = Vec::with_capacity(n + m);
+    let mut tag = 0usize;
+    for w in 0..(n + m) {
+        while pp[w].len() > 1 {
+            if pp[w].len() >= 3 {
+                let z = pp[w].pop().expect("len>=3");
+                let y = pp[w].pop().expect("len>=2");
+                let xbit = pp[w].pop().expect("len>=1");
+                let (s, c) = match style {
+                    CellStyle::Canonical => full_adder(&mut b, xbit, y, z, &format!("r{tag}")),
+                    CellStyle::Nor => full_adder_nor(&mut b, xbit, y, z, &format!("r{tag}")),
+                };
+                tag += 1;
+                pp[w].push(s);
+                if w + 1 < pp.len() {
+                    pp[w + 1].push(c);
+                }
+            } else {
+                let y = pp[w].pop().expect("len==2");
+                let xbit = pp[w].pop().expect("len==1");
+                let (s, c) = match style {
+                    CellStyle::Canonical => half_adder(&mut b, xbit, y, &format!("r{tag}")),
+                    CellStyle::Nor => half_adder_nor(&mut b, xbit, y, &format!("r{tag}")),
+                };
+                tag += 1;
+                pp[w].push(s);
+                if w + 1 < pp.len() {
+                    pp[w + 1].push(c);
+                }
+            }
+        }
+        let bit = pp[w].pop().unwrap_or_else(|| {
+            // Empty column (can only be the top one): tie down via x0 AND NOT x0? —
+            // never happens for n,m >= 1 because column n+m-1 receives carries.
+            unreachable!("every product column holds at least one bit")
+        });
+        outputs.push(bit);
+    }
+    for o in outputs {
+        b.mark_output(o);
+    }
+    b.finish().expect("multiplier structure is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_u64(c: &Circuit, assign: &dyn Fn(&str) -> bool) -> u64 {
+        let mut value = vec![false; c.node_count()];
+        for &id in c.topological_order() {
+            let node = c.node(id);
+            value[id.index()] = if node.is_input() {
+                assign(&node.name)
+            } else {
+                let pins: Vec<bool> = node.fanin.iter().map(|f| value[f.index()]).collect();
+                node.kind.eval(&pins)
+            };
+        }
+        c.primary_outputs()
+            .iter()
+            .enumerate()
+            .map(|(k, po)| (value[po.index()] as u64) << k)
+            .sum()
+    }
+
+    #[test]
+    fn adder_adds() {
+        let c = ripple_carry_adder("add4", 4);
+        for (a, b, cin) in [(0u64, 0u64, 0u64), (5, 9, 0), (15, 15, 1), (8, 7, 1)] {
+            let out = eval_u64(&c, &|name: &str| {
+                if let Some(i) = name.strip_prefix('a').and_then(|s| s.parse::<u32>().ok()) {
+                    a >> i & 1 == 1
+                } else if let Some(i) = name.strip_prefix('b').and_then(|s| s.parse::<u32>().ok())
+                {
+                    b >> i & 1 == 1
+                } else {
+                    cin == 1
+                }
+            });
+            assert_eq!(out, a + b + cin, "{a}+{b}+{cin}");
+        }
+    }
+
+    #[test]
+    fn multiplier_multiplies() {
+        let c = multiplier("mul4", 4, 4);
+        for (a, b) in [(0u64, 0u64), (3, 5), (15, 15), (7, 9), (12, 11)] {
+            let out = eval_u64(&c, &|name: &str| {
+                if let Some(i) = name.strip_prefix('a').and_then(|s| s.parse::<u32>().ok()) {
+                    a >> i & 1 == 1
+                } else if let Some(i) = name.strip_prefix('b').and_then(|s| s.parse::<u32>().ok())
+                {
+                    b >> i & 1 == 1
+                } else {
+                    false
+                }
+            });
+            assert_eq!(out, a * b, "{a}*{b}");
+        }
+    }
+
+    #[test]
+    fn c6288_like_interface() {
+        let c = multiplier_with_style("c6288", 16, 16, CellStyle::Nor);
+        assert_eq!(c.primary_inputs().len(), 32);
+        assert_eq!(c.primary_outputs().len(), 32);
+        // The real c6288 has 2406 gates; the NOR-cell array lands within a
+        // few percent.
+        let g = c.gate_count() as f64;
+        assert!((2100.0..=2700.0).contains(&g), "got {g}");
+    }
+
+    #[test]
+    fn nor_multiplier_matches_canonical_function() {
+        let canon = multiplier("m", 3, 3);
+        let nor = multiplier_with_style("m", 3, 3, CellStyle::Nor);
+        for a in 0u64..8 {
+            for b in 0u64..8 {
+                let assign = |name: &str| {
+                    if let Some(i) = name.strip_prefix('a').and_then(|s| s.parse::<u32>().ok()) {
+                        a >> i & 1 == 1
+                    } else if let Some(i) =
+                        name.strip_prefix('b').and_then(|s| s.parse::<u32>().ok())
+                    {
+                        b >> i & 1 == 1
+                    } else {
+                        false
+                    }
+                };
+                assert_eq!(eval_u64(&canon, &assign), a * b);
+                assert_eq!(eval_u64(&nor, &assign), a * b, "{a}*{b} (NOR cells)");
+            }
+        }
+    }
+
+    #[test]
+    fn adder_gate_count_scales_linearly() {
+        let c8 = ripple_carry_adder("a8", 8);
+        let c16 = ripple_carry_adder("a16", 16);
+        assert_eq!(c8.gate_count() * 2, c16.gate_count());
+    }
+}

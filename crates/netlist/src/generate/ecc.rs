@@ -1,0 +1,311 @@
+//! Generators for 32-bit single-error-correcting (SEC) circuits in the
+//! mould of ISCAS'85 `c499`/`c1355`.
+//!
+//! The paper's most instructive negative result is that SERTOPT cannot
+//! reduce c499's unreliability: c499 is itself an error-correcting
+//! circuit, and ASERTA injects exactly the single-node upsets the circuit
+//! was designed to tolerate. Reproducing that result requires a genuine
+//! SEC structure, not a random DAG — so this generator builds one:
+//!
+//! * 32 data inputs `d0..d31`, 8 check inputs `c0..c7`, 1 enable `en`
+//!   (41 PIs, c499's interface);
+//! * 8 syndrome bits, each a balanced XOR tree over its member data bits
+//!   and one check bit, with every data bit participating in exactly 4
+//!   syndromes (distinct 4-of-8 patterns make single data-bit errors
+//!   decodable); the trees contain 32·4 = 128 XOR2 gates in total;
+//! * per-bit error indicators `e_i = AND(gated syndromes in pattern(i))`;
+//! * corrected outputs `o_i = XOR(d_i, e_i)` (32 POs).
+//!
+//! Gate count: 8·16 XOR + 8 AND (enable gating) + 32 AND + 32 XOR = 200,
+//! within 1% of c499's 202.
+
+use crate::builder::CircuitBuilder;
+use crate::circuit::Circuit;
+use crate::gate::GateKind;
+use crate::id::NodeId;
+
+/// Number of data bits in the SEC generators.
+pub const DATA_BITS: usize = 32;
+/// Number of syndrome/check bits.
+pub const CHECK_BITS: usize = 8;
+
+/// The 4-of-8 syndrome membership pattern of data bit `i`.
+///
+/// Patterns are the 8 rotations of 4 weight-4 masks from distinct rotation
+/// classes — 32 distinct patterns (unambiguous AND-decode) with every
+/// syndrome position covered by exactly 16 data bits (balanced XOR trees).
+fn pattern(i: usize) -> u8 {
+    debug_assert!(i < DATA_BITS);
+    const BASES: [u8; 4] = [0x0F, 0x17, 0x1B, 0x1D];
+    BASES[i / 8].rotate_left((i % 8) as u32)
+}
+
+/// Builds a balanced XOR tree over `leaves`, returning the root.
+fn xor_tree(
+    b: &mut CircuitBuilder,
+    leaves: &[NodeId],
+    prefix: &str,
+    counter: &mut usize,
+    expand_nand: bool,
+) -> NodeId {
+    assert!(!leaves.is_empty());
+    let mut level: Vec<NodeId> = leaves.to_vec();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                let name = format!("{prefix}_{counter}");
+                *counter += 1;
+                let g = if expand_nand {
+                    nand_xor2(b, pair[0], pair[1], &name)
+                } else {
+                    b.gate(GateKind::Xor, name, &[pair[0], pair[1]])
+                        .expect("xor tree pins exist")
+                };
+                next.push(g);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    level[0]
+}
+
+/// XOR2 realized as the classic four-NAND network (what distinguishes
+/// c1355 from c499).
+fn nand_xor2(b: &mut CircuitBuilder, x: NodeId, y: NodeId, name: &str) -> NodeId {
+    let m = b
+        .gate(GateKind::Nand, format!("{name}_m"), &[x, y])
+        .expect("pins exist");
+    let p = b
+        .gate(GateKind::Nand, format!("{name}_p"), &[x, m])
+        .expect("pins exist");
+    let q = b
+        .gate(GateKind::Nand, format!("{name}_q"), &[y, m])
+        .expect("pins exist");
+    b.gate(GateKind::Nand, name.to_owned(), &[p, q])
+        .expect("pins exist")
+}
+
+fn build_sec32(name: &str, expand_nand: bool) -> Circuit {
+    let mut b = CircuitBuilder::new(name);
+    let data: Vec<NodeId> = (0..DATA_BITS).map(|i| b.input(format!("d{i}"))).collect();
+    let check: Vec<NodeId> = (0..CHECK_BITS).map(|j| b.input(format!("c{j}"))).collect();
+    let enable = b.input("en");
+
+    // Syndromes: XOR of member data bits and the check bit.
+    let mut counter = 0usize;
+    let mut gated = Vec::with_capacity(CHECK_BITS);
+    for j in 0..CHECK_BITS {
+        let members: Vec<NodeId> = (0..DATA_BITS)
+            .filter(|&i| pattern(i) & (1 << j) != 0)
+            .map(|i| data[i])
+            .chain(std::iter::once(check[j]))
+            .collect();
+        debug_assert!(members.len() >= 2, "syndrome {j} has no data members");
+        let s = xor_tree(&mut b, &members, &format!("s{j}"), &mut counter, expand_nand);
+        let g = b
+            .gate(GateKind::And, format!("g{j}"), &[s, enable])
+            .expect("pins exist");
+        gated.push(g);
+    }
+
+    // Error indicators and corrected outputs.
+    for i in 0..DATA_BITS {
+        let p = pattern(i);
+        let pins: Vec<NodeId> = (0..CHECK_BITS)
+            .filter(|&j| p & (1 << j) != 0)
+            .map(|j| gated[j])
+            .collect();
+        let e = b
+            .gate(GateKind::And, format!("e{i}"), &pins)
+            .expect("pins exist");
+        let o = b
+            .gate(GateKind::Xor, format!("o{i}"), &[data[i], e])
+            .expect("pins exist");
+        b.mark_output(o);
+    }
+
+    b.finish().expect("SEC structure is valid")
+}
+
+/// A 32-bit single-error-correcting circuit with c499's interface
+/// (41 PIs, 32 POs) and, to within 1%, its gate count.
+pub fn sec32(name: &str) -> Circuit {
+    build_sec32(name, false)
+}
+
+/// The consistent primary-input vector (in PI declaration order:
+/// `d0..d31`, `c0..c7`, `en`) encoding `data` as a valid codeword with
+/// correction enabled — every syndrome evaluates to 0, so [`sec32`]
+/// passes the word through unchanged and corrects any single data-bit
+/// upset on top of it.
+///
+/// # Example
+///
+/// ```
+/// use ser_netlist::generate::sec32_codeword;
+///
+/// let v = sec32_codeword(0xDEAD_BEEF);
+/// assert_eq!(v.len(), 41);
+/// assert!(v[40], "correction enabled");
+/// ```
+pub fn sec32_codeword(data: u32) -> Vec<bool> {
+    let mut v = Vec::with_capacity(DATA_BITS + CHECK_BITS + 1);
+    for i in 0..DATA_BITS {
+        v.push(data >> i & 1 == 1);
+    }
+    for j in 0..CHECK_BITS {
+        // c_j = XOR of the member data bits ⇒ syndrome j = 0.
+        let mut parity = false;
+        for i in 0..DATA_BITS {
+            if pattern(i) & (1 << j) != 0 {
+                parity ^= data >> i & 1 == 1;
+            }
+        }
+        v.push(parity);
+    }
+    v.push(true); // en
+    v
+}
+
+/// The same SEC circuit with every XOR expanded into the four-NAND
+/// network — the c499 → c1355 transformation.
+pub fn sec32_nand(name: &str) -> Circuit {
+    build_sec32(name, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    fn eval(c: &Circuit, assignment: &dyn Fn(&str) -> bool) -> Vec<bool> {
+        let mut value = vec![false; c.node_count()];
+        for &id in c.topological_order() {
+            let node = c.node(id);
+            value[id.index()] = if node.is_input() {
+                assignment(&node.name)
+            } else {
+                let pins: Vec<bool> = node.fanin.iter().map(|f| value[f.index()]).collect();
+                node.kind.eval(&pins)
+            };
+        }
+        c.primary_outputs()
+            .iter()
+            .map(|po| value[po.index()])
+            .collect()
+    }
+
+    /// Check bits consistent with all-zero data are all zero (every
+    /// syndrome is XOR of zeros).
+    fn zero_assignment(name: &str) -> bool {
+        name == "en"
+    }
+
+    #[test]
+    fn interface_matches_c499() {
+        let c = sec32("c499");
+        assert_eq!(c.primary_inputs().len(), 41);
+        assert_eq!(c.primary_outputs().len(), 32);
+        assert_eq!(c.gate_count(), 200);
+    }
+
+    #[test]
+    fn patterns_are_distinct_weight4() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..DATA_BITS {
+            let p = pattern(i);
+            assert_eq!(p.count_ones(), 4);
+            assert!(seen.insert(p));
+        }
+    }
+
+    #[test]
+    fn clean_word_passes_through() {
+        let c = sec32("c499");
+        let out = eval(&c, &zero_assignment);
+        assert!(out.iter().all(|&b| !b), "zero word should decode to zero");
+    }
+
+    #[test]
+    fn single_data_error_is_corrected() {
+        let c = sec32("c499");
+        for flip in [0usize, 7, 31] {
+            let flipped = format!("d{flip}");
+            let out = eval(&c, &|name: &str| name == "en" || name == flipped);
+            assert!(
+                out.iter().all(|&b| !b),
+                "flip of d{flip} must be corrected back to the zero word"
+            );
+        }
+    }
+
+    #[test]
+    fn check_bit_error_is_ignored_for_data() {
+        let c = sec32("c499");
+        let out = eval(&c, &|name: &str| name == "en" || name == "c3");
+        // A check-bit error produces a weight-1 syndrome, which matches no
+        // weight-4 data pattern, so the data word is untouched.
+        assert!(out.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn disabled_correction_passes_data_raw() {
+        let c = sec32("c499");
+        let out = eval(&c, &|name: &str| name == "d5");
+        // en=0: no correction, so the flipped bit shows through.
+        let expect: Vec<bool> = (0..DATA_BITS).map(|i| i == 5).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn nand_variant_is_xor_free_and_bigger() {
+        let c = sec32_nand("c1355");
+        assert_eq!(c.primary_inputs().len(), 41);
+        assert_eq!(c.primary_outputs().len(), 32);
+        let xor_in_syndromes = c
+            .gates()
+            .filter(|&g| {
+                c.node(g).kind == GateKind::Xor && c.node(g).name.starts_with('s')
+            })
+            .count();
+        assert_eq!(xor_in_syndromes, 0);
+        assert!(c.gate_count() > sec32("c499").gate_count() * 2);
+    }
+
+    #[test]
+    fn nand_variant_still_corrects() {
+        let c = sec32_nand("c1355");
+        let out = eval(&c, &|name: &str| name == "en" || name == "d12");
+        assert!(out.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn codeword_decodes_to_its_data_and_survives_single_upsets() {
+        let c = sec32("c499");
+        for data in [0u32, 0xFFFF_FFFF, 0xDEAD_BEEF, 0x1234_5678] {
+            let v = sec32_codeword(data);
+            let by_name = |name: &str| -> bool {
+                let idx = c
+                    .primary_inputs()
+                    .iter()
+                    .position(|&pi| c.node(pi).name == name)
+                    .expect("known PI name");
+                v[idx]
+            };
+            let out = eval(&c, &by_name);
+            for (i, &bit) in out.iter().enumerate() {
+                assert_eq!(bit, data >> i & 1 == 1, "bit {i} of {data:#x}");
+            }
+            // One corrupted data bit on the wire: still decodes to data.
+            let flipped = format!("d{}", data.count_ones() % 32);
+            let with_upset = |name: &str| by_name(name) ^ (name == flipped);
+            let out2 = eval(&c, &with_upset);
+            for (i, &bit) in out2.iter().enumerate() {
+                assert_eq!(bit, data >> i & 1 == 1, "upset bit {i} of {data:#x}");
+            }
+        }
+    }
+}

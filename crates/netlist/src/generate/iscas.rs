@@ -1,0 +1,174 @@
+//! The ISCAS'85 benchmark suite: exact `c17` plus interface-faithful
+//! generated stand-ins for the rest (see the module docs of
+//! [`generate`](crate::generate) for the substitution rationale).
+
+use crate::bench_format;
+use crate::circuit::Circuit;
+
+use super::{layered, multiplier_with_style, sec32, sec32_nand, CellStyle, LayeredSpec};
+
+/// Documented interface of one ISCAS'85 benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IscasProfile {
+    /// Benchmark name (`"c432"`, …).
+    pub name: &'static str,
+    /// Primary input count.
+    pub inputs: usize,
+    /// Primary output count.
+    pub outputs: usize,
+    /// Gate count of the original netlist.
+    pub gates: usize,
+    /// Approximate logic depth of the original netlist.
+    pub depth: usize,
+    /// One-line description from the ISCAS'85 documentation.
+    pub function: &'static str,
+}
+
+/// The ten classic ISCAS'85 benchmarks, with their documented interface
+/// sizes. The seven used in the paper's Table 1 are c432, c499, c1908,
+/// c2670, c3540, c5315 and c7552.
+pub const ISCAS85_PROFILES: [IscasProfile; 11] = [
+    IscasProfile { name: "c17", inputs: 5, outputs: 2, gates: 6, depth: 3, function: "toy NAND network" },
+    IscasProfile { name: "c432", inputs: 36, outputs: 7, gates: 160, depth: 17, function: "27-channel interrupt controller" },
+    IscasProfile { name: "c499", inputs: 41, outputs: 32, gates: 202, depth: 11, function: "32-bit single-error-correcting circuit" },
+    IscasProfile { name: "c880", inputs: 60, outputs: 26, gates: 383, depth: 24, function: "8-bit ALU" },
+    IscasProfile { name: "c1355", inputs: 41, outputs: 32, gates: 546, depth: 24, function: "32-bit SEC circuit (NAND-expanded c499)" },
+    IscasProfile { name: "c1908", inputs: 33, outputs: 25, gates: 880, depth: 40, function: "16-bit SEC/DED circuit" },
+    IscasProfile { name: "c2670", inputs: 233, outputs: 140, gates: 1193, depth: 32, function: "12-bit ALU and controller" },
+    IscasProfile { name: "c3540", inputs: 50, outputs: 22, gates: 1669, depth: 47, function: "8-bit ALU" },
+    IscasProfile { name: "c5315", inputs: 178, outputs: 123, gates: 2307, depth: 49, function: "9-bit ALU" },
+    IscasProfile { name: "c6288", inputs: 32, outputs: 32, gates: 2406, depth: 124, function: "16x16 array multiplier" },
+    IscasProfile { name: "c7552", inputs: 207, outputs: 108, gates: 3512, depth: 43, function: "32-bit adder/comparator" },
+];
+
+const C17_BENCH: &str = "\
+# c17 (exact public-domain netlist)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+/// The exact ISCAS'85 `c17` netlist (six NAND2 gates).
+pub fn c17() -> Circuit {
+    bench_format::parse(C17_BENCH, "c17").expect("bundled c17 netlist is valid")
+}
+
+/// Returns the (generated) ISCAS'85 benchmark with the given name, or
+/// `None` for an unknown name.
+///
+/// * `c17` — exact netlist;
+/// * `c499`/`c1355` — genuine 32-bit SEC circuits (interface-exact, gate
+///   count within a few percent);
+/// * `c6288` — real 16×16 array multiplier (interface-exact);
+/// * all others — seeded layered DAGs with the documented PI/PO/gate
+///   counts and approximate depth.
+///
+/// Deterministic: repeated calls return identical circuits.
+///
+/// # Example
+///
+/// ```
+/// use ser_netlist::generate;
+///
+/// let c7552 = generate::iscas85("c7552").unwrap();
+/// assert_eq!(c7552.gate_count(), 3512);
+/// assert!(generate::iscas85("c9000").is_none());
+/// ```
+pub fn iscas85(name: &str) -> Option<Circuit> {
+    let profile = ISCAS85_PROFILES.iter().find(|p| p.name == name)?;
+    Some(match profile.name {
+        "c17" => c17(),
+        "c499" => sec32("c499"),
+        "c1355" => sec32_nand("c1355"),
+        "c6288" => multiplier_with_style("c6288", 16, 16, CellStyle::Nor),
+        _ => {
+            let mut spec = LayeredSpec::new(
+                profile.name,
+                profile.inputs,
+                profile.outputs,
+                profile.gates,
+            );
+            spec.depth = profile.depth;
+            // Distinct, stable seed per benchmark.
+            spec.seed = 0xC0FFEE ^ fnv1a(profile.name);
+            layered(&spec)
+        }
+    })
+}
+
+/// All benchmarks evaluated in the paper's Table 1, in table order.
+pub const TABLE1_CIRCUITS: [&str; 7] =
+    ["c432", "c499", "c1908", "c2670", "c3540", "c5315", "c7552"];
+
+/// Generates the whole suite (excluding any unknown names), preserving
+/// input order.
+pub fn iscas85_suite(names: &[&str]) -> Vec<Circuit> {
+    names.iter().filter_map(|n| iscas85(n)).collect()
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c17_is_exact() {
+        let c = c17();
+        assert_eq!(c.gate_count(), 6);
+        assert_eq!(c.primary_inputs().len(), 5);
+        assert_eq!(c.primary_outputs().len(), 2);
+    }
+
+    #[test]
+    fn every_profile_generates_with_exact_interface() {
+        for p in ISCAS85_PROFILES {
+            let c = iscas85(p.name).unwrap();
+            assert_eq!(c.primary_inputs().len(), p.inputs, "{} PIs", p.name);
+            assert_eq!(c.primary_outputs().len(), p.outputs, "{} POs", p.name);
+            if !matches!(p.name, "c499" | "c1355" | "c6288") {
+                assert_eq!(c.gate_count(), p.gates, "{} gates", p.name);
+            } else {
+                let lo = p.gates as f64 * 0.85;
+                let hi = p.gates as f64 * 1.15;
+                let g = c.gate_count() as f64;
+                assert!(g >= lo && g <= hi, "{}: {g} outside [{lo},{hi}]", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(iscas85("c404").is_none());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(iscas85("c1908"), iscas85("c1908"));
+    }
+
+    #[test]
+    fn table1_suite_generates_in_order() {
+        let suite = iscas85_suite(&TABLE1_CIRCUITS);
+        assert_eq!(suite.len(), 7);
+        assert_eq!(suite[0].name(), "c432");
+        assert_eq!(suite[6].name(), "c7552");
+    }
+}

@@ -1,0 +1,86 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node (primary input or gate) in a [`Circuit`].
+///
+/// A `NodeId` doubles as the identifier of the *net* the node drives: the
+/// netlist is single-driver, so "output net of gate `i`" and "node `i`" are
+/// interchangeable, matching the paper's indexing of gates and circuit
+/// nodes.
+///
+/// `NodeId`s are dense indices (`0..circuit.node_count()`) and are only
+/// meaningful relative to the circuit that issued them.
+///
+/// [`Circuit`]: crate::Circuit
+///
+/// # Example
+///
+/// ```
+/// use ser_netlist::NodeId;
+///
+/// let id = NodeId::new(3);
+/// assert_eq!(id.index(), 3);
+/// assert_eq!(id.to_string(), "n3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a `NodeId` from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index backing this id.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> usize {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for i in [0usize, 1, 17, 65_535] {
+            assert_eq!(NodeId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(NodeId::new(42).to_string(), "n42");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32::MAX")]
+    fn rejects_oversized_index() {
+        let _ = NodeId::new(u32::MAX as usize + 1);
+    }
+}

@@ -1,0 +1,51 @@
+//! Gate-level combinational circuit representation for soft-error analysis.
+//!
+//! This crate is the structural substrate of the DATE'05 reproduction
+//! (*Soft-Error Tolerance Analysis and Optimization of Nanometer Circuits*,
+//! Dhillon/Diril/Chatterjee). It provides:
+//!
+//! * [`Circuit`] — a single-driver netlist of combinational [`GateKind`]
+//!   nodes, where every node is either a primary input or a gate and node
+//!   identity doubles as net identity (exactly the paper's "gate *i* with
+//!   output node *i*" convention);
+//! * [`CircuitBuilder`] — incremental, validated construction;
+//! * ISCAS'85 `.bench` parsing and writing ([`bench_format`]);
+//! * topological utilities ([`topo`]), cones ([`cone`]) and PI→PO path
+//!   counting/enumeration ([`paths`]);
+//! * deterministic benchmark generators ([`generate`]) reproducing the
+//!   interface and size of the ISCAS'85 suite used in the paper's
+//!   evaluation, plus the exact public-domain `c17`;
+//! * structural statistics ([`stats`]).
+//!
+//! # Example
+//!
+//! ```
+//! use ser_netlist::{generate, GateKind};
+//!
+//! let c17 = generate::c17();
+//! assert_eq!(c17.primary_inputs().len(), 5);
+//! assert_eq!(c17.primary_outputs().len(), 2);
+//! assert_eq!(c17.gate_count(), 6);
+//! assert!(c17.gates().all(|g| c17.node(g).kind == GateKind::Nand));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench_format;
+mod builder;
+mod circuit;
+pub mod cone;
+mod error;
+mod gate;
+pub mod generate;
+mod id;
+pub mod paths;
+pub mod stats;
+pub mod topo;
+
+pub use builder::CircuitBuilder;
+pub use circuit::Circuit;
+pub use error::{NetlistError, ParseBenchError};
+pub use gate::{GateKind, Node};
+pub use id::NodeId;

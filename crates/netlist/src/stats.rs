@@ -1,0 +1,149 @@
+//! Structural circuit statistics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::circuit::Circuit;
+use crate::cone;
+use crate::gate::GateKind;
+use crate::paths;
+use crate::topo;
+
+/// A structural summary of a [`Circuit`], handy for sanity-checking
+/// generated benchmarks against their profiles and for reports.
+///
+/// # Example
+///
+/// ```
+/// use ser_netlist::{generate, stats::CircuitStats};
+///
+/// let c17 = generate::c17();
+/// let s = CircuitStats::compute(&c17);
+/// assert_eq!(s.gates, 6);
+/// assert_eq!(s.depth, 3);
+/// assert_eq!(s.total_paths, 11.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitStats {
+    /// Circuit name.
+    pub name: String,
+    /// Primary input count.
+    pub inputs: usize,
+    /// Primary output count.
+    pub outputs: usize,
+    /// Gate count (excluding PIs).
+    pub gates: usize,
+    /// Fan-in edge count.
+    pub edges: usize,
+    /// Logic depth in gates.
+    pub depth: usize,
+    /// Gate count per kind.
+    pub kind_histogram: BTreeMap<GateKind, usize>,
+    /// Mean fan-out over nodes that have any.
+    pub mean_fanout: f64,
+    /// Maximum fan-out.
+    pub max_fanout: usize,
+    /// Total number of PI→PO paths.
+    pub total_paths: f64,
+    /// Nodes with reconvergent fan-out.
+    pub reconvergent_nodes: usize,
+}
+
+impl CircuitStats {
+    /// Computes all statistics in one pass (plus the `O(V·(V+E))`
+    /// reconvergence census, which dominates on big circuits — skip it
+    /// with [`CircuitStats::compute_fast`] if that matters).
+    pub fn compute(circuit: &Circuit) -> Self {
+        let mut s = Self::compute_fast(circuit);
+        s.reconvergent_nodes = cone::reconvergent_node_count(circuit);
+        s
+    }
+
+    /// Like [`CircuitStats::compute`] but leaves `reconvergent_nodes` at 0.
+    pub fn compute_fast(circuit: &Circuit) -> Self {
+        let mut kind_histogram: BTreeMap<GateKind, usize> = BTreeMap::new();
+        for id in circuit.gates() {
+            *kind_histogram.entry(circuit.node(id).kind).or_default() += 1;
+        }
+        let fanouts: Vec<usize> = circuit
+            .node_ids()
+            .map(|id| circuit.fanout(id).len())
+            .collect();
+        let with_fanout: Vec<usize> = fanouts.iter().copied().filter(|&f| f > 0).collect();
+        let mean_fanout = if with_fanout.is_empty() {
+            0.0
+        } else {
+            with_fanout.iter().sum::<usize>() as f64 / with_fanout.len() as f64
+        };
+        CircuitStats {
+            name: circuit.name().to_owned(),
+            inputs: circuit.primary_inputs().len(),
+            outputs: circuit.primary_outputs().len(),
+            gates: circuit.gate_count(),
+            edges: circuit.edge_count(),
+            depth: topo::depth(circuit),
+            kind_histogram,
+            mean_fanout,
+            max_fanout: fanouts.into_iter().max().unwrap_or(0),
+            total_paths: paths::total_paths(circuit),
+            reconvergent_nodes: 0,
+        }
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} PI, {} PO, {} gates, {} edges, depth {}",
+            self.name, self.inputs, self.outputs, self.gates, self.edges, self.depth
+        )?;
+        writeln!(
+            f,
+            "  fan-out mean {:.2} max {}, paths {:.3e}, reconvergent nodes {}",
+            self.mean_fanout, self.max_fanout, self.total_paths, self.reconvergent_nodes
+        )?;
+        write!(f, "  kinds:")?;
+        for (k, n) in &self.kind_histogram {
+            write!(f, " {k}:{n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn c17_stats() {
+        let s = CircuitStats::compute(&generate::c17());
+        assert_eq!(s.inputs, 5);
+        assert_eq!(s.outputs, 2);
+        assert_eq!(s.gates, 6);
+        assert_eq!(s.edges, 12);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.kind_histogram.get(&GateKind::Nand), Some(&6));
+        assert_eq!(s.total_paths, 11.0);
+        assert!(s.reconvergent_nodes >= 1);
+    }
+
+    #[test]
+    fn display_contains_name_and_kinds() {
+        let s = CircuitStats::compute(&generate::c17());
+        let text = s.to_string();
+        assert!(text.contains("c17"));
+        assert!(text.contains("NAND:6"));
+    }
+
+    #[test]
+    fn fast_skips_reconvergence_only() {
+        let c = generate::c17();
+        let fast = CircuitStats::compute_fast(&c);
+        let full = CircuitStats::compute(&c);
+        assert_eq!(fast.gates, full.gates);
+        assert_eq!(fast.reconvergent_nodes, 0);
+        assert!(full.reconvergent_nodes > 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests over randomly generated circuits.
+
+use proptest::prelude::*;
+use ser_netlist::generate::{layered, LayeredSpec};
+use ser_netlist::{bench_format, cone, paths, topo};
+
+fn arb_spec() -> impl Strategy<Value = LayeredSpec> {
+    (1usize..10, 1usize..6, 1usize..80, 0u64..10_000).prop_map(|(pi, po, gates, seed)| {
+        let mut spec = LayeredSpec::new("prop", pi, po, gates.max(po), );
+        spec.seed = seed;
+        spec
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The generator honours its interface contract exactly.
+    #[test]
+    fn generator_honours_counts(spec in arb_spec()) {
+        let c = layered(&spec);
+        prop_assert_eq!(c.primary_inputs().len(), spec.n_inputs);
+        prop_assert_eq!(c.primary_outputs().len(), spec.n_outputs);
+        prop_assert_eq!(c.gate_count(), spec.n_gates);
+    }
+
+    /// Topological order puts every node after its fan-ins.
+    #[test]
+    fn topological_order_is_valid(spec in arb_spec()) {
+        let c = layered(&spec);
+        let mut rank = vec![0usize; c.node_count()];
+        for (r, id) in c.topological_order().iter().enumerate() {
+            rank[id.index()] = r;
+        }
+        for id in c.node_ids() {
+            for &f in &c.node(id).fanin {
+                prop_assert!(rank[f.index()] < rank[id.index()]);
+            }
+        }
+    }
+
+    /// `.bench` serialization round-trips connectivity and kinds.
+    #[test]
+    fn bench_round_trip(spec in arb_spec()) {
+        let c = layered(&spec);
+        let text = bench_format::write(&c);
+        let back = bench_format::parse(&text, c.name()).expect("own output parses");
+        prop_assert_eq!(back.gate_count(), c.gate_count());
+        prop_assert_eq!(back.edge_count(), c.edge_count());
+        for id in c.node_ids() {
+            let n = c.node(id);
+            let id2 = back.find(&n.name).expect("name preserved");
+            prop_assert_eq!(back.node(id2).kind, n.kind);
+        }
+    }
+
+    /// Fan-out lists are the exact inverse of fan-in lists (per pin).
+    #[test]
+    fn fanout_inverts_fanin(spec in arb_spec()) {
+        let c = layered(&spec);
+        let mut pin_count = vec![0usize; c.node_count()];
+        for id in c.node_ids() {
+            for &f in &c.node(id).fanin {
+                pin_count[f.index()] += 1;
+            }
+        }
+        for id in c.node_ids() {
+            prop_assert_eq!(c.fanout(id).len(), pin_count[id.index()]);
+        }
+    }
+
+    /// Levels from inputs are consistent: every gate sits exactly one
+    /// level above its deepest fan-in.
+    #[test]
+    fn levels_are_consistent(spec in arb_spec()) {
+        let c = layered(&spec);
+        let lv = topo::levels_from_inputs(&c);
+        for id in c.gates() {
+            let deepest = c.node(id).fanin.iter().map(|f| lv[f.index()]).max().unwrap();
+            prop_assert_eq!(lv[id.index()], deepest + 1);
+        }
+    }
+
+    /// Path counting agrees with explicit enumeration on small circuits.
+    #[test]
+    fn path_count_matches_enumeration(spec in arb_spec()) {
+        let c = layered(&spec);
+        if let Some(all) = paths::enumerate(&c, 5_000) {
+            prop_assert_eq!(all.len() as f64, paths::total_paths(&c));
+        }
+    }
+
+    /// Every fan-out cone contains its root and only reachable nodes.
+    #[test]
+    fn cones_are_sound(spec in arb_spec()) {
+        let c = layered(&spec);
+        for id in c.node_ids().step_by(7) {
+            let cone = cone::fanout_cone(&c, id);
+            prop_assert_eq!(cone[0], id);
+            // Every cone member (except the root) has a fan-in inside the cone.
+            let mask = cone::fanout_cone_mask(&c, id);
+            for &m in &cone[1..] {
+                prop_assert!(c.node(m).fanin.iter().any(|f| mask[f.index()]));
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+use serde::{Deserialize, Serialize};
+use ser_cells::LibrarySpec;
+use ser_netlist::Circuit;
+use ser_spice::GateParams;
+
+/// The discrete parameter sets SERTOPT may assign — the paper's design
+/// variables ("the values and numbers of VDDs and Vths to be used is a
+/// design variable"; lengths 70–300 nm; max size bounded by the
+/// baseline's).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllowedParams {
+    /// Drive strengths (unit widths).
+    pub sizes: Vec<f64>,
+    /// Channel lengths, nanometres.
+    pub lengths_nm: Vec<f64>,
+    /// Supply voltages, volts.
+    pub vdds: Vec<f64>,
+    /// Threshold voltages, volts.
+    pub vths: Vec<f64>,
+}
+
+impl AllowedParams {
+    /// The paper's Table 1 configuration for dual-VDD/dual-Vth circuits
+    /// (c432/c3540/c7552 row style): sizes 1–8, the five lengths, VDD
+    /// {0.8, 1.0}, Vth {0.2, 0.3}.
+    pub fn table1_dual() -> Self {
+        AllowedParams {
+            sizes: vec![1.0, 2.0, 4.0, 8.0],
+            lengths_nm: vec![70.0, 100.0, 150.0, 250.0, 300.0],
+            vdds: vec![0.8, 1.0],
+            vths: vec![0.2, 0.3],
+        }
+    }
+
+    /// The triple-VDD/triple-Vth configuration (c1908/c2670/c5315 rows):
+    /// VDD {0.8, 1.0, 1.2}, Vth {0.1, 0.2, 0.3}.
+    pub fn table1_triple() -> Self {
+        AllowedParams {
+            sizes: vec![1.0, 2.0, 4.0, 8.0],
+            lengths_nm: vec![70.0, 100.0, 150.0, 250.0, 300.0],
+            vdds: vec![0.8, 1.0, 1.2],
+            vths: vec![0.1, 0.2, 0.3],
+        }
+    }
+
+    /// Sizing-only optimization (the paper's fallback when multi-VDD/Vth
+    /// is infeasible).
+    pub fn sizing_only() -> Self {
+        AllowedParams {
+            sizes: vec![1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0],
+            lengths_nm: vec![70.0],
+            vdds: vec![1.0],
+            vths: vec![0.2],
+        }
+    }
+
+    /// A small grid for fast tests.
+    pub fn tiny() -> Self {
+        AllowedParams {
+            sizes: vec![1.0, 2.0, 4.0],
+            lengths_nm: vec![70.0, 150.0],
+            vdds: vec![1.0],
+            vths: vec![0.2],
+        }
+    }
+
+    /// Whether a parameter point belongs to the allowed grid.
+    pub fn contains(&self, p: &GateParams) -> bool {
+        self.sizes.contains(&p.size)
+            && self.lengths_nm.contains(&p.l_nm)
+            && self.vdds.contains(&p.vdd)
+            && self.vths.contains(&p.vth)
+    }
+
+    /// The characterization spec covering `circuit` under these
+    /// parameters.
+    pub fn library_spec(&self, circuit: &Circuit) -> LibrarySpec {
+        LibrarySpec::for_circuit(
+            circuit,
+            self.sizes.clone(),
+            self.lengths_nm.clone(),
+            self.vdds.clone(),
+            self.vths.clone(),
+        )
+    }
+
+    /// Number of variants per gate template.
+    pub fn variants_per_template(&self) -> usize {
+        self.sizes.len() * self.lengths_nm.len() * self.vdds.len() * self.vths.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ser_netlist::GateKind;
+
+    #[test]
+    fn contains_checks_every_axis() {
+        let a = AllowedParams::tiny();
+        let ok = GateParams::new(GateKind::Nand, 2).with_size(2.0).with_length(150.0);
+        let bad = ok.with_vdd(0.8);
+        assert!(a.contains(&ok));
+        assert!(!a.contains(&bad));
+    }
+
+    #[test]
+    fn table1_profiles_match_paper() {
+        let dual = AllowedParams::table1_dual();
+        assert_eq!(dual.vdds, vec![0.8, 1.0]);
+        assert_eq!(dual.vths, vec![0.2, 0.3]);
+        assert_eq!(dual.lengths_nm.len(), 5);
+        let triple = AllowedParams::table1_triple();
+        assert_eq!(triple.vdds.len(), 3);
+        assert_eq!(triple.vths.len(), 3);
+    }
+
+    #[test]
+    fn variants_count() {
+        assert_eq!(AllowedParams::tiny().variants_per_template(), 3 * 2);
+    }
+}

@@ -1,0 +1,132 @@
+//! Baseline sizing for speed — the stand-in for the paper's "gate sizes
+//! were obtained … by optimizing for speed using Synopsys Design
+//! Compiler" step that produces the pre-SERTOPT circuits.
+
+use aserta::{CircuitCells, LoadModel};
+use ser_cells::Library;
+use ser_netlist::Circuit;
+use ser_spice::GateParams;
+
+/// Sizes every gate for speed with a logical-effort-flavoured pass: in
+/// reverse topological order, each gate's drive is chosen so its load is
+/// driven with roughly a fixed effort (load ≈ `effort` × its own input
+/// capacitance), clamped to the allowed size set. All other parameters
+/// stay nominal (L 70 nm, VDD 1 V, Vth 0.2 V), as in the paper's §5.
+///
+/// Two passes suffice in practice: the first pass fixes fan-out loads,
+/// the second refines against the now-known successor input caps.
+pub fn size_for_speed(
+    circuit: &Circuit,
+    library: &mut Library,
+    sizes: &[f64],
+    load_model: LoadModel,
+    effort: f64,
+) -> CircuitCells {
+    assert!(!sizes.is_empty(), "need at least one allowed size");
+    assert!(effort > 0.0, "effort must be positive");
+    let mut cells = CircuitCells::nominal(circuit);
+
+    for _pass in 0..2 {
+        // Reverse topological: successors (loads) first.
+        let order: Vec<_> = circuit.topological_order().to_vec();
+        for &id in order.iter().rev() {
+            let node = circuit.node(id);
+            if node.is_input() {
+                continue;
+            }
+            // External load under the current assignment.
+            let mut load = 0.0;
+            for &s in circuit.fanout(id) {
+                load += load_model.wire_cap_per_pin;
+                if let Some(p) = cells.get(s) {
+                    load += library.get_or_characterize(p).input_cap;
+                }
+            }
+            if circuit.is_primary_output(id) {
+                load += load_model.po_load;
+            }
+            // Pick the smallest size whose input cap × effort covers the
+            // load (i.e. stage effort ≤ target), defaulting to the max.
+            let mut chosen = *sizes.last().expect("non-empty");
+            let mut best: Option<f64> = None;
+            for &size in sizes {
+                let p = GateParams::new(node.kind, node.fanin.len()).with_size(size);
+                let cin = library.get_or_characterize(&p).input_cap;
+                if load <= effort * cin {
+                    let better = match best {
+                        Some(b) => size < b,
+                        None => true,
+                    };
+                    if better {
+                        best = Some(size);
+                        chosen = size;
+                    }
+                }
+            }
+            if best.is_none() {
+                chosen = *sizes
+                    .iter()
+                    .max_by(|a, b| a.partial_cmp(b).expect("sizes are finite"))
+                    .expect("non-empty");
+            }
+            cells.set(
+                id,
+                GateParams::new(node.kind, node.fanin.len()).with_size(chosen),
+            );
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aserta::timing_view;
+    use ser_cells::CharGrids;
+    use ser_netlist::generate;
+    use ser_spice::Technology;
+
+    fn setup() -> (Circuit, Library, LoadModel) {
+        (
+            generate::c17(),
+            Library::new(Technology::ptm70(), CharGrids::coarse()),
+            LoadModel {
+                wire_cap_per_pin: 0.05e-15,
+                po_load: 2.0e-15,
+            },
+        )
+    }
+
+    #[test]
+    fn speed_sizing_beats_unit_sizing() {
+        let (c, mut lib, lm) = setup();
+        let sized = size_for_speed(&c, &mut lib, &[1.0, 2.0, 4.0, 8.0], lm, 1.0);
+        let unit = CircuitCells::nominal(&c);
+        let t_sized =
+            timing_view(&c, &sized, &mut lib, lm, 20.0e-12).critical_path_delay(&c);
+        let t_unit =
+            timing_view(&c, &unit, &mut lib, lm, 20.0e-12).critical_path_delay(&c);
+        assert!(t_sized < t_unit, "{t_sized} vs {t_unit}");
+    }
+
+    #[test]
+    fn po_drivers_get_upsized_for_latch_load() {
+        let (c, mut lib, lm) = setup();
+        let sized = size_for_speed(&c, &mut lib, &[1.0, 2.0, 4.0, 8.0], lm, 1.0);
+        for &po in c.primary_outputs() {
+            assert!(
+                sized.get(po).unwrap().size > 1.0,
+                "2 fF latch load needs drive"
+            );
+        }
+    }
+
+    #[test]
+    fn single_size_set_degenerates_gracefully() {
+        let (c, mut lib, lm) = setup();
+        let sized = size_for_speed(&c, &mut lib, &[2.0], lm, 4.0);
+        for g in c.gates() {
+            assert_eq!(sized.get(g).unwrap().size, 2.0);
+        }
+    }
+}

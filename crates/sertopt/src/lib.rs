@@ -1,0 +1,63 @@
+//! SERTOPT — Soft-Error Tolerance OPTimization of nanometer circuits.
+//!
+//! The optimization half of the DATE'05 paper (§4). SERTOPT reassigns
+//! per-gate delays **without changing any PI→PO path delay** — the
+//! zero-delay-overhead guarantee — and realizes each assignment with
+//! library cells that vary gate size, channel length, VDD and Vth,
+//! minimizing the Eq. 5 cost
+//!
+//! ```text
+//! C = W1·U/U₀ + W2·T/T₀ + W3·E/E₀ + W4·A/A₀
+//! ```
+//!
+//! Delay moves live in the nullspace of the path-topology matrix `T`
+//! ([`topology`]); because enumerating paths is exponential, the scalable
+//! parameterization is the *tension space* ([`nullspace::TensionSpace`]):
+//! potentials on merged fan-in net classes whose differences provably
+//! change no path delay (verified against the exact nullspace on small
+//! circuits). Delay targets are realized by reverse-topological library
+//! matching under the paper's VDD monotonicity constraint
+//! ([`matching`]), and the cost is minimized by an SQP-flavoured
+//! projected-gradient search ([`optimize::sqp`]) or the paper-blessed
+//! alternatives: simulated annealing, a genetic algorithm, and coordinate
+//! descent.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use sertopt::{optimize_circuit, AllowedParams, OptimizerConfig};
+//! use ser_cells::{CharGrids, Library};
+//! use ser_netlist::generate;
+//! use ser_spice::Technology;
+//!
+//! let c432 = generate::iscas85("c432").unwrap();
+//! let mut lib = Library::new(Technology::ptm70(), CharGrids::standard());
+//! let cfg = OptimizerConfig::default();
+//! let outcome = optimize_circuit(&c432, &mut lib, &cfg);
+//! println!(
+//!     "unreliability −{:.0}% at {:.2}× delay",
+//!     100.0 * outcome.unreliability_decrease(),
+//!     outcome.delay_ratio()
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod allowed;
+mod baseline;
+pub mod cost;
+pub mod matching;
+pub mod nullspace;
+pub mod optimize;
+mod problem;
+mod result;
+pub mod sta;
+pub mod topology;
+
+pub use allowed::AllowedParams;
+pub use baseline::size_for_speed;
+pub use cost::{CostBreakdown, CostWeights, EnergyModel};
+pub use optimize::{optimize_circuit, Algorithm, OptimizerConfig};
+pub use problem::DelayProblem;
+pub use result::Outcome;

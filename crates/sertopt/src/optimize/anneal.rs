@@ -1,0 +1,65 @@
+//! Simulated annealing in tension space — one of the alternatives the
+//! paper explicitly blesses for minimizing Eq. 5.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::problem::DelayProblem;
+
+/// Runs `moves` Metropolis steps with a geometric cooling schedule.
+/// Each move perturbs a random small subset of coordinates by a Gaussian
+/// step scaled to the current temperature.
+pub fn run(
+    problem: &mut DelayProblem<'_>,
+    moves: usize,
+    initial_step: f64,
+    seed: u64,
+) -> (Vec<f64>, Vec<f64>) {
+    let dim = problem.dim();
+    if dim == 0 {
+        return (Vec::new(), vec![problem.evaluate_phi(&[]).cost]);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut phi = vec![0.0f64; dim];
+    let mut cur_cost = problem.evaluate_phi(&phi).cost;
+    let mut best_phi = phi.clone();
+    let mut best_cost = cur_cost;
+    let mut history = vec![best_cost];
+
+    // Temperature in cost units: start around 5% of the baseline cost.
+    let t_start = (cur_cost * 0.05).max(1e-6);
+    let t_end = t_start * 1e-3;
+    let cooling = if moves > 1 {
+        (t_end / t_start).powf(1.0 / (moves - 1) as f64)
+    } else {
+        1.0
+    };
+    let mut temp = t_start;
+
+    for _ in 0..moves {
+        let k_moves = 1 + rng.random_range(0..3.min(dim));
+        let mut trial = phi.clone();
+        for _ in 0..k_moves {
+            let k = rng.random_range(0..dim);
+            // Box–Muller-ish: sum of uniforms is Gaussian enough here.
+            let g: f64 = (0..4).map(|_| rng.random::<f64>() - 0.5).sum::<f64>();
+            trial[k] += g * initial_step * (temp / t_start).max(0.1);
+        }
+        let c = problem.evaluate_phi(&trial).cost;
+        let accept = c < cur_cost || {
+            let p = ((cur_cost - c) / temp).exp();
+            rng.random::<f64>() < p
+        };
+        if accept {
+            cur_cost = c;
+            phi = trial;
+            if c < best_cost {
+                best_cost = c;
+                best_phi = phi.clone();
+            }
+        }
+        history.push(best_cost);
+        temp *= cooling;
+    }
+    (best_phi, history)
+}

@@ -1,0 +1,54 @@
+//! Cyclic coordinate descent in tension space.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::problem::DelayProblem;
+
+/// Runs `iterations` sweeps; each sweep tries ±step on every coordinate
+/// (shuffled order) and keeps improvements greedily. The step halves
+/// after a sweep without improvement.
+pub fn run(
+    problem: &mut DelayProblem<'_>,
+    iterations: usize,
+    initial_step: f64,
+    seed: u64,
+) -> (Vec<f64>, Vec<f64>) {
+    let dim = problem.dim();
+    if dim == 0 {
+        return (Vec::new(), vec![problem.evaluate_phi(&[]).cost]);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut phi = vec![0.0f64; dim];
+    let mut best_cost = problem.evaluate_phi(&phi).cost;
+    let mut history = vec![best_cost];
+    let mut step = initial_step;
+    let mut order: Vec<usize> = (0..dim).collect();
+
+    for _ in 0..iterations {
+        order.shuffle(&mut rng);
+        let mut improved = false;
+        for &k in &order {
+            for dir in [1.0, -1.0] {
+                let mut trial = phi.clone();
+                trial[k] += dir * step;
+                let c = problem.evaluate_phi(&trial).cost;
+                if c < best_cost {
+                    best_cost = c;
+                    phi = trial;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        history.push(best_cost);
+        if !improved {
+            step *= 0.5;
+            if step < initial_step * 1e-3 {
+                break;
+            }
+        }
+    }
+    (phi, history)
+}

@@ -1,0 +1,90 @@
+//! A (μ+λ) genetic algorithm in tension space — the paper's other
+//! blessed alternative.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::problem::DelayProblem;
+
+const POPULATION: usize = 10;
+const TOURNAMENT: usize = 3;
+const MUTATION_RATE: f64 = 0.3;
+
+/// Runs `generations` of tournament selection, blend crossover and
+/// Gaussian mutation, with one-elite preservation. The zero vector (the
+/// baseline point) seeds the population, so the result never regresses.
+pub fn run(
+    problem: &mut DelayProblem<'_>,
+    generations: usize,
+    initial_step: f64,
+    seed: u64,
+) -> (Vec<f64>, Vec<f64>) {
+    let dim = problem.dim();
+    if dim == 0 {
+        return (Vec::new(), vec![problem.evaluate_phi(&[]).cost]);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut population: Vec<(Vec<f64>, f64)> = Vec::with_capacity(POPULATION);
+    // Seed with the baseline point plus random spread.
+    let zero = vec![0.0f64; dim];
+    let zero_cost = problem.evaluate_phi(&zero).cost;
+    population.push((zero, zero_cost));
+    while population.len() < POPULATION {
+        let genes: Vec<f64> = (0..dim)
+            .map(|_| (rng.random::<f64>() - 0.5) * 2.0 * initial_step)
+            .collect();
+        let cost = problem.evaluate_phi(&genes).cost;
+        population.push((genes, cost));
+    }
+
+    let mut history = vec![best_of(&population).1];
+    for _ in 0..generations {
+        let mut next: Vec<(Vec<f64>, f64)> = vec![best_of(&population).clone()];
+        while next.len() < POPULATION {
+            let a = tournament(&population, &mut rng);
+            let b = tournament(&population, &mut rng);
+            // Blend crossover.
+            let alpha: f64 = rng.random::<f64>();
+            let mut child: Vec<f64> = a
+                .iter()
+                .zip(b)
+                .map(|(&x, &y)| alpha * x + (1.0 - alpha) * y)
+                .collect();
+            // Gaussian mutation.
+            for gene in child.iter_mut() {
+                if rng.random::<f64>() < MUTATION_RATE {
+                    let g: f64 = (0..4).map(|_| rng.random::<f64>() - 0.5).sum::<f64>();
+                    *gene += g * initial_step;
+                }
+            }
+            let cost = problem.evaluate_phi(&child).cost;
+            next.push((child, cost));
+        }
+        population = next;
+        history.push(best_of(&population).1);
+    }
+    let (genes, _) = best_of(&population).clone();
+    (genes, history)
+}
+
+fn best_of(population: &[(Vec<f64>, f64)]) -> &(Vec<f64>, f64) {
+    population
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are finite"))
+        .expect("population is non-empty")
+}
+
+fn tournament<'p>(
+    population: &'p [(Vec<f64>, f64)],
+    rng: &mut StdRng,
+) -> &'p [f64] {
+    let mut best: Option<&(Vec<f64>, f64)> = None;
+    for _ in 0..TOURNAMENT {
+        let cand = &population[rng.random_range(0..population.len())];
+        if best.map(|b| cand.1 < b.1).unwrap_or(true) {
+            best = Some(cand);
+        }
+    }
+    &best.expect("tournament saw a candidate").0
+}

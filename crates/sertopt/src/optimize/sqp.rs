@@ -1,0 +1,151 @@
+//! Projected-gradient search in tension space — the reproduction's
+//! SQP-flavoured default (DESIGN.md substitution 4).
+//!
+//! For small dimensions the gradient is estimated by forward differences
+//! along every coordinate; beyond [`FD_DIM_LIMIT`] it switches to
+//! averaged simultaneous-perturbation (SPSA) estimates, which cost two
+//! evaluations per sample regardless of dimension. Steps follow the
+//! negative gradient with backtracking line search and an adaptive trust
+//! scale.
+//!
+//! The discrete cell library makes the cost **piecewise constant** in φ:
+//! perturbations smaller than the library's delay quantization change no
+//! cell choice and read a zero gradient. Probes therefore use the full
+//! current step scale, and a zero gradient triggers compass-style random
+//! probing before the step is allowed to shrink.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::problem::DelayProblem;
+
+/// Coordinate count above which SPSA replaces full finite differences.
+pub const FD_DIM_LIMIT: usize = 24;
+
+/// Random probes tried when the gradient reads zero (plateau escape).
+const PLATEAU_PROBES: usize = 6;
+
+/// Runs the search; returns `(best_phi, cost_history)`.
+pub fn run(
+    problem: &mut DelayProblem<'_>,
+    iterations: usize,
+    initial_step: f64,
+    seed: u64,
+) -> (Vec<f64>, Vec<f64>) {
+    let dim = problem.dim();
+    if dim == 0 {
+        return (Vec::new(), vec![problem.evaluate_phi(&[]).cost]);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut phi = vec![0.0f64; dim];
+    let mut best_phi = phi.clone();
+    let mut best_cost = problem.evaluate_phi(&phi).cost;
+    let mut history = vec![best_cost];
+    let mut step = initial_step;
+
+    for _ in 0..iterations {
+        // Probe at the full step scale so quantization boundaries are
+        // crossed (see module docs).
+        let h = step;
+        let grad = if dim <= FD_DIM_LIMIT {
+            forward_difference(problem, &phi, best_cost, h)
+        } else {
+            spsa(problem, &phi, h, 4, &mut rng)
+        };
+        let norm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+
+        let mut improved = false;
+        if norm > 1e-30 {
+            // Backtracking line search along −grad.
+            let mut trial_step = step * 2.0;
+            for _ in 0..5 {
+                let trial: Vec<f64> = phi
+                    .iter()
+                    .zip(&grad)
+                    .map(|(&p, &g)| p - trial_step * g / norm)
+                    .collect();
+                let c = problem.evaluate_phi(&trial).cost;
+                if c < best_cost {
+                    best_cost = c;
+                    phi = trial.clone();
+                    best_phi = trial;
+                    improved = true;
+                    break;
+                }
+                trial_step *= 0.5;
+            }
+        }
+        if !improved {
+            // Plateau (or failed line search): compass-style random
+            // probing at the current scale.
+            for _ in 0..PLATEAU_PROBES {
+                let trial: Vec<f64> = phi
+                    .iter()
+                    .map(|&p| p + step * (rng.random::<f64>() * 2.0 - 1.0))
+                    .collect();
+                let c = problem.evaluate_phi(&trial).cost;
+                if c < best_cost {
+                    best_cost = c;
+                    phi = trial.clone();
+                    best_phi = trial;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+
+        if improved {
+            step = (step * 1.4).min(initial_step * 8.0);
+        } else {
+            step *= 0.5;
+            if step < initial_step * 0.05 {
+                break;
+            }
+        }
+        history.push(best_cost);
+    }
+    (best_phi, history)
+}
+
+fn forward_difference(
+    problem: &mut DelayProblem<'_>,
+    phi: &[f64],
+    f0: f64,
+    h: f64,
+) -> Vec<f64> {
+    let mut grad = vec![0.0; phi.len()];
+    for k in 0..phi.len() {
+        let mut p = phi.to_vec();
+        p[k] += h;
+        let fk = problem.evaluate_phi(&p).cost;
+        grad[k] = (fk - f0) / h;
+    }
+    grad
+}
+
+/// Averaged simultaneous-perturbation gradient: each sample perturbs all
+/// coordinates by ±h at once and uses the two-sided cost difference.
+fn spsa(
+    problem: &mut DelayProblem<'_>,
+    phi: &[f64],
+    h: f64,
+    samples: usize,
+    rng: &mut StdRng,
+) -> Vec<f64> {
+    let dim = phi.len();
+    let mut grad = vec![0.0; dim];
+    for _ in 0..samples {
+        let signs: Vec<f64> = (0..dim)
+            .map(|_| if rng.random_bool(0.5) { 1.0 } else { -1.0 })
+            .collect();
+        let plus: Vec<f64> = phi.iter().zip(&signs).map(|(&p, &s)| p + h * s).collect();
+        let minus: Vec<f64> = phi.iter().zip(&signs).map(|(&p, &s)| p - h * s).collect();
+        let fp = problem.evaluate_phi(&plus).cost;
+        let fm = problem.evaluate_phi(&minus).cost;
+        let d = (fp - fm) / (2.0 * h);
+        for (g, &s) in grad.iter_mut().zip(&signs) {
+            *g += d * s / samples as f64;
+        }
+    }
+    grad
+}

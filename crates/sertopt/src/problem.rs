@@ -1,0 +1,262 @@
+//! The optimization problem object shared by all four algorithms: a
+//! search point → delay targets → matched cells → Eq. 5 cost.
+//!
+//! The search space has two move families, mirroring what the paper's
+//! Table 1 actually exhibits:
+//!
+//! 1. **tension moves** — exact nullspace-of-`T` deltas: no PI→PO path
+//!    delay changes at all (the zero-overhead guarantee);
+//! 2. **slack moves** — per-logic-level slowdown coefficients, each gate
+//!    bounded by its own baseline slack divided by the circuit depth, so
+//!    shared slack is never over-committed by more than the coefficient
+//!    scale. These are the moves behind the paper's 1.03–1.23× delay
+//!    ratios, and the `W2·T/T₀` cost term polices them.
+
+use aserta::{timing_view, AsertaConfig, CircuitCells};
+use ser_cells::Library;
+use ser_logicsim::sensitize::sensitization_probabilities;
+use ser_logicsim::SensitizationMatrix;
+use ser_netlist::{topo, Circuit};
+
+use crate::cost::{evaluate, CostBreakdown, CostWeights, EnergyModel};
+use crate::matching::{match_delays, MatchingConfig};
+use crate::nullspace::TensionSpace;
+use crate::sta;
+
+/// One fully-evaluated candidate.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Eq. 5 cost (lower is better).
+    pub cost: f64,
+    /// The metric breakdown.
+    pub breakdown: CostBreakdown,
+    /// The realized assignment.
+    pub cells: CircuitCells,
+}
+
+/// The delay-assignment-variation problem (paper §4), ready for repeated
+/// evaluation: holds the one-time artifacts (`P_ij`, tension space,
+/// baseline delays/metrics) and hands out costs for potential vectors.
+pub struct DelayProblem<'a> {
+    /// The circuit under optimization.
+    pub circuit: &'a Circuit,
+    /// The (growing) characterized library.
+    pub library: &'a mut Library,
+    /// Sensitization matrix — logic-only, computed once.
+    pub pij: SensitizationMatrix,
+    /// The zero-overhead move space.
+    pub tension: TensionSpace,
+    /// Logic level of every node (for the slack-move family).
+    pub levels: Vec<usize>,
+    /// Baseline slack of every node at the baseline critical delay.
+    pub slacks: Vec<f64>,
+    /// Circuit depth (number of slack coefficients − 1).
+    pub depth: usize,
+    /// Realized per-node delays of the baseline assignment.
+    pub base_delays: Vec<f64>,
+    /// The baseline assignment itself.
+    pub baseline_cells: CircuitCells,
+    /// Baseline metrics (`cost` = the weight sum by construction).
+    pub baseline: CostBreakdown,
+    /// Eq. 5 weights.
+    pub weights: CostWeights,
+    /// Matching configuration.
+    pub matching: MatchingConfig,
+    /// ASERTA settings used in every evaluation.
+    pub aserta_cfg: AsertaConfig,
+    /// Energy constants.
+    pub energy: EnergyModel,
+    /// Number of cost evaluations performed so far.
+    pub evaluations: usize,
+}
+
+impl<'a> DelayProblem<'a> {
+    /// Prepares the problem from a baseline assignment: estimates
+    /// `P_ij`, measures the baseline, builds the tension space.
+    pub fn new(
+        circuit: &'a Circuit,
+        library: &'a mut Library,
+        baseline_cells: CircuitCells,
+        weights: CostWeights,
+        matching: MatchingConfig,
+        aserta_cfg: AsertaConfig,
+        energy: EnergyModel,
+    ) -> Self {
+        let pij = sensitization_probabilities(
+            circuit,
+            aserta_cfg.sensitization_vectors,
+            aserta_cfg.seed,
+        );
+        let tv = timing_view(
+            circuit,
+            &baseline_cells,
+            library,
+            matching.load_model,
+            aserta_cfg.pi_ramp,
+        );
+        let mut baseline = evaluate(
+            circuit,
+            &baseline_cells,
+            library,
+            &pij,
+            &aserta_cfg,
+            &energy,
+            &weights,
+            None,
+        );
+        baseline.cost =
+            weights.unreliability + weights.delay + weights.energy + weights.area;
+        let tension = TensionSpace::build(circuit);
+        let levels = topo::levels_from_inputs(circuit);
+        let depth = levels.iter().copied().max().unwrap_or(0);
+        let timing = sta::analyze(circuit, &tv.delays, baseline.delay);
+        let slacks = timing
+            .slack
+            .iter()
+            .map(|&s| if s.is_finite() { s.max(0.0) } else { 0.0 })
+            .collect();
+        DelayProblem {
+            circuit,
+            library,
+            pij,
+            tension,
+            levels,
+            slacks,
+            depth,
+            base_delays: tv.delays,
+            baseline_cells,
+            baseline,
+            weights,
+            matching,
+            aserta_cfg,
+            energy,
+            evaluations: 0,
+        }
+    }
+
+    /// Dimension of the search space: tension coordinates plus one slack
+    /// coefficient per logic level.
+    pub fn dim(&self) -> usize {
+        self.tension.dim() + self.depth + 1
+    }
+
+    /// Evaluates a search point: tension deltas plus slack-bounded level
+    /// slowdowns → clamped delay targets → matched cells → Eq. 5 cost
+    /// against the baseline.
+    ///
+    /// The first [`TensionSpace::dim`] entries of `phi` are tension
+    /// potentials (seconds); the remaining `depth + 1` entries are
+    /// dimensionless level coefficients `κ_l`, scaled by `initial step`
+    /// units of 10 ps per unit — a gate at level `l` is slowed by
+    /// `κ_l · slack / depth` (clamped so targets stay positive).
+    pub fn evaluate_phi(&mut self, phi: &[f64]) -> Candidate {
+        self.evaluations += 1;
+        let t_dim = self.tension.dim();
+        let delta = self.tension.delta(self.circuit, &phi[..t_dim]);
+        let kappa = &phi[t_dim..];
+        let slack_scale = 1.0 / (self.depth.max(1) as f64);
+        // κ is carried in seconds like the tension part (optimizers are
+        // unit-agnostic); normalize to a dimensionless coefficient per
+        // 10 ps so default step sizes explore κ ≈ ±2.
+        let targets: Vec<f64> = self
+            .circuit
+            .node_ids()
+            .map(|id| {
+                let i = id.index();
+                let k = kappa[self.levels[i]] / 10.0e-12;
+                let slack_move = k * self.slacks[i] * slack_scale;
+                (self.base_delays[i] + delta[i] + slack_move).max(1.0e-12)
+            })
+            .collect();
+        let cells = match_delays(
+            self.circuit,
+            &targets,
+            self.library,
+            &self.matching,
+            Some(&self.baseline_cells),
+        );
+        let breakdown = evaluate(
+            self.circuit,
+            &cells,
+            self.library,
+            &self.pij,
+            &self.aserta_cfg,
+            &self.energy,
+            &self.weights,
+            Some(&self.baseline),
+        );
+        Candidate {
+            cost: breakdown.cost,
+            breakdown,
+            cells,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allowed::AllowedParams;
+    use ser_cells::CharGrids;
+    use ser_netlist::generate;
+    use ser_spice::Technology;
+
+    fn problem_for_c17(lib: &mut Library) -> DelayProblem<'_> {
+        // Leak a circuit for the 'a lifetime of the test.
+        let circuit: &'static ser_netlist::Circuit =
+            Box::leak(Box::new(generate::c17()));
+        let baseline = CircuitCells::nominal(circuit);
+        let mut cfg = AsertaConfig::fast();
+        cfg.sensitization_vectors = 512;
+        DelayProblem::new(
+            circuit,
+            lib,
+            baseline,
+            CostWeights::default(),
+            MatchingConfig::new(AllowedParams::tiny()),
+            cfg,
+            EnergyModel::default(),
+        )
+    }
+
+    #[test]
+    fn zero_phi_costs_near_baseline() {
+        let mut lib = Library::new(Technology::ptm70(), CharGrids::coarse());
+        let mut p = problem_for_c17(&mut lib);
+        let c = p.evaluate_phi(&vec![0.0; p.dim()]);
+        // Matching at the baseline's own delays lands near the baseline
+        // cost (the quantized library may differ slightly).
+        let expect = p.baseline.cost;
+        assert!(
+            (c.cost - expect).abs() / expect < 0.35,
+            "cost {} vs baseline {}",
+            c.cost,
+            expect
+        );
+        assert_eq!(p.evaluations, 1);
+    }
+
+    #[test]
+    fn dim_counts_tension_plus_levels() {
+        let mut lib = Library::new(Technology::ptm70(), CharGrids::coarse());
+        let p = problem_for_c17(&mut lib);
+        // c17: one free tension class + (depth 3 + 1) level coefficients.
+        assert_eq!(p.tension.dim(), 1, "c17 has one free class");
+        assert_eq!(p.dim(), 1 + 3 + 1);
+    }
+
+    #[test]
+    fn slack_moves_trade_delay_for_cost_terms() {
+        let mut lib = Library::new(Technology::ptm70(), CharGrids::coarse());
+        let mut p = problem_for_c17(&mut lib);
+        // Slow every level by its slack share: delay may rise, the
+        // evaluation must stay finite and well-formed.
+        let mut phi = vec![0.0; p.dim()];
+        for k in p.tension.dim()..phi.len() {
+            phi[k] = 10.0e-12; // κ = 1
+        }
+        let c = p.evaluate_phi(&phi);
+        assert!(c.cost.is_finite());
+        assert!(c.breakdown.delay > 0.0);
+    }
+}

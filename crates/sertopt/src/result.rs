@@ -1,0 +1,124 @@
+//! The packaged result of one SERTOPT run — everything a Table 1 row
+//! needs.
+
+use aserta::CircuitCells;
+
+use crate::cost::CostBreakdown;
+
+/// Outcome of [`optimize_circuit`](crate::optimize_circuit).
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The circuit's name.
+    pub circuit_name: String,
+    /// The speed-sized baseline assignment.
+    pub baseline_cells: CircuitCells,
+    /// The optimized assignment.
+    pub optimized_cells: CircuitCells,
+    /// Baseline metrics.
+    pub baseline: CostBreakdown,
+    /// Optimized metrics.
+    pub optimized: CostBreakdown,
+    /// Best-cost trace over the search.
+    pub history: Vec<f64>,
+    /// Cost evaluations spent.
+    pub evaluations: usize,
+    /// The winning tension-space point.
+    pub best_phi: Vec<f64>,
+}
+
+impl Outcome {
+    /// Fractional unreliability decrease `(U₀ − U)/U₀` — Table 1's
+    /// headline column (0.47 = 47%).
+    pub fn unreliability_decrease(&self) -> f64 {
+        if self.baseline.unreliability <= 0.0 {
+            return 0.0;
+        }
+        (self.baseline.unreliability - self.optimized.unreliability)
+            / self.baseline.unreliability
+    }
+
+    /// Optimized/baseline area ratio (Table 1 column 4).
+    pub fn area_ratio(&self) -> f64 {
+        ratio(self.optimized.area, self.baseline.area)
+    }
+
+    /// Optimized/baseline energy ratio (column 5).
+    pub fn energy_ratio(&self) -> f64 {
+        ratio(self.optimized.energy, self.baseline.energy)
+    }
+
+    /// Optimized/baseline delay ratio (column 6; ≈1 by the nullspace
+    /// construction, up to library quantization).
+    pub fn delay_ratio(&self) -> f64 {
+        ratio(self.optimized.delay, self.baseline.delay)
+    }
+
+    /// A Table 1-style text row.
+    pub fn table1_row(&self) -> String {
+        format!(
+            "{:<8} {:>6.2}X {:>7.2}X {:>6.2}X {:>8.0}%",
+            self.circuit_name,
+            self.area_ratio(),
+            self.energy_ratio(),
+            self.delay_ratio(),
+            100.0 * self.unreliability_decrease()
+        )
+    }
+}
+
+fn ratio(x: f64, base: f64) -> f64 {
+    if base > 0.0 {
+        x / base
+    } else {
+        f64::NAN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(u0: f64, u1: f64) -> Outcome {
+        let base = CostBreakdown {
+            unreliability: u0,
+            delay: 1.0e-9,
+            energy: 2.0e-12,
+            area: 100.0,
+            cost: 2.0,
+        };
+        let opt = CostBreakdown {
+            unreliability: u1,
+            delay: 1.05e-9,
+            energy: 3.0e-12,
+            area: 150.0,
+            cost: 1.5,
+        };
+        Outcome {
+            circuit_name: "c432".into(),
+            baseline_cells: CircuitCells::nominal(&ser_netlist::generate::c17()),
+            optimized_cells: CircuitCells::nominal(&ser_netlist::generate::c17()),
+            baseline: base,
+            optimized: opt,
+            history: vec![2.0, 1.5],
+            evaluations: 10,
+            best_phi: vec![],
+        }
+    }
+
+    #[test]
+    fn ratios() {
+        let o = dummy(10.0, 6.0);
+        assert!((o.unreliability_decrease() - 0.4).abs() < 1e-12);
+        assert!((o.area_ratio() - 1.5).abs() < 1e-12);
+        assert!((o.energy_ratio() - 1.5).abs() < 1e-12);
+        assert!((o.delay_ratio() - 1.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_formats() {
+        let o = dummy(10.0, 6.0);
+        let row = o.table1_row();
+        assert!(row.contains("c432"));
+        assert!(row.contains("40%"));
+    }
+}

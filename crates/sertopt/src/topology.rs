@@ -1,0 +1,143 @@
+//! The path-topology matrix `T` of the paper's §4: one row per PI→PO
+//! path, one column per gate, `T[p][i] = 1` iff gate `i` lies on path
+//! `p`. Delay vectors `d` map to path delays `D = T·d`; SERTOPT's moves
+//! must satisfy `T·Δ = 0`.
+//!
+//! Path counts explode exponentially, so the explicit matrix exists for
+//! small circuits and for validating the scalable tension-space
+//! parameterization ([`crate::nullspace`]).
+
+use ser_netlist::paths::{enumerate, Path};
+use ser_netlist::{Circuit, NodeId};
+
+/// An explicit topology matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyMatrix {
+    /// Gate column order (all non-input nodes, storage order).
+    pub gates: Vec<NodeId>,
+    /// The enumerated paths (node sequences including the PI).
+    pub paths: Vec<Path>,
+    /// Row-major 0/1 entries: `rows[p][c]` for path `p`, gate column `c`.
+    rows: Vec<Vec<f64>>,
+}
+
+impl TopologyMatrix {
+    /// Enumerates all paths and builds `T`; `None` if the circuit has
+    /// more than `path_limit` paths.
+    pub fn build(circuit: &Circuit, path_limit: usize) -> Option<Self> {
+        let paths = enumerate(circuit, path_limit)?;
+        let gates: Vec<NodeId> = circuit.gates().collect();
+        let col_of = {
+            let mut m = vec![usize::MAX; circuit.node_count()];
+            for (c, &g) in gates.iter().enumerate() {
+                m[g.index()] = c;
+            }
+            m
+        };
+        let rows = paths
+            .iter()
+            .map(|p| {
+                let mut row = vec![0.0; gates.len()];
+                for &node in p {
+                    let c = col_of[node.index()];
+                    if c != usize::MAX {
+                        // A gate visited twice on one path cannot happen
+                        // in a DAG; multi-pin hops revisit the *successor*
+                        // not the gate itself.
+                        row[c] = 1.0;
+                    }
+                }
+                row
+            })
+            .collect();
+        Some(TopologyMatrix { gates, paths, rows })
+    }
+
+    /// Number of paths (rows).
+    pub fn n_paths(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The matrix rows (one per path, columns follow
+    /// [`TopologyMatrix::gates`]).
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// `T·d` for a per-gate delay vector in column order.
+    pub fn path_delays(&self, gate_delays: &[f64]) -> Vec<f64> {
+        assert_eq!(gate_delays.len(), self.gates.len(), "one delay per column");
+        self.rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .zip(gate_delays)
+                    .map(|(&t, &d)| t * d)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// `T·d` taking a full per-node delay vector (primary inputs get 0
+    /// columns implicitly).
+    pub fn path_delays_from_nodes(&self, node_delays: &[f64]) -> Vec<f64> {
+        let gate_delays: Vec<f64> = self
+            .gates
+            .iter()
+            .map(|g| node_delays[g.index()])
+            .collect();
+        self.path_delays(&gate_delays)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ser_netlist::generate;
+
+    #[test]
+    fn c17_matrix_shape() {
+        let c = generate::c17();
+        let t = TopologyMatrix::build(&c, 100).unwrap();
+        assert_eq!(t.n_paths(), 11);
+        assert_eq!(t.gates.len(), 6);
+        // Every path touches between 2 and 3 gates in c17.
+        for row in t.rows() {
+            let touched: f64 = row.iter().sum();
+            assert!((2.0..=3.0).contains(&touched), "{touched}");
+        }
+    }
+
+    #[test]
+    fn limit_returns_none() {
+        let c = generate::c17();
+        assert!(TopologyMatrix::build(&c, 3).is_none());
+    }
+
+    #[test]
+    fn unit_delays_give_path_lengths() {
+        let c = generate::c17();
+        let t = TopologyMatrix::build(&c, 100).unwrap();
+        let d = vec![1.0; t.gates.len()];
+        let pd = t.path_delays(&d);
+        for (p, &delay) in t.paths.iter().zip(&pd) {
+            // Path includes the PI node, which has no column.
+            assert_eq!(delay, (p.len() - 1) as f64, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn node_indexed_wrapper_agrees() {
+        let c = generate::c17();
+        let t = TopologyMatrix::build(&c, 100).unwrap();
+        let mut node_delays = vec![0.0; c.node_count()];
+        for (k, g) in t.gates.iter().enumerate() {
+            node_delays[g.index()] = (k + 1) as f64;
+        }
+        let gate_delays: Vec<f64> = (1..=t.gates.len()).map(|x| x as f64).collect();
+        assert_eq!(
+            t.path_delays_from_nodes(&node_delays),
+            t.path_delays(&gate_delays)
+        );
+    }
+}

@@ -1,0 +1,217 @@
+use serde::{Deserialize, Serialize};
+
+use crate::tech::Technology;
+
+/// Transistor polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Polarity {
+    /// N-channel (pull-down).
+    Nmos,
+    /// P-channel (pull-up).
+    Pmos,
+}
+
+/// A single MOSFET under the Sakurai–Newton alpha-power law with
+/// subthreshold conduction and first-order channel-length scaling.
+///
+/// Terminal voltages are passed in **device convention**: `vgs` and `vds`
+/// are the gate-source and drain-source voltages *as seen by the device*,
+/// i.e. both non-negative when the transistor is conducting forward. The
+/// caller (the gate stage model) performs the PMOS mirroring.
+///
+/// # Example
+///
+/// ```
+/// use ser_spice::{Mosfet, Polarity, Technology};
+///
+/// let tech = Technology::ptm70();
+/// let n = Mosfet::new(Polarity::Nmos, 0.1, 70.0, 0.2);
+/// let on = n.current(&tech, 1.0, 1.0);
+/// let weak = n.current(&tech, 0.5, 1.0);
+/// let off = n.current(&tech, 0.0, 1.0);
+/// assert!(on > weak && weak > off && off > 0.0); // off-state = leakage
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mosfet {
+    /// Device polarity (selects the drive coefficient).
+    pub polarity: Polarity,
+    /// Width in micrometres.
+    pub w_um: f64,
+    /// Drawn channel length in nanometres.
+    pub l_nm: f64,
+    /// Threshold voltage magnitude in volts.
+    pub vth: f64,
+}
+
+impl Mosfet {
+    /// Creates a device; see field docs for units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if width, length or threshold are not positive and finite.
+    pub fn new(polarity: Polarity, w_um: f64, l_nm: f64, vth: f64) -> Self {
+        assert!(
+            w_um > 0.0 && w_um.is_finite(),
+            "device width must be positive"
+        );
+        assert!(
+            l_nm > 0.0 && l_nm.is_finite(),
+            "channel length must be positive"
+        );
+        assert!(vth > 0.0 && vth.is_finite(), "threshold must be positive");
+        Mosfet {
+            polarity,
+            w_um,
+            l_nm,
+            vth,
+        }
+    }
+
+    /// Drain current in amperes for device-convention `vgs`, `vds`.
+    ///
+    /// Regions:
+    /// * `vds ≤ 0` → 0 (reverse conduction ignored);
+    /// * `vgs ≤ vth` → subthreshold:
+    ///   `I0·W·(Lref/L)·exp((vgs−vth)/(n·vT))·(1−exp(−vds/vT))`;
+    /// * saturation (`vds ≥ Vd0`): `B·W·(Lref/L)·(vgs−vth)^α·(1+λ(vds−Vd0))`;
+    /// * triode: `Isat·(2−vds/Vd0)·(vds/Vd0)` (Sakurai–Newton).
+    pub fn current(&self, tech: &Technology, vgs: f64, vds: f64) -> f64 {
+        if vds <= 0.0 {
+            return 0.0;
+        }
+        let lscale = tech.lref_nm / self.l_nm;
+        let b = match self.polarity {
+            Polarity::Nmos => tech.b_n,
+            Polarity::Pmos => tech.b_p,
+        };
+        if vgs <= self.vth {
+            let exp_gate = ((vgs - self.vth) / (tech.n_sub * tech.v_thermal)).exp();
+            let drain_term = 1.0 - (-vds / tech.v_thermal).exp();
+            return tech.i0_sub * self.w_um * lscale * exp_gate * drain_term;
+        }
+        let vov = vgs - self.vth;
+        let vd0 = tech.kv * vov.powf(tech.m);
+        let isat = b * self.w_um * lscale * vov.powf(tech.alpha);
+        let strong = if vds >= vd0 {
+            isat * (1.0 + tech.lambda * (vds - vd0))
+        } else {
+            isat * (2.0 - vds / vd0) * (vds / vd0)
+        };
+        // Subthreshold floor keeps the model continuous (and monotone)
+        // across the threshold seam.
+        let floor = tech.i0_sub
+            * self.w_um
+            * lscale
+            * (1.0 - (-vds / tech.v_thermal).exp());
+        strong + floor
+    }
+
+    /// Off-state leakage at `vgs = 0`, `vds = vdd` — the static-power
+    /// current the paper's Vth assignment trades against glitch hardness.
+    pub fn leakage(&self, tech: &Technology, vdd: f64) -> f64 {
+        self.current(tech, 0.0, vdd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::ptm70()
+    }
+
+    fn unit_n() -> Mosfet {
+        Mosfet::new(Polarity::Nmos, 0.1, 70.0, 0.2)
+    }
+
+    #[test]
+    fn on_current_magnitude_is_70nm_class() {
+        // ≈0.7 mA/µm at full overdrive → ≈70 µA at 0.1 µm.
+        let i = unit_n().current(&tech(), 1.0, 1.0);
+        assert!(i > 30e-6 && i < 150e-6, "Ion = {i:e}");
+    }
+
+    #[test]
+    fn current_is_monotone_in_vgs() {
+        let t = tech();
+        let d = unit_n();
+        let mut last = 0.0;
+        for step in 0..=20 {
+            let vgs = step as f64 * 0.05;
+            let i = d.current(&t, vgs, 1.0);
+            assert!(i >= last, "nonmonotone at vgs={vgs}");
+            last = i;
+        }
+    }
+
+    #[test]
+    fn current_is_monotone_in_vds() {
+        let t = tech();
+        let d = unit_n();
+        let mut last = -1.0;
+        for step in 0..=20 {
+            let vds = step as f64 * 0.05;
+            let i = d.current(&t, 0.8, vds);
+            assert!(i >= last, "nonmonotone at vds={vds}");
+            last = i;
+        }
+    }
+
+    #[test]
+    fn triode_saturation_continuity() {
+        let t = tech();
+        let d = unit_n();
+        let vov: f64 = 0.6;
+        let vd0 = t.kv * vov.powf(t.m);
+        let below = d.current(&t, 0.8, vd0 * 0.999);
+        let above = d.current(&t, 0.8, vd0 * 1.001);
+        assert!((below - above).abs() / above < 0.01);
+    }
+
+    #[test]
+    fn continuity_at_vth() {
+        let t = tech();
+        let d = unit_n();
+        let below = d.current(&t, 0.2 - 1e-9, 1.0);
+        let above = d.current(&t, 0.2 + 1e-9, 1.0);
+        assert!((below - above).abs() / below < 1e-3, "{below:e} vs {above:e}");
+    }
+
+    #[test]
+    fn longer_channel_drives_less() {
+        let t = tech();
+        let short = Mosfet::new(Polarity::Nmos, 0.1, 70.0, 0.2);
+        let long = Mosfet::new(Polarity::Nmos, 0.1, 300.0, 0.2);
+        assert!(long.current(&t, 1.0, 1.0) < short.current(&t, 1.0, 1.0) / 3.0);
+    }
+
+    #[test]
+    fn higher_vth_leaks_exponentially_less() {
+        let t = tech();
+        let lo = Mosfet::new(Polarity::Nmos, 0.1, 70.0, 0.1).leakage(&t, 1.0);
+        let mid = Mosfet::new(Polarity::Nmos, 0.1, 70.0, 0.2).leakage(&t, 1.0);
+        let hi = Mosfet::new(Polarity::Nmos, 0.1, 70.0, 0.3).leakage(&t, 1.0);
+        assert!(lo / mid > 5.0, "0.1→0.2 ratio {}", lo / mid);
+        assert!(mid / hi > 5.0, "0.2→0.3 ratio {}", mid / hi);
+    }
+
+    #[test]
+    fn pmos_is_weaker_than_nmos_at_equal_width() {
+        let t = tech();
+        let n = Mosfet::new(Polarity::Nmos, 0.1, 70.0, 0.2);
+        let p = Mosfet::new(Polarity::Pmos, 0.1, 70.0, 0.2);
+        assert!(p.current(&t, 1.0, 1.0) < n.current(&t, 1.0, 1.0));
+    }
+
+    #[test]
+    fn reverse_vds_carries_nothing() {
+        assert_eq!(unit_n().current(&tech(), 1.0, -0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn rejects_zero_width() {
+        let _ = Mosfet::new(Polarity::Nmos, 0.0, 70.0, 0.2);
+    }
+}

@@ -1,0 +1,375 @@
+use serde::{Deserialize, Serialize};
+use ser_netlist::GateKind;
+
+use crate::device::{Mosfet, Polarity};
+use crate::tech::Technology;
+
+/// The four per-gate knobs the paper's optimizer assigns, plus the gate's
+/// logic identity.
+///
+/// * `size` — drive strength in multiples of the unit width (the paper:
+///   "size of 1 means a gate width of 100 nm");
+/// * `l_nm` — transistor channel length (70–300 nm in Table 1);
+/// * `vdd` — supply voltage (0.8–1.2 V in Table 1);
+/// * `vth` — threshold voltage (0.1–0.3 V in Table 1).
+///
+/// # Example
+///
+/// ```
+/// use ser_spice::GateParams;
+/// use ser_netlist::GateKind;
+///
+/// let p = GateParams::new(GateKind::Nand, 2).with_size(4.0).with_vdd(0.8);
+/// assert_eq!(p.size, 4.0);
+/// assert_eq!(p.vth, 0.2); // nominal unless overridden
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GateParams {
+    /// Logic function.
+    pub kind: GateKind,
+    /// Number of fan-in pins.
+    pub fanin: usize,
+    /// Drive strength in unit widths.
+    pub size: f64,
+    /// Channel length in nanometres.
+    pub l_nm: f64,
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Threshold voltage in volts.
+    pub vth: f64,
+}
+
+impl GateParams {
+    /// Nominal 70 nm parameters (size 1, L 70 nm, VDD 1 V, Vth 0.2 V) —
+    /// the paper's baseline operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` cannot take `fanin` pins (e.g. a 2-input NOT) or
+    /// is [`GateKind::Input`].
+    pub fn new(kind: GateKind, fanin: usize) -> Self {
+        assert!(!kind.is_input(), "primary inputs have no electrical cell");
+        assert!(kind.arity_ok(fanin), "gate kind {kind} cannot take {fanin} pins");
+        GateParams {
+            kind,
+            fanin,
+            size: 1.0,
+            l_nm: 70.0,
+            vdd: 1.0,
+            vth: 0.2,
+        }
+    }
+
+    /// Sets the drive strength (unit widths).
+    pub fn with_size(mut self, size: f64) -> Self {
+        self.size = size;
+        self
+    }
+
+    /// Sets the channel length in nanometres.
+    pub fn with_length(mut self, l_nm: f64) -> Self {
+        self.l_nm = l_nm;
+        self
+    }
+
+    /// Sets the supply voltage.
+    pub fn with_vdd(mut self, vdd: f64) -> Self {
+        self.vdd = vdd;
+        self
+    }
+
+    /// Sets the threshold voltage.
+    pub fn with_vth(mut self, vth: f64) -> Self {
+        self.vth = vth;
+        self
+    }
+
+    /// Cell area in the abstract units of the paper's Eq. 5 `A` term:
+    /// total active width × length, normalized to a unit inverter.
+    pub fn area(&self) -> f64 {
+        let stages = if needs_output_inverter(self.kind) { 1.4 } else { 1.0 };
+        let pins = self.fanin as f64;
+        self.size * pins.max(1.0) * (self.l_nm / 70.0) * stages
+    }
+}
+
+/// One equivalent-inverter CMOS stage: pull-down NMOS, pull-up PMOS, a
+/// supply, and self-loading capacitance at its output.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stage {
+    /// Equivalent pull-down device.
+    pub nmos: Mosfet,
+    /// Equivalent pull-up device.
+    pub pmos: Mosfet,
+    /// Stage supply voltage.
+    pub vdd: f64,
+    /// Output self (drain) capacitance in farads.
+    pub c_self: f64,
+}
+
+impl Stage {
+    /// Net current **into** the output node, amperes: pull-up minus
+    /// pull-down, for input voltage `vin` and output voltage `vout`.
+    #[inline]
+    pub fn current_into_output(&self, tech: &Technology, vin: f64, vout: f64) -> f64 {
+        let i_up = self.pmos.current(tech, self.vdd - vin, self.vdd - vout);
+        let i_dn = self.nmos.current(tech, vin, vout);
+        i_up - i_dn
+    }
+
+    /// Worst-state off leakage: mean of the two single-device off
+    /// currents at full rail.
+    pub fn leakage(&self, tech: &Technology) -> f64 {
+        0.5 * (self.nmos.leakage(tech, self.vdd) + self.pmos.leakage(tech, self.vdd))
+    }
+}
+
+/// Returns `true` for kinds realized with a trailing output inverter
+/// (their logic path is non-inverting, but a CMOS stage inverts).
+fn needs_output_inverter(kind: GateKind) -> bool {
+    matches!(
+        kind,
+        GateKind::And | GateKind::Or | GateKind::Buf | GateKind::Xnor
+    )
+}
+
+/// Logical-effort input-capacitance factor `g` per pin.
+fn logical_effort(kind: GateKind, fanin: usize) -> f64 {
+    let k = fanin as f64;
+    match kind {
+        GateKind::Not | GateKind::Buf => 1.0,
+        GateKind::Nand | GateKind::And => (k + 2.0) / 3.0,
+        GateKind::Nor | GateKind::Or => (2.0 * k + 1.0) / 3.0,
+        GateKind::Xor | GateKind::Xnor => k.max(2.0),
+        GateKind::Input => unreachable!("inputs have no cell"),
+    }
+}
+
+/// Parasitic (self-capacitance) factor `p` of the first stage.
+fn parasitic_factor(kind: GateKind, fanin: usize) -> f64 {
+    let k = fanin as f64;
+    match kind {
+        GateKind::Not | GateKind::Buf => 1.0,
+        GateKind::Nand | GateKind::And | GateKind::Nor | GateKind::Or => k,
+        GateKind::Xor | GateKind::Xnor => 2.0 * k.max(2.0) / 2.0,
+        GateKind::Input => unreachable!("inputs have no cell"),
+    }
+}
+
+/// The electrical realization of a [`GateParams`] cell: one equivalent
+/// stage for inverting kinds (NAND/NOR/NOT/XOR), two (complex stage plus
+/// output inverter) for AND/OR/BUF/XNOR.
+///
+/// The equivalent-inverter widths carry the cell's *drive*; logical-effort
+/// `g`/`p` factors carry the extra input and self capacitance of the real
+/// transistor network — the standard compact abstraction for delay and
+/// glitch studies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateElectrical {
+    params: GateParams,
+    stages: Vec<Stage>,
+    input_cap: f64,
+}
+
+impl GateElectrical {
+    /// Builds the electrical view of a cell.
+    ///
+    /// # Panics
+    ///
+    /// Propagates [`Mosfet::new`] panics for non-positive parameters.
+    pub fn from_params(tech: &Technology, params: &GateParams) -> Self {
+        let wn = params.size * tech.w_unit_um;
+        let wp = tech.beta_p * wn;
+        let g = logical_effort(params.kind, params.fanin);
+        let p = parasitic_factor(params.kind, params.fanin);
+
+        let input_cap = g * (tech.c_gate(wn, params.l_nm) + tech.c_gate(wp, params.l_nm));
+
+        let stage1 = Stage {
+            nmos: Mosfet::new(Polarity::Nmos, wn, params.l_nm, params.vth),
+            pmos: Mosfet::new(Polarity::Pmos, wp, params.l_nm, params.vth),
+            vdd: params.vdd,
+            c_self: p * tech.c_drain(wn + wp),
+        };
+        let mut stages = vec![stage1];
+        if needs_output_inverter(params.kind) {
+            stages.push(Stage {
+                nmos: Mosfet::new(Polarity::Nmos, wn, params.l_nm, params.vth),
+                pmos: Mosfet::new(Polarity::Pmos, wp, params.l_nm, params.vth),
+                vdd: params.vdd,
+                c_self: tech.c_drain(wn + wp),
+            });
+        }
+        GateElectrical {
+            params: *params,
+            stages,
+            input_cap,
+        }
+    }
+
+    /// The cell's parameter record.
+    #[inline]
+    pub fn params(&self) -> &GateParams {
+        &self.params
+    }
+
+    /// Capacitance presented by one input pin, farads.
+    #[inline]
+    pub fn input_capacitance(&self) -> f64 {
+        self.input_cap
+    }
+
+    /// The equivalent stages (1 or 2).
+    #[inline]
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Capacitance loading an *internal* node between stage 1 and stage 2
+    /// (0 for single-stage cells).
+    pub fn interstage_cap(&self, tech: &Technology) -> f64 {
+        if self.stages.len() < 2 {
+            return 0.0;
+        }
+        let wn = self.params.size * tech.w_unit_um;
+        let wp = tech.beta_p * wn;
+        tech.c_gate(wn, self.params.l_nm) + tech.c_gate(wp, self.params.l_nm)
+    }
+
+    /// Whether the overall cell inverts its (single switching) input.
+    pub fn is_inverting_cell(&self) -> bool {
+        self.stages.len() % 2 == 1
+    }
+
+    /// Total off-state leakage current of the cell, amperes.
+    pub fn leakage_current(&self, tech: &Technology) -> f64 {
+        self.stages.iter().map(|s| s.leakage(tech)).sum()
+    }
+
+    /// Static power at the cell's own supply, watts.
+    pub fn static_power(&self, tech: &Technology) -> f64 {
+        self.leakage_current(tech) * self.params.vdd
+    }
+
+    /// Dynamic energy for one full output transition into `c_load`,
+    /// joules: `C·V²` over the output and any interstage node.
+    pub fn dynamic_energy(&self, tech: &Technology, c_load: f64) -> f64 {
+        let v2 = self.params.vdd * self.params.vdd;
+        let out_stage = self.stages.last().expect("at least one stage");
+        let mut e = (out_stage.c_self + c_load) * v2;
+        if self.stages.len() == 2 {
+            e += (self.stages[0].c_self + self.interstage_cap(tech)) * v2;
+        }
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::FF;
+
+    fn tech() -> Technology {
+        Technology::ptm70()
+    }
+
+    #[test]
+    fn inverter_is_single_stage() {
+        let g = GateElectrical::from_params(&tech(), &GateParams::new(GateKind::Not, 1));
+        assert_eq!(g.stages().len(), 1);
+        assert!(g.is_inverting_cell());
+    }
+
+    #[test]
+    fn and_gets_output_inverter() {
+        let g = GateElectrical::from_params(&tech(), &GateParams::new(GateKind::And, 2));
+        assert_eq!(g.stages().len(), 2);
+        assert!(!g.is_inverting_cell());
+        assert!(g.interstage_cap(&tech()) > 0.0);
+    }
+
+    #[test]
+    fn nand_pin_costs_more_than_inverter_pin() {
+        let t = tech();
+        let inv = GateElectrical::from_params(&t, &GateParams::new(GateKind::Not, 1));
+        let nand3 = GateElectrical::from_params(&t, &GateParams::new(GateKind::Nand, 3));
+        assert!(nand3.input_capacitance() > inv.input_capacitance());
+    }
+
+    #[test]
+    fn nor_pin_costs_more_than_nand_pin() {
+        let t = tech();
+        let nand2 = GateElectrical::from_params(&t, &GateParams::new(GateKind::Nand, 2));
+        let nor2 = GateElectrical::from_params(&t, &GateParams::new(GateKind::Nor, 2));
+        assert!(nor2.input_capacitance() > nand2.input_capacitance());
+    }
+
+    #[test]
+    fn size_scales_caps_and_drive() {
+        let t = tech();
+        let s1 = GateElectrical::from_params(&t, &GateParams::new(GateKind::Not, 1));
+        let s4 = GateElectrical::from_params(
+            &t,
+            &GateParams::new(GateKind::Not, 1).with_size(4.0),
+        );
+        assert!((s4.input_capacitance() / s1.input_capacitance() - 4.0).abs() < 0.01);
+        let i1 = s1.stages()[0].nmos.current(&t, 1.0, 1.0);
+        let i4 = s4.stages()[0].nmos.current(&t, 1.0, 1.0);
+        assert!((i4 / i1 - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn stage_current_signs() {
+        let t = tech();
+        let inv = GateElectrical::from_params(&t, &GateParams::new(GateKind::Not, 1));
+        let stage = &inv.stages()[0];
+        // Input low, output low → pull-up charges the node (positive).
+        assert!(stage.current_into_output(&t, 0.0, 0.1) > 0.0);
+        // Input high, output high → pull-down discharges (negative).
+        assert!(stage.current_into_output(&t, 1.0, 0.9) < 0.0);
+    }
+
+    #[test]
+    fn leakage_rises_when_vth_drops() {
+        let t = tech();
+        let hi = GateElectrical::from_params(
+            &t,
+            &GateParams::new(GateKind::Not, 1).with_vth(0.3),
+        );
+        let lo = GateElectrical::from_params(
+            &t,
+            &GateParams::new(GateKind::Not, 1).with_vth(0.1),
+        );
+        assert!(lo.leakage_current(&t) > 10.0 * hi.leakage_current(&t));
+    }
+
+    #[test]
+    fn dynamic_energy_scales_with_vdd_squared() {
+        let t = tech();
+        let v08 = GateElectrical::from_params(
+            &t,
+            &GateParams::new(GateKind::Not, 1).with_vdd(0.8),
+        );
+        let v12 = GateElectrical::from_params(
+            &t,
+            &GateParams::new(GateKind::Not, 1).with_vdd(1.2),
+        );
+        let load = 2.0 * FF;
+        let ratio = v12.dynamic_energy(&t, load) / v08.dynamic_energy(&t, load);
+        assert!((ratio - (1.2f64 / 0.8).powi(2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_grows_with_size_length_and_fanin() {
+        let base = GateParams::new(GateKind::Nand, 2);
+        assert!(base.with_size(2.0).area() > base.area());
+        assert!(base.with_length(150.0).area() > base.area());
+        assert!(GateParams::new(GateKind::Nand, 4).area() > base.area());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot take")]
+    fn rejects_bad_arity() {
+        let _ = GateParams::new(GateKind::Not, 3);
+    }
+}

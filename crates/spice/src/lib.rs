@@ -1,0 +1,60 @@
+//! Transistor-level transient simulation substrate — the "SPICE" of the
+//! DATE'05 reproduction.
+//!
+//! The paper characterizes gates and validates its analysis tool against
+//! HSPICE with Berkeley 70 nm predictive models. This crate plays that
+//! role from scratch:
+//!
+//! * [`Technology`] — a 70 nm-class predictive parameter set
+//!   ([`Technology::ptm70`]);
+//! * [`Mosfet`] — Sakurai–Newton alpha-power-law drain current with
+//!   subthreshold leakage and channel-length scaling;
+//! * [`GateParams`]/[`GateElectrical`] — logical-effort-based equivalent
+//!   inverter stages for every [`GateKind`](ser_netlist::GateKind),
+//!   parameterized by size, channel length, VDD and Vth — the four knobs
+//!   SERTOPT turns;
+//! * [`transient`] — RK4 integration of the output-node ODE, with
+//!   double-exponential particle-strike current injection ([`Strike`]);
+//! * [`measure`] — propagation delay, transition time, glitch width,
+//!   energies;
+//! * [`circuit_sim`] — whole-netlist strike simulation by waveform
+//!   propagation over the struck fan-out cone: the paper's "SPICE with 50
+//!   random vectors" reference experiment.
+//!
+//! # Example: a particle strike on an inverter output
+//!
+//! ```
+//! use ser_spice::{GateElectrical, GateParams, Strike, Technology};
+//! use ser_spice::transient::{simulate_strike, TransientConfig};
+//! use ser_spice::measure::glitch_width;
+//! use ser_netlist::GateKind;
+//!
+//! let tech = Technology::ptm70();
+//! let params = GateParams::new(GateKind::Not, 1);
+//! let gate = GateElectrical::from_params(&tech, &params);
+//! let strike = Strike::charge_fc(16.0);
+//! // Output nominally low (input high): strike pulls it up.
+//! let cfg = TransientConfig::default();
+//! let wave = simulate_strike(&tech, &gate, false, 2.0e-15, &strike, &cfg);
+//! let width = glitch_width(&wave, 0.0, params.vdd);
+//! assert!(width > 10.0e-12, "16 fC must produce a visible glitch");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circuit_sim;
+mod device;
+mod gate_model;
+pub mod measure;
+mod strike;
+mod tech;
+pub mod transient;
+pub mod units;
+pub mod waveform;
+
+pub use device::{Mosfet, Polarity};
+pub use gate_model::{GateElectrical, GateParams, Stage};
+pub use strike::Strike;
+pub use tech::Technology;
+pub use waveform::Waveform;

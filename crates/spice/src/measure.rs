@@ -1,0 +1,187 @@
+//! Waveform measurements: threshold crossings, propagation delay,
+//! transition times, glitch widths.
+
+use crate::waveform::Waveform;
+
+/// All level crossings of a waveform, as `(time, rising)` pairs with
+/// linear interpolation between samples.
+pub fn crossings(wf: &Waveform, level: f64) -> Vec<(f64, bool)> {
+    let s = wf.samples();
+    let dt = wf.dt();
+    let t0 = wf.t0();
+    let mut out = Vec::new();
+    for i in 1..s.len() {
+        let (a, b) = (s[i - 1], s[i]);
+        let crossed_up = a < level && b >= level;
+        let crossed_dn = a > level && b <= level;
+        if crossed_up || crossed_dn {
+            let frac = (level - a) / (b - a);
+            out.push((t0 + dt * ((i - 1) as f64 + frac), crossed_up));
+        }
+    }
+    out
+}
+
+/// The first crossing of `level` at or after `t_after`, if any — the
+/// "main" output transition for delay measurement.
+pub fn main_crossing(wf: &Waveform, level: f64, t_after: f64) -> Option<f64> {
+    crossings(wf, level)
+        .into_iter()
+        .map(|(t, _)| t)
+        .find(|&t| t >= t_after)
+}
+
+/// Output transition (slew) time: the 20%→80% interval around the main
+/// rail-to-rail transition, scaled by 1/0.6 to full swing. `None` if the
+/// waveform never completes a transition.
+pub fn transition_time(wf: &Waveform, vdd: f64) -> Option<f64> {
+    let lo = 0.2 * vdd;
+    let hi = 0.8 * vdd;
+    let c_lo = crossings(wf, lo);
+    let c_hi = crossings(wf, hi);
+    if c_lo.is_empty() || c_hi.is_empty() {
+        return None;
+    }
+    // Take the pair bracketing the 50% main crossing.
+    let mid = main_crossing(wf, 0.5 * vdd, wf.t0())?;
+    let t_lo = nearest(&c_lo, mid)?;
+    let t_hi = nearest(&c_hi, mid)?;
+    Some((t_hi - t_lo).abs() / 0.6)
+}
+
+fn nearest(crossings: &[(f64, bool)], t: f64) -> Option<f64> {
+    crossings
+        .iter()
+        .map(|&(tc, _)| tc)
+        .min_by(|a, b| {
+            (a - t).abs()
+                .partial_cmp(&(b - t).abs())
+                .expect("crossing times are finite")
+        })
+}
+
+/// Total time the waveform spends on the far side of mid-rail relative to
+/// its nominal level — the paper's glitch-width measure. For a node
+/// nominally low this is time above `vdd/2`; nominally high, time below.
+///
+/// A waveform that never reaches mid-rail has width 0; multiple excursions
+/// accumulate (a single strike normally produces one).
+pub fn glitch_width(wf: &Waveform, nominal: f64, vdd: f64) -> f64 {
+    let level = 0.5 * vdd;
+    let above = nominal < level; // measure time spent above the level
+    let s = wf.samples();
+    let dt = wf.dt();
+    let beyond = |v: f64| if above { v > level } else { v < level };
+    let mut width = 0.0;
+    for i in 1..s.len() {
+        let (a, b) = (s[i - 1], s[i]);
+        match (beyond(a), beyond(b)) {
+            (true, true) => width += dt,
+            (false, false) => {}
+            (false, true) => {
+                let frac = (level - a) / (b - a);
+                width += dt * (1.0 - frac);
+            }
+            (true, false) => {
+                let frac = (level - a) / (b - a);
+                width += dt * frac;
+            }
+        }
+    }
+    width
+}
+
+/// Pearson correlation coefficient between two equally-long series — the
+/// paper's Fig. 3 figure of merit between ASERTA and SPICE unreliability.
+///
+/// Returns `None` for length mismatch, fewer than 2 points, or zero
+/// variance in either series.
+pub fn pearson_correlation(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri() -> Waveform {
+        // 0 → 1 → 0 over 4 steps of 1 s.
+        Waveform::from_samples(0.0, 1.0, vec![0.0, 0.5, 1.0, 0.5, 0.0])
+    }
+
+    #[test]
+    fn crossings_interpolate() {
+        let c = crossings(&tri(), 0.25);
+        assert_eq!(c.len(), 2);
+        assert!((c[0].0 - 0.5).abs() < 1e-12);
+        assert!(c[0].1);
+        assert!((c[1].0 - 3.5).abs() < 1e-12);
+        assert!(!c[1].1);
+    }
+
+    #[test]
+    fn glitch_width_of_triangle() {
+        // Above 0.5 from t=1 to t=3 → width 2 (the flat-top samples).
+        let w = glitch_width(&tri(), 0.0, 1.0);
+        assert!((w - 2.0).abs() < 1e-12, "w = {w}");
+    }
+
+    #[test]
+    fn glitch_width_polarity() {
+        let dip = tri().map(|v| 1.0 - v);
+        let w = glitch_width(&dip, 1.0, 1.0);
+        assert!((w - 2.0).abs() < 1e-12);
+        // An excursion that stays on the nominal side never registers.
+        let shallow = Waveform::from_samples(0.0, 1.0, vec![0.0, 0.4, 0.0]);
+        assert_eq!(glitch_width(&shallow, 0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn no_crossing_means_zero_width() {
+        let flat = Waveform::from_samples(0.0, 1.0, vec![0.1, 0.2, 0.1]);
+        assert_eq!(glitch_width(&flat, 0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn main_crossing_respects_t_after() {
+        let w = tri();
+        assert!((main_crossing(&w, 0.5, 0.0).unwrap() - 1.0).abs() < 1e-12);
+        assert!((main_crossing(&w, 0.5, 2.0).unwrap() - 3.0).abs() < 1e-12);
+        assert!(main_crossing(&w, 0.5, 10.0).is_none());
+    }
+
+    #[test]
+    fn transition_time_of_linear_ramp() {
+        let w = Waveform::sample(0.0, 0.01, 201, |t| t.clamp(0.0, 1.0));
+        let tt = transition_time(&w, 1.0).unwrap();
+        assert!((tt - 1.0).abs() < 0.05, "tt = {tt}");
+    }
+
+    #[test]
+    fn correlation_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson_correlation(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let yneg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson_correlation(&xs, &yneg).unwrap() + 1.0).abs() < 1e-12);
+        assert!(pearson_correlation(&xs, &[1.0, 1.0, 1.0, 1.0]).is_none());
+        assert!(pearson_correlation(&xs, &ys[..3]).is_none());
+    }
+}

@@ -1,0 +1,130 @@
+use serde::{Deserialize, Serialize};
+
+/// Predictive technology parameter set for the compact device model.
+///
+/// Defaults ([`Technology::ptm70`]) approximate a 70 nm node in the spirit
+/// of the Berkeley Predictive Technology Models the paper uses: 1 V
+/// nominal supply, 0.2 V nominal threshold, ≈0.7 mA/µm saturated NMOS
+/// drive, ≈2 fF/µm² gate capacitance. Absolute values are calibrated for
+/// plausibility, not for matching a foundry deck — the reproduction
+/// tracks *shapes and orderings*, per DESIGN.md.
+///
+/// # Example
+///
+/// ```
+/// use ser_spice::Technology;
+///
+/// let tech = Technology::ptm70();
+/// assert_eq!(tech.vdd_nominal, 1.0);
+/// assert_eq!(tech.vth_nominal, 0.2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    /// Human-readable node name.
+    pub name: String,
+    /// Reference (drawn) channel length in nanometres.
+    pub lref_nm: f64,
+    /// Nominal supply voltage in volts.
+    pub vdd_nominal: f64,
+    /// Nominal threshold voltage magnitude in volts (applies to both
+    /// polarities in this symmetric model).
+    pub vth_nominal: f64,
+    /// Velocity-saturation exponent α of the alpha-power law.
+    pub alpha: f64,
+    /// NMOS drive coefficient: `Id_sat = b_n · W[µm] · (Vgs−Vth)^α` amps.
+    pub b_n: f64,
+    /// PMOS drive coefficient (mobility-degraded).
+    pub b_p: f64,
+    /// Saturation-voltage coefficient: `Vd0 = kv · (Vgs−Vth)^m` volts.
+    pub kv: f64,
+    /// Saturation-voltage exponent (≈ α/2).
+    pub m: f64,
+    /// Channel-length modulation (per volt beyond `Vd0`).
+    pub lambda: f64,
+    /// Subthreshold current at `Vgs = Vth`, amps per µm of width.
+    pub i0_sub: f64,
+    /// Subthreshold slope factor `n` (swing = n·vT·ln 10).
+    pub n_sub: f64,
+    /// Thermal voltage `kT/q` in volts.
+    pub v_thermal: f64,
+    /// Gate-oxide capacitance in farads per µm² of gate area.
+    pub cox_per_um2: f64,
+    /// Gate overlap/fringe capacitance in farads per µm of width.
+    pub cov_per_um: f64,
+    /// Drain junction + overlap capacitance in farads per µm of width.
+    pub cj_per_um: f64,
+    /// PMOS/NMOS width ratio used by cell templates for balanced drive.
+    pub beta_p: f64,
+    /// Unit transistor width in µm for gate size 1 (the paper: "size of 1
+    /// means a gate width of 100 nm").
+    pub w_unit_um: f64,
+}
+
+impl Technology {
+    /// The 70 nm-class predictive node used throughout the paper.
+    pub fn ptm70() -> Self {
+        Technology {
+            name: "ptm70".to_owned(),
+            lref_nm: 70.0,
+            vdd_nominal: 1.0,
+            vth_nominal: 0.2,
+            alpha: 1.3,
+            b_n: 0.9e-3,
+            b_p: 0.42e-3,
+            kv: 0.50,
+            m: 0.65,
+            lambda: 0.06,
+            i0_sub: 0.3e-6,
+            n_sub: 1.5,
+            v_thermal: 0.0259,
+            cox_per_um2: 2.9e-14,
+            cov_per_um: 2.0e-16,
+            cj_per_um: 4.0e-16,
+            beta_p: 2.0,
+            w_unit_um: 0.1,
+        }
+    }
+
+    /// Gate capacitance of one transistor: `Cox·W·L + Cov·W`.
+    #[inline]
+    pub fn c_gate(&self, w_um: f64, l_nm: f64) -> f64 {
+        self.cox_per_um2 * w_um * (l_nm * 1e-3) + self.cov_per_um * w_um
+    }
+
+    /// Drain (self-loading) capacitance of one transistor.
+    #[inline]
+    pub fn c_drain(&self, w_um: f64) -> f64 {
+        self.cj_per_um * w_um
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::ptm70()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::FF;
+
+    #[test]
+    fn unit_inverter_input_cap_is_sub_femtofarad() {
+        let t = Technology::ptm70();
+        // NMOS 0.1 µm + PMOS 0.2 µm at L = 70 nm.
+        let cin = t.c_gate(0.1, 70.0) + t.c_gate(0.2, 70.0);
+        assert!(cin > 0.05 * FF && cin < 2.0 * FF, "cin = {cin:e}");
+    }
+
+    #[test]
+    fn longer_channel_means_more_gate_cap() {
+        let t = Technology::ptm70();
+        assert!(t.c_gate(0.1, 300.0) > t.c_gate(0.1, 70.0));
+    }
+
+    #[test]
+    fn default_is_ptm70() {
+        assert_eq!(Technology::default(), Technology::ptm70());
+    }
+}

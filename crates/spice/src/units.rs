@@ -1,0 +1,42 @@
+//! Unit constants for readable numeric literals.
+//!
+//! All simulator quantities are SI (`f64`): seconds, volts, amperes,
+//! farads, coulombs — except transistor widths (micrometres) and channel
+//! lengths (nanometres), which follow the paper's conventions and are
+//! always named `*_um` / `*_nm`.
+//!
+//! # Example
+//!
+//! ```
+//! use ser_spice::units::{FC, PS};
+//!
+//! let charge = 16.0 * FC;       // the paper's injected charge
+//! let step = 0.5 * PS;          // integration step
+//! assert!(charge / (1.0e-4) < 1.0e-9); // 16 fC at 100 µA lasts 160 ps
+//! # let _ = step;
+//! ```
+
+/// One picosecond in seconds.
+pub const PS: f64 = 1e-12;
+/// One nanosecond in seconds.
+pub const NS: f64 = 1e-9;
+/// One femtofarad in farads.
+pub const FF: f64 = 1e-15;
+/// One femtocoulomb in coulombs.
+pub const FC: f64 = 1e-15;
+/// One microampere in amperes.
+pub const UA: f64 = 1e-6;
+/// One nanoampere in amperes.
+pub const NA: f64 = 1e-9;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relations() {
+        assert!((1000.0 * PS - NS).abs() < 1e-21);
+        assert_eq!(FF, FC); // same SI magnitude, different quantities
+        assert!((1000.0 * NA - UA).abs() < 1e-15);
+    }
+}

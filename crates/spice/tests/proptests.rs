@@ -1,0 +1,105 @@
+//! Property-based tests of the device model, stimulus and measurements.
+
+use proptest::prelude::*;
+use ser_spice::measure::glitch_width;
+use ser_spice::{Mosfet, Polarity, Strike, Technology, Waveform};
+
+fn arb_device() -> impl Strategy<Value = Mosfet> {
+    (0.05f64..2.0, 70.0f64..300.0, 0.05f64..0.4).prop_map(|(w, l, vth)| {
+        Mosfet::new(Polarity::Nmos, w, l, vth)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Drain current is non-negative and monotone in Vgs for any device
+    /// in the parameter space SERTOPT explores.
+    #[test]
+    fn current_monotone_in_vgs(d in arb_device(), vds in 0.05f64..1.3) {
+        let tech = Technology::ptm70();
+        let mut last = -1.0;
+        for step in 0..=26 {
+            let vgs = step as f64 * 0.05;
+            let i = d.current(&tech, vgs, vds);
+            prop_assert!(i >= 0.0);
+            prop_assert!(i >= last - 1e-18, "vgs={vgs}: {i:e} < {last:e}");
+            last = i;
+        }
+    }
+
+    /// …and monotone in Vds.
+    #[test]
+    fn current_monotone_in_vds(d in arb_device(), vgs in 0.0f64..1.3) {
+        let tech = Technology::ptm70();
+        let mut last = -1.0;
+        for step in 0..=26 {
+            let vds = step as f64 * 0.05;
+            let i = d.current(&tech, vgs, vds);
+            prop_assert!(i >= last - 1e-18, "vds={vds}");
+            last = i;
+        }
+    }
+
+    /// Wider and shorter-channel devices drive at least as hard.
+    #[test]
+    fn drive_scales_with_geometry(
+        w in 0.05f64..1.0,
+        l in 70.0f64..250.0,
+        vth in 0.1f64..0.3,
+    ) {
+        let tech = Technology::ptm70();
+        let base = Mosfet::new(Polarity::Nmos, w, l, vth);
+        let wider = Mosfet::new(Polarity::Nmos, w * 2.0, l, vth);
+        let shorter = Mosfet::new(Polarity::Nmos, w, l / 1.5, vth);
+        let i0 = base.current(&tech, 1.0, 1.0);
+        prop_assert!(wider.current(&tech, 1.0, 1.0) > i0);
+        prop_assert!(shorter.current(&tech, 1.0, 1.0) > i0);
+    }
+
+    /// The strike pulse always integrates to its charge (3% numerical
+    /// tolerance at a coarse 0.2 ps step).
+    #[test]
+    fn strike_conserves_charge(
+        q_fc in 1.0f64..100.0,
+        tau_r in 1.0e-12f64..20.0e-12,
+        extra in 5.0e-12f64..200.0e-12,
+    ) {
+        let s = Strike::new(q_fc * 1e-15, tau_r, tau_r + extra);
+        let dt = 0.2e-12;
+        let mut t = 0.0;
+        let mut acc = 0.0;
+        // Integrate far past the default horizon for slow pulses.
+        let end = 12.0 * (tau_r + extra);
+        while t < end {
+            acc += s.current_at(t) * dt;
+            t += dt;
+        }
+        prop_assert!((acc - s.charge()).abs() / s.charge() < 0.03, "{acc:e}");
+    }
+
+    /// Interpolated waveform values never escape the sample range.
+    #[test]
+    fn waveform_interpolation_is_bounded(
+        samples in proptest::collection::vec(-0.5f64..1.7, 2..40),
+        t in -1.0f64..50.0,
+    ) {
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let w = Waveform::from_samples(0.0, 1.0, samples);
+        let v = w.value_at(t);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    /// Glitch width never exceeds the observed window.
+    #[test]
+    fn glitch_width_bounded_by_window(
+        samples in proptest::collection::vec(0.0f64..1.0, 2..60),
+    ) {
+        let n = samples.len();
+        let w = Waveform::from_samples(0.0, 1.0, samples);
+        let width = glitch_width(&w, 0.0, 1.0);
+        prop_assert!(width >= 0.0);
+        prop_assert!(width <= (n - 1) as f64 + 1e-9);
+    }
+}

@@ -1,0 +1,59 @@
+//! Characterize a full cell library by transistor-level simulation and
+//! persist it to JSON — the paper's offline "SPICE look-up table"
+//! construction step.
+//!
+//! ```text
+//! cargo run --release --example characterize_library -- /tmp/ptm70_cells.json
+//! ```
+
+use soft_error::cells::{CharGrids, Library, LibrarySpec};
+use soft_error::netlist::GateKind;
+use soft_error::spice::units::{FC, FF, PS};
+use soft_error::spice::Technology;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "/tmp/ptm70_cells.json".to_owned());
+
+    let tech = Technology::ptm70();
+    let mut library = Library::new(tech, CharGrids::standard());
+
+    let spec = LibrarySpec {
+        kinds_fanins: vec![
+            (GateKind::Not, 1),
+            (GateKind::Buf, 1),
+            (GateKind::Nand, 2),
+            (GateKind::Nand, 3),
+            (GateKind::Nor, 2),
+            (GateKind::And, 2),
+            (GateKind::Or, 2),
+            (GateKind::Xor, 2),
+        ],
+        sizes: vec![1.0, 2.0, 4.0, 8.0],
+        lengths_nm: vec![70.0, 100.0, 150.0, 250.0, 300.0],
+        vdds: vec![0.8, 1.0, 1.2],
+        vths: vec![0.1, 0.2, 0.3],
+    };
+    println!(
+        "characterizing {} templates x {} variants…",
+        spec.kinds_fanins.len(),
+        spec.sizes.len() * spec.lengths_nm.len() * spec.vdds.len() * spec.vths.len()
+    );
+    let t0 = std::time::Instant::now();
+    let added = library.characterize_spec(&spec, 0);
+    println!("{added} cells in {:.1} s", t0.elapsed().as_secs_f64());
+
+    // Peek at one cell the way ASERTA does.
+    let nominal = soft_error::spice::GateParams::new(GateKind::Nand, 2);
+    let cell = library.get_or_characterize(&nominal);
+    println!("\nNAND2 size 1, L 70 nm, 1 V, 0.2 V:");
+    println!("  input cap        = {:.3} fF", cell.input_cap / FF);
+    println!("  delay @2fF/20ps  = {:.1} ps", cell.delay_at(2.0 * FF, 20.0 * PS) / PS);
+    println!("  glitch @2fF/16fC = {:.1} ps", cell.glitch_width_at(2.0 * FF, 16.0 * FC) / PS);
+    println!("  leakage power    = {:.2} nW", cell.leak_power * 1e9);
+
+    library.save(&path).expect("writable output path");
+    let reloaded = Library::load(&path).expect("file we just wrote parses");
+    println!("\nsaved {} cells to {path} and reloaded {} — round trip OK", library.len(), reloaded.len());
+}

@@ -1,0 +1,76 @@
+//! Run the full SERTOPT flow on a benchmark and inspect what it did:
+//! metric ratios, the cost trace, and how the optimizer re-assigned
+//! sizes/lengths/VDD/Vth across logic depth.
+//!
+//! ```text
+//! cargo run --release --example optimize_circuit -- c432 sqp
+//! cargo run --release --example optimize_circuit -- c499 anneal
+//! ```
+
+use std::collections::BTreeMap;
+
+use soft_error::cells::{CharGrids, Library};
+use soft_error::netlist::{generate, topo};
+use soft_error::spice::Technology;
+use soft_error::sertopt::{optimize_circuit, Algorithm, AllowedParams, OptimizerConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("c432");
+    let algo = match args.get(2).map(String::as_str) {
+        Some("coord") => Algorithm::CoordinateDescent,
+        Some("anneal") => Algorithm::Anneal,
+        Some("genetic") => Algorithm::Genetic,
+        _ => Algorithm::Sqp,
+    };
+
+    let circuit = generate::iscas85(name).expect("an ISCAS'85 benchmark name");
+    let mut library = Library::new(Technology::ptm70(), CharGrids::standard());
+    let mut cfg = OptimizerConfig::default();
+    cfg.algorithm = algo;
+    cfg.allowed = AllowedParams::table1_dual();
+    cfg.iterations = 16;
+    cfg.aserta.sensitization_vectors = 4096;
+
+    println!("optimizing {name} with {algo:?}…");
+    let outcome = optimize_circuit(&circuit, &mut library, &cfg);
+
+    println!("\n=== outcome ===");
+    println!(
+        "unreliability: {:.3e} -> {:.3e}  (-{:.0}%)",
+        outcome.baseline.unreliability,
+        outcome.optimized.unreliability,
+        100.0 * outcome.unreliability_decrease()
+    );
+    println!(
+        "delay {:.2}x   energy {:.2}x   area {:.2}x   ({} cost evaluations)",
+        outcome.delay_ratio(),
+        outcome.energy_ratio(),
+        outcome.area_ratio(),
+        outcome.evaluations
+    );
+
+    println!("\ncost trace (best so far):");
+    for (i, c) in outcome.history.iter().enumerate() {
+        if i % 4 == 0 || i + 1 == outcome.history.len() {
+            println!("  iter {i:>3}: {c:.4}");
+        }
+    }
+
+    // Where did the optimizer spend its freedom? Histogram the chosen
+    // VDD/Vth per logic level.
+    let levels = topo::levels_from_inputs(&circuit);
+    let mut by_level: BTreeMap<usize, (usize, usize)> = BTreeMap::new();
+    for g in circuit.gates() {
+        let p = outcome.optimized_cells.get(g).expect("gate params");
+        let entry = by_level.entry(levels[g.index()]).or_default();
+        entry.0 += 1;
+        if p.vdd < 1.0 || p.vth > 0.2 || p.l_nm > 70.0 {
+            entry.1 += 1; // "hardened-for-attenuation" cell
+        }
+    }
+    println!("\nslow/attenuating cells by logic level (count/total):");
+    for (level, (total, slow)) in by_level {
+        println!("  level {level:>2}: {slow:>4}/{total}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Quickstart: analyze and harden a small circuit in ~30 lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use soft_error::aserta::{analyze_fresh, AsertaConfig, CircuitCells};
+use soft_error::cells::{CharGrids, Library};
+use soft_error::netlist::generate;
+use soft_error::spice::Technology;
+use soft_error::sertopt::{optimize_circuit, OptimizerConfig};
+
+fn main() {
+    // 1. A circuit: the exact ISCAS'85 c17 (six NAND gates).
+    let circuit = generate::c17();
+    println!("circuit: {} ({} gates)", circuit.name(), circuit.gate_count());
+
+    // 2. A characterized cell library over the 70 nm predictive node.
+    //    Cells are characterized lazily by transistor-level simulation on
+    //    first use and cached from then on.
+    let mut library = Library::new(Technology::ptm70(), CharGrids::standard());
+
+    // 3. ASERTA: how soft is the nominal circuit?
+    let cells = CircuitCells::nominal(&circuit);
+    let report = analyze_fresh(&circuit, &cells, &mut library, &AsertaConfig::default());
+    println!("unreliability U = {:.3e} (size x seconds of latched glitch)", report.unreliability);
+    println!("top soft spots:");
+    for (id, u) in report.soft_spots(&circuit, 3) {
+        println!("  gate {:<4} U_i = {:.3e}", circuit.node(id).name, u);
+    }
+
+    // 4. SERTOPT: harden it without touching path delays.
+    let mut cfg = OptimizerConfig::fast();
+    cfg.iterations = 12;
+    let outcome = optimize_circuit(&circuit, &mut library, &cfg);
+    println!(
+        "optimized: unreliability -{:.0}%  (delay {:.2}x, energy {:.2}x, area {:.2}x)",
+        100.0 * outcome.unreliability_decrease(),
+        outcome.delay_ratio(),
+        outcome.energy_ratio(),
+        outcome.area_ratio(),
+    );
+}
