@@ -22,8 +22,10 @@ fn bench_runtime(c: &mut Criterion) {
         let circuit = generate::iscas85(name).expect("bundled benchmark");
         let cells = CircuitCells::nominal(&circuit);
         let mut library = Library::new(tech.clone(), CharGrids::coarse());
-        let mut cfg = AsertaConfig::default();
-        cfg.sensitization_vectors = 2048;
+        let cfg = AsertaConfig {
+            sensitization_vectors: 2048,
+            ..AsertaConfig::default()
+        };
         let pij = sensitization_probabilities(&circuit, cfg.sensitization_vectors, cfg.seed);
         let _ = analyze(&circuit, &cells, &mut library, &pij, &cfg);
         group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {

@@ -6,8 +6,8 @@
 //! cargo run --release -p ser-bench --bin fig1
 //! ```
 
-use ser_bench::sweeps::{fig1_series, SweepConfig, SweepParam};
 use ser_bench::print_series;
+use ser_bench::sweeps::{fig1_series, SweepConfig, SweepParam};
 use ser_spice::Technology;
 
 fn main() {

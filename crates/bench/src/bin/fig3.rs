@@ -34,13 +34,9 @@ fn main() {
         let mut lib = Library::new(tech.clone(), CharGrids::standard());
         let cfg = AsertaConfig::default();
         let (report, secs) = ser_bench::timed(|| {
-            validate::correlate_with_reference(
-                &tech, &circuit, &cells, &mut lib, &cfg, vectors, 5,
-            )
+            validate::correlate_with_reference(&tech, &circuit, &cells, &mut lib, &cfg, vectors, 5)
         });
-        println!(
-            "\n# Fig. 3 — {name}: ASERTA vs transistor-level U_i, nodes <= 5 levels from POs"
-        );
+        println!("\n# Fig. 3 — {name}: ASERTA vs transistor-level U_i, nodes <= 5 levels from POs");
         println!(
             "# {} nodes, {} reference vectors, {:.1} s",
             report.nodes.len(),
@@ -54,14 +50,12 @@ fn main() {
             .zip(&report.aserta)
             .zip(&report.reference)
         {
-            println!(
-                "{:<14} {:>14.4e} {:>14.4e}",
-                circuit.node(*n).name,
-                a,
-                r
-            );
+            println!("{:<14} {:>14.4e} {:>14.4e}", circuit.node(*n).name, a, r);
         }
-        println!("correlation({name}) = {:.3}   (paper: 0.96 on c432)", report.correlation);
+        println!(
+            "correlation({name}) = {:.3}   (paper: 0.96 on c432)",
+            report.correlation
+        );
         correlations.push(report.correlation);
     }
     if correlations.len() > 1 {

@@ -11,9 +11,7 @@ use aserta::{analyze, AsertaConfig, CircuitCells};
 use ser_cells::{CharGrids, Library};
 use ser_logicsim::sensitize::sensitization_probabilities;
 use ser_netlist::generate;
-use ser_spice::circuit_sim::{
-    reference_unreliability, CircuitElectrical, CircuitSimConfig,
-};
+use ser_spice::circuit_sim::{reference_unreliability, CircuitElectrical, CircuitSimConfig};
 use ser_spice::Technology;
 
 fn main() {
@@ -26,7 +24,9 @@ fn main() {
         .unwrap_or(250);
 
     let tech = Technology::ptm70();
-    let names = ["c17", "c432", "c499", "c880", "c1908", "c2670", "c3540", "c5315", "c7552"];
+    let names = [
+        "c17", "c432", "c499", "c880", "c1908", "c2670", "c3540", "c5315", "c7552",
+    ];
     println!("# ASERTA runtime per circuit (paper, MATLAB: c432 15 s, c7552 200 s)");
     println!(
         "{:<8} {:>7} {:>12} {:>12} {:>14} {:>12}",
@@ -44,8 +44,7 @@ fn main() {
         // Warm the library before timing the analysis proper (the paper's
         // lookup tables are also characterized offline).
         let _ = analyze(&circuit, &cells, &mut lib, &pij, &cfg);
-        let (_, t_aserta) =
-            ser_bench::timed(|| analyze(&circuit, &cells, &mut lib, &pij, &cfg));
+        let (_, t_aserta) = ser_bench::timed(|| analyze(&circuit, &cells, &mut lib, &pij, &cfg));
 
         let (t_ref_str, speedup_str) = if circuit.gate_count() <= spice_gate_limit {
             let sim_cfg = CircuitSimConfig::default();

@@ -48,7 +48,10 @@ fn main() {
         assert!(!specs.is_empty(), "unknown circuit name");
     }
 
-    println!("# Table 1 — SERTOPT optimization results ({algo:?}, {} iterations)", cfg.optimizer.iterations);
+    println!(
+        "# Table 1 — SERTOPT optimization results ({algo:?}, {} iterations)",
+        cfg.optimizer.iterations
+    );
     println!("{}", Table1Row::header());
     let tech = Technology::ptm70();
     let mut rows = Vec::new();
@@ -57,7 +60,12 @@ fn main() {
         // cached across circuits.
         let mut library = Library::new(tech.clone(), CharGrids::standard());
         let row = run_circuit(spec, &cfg, &mut library);
-        println!("{}   ({:.0} s, {} evals)", row.format(), row.optimize_seconds, row.outcome.evaluations);
+        println!(
+            "{}   ({:.0} s, {} evals)",
+            row.format(),
+            row.optimize_seconds,
+            row.outcome.evaluations
+        );
         rows.push(row);
     }
 

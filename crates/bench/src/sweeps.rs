@@ -3,9 +3,7 @@
 //! varies.
 
 use ser_netlist::GateKind;
-use ser_spice::transient::{
-    generated_glitch_width, propagated_glitch_width, TransientConfig,
-};
+use ser_spice::transient::{generated_glitch_width, propagated_glitch_width, TransientConfig};
 use ser_spice::units::{FF, PS};
 use ser_spice::{GateElectrical, GateParams, Strike, Technology};
 
@@ -94,14 +92,17 @@ impl Default for SweepConfig {
 /// Fig. 1: generated glitch width (ps) vs the swept knob, struck-low
 /// state, fixed charge.
 pub fn fig1_series(tech: &Technology, param: SweepParam, cfg: &SweepConfig) -> Vec<(f64, f64)> {
-    let strike = Strike::new(cfg.charge, Strike::DEFAULT_TAU_RISE, Strike::DEFAULT_TAU_FALL);
+    let strike = Strike::new(
+        cfg.charge,
+        Strike::DEFAULT_TAU_RISE,
+        Strike::DEFAULT_TAU_FALL,
+    );
     param
         .points()
         .into_iter()
         .map(|x| {
             let gate = GateElectrical::from_params(tech, &param.params_at(x));
-            let w =
-                generated_glitch_width(tech, &gate, false, cfg.load, &strike, &cfg.transient);
+            let w = generated_glitch_width(tech, &gate, false, cfg.load, &strike, &cfg.transient);
             (x, w / PS)
         })
         .collect()

@@ -7,11 +7,9 @@ use aserta::{analyze, AsertaConfig, CircuitCells};
 use ser_cells::Library;
 use ser_logicsim::sensitize::sensitization_probabilities;
 use ser_netlist::{generate, Circuit};
-use ser_spice::circuit_sim::{
-    reference_unreliability, CircuitElectrical, CircuitSimConfig,
-};
+use ser_spice::circuit_sim::{reference_unreliability, CircuitElectrical, CircuitSimConfig};
 use ser_spice::{Strike, Technology};
-use sertopt::{optimize_circuit, AllowedParams, Outcome, OptimizerConfig};
+use sertopt::{optimize_circuit, AllowedParams, OptimizerConfig, Outcome};
 
 /// One circuit's experimental setup, mirroring the paper's table rows.
 #[derive(Debug, Clone)]
@@ -32,13 +30,41 @@ pub fn paper_specs() -> Vec<CircuitSpec> {
     let dual = AllowedParams::table1_dual;
     let triple = AllowedParams::table1_triple;
     vec![
-        CircuitSpec { name: "c432", allowed: dual(), spice_reference: true },
-        CircuitSpec { name: "c499", allowed: dual(), spice_reference: true },
-        CircuitSpec { name: "c1908", allowed: triple(), spice_reference: true },
-        CircuitSpec { name: "c2670", allowed: triple(), spice_reference: true },
-        CircuitSpec { name: "c3540", allowed: dual(), spice_reference: true },
-        CircuitSpec { name: "c5315", allowed: triple(), spice_reference: false },
-        CircuitSpec { name: "c7552", allowed: dual(), spice_reference: false },
+        CircuitSpec {
+            name: "c432",
+            allowed: dual(),
+            spice_reference: true,
+        },
+        CircuitSpec {
+            name: "c499",
+            allowed: dual(),
+            spice_reference: true,
+        },
+        CircuitSpec {
+            name: "c1908",
+            allowed: triple(),
+            spice_reference: true,
+        },
+        CircuitSpec {
+            name: "c2670",
+            allowed: triple(),
+            spice_reference: true,
+        },
+        CircuitSpec {
+            name: "c3540",
+            allowed: dual(),
+            spice_reference: true,
+        },
+        CircuitSpec {
+            name: "c5315",
+            allowed: triple(),
+            spice_reference: false,
+        },
+        CircuitSpec {
+            name: "c7552",
+            allowed: dual(),
+            spice_reference: false,
+        },
     ]
 }
 

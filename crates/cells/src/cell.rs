@@ -1,5 +1,5 @@
-use serde::{Deserialize, Serialize};
 use ser_spice::{GateParams, Technology};
+use serde::{Deserialize, Serialize};
 
 use crate::lut::Lut2;
 

@@ -2,10 +2,10 @@
 //! running the transistor-level simulator, the way the paper builds its
 //! SPICE look-up tables.
 
-use serde::{Deserialize, Serialize};
 use ser_spice::transient::{gate_delay, generated_glitch_width, TransientConfig};
 use ser_spice::units::{FC, FF, PS};
 use ser_spice::{GateElectrical, GateParams, Strike, Technology};
+use serde::{Deserialize, Serialize};
 
 use crate::cell::CharacterizedCell;
 use crate::lut::{Axis, Lut2};
@@ -83,8 +83,7 @@ pub fn characterize_cell(
 
     let load_axis = Axis::new(grids.loads.clone()).expect("load grid must be a valid axis");
     let ramp_axis = Axis::new(grids.ramps.clone()).expect("ramp grid must be a valid axis");
-    let charge_axis =
-        Axis::new(grids.charges.clone()).expect("charge grid must be a valid axis");
+    let charge_axis = Axis::new(grids.charges.clone()).expect("charge grid must be a valid axis");
 
     let mut delays = Vec::with_capacity(grids.loads.len() * grids.ramps.len());
     let mut slews = Vec::with_capacity(delays.capacity());
@@ -183,8 +182,7 @@ mod tests {
         let g = CharGrids::coarse();
         let t = tech();
         let nominal = characterize_cell(&t, &GateParams::new(GateKind::Not, 1), &g);
-        let low_vdd =
-            characterize_cell(&t, &GateParams::new(GateKind::Not, 1).with_vdd(0.8), &g);
+        let low_vdd = characterize_cell(&t, &GateParams::new(GateKind::Not, 1).with_vdd(0.8), &g);
         let w_nom = nominal.glitch_width_at(1.0 * FF, 16.0 * FC);
         let w_low = low_vdd.glitch_width_at(1.0 * FF, 16.0 * FC);
         assert!(w_low > w_nom, "{w_low:e} vs {w_nom:e}");

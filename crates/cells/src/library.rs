@@ -3,9 +3,9 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
 use ser_netlist::{Circuit, GateKind};
 use ser_spice::{GateParams, Technology};
+use serde::{Deserialize, Serialize};
 
 use crate::cell::CharacterizedCell;
 use crate::characterize::{characterize_cell, CharGrids};
@@ -206,11 +206,11 @@ impl Library {
         let tech = &self.tech;
         let grids = &self.grids;
         let mut results: Vec<CharacterizedCell> = Vec::with_capacity(todo.len());
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             let handles: Vec<_> = todo
                 .chunks(chunk)
                 .map(|part| {
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         part.iter()
                             .map(|p| characterize_cell(tech, p, grids))
                             .collect::<Vec<_>>()
@@ -220,8 +220,7 @@ impl Library {
             for h in handles {
                 results.extend(h.join().expect("characterization threads don't panic"));
             }
-        })
-        .expect("crossbeam scope");
+        });
         let added = results.len();
         for cell in results {
             self.push(cell);
@@ -273,8 +272,7 @@ impl Library {
     /// I/O errors, or `InvalidData` for malformed JSON.
     pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
         let json = fs::read_to_string(path)?;
-        Library::from_json(&json)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        Library::from_json(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 
     fn rebuild_index(&mut self) {
@@ -315,7 +313,8 @@ mod tests {
             vdds: vec![1.0],
             vths: vec![0.2, 0.3],
         };
-        assert_eq!(spec.points().len(), 2 * 2 * 1 * 1 * 2);
+        // kinds × sizes × lengths × vdds × vths = 2 × 2 × 1 × 1 × 2.
+        assert_eq!(spec.points().len(), 8);
     }
 
     #[test]
@@ -359,13 +358,7 @@ mod tests {
     #[test]
     fn for_circuit_extracts_templates() {
         let c17 = ser_netlist::generate::c17();
-        let spec = LibrarySpec::for_circuit(
-            &c17,
-            vec![1.0],
-            vec![70.0],
-            vec![1.0],
-            vec![0.2],
-        );
+        let spec = LibrarySpec::for_circuit(&c17, vec![1.0], vec![70.0], vec![1.0], vec![0.2]);
         assert_eq!(spec.kinds_fanins, vec![(GateKind::Nand, 2)]);
     }
 }

@@ -31,7 +31,8 @@ impl Axis {
             return Err(LutError::EmptyAxis);
         }
         for w in values.windows(2) {
-            if !(w[1] > w[0]) {
+            // NaN must also be rejected here, hence partial_cmp.
+            if w[1].partial_cmp(&w[0]) != Some(std::cmp::Ordering::Greater) {
                 return Err(LutError::NotIncreasing { at: w[0] });
             }
         }
@@ -252,8 +253,16 @@ impl Lut2 {
     pub fn eval_nearest(&self, x0: f64, x1: f64) -> f64 {
         let (i, fi) = self.axis0.locate(x0);
         let (j, fj) = self.axis1.locate(x1);
-        let i = if fi > 0.5 { (i + 1).min(self.axis0.len() - 1) } else { i };
-        let j = if fj > 0.5 { (j + 1).min(self.axis1.len() - 1) } else { j };
+        let i = if fi > 0.5 {
+            (i + 1).min(self.axis0.len() - 1)
+        } else {
+            i
+        };
+        let j = if fj > 0.5 {
+            (j + 1).min(self.axis1.len() - 1)
+        } else {
+            j
+        };
         self.at(i, j)
     }
 
@@ -297,8 +306,11 @@ mod tests {
 
     #[test]
     fn lut1_exact_at_points() {
-        let lut = Lut1::new(Axis::new(vec![1.0, 2.0, 4.0]).unwrap(), vec![10.0, 20.0, 40.0])
-            .unwrap();
+        let lut = Lut1::new(
+            Axis::new(vec![1.0, 2.0, 4.0]).unwrap(),
+            vec![10.0, 20.0, 40.0],
+        )
+        .unwrap();
         for (x, y) in [(1.0, 10.0), (2.0, 20.0), (4.0, 40.0)] {
             assert_eq!(lut.eval(x), y);
         }
@@ -306,8 +318,7 @@ mod tests {
 
     #[test]
     fn lut1_is_piecewise_linear() {
-        let lut =
-            Lut1::new(Axis::new(vec![0.0, 2.0]).unwrap(), vec![0.0, 8.0]).unwrap();
+        let lut = Lut1::new(Axis::new(vec![0.0, 2.0]).unwrap(), vec![0.0, 8.0]).unwrap();
         assert_eq!(lut.eval(0.5), 2.0);
         assert_eq!(lut.eval(1.5), 6.0);
     }

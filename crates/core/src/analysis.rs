@@ -78,8 +78,7 @@ pub fn analyze(
     for id in circuit.gates() {
         let p = cells.get(id).expect("gates carry parameters");
         let cell = library.get_or_characterize(p);
-        generated_widths[id.index()] =
-            cell.glitch_width_at(timing.loads[id.index()], cfg.charge);
+        generated_widths[id.index()] = cell.glitch_width_at(timing.loads[id.index()], cfg.charge);
     }
 
     let expected_widths = ExpectedWidths::compute(
@@ -189,8 +188,7 @@ mod tests {
         let r_after = analyze_fresh(&c, &cells, &mut l, &cfg());
         for &po in c.primary_outputs() {
             assert!(
-                r_after.generated_widths[po.index()]
-                    < r_before.generated_widths[po.index()],
+                r_after.generated_widths[po.index()] < r_before.generated_widths[po.index()],
                 "upsized PO driver must generate a narrower glitch"
             );
         }

@@ -1,10 +1,10 @@
 //! Binding a circuit to cell parameters and deriving its timing view
 //! (loads, ramps, delays) from library lookups.
 
-use serde::{Deserialize, Serialize};
 use ser_cells::Library;
 use ser_netlist::{Circuit, NodeId};
 use ser_spice::GateParams;
+use serde::{Deserialize, Serialize};
 
 /// Per-gate cell parameter assignment — the object SERTOPT mutates and
 /// ASERTA analyses.
@@ -68,11 +68,7 @@ impl CircuitCells {
 
     /// Total abstract area of the assignment (Eq. 5's `A` term).
     pub fn total_area(&self) -> f64 {
-        self.params
-            .iter()
-            .flatten()
-            .map(|p| p.area())
-            .sum()
+        self.params.iter().flatten().map(|p| p.area()).sum()
     }
 }
 
@@ -224,10 +220,7 @@ mod tests {
         let t = tv.critical_path_delay(&c);
         // Three NAND levels: strictly more than one gate delay, less than
         // the sum of all six.
-        let dmax = c
-            .gates()
-            .map(|g| tv.delays[g.index()])
-            .fold(0.0, f64::max);
+        let dmax = c.gates().map(|g| tv.delays[g.index()]).fold(0.0, f64::max);
         let dsum: f64 = c.gates().map(|g| tv.delays[g.index()]).sum();
         assert!(t > dmax && t < dsum, "{t} vs {dmax}/{dsum}");
     }
@@ -256,10 +249,8 @@ mod tests {
             let node = c.node(id);
             GateParams::new(node.kind, node.fanin.len()).with_size(4.0)
         });
-        let t_nom = timing_view(&c, &nominal, &mut l, model(), 20.0e-12)
-            .critical_path_delay(&c);
-        let t_big = timing_view(&c, &upsized, &mut l, model(), 20.0e-12)
-            .critical_path_delay(&c);
+        let t_nom = timing_view(&c, &nominal, &mut l, model(), 20.0e-12).critical_path_delay(&c);
+        let t_big = timing_view(&c, &upsized, &mut l, model(), 20.0e-12).critical_path_delay(&c);
         assert!(t_big < t_nom, "{t_big} vs {t_nom}");
     }
 

@@ -1,5 +1,5 @@
-use serde::{Deserialize, Serialize};
 use ser_spice::units::{FC, NS, PS};
+use serde::{Deserialize, Serialize};
 
 /// ASERTA analysis settings, defaulting to the paper's choices.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -53,7 +53,14 @@ impl ExpectedWidths {
         delays: &[f64],
         grid: Vec<f64>,
     ) -> Self {
-        Self::compute_with_model(circuit, probs, pij, delays, grid, AttenuationModel::PaperEq1)
+        Self::compute_with_model(
+            circuit,
+            probs,
+            pij,
+            delays,
+            grid,
+            AttenuationModel::PaperEq1,
+        )
     }
 
     /// [`ExpectedWidths::compute`] with an explicit attenuation law — the
@@ -122,14 +129,7 @@ impl ExpectedWidths {
                             continue;
                         }
                         let wos = model.apply(grid[k], delays[s.index()]);
-                        let we = interp_width(
-                            &ws,
-                            s.index() * k_n * n_pos,
-                            n_pos,
-                            j,
-                            &grid,
-                            wos,
-                        );
+                        let we = interp_width(&ws, s.index() * k_n * n_pos, n_pos, j, &grid, wos);
                         sum += pi_w * we;
                     }
                     ws[base + k * n_pos + j] += sum;
@@ -186,14 +186,7 @@ impl ExpectedWidths {
 
 /// Interpolates a node's `[k][j]` table along k at width `w` (clamped).
 #[inline]
-fn interp_width(
-    ws: &[f64],
-    node_base: usize,
-    n_pos: usize,
-    j: usize,
-    grid: &[f64],
-    w: f64,
-) -> f64 {
+fn interp_width(ws: &[f64], node_base: usize, n_pos: usize, j: usize, grid: &[f64], w: f64) -> f64 {
     let k_n = grid.len();
     if w <= grid[0] {
         return ws[node_base + j];
@@ -224,7 +217,9 @@ mod tests {
     use ser_netlist::{generate, CircuitBuilder, GateKind};
 
     fn grid() -> Vec<f64> {
-        vec![0.0, 10e-12, 20e-12, 40e-12, 80e-12, 160e-12, 320e-12, 640e-12, 1280e-12, 2560e-12]
+        vec![
+            0.0, 10e-12, 20e-12, 40e-12, 80e-12, 160e-12, 320e-12, 640e-12, 1280e-12, 2560e-12,
+        ]
     }
 
     #[test]

@@ -25,7 +25,10 @@
 /// ```
 #[inline]
 pub fn attenuate(w_in: f64, delay: f64) -> f64 {
-    debug_assert!(w_in >= 0.0 && delay >= 0.0, "widths and delays are non-negative");
+    debug_assert!(
+        w_in >= 0.0 && delay >= 0.0,
+        "widths and delays are non-negative"
+    );
     if w_in < delay {
         0.0
     } else if w_in <= 2.0 * delay {

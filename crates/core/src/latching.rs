@@ -95,8 +95,6 @@ mod tests {
         };
         // The paper's motivation: rising clock frequencies reduce
         // latching-window masking.
-        assert!(
-            fast.capture_probability(80.0e-12) > slow.capture_probability(80.0e-12)
-        );
+        assert!(fast.capture_probability(80.0e-12) > slow.capture_probability(80.0e-12));
     }
 }

@@ -47,11 +47,7 @@ pub fn side_sensitization(circuit: &Circuit, probs: &[f64], i: NodeId, s: NodeId
 }
 
 /// The deduplicated successors of `i` with their `S_is` weights.
-pub fn successor_sensitizations(
-    circuit: &Circuit,
-    probs: &[f64],
-    i: NodeId,
-) -> Vec<(NodeId, f64)> {
+pub fn successor_sensitizations(circuit: &Circuit, probs: &[f64], i: NodeId) -> Vec<(NodeId, f64)> {
     let mut out: Vec<(NodeId, f64)> = Vec::new();
     for &s in circuit.fanout(i) {
         if out.iter().any(|&(seen, _)| seen == s) {
@@ -75,10 +71,7 @@ pub fn pi_weights(
     p_ij: f64,
     p_sj: impl Fn(NodeId) -> f64,
 ) -> Vec<f64> {
-    let denom: f64 = successors
-        .iter()
-        .map(|&(s, s_is)| s_is * p_sj(s))
-        .sum();
+    let denom: f64 = successors.iter().map(|&(s, s_is)| s_is * p_sj(s)).sum();
     if denom <= 0.0 || p_ij <= 0.0 {
         return vec![0.0; successors.len()];
     }

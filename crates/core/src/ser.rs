@@ -40,11 +40,7 @@ impl Default for SerModel {
         SerModel {
             strike_rate_per_area: 1.0e-12,
             latching: crate::latching::LatchingWindow::default(),
-            charge_spectrum: vec![
-                (8.0e-15, 0.60),
-                (16.0e-15, 0.30),
-                (32.0e-15, 0.10),
-            ],
+            charge_spectrum: vec![(8.0e-15, 0.60), (16.0e-15, 0.30), (32.0e-15, 0.10)],
         }
     }
 }
@@ -87,8 +83,7 @@ pub fn soft_error_rate(
                 .total_expected_width(id, report.generated_widths[id.index()]);
             let p_latch = model.latching.capture_probability(w_total);
             let area = cells.get(id).expect("gates carry parameters").area();
-            per_gate[id.index()] +=
-                weight * model.strike_rate_per_area * area * p_latch;
+            per_gate[id.index()] += weight * model.strike_rate_per_area * area * p_latch;
         }
     }
     // failures/s → FIT.

@@ -8,9 +8,7 @@ use ser_cells::Library;
 use ser_logicsim::random::random_vectors;
 use ser_logicsim::sensitize::sensitization_probabilities;
 use ser_netlist::{topo, Circuit, NodeId};
-use ser_spice::circuit_sim::{
-    reference_unreliability, CircuitElectrical, CircuitSimConfig,
-};
+use ser_spice::circuit_sim::{reference_unreliability, CircuitElectrical, CircuitSimConfig};
 use ser_spice::measure::pearson_correlation;
 use ser_spice::{Strike, Technology};
 
@@ -55,7 +53,11 @@ pub fn correlate_with_reference(
 
     // Reference side.
     let sim_cfg = CircuitSimConfig {
-        strike: Strike::new(cfg.charge, Strike::DEFAULT_TAU_RISE, Strike::DEFAULT_TAU_FALL),
+        strike: Strike::new(
+            cfg.charge,
+            Strike::DEFAULT_TAU_RISE,
+            Strike::DEFAULT_TAU_FALL,
+        ),
         wire_cap_per_pin: cfg.wire_cap_per_pin,
         po_load: cfg.po_load,
         ..CircuitSimConfig::default()

@@ -120,10 +120,7 @@ pub fn eval_with_flips(
         .copied()
         .filter(|po| faulty[po.index()] & 1 != golden[po.index()] & 1)
         .collect();
-    (
-        faulty.into_iter().map(|w| w & 1 == 1).collect(),
-        corrupted,
-    )
+    (faulty.into_iter().map(|w| w & 1 == 1).collect(), corrupted)
 }
 
 #[cfg(test)]
@@ -163,7 +160,9 @@ mod tests {
     fn cone_forcing_matches_full_resim() {
         let c = generate::c17();
         let n = c.primary_inputs().len();
-        let words: Vec<u64> = (0..n as u64).map(|k| 0xDEADBEEF_CAFEF00D ^ (k * 77)).collect();
+        let words: Vec<u64> = (0..n as u64)
+            .map(|k| 0xDEADBEEF_CAFEF00D ^ (k * 77))
+            .collect();
         let base = eval_word(&c, &words);
         for root in c.gates() {
             let cone = fanout_cone(&c, root);
@@ -188,7 +187,11 @@ mod tests {
                 }
             }
             for id in c.node_ids() {
-                assert_eq!(scratch[id.index()], truth[id.index()], "root {root} node {id}");
+                assert_eq!(
+                    scratch[id.index()],
+                    truth[id.index()],
+                    "root {root} node {id}"
+                );
             }
         }
     }

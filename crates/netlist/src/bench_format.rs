@@ -78,12 +78,10 @@ pub fn parse(text: &str, name: &str) -> Result<Circuit, ParseBenchError> {
         } else if let Some((lhs, rhs)) = code.split_once('=') {
             let sig = lhs.trim().to_owned();
             let rhs = rhs.trim();
-            let (kind_tok, args) = rhs
-                .split_once('(')
-                .ok_or_else(|| ParseBenchError::Syntax {
-                    line,
-                    text: code.to_owned(),
-                })?;
+            let (kind_tok, args) = rhs.split_once('(').ok_or_else(|| ParseBenchError::Syntax {
+                line,
+                text: code.to_owned(),
+            })?;
             let args = args
                 .strip_suffix(')')
                 .ok_or_else(|| ParseBenchError::Syntax {
@@ -314,5 +312,24 @@ INPUT(b)
     fn spaces_inside_directive() {
         let c = parse("INPUT( a )\nOUTPUT( y )\ny = NOT( a )\n", "t").unwrap();
         assert_eq!(c.gate_count(), 1);
+    }
+
+    /// Parse → emit → reparse is the identity on ISCAS c17: the reparsed
+    /// circuit is structurally *equal* (not merely isomorphic), and the
+    /// emitted text is a fixed point of the cycle.
+    #[test]
+    fn parse_emit_reparse_is_identity_on_c17() {
+        let parsed = parse(C17_TEXT, "c17").unwrap();
+        let emitted = write(&parsed);
+        let reparsed = parse(&emitted, "c17").unwrap();
+        assert_eq!(reparsed, parsed);
+        assert_eq!(write(&reparsed), emitted, "emission must be stable");
+    }
+
+    #[test]
+    fn rejects_truncated_gate_line() {
+        assert!(parse("INPUT(a)\nOUTPUT(y)\ny = NAND(a", "t").is_err());
+        assert!(parse("INPUT(a)\nOUTPUT(y)\ny =\n", "t").is_err());
+        assert!(parse("INPUT(a\nOUTPUT(y)\ny = NOT(a)\n", "t").is_err());
     }
 }

@@ -80,7 +80,10 @@ impl CircuitBuilder {
         }
         for &f in fanin {
             if f.index() >= self.nodes.len() {
-                return Err(NetlistError::DanglingFanin { node: id, missing: f });
+                return Err(NetlistError::DanglingFanin {
+                    node: id,
+                    missing: f,
+                });
             }
         }
         self.nodes.push(Node {

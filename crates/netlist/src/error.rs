@@ -58,9 +58,15 @@ impl fmt::Display for NetlistError {
                 name,
                 first,
                 second,
-            } => write!(f, "duplicate net name `{name}` on nodes {first} and {second}"),
+            } => write!(
+                f,
+                "duplicate net name `{name}` on nodes {first} and {second}"
+            ),
             NetlistError::BadArity { node, kind, fanin } => {
-                write!(f, "node {node}: gate kind {kind} cannot take {fanin} fan-ins")
+                write!(
+                    f,
+                    "node {node}: gate kind {kind} cannot take {fanin} fan-ins"
+                )
             }
             NetlistError::DanglingFanin { node, missing } => {
                 write!(f, "node {node} references nonexistent fan-in {missing}")

@@ -236,8 +236,7 @@ mod tests {
             let out = eval_u64(&c, &|name: &str| {
                 if let Some(i) = name.strip_prefix('a').and_then(|s| s.parse::<u32>().ok()) {
                     a >> i & 1 == 1
-                } else if let Some(i) = name.strip_prefix('b').and_then(|s| s.parse::<u32>().ok())
-                {
+                } else if let Some(i) = name.strip_prefix('b').and_then(|s| s.parse::<u32>().ok()) {
                     b >> i & 1 == 1
                 } else {
                     cin == 1
@@ -254,8 +253,7 @@ mod tests {
             let out = eval_u64(&c, &|name: &str| {
                 if let Some(i) = name.strip_prefix('a').and_then(|s| s.parse::<u32>().ok()) {
                     a >> i & 1 == 1
-                } else if let Some(i) = name.strip_prefix('b').and_then(|s| s.parse::<u32>().ok())
-                {
+                } else if let Some(i) = name.strip_prefix('b').and_then(|s| s.parse::<u32>().ok()) {
                     b >> i & 1 == 1
                 } else {
                     false

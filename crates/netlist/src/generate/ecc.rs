@@ -97,14 +97,20 @@ fn build_sec32(name: &str, expand_nand: bool) -> Circuit {
     // Syndromes: XOR of member data bits and the check bit.
     let mut counter = 0usize;
     let mut gated = Vec::with_capacity(CHECK_BITS);
-    for j in 0..CHECK_BITS {
+    for (j, &check_j) in check.iter().enumerate() {
         let members: Vec<NodeId> = (0..DATA_BITS)
             .filter(|&i| pattern(i) & (1 << j) != 0)
             .map(|i| data[i])
-            .chain(std::iter::once(check[j]))
+            .chain(std::iter::once(check_j))
             .collect();
         debug_assert!(members.len() >= 2, "syndrome {j} has no data members");
-        let s = xor_tree(&mut b, &members, &format!("s{j}"), &mut counter, expand_nand);
+        let s = xor_tree(
+            &mut b,
+            &members,
+            &format!("s{j}"),
+            &mut counter,
+            expand_nand,
+        );
         let g = b
             .gate(GateKind::And, format!("g{j}"), &[s, enable])
             .expect("pins exist");
@@ -112,7 +118,7 @@ fn build_sec32(name: &str, expand_nand: bool) -> Circuit {
     }
 
     // Error indicators and corrected outputs.
-    for i in 0..DATA_BITS {
+    for (i, &data_i) in data.iter().enumerate() {
         let p = pattern(i);
         let pins: Vec<NodeId> = (0..CHECK_BITS)
             .filter(|&j| p & (1 << j) != 0)
@@ -122,7 +128,7 @@ fn build_sec32(name: &str, expand_nand: bool) -> Circuit {
             .gate(GateKind::And, format!("e{i}"), &pins)
             .expect("pins exist");
         let o = b
-            .gate(GateKind::Xor, format!("o{i}"), &[data[i], e])
+            .gate(GateKind::Xor, format!("o{i}"), &[data_i, e])
             .expect("pins exist");
         b.mark_output(o);
     }
@@ -267,9 +273,7 @@ mod tests {
         assert_eq!(c.primary_outputs().len(), 32);
         let xor_in_syndromes = c
             .gates()
-            .filter(|&g| {
-                c.node(g).kind == GateKind::Xor && c.node(g).name.starts_with('s')
-            })
+            .filter(|&g| c.node(g).kind == GateKind::Xor && c.node(g).name.starts_with('s'))
             .count();
         assert_eq!(xor_in_syndromes, 0);
         assert!(c.gate_count() > sec32("c499").gate_count() * 2);

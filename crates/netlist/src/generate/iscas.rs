@@ -28,17 +28,94 @@ pub struct IscasProfile {
 /// sizes. The seven used in the paper's Table 1 are c432, c499, c1908,
 /// c2670, c3540, c5315 and c7552.
 pub const ISCAS85_PROFILES: [IscasProfile; 11] = [
-    IscasProfile { name: "c17", inputs: 5, outputs: 2, gates: 6, depth: 3, function: "toy NAND network" },
-    IscasProfile { name: "c432", inputs: 36, outputs: 7, gates: 160, depth: 17, function: "27-channel interrupt controller" },
-    IscasProfile { name: "c499", inputs: 41, outputs: 32, gates: 202, depth: 11, function: "32-bit single-error-correcting circuit" },
-    IscasProfile { name: "c880", inputs: 60, outputs: 26, gates: 383, depth: 24, function: "8-bit ALU" },
-    IscasProfile { name: "c1355", inputs: 41, outputs: 32, gates: 546, depth: 24, function: "32-bit SEC circuit (NAND-expanded c499)" },
-    IscasProfile { name: "c1908", inputs: 33, outputs: 25, gates: 880, depth: 40, function: "16-bit SEC/DED circuit" },
-    IscasProfile { name: "c2670", inputs: 233, outputs: 140, gates: 1193, depth: 32, function: "12-bit ALU and controller" },
-    IscasProfile { name: "c3540", inputs: 50, outputs: 22, gates: 1669, depth: 47, function: "8-bit ALU" },
-    IscasProfile { name: "c5315", inputs: 178, outputs: 123, gates: 2307, depth: 49, function: "9-bit ALU" },
-    IscasProfile { name: "c6288", inputs: 32, outputs: 32, gates: 2406, depth: 124, function: "16x16 array multiplier" },
-    IscasProfile { name: "c7552", inputs: 207, outputs: 108, gates: 3512, depth: 43, function: "32-bit adder/comparator" },
+    IscasProfile {
+        name: "c17",
+        inputs: 5,
+        outputs: 2,
+        gates: 6,
+        depth: 3,
+        function: "toy NAND network",
+    },
+    IscasProfile {
+        name: "c432",
+        inputs: 36,
+        outputs: 7,
+        gates: 160,
+        depth: 17,
+        function: "27-channel interrupt controller",
+    },
+    IscasProfile {
+        name: "c499",
+        inputs: 41,
+        outputs: 32,
+        gates: 202,
+        depth: 11,
+        function: "32-bit single-error-correcting circuit",
+    },
+    IscasProfile {
+        name: "c880",
+        inputs: 60,
+        outputs: 26,
+        gates: 383,
+        depth: 24,
+        function: "8-bit ALU",
+    },
+    IscasProfile {
+        name: "c1355",
+        inputs: 41,
+        outputs: 32,
+        gates: 546,
+        depth: 24,
+        function: "32-bit SEC circuit (NAND-expanded c499)",
+    },
+    IscasProfile {
+        name: "c1908",
+        inputs: 33,
+        outputs: 25,
+        gates: 880,
+        depth: 40,
+        function: "16-bit SEC/DED circuit",
+    },
+    IscasProfile {
+        name: "c2670",
+        inputs: 233,
+        outputs: 140,
+        gates: 1193,
+        depth: 32,
+        function: "12-bit ALU and controller",
+    },
+    IscasProfile {
+        name: "c3540",
+        inputs: 50,
+        outputs: 22,
+        gates: 1669,
+        depth: 47,
+        function: "8-bit ALU",
+    },
+    IscasProfile {
+        name: "c5315",
+        inputs: 178,
+        outputs: 123,
+        gates: 2307,
+        depth: 49,
+        function: "9-bit ALU",
+    },
+    IscasProfile {
+        name: "c6288",
+        inputs: 32,
+        outputs: 32,
+        gates: 2406,
+        depth: 124,
+        function: "16x16 array multiplier",
+    },
+    IscasProfile {
+        name: "c7552",
+        inputs: 207,
+        outputs: 108,
+        gates: 3512,
+        depth: 43,
+        function: "32-bit adder/comparator",
+    },
 ];
 
 const C17_BENCH: &str = "\
@@ -92,12 +169,8 @@ pub fn iscas85(name: &str) -> Option<Circuit> {
         "c1355" => sec32_nand("c1355"),
         "c6288" => multiplier_with_style("c6288", 16, 16, CellStyle::Nor),
         _ => {
-            let mut spec = LayeredSpec::new(
-                profile.name,
-                profile.inputs,
-                profile.outputs,
-                profile.gates,
-            );
+            let mut spec =
+                LayeredSpec::new(profile.name, profile.inputs, profile.outputs, profile.gates);
             spec.depth = profile.depth;
             // Distinct, stable seed per benchmark.
             spec.seed = 0xC0FFEE ^ fnv1a(profile.name);

@@ -184,7 +184,15 @@ pub fn layered(spec: &LayeredSpec) -> Circuit {
         let mut this_layer = Vec::with_capacity(size);
         for _ in 0..size {
             let kind = spec.mix.sample(&mut rng);
-            let id = emit_gate(&mut b, &mut rng, kind, &layers, layer_no, spec.max_fanin, &mut next_name);
+            let id = emit_gate(
+                &mut b,
+                &mut rng,
+                kind,
+                &layers,
+                layer_no,
+                spec.max_fanin,
+                &mut next_name,
+            );
             this_layer.push(id);
         }
         layers.push(this_layer);
@@ -196,7 +204,15 @@ pub fn layered(spec: &LayeredSpec) -> Circuit {
     let mut po_layer = Vec::with_capacity(spec.n_outputs);
     for _ in 0..spec.n_outputs {
         let kind = multi_mix.sample(&mut rng);
-        let id = emit_gate(&mut b, &mut rng, kind, &layers, po_layer_no, spec.max_fanin, &mut next_name);
+        let id = emit_gate(
+            &mut b,
+            &mut rng,
+            kind,
+            &layers,
+            po_layer_no,
+            spec.max_fanin,
+            &mut next_name,
+        );
         po_layer.push(id);
     }
     for &po in &po_layer {
@@ -206,7 +222,9 @@ pub fn layered(spec: &LayeredSpec) -> Circuit {
 
     // Fold dangling nodes (no fan-out, not PO) into downstream gates by
     // rebuilding node fan-ins. We work on raw parts for this step.
-    let circuit = b.finish().expect("layered construction is structurally valid");
+    let circuit = b
+        .finish()
+        .expect("layered construction is structurally valid");
     fold_dangling(circuit, &layers, &mut rng)
 }
 
@@ -294,8 +312,8 @@ fn fold_dangling(circuit: Circuit, layers: &[Vec<NodeId>], rng: &mut StdRng) -> 
         }
         if !placed {
             // Deterministic sweep as a last resort.
-            'sweep: for hl in (dl + 1).max(1)..n_layers {
-                for &host in &layers[hl] {
+            'sweep: for layer in layers.iter().take(n_layers).skip((dl + 1).max(1)) {
+                for &host in layer {
                     let hnode = &mut nodes[host.index()];
                     let appendable =
                         !matches!(hnode.kind, GateKind::Not | GateKind::Buf | GateKind::Input);

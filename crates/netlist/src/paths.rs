@@ -16,11 +16,7 @@ use crate::id::NodeId;
 pub fn paths_through(circuit: &Circuit) -> Vec<f64> {
     let from_pi = paths_from_inputs(circuit);
     let to_po = paths_to_outputs(circuit);
-    from_pi
-        .iter()
-        .zip(&to_po)
-        .map(|(&a, &b)| a * b)
-        .collect()
+    from_pi.iter().zip(&to_po).map(|(&a, &b)| a * b).collect()
 }
 
 /// Number of paths from any primary input to each node (a PI counts 1 for
@@ -43,7 +39,11 @@ pub fn paths_from_inputs(circuit: &Circuit) -> Vec<f64> {
 pub fn paths_to_outputs(circuit: &Circuit) -> Vec<f64> {
     let mut count = vec![0.0f64; circuit.node_count()];
     for &id in circuit.topological_order().iter().rev() {
-        let mut c = if circuit.is_primary_output(id) { 1.0 } else { 0.0 };
+        let mut c = if circuit.is_primary_output(id) {
+            1.0
+        } else {
+            0.0
+        };
         // `fanout` lists one entry per pin, so each entry is one path unit.
         for &s in circuit.fanout(id) {
             c += count[s.index()];

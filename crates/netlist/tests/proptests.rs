@@ -6,7 +6,7 @@ use ser_netlist::{bench_format, cone, paths, topo};
 
 fn arb_spec() -> impl Strategy<Value = LayeredSpec> {
     (1usize..10, 1usize..6, 1usize..80, 0u64..10_000).prop_map(|(pi, po, gates, seed)| {
-        let mut spec = LayeredSpec::new("prop", pi, po, gates.max(po), );
+        let mut spec = LayeredSpec::new("prop", pi, po, gates.max(po));
         spec.seed = seed;
         spec
     })

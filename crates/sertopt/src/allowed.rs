@@ -1,7 +1,7 @@
-use serde::{Deserialize, Serialize};
 use ser_cells::LibrarySpec;
 use ser_netlist::Circuit;
 use ser_spice::GateParams;
+use serde::{Deserialize, Serialize};
 
 /// The discrete parameter sets SERTOPT may assign — the paper's design
 /// variables ("the values and numbers of VDDs and Vths to be used is a
@@ -98,7 +98,9 @@ mod tests {
     #[test]
     fn contains_checks_every_axis() {
         let a = AllowedParams::tiny();
-        let ok = GateParams::new(GateKind::Nand, 2).with_size(2.0).with_length(150.0);
+        let ok = GateParams::new(GateKind::Nand, 2)
+            .with_size(2.0)
+            .with_length(150.0);
         let bad = ok.with_vdd(0.8);
         assert!(a.contains(&ok));
         assert!(!a.contains(&bad));

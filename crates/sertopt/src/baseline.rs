@@ -102,10 +102,8 @@ mod tests {
         let (c, mut lib, lm) = setup();
         let sized = size_for_speed(&c, &mut lib, &[1.0, 2.0, 4.0, 8.0], lm, 1.0);
         let unit = CircuitCells::nominal(&c);
-        let t_sized =
-            timing_view(&c, &sized, &mut lib, lm, 20.0e-12).critical_path_delay(&c);
-        let t_unit =
-            timing_view(&c, &unit, &mut lib, lm, 20.0e-12).critical_path_delay(&c);
+        let t_sized = timing_view(&c, &sized, &mut lib, lm, 20.0e-12).critical_path_delay(&c);
+        let t_unit = timing_view(&c, &unit, &mut lib, lm, 20.0e-12).critical_path_delay(&c);
         assert!(t_sized < t_unit, "{t_sized} vs {t_unit}");
     }
 

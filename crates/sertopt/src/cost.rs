@@ -69,6 +69,7 @@ pub struct CostBreakdown {
 /// Evaluates the absolute metrics of an assignment (one ASERTA run plus
 /// energy/area accounting); `baseline = None` yields `cost = NaN` until
 /// normalized.
+#[allow(clippy::too_many_arguments)] // mirrors Eq. 5's parameter list
 pub fn evaluate(
     circuit: &Circuit,
     cells: &CircuitCells,

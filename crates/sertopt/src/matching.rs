@@ -89,7 +89,14 @@ pub fn match_delays(
                 cfg.load_model,
                 cfg.assumed_ramp,
             );
-            one_pass(circuit, target_delays, library, cfg, &tv.in_ramps, Some(&tv.loads))
+            one_pass(
+                circuit,
+                target_delays,
+                library,
+                cfg,
+                &tv.in_ramps,
+                Some(&tv.loads),
+            )
         }
         None => {
             let ramps = vec![cfg.assumed_ramp; circuit.node_count()];
@@ -98,13 +105,7 @@ pub fn match_delays(
     };
     for _ in 0..cfg.refine_passes {
         // Re-anchor on the current assignment, then re-match.
-        let tv = aserta::timing_view(
-            circuit,
-            &cells,
-            library,
-            cfg.load_model,
-            cfg.assumed_ramp,
-        );
+        let tv = aserta::timing_view(circuit, &cells, library, cfg.load_model, cfg.assumed_ramp);
         cells = one_pass(
             circuit,
             target_delays,
@@ -183,10 +184,8 @@ fn one_pass(
                             .with_vth(vth);
                         let cell = library.get_or_characterize(&p);
                         let d = cell.delay_at(load, ramp);
-                        let e_norm = cell.leak_power * 1e9
-                            + cell.dynamic_energy(load) * 1e12;
-                        let score = (d - target).abs()
-                            + cfg.energy_tiebreak * e_norm * 1.0e-12;
+                        let e_norm = cell.leak_power * 1e9 + cell.dynamic_energy(load) * 1e12;
+                        let score = (d - target).abs() + cfg.energy_tiebreak * e_norm * 1.0e-12;
                         let better = match &best {
                             Some((s, _)) => score < *s,
                             None => true,
@@ -259,10 +258,8 @@ mod tests {
         let cfg = MatchingConfig::new(AllowedParams::tiny());
         let fast = match_delays(&c, &vec![5.0e-12; c.node_count()], &mut l, &cfg, None);
         let slow = match_delays(&c, &vec![120.0e-12; c.node_count()], &mut l, &cfg, None);
-        let t_fast =
-            timing_view(&c, &fast, &mut l, cfg.load_model, 30e-12).critical_path_delay(&c);
-        let t_slow =
-            timing_view(&c, &slow, &mut l, cfg.load_model, 30e-12).critical_path_delay(&c);
+        let t_fast = timing_view(&c, &fast, &mut l, cfg.load_model, 30e-12).critical_path_delay(&c);
+        let t_slow = timing_view(&c, &slow, &mut l, cfg.load_model, 30e-12).critical_path_delay(&c);
         assert!(t_fast < t_slow, "{t_fast:e} vs {t_slow:e}");
     }
 

@@ -34,8 +34,8 @@ pub fn exact_nullspace(t: &TopologyMatrix) -> Vec<Vec<f64>> {
         // Find pivot.
         let mut best = r;
         let mut best_abs = 0.0;
-        for rr in r..n_rows {
-            let a = rows[rr][c].abs();
+        for (rr, row) in rows.iter().enumerate().take(n_rows).skip(r) {
+            let a = row[c].abs();
             if a > best_abs {
                 best_abs = a;
                 best = rr;
@@ -66,9 +66,7 @@ pub fn exact_nullspace(t: &TopologyMatrix) -> Vec<Vec<f64>> {
         }
     }
 
-    let free_cols: Vec<usize> = (0..n_cols)
-        .filter(|c| !pivot_cols.contains(c))
-        .collect();
+    let free_cols: Vec<usize> = (0..n_cols).filter(|c| !pivot_cols.contains(c)).collect();
     free_cols
         .iter()
         .map(|&fc| {
@@ -123,13 +121,13 @@ impl TensionSpace {
         let mut class_of_root = vec![usize::MAX; n];
         let mut class_of_node = vec![0usize; n];
         let mut n_classes = 0usize;
-        for i in 0..n {
+        for (i, class) in class_of_node.iter_mut().enumerate() {
             let r = find(&mut parent, i);
             if class_of_root[r] == usize::MAX {
                 class_of_root[r] = n_classes;
                 n_classes += 1;
             }
-            class_of_node[i] = class_of_root[r];
+            *class = class_of_root[r];
         }
         // Pin classes containing PIs or POs.
         let mut pinned = vec![false; n_classes];
@@ -191,12 +189,7 @@ impl TensionSpace {
 /// Checks that `delta` changes no path delay by sampling `n_samples`
 /// random PI→PO paths (deterministic in `seed`); returns the worst
 /// absolute path-delay change observed.
-pub fn max_path_delay_change(
-    circuit: &Circuit,
-    delta: &[f64],
-    n_samples: usize,
-    seed: u64,
-) -> f64 {
+pub fn max_path_delay_change(circuit: &Circuit, delta: &[f64], n_samples: usize, seed: u64) -> f64 {
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
     let mut rng = StdRng::seed_from_u64(seed);
@@ -210,7 +203,9 @@ pub fn max_path_delay_change(
         let mut sum = 0.0f64;
         let mut steps = 0;
         loop {
-            if circuit.is_primary_output(at) && (circuit.fanout(at).is_empty() || rng.random_bool(0.5)) {
+            if circuit.is_primary_output(at)
+                && (circuit.fanout(at).is_empty() || rng.random_bool(0.5))
+            {
                 worst = worst.max(sum.abs());
                 break;
             }

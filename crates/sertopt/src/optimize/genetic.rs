@@ -75,10 +75,7 @@ fn best_of(population: &[(Vec<f64>, f64)]) -> &(Vec<f64>, f64) {
         .expect("population is non-empty")
 }
 
-fn tournament<'p>(
-    population: &'p [(Vec<f64>, f64)],
-    rng: &mut StdRng,
-) -> &'p [f64] {
+fn tournament<'p>(population: &'p [(Vec<f64>, f64)], rng: &mut StdRng) -> &'p [f64] {
     let mut best: Option<&(Vec<f64>, f64)> = None;
     for _ in 0..TOURNAMENT {
         let cand = &population[rng.random_range(0..population.len())];

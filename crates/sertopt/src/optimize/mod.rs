@@ -17,9 +17,9 @@ pub mod genetic;
 pub mod sqp;
 
 use aserta::AsertaConfig;
-use serde::{Deserialize, Serialize};
 use ser_cells::Library;
 use ser_netlist::Circuit;
+use serde::{Deserialize, Serialize};
 
 use crate::allowed::AllowedParams;
 use crate::baseline::size_for_speed;
@@ -126,9 +126,12 @@ pub fn optimize_circuit(
         Algorithm::CoordinateDescent => {
             coord::run(&mut problem, cfg.iterations, cfg.initial_step, cfg.seed)
         }
-        Algorithm::Anneal => {
-            anneal::run(&mut problem, cfg.iterations * 10, cfg.initial_step, cfg.seed)
-        }
+        Algorithm::Anneal => anneal::run(
+            &mut problem,
+            cfg.iterations * 10,
+            cfg.initial_step,
+            cfg.seed,
+        ),
         Algorithm::Genetic => {
             genetic::run(&mut problem, cfg.iterations, cfg.initial_step, cfg.seed)
         }
@@ -145,7 +148,8 @@ pub fn optimize_circuit(
     } else {
         (best, best_phi)
     };
-    if !(final_candidate.cost < problem.baseline.cost) {
+    // partial_cmp: a NaN cost must also fall back to the baseline.
+    if final_candidate.cost.partial_cmp(&problem.baseline.cost) != Some(std::cmp::Ordering::Less) {
         final_candidate = crate::problem::Candidate {
             cost: problem.baseline.cost,
             breakdown: problem.baseline,

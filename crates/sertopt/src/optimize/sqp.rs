@@ -107,12 +107,7 @@ pub fn run(
     (best_phi, history)
 }
 
-fn forward_difference(
-    problem: &mut DelayProblem<'_>,
-    phi: &[f64],
-    f0: f64,
-    h: f64,
-) -> Vec<f64> {
+fn forward_difference(problem: &mut DelayProblem<'_>, phi: &[f64], f0: f64, h: f64) -> Vec<f64> {
     let mut grad = vec![0.0; phi.len()];
     for k in 0..phi.len() {
         let mut p = phi.to_vec();

@@ -82,11 +82,8 @@ impl<'a> DelayProblem<'a> {
         aserta_cfg: AsertaConfig,
         energy: EnergyModel,
     ) -> Self {
-        let pij = sensitization_probabilities(
-            circuit,
-            aserta_cfg.sensitization_vectors,
-            aserta_cfg.seed,
-        );
+        let pij =
+            sensitization_probabilities(circuit, aserta_cfg.sensitization_vectors, aserta_cfg.seed);
         let tv = timing_view(
             circuit,
             &baseline_cells,
@@ -104,8 +101,7 @@ impl<'a> DelayProblem<'a> {
             &weights,
             None,
         );
-        baseline.cost =
-            weights.unreliability + weights.delay + weights.energy + weights.area;
+        baseline.cost = weights.unreliability + weights.delay + weights.energy + weights.area;
         let tension = TensionSpace::build(circuit);
         let levels = topo::levels_from_inputs(circuit);
         let depth = levels.iter().copied().max().unwrap_or(0);
@@ -203,8 +199,7 @@ mod tests {
 
     fn problem_for_c17(lib: &mut Library) -> DelayProblem<'_> {
         // Leak a circuit for the 'a lifetime of the test.
-        let circuit: &'static ser_netlist::Circuit =
-            Box::leak(Box::new(generate::c17()));
+        let circuit: &'static ser_netlist::Circuit = Box::leak(Box::new(generate::c17()));
         let baseline = CircuitCells::nominal(circuit);
         let mut cfg = AsertaConfig::fast();
         cfg.sensitization_vectors = 512;
@@ -252,8 +247,8 @@ mod tests {
         // Slow every level by its slack share: delay may rise, the
         // evaluation must stay finite and well-formed.
         let mut phi = vec![0.0; p.dim()];
-        for k in p.tension.dim()..phi.len() {
-            phi[k] = 10.0e-12; // κ = 1
+        for slack in phi.iter_mut().skip(p.tension.dim()) {
+            *slack = 10.0e-12; // κ = 1
         }
         let c = p.evaluate_phi(&phi);
         assert!(c.cost.is_finite());

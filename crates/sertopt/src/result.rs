@@ -33,8 +33,7 @@ impl Outcome {
         if self.baseline.unreliability <= 0.0 {
             return 0.0;
         }
-        (self.baseline.unreliability - self.optimized.unreliability)
-            / self.baseline.unreliability
+        (self.baseline.unreliability - self.optimized.unreliability) / self.baseline.unreliability
     }
 
     /// Optimized/baseline area ratio (Table 1 column 4).

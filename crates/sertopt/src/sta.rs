@@ -52,9 +52,7 @@ pub fn analyze(circuit: &Circuit, delays: &[f64], clock: f64) -> Timing {
             }
         }
     }
-    let slack: Vec<f64> = (0..n)
-        .map(|i| required[i] - arrival[i])
-        .collect();
+    let slack: Vec<f64> = (0..n).map(|i| required[i] - arrival[i]).collect();
 
     Timing {
         arrival,
@@ -148,7 +146,13 @@ mod tests {
     fn critical_path_is_connected_pi_to_po() {
         let c = generate::iscas85("c432").unwrap();
         let delays: Vec<f64> = (0..c.node_count())
-            .map(|i| if c.node(NodeId::new(i)).is_input() { 0.0 } else { 1.0 })
+            .map(|i| {
+                if c.node(NodeId::new(i)).is_input() {
+                    0.0
+                } else {
+                    1.0
+                }
+            })
             .collect();
         let path = critical_path(&c, &delays);
         assert!(c.node(path[0]).is_input());

@@ -69,23 +69,14 @@ impl TopologyMatrix {
         assert_eq!(gate_delays.len(), self.gates.len(), "one delay per column");
         self.rows
             .iter()
-            .map(|row| {
-                row.iter()
-                    .zip(gate_delays)
-                    .map(|(&t, &d)| t * d)
-                    .sum()
-            })
+            .map(|row| row.iter().zip(gate_delays).map(|(&t, &d)| t * d).sum())
             .collect()
     }
 
     /// `T·d` taking a full per-node delay vector (primary inputs get 0
     /// columns implicitly).
     pub fn path_delays_from_nodes(&self, node_delays: &[f64]) -> Vec<f64> {
-        let gate_delays: Vec<f64> = self
-            .gates
-            .iter()
-            .map(|g| node_delays[g.index()])
-            .collect();
+        let gate_delays: Vec<f64> = self.gates.iter().map(|g| node_delays[g.index()]).collect();
         self.path_delays(&gate_delays)
     }
 }

@@ -229,10 +229,7 @@ pub fn strike_po_widths(
             let mut best: Option<(usize, f64)> = None;
             for (pin, &f) in node.fanin.iter().enumerate() {
                 if let Some(w) = waves.get(&f) {
-                    let pred_vdd = elec
-                        .params(f)
-                        .map(|p| p.vdd)
-                        .unwrap_or(tech.vdd_nominal);
+                    let pred_vdd = elec.params(f).map(|p| p.vdd).unwrap_or(tech.vdd_nominal);
                     let exc = w.max_excursion_from(rail(statics[f.index()], pred_vdd));
                     if best.map(|(_, e)| exc > e).unwrap_or(true) {
                         best = Some((pin, exc));
@@ -430,11 +427,7 @@ mod tests {
         }
         // At least the PO drivers must show nonzero unreliability: their
         // strikes reach a latch unfiltered.
-        let po_sum: f64 = c
-            .primary_outputs()
-            .iter()
-            .map(|po| u[po.index()])
-            .sum();
+        let po_sum: f64 = c.primary_outputs().iter().map(|po| u[po.index()]).sum();
         assert!(po_sum > 0.0);
     }
 }

@@ -99,10 +99,7 @@ impl Mosfet {
         };
         // Subthreshold floor keeps the model continuous (and monotone)
         // across the threshold seam.
-        let floor = tech.i0_sub
-            * self.w_um
-            * lscale
-            * (1.0 - (-vds / tech.v_thermal).exp());
+        let floor = tech.i0_sub * self.w_um * lscale * (1.0 - (-vds / tech.v_thermal).exp());
         strong + floor
     }
 
@@ -175,7 +172,10 @@ mod tests {
         let d = unit_n();
         let below = d.current(&t, 0.2 - 1e-9, 1.0);
         let above = d.current(&t, 0.2 + 1e-9, 1.0);
-        assert!((below - above).abs() / below < 1e-3, "{below:e} vs {above:e}");
+        assert!(
+            (below - above).abs() / below < 1e-3,
+            "{below:e} vs {above:e}"
+        );
     }
 
     #[test]

@@ -1,5 +1,5 @@
-use serde::{Deserialize, Serialize};
 use ser_netlist::GateKind;
+use serde::{Deserialize, Serialize};
 
 use crate::device::{Mosfet, Polarity};
 use crate::tech::Technology;
@@ -49,7 +49,10 @@ impl GateParams {
     /// is [`GateKind::Input`].
     pub fn new(kind: GateKind, fanin: usize) -> Self {
         assert!(!kind.is_input(), "primary inputs have no electrical cell");
-        assert!(kind.arity_ok(fanin), "gate kind {kind} cannot take {fanin} pins");
+        assert!(
+            kind.arity_ok(fanin),
+            "gate kind {kind} cannot take {fanin} pins"
+        );
         GateParams {
             kind,
             fanin,
@@ -87,7 +90,11 @@ impl GateParams {
     /// Cell area in the abstract units of the paper's Eq. 5 `A` term:
     /// total active width × length, normalized to a unit inverter.
     pub fn area(&self) -> f64 {
-        let stages = if needs_output_inverter(self.kind) { 1.4 } else { 1.0 };
+        let stages = if needs_output_inverter(self.kind) {
+            1.4
+        } else {
+            1.0
+        };
         let pins = self.fanin as f64;
         self.size * pins.max(1.0) * (self.l_nm / 70.0) * stages
     }
@@ -308,10 +315,7 @@ mod tests {
     fn size_scales_caps_and_drive() {
         let t = tech();
         let s1 = GateElectrical::from_params(&t, &GateParams::new(GateKind::Not, 1));
-        let s4 = GateElectrical::from_params(
-            &t,
-            &GateParams::new(GateKind::Not, 1).with_size(4.0),
-        );
+        let s4 = GateElectrical::from_params(&t, &GateParams::new(GateKind::Not, 1).with_size(4.0));
         assert!((s4.input_capacitance() / s1.input_capacitance() - 4.0).abs() < 0.01);
         let i1 = s1.stages()[0].nmos.current(&t, 1.0, 1.0);
         let i4 = s4.stages()[0].nmos.current(&t, 1.0, 1.0);
@@ -332,28 +336,16 @@ mod tests {
     #[test]
     fn leakage_rises_when_vth_drops() {
         let t = tech();
-        let hi = GateElectrical::from_params(
-            &t,
-            &GateParams::new(GateKind::Not, 1).with_vth(0.3),
-        );
-        let lo = GateElectrical::from_params(
-            &t,
-            &GateParams::new(GateKind::Not, 1).with_vth(0.1),
-        );
+        let hi = GateElectrical::from_params(&t, &GateParams::new(GateKind::Not, 1).with_vth(0.3));
+        let lo = GateElectrical::from_params(&t, &GateParams::new(GateKind::Not, 1).with_vth(0.1));
         assert!(lo.leakage_current(&t) > 10.0 * hi.leakage_current(&t));
     }
 
     #[test]
     fn dynamic_energy_scales_with_vdd_squared() {
         let t = tech();
-        let v08 = GateElectrical::from_params(
-            &t,
-            &GateParams::new(GateKind::Not, 1).with_vdd(0.8),
-        );
-        let v12 = GateElectrical::from_params(
-            &t,
-            &GateParams::new(GateKind::Not, 1).with_vdd(1.2),
-        );
+        let v08 = GateElectrical::from_params(&t, &GateParams::new(GateKind::Not, 1).with_vdd(0.8));
+        let v12 = GateElectrical::from_params(&t, &GateParams::new(GateKind::Not, 1).with_vdd(1.2));
         let load = 2.0 * FF;
         let ratio = v12.dynamic_energy(&t, load) / v08.dynamic_energy(&t, load);
         assert!((ratio - (1.2f64 / 0.8).powi(2)).abs() < 1e-9);

@@ -50,14 +50,12 @@ pub fn transition_time(wf: &Waveform, vdd: f64) -> Option<f64> {
 }
 
 fn nearest(crossings: &[(f64, bool)], t: f64) -> Option<f64> {
-    crossings
-        .iter()
-        .map(|&(tc, _)| tc)
-        .min_by(|a, b| {
-            (a - t).abs()
-                .partial_cmp(&(b - t).abs())
-                .expect("crossing times are finite")
-        })
+    crossings.iter().map(|&(tc, _)| tc).min_by(|a, b| {
+        (a - t)
+            .abs()
+            .partial_cmp(&(b - t).abs())
+            .expect("crossing times are finite")
+    })
 }
 
 /// Total time the waveform spends on the far side of mid-rail relative to

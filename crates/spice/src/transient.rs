@@ -59,9 +59,8 @@ pub fn simulate_stage(
             None => 0.0,
         }
     };
-    let f = |t: f64, v: f64| -> f64 {
-        (stage.current_into_output(tech, vin(t), v) + inj(t)) / c_total
-    };
+    let f =
+        |t: f64, v: f64| -> f64 { (stage.current_into_output(tech, vin(t), v) + inj(t)) / c_total };
 
     let n_max = (cfg.max_window / cfg.dt).ceil() as usize;
     let mut samples = Vec::with_capacity(n_max.min(1 << 16));
@@ -340,8 +339,12 @@ mod tests {
     fn delay_shrinks_with_size() {
         let t = tech();
         let cfg = TransientConfig::default();
-        let d1 = gate_delay(&t, &inv(1.0), 4.0 * FF, 20.0 * PS, &cfg).unwrap().tpd;
-        let d4 = gate_delay(&t, &inv(4.0), 4.0 * FF, 20.0 * PS, &cfg).unwrap().tpd;
+        let d1 = gate_delay(&t, &inv(1.0), 4.0 * FF, 20.0 * PS, &cfg)
+            .unwrap()
+            .tpd;
+        let d4 = gate_delay(&t, &inv(4.0), 4.0 * FF, 20.0 * PS, &cfg)
+            .unwrap()
+            .tpd;
         assert!(d4 < d1 / 2.0, "{} vs {}", d4 / PS, d1 / PS);
     }
 
@@ -422,7 +425,12 @@ mod tests {
         let w_in = 40.0 * PS;
         let w_nand = propagated_glitch_width(&t, &nand, w_in, 10.0 * PS, 2.0 * FF, &cfg);
         let w_and = propagated_glitch_width(&t, &and, w_in, 10.0 * PS, 2.0 * FF, &cfg);
-        assert!(w_and <= w_nand + 2.0 * PS, "{} vs {}", w_and / PS, w_nand / PS);
+        assert!(
+            w_and <= w_nand + 2.0 * PS,
+            "{} vs {}",
+            w_and / PS,
+            w_nand / PS
+        );
     }
 
     #[test]
@@ -435,5 +443,4 @@ mod tests {
         let w32 = generated_glitch_width(&t, &g, false, 2.0 * FF, &Strike::charge_fc(32.0), &cfg);
         assert!(w8 < w16 && w16 < w32);
     }
-
 }

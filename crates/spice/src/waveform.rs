@@ -124,12 +124,7 @@ pub fn ramp(v_from: f64, v_to: f64, t_start: f64, ramp: f64) -> impl Fn(f64) -> 
 ///
 /// Width is measured at the *base*; the width at 50% amplitude is
 /// `width/2`, matching the linear-ramp glitch model of the paper.
-pub fn triangle_glitch(
-    v_base: f64,
-    v_peak: f64,
-    t_start: f64,
-    width: f64,
-) -> impl Fn(f64) -> f64 {
+pub fn triangle_glitch(v_base: f64, v_peak: f64, t_start: f64, width: f64) -> impl Fn(f64) -> f64 {
     move |t: f64| {
         if t <= t_start || t >= t_start + width || width <= 0.0 {
             v_base

@@ -5,9 +5,8 @@ use ser_spice::measure::glitch_width;
 use ser_spice::{Mosfet, Polarity, Strike, Technology, Waveform};
 
 fn arb_device() -> impl Strategy<Value = Mosfet> {
-    (0.05f64..2.0, 70.0f64..300.0, 0.05f64..0.4).prop_map(|(w, l, vth)| {
-        Mosfet::new(Polarity::Nmos, w, l, vth)
-    })
+    (0.05f64..2.0, 70.0f64..300.0, 0.05f64..0.4)
+        .prop_map(|(w, l, vth)| Mosfet::new(Polarity::Nmos, w, l, vth))
 }
 
 proptest! {

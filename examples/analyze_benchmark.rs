@@ -48,14 +48,18 @@ fn main() {
     println!();
     println!(
         "{}",
-        report::format_ranked_table(&circuit, "top 10 soft spots", &rep.per_gate_unreliability, 10)
+        report::format_ranked_table(
+            &circuit,
+            "top 10 soft spots",
+            &rep.per_gate_unreliability,
+            10
+        )
     );
 
     if do_validate {
         println!("validating against the transistor-level reference (this is the slow part)…");
-        let r = validate::correlate_with_reference(
-            &tech, &circuit, &cells, &mut library, &cfg, 25, 5,
-        );
+        let r =
+            validate::correlate_with_reference(&tech, &circuit, &cells, &mut library, &cfg, 25, 5);
         println!(
             "ASERTA vs reference correlation over {} near-PO nodes: {:.3}",
             r.nodes.len(),

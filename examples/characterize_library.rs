@@ -49,11 +49,21 @@ fn main() {
     let cell = library.get_or_characterize(&nominal);
     println!("\nNAND2 size 1, L 70 nm, 1 V, 0.2 V:");
     println!("  input cap        = {:.3} fF", cell.input_cap / FF);
-    println!("  delay @2fF/20ps  = {:.1} ps", cell.delay_at(2.0 * FF, 20.0 * PS) / PS);
-    println!("  glitch @2fF/16fC = {:.1} ps", cell.glitch_width_at(2.0 * FF, 16.0 * FC) / PS);
+    println!(
+        "  delay @2fF/20ps  = {:.1} ps",
+        cell.delay_at(2.0 * FF, 20.0 * PS) / PS
+    );
+    println!(
+        "  glitch @2fF/16fC = {:.1} ps",
+        cell.glitch_width_at(2.0 * FF, 16.0 * FC) / PS
+    );
     println!("  leakage power    = {:.2} nW", cell.leak_power * 1e9);
 
     library.save(&path).expect("writable output path");
     let reloaded = Library::load(&path).expect("file we just wrote parses");
-    println!("\nsaved {} cells to {path} and reloaded {} — round trip OK", library.len(), reloaded.len());
+    println!(
+        "\nsaved {} cells to {path} and reloaded {} — round trip OK",
+        library.len(),
+        reloaded.len()
+    );
 }

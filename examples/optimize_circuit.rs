@@ -11,8 +11,8 @@ use std::collections::BTreeMap;
 
 use soft_error::cells::{CharGrids, Library};
 use soft_error::netlist::{generate, topo};
-use soft_error::spice::Technology;
 use soft_error::sertopt::{optimize_circuit, Algorithm, AllowedParams, OptimizerConfig};
+use soft_error::spice::Technology;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -26,10 +26,12 @@ fn main() {
 
     let circuit = generate::iscas85(name).expect("an ISCAS'85 benchmark name");
     let mut library = Library::new(Technology::ptm70(), CharGrids::standard());
-    let mut cfg = OptimizerConfig::default();
-    cfg.algorithm = algo;
-    cfg.allowed = AllowedParams::table1_dual();
-    cfg.iterations = 16;
+    let mut cfg = OptimizerConfig {
+        algorithm: algo,
+        allowed: AllowedParams::table1_dual(),
+        iterations: 16,
+        ..OptimizerConfig::default()
+    };
     cfg.aserta.sensitization_vectors = 4096;
 
     println!("optimizing {name} with {algo:?}…");

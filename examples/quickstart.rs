@@ -7,13 +7,17 @@
 use soft_error::aserta::{analyze_fresh, AsertaConfig, CircuitCells};
 use soft_error::cells::{CharGrids, Library};
 use soft_error::netlist::generate;
-use soft_error::spice::Technology;
 use soft_error::sertopt::{optimize_circuit, OptimizerConfig};
+use soft_error::spice::Technology;
 
 fn main() {
     // 1. A circuit: the exact ISCAS'85 c17 (six NAND gates).
     let circuit = generate::c17();
-    println!("circuit: {} ({} gates)", circuit.name(), circuit.gate_count());
+    println!(
+        "circuit: {} ({} gates)",
+        circuit.name(),
+        circuit.gate_count()
+    );
 
     // 2. A characterized cell library over the 70 nm predictive node.
     //    Cells are characterized lazily by transistor-level simulation on
@@ -23,7 +27,10 @@ fn main() {
     // 3. ASERTA: how soft is the nominal circuit?
     let cells = CircuitCells::nominal(&circuit);
     let report = analyze_fresh(&circuit, &cells, &mut library, &AsertaConfig::default());
-    println!("unreliability U = {:.3e} (size x seconds of latched glitch)", report.unreliability);
+    println!(
+        "unreliability U = {:.3e} (size x seconds of latched glitch)",
+        report.unreliability
+    );
     println!("top soft spots:");
     for (id, u) in report.soft_spots(&circuit, 3) {
         println!("  gate {:<4} U_i = {:.3e}", circuit.node(id).name, u);

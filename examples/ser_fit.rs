@@ -12,8 +12,8 @@ use soft_error::aserta::{AsertaConfig, CircuitCells};
 use soft_error::cells::{CharGrids, Library};
 use soft_error::logicsim::sensitize::sensitization_probabilities;
 use soft_error::netlist::generate;
-use soft_error::spice::Technology;
 use soft_error::sertopt::{optimize_circuit, OptimizerConfig};
+use soft_error::spice::Technology;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "c432".to_owned());

@@ -146,8 +146,11 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
             "critical_path_s": rep.timing.critical_path_delay(&circuit),
             "gates": per_gate,
         });
-        fs::write(path, serde_json::to_string_pretty(&doc).expect("serializable"))
-            .map_err(|e| format!("writing {path}: {e}"))?;
+        fs::write(
+            path,
+            serde_json::to_string_pretty(&doc).expect("serializable"),
+        )
+        .map_err(|e| format!("writing {path}: {e}"))?;
         println!("\nwrote {path}");
     }
     Ok(())
@@ -251,7 +254,13 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
         vectors
     );
     let r = validate::correlate_with_reference(
-        &tech, &circuit, &cells, &mut library, &cfg, vectors, levels,
+        &tech,
+        &circuit,
+        &cells,
+        &mut library,
+        &cfg,
+        vectors,
+        levels,
     );
     println!(
         "ASERTA vs reference over {} nodes (≤ {levels} levels from POs): correlation {:.3}",

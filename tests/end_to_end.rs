@@ -5,9 +5,9 @@
 use soft_error::aserta::{analyze_fresh, timing_view, AsertaConfig, CircuitCells, LoadModel};
 use soft_error::cells::{CharGrids, Library};
 use soft_error::netlist::generate;
-use soft_error::spice::Technology;
 use soft_error::sertopt::matching::vdd_violations;
 use soft_error::sertopt::{optimize_circuit, Algorithm, OptimizerConfig};
+use soft_error::spice::Technology;
 
 fn fast_config(algorithm: Algorithm) -> OptimizerConfig {
     let mut cfg = OptimizerConfig::fast();

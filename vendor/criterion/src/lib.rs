@@ -1,0 +1,254 @@
+//! Offline, API-compatible shim for the parts of `criterion` this
+//! workspace's benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] (with `sample_size`, `bench_function`,
+//! `bench_with_input`, `finish`), [`Bencher::iter`], [`BenchmarkId`] and
+//! the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is a simple calibrated wall-clock mean (no outlier
+//! statistics, no plots): each benchmark is warmed up, then timed over
+//! `sample_size` batches and reported as mean ns/iter on stdout.
+//!
+//! # Example
+//!
+//! ```
+//! use criterion::{criterion_group, criterion_main, Criterion};
+//!
+//! fn bench_add(c: &mut Criterion) {
+//!     c.bench_function("add", |b| b.iter(|| std::hint::black_box(1 + 2)));
+//! }
+//!
+//! criterion_group!(benches, bench_add);
+//! # fn main() {}
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export for call sites that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the displayed parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    samples: usize,
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `body` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warm-up + calibration: find an iteration count that takes
+        // roughly a millisecond, so cheap kernels aren't all timer noise.
+        let mut iters_per_sample: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(body());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed > Duration::from_millis(1) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 4;
+        }
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(body());
+            }
+            total += t0.elapsed();
+            total_iters += iters_per_sample;
+        }
+        self.mean_ns = total.as_secs_f64() * 1e9 / total_iters as f64;
+    }
+}
+
+fn run_one(name: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        mean_ns: f64::NAN,
+    };
+    f(&mut b);
+    if b.mean_ns.is_nan() {
+        println!("{name:<50} (no measurement)");
+    } else if b.mean_ns >= 1e6 {
+        println!("{name:<50} time: {:>12.3} ms/iter", b.mean_ns / 1e6);
+    } else if b.mean_ns >= 1e3 {
+        println!("{name:<50} time: {:>12.3} µs/iter", b.mean_ns / 1e3);
+    } else {
+        println!("{name:<50} time: {:>12.1} ns/iter", b.mean_ns);
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&id.into_name(), self.default_samples, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            samples: 10,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into_name());
+        run_one(&name, self.samples, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.into_name());
+        run_one(&name, self.samples, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (Statistics finalization in real criterion; a
+    /// no-op here.)
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one runner, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("inner", |b| b.iter(|| black_box(2 * 2)));
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &3, |b, &x| {
+            b.iter(|| black_box(x + 1))
+        });
+        group.finish();
+    }
+}

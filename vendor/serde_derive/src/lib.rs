@@ -1,0 +1,339 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` implemented with a hand-rolled token parser
+//! (the environment has no `syn`/`quote`). Supports exactly the shapes
+//! this workspace derives on:
+//!
+//! * structs with named fields (honouring `#[serde(skip)]` per field);
+//! * tuple structs (honouring `#[serde(transparent)]`);
+//! * enums with unit variants only.
+//!
+//! Generated impls target the sibling `serde` shim's value-tree traits.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Enum(Vec<String>),
+}
+
+struct Container {
+    name: String,
+    transparent: bool,
+    shape: Shape,
+}
+
+/// Consumes leading `#[...]` attributes, returning whether any of them
+/// is a `serde(...)` attribute containing the given word.
+fn eat_attrs(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>, word: &str) -> bool {
+    let mut found = false;
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    let s = g.stream().to_string();
+                    if s.starts_with("serde") && s.contains(word) {
+                        found = true;
+                    }
+                } else {
+                    panic!("malformed attribute");
+                }
+            }
+            _ => return found,
+        }
+    }
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility.
+fn eat_vis(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        iter.next();
+        if matches!(
+            iter.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            iter.next();
+        }
+    }
+}
+
+fn parse_container(input: TokenStream) -> Container {
+    let mut iter = input.into_iter().peekable();
+    let transparent = eat_attrs(&mut iter, "transparent");
+    eat_vis(&mut iter);
+    let kw = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) => g,
+        other => panic!(
+            "derive shim does not support generics or unit structs: \
+             unexpected {other:?} after `{name}`"
+        ),
+    };
+    let shape = match (kw.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => Shape::Named(parse_named_fields(body.stream())),
+        ("struct", Delimiter::Parenthesis) => Shape::Tuple(count_tuple_fields(body.stream())),
+        ("enum", Delimiter::Brace) => Shape::Enum(parse_unit_variants(body.stream())),
+        (kw, d) => panic!("unsupported item `{kw}` with delimiter {d:?}"),
+    };
+    Container {
+        name,
+        transparent,
+        shape,
+    }
+}
+
+/// Skips tokens of one type expression, up to (and consuming) a
+/// top-level comma. Tracks `<`/`>` depth; commas inside parenthesized or
+/// bracketed groups are invisible because groups are single tokens.
+fn skip_type(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0i32;
+    while let Some(tt) = iter.peek() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    iter.next();
+                    return;
+                }
+                _ => {}
+            }
+        }
+        iter.next();
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let mut iter = ts.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let skip = eat_attrs(&mut iter, "skip");
+        eat_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => return fields,
+            other => panic!("expected field name, found {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&mut iter);
+        fields.push(Field { name, skip });
+    }
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut iter = ts.into_iter().peekable();
+    let mut count = 0;
+    while iter.peek().is_some() {
+        eat_attrs(&mut iter, "\u{0}");
+        eat_vis(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        skip_type(&mut iter);
+        count += 1;
+    }
+    count
+}
+
+fn parse_unit_variants(ts: TokenStream) -> Vec<String> {
+    let mut iter = ts.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        eat_attrs(&mut iter, "\u{0}");
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => return variants,
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        match iter.next() {
+            None => {
+                variants.push(name);
+                return variants;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(name),
+            Some(TokenTree::Group(_)) => {
+                panic!("derive shim supports unit enum variants only (variant `{name}`)")
+            }
+            other => panic!("unexpected token after variant `{name}`: {other:?}"),
+        }
+    }
+}
+
+/// Derives the value-tree `serde::Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    let name = &c.name;
+    let body = match &c.shape {
+        Shape::Named(fields) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            if c.transparent {
+                assert!(
+                    live.len() == 1,
+                    "#[serde(transparent)] needs exactly one unskipped field"
+                );
+                format!("::serde::Serialize::serialize(&self.{})", live[0].name)
+            } else {
+                let mut pushes = String::new();
+                for f in &live {
+                    pushes.push_str(&format!(
+                        "__obj.push((::std::string::String::from(\"{0}\"), \
+                         ::serde::Serialize::serialize(&self.{0})));",
+                        f.name
+                    ));
+                }
+                format!(
+                    "let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                     = ::std::vec::Vec::new(); {pushes} ::serde::Value::Object(__obj)"
+                )
+            }
+        }
+        Shape::Tuple(n) => {
+            if c.transparent || *n == 1 {
+                "::serde::Serialize::serialize(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(","))
+            }
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::String(::std::string::String::from(\"{v}\")),"
+                    )
+                })
+                .collect();
+            format!("match *self {{ {} }}", arms.join(""))
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{ \
+           fn serialize(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the value-tree `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    let name = &c.name;
+    let body = match &c.shape {
+        Shape::Named(fields) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            if c.transparent {
+                assert!(
+                    live.len() == 1,
+                    "#[serde(transparent)] needs exactly one unskipped field"
+                );
+                let mut inits = String::new();
+                for f in fields {
+                    if f.skip {
+                        inits.push_str(&format!("{}: ::std::default::Default::default(),", f.name));
+                    } else {
+                        inits.push_str(&format!(
+                            "{}: ::serde::Deserialize::deserialize(__v)?,",
+                            f.name
+                        ));
+                    }
+                }
+                format!("::std::result::Result::Ok({name} {{ {inits} }})")
+            } else {
+                let mut inits = String::new();
+                for f in fields {
+                    if f.skip {
+                        inits.push_str(&format!("{}: ::std::default::Default::default(),", f.name));
+                    } else {
+                        inits.push_str(&format!(
+                            "{0}: match ::serde::__find(__obj, \"{0}\") {{ \
+                               ::std::option::Option::Some(__x) => \
+                                 ::serde::Deserialize::deserialize(__x) \
+                                   .map_err(|__e| __e.context(\"{name}.{0}\"))?, \
+                               ::std::option::Option::None => \
+                                 return ::std::result::Result::Err(\
+                                   ::serde::Error::missing_field(\"{name}\", \"{0}\")), \
+                             }},",
+                            f.name
+                        ));
+                    }
+                }
+                format!(
+                    "let __obj = __v.as_object().ok_or_else(|| \
+                       ::serde::Error::custom(format!(\
+                         \"expected object for `{name}`, found {{}}\", __v.kind())))?; \
+                     ::std::result::Result::Ok({name} {{ {inits} }})"
+                )
+            }
+        }
+        Shape::Tuple(n) => {
+            if c.transparent || *n == 1 {
+                format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))"
+                )
+            } else {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::deserialize(&__a[{i}])?"))
+                    .collect();
+                format!(
+                    "let __a = __v.as_array().ok_or_else(|| \
+                       ::serde::Error::custom(\"expected array for `{name}`\"))?; \
+                     if __a.len() != {n} {{ \
+                       return ::std::result::Result::Err(::serde::Error::custom(\
+                         format!(\"expected {n} elements for `{name}`, found {{}}\", __a.len()))); \
+                     }} \
+                     ::std::result::Result::Ok({name}({items}))",
+                    items = items.join(",")
+                )
+            }
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "match __v.as_str() {{ \
+                   ::std::option::Option::Some(__s) => match __s {{ \
+                     {} \
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                       format!(\"unknown variant `{{__other}}` of `{name}`\"))), \
+                   }}, \
+                   ::std::option::Option::None => ::std::result::Result::Err(\
+                     ::serde::Error::custom(format!(\
+                       \"expected string variant for `{name}`, found {{}}\", __v.kind()))), \
+                 }}",
+                arms.join("")
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn deserialize(__v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    );
+    out.parse().expect("generated Deserialize impl parses")
+}
