@@ -1,0 +1,210 @@
+//! Perf-trajectory snapshot: wall-times the ASERTA hot paths on fixed
+//! circuits at fixed seeds and writes a `BENCH_*.json` record, so every
+//! PR has a baseline to beat.
+//!
+//! Measures, per circuit (c17 / sec32 / layered):
+//!
+//! * `pij` — Monte-Carlo sensitization-probability estimation;
+//! * `widths` — the reverse-topological [`ExpectedWidths`] pass;
+//! * `analyze_fresh` — the end-to-end ASERTA pipeline (library
+//!   characterization warmed up beforehand so the timing isolates the
+//!   analysis hot path).
+//!
+//! ```text
+//! cargo run --release -p ser-bench --bin perf_snapshot -- \
+//!     [--smoke] [--out PATH] [--baseline PATH]
+//! ```
+//!
+//! `--smoke` shrinks vector counts and repetitions for CI; `--baseline`
+//! embeds a previous snapshot and reports per-circuit speedups against
+//! it.
+
+use aserta::{analyze_fresh, timing_view, AsertaConfig, CircuitCells, ExpectedWidths, LoadModel};
+use ser_bench::timed;
+use ser_cells::{CharGrids, Library};
+use ser_logicsim::probability::static_probabilities_analytic;
+use ser_logicsim::sensitize::{sensitization_probabilities, simulation_threads};
+use ser_netlist::generate::{self, LayeredSpec};
+use ser_netlist::Circuit;
+use ser_spice::Technology;
+use serde_json::Value;
+
+/// Fixed seed shared by every stochastic estimate in the snapshot.
+const SEED: u64 = 0xBE7C;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_pr3.json".to_owned());
+    let baseline_path = flag_value(&args, "--baseline");
+
+    let (vectors, reps) = if smoke { (512, 1) } else { (4096, 3) };
+    let threads = simulation_threads();
+
+    let mut rows: Vec<Value> = Vec::new();
+    for circuit in snapshot_circuits() {
+        rows.push(measure(&circuit, vectors, reps));
+        eprintln!("measured {}", circuit.name());
+    }
+
+    let baseline = baseline_path.map(|p| {
+        let text = std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {p}: {e}"));
+        serde_json::from_str::<Value>(&text).unwrap_or_else(|e| panic!("parse {p}: {e}"))
+    });
+    let speedups = baseline.as_ref().map(|b| speedups_vs(b, &rows));
+
+    let mut doc: Vec<(String, Value)> = vec![
+        ("snapshot".into(), serde_json::to_value(&"pr3")),
+        ("smoke".into(), serde_json::to_value(&smoke)),
+        ("threads".into(), serde_json::to_value(&(threads as u64))),
+        ("vectors".into(), serde_json::to_value(&(vectors as u64))),
+        ("reps".into(), serde_json::to_value(&(reps as u64))),
+        ("circuits".into(), Value::Array(rows)),
+    ];
+    if let Some(s) = speedups {
+        doc.push(("speedup_vs_baseline".into(), s));
+    }
+    if let Some(b) = baseline {
+        doc.push(("baseline".into(), b));
+    }
+    let text = serde_json::to_string_pretty(&Value::Object(doc)).expect("render JSON");
+    std::fs::write(&out_path, text + "\n").unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}
+
+/// The fixed circuit set: tiny exact c17, the 32-bit SEC circuit
+/// (c499-class structure) and a 1000-gate random layered DAG.
+fn snapshot_circuits() -> Vec<Circuit> {
+    vec![
+        generate::c17(),
+        generate::sec32("sec32"),
+        generate::layered(&LayeredSpec::new("layered1k", 40, 12, 1000)),
+    ]
+}
+
+/// Times the three hot paths on one circuit, keeping the best of `reps`
+/// runs (first `analyze_fresh` call outside the clock warms the library's
+/// characterization cache).
+fn measure(circuit: &Circuit, vectors: usize, reps: usize) -> Value {
+    let mut lib = Library::new(Technology::ptm70(), CharGrids::coarse());
+    let cells = CircuitCells::nominal(circuit);
+    let cfg = AsertaConfig {
+        sensitization_vectors: vectors,
+        seed: SEED,
+        ..AsertaConfig::default()
+    };
+
+    // Warm-up: characterizes every cell once so timed runs hit the cache.
+    let report = analyze_fresh(circuit, &cells, &mut lib, &cfg);
+
+    // The first timed run doubles as the matrix used by the widths pass.
+    let (pij, first_s) = timed(|| sensitization_probabilities(circuit, vectors, SEED));
+    let rest_s = best_of(reps.saturating_sub(1), || {
+        timed(|| sensitization_probabilities(circuit, vectors, SEED)).1
+    });
+    let pij_s = first_s.min(rest_s);
+
+    let probs = static_probabilities_analytic(circuit, cfg.pi_probability);
+    let loads = LoadModel {
+        wire_cap_per_pin: cfg.wire_cap_per_pin,
+        po_load: cfg.po_load,
+    };
+    let view = timing_view(circuit, &cells, &mut lib, loads, cfg.pi_ramp);
+    let widths_s = best_of(reps, || {
+        timed(|| {
+            ExpectedWidths::compute(circuit, &probs, &pij, &view.delays, cfg.sample_width_grid())
+        })
+        .1
+    });
+
+    let analyze_s = best_of(reps, || {
+        timed(|| analyze_fresh(circuit, &cells, &mut lib, &cfg)).1
+    });
+
+    Value::Object(vec![
+        ("name".into(), serde_json::to_value(&circuit.name())),
+        (
+            "nodes".into(),
+            serde_json::to_value(&(circuit.node_count() as u64)),
+        ),
+        (
+            "gates".into(),
+            serde_json::to_value(&(circuit.gate_count() as u64)),
+        ),
+        (
+            "pos".into(),
+            serde_json::to_value(&(circuit.primary_outputs().len() as u64)),
+        ),
+        (
+            "unreliability".into(),
+            serde_json::to_value(&report.unreliability),
+        ),
+        ("pij_s".into(), serde_json::to_value(&pij_s)),
+        ("widths_s".into(), serde_json::to_value(&widths_s)),
+        ("analyze_fresh_s".into(), serde_json::to_value(&analyze_s)),
+    ])
+}
+
+/// Minimum over `reps` runs (`INFINITY` when `reps` is 0, for callers
+/// folding in an already-timed first run).
+fn best_of(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    (0..reps).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+/// Per-circuit `baseline_time / new_time` ratios for the timed sections.
+fn speedups_vs(baseline: &Value, rows: &[Value]) -> Value {
+    let empty: &[Value] = &[];
+    let base_rows = baseline
+        .as_object()
+        .and_then(|o| o.iter().find(|(k, _)| k == "circuits"))
+        .and_then(|(_, v)| v.as_array())
+        .unwrap_or(empty);
+    let mut out: Vec<(String, Value)> = Vec::new();
+    for row in rows {
+        let Some(name) = field(row, "name").and_then(Value::as_str) else {
+            continue;
+        };
+        let Some(base) = base_rows
+            .iter()
+            .find(|b| field(b, "name").and_then(Value::as_str) == Some(name))
+        else {
+            continue;
+        };
+        let ratio = |key: &str| -> Value {
+            match (num(base, key), num(row, key)) {
+                (Some(b), Some(n)) if n > 0.0 => serde_json::to_value(&(b / n)),
+                _ => Value::Null,
+            }
+        };
+        out.push((
+            name.to_owned(),
+            Value::Object(vec![
+                ("pij".into(), ratio("pij_s")),
+                ("widths".into(), ratio("widths_s")),
+                ("analyze_fresh".into(), ratio("analyze_fresh_s")),
+            ]),
+        ));
+    }
+    Value::Object(out)
+}
+
+fn field<'v>(obj: &'v Value, key: &str) -> Option<&'v Value> {
+    obj.as_object()?
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+}
+
+fn num(obj: &Value, key: &str) -> Option<f64> {
+    match field(obj, key) {
+        Some(Value::Number(n)) => Some(n.as_f64()),
+        _ => None,
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}

@@ -94,6 +94,13 @@ impl ExpectedWidths {
             po_col[po.index()] = j;
         }
 
+        // Hoisted interpolation brackets: the attenuated width
+        // `wos = model.apply(grid[k], delay[s])` and its bracket in the
+        // grid depend only on (node, k), not on the PO column, so the
+        // per-column inner loop below reduces to one fused
+        // multiply-add over precomputed row offsets and weights.
+        let brackets = InterpBrackets::new(&grid, delays, model, n_pos);
+
         for &id in circuit.topological_order().iter().rev() {
             let base = id.index() * k_n * n_pos;
 
@@ -112,7 +119,10 @@ impl ExpectedWidths {
             if successors.is_empty() {
                 continue;
             }
-            for j in 0..n_pos {
+            // Columns outside the reachability list are structurally
+            // zero (`P_ij = 0`); skip them without touching the matrix.
+            for &col in pij.reachable_columns(id) {
+                let j = col as usize;
                 // π weights share the denominator across k; compute once.
                 let p_ij = pij.p(id, j);
                 if p_ij <= 0.0 {
@@ -128,8 +138,10 @@ impl ExpectedWidths {
                         if pi_w == 0.0 {
                             continue;
                         }
-                        let wos = model.apply(grid[k], delays[s.index()]);
-                        let we = interp_width(&ws, s.index() * k_n * n_pos, n_pos, j, &grid, wos);
+                        let b = brackets.at(s.index(), k);
+                        let s_base = s.index() * k_n * n_pos;
+                        let we =
+                            ws[s_base + b.off_lo + j] * b.w_lo + ws[s_base + b.off_hi + j] * b.w_hi;
                         sum += pi_w * we;
                     }
                     ws[base + k * n_pos + j] += sum;
@@ -181,6 +193,80 @@ impl ExpectedWidths {
         (0..self.n_pos)
             .map(|j| self.expected_width(i, j, w_gen))
             .sum()
+    }
+}
+
+/// One hoisted interpolation bracket: row offsets (premultiplied by the
+/// PO-column stride) and blend weights of the two grid samples framing an
+/// attenuated width.
+#[derive(Debug, Clone, Copy)]
+struct Bracket {
+    off_lo: usize,
+    off_hi: usize,
+    w_lo: f64,
+    w_hi: f64,
+}
+
+/// Brackets for every `(node, sample-width)` pair: the attenuation of
+/// `grid[k]` through node `s` and its linear-interpolation coefficients,
+/// computed once instead of per PO column. Reproduces [`interp_width`]'s
+/// arithmetic exactly (same clamping, same blend expression), so hoisting
+/// does not move results even in the last bit.
+struct InterpBrackets {
+    per_node: Vec<Bracket>,
+    k_n: usize,
+}
+
+impl InterpBrackets {
+    fn new(grid: &[f64], delays: &[f64], model: AttenuationModel, n_pos: usize) -> Self {
+        let k_n = grid.len();
+        let top = k_n - 1;
+        let mut per_node = Vec::with_capacity(delays.len() * k_n);
+        for &delay in delays {
+            for &g in grid {
+                let w = model.apply(g, delay);
+                let b = if w <= grid[0] {
+                    Bracket {
+                        off_lo: 0,
+                        off_hi: 0,
+                        w_lo: 1.0,
+                        w_hi: 0.0,
+                    }
+                } else if w >= grid[top] {
+                    Bracket {
+                        off_lo: top * n_pos,
+                        off_hi: top * n_pos,
+                        w_lo: 0.0,
+                        w_hi: 1.0,
+                    }
+                } else {
+                    let mut lo = 0usize;
+                    let mut hi = top;
+                    while hi - lo > 1 {
+                        let mid = (lo + hi) / 2;
+                        if grid[mid] <= w {
+                            lo = mid;
+                        } else {
+                            hi = mid;
+                        }
+                    }
+                    let frac = (w - grid[lo]) / (grid[lo + 1] - grid[lo]);
+                    Bracket {
+                        off_lo: lo * n_pos,
+                        off_hi: (lo + 1) * n_pos,
+                        w_lo: 1.0 - frac,
+                        w_hi: frac,
+                    }
+                };
+                per_node.push(b);
+            }
+        }
+        InterpBrackets { per_node, k_n }
+    }
+
+    #[inline]
+    fn at(&self, node: usize, k: usize) -> Bracket {
+        self.per_node[node * self.k_n + k]
     }
 }
 

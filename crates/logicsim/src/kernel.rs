@@ -1,0 +1,178 @@
+//! CSR-based 64-way packed simulation kernels — the hot path.
+//!
+//! These kernels mirror the scalar reference implementations in
+//! [`crate::sim`] but run over a [`CsrView`]: gate kinds and adjacency
+//! live in flat `u32` arrays, and the overwhelmingly common 1- and
+//! 2-input gates are evaluated by specialized match arms with no per-gate
+//! heap traffic. The property test `csr_kernels_match_reference` (in the
+//! workspace test suite) pins them bit-for-bit to the reference path.
+
+use ser_netlist::csr::CsrView;
+use ser_netlist::GateKind;
+
+/// Evaluates one gate over packed words read straight from the CSR
+/// fan-in slice.
+///
+/// Callers guarantee `fanin` is non-empty (circuit validation enforces
+/// arity) and that `kind` is not [`GateKind::Input`].
+#[inline(always)]
+fn eval_gate(kind: GateKind, fanin: &[u32], words: &[u64]) -> u64 {
+    match *fanin {
+        [a] => {
+            let x = words[a as usize];
+            if kind.is_inverting() {
+                !x
+            } else {
+                x
+            }
+        }
+        [a, b] => {
+            let x = words[a as usize];
+            let y = words[b as usize];
+            match kind {
+                GateKind::And => x & y,
+                GateKind::Nand => !(x & y),
+                GateKind::Or => x | y,
+                GateKind::Nor => !(x | y),
+                GateKind::Xor => x ^ y,
+                GateKind::Xnor => !(x ^ y),
+                // NOT/BUF are strictly unary and inputs carry no function;
+                // circuit validation rules both out here.
+                GateKind::Not | GateKind::Buf | GateKind::Input => unreachable!(),
+            }
+        }
+        _ => {
+            let mut it = fanin.iter().map(|&f| words[f as usize]);
+            let first = it.next().expect("gates have at least one fan-in");
+            let acc = match kind {
+                GateKind::And | GateKind::Nand => it.fold(first, |acc, w| acc & w),
+                GateKind::Or | GateKind::Nor => it.fold(first, |acc, w| acc | w),
+                GateKind::Xor | GateKind::Xnor => it.fold(first, |acc, w| acc ^ w),
+                GateKind::Not | GateKind::Buf | GateKind::Input => unreachable!(),
+            };
+            if kind.is_inverting() {
+                !acc
+            } else {
+                acc
+            }
+        }
+    }
+}
+
+/// Evaluates the whole circuit for one word of 64 input vectors, writing
+/// one word per node into `words`.
+///
+/// CSR twin of [`crate::sim::eval_word`], with which it agrees bit for
+/// bit.
+///
+/// # Panics
+///
+/// Panics if `pi_words` does not hold one word per primary input or
+/// `words` one slot per node.
+pub fn eval_word(csr: &CsrView, pi_words: &[u64], words: &mut [u64]) {
+    assert_eq!(
+        pi_words.len(),
+        csr.inputs().len(),
+        "one word per primary input"
+    );
+    assert_eq!(words.len(), csr.node_count(), "one word per node");
+    for (k, &pi) in csr.inputs().iter().enumerate() {
+        words[pi as usize] = pi_words[k];
+    }
+    for &id in csr.topo() {
+        let i = id as usize;
+        let kind = csr.kind(i);
+        if kind.is_input() {
+            continue;
+        }
+        words[i] = eval_gate(kind, csr.fanin_of(i), words);
+    }
+}
+
+/// Re-evaluates only the fan-out cone of `cone[0]` after forcing its word
+/// to `forced`. `cone` must be an inclusive, topologically sorted fan-out
+/// cone (as produced by [`ser_netlist::csr::ConeArena::cone`]) and
+/// `scratch` must start as a copy of the base evaluation.
+///
+/// CSR twin of [`crate::sim::eval_cone_forced`].
+///
+/// # Panics
+///
+/// Panics if `cone` is empty.
+pub fn eval_cone_forced(csr: &CsrView, cone: &[u32], forced: u64, scratch: &mut [u64]) {
+    let (&root, tail) = cone.split_first().expect("cones are inclusive");
+    scratch[root as usize] = forced;
+    for &id in tail {
+        let i = id as usize;
+        scratch[i] = eval_gate(csr.kind(i), csr.fanin_of(i), scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim;
+    use ser_netlist::csr::ConeArena;
+    use ser_netlist::generate::{self, LayeredSpec};
+
+    #[test]
+    fn csr_eval_matches_reference_on_c17() {
+        let c = generate::c17();
+        let csr = CsrView::build(&c);
+        let n = c.primary_inputs().len();
+        let pi_words: Vec<u64> = (0..n as u64)
+            .map(|k| 0x9E3779B97F4A7C15 ^ (k * 31))
+            .collect();
+        let want = sim::eval_word(&c, &pi_words);
+        let mut got = vec![0u64; c.node_count()];
+        eval_word(&csr, &pi_words, &mut got);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn csr_eval_matches_reference_on_layered() {
+        // Exercises the 3+-input fold path and every gate kind.
+        let c = generate::layered(&LayeredSpec::new("k", 9, 4, 70));
+        let csr = CsrView::build(&c);
+        let n = c.primary_inputs().len();
+        let pi_words: Vec<u64> = (0..n as u64)
+            .map(|k| 0xDEADBEEF ^ (k * 0x5DEECE66D))
+            .collect();
+        let want = sim::eval_word(&c, &pi_words);
+        let mut got = vec![0u64; c.node_count()];
+        eval_word(&csr, &pi_words, &mut got);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn csr_cone_forcing_matches_reference() {
+        let c = generate::layered(&LayeredSpec::new("k", 8, 3, 50));
+        let csr = CsrView::build(&c);
+        let arena = ConeArena::build(&csr);
+        let n = c.primary_inputs().len();
+        let pi_words: Vec<u64> = (0..n as u64).map(|k| 0xCAFEF00D ^ (k * 97)).collect();
+        let base = sim::eval_word(&c, &pi_words);
+        for root in c.node_ids() {
+            let cone_ref = ser_netlist::cone::fanout_cone(&c, root);
+            let mut want = base.clone();
+            sim::eval_cone_forced(&c, &cone_ref, root, !base[root.index()], &mut want);
+            let mut got = base.clone();
+            eval_cone_forced(
+                &csr,
+                arena.cone(root.index()),
+                !base[root.index()],
+                &mut got,
+            );
+            assert_eq!(got, want, "root {root}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one word per primary input")]
+    fn csr_eval_checks_pi_count() {
+        let c = generate::c17();
+        let csr = CsrView::build(&c);
+        let mut out = vec![0u64; c.node_count()];
+        eval_word(&csr, &[0, 0], &mut out);
+    }
+}

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod kernel;
 pub mod probability;
 pub mod random;
 pub mod sensitize;

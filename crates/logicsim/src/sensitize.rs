@@ -4,24 +4,47 @@
 //! Exact computation is NP-complete for circuits with reconvergent
 //! fan-out (the paper's ref. \[9\]); following the paper (and its ref.
 //! \[5\]), `P_ij` is estimated by zero-delay simulation with random
-//! vectors: for
-//! each vector, node `i` is flipped, the fan-out cone is re-evaluated, and
-//! `P_ij` accumulates whether PO `j` changed — 64 vectors per pass thanks
-//! to bit-parallel words.
+//! vectors: for each vector, node `i` is flipped, the fan-out cone is
+//! re-evaluated, and `P_ij` accumulates whether PO `j` changed — 64
+//! vectors per pass thanks to bit-parallel words.
+//!
+//! # Hot-path architecture
+//!
+//! The estimator runs over the flat CSR view ([`CsrView`]) with every
+//! node's fan-out cone and reachable-PO column list premultiplied into
+//! one [`ConeArena`], so each strike resimulates exactly the nodes that
+//! can change and counts differences only at the POs it can reach.
+//! 64-vector words are distributed round-robin over worker threads
+//! ([`simulation_threads`]: `SER_SIM_THREADS` or the machine's available
+//! parallelism).
+//!
+//! **Determinism contract:** results are bitwise identical for every
+//! thread count. Word `w` always draws its stimulus from
+//! `seed.wrapping_add(w)` regardless of which thread runs it, each
+//! thread accumulates integer hit counts privately, and the per-word
+//! counts are merged by integer summation (associative and commutative)
+//! before a single final division.
 
-use ser_netlist::cone::fanout_cone;
-use ser_netlist::{Circuit, NodeId};
+use ser_netlist::csr::{ConeArena, CsrView};
+use ser_netlist::{Circuit, GateKind, NodeId};
 
+use crate::kernel;
 use crate::random::random_word;
-use crate::sim::{eval_cone_forced, eval_word};
 
-/// Dense `node × PO` matrix of sensitization probabilities.
+/// Dense `node × PO` matrix of sensitization probabilities, plus the
+/// directly measured any-PO observability and the reachability lists the
+/// estimate was computed over.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SensitizationMatrix {
     outputs: Vec<NodeId>,
     n_nodes: usize,
     /// node-major storage: `p[node * outputs.len() + j]`.
     p: Vec<f64>,
+    /// Directly measured union probability per node.
+    obs: Vec<f64>,
+    /// Reachable-PO columns per node, CSR layout.
+    reach_off: Vec<usize>,
+    reach_cols: Vec<u32>,
     vectors_used: usize,
 }
 
@@ -55,18 +78,43 @@ impl SensitizationMatrix {
         &self.p[node.index() * n..(node.index() + 1) * n]
     }
 
-    /// Probability that a flip of `node` is observed at *any* output
-    /// (upper-bounded union estimate: measured directly, not via the
-    /// per-PO marginals).
+    /// Probability that a flip of `node` is observed at *any* output.
+    ///
+    /// Measured directly during simulation (the union of per-PO
+    /// difference words is counted alongside the marginals), not derived
+    /// from the per-PO rows — so it is the true union estimate, which the
+    /// row maximum only lower-bounds.
     pub fn observability(&self, node: NodeId) -> f64 {
-        // With per-PO marginals only, use the max as a lower bound on the
-        // union; rows are what ASERTA consumes, this is a convenience.
-        self.row(node).iter().copied().fold(0.0, f64::max)
+        self.obs[node.index()]
+    }
+
+    /// PO **column indices** reachable from `node`, ascending. `P_ij` is
+    /// structurally zero for every column not listed — consumers can skip
+    /// them outright.
+    #[inline]
+    pub fn reachable_columns(&self, node: NodeId) -> &[u32] {
+        &self.reach_cols[self.reach_off[node.index()]..self.reach_off[node.index() + 1]]
     }
 }
 
+/// Worker-thread count used by [`sensitization_probabilities`]: the
+/// `SER_SIM_THREADS` environment override when set to a positive
+/// integer, else [`std::thread::available_parallelism`].
+pub fn simulation_threads() -> usize {
+    std::env::var("SER_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
 /// Estimates the full matrix with `n_vectors` random vectors (rounded up
-/// to a multiple of 64), PI probability 0.5, deterministic in `seed`.
+/// to a multiple of 64), PI probability 0.5, deterministic in `seed` and
+/// independent of the worker-thread count (see the module docs).
 ///
 /// The paper uses 10 000 vectors; 64-way packing makes that ~157 passes
 /// over each fan-out cone.
@@ -79,50 +127,365 @@ pub fn sensitization_probabilities(
     n_vectors: usize,
     seed: u64,
 ) -> SensitizationMatrix {
+    sensitization_probabilities_threaded(circuit, n_vectors, seed, simulation_threads())
+}
+
+/// [`sensitization_probabilities`] with an explicit worker-thread count.
+/// Results are bitwise identical for every `threads` value.
+///
+/// # Panics
+///
+/// Panics if `n_vectors` or `threads` is 0.
+pub fn sensitization_probabilities_threaded(
+    circuit: &Circuit,
+    n_vectors: usize,
+    seed: u64,
+    threads: usize,
+) -> SensitizationMatrix {
     assert!(n_vectors > 0, "need at least one vector");
+    assert!(threads > 0, "need at least one worker thread");
     let outputs: Vec<NodeId> = circuit.primary_outputs().to_vec();
     let n_pos = outputs.len();
     let n_nodes = circuit.node_count();
     let n_words = n_vectors.div_ceil(64);
-    let n_pi = circuit.primary_inputs().len();
 
-    // Precompute cones once (dominant cost is resimulation anyway).
-    let cones: Vec<Vec<NodeId>> = circuit
-        .node_ids()
-        .map(|id| fanout_cone(circuit, id))
-        .collect();
+    let csr = CsrView::build(circuit);
+    let arena = ConeArena::build(&csr);
+    let progs = ConePrograms::compile(&csr, &arena);
+    let threads = threads.min(n_words);
 
-    let mut counts = vec![0u64; n_nodes * n_pos];
-    let mut scratch = vec![0u64; n_nodes];
-    for w in 0..n_words {
-        let pi_words = random_word(n_pi, 0.5, seed.wrapping_add(w as u64));
-        let base = eval_word(circuit, &pi_words);
-        // Invariant between nodes: scratch == base everywhere, so cone
-        // side-inputs read correct values and non-cone POs diff to zero.
-        scratch.copy_from_slice(&base);
-        for id in circuit.node_ids() {
-            let cone = &cones[id.index()];
-            eval_cone_forced(circuit, cone, id, !base[id.index()], &mut scratch);
-            let row = &mut counts[id.index() * n_pos..(id.index() + 1) * n_pos];
-            for (j, &po) in outputs.iter().enumerate() {
-                let diff = scratch[po.index()] ^ base[po.index()];
-                row[j] += diff.count_ones() as u64;
+    let (counts, obs_counts) = if threads <= 1 {
+        count_words(&csr, &arena, &progs, seed, 0, 1, n_words)
+    } else {
+        // Words are dealt round-robin; each worker owns private integer
+        // accumulators, merged below by order-independent summation.
+        let partials: Vec<(Vec<u64>, Vec<u64>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let csr = &csr;
+                    let arena = &arena;
+                    let progs = &progs;
+                    scope.spawn(move || count_words(csr, arena, progs, seed, t, threads, n_words))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("simulation worker panicked"))
+                .collect()
+        });
+        let mut counts = vec![0u64; arena.total_reachable()];
+        let mut obs_counts = vec![0u64; n_nodes];
+        for (c, o) in partials {
+            for (acc, x) in counts.iter_mut().zip(&c) {
+                *acc += x;
             }
-            // Restore the invariant (cheaper than a full copy: cones are
-            // usually small).
-            for &c in cone {
-                scratch[c.index()] = base[c.index()];
+            for (acc, x) in obs_counts.iter_mut().zip(&o) {
+                *acc += x;
             }
         }
-    }
+        (counts, obs_counts)
+    };
 
+    // Scatter the flat reachable-PO counts into the dense row-major
+    // matrix; unreachable columns stay at their structural zero.
     let total = (n_words * 64) as f64;
+    let mut p = vec![0.0f64; n_nodes * n_pos];
+    for i in 0..n_nodes {
+        let start = arena.reachable_start(i);
+        for (t, &col) in arena.reachable_cols(i).iter().enumerate() {
+            p[i * n_pos + col as usize] = counts[start + t] as f64 / total;
+        }
+    }
+    let obs: Vec<f64> = obs_counts.into_iter().map(|c| c as f64 / total).collect();
+
     SensitizationMatrix {
         outputs,
         n_nodes,
-        p: counts.into_iter().map(|c| c as f64 / total).collect(),
+        p,
+        obs,
+        reach_off: arena.reachable_offsets().to_vec(),
+        reach_cols: arena.reachable_cols_flat().to_vec(),
         vectors_used: n_words * 64,
     }
+}
+
+/// Words evaluated together in one block: cone programs stay hot in L1
+/// across the whole block and every row operation runs over contiguous
+/// `u64` lanes the compiler can vectorize.
+const BLOCK: usize = 64;
+
+/// Tag bit marking a cone-local operand (index into the cone's value
+/// rows) as opposed to an untouched node read from the base evaluation.
+const LOCAL: u32 = 1 << 31;
+
+/// One gate of a compiled cone program; its destination is implicit (the
+/// `e`-th op writes cone-local row `e + 1`, matching the topological cone
+/// order).
+#[derive(Debug, Clone, Copy)]
+struct ProgOp {
+    kind: GateKind,
+    n_in: u32,
+    /// Offset into [`ConePrograms::operands`].
+    off: u32,
+}
+
+/// A reachable PO of a cone: its cone-local value row and global node
+/// index.
+#[derive(Debug, Clone, Copy)]
+struct PoSlot {
+    local: u32,
+    po: u32,
+}
+
+/// Every node's fan-out cone compiled into a flat strike-resimulation
+/// program over cone-local value rows.
+///
+/// Side inputs (fan-ins outside the cone) are untagged global node
+/// indices resolved against the base evaluation, so no scratch state
+/// needs restoring between strikes — the value rows are simply
+/// overwritten by the next cone.
+struct ConePrograms {
+    op_off: Vec<usize>,
+    ops: Vec<ProgOp>,
+    operands: Vec<u32>,
+    po_off: Vec<usize>,
+    po_slots: Vec<PoSlot>,
+    max_cone: usize,
+}
+
+impl ConePrograms {
+    fn compile(csr: &CsrView, arena: &ConeArena) -> Self {
+        let n = csr.node_count();
+        assert!(
+            n < LOCAL as usize,
+            "node count exceeds the operand tag space"
+        );
+        let mut op_off = Vec::with_capacity(n + 1);
+        let mut ops = Vec::with_capacity(arena.total_cone_len() - n);
+        let mut operands: Vec<u32> = Vec::new();
+        let mut po_off = Vec::with_capacity(n + 1);
+        let mut po_slots = Vec::with_capacity(arena.total_reachable());
+        op_off.push(0);
+        po_off.push(0);
+
+        // Stamped cone-membership map: pos[v] is v's value row while
+        // stamp[v] == current root.
+        let mut stamp = vec![u32::MAX; n];
+        let mut pos = vec![0u32; n];
+        let mut max_cone = 0usize;
+        for i in 0..n {
+            let cone = arena.cone(i);
+            max_cone = max_cone.max(cone.len());
+            for (p, &v) in cone.iter().enumerate() {
+                stamp[v as usize] = i as u32;
+                pos[v as usize] = p as u32;
+            }
+            for &v in &cone[1..] {
+                let fanin = csr.fanin_of(v as usize);
+                ops.push(ProgOp {
+                    kind: csr.kind(v as usize),
+                    n_in: fanin.len() as u32,
+                    off: operands.len() as u32,
+                });
+                for &f in fanin {
+                    operands.push(if stamp[f as usize] == i as u32 {
+                        LOCAL | pos[f as usize]
+                    } else {
+                        f
+                    });
+                }
+            }
+            for &col in arena.reachable_cols(i) {
+                let po = csr.outputs()[col as usize];
+                debug_assert_eq!(stamp[po as usize], i as u32, "reachable PO is in the cone");
+                po_slots.push(PoSlot {
+                    local: pos[po as usize],
+                    po,
+                });
+            }
+            op_off.push(ops.len());
+            po_off.push(po_slots.len());
+        }
+
+        ConePrograms {
+            op_off,
+            ops,
+            operands,
+            po_off,
+            po_slots,
+            max_cone,
+        }
+    }
+
+    #[inline]
+    fn ops_of(&self, i: usize) -> &[ProgOp] {
+        &self.ops[self.op_off[i]..self.op_off[i + 1]]
+    }
+
+    #[inline]
+    fn po_slots_of(&self, i: usize) -> &[PoSlot] {
+        &self.po_slots[self.po_off[i]..self.po_off[i + 1]]
+    }
+}
+
+/// `dst[w] = op(a[w])` over one block row.
+#[inline]
+fn unary_row(kind: GateKind, dst: &mut [u64], a: &[u64]) {
+    if kind.is_inverting() {
+        for (d, &x) in dst.iter_mut().zip(a) {
+            *d = !x;
+        }
+    } else {
+        dst.copy_from_slice(a);
+    }
+}
+
+/// `dst[w] = op(a[w], b[w])` over one block row, specialized per kind so
+/// the lane loop vectorizes.
+#[inline]
+fn binary_row(kind: GateKind, dst: &mut [u64], a: &[u64], b: &[u64]) {
+    macro_rules! lanes {
+        ($f:expr) => {
+            for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+                *d = $f(x, y);
+            }
+        };
+    }
+    match kind {
+        GateKind::And => lanes!(|x, y| x & y),
+        GateKind::Nand => lanes!(|x: u64, y: u64| !(x & y)),
+        GateKind::Or => lanes!(|x, y| x | y),
+        GateKind::Nor => lanes!(|x: u64, y: u64| !(x | y)),
+        GateKind::Xor => lanes!(|x, y| x ^ y),
+        GateKind::Xnor => lanes!(|x: u64, y: u64| !(x ^ y)),
+        // NOT/BUF are unary; inputs never appear inside a cone tail.
+        GateKind::Not | GateKind::Buf | GateKind::Input => unreachable!(),
+    }
+}
+
+/// Folds `src` into `dst` with the kind's accumulate operation (3+-input
+/// gates; the final inversion is applied by the caller).
+#[inline]
+fn accumulate_row(kind: GateKind, dst: &mut [u64], src: &[u64]) {
+    macro_rules! lanes {
+        ($f:expr) => {
+            for (d, &x) in dst.iter_mut().zip(src) {
+                *d = $f(*d, x);
+            }
+        };
+    }
+    match kind {
+        GateKind::And | GateKind::Nand => lanes!(|acc: u64, x: u64| acc & x),
+        GateKind::Or | GateKind::Nor => lanes!(|acc: u64, x: u64| acc | x),
+        GateKind::Xor | GateKind::Xnor => lanes!(|acc: u64, x: u64| acc ^ x),
+        GateKind::Not | GateKind::Buf | GateKind::Input => unreachable!(),
+    }
+}
+
+/// Simulates the words `first, first + stride, …` below `n_words` in
+/// blocks of [`BLOCK`], returning flat reachable-PO hit counts (laid out
+/// per [`ConeArena::reachable_start`]) and per-node any-PO union counts.
+///
+/// Per block, the fault-free circuit is evaluated word-major and
+/// transposed into node-major rows (`base[node][word]`); each node's
+/// compiled cone program then replays the strike for every word in the
+/// block against those rows, with no scratch state to restore.
+fn count_words(
+    csr: &CsrView,
+    arena: &ConeArena,
+    progs: &ConePrograms,
+    seed: u64,
+    first: usize,
+    stride: usize,
+    n_words: usize,
+) -> (Vec<u64>, Vec<u64>) {
+    let n_nodes = csr.node_count();
+    let n_pi = csr.inputs().len();
+    let mut counts = vec![0u64; arena.total_reachable()];
+    let mut obs_counts = vec![0u64; n_nodes];
+
+    let mut base = vec![0u64; n_nodes * BLOCK];
+    let mut tmp = vec![0u64; n_nodes];
+    let mut vals = vec![0u64; progs.max_cone.max(1) * BLOCK];
+    let mut union_buf = [0u64; BLOCK];
+    let mut block: Vec<usize> = Vec::with_capacity(BLOCK);
+
+    let mut w = first;
+    while w < n_words {
+        block.clear();
+        while w < n_words && block.len() < BLOCK {
+            block.push(w);
+            w += stride;
+        }
+        let wc = block.len();
+
+        // Fault-free base values, transposed to node-major rows.
+        for (wl, &wg) in block.iter().enumerate() {
+            let pi_words = random_word(n_pi, 0.5, seed.wrapping_add(wg as u64));
+            kernel::eval_word(csr, &pi_words, &mut tmp);
+            for (i, &v) in tmp.iter().enumerate() {
+                base[i * BLOCK + wl] = v;
+            }
+        }
+
+        for i in 0..n_nodes {
+            // Row 0: the struck node, flipped in every lane.
+            for (d, &x) in vals[..wc].iter_mut().zip(&base[i * BLOCK..][..wc]) {
+                *d = !x;
+            }
+            for (e, op) in progs.ops_of(i).iter().enumerate() {
+                let (done, rest) = vals.split_at_mut((e + 1) * BLOCK);
+                let dst = &mut rest[..wc];
+                let row = |t: u32| -> &[u64] {
+                    if t & LOCAL != 0 {
+                        &done[((t & !LOCAL) as usize) * BLOCK..][..wc]
+                    } else {
+                        &base[(t as usize) * BLOCK..][..wc]
+                    }
+                };
+                let args = &progs.operands[op.off as usize..(op.off + op.n_in) as usize];
+                match *args {
+                    [a] => unary_row(op.kind, dst, row(a)),
+                    [a, b] => binary_row(op.kind, dst, row(a), row(b)),
+                    [a, ref more @ ..] => {
+                        dst.copy_from_slice(row(a));
+                        for &m in more {
+                            accumulate_row(op.kind, dst, row(m));
+                        }
+                        if op.kind.is_inverting() {
+                            for d in dst.iter_mut() {
+                                *d = !*d;
+                            }
+                        }
+                    }
+                    [] => unreachable!("gates have at least one fan-in"),
+                }
+            }
+
+            let slots = progs.po_slots_of(i);
+            if slots.is_empty() {
+                continue;
+            }
+            union_buf[..wc].fill(0);
+            let start = arena.reachable_start(i);
+            for (t, slot) in slots.iter().enumerate() {
+                let vrow = &vals[(slot.local as usize) * BLOCK..][..wc];
+                let prow = &base[(slot.po as usize) * BLOCK..][..wc];
+                let mut hits = 0u64;
+                for (u, (&v, &p)) in union_buf[..wc].iter_mut().zip(vrow.iter().zip(prow)) {
+                    let diff = v ^ p;
+                    hits += u64::from(diff.count_ones());
+                    *u |= diff;
+                }
+                counts[start + t] += hits;
+            }
+            obs_counts[i] += union_buf[..wc]
+                .iter()
+                .map(|&u| u64::from(u.count_ones()))
+                .sum::<u64>();
+        }
+    }
+    (counts, obs_counts)
 }
 
 #[cfg(test)]
@@ -151,6 +514,7 @@ mod tests {
             .position(|&po| c.node(po).name == "23")
             .unwrap();
         assert_eq!(m.p(g10, col23), 0.0);
+        assert!(!m.reachable_columns(g10).contains(&(col23 as u32)));
     }
 
     #[test]
@@ -222,6 +586,52 @@ mod tests {
             let o = m.observability(id);
             for j in 0..m.outputs().len() {
                 assert!(m.p(id, j) <= o + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn measured_union_can_exceed_row_max() {
+        // y0 = AND(a, b), y1 = AND(a, c): a flip of `a` reaches y0 iff
+        // b=1, y1 iff c=1; union = P(b=1 or c=1) = 0.75 > 0.5 = max.
+        let mut bb = CircuitBuilder::new("u");
+        let a = bb.input("a");
+        let b = bb.input("b");
+        let c = bb.input("c");
+        let y0 = bb.gate(GateKind::And, "y0", &[a, b]).unwrap();
+        let y1 = bb.gate(GateKind::And, "y1", &[a, c]).unwrap();
+        bb.mark_output(y0);
+        bb.mark_output(y1);
+        let circ = bb.finish().unwrap();
+        let m = sensitization_probabilities(&circ, 64 * 512, 9);
+        let row_max = m.row(a).iter().copied().fold(0.0, f64::max);
+        assert!((row_max - 0.5).abs() < 0.03, "{row_max}");
+        assert!(
+            (m.observability(a) - 0.75).abs() < 0.03,
+            "{}",
+            m.observability(a)
+        );
+    }
+
+    #[test]
+    fn thread_counts_agree_bitwise() {
+        let c = generate::sec32("t");
+        let m1 = sensitization_probabilities_threaded(&c, 512, 77, 1);
+        let m2 = sensitization_probabilities_threaded(&c, 512, 77, 2);
+        let m5 = sensitization_probabilities_threaded(&c, 512, 77, 5);
+        assert_eq!(m1, m2);
+        assert_eq!(m1, m5);
+    }
+
+    #[test]
+    fn reachable_columns_define_the_support() {
+        let c = generate::sec32("t");
+        let m = sensitization_probabilities(&c, 256, 3);
+        for id in c.node_ids() {
+            for j in 0..m.outputs().len() {
+                if !m.reachable_columns(id).contains(&(j as u32)) {
+                    assert_eq!(m.p(id, j), 0.0, "node {id} col {j}");
+                }
             }
         }
     }

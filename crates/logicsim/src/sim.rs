@@ -1,4 +1,12 @@
-//! 64-way packed zero-delay simulation kernels.
+//! 64-way packed zero-delay simulation kernels — the scalar reference
+//! path.
+//!
+//! These walk the pointer-rich [`Circuit`] directly and dispatch through
+//! [`GateKind::eval_packed`](ser_netlist::GateKind::eval_packed). The
+//! hot paths (notably [`crate::sensitize`]) run the CSR twins in
+//! [`crate::kernel`] instead; the two are kept bit-for-bit equivalent by
+//! unit and property tests, which is why this reference implementation
+//! stays.
 
 use ser_netlist::{Circuit, NodeId};
 
@@ -101,7 +109,12 @@ pub fn eval_with_flips(
     for (i, &pi) in circuit.primary_inputs().iter().enumerate() {
         faulty[pi.index()] = words[i];
     }
-    let flip = |id: NodeId| flipped.contains(&id);
+    // Precomputed membership mask: O(nodes + flips) instead of a
+    // `flipped.contains` scan per node.
+    let mut flip = vec![false; circuit.node_count()];
+    for &id in flipped {
+        flip[id.index()] = true;
+    }
     let mut pins: Vec<u64> = Vec::with_capacity(8);
     for &id in circuit.topological_order() {
         let node = circuit.node(id);
@@ -110,7 +123,7 @@ pub fn eval_with_flips(
             pins.extend(node.fanin.iter().map(|f| faulty[f.index()]));
             faulty[id.index()] = node.kind.eval_packed(&pins);
         }
-        if flip(id) {
+        if flip[id.index()] {
             faulty[id.index()] = !golden[id.index()];
         }
     }

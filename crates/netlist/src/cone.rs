@@ -1,7 +1,80 @@
 //! Fan-in and fan-out cones and reconvergence detection.
+//!
+//! The per-call queries here share a single forward scan
+//! ([`ConeScan`]); batch workloads that need *every* node's cone should
+//! use [`crate::csr::ConeArena`], which materializes them all at once
+//! into one arena.
 
 use crate::circuit::Circuit;
 use crate::id::NodeId;
+
+/// The product of one forward cone scan from a root: the membership mask
+/// and the topologically ordered cone, computed together so callers
+/// needing several views pay for a single pass.
+#[derive(Debug, Clone)]
+pub struct ConeScan {
+    mask: Vec<bool>,
+    cone: Vec<NodeId>,
+}
+
+/// The single marking pass shared by every cone query: forward over the
+/// topological order, invoking `on_member` for each cone node in order.
+fn mark_cone(circuit: &Circuit, root: NodeId, mut on_member: impl FnMut(NodeId)) -> Vec<bool> {
+    let mut mask = vec![false; circuit.node_count()];
+    mask[root.index()] = true;
+    for &id in circuit.topological_order() {
+        if mask[id.index()] {
+            on_member(id);
+            for &s in circuit.fanout(id) {
+                mask[s.index()] = true;
+            }
+        }
+    }
+    mask
+}
+
+impl ConeScan {
+    /// Runs the scan: one forward pass over the topological order.
+    pub fn of(circuit: &Circuit, root: NodeId) -> Self {
+        let mut cone = Vec::new();
+        let mask = mark_cone(circuit, root, |id| cone.push(id));
+        ConeScan { mask, cone }
+    }
+
+    /// The inclusive fan-out cone, topologically ordered.
+    #[inline]
+    pub fn cone(&self) -> &[NodeId] {
+        &self.cone
+    }
+
+    /// Membership mask over all nodes.
+    #[inline]
+    pub fn mask(&self) -> &[bool] {
+        &self.mask
+    }
+
+    /// Consumes the scan, returning the cone vector.
+    #[inline]
+    pub fn into_cone(self) -> Vec<NodeId> {
+        self.cone
+    }
+
+    /// Consumes the scan, returning the membership mask.
+    #[inline]
+    pub fn into_mask(self) -> Vec<bool> {
+        self.mask
+    }
+
+    /// Primary outputs inside the cone, in PO declaration order.
+    pub fn reachable_outputs(&self, circuit: &Circuit) -> Vec<NodeId> {
+        circuit
+            .primary_outputs()
+            .iter()
+            .copied()
+            .filter(|po| self.mask[po.index()])
+            .collect()
+    }
+}
 
 /// The transitive fan-out cone of `root` (inclusive), returned in
 /// topological order. This is the set of nodes whose value can change when
@@ -18,18 +91,7 @@ use crate::id::NodeId;
 /// assert!(cone.contains(&g10));
 /// ```
 pub fn fanout_cone(circuit: &Circuit, root: NodeId) -> Vec<NodeId> {
-    let mut in_cone = vec![false; circuit.node_count()];
-    in_cone[root.index()] = true;
-    let mut cone = Vec::new();
-    for &id in circuit.topological_order() {
-        if in_cone[id.index()] {
-            cone.push(id);
-            for &s in circuit.fanout(id) {
-                in_cone[s.index()] = true;
-            }
-        }
-    }
-    cone
+    ConeScan::of(circuit, root).into_cone()
 }
 
 /// The transitive fan-in cone of `root` (inclusive), in topological order.
@@ -56,21 +118,12 @@ pub fn fanin_cone(circuit: &Circuit, root: NodeId) -> Vec<NodeId> {
 /// (i.e. whether the node is in `root`'s fan-out cone). Cheaper than
 /// materializing the cone when only membership tests are needed.
 pub fn fanout_cone_mask(circuit: &Circuit, root: NodeId) -> Vec<bool> {
-    let mut in_cone = vec![false; circuit.node_count()];
-    in_cone[root.index()] = true;
-    for &id in circuit.topological_order() {
-        if in_cone[id.index()] {
-            for &s in circuit.fanout(id) {
-                in_cone[s.index()] = true;
-            }
-        }
-    }
-    in_cone
+    mark_cone(circuit, root, |_| ())
 }
 
 /// Primary outputs reachable from `root`, in PO declaration order.
 pub fn reachable_outputs(circuit: &Circuit, root: NodeId) -> Vec<NodeId> {
-    let mask = fanout_cone_mask(circuit, root);
+    let mask = mark_cone(circuit, root, |_| ());
     circuit
         .primary_outputs()
         .iter()

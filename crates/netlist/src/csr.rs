@@ -1,0 +1,399 @@
+//! Flat CSR (compressed-sparse-row) views of a [`Circuit`] for hot-path
+//! kernels.
+//!
+//! The pointer-rich [`Circuit`] representation (one heap `Vec` of fan-ins
+//! and a `String` name per node) is convenient to build and query but
+//! hostile to tight simulation loops: every gate evaluation chases two
+//! pointers and the nodes it touches are scattered across the heap.
+//! [`CsrView`] flattens the structure the kernels actually need — gate
+//! kinds, fan-in/fan-out adjacency and the topological order — into a
+//! handful of contiguous `u32` arrays, and [`ConeArena`] materializes
+//! *every* node's fan-out cone (plus its reachable-primary-output column
+//! list) into one shared arena so per-strike resimulation touches exactly
+//! the nodes that can change.
+//!
+//! # Example
+//!
+//! ```
+//! use ser_netlist::csr::{ConeArena, CsrView};
+//! use ser_netlist::generate;
+//!
+//! let c17 = generate::c17();
+//! let csr = CsrView::build(&c17);
+//! let arena = ConeArena::build(&csr);
+//! let g10 = c17.find("10").unwrap();
+//! // The cone is topologically sorted and starts at its root.
+//! assert_eq!(arena.cone(g10.index())[0], g10.index() as u32);
+//! // Gate 10 reaches only the first primary output (net 22).
+//! assert_eq!(arena.reachable_cols(g10.index()), &[0]);
+//! ```
+
+use crate::circuit::Circuit;
+use crate::gate::GateKind;
+
+/// Sentinel marking "not a primary output" in [`CsrView::po_col`].
+pub const NO_PO: u32 = u32::MAX;
+
+/// A flat, cache-friendly view of a circuit's structure.
+///
+/// All node references are dense `u32` indices (the same indices as
+/// [`NodeId::index`](crate::NodeId::index)); adjacency is stored as
+/// offset + index arrays in the classic CSR layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrView {
+    kinds: Vec<GateKind>,
+    fanin_off: Vec<u32>,
+    fanin: Vec<u32>,
+    fanout_off: Vec<u32>,
+    fanout: Vec<u32>,
+    topo: Vec<u32>,
+    rank: Vec<u32>,
+    inputs: Vec<u32>,
+    outputs: Vec<u32>,
+    po_col: Vec<u32>,
+}
+
+impl CsrView {
+    /// Flattens `circuit` into CSR arrays. `O(V + E)`.
+    pub fn build(circuit: &Circuit) -> Self {
+        let n = circuit.node_count();
+        let mut kinds = Vec::with_capacity(n);
+        let mut fanin_off = Vec::with_capacity(n + 1);
+        let mut fanin = Vec::with_capacity(circuit.edge_count());
+        fanin_off.push(0);
+        for node in circuit.nodes() {
+            kinds.push(node.kind);
+            fanin.extend(node.fanin.iter().map(|f| f.index() as u32));
+            fanin_off.push(fanin.len() as u32);
+        }
+
+        let mut fanout_off = Vec::with_capacity(n + 1);
+        let mut fanout = Vec::with_capacity(fanin.len());
+        fanout_off.push(0);
+        for i in 0..n {
+            fanout.extend(
+                circuit
+                    .fanout(crate::NodeId::new(i))
+                    .iter()
+                    .map(|s| s.index() as u32),
+            );
+            fanout_off.push(fanout.len() as u32);
+        }
+
+        let topo: Vec<u32> = circuit
+            .topological_order()
+            .iter()
+            .map(|id| id.index() as u32)
+            .collect();
+        let mut rank = vec![0u32; n];
+        for (r, &i) in topo.iter().enumerate() {
+            rank[i as usize] = r as u32;
+        }
+
+        let inputs: Vec<u32> = circuit
+            .primary_inputs()
+            .iter()
+            .map(|id| id.index() as u32)
+            .collect();
+        let outputs: Vec<u32> = circuit
+            .primary_outputs()
+            .iter()
+            .map(|id| id.index() as u32)
+            .collect();
+        let mut po_col = vec![NO_PO; n];
+        for (j, &po) in outputs.iter().enumerate() {
+            po_col[po as usize] = j as u32;
+        }
+
+        CsrView {
+            kinds,
+            fanin_off,
+            fanin,
+            fanout_off,
+            fanout,
+            topo,
+            rank,
+            inputs,
+            outputs,
+            po_col,
+        }
+    }
+
+    /// Total node count.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Gate kind of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn kind(&self, i: usize) -> GateKind {
+        self.kinds[i]
+    }
+
+    /// Fan-in node indices of node `i`, in pin order.
+    #[inline]
+    pub fn fanin_of(&self, i: usize) -> &[u32] {
+        &self.fanin[self.fanin_off[i] as usize..self.fanin_off[i + 1] as usize]
+    }
+
+    /// Fan-out node indices of node `i` (one entry per pin fed).
+    #[inline]
+    pub fn fanout_of(&self, i: usize) -> &[u32] {
+        &self.fanout[self.fanout_off[i] as usize..self.fanout_off[i + 1] as usize]
+    }
+
+    /// The topological order as one flat slice of node indices.
+    #[inline]
+    pub fn topo(&self) -> &[u32] {
+        &self.topo
+    }
+
+    /// Topological rank of node `i` (its position in [`CsrView::topo`]).
+    #[inline]
+    pub fn rank_of(&self, i: usize) -> u32 {
+        self.rank[i]
+    }
+
+    /// Primary-input node indices, in declaration order.
+    #[inline]
+    pub fn inputs(&self) -> &[u32] {
+        &self.inputs
+    }
+
+    /// Primary-output node indices, in declaration order (defining the PO
+    /// column space).
+    #[inline]
+    pub fn outputs(&self) -> &[u32] {
+        &self.outputs
+    }
+
+    /// PO column of node `i`, or [`NO_PO`] if it is not a primary output.
+    #[inline]
+    pub fn po_col_of(&self, i: usize) -> u32 {
+        self.po_col[i]
+    }
+}
+
+/// Every node's fan-out cone and reachable-PO column list, packed into one
+/// CSR arena.
+///
+/// Cones are inclusive (the root is the first entry) and topologically
+/// sorted, so a strike simulation can force the root and sweep the tail.
+/// Reachable-PO lists hold *column indices* into [`CsrView::outputs`], in
+/// ascending order. Building the arena is sparsity-aware: each cone costs
+/// `O(|cone| · log |cone|)` (a sparse DFS plus a rank sort), not a full
+/// `O(V)` pass per node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConeArena {
+    cone_off: Vec<usize>,
+    cones: Vec<u32>,
+    po_off: Vec<usize>,
+    po_cols: Vec<u32>,
+}
+
+impl ConeArena {
+    /// Materializes all cones of `csr` into one arena.
+    pub fn build(csr: &CsrView) -> Self {
+        let n = csr.node_count();
+        let mut cone_off = Vec::with_capacity(n + 1);
+        let mut po_off = Vec::with_capacity(n + 1);
+        let mut cones: Vec<u32> = Vec::new();
+        let mut po_cols: Vec<u32> = Vec::new();
+        cone_off.push(0);
+        po_off.push(0);
+
+        // Per-root visited stamps: stamp[v] == root marks v as reached, so
+        // the array never needs clearing between roots.
+        let mut stamp = vec![NO_PO; n];
+        let mut stack: Vec<u32> = Vec::new();
+        for root in 0..n as u32 {
+            let start = cones.len();
+            stamp[root as usize] = root;
+            cones.push(root);
+            stack.push(root);
+            while let Some(u) = stack.pop() {
+                for &v in csr.fanout_of(u as usize) {
+                    if stamp[v as usize] != root {
+                        stamp[v as usize] = root;
+                        cones.push(v);
+                        stack.push(v);
+                    }
+                }
+            }
+            cones[start..].sort_unstable_by_key(|&v| csr.rank_of(v as usize));
+            for &v in &cones[start..] {
+                let col = csr.po_col_of(v as usize);
+                if col != NO_PO {
+                    po_cols.push(col);
+                }
+            }
+            po_cols[po_off[root as usize]..].sort_unstable();
+            cone_off.push(cones.len());
+            po_off.push(po_cols.len());
+        }
+
+        ConeArena {
+            cone_off,
+            cones,
+            po_off,
+            po_cols,
+        }
+    }
+
+    /// The inclusive, topologically sorted fan-out cone of node `i`; its
+    /// first entry is `i` itself.
+    #[inline]
+    pub fn cone(&self, i: usize) -> &[u32] {
+        &self.cones[self.cone_off[i]..self.cone_off[i + 1]]
+    }
+
+    /// PO columns reachable from node `i`, ascending.
+    #[inline]
+    pub fn reachable_cols(&self, i: usize) -> &[u32] {
+        &self.po_cols[self.po_off[i]..self.po_off[i + 1]]
+    }
+
+    /// Flat offset of node `i`'s first reachable-PO slot — the key for
+    /// accumulator arrays laid out over [`ConeArena::total_reachable`].
+    #[inline]
+    pub fn reachable_start(&self, i: usize) -> usize {
+        self.po_off[i]
+    }
+
+    /// Total reachable-PO slots across all nodes (the length of a flat
+    /// per-(node, reachable-PO) accumulator).
+    #[inline]
+    pub fn total_reachable(&self) -> usize {
+        self.po_cols.len()
+    }
+
+    /// Total cone entries across all nodes.
+    #[inline]
+    pub fn total_cone_len(&self) -> usize {
+        self.cones.len()
+    }
+
+    /// The per-node reachable-PO offsets (`node_count + 1` entries) —
+    /// exposed so downstream consumers can clone the reachability CSR
+    /// without rebuilding it.
+    #[inline]
+    pub fn reachable_offsets(&self) -> &[usize] {
+        &self.po_off
+    }
+
+    /// The concatenated reachable-PO column lists behind
+    /// [`ConeArena::reachable_cols`].
+    #[inline]
+    pub fn reachable_cols_flat(&self) -> &[u32] {
+        &self.po_cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cone;
+    use crate::generate;
+
+    #[test]
+    fn csr_matches_circuit_adjacency() {
+        let c = generate::c17();
+        let csr = CsrView::build(&c);
+        assert_eq!(csr.node_count(), c.node_count());
+        for id in c.node_ids() {
+            let i = id.index();
+            assert_eq!(csr.kind(i), c.node(id).kind);
+            let fanin: Vec<u32> = c.node(id).fanin.iter().map(|f| f.index() as u32).collect();
+            assert_eq!(csr.fanin_of(i), &fanin[..]);
+            let fanout: Vec<u32> = c.fanout(id).iter().map(|s| s.index() as u32).collect();
+            assert_eq!(csr.fanout_of(i), &fanout[..]);
+        }
+        let topo: Vec<u32> = c
+            .topological_order()
+            .iter()
+            .map(|id| id.index() as u32)
+            .collect();
+        assert_eq!(csr.topo(), &topo[..]);
+        for (r, &i) in topo.iter().enumerate() {
+            assert_eq!(csr.rank_of(i as usize), r as u32);
+        }
+    }
+
+    #[test]
+    fn arena_cones_match_per_call_cones() {
+        let c = generate::sec32("t");
+        let csr = CsrView::build(&c);
+        let arena = ConeArena::build(&csr);
+        for id in c.node_ids() {
+            let want: Vec<u32> = cone::fanout_cone(&c, id)
+                .iter()
+                .map(|x| x.index() as u32)
+                .collect();
+            assert_eq!(arena.cone(id.index()), &want[..], "cone of {id}");
+        }
+    }
+
+    #[test]
+    fn arena_reachable_cols_match_reachable_outputs() {
+        let c = generate::sec32("t");
+        let csr = CsrView::build(&c);
+        let arena = ConeArena::build(&csr);
+        for id in c.node_ids() {
+            let mut want: Vec<u32> = cone::reachable_outputs(&c, id)
+                .iter()
+                .map(|po| {
+                    c.primary_outputs()
+                        .iter()
+                        .position(|p| p == po)
+                        .expect("PO present") as u32
+                })
+                .collect();
+            want.sort_unstable();
+            assert_eq!(arena.reachable_cols(id.index()), &want[..], "cols of {id}");
+        }
+    }
+
+    #[test]
+    fn po_columns_follow_declaration_order() {
+        let c = generate::c17();
+        let csr = CsrView::build(&c);
+        for (j, &po) in c.primary_outputs().iter().enumerate() {
+            assert_eq!(csr.po_col_of(po.index()), j as u32);
+            assert_eq!(csr.outputs()[j], po.index() as u32);
+        }
+        let non_po = c.primary_inputs()[0];
+        assert_eq!(csr.po_col_of(non_po.index()), NO_PO);
+    }
+
+    #[test]
+    fn cone_of_po_is_singleton() {
+        let c = generate::c17();
+        let csr = CsrView::build(&c);
+        let arena = ConeArena::build(&csr);
+        for (j, &po) in c.primary_outputs().iter().enumerate() {
+            assert_eq!(arena.cone(po.index()), &[po.index() as u32]);
+            assert_eq!(arena.reachable_cols(po.index()), &[j as u32]);
+        }
+    }
+
+    #[test]
+    fn arena_totals_are_consistent() {
+        let c = generate::c17();
+        let csr = CsrView::build(&c);
+        let arena = ConeArena::build(&csr);
+        let sum: usize = c.node_ids().map(|id| arena.cone(id.index()).len()).sum();
+        assert_eq!(arena.total_cone_len(), sum);
+        let rsum: usize = c
+            .node_ids()
+            .map(|id| arena.reachable_cols(id.index()).len())
+            .sum();
+        assert_eq!(arena.total_reachable(), rsum);
+        assert_eq!(arena.reachable_offsets().len(), c.node_count() + 1);
+        assert_eq!(arena.reachable_cols_flat().len(), rsum);
+    }
+}

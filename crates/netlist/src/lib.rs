@@ -12,6 +12,8 @@
 //! * ISCAS'85 `.bench` parsing and writing ([`bench_format`]);
 //! * topological utilities ([`topo`]), cones ([`cone`]) and PI→PO path
 //!   counting/enumeration ([`paths`]);
+//! * flat CSR views and the all-cones arena for hot-path simulation
+//!   kernels ([`csr`]);
 //! * deterministic benchmark generators ([`generate`]) reproducing the
 //!   interface and size of the ISCAS'85 suite used in the paper's
 //!   evaluation, plus the exact public-domain `c17`;
@@ -36,6 +38,7 @@ pub mod bench_format;
 mod builder;
 mod circuit;
 pub mod cone;
+pub mod csr;
 mod error;
 mod gate;
 pub mod generate;
