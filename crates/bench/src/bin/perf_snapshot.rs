@@ -1,6 +1,6 @@
-//! Perf-trajectory snapshot: wall-times the ASERTA hot paths on fixed
-//! circuits at fixed seeds and writes a `BENCH_*.json` record, so every
-//! PR has a baseline to beat.
+//! Perf-trajectory snapshot: wall-times the ASERTA/SERTOPT hot paths on
+//! fixed circuits at fixed seeds and writes a `BENCH_*.json` record, so
+//! every PR has a baseline to beat.
 //!
 //! Measures, per circuit (c17 / sec32 / layered):
 //!
@@ -8,16 +8,26 @@
 //! * `widths` — the reverse-topological [`ExpectedWidths`] pass;
 //! * `analyze_fresh` — the end-to-end ASERTA pipeline (library
 //!   characterization warmed up beforehand so the timing isolates the
-//!   analysis hot path).
+//!   analysis hot path);
+//! * `optimize_fresh` / `optimize_incremental` — the same fixed-seed
+//!   SERTOPT run measured against both evaluation engines: one full
+//!   analysis per move versus the persistent
+//!   [`AnalysisSession`](aserta::AnalysisSession). The two runs produce
+//!   identical outcomes (asserted), so the ratio is a pure engine
+//!   speedup.
 //!
 //! ```text
 //! cargo run --release -p ser-bench --bin perf_snapshot -- \
-//!     [--smoke] [--out PATH] [--baseline PATH]
+//!     [--smoke] [--gate] [--out PATH] [--baseline PATH]
 //! ```
 //!
-//! `--smoke` shrinks vector counts and repetitions for CI; `--baseline`
-//! embeds a previous snapshot and reports per-circuit speedups against
-//! it.
+//! `--smoke` shrinks vector counts and repetitions for CI and compares
+//! against the **committed baseline** (`crates/bench/baselines/
+//! smoke.json`, embedded at compile time), printing the per-section
+//! comparison to stdout so CI logs are self-explanatory. `--gate`
+//! additionally fails (exit 1) if any timed section regresses beyond
+//! [`GATE_THRESHOLD`]× the baseline. `--baseline` compares against an
+//! explicit snapshot file instead and embeds it in the output document.
 
 use aserta::{analyze_fresh, timing_view, AsertaConfig, CircuitCells, ExpectedWidths, LoadModel};
 use ser_bench::timed;
@@ -28,33 +38,90 @@ use ser_netlist::generate::{self, LayeredSpec};
 use ser_netlist::Circuit;
 use ser_spice::Technology;
 use serde_json::Value;
+use sertopt::{Algorithm, AllowedParams, EvalStrategy, OptimizerConfig};
 
 /// Fixed seed shared by every stochastic estimate in the snapshot.
 const SEED: u64 = 0xBE7C;
 
+/// The committed smoke baseline CI gates against (regenerate by running
+/// `perf_snapshot --smoke --out crates/bench/baselines/smoke.json` on
+/// the reference machine after an intentional perf change).
+const EMBEDDED_SMOKE_BASELINE: &str = include_str!("../../baselines/smoke.json");
+
+/// Allowed wall-time regression before `--gate` fails the run. Generous:
+/// CI machines are noisy; the gate is meant to catch order-of-magnitude
+/// slips, not jitter.
+const GATE_THRESHOLD: f64 = 1.5;
+
+/// Sections whose *baseline* wall time is below this are compared and
+/// printed but never gated: below ~10 ms (c17's entire analysis and
+/// optimization), scheduler noise swamps any real signal even
+/// best-of-3, and a 2x blip there says nothing about the code.
+const MIN_GATED_SECONDS: f64 = 1.0e-2;
+
+/// The timed sections a baseline comparison inspects.
+const TIMED_KEYS: [&str; 5] = [
+    "pij_s",
+    "widths_s",
+    "analyze_fresh_s",
+    "optimize_fresh_s",
+    "optimize_incremental_s",
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_pr3.json".to_owned());
+    let gate = args.iter().any(|a| a == "--gate");
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_pr4.json".to_owned());
     let baseline_path = flag_value(&args, "--baseline");
 
-    let (vectors, reps) = if smoke { (512, 1) } else { (4096, 3) };
+    // Smoke keeps vector counts small but still takes best-of-3: the
+    // 1.5x gate needs timings stable enough not to trip on scheduler
+    // noise.
+    // The committed baseline holds smoke-mode numbers; gating full-mode
+    // timings against it would fail unconditionally.
+    if gate && !smoke && baseline_path.is_none() {
+        eprintln!("error: --gate needs --smoke (committed baseline) or an explicit --baseline");
+        std::process::exit(2);
+    }
+
+    let (vectors, reps) = if smoke { (512, 3) } else { (4096, 3) };
     let threads = simulation_threads();
 
     let mut rows: Vec<Value> = Vec::new();
     for circuit in snapshot_circuits() {
-        rows.push(measure(&circuit, vectors, reps));
+        let mut row = measure(&circuit, vectors, reps);
+        merge(&mut row, measure_optimize(&circuit, smoke));
         eprintln!("measured {}", circuit.name());
+        rows.push(row);
     }
 
-    let baseline = baseline_path.map(|p| {
+    // An explicit --baseline is embedded in the document; the committed
+    // smoke baseline is only *printed* (embedding it would nest forever
+    // once the output is committed as the next baseline).
+    let explicit_baseline = baseline_path.map(|p| {
         let text = std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {p}: {e}"));
         serde_json::from_str::<Value>(&text).unwrap_or_else(|e| panic!("parse {p}: {e}"))
     });
-    let speedups = baseline.as_ref().map(|b| speedups_vs(b, &rows));
+    let speedups = explicit_baseline.as_ref().map(|b| speedups_vs(b, &rows));
+
+    let compare_against = explicit_baseline.clone().or_else(|| {
+        if smoke || gate {
+            Some(
+                serde_json::from_str::<Value>(EMBEDDED_SMOKE_BASELINE)
+                    .expect("embedded smoke baseline parses"),
+            )
+        } else {
+            None
+        }
+    });
+    let mut regressions: Vec<String> = Vec::new();
+    if let Some(base) = &compare_against {
+        regressions = print_comparison(base, &rows);
+    }
 
     let mut doc: Vec<(String, Value)> = vec![
-        ("snapshot".into(), serde_json::to_value(&"pr3")),
+        ("snapshot".into(), serde_json::to_value(&"pr4")),
         ("smoke".into(), serde_json::to_value(&smoke)),
         ("threads".into(), serde_json::to_value(&(threads as u64))),
         ("vectors".into(), serde_json::to_value(&(vectors as u64))),
@@ -64,12 +131,23 @@ fn main() {
     if let Some(s) = speedups {
         doc.push(("speedup_vs_baseline".into(), s));
     }
-    if let Some(b) = baseline {
+    if let Some(b) = explicit_baseline {
         doc.push(("baseline".into(), b));
     }
     let text = serde_json::to_string_pretty(&Value::Object(doc)).expect("render JSON");
     std::fs::write(&out_path, text + "\n").unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("wrote {out_path}");
+
+    if gate && !regressions.is_empty() {
+        eprintln!("perf gate FAILED ({GATE_THRESHOLD}x threshold):");
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
+    if gate {
+        println!("perf gate passed ({GATE_THRESHOLD}x threshold)");
+    }
 }
 
 /// The fixed circuit set: tiny exact c17, the 32-bit SEC circuit
@@ -82,9 +160,9 @@ fn snapshot_circuits() -> Vec<Circuit> {
     ]
 }
 
-/// Times the three hot paths on one circuit, keeping the best of `reps`
-/// runs (first `analyze_fresh` call outside the clock warms the library's
-/// characterization cache).
+/// Times the three analysis hot paths on one circuit, keeping the best
+/// of `reps` runs (first `analyze_fresh` call outside the clock warms
+/// the library's characterization cache).
 fn measure(circuit: &Circuit, vectors: usize, reps: usize) -> Value {
     let mut lib = Library::new(Technology::ptm70(), CharGrids::coarse());
     let cells = CircuitCells::nominal(circuit);
@@ -145,20 +223,127 @@ fn measure(circuit: &Circuit, vectors: usize, reps: usize) -> Value {
     ])
 }
 
+/// Times the same fixed-seed SERTOPT run under both evaluation engines
+/// (single worker thread, so the ratio isolates incrementality, not
+/// parallelism) and asserts the outcomes agree.
+fn measure_optimize(circuit: &Circuit, smoke: bool) -> Value {
+    // Coordinate descent is the representative inner-loop workload:
+    // localized single-coordinate moves, exactly what the incremental
+    // engine scopes. (SQP's SPSA probes above `FD_DIM_LIMIT` perturb all
+    // coordinates at once and profit mostly from thread batching.)
+    let mut cfg = OptimizerConfig {
+        algorithm: Algorithm::CoordinateDescent,
+        allowed: AllowedParams::tiny(),
+        iterations: if smoke { 3 } else { 10 },
+        seed: SEED,
+        threads: 1,
+        ..OptimizerConfig::default()
+    };
+    cfg.aserta.sensitization_vectors = if smoke { 512 } else { 2048 };
+    cfg.aserta.seed = SEED;
+
+    // Pre-warm one library per engine run outside the clock.
+    let mut lib_fresh = Library::new(Technology::ptm70(), CharGrids::coarse());
+    let mut lib_inc = Library::new(Technology::ptm70(), CharGrids::coarse());
+    lib_fresh.characterize_spec(&cfg.allowed.library_spec(circuit), 0);
+    lib_inc.characterize_spec(&cfg.allowed.library_spec(circuit), 0);
+
+    cfg.eval = EvalStrategy::FreshPerMove;
+    let (fresh, fresh_s) = timed(|| sertopt::optimize_circuit(circuit, &mut lib_fresh, &cfg));
+    cfg.eval = EvalStrategy::Incremental;
+    let (inc, inc_s) = timed(|| sertopt::optimize_circuit(circuit, &mut lib_inc, &cfg));
+    assert_eq!(
+        fresh.optimized.cost,
+        inc.optimized.cost,
+        "engines must agree on {}",
+        circuit.name()
+    );
+    assert_eq!(fresh.evaluations, inc.evaluations);
+
+    Value::Object(vec![
+        ("optimize_fresh_s".into(), serde_json::to_value(&fresh_s)),
+        (
+            "optimize_incremental_s".into(),
+            serde_json::to_value(&inc_s),
+        ),
+        (
+            "optimize_speedup".into(),
+            serde_json::to_value(&(fresh_s / inc_s)),
+        ),
+        (
+            "optimize_evaluations".into(),
+            serde_json::to_value(&(inc.evaluations as u64)),
+        ),
+    ])
+}
+
+/// Appends `extra`'s fields to the `row` object.
+fn merge(row: &mut Value, extra: Value) {
+    if let (Value::Object(row), Value::Object(extra)) = (row, extra) {
+        row.extend(extra);
+    }
+}
+
 /// Minimum over `reps` runs (`INFINITY` when `reps` is 0, for callers
 /// folding in an already-timed first run).
 fn best_of(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
     (0..reps).map(|_| f()).fold(f64::INFINITY, f64::min)
 }
 
-/// Per-circuit `baseline_time / new_time` ratios for the timed sections.
-fn speedups_vs(baseline: &Value, rows: &[Value]) -> Value {
+/// Prints a per-circuit, per-section comparison against `baseline` to
+/// stdout and returns the sections regressing beyond [`GATE_THRESHOLD`]
+/// (ignoring sections whose baseline is under [`MIN_GATED_SECONDS`] —
+/// pure noise at that scale). The committed baseline records one
+/// machine's wall times: regenerate it alongside intentional perf
+/// changes, and expect the gate to be meaningful only on comparable
+/// hardware.
+fn print_comparison(baseline: &Value, rows: &[Value]) -> Vec<String> {
     let empty: &[Value] = &[];
-    let base_rows = baseline
+    let base_rows = baseline_rows(baseline).unwrap_or(empty);
+    let mut regressions = Vec::new();
+    println!("\ncomparison vs baseline (new/old wall time; <1 is faster):");
+    for row in rows {
+        let Some(name) = field(row, "name").and_then(Value::as_str) else {
+            continue;
+        };
+        let Some(base) = base_rows
+            .iter()
+            .find(|b| field(b, "name").and_then(Value::as_str) == Some(name))
+        else {
+            println!("  {name:<10} (not in baseline)");
+            continue;
+        };
+        let mut parts: Vec<String> = Vec::new();
+        for key in TIMED_KEYS {
+            match (num(base, key), num(row, key)) {
+                (Some(b), Some(n)) if b > 0.0 => {
+                    let ratio = n / b;
+                    parts.push(format!("{} {ratio:.2}x", key.trim_end_matches("_s")));
+                    if ratio > GATE_THRESHOLD && b >= MIN_GATED_SECONDS {
+                        regressions.push(format!(
+                            "{name}: {key} {n:.6}s vs baseline {b:.6}s ({ratio:.2}x)"
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        println!("  {name:<10} {}", parts.join("  "));
+    }
+    regressions
+}
+
+fn baseline_rows(baseline: &Value) -> Option<&[Value]> {
+    baseline
         .as_object()
         .and_then(|o| o.iter().find(|(k, _)| k == "circuits"))
         .and_then(|(_, v)| v.as_array())
-        .unwrap_or(empty);
+}
+
+/// Per-circuit `baseline_time / new_time` ratios for the timed sections.
+fn speedups_vs(baseline: &Value, rows: &[Value]) -> Value {
+    let empty: &[Value] = &[];
+    let base_rows = baseline_rows(baseline).unwrap_or(empty);
     let mut out: Vec<(String, Value)> = Vec::new();
     for row in rows {
         let Some(name) = field(row, "name").and_then(Value::as_str) else {
@@ -182,6 +367,10 @@ fn speedups_vs(baseline: &Value, rows: &[Value]) -> Value {
                 ("pij".into(), ratio("pij_s")),
                 ("widths".into(), ratio("widths_s")),
                 ("analyze_fresh".into(), ratio("analyze_fresh_s")),
+                (
+                    "optimize_incremental".into(),
+                    ratio("optimize_incremental_s"),
+                ),
             ]),
         ));
     }

@@ -118,6 +118,46 @@ impl TimingView {
     }
 }
 
+/// The output load of one node: wire capacitance plus successor input
+/// capacitance per fan-out pin (in fan-out order), plus the latch load
+/// when the node is a primary output.
+///
+/// This is **the** load formula — the batch [`timing_view`], the
+/// incremental session and the matcher's refinement anchor all call it,
+/// so their results stay bitwise interchangeable. `input_cap` maps a
+/// fan-out node to its cell's input capacitance (`None` for nodes
+/// without a cell).
+pub fn node_load(
+    circuit: &Circuit,
+    id: NodeId,
+    model: LoadModel,
+    mut input_cap: impl FnMut(NodeId) -> Option<f64>,
+) -> f64 {
+    let mut c = 0.0;
+    for &s in circuit.fanout(id) {
+        c += model.wire_cap_per_pin;
+        if let Some(cap) = input_cap(s) {
+            c += cap;
+        }
+    }
+    if circuit.is_primary_output(id) {
+        c += model.po_load;
+    }
+    c
+}
+
+/// The input transition time a gate sees: the worst (slowest) fan-in
+/// output ramp, floored at 1 ps. The single source of truth shared by
+/// every timing pass (see [`node_load`]).
+#[inline]
+pub fn gate_input_ramp(node: &ser_netlist::Node, out_ramps: &[f64]) -> f64 {
+    node.fanin
+        .iter()
+        .map(|f| out_ramps[f.index()])
+        .fold(0.0, f64::max)
+        .max(1.0e-12)
+}
+
 /// Computes the timing view for a cell assignment: loads from successor
 /// pin capacitances (plus wire and latch loads), then one topological pass
 /// propagating ramps and looking up delays.
@@ -135,17 +175,11 @@ pub fn timing_view(
     // Loads need successor input capacitances.
     let mut loads = vec![0.0f64; n];
     for id in circuit.node_ids() {
-        let mut c = 0.0;
-        for &s in circuit.fanout(id) {
-            c += loads_model.wire_cap_per_pin;
-            if let Some(p) = cells.get(s) {
-                c += library.get_or_characterize(p).input_cap;
-            }
-        }
-        if circuit.is_primary_output(id) {
-            c += loads_model.po_load;
-        }
-        loads[id.index()] = c;
+        loads[id.index()] = node_load(circuit, id, loads_model, |s| {
+            cells
+                .get(s)
+                .map(|p| library.get_or_characterize(p).input_cap)
+        });
     }
 
     let mut in_ramps = vec![pi_ramp; n];
@@ -156,12 +190,7 @@ pub fn timing_view(
         if node.is_input() {
             continue;
         }
-        let ramp_in = node
-            .fanin
-            .iter()
-            .map(|f| out_ramps[f.index()])
-            .fold(0.0, f64::max)
-            .max(1.0e-12);
+        let ramp_in = gate_input_ramp(node, &out_ramps);
         let p = cells.get(id).expect("gates carry parameters");
         let cell = library.get_or_characterize(p);
         in_ramps[id.index()] = ramp_in;

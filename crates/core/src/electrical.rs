@@ -194,85 +194,126 @@ impl ExpectedWidths {
             .map(|j| self.expected_width(i, j, w_gen))
             .sum()
     }
+
+    /// The raw node-major `[k][j]` storage — the incremental engine
+    /// patches rows in place.
+    #[inline]
+    pub(crate) fn ws(&self) -> &[f64] {
+        &self.ws
+    }
+
+    /// Mutable access to the raw storage (see [`ExpectedWidths::ws`]).
+    #[inline]
+    pub(crate) fn ws_mut(&mut self) -> &mut [f64] {
+        &mut self.ws
+    }
 }
 
 /// One hoisted interpolation bracket: row offsets (premultiplied by the
 /// PO-column stride) and blend weights of the two grid samples framing an
 /// attenuated width.
-#[derive(Debug, Clone, Copy)]
-struct Bracket {
-    off_lo: usize,
-    off_hi: usize,
-    w_lo: f64,
-    w_hi: f64,
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Bracket {
+    pub(crate) off_lo: usize,
+    pub(crate) off_hi: usize,
+    pub(crate) w_lo: f64,
+    pub(crate) w_hi: f64,
+}
+
+/// The bracket of one attenuated width `w` in `grid`: the two framing
+/// sample rows (offsets premultiplied by the PO-column stride `n_pos`)
+/// and their blend weights, clamped at both ends. This is the single
+/// source of truth shared by the batch pass and the incremental engine's
+/// per-node bracket refresh, and it reproduces [`interp_width`]'s
+/// arithmetic exactly (same clamping, same blend expression).
+pub(crate) fn bracket_for(grid: &[f64], w: f64, n_pos: usize) -> Bracket {
+    let top = grid.len() - 1;
+    if w <= grid[0] {
+        Bracket {
+            off_lo: 0,
+            off_hi: 0,
+            w_lo: 1.0,
+            w_hi: 0.0,
+        }
+    } else if w >= grid[top] {
+        Bracket {
+            off_lo: top * n_pos,
+            off_hi: top * n_pos,
+            w_lo: 0.0,
+            w_hi: 1.0,
+        }
+    } else {
+        let mut lo = 0usize;
+        let mut hi = top;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if grid[mid] <= w {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let frac = (w - grid[lo]) / (grid[lo + 1] - grid[lo]);
+        Bracket {
+            off_lo: lo * n_pos,
+            off_hi: (lo + 1) * n_pos,
+            w_lo: 1.0 - frac,
+            w_hi: frac,
+        }
+    }
 }
 
 /// Brackets for every `(node, sample-width)` pair: the attenuation of
 /// `grid[k]` through node `s` and its linear-interpolation coefficients,
-/// computed once instead of per PO column. Reproduces [`interp_width`]'s
-/// arithmetic exactly (same clamping, same blend expression), so hoisting
-/// does not move results even in the last bit.
-struct InterpBrackets {
+/// computed once instead of per PO column.
+#[derive(Debug, Clone)]
+pub(crate) struct InterpBrackets {
     per_node: Vec<Bracket>,
     k_n: usize,
 }
 
 impl InterpBrackets {
-    fn new(grid: &[f64], delays: &[f64], model: AttenuationModel, n_pos: usize) -> Self {
+    pub(crate) fn new(grid: &[f64], delays: &[f64], model: AttenuationModel, n_pos: usize) -> Self {
         let k_n = grid.len();
-        let top = k_n - 1;
         let mut per_node = Vec::with_capacity(delays.len() * k_n);
         for &delay in delays {
             for &g in grid {
-                let w = model.apply(g, delay);
-                let b = if w <= grid[0] {
-                    Bracket {
-                        off_lo: 0,
-                        off_hi: 0,
-                        w_lo: 1.0,
-                        w_hi: 0.0,
-                    }
-                } else if w >= grid[top] {
-                    Bracket {
-                        off_lo: top * n_pos,
-                        off_hi: top * n_pos,
-                        w_lo: 0.0,
-                        w_hi: 1.0,
-                    }
-                } else {
-                    let mut lo = 0usize;
-                    let mut hi = top;
-                    while hi - lo > 1 {
-                        let mid = (lo + hi) / 2;
-                        if grid[mid] <= w {
-                            lo = mid;
-                        } else {
-                            hi = mid;
-                        }
-                    }
-                    let frac = (w - grid[lo]) / (grid[lo + 1] - grid[lo]);
-                    Bracket {
-                        off_lo: lo * n_pos,
-                        off_hi: (lo + 1) * n_pos,
-                        w_lo: 1.0 - frac,
-                        w_hi: frac,
-                    }
-                };
-                per_node.push(b);
+                per_node.push(bracket_for(grid, model.apply(g, delay), n_pos));
             }
         }
         InterpBrackets { per_node, k_n }
     }
 
+    /// Recomputes the brackets of one node after its delay changed.
+    pub(crate) fn refresh_node(
+        &mut self,
+        node: usize,
+        grid: &[f64],
+        delay: f64,
+        model: AttenuationModel,
+        n_pos: usize,
+    ) {
+        for (k, &g) in grid.iter().enumerate() {
+            self.per_node[node * self.k_n + k] = bracket_for(grid, model.apply(g, delay), n_pos);
+        }
+    }
+
     #[inline]
-    fn at(&self, node: usize, k: usize) -> Bracket {
+    pub(crate) fn at(&self, node: usize, k: usize) -> Bracket {
         self.per_node[node * self.k_n + k]
     }
 }
 
 /// Interpolates a node's `[k][j]` table along k at width `w` (clamped).
 #[inline]
-fn interp_width(ws: &[f64], node_base: usize, n_pos: usize, j: usize, grid: &[f64], w: f64) -> f64 {
+pub(crate) fn interp_width(
+    ws: &[f64],
+    node_base: usize,
+    n_pos: usize,
+    j: usize,
+    grid: &[f64],
+    w: f64,
+) -> f64 {
     let k_n = grid.len();
     if w <= grid[0] {
         return ws[node_base + j];

@@ -51,9 +51,11 @@ pub mod latching;
 pub mod logical;
 pub mod report;
 pub mod ser;
+pub mod session;
 pub mod validate;
 
 pub use analysis::{analyze, analyze_fresh, AsertaReport};
-pub use binding::{timing_view, CircuitCells, LoadModel, TimingView};
+pub use binding::{gate_input_ramp, node_load, timing_view, CircuitCells, LoadModel, TimingView};
 pub use config::AsertaConfig;
 pub use electrical::ExpectedWidths;
+pub use session::{AnalysisSession, ApplyStats};

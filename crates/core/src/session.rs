@@ -1,0 +1,922 @@
+//! The incremental analysis engine: a persistent [`AnalysisSession`]
+//! that keeps every ASERTA artifact alive between evaluations and
+//! re-derives only what a batch of per-gate deltas actually invalidates.
+//!
+//! The SERTOPT inner loop re-evaluates circuit unreliability after every
+//! candidate move, and consecutive candidates differ in a handful of
+//! gates. A fresh [`analyze`](crate::analyze) pays the full
+//! `O((V+E)·K·|PO|)` width pass (plus timing and library work) per move;
+//! the session instead scopes each recomputation with dirty-set closures
+//! over the flat CSR view:
+//!
+//! * a **cell change** at gate `g` dirties the loads of `g`'s fan-ins and
+//!   `g`'s own delay/ramp; ramp changes flow through the *fan-out
+//!   closure*, stopping as soon as recomputed values are bitwise
+//!   unchanged;
+//! * a **delay change** at `g` dirties the hoisted interpolation brackets
+//!   of `g` and the expected-width rows of `g`'s *strict ancestors* —
+//!   rows are re-derived in reverse topological order from the cached
+//!   successor tables, again stopping where recomputed rows are bitwise
+//!   unchanged;
+//! * the Eq. 2 weights `π_isj` and static probabilities depend only on
+//!   the circuit's logic, so they are computed once and served from a
+//!   per-cone weight cache; `P_ij` likewise persists, with
+//!   [`AnalysisSession::resample_pij_rows`] re-simulating selected cones
+//!   (via [`ser_logicsim::sensitize::resimulate_rows`]) when the caller
+//!   wants sharper estimates for specific nodes.
+//!
+//! **Fidelity contract:** after any sequence of
+//! [`AnalysisSession::set_cells`] / [`AnalysisSession::apply`] calls, the
+//! session state is *bitwise identical* to a fresh
+//! [`analyze`](crate::analyze) of the mutated assignment — every skipped
+//! recomputation is guarded by a bitwise comparison of its inputs. The
+//! workspace property test `session_equiv` pins this.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use aserta::{AnalysisSession, AsertaConfig, CircuitCells};
+//! use ser_cells::{CharGrids, Library};
+//! use ser_netlist::generate;
+//! use ser_spice::Technology;
+//!
+//! let c17 = generate::c17();
+//! let lib = Library::new(Technology::ptm70(), CharGrids::coarse());
+//! let mut session =
+//!     AnalysisSession::new(&c17, CircuitCells::nominal(&c17), lib, AsertaConfig::fast());
+//! let g = c17.find("10").unwrap();
+//! let mut p = *session.cells().get(g).unwrap();
+//! p.size = 4.0;
+//! let stats = session.apply(&[(g, p)]);
+//! println!(
+//!     "U = {:.3e} after touching {} rows",
+//!     session.unreliability(),
+//!     stats.rows_recomputed
+//! );
+//! ```
+
+use ser_cells::{CharacterizedCell, Library};
+use ser_logicsim::probability::static_probabilities_analytic;
+use ser_logicsim::sensitize::{resimulate_rows, sensitization_probabilities};
+use ser_logicsim::SensitizationMatrix;
+use ser_netlist::csr::CsrView;
+use ser_netlist::dirty::{close_over_fanout, strict_ancestors, SparseSet};
+use ser_netlist::{Circuit, NodeId};
+use ser_spice::GateParams;
+
+use crate::analysis::AsertaReport;
+use crate::binding::{timing_view, CircuitCells, LoadModel, TimingView};
+use crate::config::AsertaConfig;
+use crate::electrical::{ExpectedWidths, InterpBrackets};
+use crate::glitch::AttenuationModel;
+use crate::logical::{pi_weights, successor_sensitizations};
+
+/// What one [`AnalysisSession::set_cells`] /
+/// [`AnalysisSession::apply`] call actually recomputed — the observable
+/// face of the dirty-set machinery, useful for asserting locality and
+/// for downstream incremental caches (e.g. per-gate energy).
+#[derive(Debug, Clone, Default)]
+pub struct ApplyStats {
+    /// Gates whose cell parameters differed from the current assignment.
+    pub gates_changed: usize,
+    /// Nodes whose capacitive load changed.
+    pub loads_changed: usize,
+    /// Nodes whose propagation delay changed.
+    pub delays_changed: usize,
+    /// Expected-width rows re-derived (dirty candidates actually hit).
+    pub rows_recomputed: usize,
+    /// Re-derived rows that changed at least one bit.
+    pub rows_changed: usize,
+    /// Gates whose cell parameters *or* load changed — exactly the set a
+    /// per-gate energy/area cache must refresh.
+    pub energy_dirty: Vec<u32>,
+}
+
+/// The Eq. 2 logical-masking weights `π_isj`, cached per
+/// `(node, reachable PO, successor)`. Both inputs (`S_is` from the static
+/// probabilities and `P_ij` from the sensitization matrix) depend only on
+/// the circuit's logic, so the cache survives every delay/size/cell
+/// delta.
+#[derive(Debug, Clone)]
+struct WeightCache {
+    /// Successor node indices per node (deduplicated, CSR layout).
+    succ_off: Vec<u32>,
+    succ_nodes: Vec<u32>,
+    /// Per-node offset into the per-(node, reachable-col) block table.
+    slot_off: Vec<usize>,
+    /// Per-slot offsets into `pis`; an empty block marks a column the
+    /// batch pass skips (`P_ij = 0` or all-zero weights).
+    blk_off: Vec<u32>,
+    pis: Vec<f64>,
+}
+
+impl WeightCache {
+    fn build(circuit: &Circuit, probs: &[f64], pij: &SensitizationMatrix) -> Self {
+        let n = circuit.node_count();
+        let mut succ_off = Vec::with_capacity(n + 1);
+        let mut succ_nodes: Vec<u32> = Vec::new();
+        let mut slot_off = Vec::with_capacity(n + 1);
+        let mut blk_off: Vec<u32> = Vec::new();
+        let mut pis: Vec<f64> = Vec::new();
+        succ_off.push(0u32);
+        slot_off.push(0usize);
+        blk_off.push(0u32);
+        for i in 0..n {
+            let id = NodeId::new(i);
+            let successors = successor_sensitizations(circuit, probs, id);
+            succ_nodes.extend(successors.iter().map(|&(s, _)| s.index() as u32));
+            succ_off.push(succ_nodes.len() as u32);
+            for &col in pij.reachable_columns(id) {
+                let j = col as usize;
+                let p_ij = pij.p(id, j);
+                if p_ij > 0.0 && !successors.is_empty() {
+                    let w = pi_weights(&successors, p_ij, |s| pij.p(s, j));
+                    if !w.iter().all(|&x| x == 0.0) {
+                        pis.extend(w);
+                    }
+                }
+                blk_off.push(pis.len() as u32);
+            }
+            slot_off.push(blk_off.len() - 1);
+        }
+        WeightCache {
+            succ_off,
+            succ_nodes,
+            slot_off,
+            blk_off,
+            pis,
+        }
+    }
+
+    #[inline]
+    fn successors(&self, i: usize) -> &[u32] {
+        &self.succ_nodes[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
+    }
+
+    /// The weight block of node `i`'s `t`-th reachable column (empty when
+    /// the batch pass would skip that column).
+    #[inline]
+    fn block(&self, i: usize, t: usize) -> &[f64] {
+        let slot = self.slot_off[i] + t;
+        &self.pis[self.blk_off[slot] as usize..self.blk_off[slot + 1] as usize]
+    }
+}
+
+/// Reusable per-apply scratch state (kept allocated between moves).
+#[derive(Debug, Clone)]
+struct Scratch {
+    load_cand: SparseSet,
+    load_changed: SparseSet,
+    timing_affected: SparseSet,
+    delay_changed: SparseSet,
+    row_cand: SparseSet,
+    row_changed: SparseSet,
+    u_dirty: SparseSet,
+    row_buf: Vec<f64>,
+    arrival: Vec<f64>,
+}
+
+impl Scratch {
+    fn new(n: usize, row_len: usize) -> Self {
+        Scratch {
+            load_cand: SparseSet::new(n),
+            load_changed: SparseSet::new(n),
+            timing_affected: SparseSet::new(n),
+            delay_changed: SparseSet::new(n),
+            row_cand: SparseSet::new(n),
+            row_changed: SparseSet::new(n),
+            u_dirty: SparseSet::new(n),
+            row_buf: vec![0.0; row_len],
+            arrival: vec![0.0; n],
+        }
+    }
+}
+
+/// A persistent, incrementally-updated ASERTA analysis of one circuit.
+///
+/// See the [module docs](self) for the dirty-set architecture and the
+/// bitwise fidelity contract. The session owns its [`Library`] (variants
+/// are characterized lazily on first use), so it is `Clone` + `Send`:
+/// optimizers replicate one session per worker thread and evaluate
+/// independent candidates in parallel.
+#[derive(Clone)]
+pub struct AnalysisSession<'c> {
+    circuit: &'c Circuit,
+    cfg: AsertaConfig,
+    library: Library,
+    cells: CircuitCells,
+    csr: CsrView,
+    pij: SensitizationMatrix,
+    static_probs: Vec<f64>,
+    grid: Vec<f64>,
+    n_pos: usize,
+    weights: WeightCache,
+    timing: TimingView,
+    critical_delay: f64,
+    generated: Vec<f64>,
+    widths: ExpectedWidths,
+    brackets: InterpBrackets,
+    per_gate_u: Vec<f64>,
+    unreliability: f64,
+    scratch: Scratch,
+}
+
+impl<'c> AnalysisSession<'c> {
+    /// Builds a session: estimates `P_ij` (once), runs one full analysis
+    /// and materializes every cache the incremental path serves from.
+    pub fn new(
+        circuit: &'c Circuit,
+        cells: CircuitCells,
+        library: Library,
+        cfg: AsertaConfig,
+    ) -> Self {
+        let pij = sensitization_probabilities(circuit, cfg.sensitization_vectors, cfg.seed);
+        Self::with_pij(circuit, cells, library, cfg, pij)
+    }
+
+    /// [`AnalysisSession::new`] with a caller-provided sensitization
+    /// matrix (to share one estimate across sessions).
+    pub fn with_pij(
+        circuit: &'c Circuit,
+        cells: CircuitCells,
+        mut library: Library,
+        cfg: AsertaConfig,
+        pij: SensitizationMatrix,
+    ) -> Self {
+        let n = circuit.node_count();
+        let loads_model = LoadModel {
+            wire_cap_per_pin: cfg.wire_cap_per_pin,
+            po_load: cfg.po_load,
+        };
+        let timing = timing_view(circuit, &cells, &mut library, loads_model, cfg.pi_ramp);
+        let static_probs = static_probabilities_analytic(circuit, cfg.pi_probability);
+
+        let mut generated = vec![0.0f64; n];
+        for id in circuit.gates() {
+            let p = cells.get(id).expect("gates carry parameters");
+            let cell = library.get_or_characterize(p);
+            generated[id.index()] = cell.glitch_width_at(timing.loads[id.index()], cfg.charge);
+        }
+
+        let grid = cfg.sample_width_grid();
+        let widths =
+            ExpectedWidths::compute(circuit, &static_probs, &pij, &timing.delays, grid.clone());
+        let n_pos = widths.outputs().len();
+        let brackets =
+            InterpBrackets::new(&grid, &timing.delays, AttenuationModel::PaperEq1, n_pos);
+        let weights = WeightCache::build(circuit, &static_probs, &pij);
+
+        let mut per_gate_u = vec![0.0f64; n];
+        for id in circuit.gates() {
+            let z = cells.get(id).expect("gates carry parameters").size;
+            per_gate_u[id.index()] = z * widths.total_expected_width(id, generated[id.index()]);
+        }
+        let critical_delay = timing.critical_path_delay(circuit);
+
+        let mut session = AnalysisSession {
+            circuit,
+            cfg,
+            library,
+            cells,
+            csr: CsrView::build(circuit),
+            pij,
+            static_probs,
+            grid: grid.clone(),
+            n_pos,
+            weights,
+            timing,
+            critical_delay,
+            generated,
+            widths,
+            brackets,
+            per_gate_u,
+            unreliability: 0.0,
+            scratch: Scratch::new(n, grid.len() * n_pos),
+        };
+        session.resum_unreliability();
+        session
+    }
+
+    /// The circuit under analysis.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// The analysis settings in force.
+    pub fn config(&self) -> &AsertaConfig {
+        &self.cfg
+    }
+
+    /// The current cell assignment.
+    pub fn cells(&self) -> &CircuitCells {
+        &self.cells
+    }
+
+    /// The cached sensitization matrix.
+    pub fn pij(&self) -> &SensitizationMatrix {
+        &self.pij
+    }
+
+    /// The static 1-probabilities used for logical masking.
+    pub fn static_probs(&self) -> &[f64] {
+        &self.static_probs
+    }
+
+    /// The current timing view (loads, ramps, delays).
+    pub fn timing(&self) -> &TimingView {
+        &self.timing
+    }
+
+    /// The critical PI→PO path delay of the current assignment, seconds.
+    pub fn critical_delay(&self) -> f64 {
+        self.critical_delay
+    }
+
+    /// Per-gate generated glitch widths, seconds.
+    pub fn generated_widths(&self) -> &[f64] {
+        &self.generated
+    }
+
+    /// Circuit unreliability `U` (Eq. 4) of the current assignment.
+    pub fn unreliability(&self) -> f64 {
+        self.unreliability
+    }
+
+    /// Per-node `U_i` (Eq. 3); zero for primary inputs.
+    pub fn per_gate_unreliability(&self) -> &[f64] {
+        &self.per_gate_u
+    }
+
+    /// The expected-width tables of the current assignment.
+    pub fn expected_widths(&self) -> &ExpectedWidths {
+        &self.widths
+    }
+
+    /// The characterized cell and output load of a gate — the inputs a
+    /// downstream per-gate cache (energy, area) needs to refresh an
+    /// [`ApplyStats::energy_dirty`] entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is a primary input.
+    pub fn cell_and_load(&mut self, id: NodeId) -> (&CharacterizedCell, f64) {
+        let load = self.timing.loads[id.index()];
+        let p = self.cells.get(id).expect("gates carry parameters");
+        (self.library.get_or_characterize(p), load)
+    }
+
+    /// Packages the current state as a classic [`AsertaReport`] (clones
+    /// the tables — use the accessors on the hot path).
+    pub fn report(&self) -> AsertaReport {
+        AsertaReport {
+            unreliability: self.unreliability,
+            per_gate_unreliability: self.per_gate_u.clone(),
+            generated_widths: self.generated.clone(),
+            expected_widths: self.widths.clone(),
+            static_probs: self.static_probs.clone(),
+            timing: self.timing.clone(),
+        }
+    }
+
+    /// Applies per-gate deltas (`(gate, new cell parameters)` pairs) and
+    /// incrementally re-derives the analysis. No-op deltas (parameters
+    /// equal to the current assignment) are skipped outright.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a delta targets a primary input.
+    pub fn apply(&mut self, deltas: &[(NodeId, GateParams)]) -> ApplyStats {
+        let mut changed: Vec<u32> = Vec::with_capacity(deltas.len());
+        for &(id, p) in deltas {
+            if self.cells.get(id) != Some(&p) {
+                self.cells.set(id, p);
+                changed.push(id.index() as u32);
+            }
+        }
+        changed.sort_unstable();
+        changed.dedup();
+        self.update_after(changed)
+    }
+
+    /// Moves the session to a full target assignment, diffing it against
+    /// the current one — the natural entry point for optimizer loops
+    /// whose matcher produces whole candidate assignments.
+    pub fn set_cells(&mut self, target: &CircuitCells) -> ApplyStats {
+        let mut changed: Vec<u32> = Vec::new();
+        for id in self.circuit.gates() {
+            let p = *target.get(id).expect("gates carry parameters");
+            if self.cells.get(id) != Some(&p) {
+                self.cells.set(id, p);
+                changed.push(id.index() as u32);
+            }
+        }
+        self.update_after(changed)
+    }
+
+    /// Selectively re-estimates the `P_ij` rows of `nodes` with
+    /// `n_vectors` random vectors at `seed` (re-simulating only those
+    /// fan-out cones), then incrementally re-derives everything
+    /// downstream of the changed rows. With the session's own
+    /// `(sensitization_vectors, seed)` this is a bitwise no-op; with more
+    /// vectors it sharpens the estimate for the listed nodes (e.g. the
+    /// current soft spots) at a fraction of a full re-estimate.
+    ///
+    /// Note the matrix then mixes sample sizes across rows;
+    /// [`SensitizationMatrix::vectors_used`] keeps reporting the
+    /// session-wide default.
+    pub fn resample_pij_rows(
+        &mut self,
+        nodes: &[NodeId],
+        n_vectors: usize,
+        seed: u64,
+    ) -> ApplyStats {
+        let mut stats = ApplyStats::default();
+        if nodes.is_empty() {
+            return stats;
+        }
+        let update = resimulate_rows(self.circuit, nodes, n_vectors, seed);
+        self.pij.apply_update(&update);
+        // π weights read P rows of both a node and its successors; a full
+        // rebuild is simplest and exact (refinement is a rare, heavy op).
+        self.weights = WeightCache::build(self.circuit, &self.static_probs, &self.pij);
+
+        // Width rows of the changed nodes and all their strict ancestors
+        // are invalid; re-derive in reverse topological order.
+        let seeds: Vec<u32> = nodes.iter().map(|id| id.index() as u32).collect();
+        let scratch = &mut self.scratch;
+        strict_ancestors(&self.csr, &seeds, &mut scratch.row_cand);
+        for &s in &seeds {
+            scratch.row_cand.insert(s);
+        }
+        scratch.row_changed.clear();
+        scratch.u_dirty.clear();
+        let topo = self.circuit.topological_order();
+        for &id in topo.iter().rev() {
+            let i = id.index();
+            if !scratch.row_cand.contains(i as u32) {
+                continue;
+            }
+            stats.rows_recomputed += 1;
+            let changed = recompute_row(
+                i,
+                &self.weights,
+                &self.pij,
+                &self.brackets,
+                &self.grid,
+                self.n_pos,
+                &mut self.widths,
+                &mut scratch.row_buf,
+            );
+            if changed {
+                scratch.row_changed.insert(i as u32);
+                scratch.u_dirty.insert(i as u32);
+            }
+        }
+        stats.rows_changed = scratch.row_changed.len();
+        self.refresh_unreliability();
+        stats
+    }
+
+    /// The shared tail of every delta application: `self.cells` already
+    /// holds the new assignment; `changed` lists the gates that differ.
+    fn update_after(&mut self, changed: Vec<u32>) -> ApplyStats {
+        let mut stats = ApplyStats {
+            gates_changed: changed.len(),
+            ..ApplyStats::default()
+        };
+        if changed.is_empty() {
+            return stats;
+        }
+        let scratch = &mut self.scratch;
+
+        // --- Loads: only fan-ins of changed gates can see a new input
+        // capacitance. Recompute with the batch pass's exact arithmetic
+        // and keep the bitwise-changed ones.
+        scratch.load_cand.clear();
+        scratch.load_changed.clear();
+        for &g in &changed {
+            for &f in self.csr.fanin_of(g as usize) {
+                scratch.load_cand.insert(f);
+            }
+        }
+        let loads_model = LoadModel {
+            wire_cap_per_pin: self.cfg.wire_cap_per_pin,
+            po_load: self.cfg.po_load,
+        };
+        for idx in 0..scratch.load_cand.members().len() {
+            let i = scratch.load_cand.members()[idx] as usize;
+            let id = NodeId::new(i);
+            let cells = &self.cells;
+            let library = &mut self.library;
+            let c = crate::binding::node_load(self.circuit, id, loads_model, |s| {
+                cells
+                    .get(s)
+                    .map(|p| library.get_or_characterize(p).input_cap)
+            });
+            if c != self.timing.loads[i] {
+                self.timing.loads[i] = c;
+                scratch.load_changed.insert(i as u32);
+            }
+        }
+
+        // --- Delays and ramps: forward sweep over the fan-out closure of
+        // everything that changed, stopping where recomputed values are
+        // bitwise identical.
+        scratch.timing_affected.clear();
+        scratch.delay_changed.clear();
+        for &g in &changed {
+            scratch.timing_affected.insert(g);
+        }
+        for &i in scratch.load_changed.members() {
+            scratch.timing_affected.insert(i);
+        }
+        close_over_fanout(&self.csr, &mut scratch.timing_affected);
+        for &id in self.circuit.topological_order() {
+            let i = id.index();
+            if !scratch.timing_affected.contains(i as u32) {
+                continue;
+            }
+            let node = self.circuit.node(id);
+            if node.is_input() {
+                continue;
+            }
+            let ramp_in = crate::binding::gate_input_ramp(node, &self.timing.out_ramps);
+            let params_changed = changed.binary_search(&(i as u32)).is_ok();
+            if !params_changed
+                && !scratch.load_changed.contains(i as u32)
+                && ramp_in == self.timing.in_ramps[i]
+            {
+                continue;
+            }
+            let p = self.cells.get(id).expect("gates carry parameters");
+            let cell = self.library.get_or_characterize(p);
+            let d = cell.delay_at(self.timing.loads[i], ramp_in);
+            let or = cell.out_ramp_at(self.timing.loads[i], ramp_in);
+            self.timing.in_ramps[i] = ramp_in;
+            if d != self.timing.delays[i] {
+                self.timing.delays[i] = d;
+                scratch.delay_changed.insert(i as u32);
+            }
+            if or != self.timing.out_ramps[i] {
+                self.timing.out_ramps[i] = or;
+            }
+        }
+        stats.loads_changed = scratch.load_changed.len();
+        stats.delays_changed = scratch.delay_changed.len();
+
+        // --- Generated widths + the per-gate energy dirty set: cell or
+        // load changes move the strike tables' operating point.
+        scratch.u_dirty.clear();
+        for &g in &changed {
+            stats.energy_dirty.push(g);
+        }
+        for &i in scratch.load_changed.members() {
+            if changed.binary_search(&i).is_err()
+                && self.cells.get(NodeId::new(i as usize)).is_some()
+            {
+                stats.energy_dirty.push(i);
+            }
+        }
+        for &i in &stats.energy_dirty {
+            let id = NodeId::new(i as usize);
+            let p = self.cells.get(id).expect("energy-dirty nodes are gates");
+            let cell = self.library.get_or_characterize(p);
+            let w = cell.glitch_width_at(self.timing.loads[i as usize], self.cfg.charge);
+            if w != self.generated[i as usize] {
+                self.generated[i as usize] = w;
+            }
+            // Size or width may have moved U_i even if no row changes.
+            scratch.u_dirty.insert(i);
+        }
+
+        // --- Expected-width rows: brackets of delay-changed nodes, then
+        // the strict-ancestor closure in reverse topological order.
+        for &i in scratch.delay_changed.members() {
+            self.brackets.refresh_node(
+                i as usize,
+                &self.grid,
+                self.timing.delays[i as usize],
+                AttenuationModel::PaperEq1,
+                self.n_pos,
+            );
+        }
+        strict_ancestors(
+            &self.csr,
+            scratch.delay_changed.members(),
+            &mut scratch.row_cand,
+        );
+        scratch.row_changed.clear();
+        let topo = self.circuit.topological_order();
+        for &id in topo.iter().rev() {
+            let i = id.index();
+            if !scratch.row_cand.contains(i as u32) {
+                continue;
+            }
+            // A candidate only needs recomputing if some successor's
+            // delay or row actually changed.
+            let hit = self
+                .csr
+                .fanout_of(i)
+                .iter()
+                .any(|&s| scratch.delay_changed.contains(s) || scratch.row_changed.contains(s));
+            if !hit {
+                continue;
+            }
+            stats.rows_recomputed += 1;
+            let row_moved = recompute_row(
+                i,
+                &self.weights,
+                &self.pij,
+                &self.brackets,
+                &self.grid,
+                self.n_pos,
+                &mut self.widths,
+                &mut scratch.row_buf,
+            );
+            if row_moved {
+                scratch.row_changed.insert(i as u32);
+                scratch.u_dirty.insert(i as u32);
+            }
+        }
+        stats.rows_changed = scratch.row_changed.len();
+
+        // --- Unreliability: refresh dirty U_i, then resum in the batch
+        // pass's exact order. Critical delay is one cheap arrival pass.
+        self.refresh_unreliability();
+        self.refresh_critical_delay();
+        stats
+    }
+
+    /// Recomputes `U_i` for the gates in `scratch.u_dirty` and resums the
+    /// total in [`analyze`](crate::analyze)'s exact iteration order.
+    fn refresh_unreliability(&mut self) {
+        for &i in self.scratch.u_dirty.members() {
+            let id = NodeId::new(i as usize);
+            let Some(p) = self.cells.get(id) else {
+                continue;
+            };
+            self.per_gate_u[i as usize] = p.size
+                * self
+                    .widths
+                    .total_expected_width(id, self.generated[i as usize]);
+        }
+        self.resum_unreliability();
+    }
+
+    fn resum_unreliability(&mut self) {
+        let mut total = 0.0;
+        for id in self.circuit.gates() {
+            total += self.per_gate_u[id.index()];
+        }
+        self.unreliability = total;
+    }
+
+    fn refresh_critical_delay(&mut self) {
+        // Mirrors `TimingView::critical_path_delay` over reusable
+        // scratch (same fold order, hence bitwise identical).
+        let arrival = &mut self.scratch.arrival;
+        let mut worst = 0.0f64;
+        for &id in self.circuit.topological_order() {
+            let node = self.circuit.node(id);
+            let arr_in = node
+                .fanin
+                .iter()
+                .map(|f| arrival[f.index()])
+                .fold(0.0, f64::max);
+            arrival[id.index()] = arr_in + self.timing.delays[id.index()];
+            if self.circuit.is_primary_output(id) {
+                worst = worst.max(arrival[id.index()]);
+            }
+        }
+        self.critical_delay = worst;
+    }
+}
+
+/// Re-derives one node's `[k][j]` expected-width table from the cached
+/// weights, its successors' tables and the hoisted brackets — the exact
+/// arithmetic of the batch pass in
+/// [`ExpectedWidths::compute`], applied to a single row. Returns whether
+/// the row changed at any bit.
+#[allow(clippy::too_many_arguments)] // internal kernel, mirrors the batch pass inputs
+fn recompute_row(
+    i: usize,
+    weights: &WeightCache,
+    pij: &SensitizationMatrix,
+    brackets: &InterpBrackets,
+    grid: &[f64],
+    n_pos: usize,
+    widths: &mut ExpectedWidths,
+    row_buf: &mut [f64],
+) -> bool {
+    let k_n = grid.len();
+    let id = NodeId::new(i);
+    row_buf.fill(0.0);
+
+    // Step (ii): a primary output latches its own glitch verbatim.
+    if let Some(self_col) = pij.outputs().iter().position(|&po| po == id) {
+        for k in 0..k_n {
+            row_buf[k * n_pos + self_col] = grid[k];
+        }
+    }
+
+    // Step (iii): propagate through successors via the cached π weights.
+    let successors = weights.successors(i);
+    if !successors.is_empty() {
+        for (t, &col) in pij.reachable_columns(id).iter().enumerate() {
+            let j = col as usize;
+            let blk = weights.block(i, t);
+            if blk.is_empty() {
+                continue;
+            }
+            let ws = widths.ws();
+            for (k, slot) in row_buf.chunks_mut(n_pos).enumerate() {
+                let mut sum = 0.0;
+                for (&s, &pi_w) in successors.iter().zip(blk) {
+                    if pi_w == 0.0 {
+                        continue;
+                    }
+                    let b = brackets.at(s as usize, k);
+                    let s_base = s as usize * k_n * n_pos;
+                    let we =
+                        ws[s_base + b.off_lo + j] * b.w_lo + ws[s_base + b.off_hi + j] * b.w_hi;
+                    sum += pi_w * we;
+                }
+                slot[j] += sum;
+            }
+        }
+    }
+
+    let base = i * k_n * n_pos;
+    let dst = &mut widths.ws_mut()[base..base + k_n * n_pos];
+    if dst == row_buf {
+        false
+    } else {
+        dst.copy_from_slice(row_buf);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use ser_cells::CharGrids;
+    use ser_netlist::generate;
+    use ser_spice::Technology;
+
+    fn lib() -> Library {
+        Library::new(Technology::ptm70(), CharGrids::coarse())
+    }
+
+    fn cfg() -> AsertaConfig {
+        let mut c = AsertaConfig::fast();
+        c.sensitization_vectors = 512;
+        c
+    }
+
+    /// The fresh-path oracle: a full `analyze` of the session's current
+    /// assignment, compared bitwise.
+    fn assert_matches_fresh(session: &AnalysisSession<'_>) {
+        let mut l = lib();
+        let fresh = analyze(
+            session.circuit(),
+            session.cells(),
+            &mut l,
+            session.pij(),
+            session.config(),
+        );
+        assert_eq!(session.timing().loads, fresh.timing.loads, "loads");
+        assert_eq!(session.timing().in_ramps, fresh.timing.in_ramps, "ramps");
+        assert_eq!(session.timing().delays, fresh.timing.delays, "delays");
+        assert_eq!(session.timing().out_ramps, fresh.timing.out_ramps);
+        assert_eq!(session.generated_widths(), &fresh.generated_widths[..]);
+        assert_eq!(
+            session.expected_widths().ws(),
+            fresh.expected_widths.ws(),
+            "width tables"
+        );
+        assert_eq!(
+            session.per_gate_unreliability(),
+            &fresh.per_gate_unreliability[..]
+        );
+        assert_eq!(session.unreliability(), fresh.unreliability, "total U");
+        assert_eq!(
+            session.critical_delay(),
+            fresh.timing.critical_path_delay(session.circuit()),
+            "critical delay"
+        );
+    }
+
+    #[test]
+    fn fresh_session_matches_analyze() {
+        let c = generate::c17();
+        let session = AnalysisSession::new(&c, CircuitCells::nominal(&c), lib(), cfg());
+        assert_matches_fresh(&session);
+    }
+
+    #[test]
+    fn single_delta_matches_fresh_bitwise() {
+        let c = generate::c17();
+        let mut session = AnalysisSession::new(&c, CircuitCells::nominal(&c), lib(), cfg());
+        let g = c.find("10").unwrap();
+        let mut p = *session.cells().get(g).unwrap();
+        p.size = 4.0;
+        let stats = session.apply(&[(g, p)]);
+        assert_eq!(stats.gates_changed, 1);
+        assert_matches_fresh(&session);
+    }
+
+    #[test]
+    fn delta_sequence_matches_fresh_on_sec32() {
+        let c = generate::sec32("s");
+        let mut session = AnalysisSession::new(&c, CircuitCells::nominal(&c), lib(), cfg());
+        let gates: Vec<NodeId> = c.gates().collect();
+        for step in 0..6 {
+            let g = gates[(step * 37) % gates.len()];
+            let mut p = *session.cells().get(g).unwrap();
+            p.size = [2.0, 4.0, 1.0][step % 3];
+            p.vth = [0.2, 0.3][step % 2];
+            session.apply(&[(g, p)]);
+        }
+        assert_matches_fresh(&session);
+    }
+
+    #[test]
+    fn noop_delta_touches_nothing() {
+        let c = generate::c17();
+        let mut session = AnalysisSession::new(&c, CircuitCells::nominal(&c), lib(), cfg());
+        let g = c.find("10").unwrap();
+        let p = *session.cells().get(g).unwrap();
+        let stats = session.apply(&[(g, p)]);
+        assert_eq!(stats.gates_changed, 0);
+        assert_eq!(stats.rows_recomputed, 0);
+        assert!(stats.energy_dirty.is_empty());
+    }
+
+    #[test]
+    fn set_cells_diffs_against_current() {
+        let c = generate::c17();
+        let mut session = AnalysisSession::new(&c, CircuitCells::nominal(&c), lib(), cfg());
+        let mut target = session.cells().clone();
+        for &po in c.primary_outputs() {
+            let mut p = *target.get(po).unwrap();
+            p.size = 6.0;
+            target.set(po, p);
+        }
+        let stats = session.set_cells(&target);
+        assert_eq!(stats.gates_changed, 2);
+        assert_matches_fresh(&session);
+        // Returning to the original assignment restores the exact state.
+        let nominal = CircuitCells::nominal(&c);
+        session.set_cells(&nominal);
+        assert_matches_fresh(&session);
+    }
+
+    #[test]
+    fn resample_with_session_settings_is_a_noop() {
+        let c = generate::c17();
+        let mut session = AnalysisSession::new(&c, CircuitCells::nominal(&c), lib(), cfg());
+        let before_u = session.unreliability();
+        let before_row = session.pij().row(c.find("10").unwrap()).to_vec();
+        let stats = session.resample_pij_rows(
+            &[c.find("10").unwrap()],
+            cfg().sensitization_vectors,
+            cfg().seed,
+        );
+        assert_eq!(stats.rows_changed, 0, "same vectors+seed must be a no-op");
+        assert_eq!(session.unreliability(), before_u);
+        assert_eq!(session.pij().row(c.find("10").unwrap()), &before_row[..]);
+        assert_matches_fresh(&session);
+    }
+
+    #[test]
+    fn resample_with_more_vectors_matches_a_patched_fresh_analysis() {
+        let c = generate::sec32("s");
+        let mut session = AnalysisSession::new(&c, CircuitCells::nominal(&c), lib(), cfg());
+        let targets: Vec<NodeId> = c.gates().take(4).collect();
+        session.resample_pij_rows(&targets, 2048, 99);
+
+        // Oracle: fresh analysis over the hand-patched matrix.
+        let mut pij = ser_logicsim::sensitize::sensitization_probabilities(&c, 512, cfg().seed);
+        let up = resimulate_rows(&c, &targets, 2048, 99);
+        pij.apply_update(&up);
+        let mut l = lib();
+        let fresh = analyze(&c, session.cells(), &mut l, &pij, session.config());
+        assert_eq!(session.expected_widths().ws(), fresh.expected_widths.ws());
+        assert_eq!(session.unreliability(), fresh.unreliability);
+    }
+
+    #[test]
+    fn sessions_clone_for_parallel_replicas() {
+        let c = generate::c17();
+        let session = AnalysisSession::new(&c, CircuitCells::nominal(&c), lib(), cfg());
+        let mut clone = session.clone();
+        let g = c.find("11").unwrap();
+        let mut p = *clone.cells().get(g).unwrap();
+        p.size = 2.0;
+        clone.apply(&[(g, p)]);
+        assert_ne!(clone.unreliability(), session.unreliability());
+        assert_matches_fresh(&clone);
+        assert_matches_fresh(&session);
+    }
+}

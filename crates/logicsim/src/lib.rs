@@ -39,4 +39,4 @@ pub mod random;
 pub mod sensitize;
 pub mod sim;
 
-pub use sensitize::SensitizationMatrix;
+pub use sensitize::{PijRowUpdate, SensitizationMatrix};

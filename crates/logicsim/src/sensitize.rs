@@ -95,6 +95,66 @@ impl SensitizationMatrix {
     pub fn reachable_columns(&self, node: NodeId) -> &[u32] {
         &self.reach_cols[self.reach_off[node.index()]..self.reach_off[node.index() + 1]]
     }
+
+    /// Patches the rows covered by a selective re-simulation
+    /// ([`resimulate_rows`]) into the matrix, replacing the per-PO
+    /// probabilities and the measured union observability of exactly the
+    /// re-simulated nodes. Reachability is structural and stays as built.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the update was computed for a different circuit shape
+    /// (PO count or node range mismatch).
+    pub fn apply_update(&mut self, update: &PijRowUpdate) {
+        assert_eq!(
+            update.n_pos,
+            self.outputs.len(),
+            "update and matrix must share the PO column space"
+        );
+        let n_pos = self.outputs.len();
+        for (t, &node) in update.nodes.iter().enumerate() {
+            let i = node as usize;
+            assert!(i < self.n_nodes, "update node out of range");
+            self.p[i * n_pos..(i + 1) * n_pos]
+                .copy_from_slice(&update.p[t * n_pos..(t + 1) * n_pos]);
+            self.obs[i] = update.obs[t];
+        }
+    }
+}
+
+/// Dense replacement rows for a subset of nodes, produced by
+/// [`resimulate_rows`] and consumed by
+/// [`SensitizationMatrix::apply_update`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PijRowUpdate {
+    nodes: Vec<u32>,
+    n_pos: usize,
+    /// `p[t * n_pos + j]` for the `t`-th node in `nodes`.
+    p: Vec<f64>,
+    obs: Vec<f64>,
+    vectors_used: usize,
+}
+
+impl PijRowUpdate {
+    /// The re-simulated node indices, in request order.
+    pub fn nodes(&self) -> &[u32] {
+        &self.nodes
+    }
+
+    /// The replacement row of the `t`-th node.
+    pub fn row(&self, t: usize) -> &[f64] {
+        &self.p[t * self.n_pos..(t + 1) * self.n_pos]
+    }
+
+    /// The replacement any-PO union observability of the `t`-th node.
+    pub fn observability(&self, t: usize) -> f64 {
+        self.obs[t]
+    }
+
+    /// Number of random vectors behind the update.
+    pub fn vectors_used(&self) -> usize {
+        self.vectors_used
+    }
 }
 
 /// Worker-thread count used by [`sensitization_probabilities`]: the
@@ -151,47 +211,17 @@ pub fn sensitization_probabilities_threaded(
 
     let csr = CsrView::build(circuit);
     let arena = ConeArena::build(&csr);
-    let progs = ConePrograms::compile(&csr, &arena);
-    let threads = threads.min(n_words);
+    let roots: Vec<u32> = (0..n_nodes as u32).collect();
+    let progs = ConePrograms::compile(&csr, &arena, &roots);
 
-    let (counts, obs_counts) = if threads <= 1 {
-        count_words(&csr, &arena, &progs, seed, 0, 1, n_words)
-    } else {
-        // Words are dealt round-robin; each worker owns private integer
-        // accumulators, merged below by order-independent summation.
-        let partials: Vec<(Vec<u64>, Vec<u64>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    let csr = &csr;
-                    let arena = &arena;
-                    let progs = &progs;
-                    scope.spawn(move || count_words(csr, arena, progs, seed, t, threads, n_words))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("simulation worker panicked"))
-                .collect()
-        });
-        let mut counts = vec![0u64; arena.total_reachable()];
-        let mut obs_counts = vec![0u64; n_nodes];
-        for (c, o) in partials {
-            for (acc, x) in counts.iter_mut().zip(&c) {
-                *acc += x;
-            }
-            for (acc, x) in obs_counts.iter_mut().zip(&o) {
-                *acc += x;
-            }
-        }
-        (counts, obs_counts)
-    };
+    let (counts, obs_counts) = accumulate_counts(&csr, &progs, seed, threads, n_words);
 
     // Scatter the flat reachable-PO counts into the dense row-major
     // matrix; unreachable columns stay at their structural zero.
     let total = (n_words * 64) as f64;
     let mut p = vec![0.0f64; n_nodes * n_pos];
     for i in 0..n_nodes {
-        let start = arena.reachable_start(i);
+        let start = progs.po_off[i];
         for (t, &col) in arena.reachable_cols(i).iter().enumerate() {
             p[i * n_pos + col as usize] = counts[start + t] as f64 / total;
         }
@@ -207,6 +237,125 @@ pub fn sensitization_probabilities_threaded(
         reach_cols: arena.reachable_cols_flat().to_vec(),
         vectors_used: n_words * 64,
     }
+}
+
+/// Selectively re-simulates the strike cones of `nodes` only, with the
+/// same word-blocked kernels, vector stream and counting rules as
+/// [`sensitization_probabilities`] — the rows it returns are **bitwise
+/// identical** to the corresponding rows of the full estimate at the same
+/// `(n_vectors, seed)`, at a cost proportional to the listed cones
+/// instead of the whole circuit.
+///
+/// This is the cache-refill primitive of the incremental engine: when a
+/// consumer invalidates (or wants to re-estimate at higher accuracy) the
+/// `P_ij` rows of a few nodes, only those cones are replayed.
+///
+/// # Panics
+///
+/// Panics if `n_vectors` is 0.
+pub fn resimulate_rows(
+    circuit: &Circuit,
+    nodes: &[NodeId],
+    n_vectors: usize,
+    seed: u64,
+) -> PijRowUpdate {
+    resimulate_rows_threaded(circuit, nodes, n_vectors, seed, simulation_threads())
+}
+
+/// [`resimulate_rows`] with an explicit worker-thread count. Results are
+/// bitwise identical for every `threads` value.
+///
+/// # Panics
+///
+/// Panics if `n_vectors` or `threads` is 0.
+pub fn resimulate_rows_threaded(
+    circuit: &Circuit,
+    nodes: &[NodeId],
+    n_vectors: usize,
+    seed: u64,
+    threads: usize,
+) -> PijRowUpdate {
+    assert!(n_vectors > 0, "need at least one vector");
+    assert!(threads > 0, "need at least one worker thread");
+    let n_pos = circuit.primary_outputs().len();
+    let n_words = n_vectors.div_ceil(64);
+    let roots: Vec<u32> = nodes.iter().map(|id| id.index() as u32).collect();
+    if roots.is_empty() {
+        return PijRowUpdate {
+            nodes: roots,
+            n_pos,
+            p: Vec::new(),
+            obs: Vec::new(),
+            vectors_used: n_words * 64,
+        };
+    }
+
+    // Only the listed cones are materialized (slot-indexed arena), so
+    // the setup cost is one O(V+E) flattening pass plus work
+    // proportional to the requested cones.
+    let csr = CsrView::build(circuit);
+    let arena = ConeArena::build_for(&csr, &roots);
+    let progs = ConePrograms::compile(&csr, &arena, &roots);
+
+    let (counts, obs_counts) = accumulate_counts(&csr, &progs, seed, threads, n_words);
+
+    let total = (n_words * 64) as f64;
+    let mut p = vec![0.0f64; roots.len() * n_pos];
+    for ri in 0..roots.len() {
+        let start = progs.po_off[ri];
+        for (t, &col) in arena.reachable_cols(ri).iter().enumerate() {
+            p[ri * n_pos + col as usize] = counts[start + t] as f64 / total;
+        }
+    }
+    let obs: Vec<f64> = obs_counts.into_iter().map(|c| c as f64 / total).collect();
+
+    PijRowUpdate {
+        nodes: roots,
+        n_pos,
+        p,
+        obs,
+        vectors_used: n_words * 64,
+    }
+}
+
+/// Runs [`count_words`] over the compiled programs, across `threads`
+/// workers dealt round-robin; per-worker integer accumulators are merged
+/// by order-independent summation, so the result is bitwise identical for
+/// every thread count.
+fn accumulate_counts(
+    csr: &CsrView,
+    progs: &ConePrograms,
+    seed: u64,
+    threads: usize,
+    n_words: usize,
+) -> (Vec<u64>, Vec<u64>) {
+    let threads = threads.min(n_words);
+    if threads <= 1 {
+        return count_words(csr, progs, seed, 0, 1, n_words);
+    }
+    let partials: Vec<(Vec<u64>, Vec<u64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let progs = &*progs;
+                scope.spawn(move || count_words(csr, progs, seed, t, threads, n_words))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("simulation worker panicked"))
+            .collect()
+    });
+    let mut counts = vec![0u64; progs.total_reachable()];
+    let mut obs_counts = vec![0u64; progs.root_count()];
+    for (c, o) in partials {
+        for (acc, x) in counts.iter_mut().zip(&c) {
+            *acc += x;
+        }
+        for (acc, x) in obs_counts.iter_mut().zip(&o) {
+            *acc += x;
+        }
+    }
+    (counts, obs_counts)
 }
 
 /// Words evaluated together in one block: cone programs stay hot in L1
@@ -237,14 +386,20 @@ struct PoSlot {
     po: u32,
 }
 
-/// Every node's fan-out cone compiled into a flat strike-resimulation
-/// program over cone-local value rows.
+/// The fan-out cones of a set of *root* nodes compiled into flat
+/// strike-resimulation programs over cone-local value rows. The full
+/// estimator compiles every node; selective re-simulation compiles only
+/// the requested subset.
 ///
 /// Side inputs (fan-ins outside the cone) are untagged global node
 /// indices resolved against the base evaluation, so no scratch state
 /// needs restoring between strikes — the value rows are simply
 /// overwritten by the next cone.
+///
+/// All per-root arrays (`op_off`, `po_off`, …) are indexed by *position
+/// in the root list*, not by node index.
 struct ConePrograms {
+    roots: Vec<u32>,
     op_off: Vec<usize>,
     ops: Vec<ProgOp>,
     operands: Vec<u32>,
@@ -254,30 +409,30 @@ struct ConePrograms {
 }
 
 impl ConePrograms {
-    fn compile(csr: &CsrView, arena: &ConeArena) -> Self {
+    fn compile(csr: &CsrView, arena: &ConeArena, roots: &[u32]) -> Self {
         let n = csr.node_count();
         assert!(
             n < LOCAL as usize,
             "node count exceeds the operand tag space"
         );
-        let mut op_off = Vec::with_capacity(n + 1);
-        let mut ops = Vec::with_capacity(arena.total_cone_len() - n);
+        let mut op_off = Vec::with_capacity(roots.len() + 1);
+        let mut ops = Vec::new();
         let mut operands: Vec<u32> = Vec::new();
-        let mut po_off = Vec::with_capacity(n + 1);
-        let mut po_slots = Vec::with_capacity(arena.total_reachable());
+        let mut po_off = Vec::with_capacity(roots.len() + 1);
+        let mut po_slots = Vec::new();
         op_off.push(0);
         po_off.push(0);
 
         // Stamped cone-membership map: pos[v] is v's value row while
-        // stamp[v] == current root.
+        // stamp[v] == current root position.
         let mut stamp = vec![u32::MAX; n];
         let mut pos = vec![0u32; n];
         let mut max_cone = 0usize;
-        for i in 0..n {
-            let cone = arena.cone(i);
+        for ri in 0..roots.len() {
+            let cone = arena.cone(ri);
             max_cone = max_cone.max(cone.len());
             for (p, &v) in cone.iter().enumerate() {
-                stamp[v as usize] = i as u32;
+                stamp[v as usize] = ri as u32;
                 pos[v as usize] = p as u32;
             }
             for &v in &cone[1..] {
@@ -288,16 +443,16 @@ impl ConePrograms {
                     off: operands.len() as u32,
                 });
                 for &f in fanin {
-                    operands.push(if stamp[f as usize] == i as u32 {
+                    operands.push(if stamp[f as usize] == ri as u32 {
                         LOCAL | pos[f as usize]
                     } else {
                         f
                     });
                 }
             }
-            for &col in arena.reachable_cols(i) {
+            for &col in arena.reachable_cols(ri) {
                 let po = csr.outputs()[col as usize];
-                debug_assert_eq!(stamp[po as usize], i as u32, "reachable PO is in the cone");
+                debug_assert_eq!(stamp[po as usize], ri as u32, "reachable PO is in the cone");
                 po_slots.push(PoSlot {
                     local: pos[po as usize],
                     po,
@@ -308,6 +463,7 @@ impl ConePrograms {
         }
 
         ConePrograms {
+            roots: roots.to_vec(),
             op_off,
             ops,
             operands,
@@ -318,13 +474,23 @@ impl ConePrograms {
     }
 
     #[inline]
-    fn ops_of(&self, i: usize) -> &[ProgOp] {
-        &self.ops[self.op_off[i]..self.op_off[i + 1]]
+    fn root_count(&self) -> usize {
+        self.roots.len()
     }
 
     #[inline]
-    fn po_slots_of(&self, i: usize) -> &[PoSlot] {
-        &self.po_slots[self.po_off[i]..self.po_off[i + 1]]
+    fn total_reachable(&self) -> usize {
+        self.po_slots.len()
+    }
+
+    #[inline]
+    fn ops_of(&self, ri: usize) -> &[ProgOp] {
+        &self.ops[self.op_off[ri]..self.op_off[ri + 1]]
+    }
+
+    #[inline]
+    fn po_slots_of(&self, ri: usize) -> &[PoSlot] {
+        &self.po_slots[self.po_off[ri]..self.po_off[ri + 1]]
     }
 }
 
@@ -384,15 +550,15 @@ fn accumulate_row(kind: GateKind, dst: &mut [u64], src: &[u64]) {
 
 /// Simulates the words `first, first + stride, …` below `n_words` in
 /// blocks of [`BLOCK`], returning flat reachable-PO hit counts (laid out
-/// per [`ConeArena::reachable_start`]) and per-node any-PO union counts.
+/// per the programs' root-positional `po_off`) and per-root any-PO union
+/// counts.
 ///
 /// Per block, the fault-free circuit is evaluated word-major and
-/// transposed into node-major rows (`base[node][word]`); each node's
-/// compiled cone program then replays the strike for every word in the
+/// transposed into node-major rows (`base[node][word]`); each compiled
+/// root's cone program then replays the strike for every word in the
 /// block against those rows, with no scratch state to restore.
 fn count_words(
     csr: &CsrView,
-    arena: &ConeArena,
     progs: &ConePrograms,
     seed: u64,
     first: usize,
@@ -401,8 +567,8 @@ fn count_words(
 ) -> (Vec<u64>, Vec<u64>) {
     let n_nodes = csr.node_count();
     let n_pi = csr.inputs().len();
-    let mut counts = vec![0u64; arena.total_reachable()];
-    let mut obs_counts = vec![0u64; n_nodes];
+    let mut counts = vec![0u64; progs.total_reachable()];
+    let mut obs_counts = vec![0u64; progs.root_count()];
 
     let mut base = vec![0u64; n_nodes * BLOCK];
     let mut tmp = vec![0u64; n_nodes];
@@ -428,12 +594,13 @@ fn count_words(
             }
         }
 
-        for i in 0..n_nodes {
+        for (ri, &root) in progs.roots.iter().enumerate() {
+            let i = root as usize;
             // Row 0: the struck node, flipped in every lane.
             for (d, &x) in vals[..wc].iter_mut().zip(&base[i * BLOCK..][..wc]) {
                 *d = !x;
             }
-            for (e, op) in progs.ops_of(i).iter().enumerate() {
+            for (e, op) in progs.ops_of(ri).iter().enumerate() {
                 let (done, rest) = vals.split_at_mut((e + 1) * BLOCK);
                 let dst = &mut rest[..wc];
                 let row = |t: u32| -> &[u64] {
@@ -462,12 +629,12 @@ fn count_words(
                 }
             }
 
-            let slots = progs.po_slots_of(i);
+            let slots = progs.po_slots_of(ri);
             if slots.is_empty() {
                 continue;
             }
             union_buf[..wc].fill(0);
-            let start = arena.reachable_start(i);
+            let start = progs.po_off[ri];
             for (t, slot) in slots.iter().enumerate() {
                 let vrow = &vals[(slot.local as usize) * BLOCK..][..wc];
                 let prow = &base[(slot.po as usize) * BLOCK..][..wc];
@@ -479,7 +646,7 @@ fn count_words(
                 }
                 counts[start + t] += hits;
             }
-            obs_counts[i] += union_buf[..wc]
+            obs_counts[ri] += union_buf[..wc]
                 .iter()
                 .map(|&u| u64::from(u.count_ones()))
                 .sum::<u64>();
@@ -621,6 +788,58 @@ mod tests {
         let m5 = sensitization_probabilities_threaded(&c, 512, 77, 5);
         assert_eq!(m1, m2);
         assert_eq!(m1, m5);
+    }
+
+    #[test]
+    fn selective_resim_matches_full_rows_bitwise() {
+        let c = generate::sec32("t");
+        let m = sensitization_probabilities_threaded(&c, 512, 77, 1);
+        // A scattered subset: every third node, in shuffled-ish order.
+        let subset: Vec<_> = c.node_ids().filter(|id| id.index() % 3 == 1).collect();
+        for threads in [1usize, 3] {
+            let up = resimulate_rows_threaded(&c, &subset, 512, 77, threads);
+            assert_eq!(up.nodes().len(), subset.len());
+            for (t, &id) in subset.iter().enumerate() {
+                assert_eq!(up.row(t), m.row(id), "row of {id} ({threads} threads)");
+                assert_eq!(
+                    up.observability(t),
+                    m.observability(id),
+                    "obs of {id} ({threads} threads)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_update_patches_only_listed_rows() {
+        let c = generate::c17();
+        let m256 = sensitization_probabilities(&c, 256, 5);
+        let m512 = sensitization_probabilities(&c, 512, 5);
+        let subset: Vec<_> = c.gates().take(3).collect();
+        let up = resimulate_rows(&c, &subset, 512, 5);
+        let mut patched = m256.clone();
+        patched.apply_update(&up);
+        for id in c.node_ids() {
+            if subset.contains(&id) {
+                assert_eq!(patched.row(id), m512.row(id), "patched row of {id}");
+                assert_eq!(patched.observability(id), m512.observability(id));
+            } else {
+                assert_eq!(patched.row(id), m256.row(id), "untouched row of {id}");
+            }
+        }
+        // Patching with a same-(vectors, seed) update is a no-op.
+        let noop = resimulate_rows(&c, &subset, 256, 5);
+        let mut same = m256.clone();
+        same.apply_update(&noop);
+        assert_eq!(same, m256);
+    }
+
+    #[test]
+    fn empty_resim_is_trivial() {
+        let c = generate::c17();
+        let up = resimulate_rows(&c, &[], 128, 1);
+        assert!(up.nodes().is_empty());
+        assert_eq!(up.vectors_used(), 128);
     }
 
     #[test]

@@ -31,7 +31,7 @@
 use crate::circuit::Circuit;
 use crate::gate::GateKind;
 
-/// Sentinel marking "not a primary output" in [`CsrView::po_col`].
+/// Sentinel marking "not a primary output" in [`CsrView::po_col_of`].
 pub const NO_PO: u32 = u32::MAX;
 
 /// A flat, cache-friendly view of a circuit's structure.
@@ -197,29 +197,40 @@ pub struct ConeArena {
 }
 
 impl ConeArena {
-    /// Materializes all cones of `csr` into one arena.
+    /// Materializes all cones of `csr` into one arena, in node order —
+    /// slot `i` is node `i`'s cone, so slot and node index coincide.
     pub fn build(csr: &CsrView) -> Self {
+        let all: Vec<u32> = (0..csr.node_count() as u32).collect();
+        Self::build_for(csr, &all)
+    }
+
+    /// Materializes the cones of `roots` only, **slot-indexed**: slot `t`
+    /// of the arena holds the cone and reachable-PO list of `roots[t]`.
+    /// Selective re-simulation uses this to pay for exactly the cones it
+    /// replays instead of the whole circuit.
+    pub fn build_for(csr: &CsrView, roots: &[u32]) -> Self {
         let n = csr.node_count();
-        let mut cone_off = Vec::with_capacity(n + 1);
-        let mut po_off = Vec::with_capacity(n + 1);
+        let mut cone_off = Vec::with_capacity(roots.len() + 1);
+        let mut po_off = Vec::with_capacity(roots.len() + 1);
         let mut cones: Vec<u32> = Vec::new();
         let mut po_cols: Vec<u32> = Vec::new();
         cone_off.push(0);
         po_off.push(0);
 
-        // Per-root visited stamps: stamp[v] == root marks v as reached, so
+        // Per-slot visited stamps: stamp[v] == slot marks v as reached, so
         // the array never needs clearing between roots.
         let mut stamp = vec![NO_PO; n];
         let mut stack: Vec<u32> = Vec::new();
-        for root in 0..n as u32 {
+        for (slot, &root) in roots.iter().enumerate() {
+            let slot = slot as u32;
             let start = cones.len();
-            stamp[root as usize] = root;
+            stamp[root as usize] = slot;
             cones.push(root);
             stack.push(root);
             while let Some(u) = stack.pop() {
                 for &v in csr.fanout_of(u as usize) {
-                    if stamp[v as usize] != root {
-                        stamp[v as usize] = root;
+                    if stamp[v as usize] != slot {
+                        stamp[v as usize] = slot;
                         cones.push(v);
                         stack.push(v);
                     }
@@ -232,7 +243,7 @@ impl ConeArena {
                     po_cols.push(col);
                 }
             }
-            po_cols[po_off[root as usize]..].sort_unstable();
+            po_cols[po_off[slot as usize]..].sort_unstable();
             cone_off.push(cones.len());
             po_off.push(po_cols.len());
         }
@@ -245,14 +256,15 @@ impl ConeArena {
         }
     }
 
-    /// The inclusive, topologically sorted fan-out cone of node `i`; its
-    /// first entry is `i` itself.
+    /// The inclusive, topologically sorted fan-out cone in slot `i` (for
+    /// [`ConeArena::build`], the slot of node `i`); its first entry is
+    /// the root itself.
     #[inline]
     pub fn cone(&self, i: usize) -> &[u32] {
         &self.cones[self.cone_off[i]..self.cone_off[i + 1]]
     }
 
-    /// PO columns reachable from node `i`, ascending.
+    /// PO columns reachable from the root in slot `i`, ascending.
     #[inline]
     pub fn reachable_cols(&self, i: usize) -> &[u32] {
         &self.po_cols[self.po_off[i]..self.po_off[i + 1]]
@@ -379,6 +391,28 @@ mod tests {
             assert_eq!(arena.cone(po.index()), &[po.index() as u32]);
             assert_eq!(arena.reachable_cols(po.index()), &[j as u32]);
         }
+    }
+
+    #[test]
+    fn subset_arena_matches_full_arena_slots() {
+        let c = generate::sec32("t");
+        let csr = CsrView::build(&c);
+        let full = ConeArena::build(&csr);
+        let roots: Vec<u32> = (0..c.node_count() as u32).filter(|r| r % 3 == 1).collect();
+        let sub = ConeArena::build_for(&csr, &roots);
+        for (slot, &root) in roots.iter().enumerate() {
+            assert_eq!(sub.cone(slot), full.cone(root as usize), "cone of {root}");
+            assert_eq!(
+                sub.reachable_cols(slot),
+                full.reachable_cols(root as usize),
+                "cols of {root}"
+            );
+        }
+        let expect: usize = roots
+            .iter()
+            .map(|&r| full.cone(r as usize).len())
+            .sum::<usize>();
+        assert_eq!(sub.total_cone_len(), expect);
     }
 
     #[test]

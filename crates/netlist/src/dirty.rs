@@ -1,0 +1,211 @@
+//! Sparse dirty-set machinery for incremental re-analysis.
+//!
+//! The SERTOPT inner loop mutates a handful of gates per move; everything
+//! the incremental engine recomputes is scoped by *closures* of those
+//! seeds over the circuit graph: a delay change at gate `g` invalidates
+//! timing downstream (the fan-out closure) and expected-width tables
+//! upstream (the fan-in closure). [`SparseSet`] is the workhorse: a
+//! stamped membership set with `O(1)` insert/contains and `O(|members|)`
+//! iteration/clearing, so per-move bookkeeping never pays an `O(V)`
+//! reset.
+
+use crate::csr::CsrView;
+
+/// A sparse set over node indices `0..n` with constant-time insert and
+/// membership tests and clear cost proportional to the member count.
+///
+/// Internally a stamp array: `stamp[i] == cur` means `i` is a member, so
+/// [`SparseSet::clear`] just bumps the stamp (with a full reset on the
+/// rare wrap-around).
+///
+/// # Example
+///
+/// ```
+/// use ser_netlist::dirty::SparseSet;
+///
+/// let mut s = SparseSet::new(8);
+/// assert!(s.insert(3));
+/// assert!(!s.insert(3), "second insert is a no-op");
+/// assert!(s.contains(3) && !s.contains(4));
+/// s.clear();
+/// assert!(s.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseSet {
+    stamp: Vec<u32>,
+    cur: u32,
+    members: Vec<u32>,
+}
+
+impl SparseSet {
+    /// An empty set over the universe `0..n`.
+    pub fn new(n: usize) -> Self {
+        SparseSet {
+            stamp: vec![0; n],
+            cur: 1,
+            members: Vec::new(),
+        }
+    }
+
+    /// Removes every member. `O(1)` amortized.
+    pub fn clear(&mut self) {
+        self.members.clear();
+        if self.cur == u32::MAX {
+            self.stamp.fill(0);
+            self.cur = 1;
+        } else {
+            self.cur += 1;
+        }
+    }
+
+    /// Inserts `i`; returns whether it was newly added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the universe.
+    #[inline]
+    pub fn insert(&mut self, i: u32) -> bool {
+        if self.stamp[i as usize] == self.cur {
+            return false;
+        }
+        self.stamp[i as usize] = self.cur;
+        self.members.push(i);
+        true
+    }
+
+    /// Whether `i` is a member.
+    #[inline]
+    pub fn contains(&self, i: u32) -> bool {
+        self.stamp[i as usize] == self.cur
+    }
+
+    /// The members, in insertion order.
+    #[inline]
+    pub fn members(&self) -> &[u32] {
+        &self.members
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Expands `set` in place to its forward (fan-out) closure: every node
+/// reachable from a current member through fan-out edges joins the set.
+/// Members themselves stay in. `O(Σ out-degree of the closure)`.
+pub fn close_over_fanout(csr: &CsrView, set: &mut SparseSet) {
+    let mut head = 0;
+    while head < set.members().len() {
+        let u = set.members()[head];
+        head += 1;
+        for idx in 0..csr.fanout_of(u as usize).len() {
+            let v = csr.fanout_of(u as usize)[idx];
+            set.insert(v);
+        }
+    }
+}
+
+/// Expands `set` in place to its backward (fan-in) closure: every node
+/// that reaches a current member through fan-in edges joins the set.
+pub fn close_over_fanin(csr: &CsrView, set: &mut SparseSet) {
+    let mut head = 0;
+    while head < set.members().len() {
+        let u = set.members()[head];
+        head += 1;
+        for idx in 0..csr.fanin_of(u as usize).len() {
+            let v = csr.fanin_of(u as usize)[idx];
+            set.insert(v);
+        }
+    }
+}
+
+/// Fills `set` with the *strict ancestors* of `seeds`: every node with a
+/// path to a seed, excluding the seeds themselves (unless a seed is an
+/// ancestor of another seed). This is exactly the set of expected-width
+/// rows invalidated by a delay change at the seeds.
+pub fn strict_ancestors(csr: &CsrView, seeds: &[u32], set: &mut SparseSet) {
+    set.clear();
+    for &s in seeds {
+        for idx in 0..csr.fanin_of(s as usize).len() {
+            let v = csr.fanin_of(s as usize)[idx];
+            set.insert(v);
+        }
+    }
+    close_over_fanin(csr, set);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn clear_is_cheap_and_complete() {
+        let mut s = SparseSet::new(4);
+        s.insert(0);
+        s.insert(2);
+        assert_eq!(s.len(), 2);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(0) && !s.contains(2));
+        assert!(s.insert(2));
+        assert_eq!(s.members(), &[2]);
+    }
+
+    #[test]
+    fn fanout_closure_is_the_cone() {
+        let c = generate::c17();
+        let csr = CsrView::build(&c);
+        let arena = crate::csr::ConeArena::build(&csr);
+        let mut set = SparseSet::new(c.node_count());
+        for id in c.node_ids() {
+            set.clear();
+            set.insert(id.index() as u32);
+            close_over_fanout(&csr, &mut set);
+            let mut got: Vec<u32> = set.members().to_vec();
+            got.sort_unstable();
+            let mut want: Vec<u32> = arena.cone(id.index()).to_vec();
+            want.sort_unstable();
+            assert_eq!(got, want, "cone of {id}");
+        }
+    }
+
+    #[test]
+    fn fanin_closure_matches_reverse_reachability() {
+        let c = generate::sec32("t");
+        let csr = CsrView::build(&c);
+        let arena = crate::csr::ConeArena::build(&csr);
+        let mut set = SparseSet::new(c.node_count());
+        for id in c.node_ids() {
+            set.clear();
+            set.insert(id.index() as u32);
+            close_over_fanin(&csr, &mut set);
+            // v is in the fan-in closure of id iff id is in v's fan-out
+            // cone.
+            for v in 0..c.node_count() as u32 {
+                let in_cone = arena.cone(v as usize).contains(&(id.index() as u32));
+                assert_eq!(set.contains(v), in_cone, "node {v} vs root {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn strict_ancestors_exclude_isolated_seed() {
+        let c = generate::c17();
+        let csr = CsrView::build(&c);
+        let mut set = SparseSet::new(c.node_count());
+        // A primary output driver's strict ancestors never include itself.
+        let po = c.primary_outputs()[0];
+        strict_ancestors(&csr, &[po.index() as u32], &mut set);
+        assert!(!set.contains(po.index() as u32));
+        assert!(!set.is_empty(), "c17 POs have ancestors");
+    }
+}

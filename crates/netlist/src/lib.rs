@@ -39,6 +39,7 @@ mod builder;
 mod circuit;
 pub mod cone;
 pub mod csr;
+pub mod dirty;
 mod error;
 mod gate;
 pub mod generate;

@@ -85,12 +85,14 @@ pub fn evaluate(
 
     let mut energy = 0.0;
     for id in circuit.gates() {
-        let p = cells.get(id).expect("gates carry parameters");
-        let cell = library.get_or_characterize(p);
-        let prob = report.static_probs[id.index()];
-        let activity = 2.0 * prob * (1.0 - prob);
-        energy += activity * cell.dynamic_energy(report.timing.loads[id.index()]);
-        energy += cell.static_energy(energy_model.clock_period);
+        energy += gate_energy(
+            cells,
+            library,
+            id,
+            report.static_probs[id.index()],
+            report.timing.loads[id.index()],
+            energy_model,
+        );
     }
     let area = cells.total_area();
 
@@ -115,6 +117,24 @@ impl CostWeights {
             + self.energy * safe_ratio(m.energy, base.energy)
             + self.area * safe_ratio(m.area, base.area)
     }
+}
+
+/// Per-cycle energy of one gate (activity-weighted dynamic plus static
+/// leakage over the clock period) — the unit the incremental per-gate
+/// energy cache refreshes, summed by [`evaluate`] in gate order so both
+/// paths agree bitwise.
+pub fn gate_energy(
+    cells: &CircuitCells,
+    library: &mut Library,
+    id: ser_netlist::NodeId,
+    static_prob: f64,
+    load: f64,
+    energy_model: &EnergyModel,
+) -> f64 {
+    let p = cells.get(id).expect("gates carry parameters");
+    let cell = library.get_or_characterize(p);
+    let activity = 2.0 * static_prob * (1.0 - static_prob);
+    activity * cell.dynamic_energy(load) + cell.static_energy(energy_model.clock_period)
 }
 
 #[inline]

@@ -58,6 +58,7 @@ pub mod topology;
 pub use allowed::AllowedParams;
 pub use baseline::size_for_speed;
 pub use cost::{CostBreakdown, CostWeights, EnergyModel};
+pub use matching::MatchPlan;
 pub use optimize::{optimize_circuit, Algorithm, OptimizerConfig};
-pub use problem::DelayProblem;
+pub use problem::{DelayProblem, EvalStrategy};
 pub use result::Outcome;

@@ -11,8 +11,8 @@
 //! successor VDD values are allowed" (no level shifters).
 
 use aserta::{CircuitCells, LoadModel};
-use ser_cells::Library;
-use ser_netlist::{Circuit, NodeId};
+use ser_cells::{CharacterizedCell, Library};
+use ser_netlist::{Circuit, GateKind, NodeId};
 use ser_spice::GateParams;
 
 use crate::allowed::AllowedParams;
@@ -204,6 +204,268 @@ fn one_pass(
     cells
 }
 
+/// A precompiled matcher for the optimizer inner loop: the reference
+/// anchor's per-gate loads/ramps, every allowed candidate's pass-1 delay
+/// and energy tie-break, and the characterized cells themselves are
+/// folded into flat tables **once**, so realizing a delay assignment
+/// never touches the library — no hashing, no characterization, no
+/// `&mut` anywhere.
+///
+/// [`MatchPlan::realize`] reproduces [`match_delays`] with the same
+/// `reference` anchor and `refine_passes` **bit for bit**: pass 1 scans
+/// the precomputed anchor tables; each refinement pass re-derives the
+/// loads/ramps of the previous pass's choices from the pooled cells
+/// (exactly [`aserta::timing_view`]'s arithmetic) and re-scans with
+/// live lookups. Candidates are enumerated in the same grid order,
+/// scored with the same expression and compared with the same strict
+/// `<`, and the VDD-monotonicity floor is enforced in the same reverse
+/// topological sweep.
+#[derive(Debug, Clone)]
+pub struct MatchPlan {
+    /// Gate nodes in reverse topological order (primary inputs skipped).
+    order: Vec<u32>,
+    /// Per-node candidate table offsets (`n + 1`; empty for inputs).
+    cand_off: Vec<u32>,
+    cand_params: Vec<GateParams>,
+    /// Candidate delay at the gate's pass-1 anchored (load, ramp).
+    cand_delay: Vec<f64>,
+    /// `energy_tiebreak * e_norm * 1e-12` at the pass-1 anchor.
+    cand_tiebreak: Vec<f64>,
+    /// Pool index of each candidate's characterized cell.
+    cand_cell: Vec<u32>,
+    /// One characterized cell per (template, grid point) — shared by all
+    /// gates of the same template.
+    pool: Vec<CharacterizedCell>,
+    refine_passes: usize,
+    load_model: LoadModel,
+    assumed_ramp: f64,
+    energy_tiebreak: f64,
+}
+
+impl MatchPlan {
+    /// Compiles the plan: characterizes the allowed grid (bulk,
+    /// parallel), anchors pass-1 loads/ramps on `reference`'s timing
+    /// view, tabulates every candidate's delay/tie-break and pools the
+    /// cells the refinement passes will interrogate.
+    pub fn build(
+        circuit: &Circuit,
+        library: &mut Library,
+        cfg: &MatchingConfig,
+        reference: &CircuitCells,
+    ) -> Self {
+        let spec = cfg.allowed.library_spec(circuit);
+        library.characterize_spec(&spec, 0);
+        let tv = aserta::timing_view(
+            circuit,
+            reference,
+            library,
+            cfg.load_model,
+            cfg.assumed_ramp,
+        );
+
+        let n = circuit.node_count();
+        let per_gate = cfg.allowed.variants_per_template();
+        let mut cand_off = Vec::with_capacity(n + 1);
+        let mut cand_params = Vec::with_capacity(circuit.gate_count() * per_gate);
+        let mut cand_delay = Vec::with_capacity(cand_params.capacity());
+        let mut cand_tiebreak = Vec::with_capacity(cand_params.capacity());
+        let mut cand_cell = Vec::with_capacity(cand_params.capacity());
+        let mut pool: Vec<CharacterizedCell> = Vec::new();
+        let mut templates: Vec<((GateKind, usize), u32)> = Vec::new();
+        cand_off.push(0u32);
+        for id in circuit.node_ids() {
+            let node = circuit.node(id);
+            if !node.is_input() {
+                let template = (node.kind, node.fanin.len());
+                let base = match templates.iter().find(|(t, _)| *t == template) {
+                    Some(&(_, base)) => base,
+                    None => {
+                        let base = pool.len() as u32;
+                        for p in grid_points(&cfg.allowed, node.kind, node.fanin.len()) {
+                            pool.push(library.get_or_characterize(&p).clone());
+                        }
+                        templates.push((template, base));
+                        base
+                    }
+                };
+                let load = tv.loads[id.index()];
+                let ramp = tv.in_ramps[id.index()];
+                for (k, p) in grid_points(&cfg.allowed, node.kind, node.fanin.len()).enumerate() {
+                    let cell = &pool[base as usize + k];
+                    debug_assert_eq!(cell.params, p);
+                    let e_norm = cell.leak_power * 1e9 + cell.dynamic_energy(load) * 1e12;
+                    cand_params.push(p);
+                    cand_delay.push(cell.delay_at(load, ramp));
+                    cand_tiebreak.push(cfg.energy_tiebreak * e_norm * 1.0e-12);
+                    cand_cell.push(base + k as u32);
+                }
+            }
+            cand_off.push(cand_params.len() as u32);
+        }
+        let order: Vec<u32> = circuit
+            .topological_order()
+            .iter()
+            .rev()
+            .filter(|id| !circuit.node(**id).is_input())
+            .map(|id| id.index() as u32)
+            .collect();
+
+        MatchPlan {
+            order,
+            cand_off,
+            cand_params,
+            cand_delay,
+            cand_tiebreak,
+            cand_cell,
+            pool,
+            refine_passes: cfg.refine_passes,
+            load_model: cfg.load_model,
+            assumed_ramp: cfg.assumed_ramp,
+            energy_tiebreak: cfg.energy_tiebreak,
+        }
+    }
+
+    /// Realizes `target_delays` against the precompiled tables (see the
+    /// type docs for the equivalence contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_delays` does not hold one entry per node.
+    pub fn realize(&self, circuit: &Circuit, target_delays: &[f64]) -> CircuitCells {
+        assert_eq!(
+            target_delays.len(),
+            circuit.node_count(),
+            "one target delay per node"
+        );
+        let mut choice = vec![u32::MAX; circuit.node_count()];
+        self.scan(circuit, target_delays, None, &mut choice);
+        for _ in 0..self.refine_passes {
+            let (loads, in_ramps) = self.anchor_timing(circuit, &choice);
+            self.scan(
+                circuit,
+                target_delays,
+                Some((&loads, &in_ramps)),
+                &mut choice,
+            );
+        }
+        let mut cells = CircuitCells::nominal(circuit);
+        for &i in &self.order {
+            let id = NodeId::new(i as usize);
+            cells.set(id, self.cand_params[choice[i as usize] as usize]);
+        }
+        cells
+    }
+
+    /// One reverse-topological matching pass. `anchor = None` reads the
+    /// precomputed pass-1 tables; `Some((loads, in_ramps))` interrogates
+    /// the pooled cells live (the refinement passes).
+    fn scan(
+        &self,
+        circuit: &Circuit,
+        target_delays: &[f64],
+        anchor: Option<(&[f64], &[f64])>,
+        choice: &mut [u32],
+    ) {
+        let mut chosen_vdd: Vec<f64> = vec![f64::NAN; circuit.node_count()];
+        for &i in &self.order {
+            let id = NodeId::new(i as usize);
+            let vdd_floor = circuit
+                .fanout(id)
+                .iter()
+                .filter_map(|&s| {
+                    let v = chosen_vdd[s.index()];
+                    if v.is_nan() {
+                        None
+                    } else {
+                        Some(v)
+                    }
+                })
+                .fold(0.0, f64::max);
+            let target = target_delays[i as usize];
+            let lo = self.cand_off[i as usize] as usize;
+            let hi = self.cand_off[i as usize + 1] as usize;
+            let mut best: Option<(f64, usize)> = None;
+            for c in lo..hi {
+                if self.cand_params[c].vdd + 1e-12 < vdd_floor {
+                    continue;
+                }
+                let score = match anchor {
+                    None => (self.cand_delay[c] - target).abs() + self.cand_tiebreak[c],
+                    Some((loads, in_ramps)) => {
+                        let load = loads[i as usize];
+                        let cell = &self.pool[self.cand_cell[c] as usize];
+                        let d = cell.delay_at(load, in_ramps[i as usize]);
+                        let e_norm = cell.leak_power * 1e9 + cell.dynamic_energy(load) * 1e12;
+                        (d - target).abs() + self.energy_tiebreak * e_norm * 1.0e-12
+                    }
+                };
+                let better = match &best {
+                    Some((s, _)) => score < *s,
+                    None => true,
+                };
+                if better {
+                    best = Some((score, c));
+                }
+            }
+            let (_, c) = best.expect("allowed grid is non-empty and VDD floor is satisfiable");
+            chosen_vdd[i as usize] = self.cand_params[c].vdd;
+            choice[i as usize] = c as u32;
+        }
+    }
+
+    /// The loads and input ramps of the current choices — exactly
+    /// [`aserta::timing_view`]'s arithmetic over the pooled cells, which
+    /// is what [`match_delays`] anchors its refinement passes on.
+    fn anchor_timing(&self, circuit: &Circuit, choice: &[u32]) -> (Vec<f64>, Vec<f64>) {
+        let n = circuit.node_count();
+        let cell_of = |i: usize| &self.pool[self.cand_cell[choice[i] as usize] as usize];
+        let mut loads = vec![0.0f64; n];
+        for id in circuit.node_ids() {
+            loads[id.index()] = aserta::node_load(circuit, id, self.load_model, |s| {
+                if choice[s.index()] != u32::MAX {
+                    Some(cell_of(s.index()).input_cap)
+                } else {
+                    None
+                }
+            });
+        }
+        let mut in_ramps = vec![self.assumed_ramp; n];
+        let mut out_ramps = vec![self.assumed_ramp; n];
+        for &id in circuit.topological_order() {
+            let node = circuit.node(id);
+            if node.is_input() {
+                continue;
+            }
+            let ramp_in = aserta::gate_input_ramp(node, &out_ramps);
+            in_ramps[id.index()] = ramp_in;
+            out_ramps[id.index()] = cell_of(id.index()).out_ramp_at(loads[id.index()], ramp_in);
+        }
+        (loads, in_ramps)
+    }
+}
+
+/// The allowed grid of one template, in [`match_delays`]'s exact
+/// enumeration order (sizes, then lengths, then VDDs, then Vths).
+fn grid_points<'a>(
+    allowed: &'a AllowedParams,
+    kind: GateKind,
+    fanin: usize,
+) -> impl Iterator<Item = GateParams> + 'a {
+    allowed.sizes.iter().flat_map(move |&size| {
+        allowed.lengths_nm.iter().flat_map(move |&l| {
+            allowed.vdds.iter().flat_map(move |&vdd| {
+                allowed.vths.iter().map(move |&vth| {
+                    GateParams::new(kind, fanin)
+                        .with_size(size)
+                        .with_length(l)
+                        .with_vdd(vdd)
+                        .with_vth(vth)
+                })
+            })
+        })
+    })
+}
+
 /// Checks the no-level-shifter invariant on an assignment: every gate's
 /// VDD is ≥ each of its fan-out gates' VDD. Returns offending pairs.
 pub fn vdd_violations(circuit: &Circuit, cells: &CircuitCells) -> Vec<(NodeId, NodeId)> {
@@ -276,6 +538,40 @@ mod tests {
             .collect();
         let cells = match_delays(&c, &targets, &mut l, &cfg, None);
         assert!(vdd_violations(&c, &cells).is_empty());
+    }
+
+    #[test]
+    fn plan_matches_match_delays_bitwise() {
+        for (circuit, allowed) in [
+            (generate::c17(), AllowedParams::tiny()),
+            (generate::iscas85("c432").unwrap(), {
+                let mut a = AllowedParams::tiny();
+                a.vdds = vec![0.8, 1.0]; // exercise the VDD floor
+                a
+            }),
+        ] {
+            for refine_passes in [0usize, 1, 2] {
+                let mut l = lib();
+                let mut cfg = MatchingConfig::new(allowed.clone());
+                cfg.refine_passes = refine_passes;
+                let reference = aserta::CircuitCells::nominal(&circuit);
+                let plan = MatchPlan::build(&circuit, &mut l, &cfg, &reference);
+                for round in 0..3u32 {
+                    let targets: Vec<f64> = (0..circuit.node_count())
+                        .map(|i| 8.0e-12 + ((i as u32 * 7 + round * 13) % 11) as f64 * 9.0e-12)
+                        .collect();
+                    let want = match_delays(&circuit, &targets, &mut l, &cfg, Some(&reference));
+                    let got = plan.realize(&circuit, &targets);
+                    for g in circuit.gates() {
+                        assert_eq!(
+                            got.get(g),
+                            want.get(g),
+                            "gate {g} round {round} refine {refine_passes}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

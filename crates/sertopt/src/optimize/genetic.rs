@@ -13,6 +13,11 @@ const MUTATION_RATE: f64 = 0.3;
 /// Runs `generations` of tournament selection, blend crossover and
 /// Gaussian mutation, with one-elite preservation. The zero vector (the
 /// baseline point) seeds the population, so the result never regresses.
+///
+/// Selection and variation only ever read the *previous* generation, so
+/// each generation's offspring are independent — they are bred first
+/// (one sequential RNG stream) and then evaluated as one thread-batched
+/// call, which keeps the outcome identical for every worker count.
 pub fn run(
     problem: &mut DelayProblem<'_>,
     generations: usize,
@@ -25,23 +30,28 @@ pub fn run(
     }
     let mut rng = StdRng::seed_from_u64(seed);
 
-    let mut population: Vec<(Vec<f64>, f64)> = Vec::with_capacity(POPULATION);
-    // Seed with the baseline point plus random spread.
-    let zero = vec![0.0f64; dim];
-    let zero_cost = problem.evaluate_phi(&zero).cost;
-    population.push((zero, zero_cost));
-    while population.len() < POPULATION {
-        let genes: Vec<f64> = (0..dim)
-            .map(|_| (rng.random::<f64>() - 0.5) * 2.0 * initial_step)
-            .collect();
-        let cost = problem.evaluate_phi(&genes).cost;
-        population.push((genes, cost));
+    // Seed with the baseline point plus random spread; evaluate the
+    // whole founding population in one batch.
+    let mut genomes: Vec<Vec<f64>> = vec![vec![0.0f64; dim]];
+    while genomes.len() < POPULATION {
+        genomes.push(
+            (0..dim)
+                .map(|_| (rng.random::<f64>() - 0.5) * 2.0 * initial_step)
+                .collect(),
+        );
     }
+    let costs = problem.evaluate_batch(&genomes);
+    let mut population: Vec<(Vec<f64>, f64)> = genomes
+        .into_iter()
+        .zip(costs)
+        .map(|(g, c)| (g, c.cost))
+        .collect();
 
     let mut history = vec![best_of(&population).1];
     for _ in 0..generations {
-        let mut next: Vec<(Vec<f64>, f64)> = vec![best_of(&population).clone()];
-        while next.len() < POPULATION {
+        // Breed the full brood against the current generation…
+        let mut brood: Vec<Vec<f64>> = Vec::with_capacity(POPULATION - 1);
+        while brood.len() + 1 < POPULATION {
             let a = tournament(&population, &mut rng);
             let b = tournament(&population, &mut rng);
             // Blend crossover.
@@ -58,9 +68,12 @@ pub fn run(
                     *gene += g * initial_step;
                 }
             }
-            let cost = problem.evaluate_phi(&child).cost;
-            next.push((child, cost));
+            brood.push(child);
         }
+        // …then score it in one batch, with the elite carried over.
+        let costs = problem.evaluate_batch(&brood);
+        let mut next: Vec<(Vec<f64>, f64)> = vec![best_of(&population).clone()];
+        next.extend(brood.into_iter().zip(costs).map(|(g, c)| (g, c.cost)));
         population = next;
         history.push(best_of(&population).1);
     }

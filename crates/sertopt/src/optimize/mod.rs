@@ -25,7 +25,7 @@ use crate::allowed::AllowedParams;
 use crate::baseline::size_for_speed;
 use crate::cost::{CostWeights, EnergyModel};
 use crate::matching::MatchingConfig;
-use crate::problem::DelayProblem;
+use crate::problem::{DelayProblem, EvalStrategy};
 use crate::result::Outcome;
 
 /// Which search algorithm drives the Eq. 5 minimization.
@@ -65,6 +65,15 @@ pub struct OptimizerConfig {
     pub baseline_sizes: Vec<f64>,
     /// Stage effort targeted by the baseline pass.
     pub baseline_effort: f64,
+    /// How candidate assignments are measured: the incremental
+    /// [`aserta::AnalysisSession`] engine (default) or one fresh analysis
+    /// per move (the oracle/perf baseline). Both produce identical
+    /// outcomes.
+    pub eval: EvalStrategy,
+    /// Worker threads for batched independent evaluations (0 = the
+    /// `SER_SIM_THREADS`/available-parallelism default). Outcomes are
+    /// identical for every value.
+    pub threads: usize,
 }
 
 impl Default for OptimizerConfig {
@@ -80,6 +89,8 @@ impl Default for OptimizerConfig {
             energy: EnergyModel::default(),
             baseline_sizes: vec![1.0, 2.0, 4.0, 8.0],
             baseline_effort: 2.0,
+            eval: EvalStrategy::default(),
+            threads: 0,
         }
     }
 }
@@ -121,6 +132,8 @@ pub fn optimize_circuit(
         cfg.aserta.clone(),
         cfg.energy,
     );
+    problem.strategy = cfg.eval;
+    problem.threads = cfg.threads;
     let (best_phi, history) = match cfg.algorithm {
         Algorithm::Sqp => sqp::run(&mut problem, cfg.iterations, cfg.initial_step, cfg.seed),
         Algorithm::CoordinateDescent => {

@@ -77,20 +77,27 @@ pub fn run(
         }
         if !improved {
             // Plateau (or failed line search): compass-style random
-            // probing at the current scale.
-            for _ in 0..PLATEAU_PROBES {
-                let trial: Vec<f64> = phi
-                    .iter()
-                    .map(|&p| p + step * (rng.random::<f64>() * 2.0 - 1.0))
-                    .collect();
-                let c = problem.evaluate_phi(&trial).cost;
-                if c < best_cost {
-                    best_cost = c;
-                    phi = trial.clone();
-                    best_phi = trial;
-                    improved = true;
-                    break;
-                }
+            // probing at the current scale. Probes are independent, so
+            // they evaluate as one batch; the first improvement in draw
+            // order wins (mirroring the sequential scan).
+            let trials: Vec<Vec<f64>> = (0..PLATEAU_PROBES)
+                .map(|_| {
+                    phi.iter()
+                        .map(|&p| p + step * (rng.random::<f64>() * 2.0 - 1.0))
+                        .collect()
+                })
+                .collect();
+            let costs = problem.evaluate_batch(&trials);
+            if let Some((trial, c)) = trials
+                .into_iter()
+                .zip(costs)
+                .find(|(_, c)| c.cost < best_cost)
+                .map(|(t, c)| (t, c.cost))
+            {
+                best_cost = c;
+                phi = trial.clone();
+                best_phi = trial;
+                improved = true;
             }
         }
 
@@ -108,14 +115,20 @@ pub fn run(
 }
 
 fn forward_difference(problem: &mut DelayProblem<'_>, phi: &[f64], f0: f64, h: f64) -> Vec<f64> {
-    let mut grad = vec![0.0; phi.len()];
-    for k in 0..phi.len() {
-        let mut p = phi.to_vec();
-        p[k] += h;
-        let fk = problem.evaluate_phi(&p).cost;
-        grad[k] = (fk - f0) / h;
-    }
-    grad
+    // One independent probe per coordinate — a single thread-batched
+    // evaluation round.
+    let trials: Vec<Vec<f64>> = (0..phi.len())
+        .map(|k| {
+            let mut p = phi.to_vec();
+            p[k] += h;
+            p
+        })
+        .collect();
+    problem
+        .evaluate_batch(&trials)
+        .iter()
+        .map(|c| (c.cost - f0) / h)
+        .collect()
 }
 
 /// Averaged simultaneous-perturbation gradient: each sample perturbs all
@@ -129,16 +142,26 @@ fn spsa(
 ) -> Vec<f64> {
     let dim = phi.len();
     let mut grad = vec![0.0; dim];
-    for _ in 0..samples {
-        let signs: Vec<f64> = (0..dim)
-            .map(|_| if rng.random_bool(0.5) { 1.0 } else { -1.0 })
-            .collect();
-        let plus: Vec<f64> = phi.iter().zip(&signs).map(|(&p, &s)| p + h * s).collect();
-        let minus: Vec<f64> = phi.iter().zip(&signs).map(|(&p, &s)| p - h * s).collect();
-        let fp = problem.evaluate_phi(&plus).cost;
-        let fm = problem.evaluate_phi(&minus).cost;
+    // Draw all sign vectors first (one RNG stream regardless of
+    // batching), then evaluate the 2·samples probes as one batch.
+    let all_signs: Vec<Vec<f64>> = (0..samples)
+        .map(|_| {
+            (0..dim)
+                .map(|_| if rng.random_bool(0.5) { 1.0 } else { -1.0 })
+                .collect()
+        })
+        .collect();
+    let mut trials: Vec<Vec<f64>> = Vec::with_capacity(2 * samples);
+    for signs in &all_signs {
+        trials.push(phi.iter().zip(signs).map(|(&p, &s)| p + h * s).collect());
+        trials.push(phi.iter().zip(signs).map(|(&p, &s)| p - h * s).collect());
+    }
+    let costs = problem.evaluate_batch(&trials);
+    for (i, signs) in all_signs.iter().enumerate() {
+        let fp = costs[2 * i].cost;
+        let fm = costs[2 * i + 1].cost;
         let d = (fp - fm) / (2.0 * h);
-        for (g, &s) in grad.iter_mut().zip(&signs) {
+        for (g, &s) in grad.iter_mut().zip(signs) {
             *g += d * s / samples as f64;
         }
     }

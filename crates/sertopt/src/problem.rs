@@ -11,15 +11,37 @@
 //!    shared slack is never over-committed by more than the coefficient
 //!    scale. These are the moves behind the paper's 1.03–1.23× delay
 //!    ratios, and the `W2·T/T₀` cost term polices them.
+//!
+//! # Evaluation engine
+//!
+//! Every evaluation realizes the targets through the precompiled
+//! [`MatchPlan`] and then measures the assignment one of two ways
+//! ([`EvalStrategy`]):
+//!
+//! * [`EvalStrategy::Incremental`] (default) — a persistent
+//!   [`AnalysisSession`] per worker: the candidate is *diffed* against
+//!   the session's current assignment and only the invalidated cones,
+//!   rows and per-gate terms are recomputed. Independent candidates
+//!   (finite-difference probes, GA populations) additionally batch
+//!   across threads via [`DelayProblem::evaluate_batch`].
+//! * [`EvalStrategy::FreshPerMove`] — the pre-session behaviour (one
+//!   full [`cost::evaluate`](crate::cost::evaluate) per move), kept as
+//!   the equivalence oracle and perf baseline.
+//!
+//! Both strategies produce **bitwise identical** candidates: the session
+//! guarantees exact fidelity to the fresh analysis, and the per-gate
+//! energy cache mirrors [`gate_energy`](crate::cost::gate_energy)'s
+//! arithmetic term for term. The `determinism` test suite pins this.
 
-use aserta::{timing_view, AsertaConfig, CircuitCells};
+use aserta::{timing_view, AnalysisSession, AsertaConfig, CircuitCells};
 use ser_cells::Library;
-use ser_logicsim::sensitize::sensitization_probabilities;
+use ser_logicsim::sensitize::{sensitization_probabilities, simulation_threads};
 use ser_logicsim::SensitizationMatrix;
-use ser_netlist::{topo, Circuit};
+use ser_netlist::{topo, Circuit, NodeId};
+use serde::{Deserialize, Serialize};
 
 use crate::cost::{evaluate, CostBreakdown, CostWeights, EnergyModel};
-use crate::matching::{match_delays, MatchingConfig};
+use crate::matching::{MatchPlan, MatchingConfig};
 use crate::nullspace::TensionSpace;
 use crate::sta;
 
@@ -34,16 +56,103 @@ pub struct Candidate {
     pub cells: CircuitCells,
 }
 
+/// How [`DelayProblem`] measures a candidate assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum EvalStrategy {
+    /// Persistent [`AnalysisSession`]s with delta application and
+    /// thread-batched independent evaluations (the default).
+    #[default]
+    Incremental,
+    /// One full analysis per move — the equivalence oracle and the perf
+    /// baseline the incremental engine is measured against.
+    FreshPerMove,
+}
+
+/// One worker's private evaluation state: an incremental session plus
+/// the per-gate energy cache it keeps aligned with the session's
+/// dirty-set reports.
+struct Replica<'a> {
+    session: AnalysisSession<'a>,
+    gate_energy: Vec<f64>,
+}
+
+impl<'a> Replica<'a> {
+    fn new(mut session: AnalysisSession<'a>, energy_model: &EnergyModel) -> Self {
+        let circuit = session.circuit();
+        let mut gate_energy = vec![0.0f64; circuit.node_count()];
+        for id in circuit.gates() {
+            gate_energy[id.index()] = replica_gate_energy(&mut session, id, energy_model);
+        }
+        Replica {
+            session,
+            gate_energy,
+        }
+    }
+
+    /// Moves the session to `cells` and measures it; mirrors
+    /// [`evaluate`]'s arithmetic bit for bit.
+    fn evaluate(
+        &mut self,
+        cells: CircuitCells,
+        energy_model: &EnergyModel,
+        weights: &CostWeights,
+        baseline: &CostBreakdown,
+    ) -> Candidate {
+        let stats = self.session.set_cells(&cells);
+        for &i in &stats.energy_dirty {
+            let id = NodeId::new(i as usize);
+            self.gate_energy[i as usize] = replica_gate_energy(&mut self.session, id, energy_model);
+        }
+        let circuit = self.session.circuit();
+        let mut energy = 0.0;
+        for id in circuit.gates() {
+            energy += self.gate_energy[id.index()];
+        }
+        let mut breakdown = CostBreakdown {
+            unreliability: self.session.unreliability(),
+            delay: self.session.critical_delay(),
+            energy,
+            area: cells.total_area(),
+            cost: f64::NAN,
+        };
+        breakdown.cost = weights.cost(&breakdown, baseline);
+        Candidate {
+            cost: breakdown.cost,
+            breakdown,
+            cells,
+        }
+    }
+}
+
+impl Clone for Replica<'_> {
+    fn clone(&self) -> Self {
+        Replica {
+            session: self.session.clone(),
+            gate_energy: self.gate_energy.clone(),
+        }
+    }
+}
+
+/// [`gate_energy`](crate::cost::gate_energy)'s exact arithmetic, fed
+/// from the session's cached cell/load/static-probability state.
+fn replica_gate_energy(
+    session: &mut AnalysisSession<'_>,
+    id: NodeId,
+    energy_model: &EnergyModel,
+) -> f64 {
+    let prob = session.static_probs()[id.index()];
+    let activity = 2.0 * prob * (1.0 - prob);
+    let (cell, load) = session.cell_and_load(id);
+    activity * cell.dynamic_energy(load) + cell.static_energy(energy_model.clock_period)
+}
+
 /// The delay-assignment-variation problem (paper §4), ready for repeated
 /// evaluation: holds the one-time artifacts (`P_ij`, tension space,
-/// baseline delays/metrics) and hands out costs for potential vectors.
+/// match plan, baseline delays/metrics, analysis sessions) and hands out
+/// costs for potential vectors.
 pub struct DelayProblem<'a> {
     /// The circuit under optimization.
     pub circuit: &'a Circuit,
-    /// The (growing) characterized library.
-    pub library: &'a mut Library,
-    /// Sensitization matrix — logic-only, computed once.
-    pub pij: SensitizationMatrix,
     /// The zero-overhead move space.
     pub tension: TensionSpace,
     /// Logic level of every node (for the slack-move family).
@@ -68,20 +177,44 @@ pub struct DelayProblem<'a> {
     pub energy: EnergyModel,
     /// Number of cost evaluations performed so far.
     pub evaluations: usize,
+    /// How candidates are measured.
+    pub strategy: EvalStrategy,
+    /// Worker threads for [`DelayProblem::evaluate_batch`] (0 = the
+    /// `SER_SIM_THREADS`/available-parallelism default). Results are
+    /// identical for every value.
+    pub threads: usize,
+    plan: MatchPlan,
+    replicas: Vec<Replica<'a>>,
+    fresh_lib: Library,
+    fresh_pij: SensitizationMatrix,
 }
 
 impl<'a> DelayProblem<'a> {
     /// Prepares the problem from a baseline assignment: estimates
-    /// `P_ij`, measures the baseline, builds the tension space.
+    /// `P_ij`, measures the baseline, compiles the match plan and the
+    /// tension space, and boots the first analysis session.
+    ///
+    /// `library` is used (and warmed) during construction only; the
+    /// problem owns private copies afterwards, so evaluations never
+    /// contend on the caller's library.
     pub fn new(
         circuit: &'a Circuit,
-        library: &'a mut Library,
+        library: &mut Library,
         baseline_cells: CircuitCells,
         weights: CostWeights,
         matching: MatchingConfig,
         aserta_cfg: AsertaConfig,
         energy: EnergyModel,
     ) -> Self {
+        // Warm every variant evaluations can touch: the allowed grid
+        // (bulk, parallel) plus the baseline's own (possibly off-grid)
+        // cells.
+        let spec = matching.allowed.library_spec(circuit);
+        library.characterize_spec(&spec, 0);
+        for id in circuit.gates() {
+            library.get_or_characterize(baseline_cells.get(id).expect("gates carry parameters"));
+        }
+
         let pij =
             sensitization_probabilities(circuit, aserta_cfg.sensitization_vectors, aserta_cfg.seed);
         let tv = timing_view(
@@ -102,6 +235,7 @@ impl<'a> DelayProblem<'a> {
             None,
         );
         baseline.cost = weights.unreliability + weights.delay + weights.energy + weights.area;
+        let plan = MatchPlan::build(circuit, library, &matching, &baseline_cells);
         let tension = TensionSpace::build(circuit);
         let levels = topo::levels_from_inputs(circuit);
         let depth = levels.iter().copied().max().unwrap_or(0);
@@ -111,10 +245,18 @@ impl<'a> DelayProblem<'a> {
             .iter()
             .map(|&s| if s.is_finite() { s.max(0.0) } else { 0.0 })
             .collect();
+
+        let session = AnalysisSession::with_pij(
+            circuit,
+            baseline_cells.clone(),
+            library.clone(),
+            aserta_cfg.clone(),
+            pij.clone(),
+        );
+        let replicas = vec![Replica::new(session, &energy)];
+
         DelayProblem {
             circuit,
-            library,
-            pij,
             tension,
             levels,
             slacks,
@@ -127,7 +269,18 @@ impl<'a> DelayProblem<'a> {
             aserta_cfg,
             energy,
             evaluations: 0,
+            strategy: EvalStrategy::default(),
+            threads: 0,
+            plan,
+            replicas,
+            fresh_lib: library.clone(),
+            fresh_pij: pij,
         }
+    }
+
+    /// The shared sensitization matrix behind every evaluation.
+    pub fn pij(&self) -> &SensitizationMatrix {
+        self.replicas[0].session.pij()
     }
 
     /// Dimension of the search space: tension coordinates plus one slack
@@ -136,17 +289,14 @@ impl<'a> DelayProblem<'a> {
         self.tension.dim() + self.depth + 1
     }
 
-    /// Evaluates a search point: tension deltas plus slack-bounded level
-    /// slowdowns → clamped delay targets → matched cells → Eq. 5 cost
-    /// against the baseline.
+    /// The per-node delay targets of a search point.
     ///
     /// The first [`TensionSpace::dim`] entries of `phi` are tension
     /// potentials (seconds); the remaining `depth + 1` entries are
     /// dimensionless level coefficients `κ_l`, scaled by `initial step`
     /// units of 10 ps per unit — a gate at level `l` is slowed by
     /// `κ_l · slack / depth` (clamped so targets stay positive).
-    pub fn evaluate_phi(&mut self, phi: &[f64]) -> Candidate {
-        self.evaluations += 1;
+    fn targets_for(&self, phi: &[f64]) -> Vec<f64> {
         let t_dim = self.tension.dim();
         let delta = self.tension.delta(self.circuit, &phi[..t_dim]);
         let kappa = &phi[t_dim..];
@@ -154,8 +304,7 @@ impl<'a> DelayProblem<'a> {
         // κ is carried in seconds like the tension part (optimizers are
         // unit-agnostic); normalize to a dimensionless coefficient per
         // 10 ps so default step sizes explore κ ≈ ±2.
-        let targets: Vec<f64> = self
-            .circuit
+        self.circuit
             .node_ids()
             .map(|id| {
                 let i = id.index();
@@ -163,19 +312,96 @@ impl<'a> DelayProblem<'a> {
                 let slack_move = k * self.slacks[i] * slack_scale;
                 (self.base_delays[i] + delta[i] + slack_move).max(1.0e-12)
             })
+            .collect()
+    }
+
+    /// Evaluates a search point: tension deltas plus slack-bounded level
+    /// slowdowns → clamped delay targets → matched cells → Eq. 5 cost
+    /// against the baseline.
+    pub fn evaluate_phi(&mut self, phi: &[f64]) -> Candidate {
+        self.evaluations += 1;
+        let targets = self.targets_for(phi);
+        let cells = self.plan.realize(self.circuit, &targets);
+        match self.strategy {
+            EvalStrategy::Incremental => {
+                self.replicas[0].evaluate(cells, &self.energy, &self.weights, &self.baseline)
+            }
+            EvalStrategy::FreshPerMove => self.evaluate_fresh(cells),
+        }
+    }
+
+    /// Evaluates independent search points as one batch. Under
+    /// [`EvalStrategy::Incremental`] the batch is spread over up to
+    /// [`DelayProblem::threads`] session replicas; the result is
+    /// **identical for every thread count** (each evaluation is exact
+    /// regardless of its replica's prior state). The fresh strategy
+    /// evaluates sequentially.
+    pub fn evaluate_batch(&mut self, phis: &[Vec<f64>]) -> Vec<Candidate> {
+        let workers = match self.strategy {
+            EvalStrategy::FreshPerMove => 1,
+            EvalStrategy::Incremental => {
+                let t = if self.threads == 0 {
+                    simulation_threads()
+                } else {
+                    self.threads
+                };
+                t.min(phis.len()).max(1)
+            }
+        };
+        if workers <= 1 {
+            return phis.iter().map(|phi| self.evaluate_phi(phi)).collect();
+        }
+        self.evaluations += phis.len();
+        while self.replicas.len() < workers {
+            let clone = self.replicas[0].clone();
+            self.replicas.push(clone);
+        }
+        // Realize all candidates up front (cheap scans over the plan),
+        // then measure them on per-worker sessions in round-robin strides.
+        let jobs: Vec<CircuitCells> = phis
+            .iter()
+            .map(|phi| self.plan.realize(self.circuit, &self.targets_for(phi)))
             .collect();
-        let cells = match_delays(
-            self.circuit,
-            &targets,
-            self.library,
-            &self.matching,
-            Some(&self.baseline_cells),
-        );
+        let energy = &self.energy;
+        let weights = &self.weights;
+        let baseline = &self.baseline;
+        let mut tagged: Vec<(usize, Candidate)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .replicas
+                .iter_mut()
+                .take(workers)
+                .enumerate()
+                .map(|(w, replica)| {
+                    let jobs = &jobs;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for (idx, cells) in jobs.iter().enumerate().skip(w).step_by(workers) {
+                            out.push((
+                                idx,
+                                replica.evaluate(cells.clone(), energy, weights, baseline),
+                            ));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("evaluation worker panicked"))
+                .collect()
+        });
+        tagged.sort_by_key(|&(idx, _)| idx);
+        tagged.into_iter().map(|(_, c)| c).collect()
+    }
+
+    /// The pre-session measurement: one full analysis over the private
+    /// fresh library — kept as the oracle and perf baseline.
+    fn evaluate_fresh(&mut self, cells: CircuitCells) -> Candidate {
         let breakdown = evaluate(
             self.circuit,
             &cells,
-            self.library,
-            &self.pij,
+            &mut self.fresh_lib,
+            &self.fresh_pij,
             &self.aserta_cfg,
             &self.energy,
             &self.weights,
@@ -197,7 +423,7 @@ mod tests {
     use ser_netlist::generate;
     use ser_spice::Technology;
 
-    fn problem_for_c17(lib: &mut Library) -> DelayProblem<'_> {
+    fn problem_for_c17(lib: &mut Library) -> DelayProblem<'static> {
         // Leak a circuit for the 'a lifetime of the test.
         let circuit: &'static ser_netlist::Circuit = Box::leak(Box::new(generate::c17()));
         let baseline = CircuitCells::nominal(circuit);
@@ -253,5 +479,48 @@ mod tests {
         let c = p.evaluate_phi(&phi);
         assert!(c.cost.is_finite());
         assert!(c.breakdown.delay > 0.0);
+    }
+
+    #[test]
+    fn strategies_agree_bitwise() {
+        let mut lib = Library::new(Technology::ptm70(), CharGrids::coarse());
+        let mut inc = problem_for_c17(&mut lib);
+        let mut fresh = problem_for_c17(&mut lib);
+        fresh.strategy = EvalStrategy::FreshPerMove;
+        let dim = inc.dim();
+        for step in 0..5 {
+            let phi: Vec<f64> = (0..dim)
+                .map(|k| 8.0e-12 * (((k + step) % 3) as f64 - 1.0))
+                .collect();
+            let a = inc.evaluate_phi(&phi);
+            let b = fresh.evaluate_phi(&phi);
+            assert_eq!(a.cost, b.cost, "step {step}");
+            assert_eq!(a.breakdown.unreliability, b.breakdown.unreliability);
+            assert_eq!(a.breakdown.delay, b.breakdown.delay);
+            assert_eq!(a.breakdown.energy, b.breakdown.energy);
+            assert_eq!(a.breakdown.area, b.breakdown.area);
+            assert_eq!(a.cells, b.cells);
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_for_any_thread_count() {
+        let mut lib = Library::new(Technology::ptm70(), CharGrids::coarse());
+        let mut p = problem_for_c17(&mut lib);
+        let dim = p.dim();
+        let phis: Vec<Vec<f64>> = (0..7)
+            .map(|s| {
+                (0..dim)
+                    .map(|k| 6.0e-12 * (((k * 3 + s) % 5) as f64 - 2.0))
+                    .collect()
+            })
+            .collect();
+        let sequential: Vec<f64> = phis.iter().map(|phi| p.evaluate_phi(phi).cost).collect();
+        for threads in [1usize, 2, 5] {
+            p.threads = threads;
+            let batch = p.evaluate_batch(&phis);
+            let costs: Vec<f64> = batch.iter().map(|c| c.cost).collect();
+            assert_eq!(costs, sequential, "{threads} threads");
+        }
     }
 }

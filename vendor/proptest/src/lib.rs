@@ -1,6 +1,6 @@
 //! Offline, API-compatible shim for the parts of `proptest` this
-//! workspace uses: the [`proptest!`] macro, [`Strategy`] with
-//! [`Strategy::prop_map`], range and tuple strategies,
+//! workspace uses: the [`proptest!`] macro, [`strategy::Strategy`] with
+//! [`strategy::Strategy::prop_map`], range and tuple strategies,
 //! [`collection::vec`], [`ProptestConfig`] and the `prop_assert*`
 //! macros.
 //!
