@@ -16,9 +16,59 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use ser_logicsim::kernel;
 use ser_logicsim::random::random_vectors;
-use ser_logicsim::sim::eval_with_flips;
+use ser_netlist::csr::CsrView;
 use ser_netlist::{generate, NodeId};
+
+/// Per-circuit upset-injection state: the CSR view flattened once, plus
+/// reusable evaluation buffers (the trial loops run thousands of strike
+/// evaluations — rebuilding the view per call would dominate them).
+struct FlipSim {
+    csr: CsrView,
+    golden: Vec<u64>,
+    faulty: Vec<u64>,
+    flip: Vec<bool>,
+}
+
+impl FlipSim {
+    fn new(circuit: &ser_netlist::Circuit) -> Self {
+        let n = circuit.node_count();
+        FlipSim {
+            csr: CsrView::build(circuit),
+            golden: vec![0u64; n],
+            faulty: vec![0u64; n],
+            flip: vec![false; n],
+        }
+    }
+
+    /// Loads one input vector's fault-free evaluation.
+    fn load(&mut self, pi_values: &[bool]) -> Vec<u64> {
+        let words: Vec<u64> = pi_values.iter().map(|&b| u64::from(b)).collect();
+        kernel::eval_word(&self.csr, &words, &mut self.golden);
+        words
+    }
+
+    /// Whether forcing `flips` to their complements corrupts any primary
+    /// output under the currently loaded vector.
+    fn corrupts(&mut self, pi_words: &[u64], flips: &[NodeId]) -> bool {
+        self.flip.iter_mut().for_each(|f| *f = false);
+        for &id in flips {
+            self.flip[id.index()] = true;
+        }
+        kernel::eval_word_with_flips(
+            &self.csr,
+            pi_words,
+            &self.golden,
+            &self.flip,
+            &mut self.faulty,
+        );
+        self.csr
+            .outputs()
+            .iter()
+            .any(|&po| (self.faulty[po as usize] ^ self.golden[po as usize]) & 1 == 1)
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -39,12 +89,13 @@ fn main() {
         let vectors = random_vectors(circuit.primary_inputs().len(), n_vectors, 0.5, 77);
         let gates: Vec<NodeId> = circuit.gates().collect();
         let mut rng = StdRng::seed_from_u64(0xD0B1E);
+        let mut sim = FlipSim::new(&circuit);
 
         let trials = 400usize;
         let mut single_hits = 0usize;
         let mut double_hits = 0usize;
         for t in 0..trials {
-            let v = &vectors[t % vectors.len()];
+            let words = sim.load(&vectors[t % vectors.len()]);
             let a = gates[rng.random_range(0..gates.len())];
             let b = loop {
                 let b = gates[rng.random_range(0..gates.len())];
@@ -52,12 +103,10 @@ fn main() {
                     break b;
                 }
             };
-            let (_, corrupted_single) = eval_with_flips(&circuit, v, &[a]);
-            let (_, corrupted_double) = eval_with_flips(&circuit, v, &[a, b]);
-            if !corrupted_single.is_empty() {
+            if sim.corrupts(&words, &[a]) {
                 single_hits += 1;
             }
-            if !corrupted_double.is_empty() {
+            if sim.corrupts(&words, &[a, b]) {
                 double_hits += 1;
             }
         }
@@ -81,12 +130,13 @@ fn main() {
         .filter(|&pi| ecc.node(pi).name.starts_with('d'))
         .collect();
     let mut rng = StdRng::seed_from_u64(0xC499);
+    let mut sim = FlipSim::new(&ecc);
     let trials = 400usize;
     let mut single_hits = 0usize;
     let mut double_hits = 0usize;
     for _ in 0..trials {
         let data: u32 = rng.random();
-        let v = generate::sec32_codeword(data);
+        let words = sim.load(&generate::sec32_codeword(data));
         let a = data_inputs[rng.random_range(0..data_inputs.len())];
         let b = loop {
             let b = data_inputs[rng.random_range(0..data_inputs.len())];
@@ -94,10 +144,10 @@ fn main() {
                 break b;
             }
         };
-        if !eval_with_flips(&ecc, &v, &[a]).1.is_empty() {
+        if sim.corrupts(&words, &[a]) {
             single_hits += 1;
         }
-        if !eval_with_flips(&ecc, &v, &[a, b]).1.is_empty() {
+        if sim.corrupts(&words, &[a, b]) {
             double_hits += 1;
         }
     }

@@ -10,11 +10,17 @@
 //!   characterization warmed up beforehand so the timing isolates the
 //!   analysis hot path);
 //! * `optimize_fresh` / `optimize_incremental` — the same fixed-seed
-//!   SERTOPT run measured against both evaluation engines: one full
-//!   analysis per move versus the persistent
+//!   SERTOPT run measured against both evaluation strategies: one full
+//!   analysis (a cold-start session, including its owned-state setup)
+//!   per move versus the persistent warm
 //!   [`AnalysisSession`](aserta::AnalysisSession). The two runs produce
-//!   identical outcomes (asserted), so the ratio is a pure engine
-//!   speedup.
+//!   identical outcomes (asserted), so the ratio measures warm-session
+//!   reuse against the cold-start oracle path;
+//! * `corners_fresh` / `corners_session` — the multi-corner scenario
+//!   sweep ([`ser_bench::corners`]): a VDD × Vth × charge grid analyzed
+//!   fresh per corner (cold session + `P_ij` re-estimate each time)
+//!   versus driven through one warm session as per-corner deltas.
+//!   Identical points (asserted), same warm-vs-cold reading.
 //!
 //! ```text
 //! cargo run --release -p ser-bench --bin perf_snapshot -- \
@@ -30,6 +36,7 @@
 //! explicit snapshot file instead and embeds it in the output document.
 
 use aserta::{analyze_fresh, timing_view, AsertaConfig, CircuitCells, ExpectedWidths, LoadModel};
+use ser_bench::corners::{sweep_fresh, sweep_session, CornerGrid};
 use ser_bench::timed;
 use ser_cells::{CharGrids, Library};
 use ser_logicsim::probability::static_probabilities_analytic;
@@ -59,20 +66,25 @@ const GATE_THRESHOLD: f64 = 1.5;
 /// best-of-3, and a 2x blip there says nothing about the code.
 const MIN_GATED_SECONDS: f64 = 1.0e-2;
 
-/// The timed sections a baseline comparison inspects.
-const TIMED_KEYS: [&str; 5] = [
+/// The timed sections a baseline comparison inspects. A section (or a
+/// whole circuit) missing from the baseline is a **loud** `--gate`
+/// failure, not a silent skip — regenerate the committed baseline
+/// whenever a scenario is added.
+const TIMED_KEYS: [&str; 7] = [
     "pij_s",
     "widths_s",
     "analyze_fresh_s",
     "optimize_fresh_s",
     "optimize_incremental_s",
+    "corners_fresh_s",
+    "corners_session_s",
 ];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let gate = args.iter().any(|a| a == "--gate");
-    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_pr4.json".to_owned());
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_pr5.json".to_owned());
     let baseline_path = flag_value(&args, "--baseline");
 
     // Smoke keeps vector counts small but still takes best-of-3: the
@@ -92,6 +104,7 @@ fn main() {
     for circuit in snapshot_circuits() {
         let mut row = measure(&circuit, vectors, reps);
         merge(&mut row, measure_optimize(&circuit, smoke));
+        merge(&mut row, measure_corners(&circuit, smoke));
         eprintln!("measured {}", circuit.name());
         rows.push(row);
     }
@@ -121,7 +134,7 @@ fn main() {
     }
 
     let mut doc: Vec<(String, Value)> = vec![
-        ("snapshot".into(), serde_json::to_value(&"pr4")),
+        ("snapshot".into(), serde_json::to_value(&"pr5")),
         ("smoke".into(), serde_json::to_value(&smoke)),
         ("threads".into(), serde_json::to_value(&(threads as u64))),
         ("vectors".into(), serde_json::to_value(&(vectors as u64))),
@@ -277,6 +290,51 @@ fn measure_optimize(circuit: &Circuit, smoke: bool) -> Value {
     ])
 }
 
+/// Times the multi-corner scenario sweep under both engines (fresh
+/// analysis per corner vs one warm session driven by per-corner deltas;
+/// single worker thread so the ratio isolates the engine) and asserts
+/// they produce identical points.
+fn measure_corners(circuit: &Circuit, smoke: bool) -> Value {
+    let grid = if smoke {
+        CornerGrid::smoke()
+    } else {
+        CornerGrid::table1_style()
+    };
+    let corners = grid.corners();
+    let cells = CircuitCells::nominal(circuit);
+    let cfg = AsertaConfig {
+        sensitization_vectors: if smoke { 512 } else { 2048 },
+        seed: SEED,
+        ..AsertaConfig::default()
+    };
+
+    // Warm each engine's library with every corner variant — and the
+    // base-point variants the session boots from — outside the clock,
+    // so neither run times first-touch characterization.
+    let mut lib_fresh = Library::new(Technology::ptm70(), CharGrids::coarse());
+    analyze_fresh(circuit, &cells, &mut lib_fresh, &cfg);
+    sweep_fresh(circuit, &cells, &mut lib_fresh, &cfg, &corners);
+    let lib_session = lib_fresh.clone();
+
+    let (fresh, fresh_s) = timed(|| sweep_fresh(circuit, &cells, &mut lib_fresh, &cfg, &corners));
+    let (warm, session_s) =
+        timed(|| sweep_session(circuit, &cells, lib_session, &cfg, &corners, 1));
+    assert_eq!(fresh, warm, "engines must agree on {}", circuit.name());
+
+    Value::Object(vec![
+        (
+            "corners".into(),
+            serde_json::to_value(&(corners.len() as u64)),
+        ),
+        ("corners_fresh_s".into(), serde_json::to_value(&fresh_s)),
+        ("corners_session_s".into(), serde_json::to_value(&session_s)),
+        (
+            "corners_speedup".into(),
+            serde_json::to_value(&(fresh_s / session_s)),
+        ),
+    ])
+}
+
 /// Appends `extra`'s fields to the `row` object.
 fn merge(row: &mut Value, extra: Value) {
     if let (Value::Object(row), Value::Object(extra)) = (row, extra) {
@@ -291,11 +349,14 @@ fn best_of(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
 }
 
 /// Prints a per-circuit, per-section comparison against `baseline` to
-/// stdout and returns the sections regressing beyond [`GATE_THRESHOLD`]
-/// (ignoring sections whose baseline is under [`MIN_GATED_SECONDS`] —
-/// pure noise at that scale). The committed baseline records one
-/// machine's wall times: regenerate it alongside intentional perf
-/// changes, and expect the gate to be meaningful only on comparable
+/// stdout and returns the gate findings: sections regressing beyond
+/// [`GATE_THRESHOLD`] (ignoring sections whose baseline is under
+/// [`MIN_GATED_SECONDS`] — pure noise at that scale), plus any measured
+/// section or circuit **missing** from the baseline — a stale baseline
+/// must fail the gate loudly, not silently shrink its coverage. The
+/// committed baseline records one machine's wall times: regenerate it
+/// alongside intentional perf changes (and whenever a scenario is
+/// added), and expect the gate to be meaningful only on comparable
 /// hardware.
 fn print_comparison(baseline: &Value, rows: &[Value]) -> Vec<String> {
     let empty: &[Value] = &[];
@@ -311,6 +372,9 @@ fn print_comparison(baseline: &Value, rows: &[Value]) -> Vec<String> {
             .find(|b| field(b, "name").and_then(Value::as_str) == Some(name))
         else {
             println!("  {name:<10} (not in baseline)");
+            regressions.push(format!(
+                "{name}: circuit missing from baseline — regenerate crates/bench/baselines/smoke.json"
+            ));
             continue;
         };
         let mut parts: Vec<String> = Vec::new();
@@ -325,10 +389,38 @@ fn print_comparison(baseline: &Value, rows: &[Value]) -> Vec<String> {
                         ));
                     }
                 }
+                (None, Some(_)) => {
+                    parts.push(format!("{} (no baseline)", key.trim_end_matches("_s")));
+                    regressions.push(format!(
+                        "{name}: {key} missing from baseline — regenerate crates/bench/baselines/smoke.json"
+                    ));
+                }
+                (Some(_), None) => {
+                    parts.push(format!("{} (not measured)", key.trim_end_matches("_s")));
+                    regressions.push(format!(
+                        "{name}: {key} in baseline but not measured — a scenario silently stopped running"
+                    ));
+                }
                 _ => {}
             }
         }
         println!("  {name:<10} {}", parts.join("  "));
+    }
+    // The reverse direction: circuits the baseline covers but this run
+    // no longer measures must fail just as loudly.
+    for base in base_rows {
+        let Some(name) = field(base, "name").and_then(Value::as_str) else {
+            continue;
+        };
+        if !rows
+            .iter()
+            .any(|r| field(r, "name").and_then(Value::as_str) == Some(name))
+        {
+            println!("  {name:<10} (in baseline, not measured)");
+            regressions.push(format!(
+                "{name}: circuit in baseline but not measured — a snapshot circuit silently dropped"
+            ));
+        }
     }
     regressions
 }
@@ -371,6 +463,7 @@ fn speedups_vs(baseline: &Value, rows: &[Value]) -> Value {
                     "optimize_incremental".into(),
                     ratio("optimize_incremental_s"),
                 ),
+                ("corners_session".into(), ratio("corners_session_s")),
             ]),
         ));
     }

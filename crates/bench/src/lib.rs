@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corners;
 pub mod sweeps;
 pub mod table1;
 

@@ -51,7 +51,17 @@ impl SweepParam {
     }
 
     /// The inverter cell with this knob set to `x`, others nominal.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite sweep point, or a non-positive one for
+    /// size/length/VDD (the transistor model has no meaning there; a
+    /// silent pass-through used to surface much later as NaN widths).
     pub fn params_at(self, x: f64) -> GateParams {
+        assert!(x.is_finite(), "sweep point must be finite, got {x}");
+        if !matches!(self, SweepParam::Vth) {
+            assert!(x > 0.0, "{} must be positive, got {x}", self.label());
+        }
         let base = GateParams::new(GateKind::Not, 1);
         match self {
             SweepParam::Size => base.with_size(x),
@@ -174,6 +184,75 @@ mod tests {
         assert_eq!(trend(&fig1_series(&tech, SweepParam::Length, &cfg)), 1);
         assert_eq!(trend(&fig1_series(&tech, SweepParam::Vdd, &cfg)), -1);
         assert_eq!(trend(&fig1_series(&tech, SweepParam::Vth, &cfg)), 1);
+    }
+
+    #[test]
+    fn params_at_sets_only_the_swept_knob() {
+        let nominal = GateParams::new(GateKind::Not, 1);
+        let p = SweepParam::Size.params_at(4.0);
+        assert_eq!(
+            (p.size, p.l_nm, p.vdd, p.vth),
+            (4.0, nominal.l_nm, nominal.vdd, nominal.vth)
+        );
+        let p = SweepParam::Length.params_at(150.0);
+        assert_eq!((p.size, p.l_nm), (nominal.size, 150.0));
+        let p = SweepParam::Vdd.params_at(0.8);
+        assert_eq!((p.vdd, p.vth), (0.8, nominal.vth));
+        let p = SweepParam::Vth.params_at(0.3);
+        assert_eq!((p.vdd, p.vth), (nominal.vdd, 0.3));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn params_at_rejects_nonpositive_size() {
+        let _ = SweepParam::Size.params_at(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn params_at_rejects_zero_vdd() {
+        let _ = SweepParam::Vdd.params_at(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn params_at_rejects_nan() {
+        let _ = SweepParam::Vth.params_at(f64::NAN);
+    }
+
+    #[test]
+    fn trend_on_degenerate_single_point_sweep_is_flat() {
+        // A one-point series is vacuously both increasing and
+        // decreasing; the span tie-break must call it flat.
+        assert_eq!(trend_with_tolerance(&[(1.0, 42.0)], 1e-9), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn trend_rejects_empty_series() {
+        let _ = trend_with_tolerance(&[], 1e-9);
+    }
+
+    #[test]
+    fn trend_on_flat_series_is_zero() {
+        let flat: Vec<(f64, f64)> = (0..5).map(|i| (i as f64, 7.5)).collect();
+        assert_eq!(trend_with_tolerance(&flat, 1e-9), 0);
+        // Wobble strictly inside the tolerance still reads as flat: the
+        // overall excursion never exceeds eps.
+        let wobble = [(0.0, 7.5), (1.0, 7.6), (2.0, 7.4), (3.0, 7.5)];
+        assert_eq!(trend_with_tolerance(&wobble, 0.5), 0);
+    }
+
+    #[test]
+    fn trend_tolerates_noise_below_eps_only() {
+        // Rising overall, with one 0.05 dip: noise below eps = 0.1.
+        let noisy = [(0.0, 1.0), (1.0, 2.0), (2.0, 1.95), (3.0, 3.0)];
+        assert_eq!(trend_with_tolerance(&noisy, 0.1), 1);
+        // The same series with a strict tolerance is direction-less.
+        assert_eq!(trend_with_tolerance(&noisy, 1e-9), 0);
+        // Mirror image: falling with sub-eps counter-noise.
+        let falling: Vec<(f64, f64)> = noisy.iter().map(|&(x, y)| (x, -y)).collect();
+        assert_eq!(trend_with_tolerance(&falling, 0.1), -1);
     }
 
     /// "…but also increase the attenuation of propagating glitches" — the

@@ -1,14 +1,21 @@
-//! The top-level ASERTA analysis pipeline (paper §3 end-to-end).
+//! The top-level ASERTA analysis entry points (paper §3 end-to-end).
+//!
+//! Since the single-engine consolidation there is no separate "fresh"
+//! pipeline: [`analyze`] cold-starts an
+//! [`AnalysisSession`](crate::AnalysisSession) (construct → full-dirty
+//! recompute → extract report), so batch and incremental analyses run
+//! the exact same kernels. The workspace `fresh_path_equiv` proptest
+//! pins the reports bitwise against the pre-consolidation pipeline.
 
 use ser_cells::Library;
-use ser_logicsim::probability::static_probabilities_analytic;
 use ser_logicsim::sensitize::sensitization_probabilities;
 use ser_logicsim::SensitizationMatrix;
 use ser_netlist::{Circuit, NodeId};
 
-use crate::binding::{timing_view, CircuitCells, LoadModel, TimingView};
+use crate::binding::{CircuitCells, TimingView};
 use crate::config::AsertaConfig;
 use crate::electrical::ExpectedWidths;
+use crate::session::AnalysisSession;
 
 /// Everything ASERTA computes for one circuit + cell assignment.
 #[derive(Debug, Clone)]
@@ -66,46 +73,21 @@ pub fn analyze(
     pij: &SensitizationMatrix,
     cfg: &AsertaConfig,
 ) -> AsertaReport {
-    let loads_model = LoadModel {
-        wire_cap_per_pin: cfg.wire_cap_per_pin,
-        po_load: cfg.po_load,
-    };
-    let timing = timing_view(circuit, cells, library, loads_model, cfg.pi_ramp);
-    let static_probs = static_probabilities_analytic(circuit, cfg.pi_probability);
-
-    // Generated glitch width per gate from the strike tables.
-    let mut generated_widths = vec![0.0f64; circuit.node_count()];
+    // Warm the caller's library first (the pre-consolidation pipeline
+    // characterized into it as a side effect, and repeated fresh analyses
+    // rely on that cache staying hot), then cold-start a session on a
+    // clone of the warmed state.
     for id in circuit.gates() {
-        let p = cells.get(id).expect("gates carry parameters");
-        let cell = library.get_or_characterize(p);
-        generated_widths[id.index()] = cell.glitch_width_at(timing.loads[id.index()], cfg.charge);
+        library.get_or_characterize(cells.get(id).expect("gates carry parameters"));
     }
-
-    let expected_widths = ExpectedWidths::compute(
+    let session = AnalysisSession::with_pij(
         circuit,
-        &static_probs,
-        pij,
-        &timing.delays,
-        cfg.sample_width_grid(),
+        cells.clone(),
+        library.clone(),
+        cfg.clone(),
+        pij.clone(),
     );
-
-    let mut per_gate = vec![0.0f64; circuit.node_count()];
-    let mut total = 0.0;
-    for id in circuit.gates() {
-        let z = cells.get(id).expect("gates carry parameters").size;
-        let u = z * expected_widths.total_expected_width(id, generated_widths[id.index()]);
-        per_gate[id.index()] = u;
-        total += u;
-    }
-
-    AsertaReport {
-        unreliability: total,
-        per_gate_unreliability: per_gate,
-        generated_widths,
-        expected_widths,
-        static_probs,
-        timing,
-    }
+    session.into_report()
 }
 
 /// Convenience entry point that also estimates `P_ij` (paper: 10 000

@@ -1,8 +1,19 @@
-//! Electrical masking: the reverse-topological pass computing, for every
-//! gate `i` and primary output `j`, the expected output glitch width
-//! `WS_ijk` at each of the `K` sample input widths (paper §3.2,
-//! steps i–iv), combining Eq. 1 attenuation with the Eq. 2 logical
-//! weights.
+//! Electrical masking: the expected output glitch width `WS_ijk` of every
+//! gate `i` towards each primary output `j` at each of the `K` sample
+//! input widths (paper §3.2, steps i–iv), combining Eq. 1 attenuation
+//! with the Eq. 2 logical weights.
+//!
+//! There is exactly **one** implementation of the width arithmetic: the
+//! per-row kernel (`RowKernel::recompute_row`, crate-internal), which
+//! re-derives one node's `[k][j]` table from the cached Eq. 2 weights
+//! (`WeightCache`), its successors' tables and the hoisted
+//! interpolation brackets. Batch construction
+//! ([`ExpectedWidths::compute`]) is a full-dirty application of that
+//! kernel in reverse topological order, and the incremental
+//! [`AnalysisSession`](crate::AnalysisSession) applies it to exactly the
+//! rows a delta invalidates — so the two paths are bitwise
+//! interchangeable by construction (the workspace `fresh_path_equiv`
+//! proptest pins the batch result against the pre-refactor pipeline).
 //!
 //! Fidelity note (the paper's own concession): `π_isj` treats branch
 //! propagation independently, so observability that exists *only* through
@@ -32,7 +43,8 @@ pub struct ExpectedWidths {
 }
 
 impl ExpectedWidths {
-    /// Runs the reverse-topological pass.
+    /// Builds the tables: a full-dirty application of the shared row
+    /// kernel in reverse topological order.
     ///
     /// * `probs` — static 1-probabilities per node;
     /// * `pij` — sensitization matrix (defines the PO column order);
@@ -77,78 +89,25 @@ impl ExpectedWidths {
         grid: Vec<f64>,
         model: AttenuationModel,
     ) -> Self {
+        full_width_state(circuit, probs, pij, delays, grid, model).0
+    }
+
+    /// All-zero tables for `n_nodes` nodes — the starting point of the
+    /// full-dirty pass (and of a cold [`AnalysisSession`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid` is unsorted or does not start at 0.
+    ///
+    /// [`AnalysisSession`]: crate::AnalysisSession
+    pub(crate) fn zeroed(outputs: Vec<NodeId>, grid: Vec<f64>, n_nodes: usize) -> Self {
         assert!(
             grid.windows(2).all(|w| w[1] > w[0]),
             "sample grid must be strictly increasing"
         );
         assert_eq!(grid.first(), Some(&0.0), "sample grid must start at 0");
-        let outputs: Vec<NodeId> = pij.outputs().to_vec();
         let n_pos = outputs.len();
-        let k_n = grid.len();
-        let n = circuit.node_count();
-        let mut ws = vec![0.0f64; n * k_n * n_pos];
-
-        // Column index of each PO node (POs can appear once only).
-        let mut po_col = vec![usize::MAX; n];
-        for (j, &po) in outputs.iter().enumerate() {
-            po_col[po.index()] = j;
-        }
-
-        // Hoisted interpolation brackets: the attenuated width
-        // `wos = model.apply(grid[k], delay[s])` and its bracket in the
-        // grid depend only on (node, k), not on the PO column, so the
-        // per-column inner loop below reduces to one fused
-        // multiply-add over precomputed row offsets and weights.
-        let brackets = InterpBrackets::new(&grid, delays, model, n_pos);
-
-        for &id in circuit.topological_order().iter().rev() {
-            let base = id.index() * k_n * n_pos;
-
-            // Step (ii): a primary output latches its own glitch verbatim.
-            let self_col = po_col[id.index()];
-            if self_col != usize::MAX {
-                for k in 0..k_n {
-                    ws[base + k * n_pos + self_col] = grid[k];
-                }
-            }
-
-            // Step (iii): propagate through successors (applies to PO
-            // nodes that also feed logic — a strict generalization of the
-            // paper, reducing to it when POs are sinks).
-            let successors = successor_sensitizations(circuit, probs, id);
-            if successors.is_empty() {
-                continue;
-            }
-            // Columns outside the reachability list are structurally
-            // zero (`P_ij = 0`); skip them without touching the matrix.
-            for &col in pij.reachable_columns(id) {
-                let j = col as usize;
-                // π weights share the denominator across k; compute once.
-                let p_ij = pij.p(id, j);
-                if p_ij <= 0.0 {
-                    continue;
-                }
-                let pis = pi_weights(&successors, p_ij, |s| pij.p(s, j));
-                if pis.iter().all(|&x| x == 0.0) {
-                    continue;
-                }
-                for k in 0..k_n {
-                    let mut sum = 0.0;
-                    for (&(s, _), &pi_w) in successors.iter().zip(&pis) {
-                        if pi_w == 0.0 {
-                            continue;
-                        }
-                        let b = brackets.at(s.index(), k);
-                        let s_base = s.index() * k_n * n_pos;
-                        let we =
-                            ws[s_base + b.off_lo + j] * b.w_lo + ws[s_base + b.off_hi + j] * b.w_hi;
-                        sum += pi_w * we;
-                    }
-                    ws[base + k * n_pos + j] += sum;
-                }
-            }
-        }
-
+        let ws = vec![0.0f64; n_nodes * grid.len() * n_pos];
         ExpectedWidths {
             outputs,
             grid,
@@ -195,8 +154,9 @@ impl ExpectedWidths {
             .sum()
     }
 
-    /// The raw node-major `[k][j]` storage — the incremental engine
-    /// patches rows in place.
+    /// The raw node-major `[k][j]` storage (test-only: equivalence
+    /// assertions compare whole tables at once).
+    #[cfg(test)]
     #[inline]
     pub(crate) fn ws(&self) -> &[f64] {
         &self.ws
@@ -302,6 +262,209 @@ impl InterpBrackets {
     pub(crate) fn at(&self, node: usize, k: usize) -> Bracket {
         self.per_node[node * self.k_n + k]
     }
+}
+
+/// The Eq. 2 logical-masking weights `π_isj`, cached per
+/// `(node, reachable PO, successor)`. Both inputs (`S_is` from the static
+/// probabilities and `P_ij` from the sensitization matrix) depend only on
+/// the circuit's logic, so the cache survives every delay/size/cell
+/// delta — it is built once per circuit and shared by the batch pass and
+/// the incremental session.
+#[derive(Debug, Clone)]
+pub(crate) struct WeightCache {
+    /// Successor node indices per node (deduplicated, CSR layout).
+    succ_off: Vec<u32>,
+    succ_nodes: Vec<u32>,
+    /// Per-node offset into the per-(node, reachable-col) block table.
+    slot_off: Vec<usize>,
+    /// Per-slot offsets into `pis`; an empty block marks a column the
+    /// row kernel skips (`P_ij = 0` or all-zero weights).
+    blk_off: Vec<u32>,
+    pis: Vec<f64>,
+    /// PO column of each node (`u32::MAX` = not a primary output) —
+    /// logic-only like everything else here, so the row kernel's step
+    /// (ii) is a table lookup instead of an output-list scan.
+    po_col: Vec<u32>,
+}
+
+impl WeightCache {
+    pub(crate) fn build(circuit: &Circuit, probs: &[f64], pij: &SensitizationMatrix) -> Self {
+        let n = circuit.node_count();
+        let mut succ_off = Vec::with_capacity(n + 1);
+        let mut succ_nodes: Vec<u32> = Vec::new();
+        let mut slot_off = Vec::with_capacity(n + 1);
+        let mut blk_off: Vec<u32> = Vec::new();
+        let mut pis: Vec<f64> = Vec::new();
+        let mut po_col = vec![u32::MAX; n];
+        for (j, &po) in pij.outputs().iter().enumerate() {
+            po_col[po.index()] = j as u32;
+        }
+        succ_off.push(0u32);
+        slot_off.push(0usize);
+        blk_off.push(0u32);
+        for i in 0..n {
+            let id = NodeId::new(i);
+            let successors = successor_sensitizations(circuit, probs, id);
+            succ_nodes.extend(successors.iter().map(|&(s, _)| s.index() as u32));
+            succ_off.push(succ_nodes.len() as u32);
+            for &col in pij.reachable_columns(id) {
+                let j = col as usize;
+                let p_ij = pij.p(id, j);
+                if p_ij > 0.0 && !successors.is_empty() {
+                    let w = pi_weights(&successors, p_ij, |s| pij.p(s, j));
+                    if !w.iter().all(|&x| x == 0.0) {
+                        pis.extend(w);
+                    }
+                }
+                blk_off.push(pis.len() as u32);
+            }
+            slot_off.push(blk_off.len() - 1);
+        }
+        WeightCache {
+            succ_off,
+            succ_nodes,
+            slot_off,
+            blk_off,
+            pis,
+            po_col,
+        }
+    }
+
+    #[inline]
+    fn successors(&self, i: usize) -> &[u32] {
+        &self.succ_nodes[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
+    }
+
+    /// The weight block of node `i`'s `t`-th reachable column (empty when
+    /// the row kernel would skip that column).
+    #[inline]
+    fn block(&self, i: usize, t: usize) -> &[f64] {
+        let slot = self.slot_off[i] + t;
+        &self.pis[self.blk_off[slot] as usize..self.blk_off[slot + 1] as usize]
+    }
+}
+
+/// The single width-row kernel: everything needed to re-derive one
+/// node's `[k][j]` expected-width table from the cached weights, its
+/// successors' tables and the hoisted brackets. The batch pass applies
+/// it to every node (reverse topological); the incremental session to
+/// exactly the dirty rows.
+pub(crate) struct RowKernel<'a> {
+    pub(crate) weights: &'a WeightCache,
+    pub(crate) pij: &'a SensitizationMatrix,
+    pub(crate) brackets: &'a InterpBrackets,
+    pub(crate) grid: &'a [f64],
+    pub(crate) n_pos: usize,
+}
+
+impl RowKernel<'_> {
+    /// **The** width arithmetic: derives node `i`'s `[k][j]` row into
+    /// `row_buf` from the cached weights, the successors' rows in `ws`
+    /// and the hoisted brackets.
+    fn derive_row(&self, i: usize, ws: &[f64], row_buf: &mut [f64]) {
+        let k_n = self.grid.len();
+        let n_pos = self.n_pos;
+        let id = NodeId::new(i);
+        row_buf.fill(0.0);
+
+        // Step (ii): a primary output latches its own glitch verbatim.
+        let self_col = self.weights.po_col[i];
+        if self_col != u32::MAX {
+            for k in 0..k_n {
+                row_buf[k * n_pos + self_col as usize] = self.grid[k];
+            }
+        }
+
+        // Step (iii): propagate through successors via the cached π
+        // weights (applies to PO nodes that also feed logic — a strict
+        // generalization of the paper, reducing to it when POs are
+        // sinks). Columns outside the reachability list are structurally
+        // zero (`P_ij = 0`) and never visited.
+        let successors = self.weights.successors(i);
+        if !successors.is_empty() {
+            for (t, &col) in self.pij.reachable_columns(id).iter().enumerate() {
+                let j = col as usize;
+                let blk = self.weights.block(i, t);
+                if blk.is_empty() {
+                    continue;
+                }
+                for (k, slot) in row_buf.chunks_mut(n_pos).enumerate() {
+                    let mut sum = 0.0;
+                    for (&s, &pi_w) in successors.iter().zip(blk) {
+                        if pi_w == 0.0 {
+                            continue;
+                        }
+                        let b = self.brackets.at(s as usize, k);
+                        let s_base = s as usize * k_n * n_pos;
+                        let we =
+                            ws[s_base + b.off_lo + j] * b.w_lo + ws[s_base + b.off_hi + j] * b.w_hi;
+                        sum += pi_w * we;
+                    }
+                    slot[j] += sum;
+                }
+            }
+        }
+    }
+
+    /// Re-derives node `i`'s row in `ws` (the node-major `[k][j]`
+    /// storage), using `row_buf` (one row long) as scratch. Returns
+    /// whether the row changed at any bit — the incremental engine's
+    /// entry point (change detection gates its dirty propagation).
+    pub(crate) fn recompute_row(&self, i: usize, ws: &mut [f64], row_buf: &mut [f64]) -> bool {
+        self.derive_row(i, ws, row_buf);
+        let k_n = self.grid.len();
+        let base = i * k_n * self.n_pos;
+        let dst = &mut ws[base..base + k_n * self.n_pos];
+        if dst == row_buf {
+            false
+        } else {
+            dst.copy_from_slice(row_buf);
+            true
+        }
+    }
+
+    /// [`RowKernel::recompute_row`] without the change detection — the
+    /// full-dirty (batch / cold-start) passes know every row is being
+    /// written, so the bitwise compare would be pure overhead.
+    pub(crate) fn fill_row(&self, i: usize, ws: &mut [f64], row_buf: &mut [f64]) {
+        self.derive_row(i, ws, row_buf);
+        let k_n = self.grid.len();
+        let base = i * k_n * self.n_pos;
+        ws[base..base + k_n * self.n_pos].copy_from_slice(row_buf);
+    }
+}
+
+/// **The** full-dirty pass: builds the weight cache and hoisted
+/// brackets, then derives every node's row with the shared kernel in
+/// reverse topological order. Batch construction
+/// ([`ExpectedWidths::compute`]) keeps only the tables; a cold
+/// [`AnalysisSession`](crate::AnalysisSession) keeps all three pieces as
+/// its live caches — one orchestration, two consumers.
+pub(crate) fn full_width_state(
+    circuit: &Circuit,
+    probs: &[f64],
+    pij: &SensitizationMatrix,
+    delays: &[f64],
+    grid: Vec<f64>,
+    model: AttenuationModel,
+) -> (ExpectedWidths, WeightCache, InterpBrackets) {
+    let mut out = ExpectedWidths::zeroed(pij.outputs().to_vec(), grid, circuit.node_count());
+    let weights = WeightCache::build(circuit, probs, pij);
+    let brackets = InterpBrackets::new(&out.grid, delays, model, out.n_pos);
+    let mut row_buf = vec![0.0f64; out.grid.len() * out.n_pos];
+    {
+        let kernel = RowKernel {
+            weights: &weights,
+            pij,
+            brackets: &brackets,
+            grid: &out.grid,
+            n_pos: out.n_pos,
+        };
+        for &id in circuit.topological_order().iter().rev() {
+            kernel.fill_row(id.index(), &mut out.ws, &mut row_buf);
+        }
+    }
+    (out, weights, brackets)
 }
 
 /// Interpolates a node's `[k][j]` table along k at width `w` (clamped).

@@ -67,9 +67,8 @@ use ser_spice::GateParams;
 use crate::analysis::AsertaReport;
 use crate::binding::{timing_view, CircuitCells, LoadModel, TimingView};
 use crate::config::AsertaConfig;
-use crate::electrical::{ExpectedWidths, InterpBrackets};
+use crate::electrical::{ExpectedWidths, InterpBrackets, RowKernel, WeightCache};
 use crate::glitch::AttenuationModel;
-use crate::logical::{pi_weights, successor_sensitizations};
 
 /// What one [`AnalysisSession::set_cells`] /
 /// [`AnalysisSession::apply`] call actually recomputed — the observable
@@ -90,76 +89,6 @@ pub struct ApplyStats {
     /// Gates whose cell parameters *or* load changed — exactly the set a
     /// per-gate energy/area cache must refresh.
     pub energy_dirty: Vec<u32>,
-}
-
-/// The Eq. 2 logical-masking weights `π_isj`, cached per
-/// `(node, reachable PO, successor)`. Both inputs (`S_is` from the static
-/// probabilities and `P_ij` from the sensitization matrix) depend only on
-/// the circuit's logic, so the cache survives every delay/size/cell
-/// delta.
-#[derive(Debug, Clone)]
-struct WeightCache {
-    /// Successor node indices per node (deduplicated, CSR layout).
-    succ_off: Vec<u32>,
-    succ_nodes: Vec<u32>,
-    /// Per-node offset into the per-(node, reachable-col) block table.
-    slot_off: Vec<usize>,
-    /// Per-slot offsets into `pis`; an empty block marks a column the
-    /// batch pass skips (`P_ij = 0` or all-zero weights).
-    blk_off: Vec<u32>,
-    pis: Vec<f64>,
-}
-
-impl WeightCache {
-    fn build(circuit: &Circuit, probs: &[f64], pij: &SensitizationMatrix) -> Self {
-        let n = circuit.node_count();
-        let mut succ_off = Vec::with_capacity(n + 1);
-        let mut succ_nodes: Vec<u32> = Vec::new();
-        let mut slot_off = Vec::with_capacity(n + 1);
-        let mut blk_off: Vec<u32> = Vec::new();
-        let mut pis: Vec<f64> = Vec::new();
-        succ_off.push(0u32);
-        slot_off.push(0usize);
-        blk_off.push(0u32);
-        for i in 0..n {
-            let id = NodeId::new(i);
-            let successors = successor_sensitizations(circuit, probs, id);
-            succ_nodes.extend(successors.iter().map(|&(s, _)| s.index() as u32));
-            succ_off.push(succ_nodes.len() as u32);
-            for &col in pij.reachable_columns(id) {
-                let j = col as usize;
-                let p_ij = pij.p(id, j);
-                if p_ij > 0.0 && !successors.is_empty() {
-                    let w = pi_weights(&successors, p_ij, |s| pij.p(s, j));
-                    if !w.iter().all(|&x| x == 0.0) {
-                        pis.extend(w);
-                    }
-                }
-                blk_off.push(pis.len() as u32);
-            }
-            slot_off.push(blk_off.len() - 1);
-        }
-        WeightCache {
-            succ_off,
-            succ_nodes,
-            slot_off,
-            blk_off,
-            pis,
-        }
-    }
-
-    #[inline]
-    fn successors(&self, i: usize) -> &[u32] {
-        &self.succ_nodes[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
-    }
-
-    /// The weight block of node `i`'s `t`-th reachable column (empty when
-    /// the batch pass would skip that column).
-    #[inline]
-    fn block(&self, i: usize, t: usize) -> &[f64] {
-        let slot = self.slot_off[i] + t;
-        &self.pis[self.blk_off[slot] as usize..self.blk_off[slot + 1] as usize]
-    }
 }
 
 /// Reusable per-apply scratch state (kept allocated between moves).
@@ -258,13 +187,20 @@ impl<'c> AnalysisSession<'c> {
             generated[id.index()] = cell.glitch_width_at(timing.loads[id.index()], cfg.charge);
         }
 
+        // Width tables by the shared full-dirty pass: every row derived
+        // by the same kernel the incremental path applies to dirty rows
+        // only; the session keeps the weight cache and brackets alive as
+        // its caches.
         let grid = cfg.sample_width_grid();
-        let widths =
-            ExpectedWidths::compute(circuit, &static_probs, &pij, &timing.delays, grid.clone());
-        let n_pos = widths.outputs().len();
-        let brackets =
-            InterpBrackets::new(&grid, &timing.delays, AttenuationModel::PaperEq1, n_pos);
-        let weights = WeightCache::build(circuit, &static_probs, &pij);
+        let n_pos = pij.outputs().len();
+        let (widths, weights, brackets) = crate::electrical::full_width_state(
+            circuit,
+            &static_probs,
+            &pij,
+            &timing.delays,
+            grid.clone(),
+            AttenuationModel::PaperEq1,
+        );
 
         let mut per_gate_u = vec![0.0f64; n];
         for id in circuit.gates() {
@@ -378,6 +314,20 @@ impl<'c> AnalysisSession<'c> {
         }
     }
 
+    /// Consumes the session, moving its state into a classic
+    /// [`AsertaReport`] without cloning the tables — the tail of the
+    /// cold-start [`analyze`](crate::analyze) path.
+    pub fn into_report(self) -> AsertaReport {
+        AsertaReport {
+            unreliability: self.unreliability,
+            per_gate_unreliability: self.per_gate_u,
+            generated_widths: self.generated,
+            expected_widths: self.widths,
+            static_probs: self.static_probs,
+            timing: self.timing,
+        }
+    }
+
     /// Applies per-gate deltas (`(gate, new cell parameters)` pairs) and
     /// incrementally re-derives the analysis. No-op deltas (parameters
     /// equal to the current assignment) are skipped outright.
@@ -457,22 +407,54 @@ impl<'c> AnalysisSession<'c> {
                 continue;
             }
             stats.rows_recomputed += 1;
-            let changed = recompute_row(
-                i,
-                &self.weights,
-                &self.pij,
-                &self.brackets,
-                &self.grid,
-                self.n_pos,
-                &mut self.widths,
-                &mut scratch.row_buf,
-            );
+            let kernel = RowKernel {
+                weights: &self.weights,
+                pij: &self.pij,
+                brackets: &self.brackets,
+                grid: &self.grid,
+                n_pos: self.n_pos,
+            };
+            let changed = kernel.recompute_row(i, self.widths.ws_mut(), &mut scratch.row_buf);
             if changed {
                 scratch.row_changed.insert(i as u32);
                 scratch.u_dirty.insert(i as u32);
             }
         }
         stats.rows_changed = scratch.row_changed.len();
+        self.refresh_unreliability();
+        stats
+    }
+
+    /// Moves the session to a new injected strike charge (the corner
+    /// sweeps' flux/charge-spectrum axis). Charge feeds only the
+    /// generated glitch widths (the strike tables' operating point), so
+    /// timing, `P_ij` and the expected-width tables all survive — only
+    /// the per-gate widths and `U_i` terms of gates whose width actually
+    /// moved are re-derived. A no-op when `charge` equals the session's
+    /// current setting.
+    ///
+    /// The resulting state is bitwise identical to a fresh
+    /// [`analyze`](crate::analyze) at the new charge
+    /// ([`ApplyStats::gates_changed`] counts the gates whose generated
+    /// width moved).
+    pub fn set_charge(&mut self, charge: f64) -> ApplyStats {
+        let mut stats = ApplyStats::default();
+        if charge == self.cfg.charge {
+            return stats;
+        }
+        self.cfg.charge = charge;
+        self.scratch.u_dirty.clear();
+        for id in self.circuit.gates() {
+            let i = id.index();
+            let p = self.cells.get(id).expect("gates carry parameters");
+            let cell = self.library.get_or_characterize(p);
+            let w = cell.glitch_width_at(self.timing.loads[i], charge);
+            if w != self.generated[i] {
+                self.generated[i] = w;
+                self.scratch.u_dirty.insert(i as u32);
+                stats.gates_changed += 1;
+            }
+        }
         self.refresh_unreliability();
         stats
     }
@@ -623,16 +605,14 @@ impl<'c> AnalysisSession<'c> {
                 continue;
             }
             stats.rows_recomputed += 1;
-            let row_moved = recompute_row(
-                i,
-                &self.weights,
-                &self.pij,
-                &self.brackets,
-                &self.grid,
-                self.n_pos,
-                &mut self.widths,
-                &mut scratch.row_buf,
-            );
+            let kernel = RowKernel {
+                weights: &self.weights,
+                pij: &self.pij,
+                brackets: &self.brackets,
+                grid: &self.grid,
+                n_pos: self.n_pos,
+            };
+            let row_moved = kernel.recompute_row(i, self.widths.ws_mut(), &mut scratch.row_buf);
             if row_moved {
                 scratch.row_changed.insert(i as u32);
                 scratch.u_dirty.insert(i as u32);
@@ -689,70 +669,6 @@ impl<'c> AnalysisSession<'c> {
             }
         }
         self.critical_delay = worst;
-    }
-}
-
-/// Re-derives one node's `[k][j]` expected-width table from the cached
-/// weights, its successors' tables and the hoisted brackets — the exact
-/// arithmetic of the batch pass in
-/// [`ExpectedWidths::compute`], applied to a single row. Returns whether
-/// the row changed at any bit.
-#[allow(clippy::too_many_arguments)] // internal kernel, mirrors the batch pass inputs
-fn recompute_row(
-    i: usize,
-    weights: &WeightCache,
-    pij: &SensitizationMatrix,
-    brackets: &InterpBrackets,
-    grid: &[f64],
-    n_pos: usize,
-    widths: &mut ExpectedWidths,
-    row_buf: &mut [f64],
-) -> bool {
-    let k_n = grid.len();
-    let id = NodeId::new(i);
-    row_buf.fill(0.0);
-
-    // Step (ii): a primary output latches its own glitch verbatim.
-    if let Some(self_col) = pij.outputs().iter().position(|&po| po == id) {
-        for k in 0..k_n {
-            row_buf[k * n_pos + self_col] = grid[k];
-        }
-    }
-
-    // Step (iii): propagate through successors via the cached π weights.
-    let successors = weights.successors(i);
-    if !successors.is_empty() {
-        for (t, &col) in pij.reachable_columns(id).iter().enumerate() {
-            let j = col as usize;
-            let blk = weights.block(i, t);
-            if blk.is_empty() {
-                continue;
-            }
-            let ws = widths.ws();
-            for (k, slot) in row_buf.chunks_mut(n_pos).enumerate() {
-                let mut sum = 0.0;
-                for (&s, &pi_w) in successors.iter().zip(blk) {
-                    if pi_w == 0.0 {
-                        continue;
-                    }
-                    let b = brackets.at(s as usize, k);
-                    let s_base = s as usize * k_n * n_pos;
-                    let we =
-                        ws[s_base + b.off_lo + j] * b.w_lo + ws[s_base + b.off_hi + j] * b.w_hi;
-                    sum += pi_w * we;
-                }
-                slot[j] += sum;
-            }
-        }
-    }
-
-    let base = i * k_n * n_pos;
-    let dst = &mut widths.ws_mut()[base..base + k_n * n_pos];
-    if dst == row_buf {
-        false
-    } else {
-        dst.copy_from_slice(row_buf);
-        true
     }
 }
 
@@ -904,6 +820,30 @@ mod tests {
         let fresh = analyze(&c, session.cells(), &mut l, &pij, session.config());
         assert_eq!(session.expected_widths().ws(), fresh.expected_widths.ws());
         assert_eq!(session.unreliability(), fresh.unreliability);
+    }
+
+    #[test]
+    fn set_charge_matches_fresh_at_the_new_charge() {
+        let c = generate::sec32("s");
+        let mut session = AnalysisSession::new(&c, CircuitCells::nominal(&c), lib(), cfg());
+        let stats = session.set_charge(32.0e-15);
+        assert!(
+            stats.gates_changed > 0,
+            "a doubled charge must widen glitches"
+        );
+        // The oracle reads the session's own config, which now carries
+        // the new charge — so this compares against a fresh analysis at
+        // 32 fC.
+        assert_matches_fresh(&session);
+        // Same charge again: a strict no-op.
+        let again = session.set_charge(32.0e-15);
+        assert_eq!(again.gates_changed, 0);
+        // And charge composes with cell deltas.
+        let g = c.gates().next().unwrap();
+        let mut p = *session.cells().get(g).unwrap();
+        p.size = 4.0;
+        session.apply(&[(g, p)]);
+        assert_matches_fresh(&session);
     }
 
     #[test]

@@ -1,11 +1,16 @@
-//! CSR-based 64-way packed simulation kernels — the hot path.
+//! CSR-based 64-way packed simulation kernels — the **only**
+//! gate-evaluation implementation in the workspace.
 //!
-//! These kernels mirror the scalar reference implementations in
-//! [`crate::sim`] but run over a [`CsrView`]: gate kinds and adjacency
-//! live in flat `u32` arrays, and the overwhelmingly common 1- and
-//! 2-input gates are evaluated by specialized match arms with no per-gate
-//! heap traffic. The property test `csr_kernels_match_reference` (in the
-//! workspace test suite) pins them bit-for-bit to the reference path.
+//! Everything that evaluates logic runs through these kernels: the
+//! `P_ij` estimator's compiled cone programs ([`crate::sensitize`]),
+//! sampled signal probabilities ([`crate::probability`]), and the
+//! pointer-`Circuit` convenience wrappers in [`crate::sim`], which are
+//! thin shims that build a [`CsrView`] and forward here. Gate kinds and
+//! adjacency live in flat `u32` arrays, and the overwhelmingly common 1-
+//! and 2-input gates are evaluated by specialized match arms with no
+//! per-gate heap traffic. The workspace property suite
+//! (`tests/csr_hot_path_equiv.rs`) pins the kernels bit-for-bit against
+//! independent in-test scalar references.
 
 use ser_netlist::csr::CsrView;
 use ser_netlist::GateKind;
@@ -62,8 +67,10 @@ fn eval_gate(kind: GateKind, fanin: &[u32], words: &[u64]) -> u64 {
 /// Evaluates the whole circuit for one word of 64 input vectors, writing
 /// one word per node into `words`.
 ///
-/// CSR twin of [`crate::sim::eval_word`], with which it agrees bit for
-/// bit.
+/// This is the canonical full-circuit evaluation;
+/// [`crate::sim::eval_word`] is a convenience shim over it, and the
+/// workspace property suite pins it against an independent scalar
+/// reference.
 ///
 /// # Panics
 ///
@@ -94,8 +101,6 @@ pub fn eval_word(csr: &CsrView, pi_words: &[u64], words: &mut [u64]) {
 /// cone (as produced by [`ser_netlist::csr::ConeArena::cone`]) and
 /// `scratch` must start as a copy of the base evaluation.
 ///
-/// CSR twin of [`crate::sim::eval_cone_forced`].
-///
 /// # Panics
 ///
 /// Panics if `cone` is empty.
@@ -108,12 +113,90 @@ pub fn eval_cone_forced(csr: &CsrView, cone: &[u32], forced: u64, scratch: &mut 
     }
 }
 
+/// Evaluates the whole circuit with the flagged nodes **forced to the
+/// complement of their fault-free value** — the multi-node upset kernel
+/// (the paper's c499 discussion of simultaneous multiple-error
+/// injection). `golden` must hold the fault-free evaluation of the same
+/// `pi_words` (see [`eval_word`]); `flip` holds one flag per node.
+///
+/// A flagged node is forced *after* its own evaluation, so upsets also
+/// apply to primary inputs and to nodes inside other upsets' cones.
+///
+/// # Panics
+///
+/// Panics if `pi_words`, `golden`, `flip` or `words` have the wrong
+/// length.
+pub fn eval_word_with_flips(
+    csr: &CsrView,
+    pi_words: &[u64],
+    golden: &[u64],
+    flip: &[bool],
+    words: &mut [u64],
+) {
+    assert_eq!(
+        pi_words.len(),
+        csr.inputs().len(),
+        "one word per primary input"
+    );
+    assert_eq!(golden.len(), csr.node_count(), "one golden word per node");
+    assert_eq!(flip.len(), csr.node_count(), "one flip flag per node");
+    assert_eq!(words.len(), csr.node_count(), "one word per node");
+    for (k, &pi) in csr.inputs().iter().enumerate() {
+        words[pi as usize] = pi_words[k];
+    }
+    for &id in csr.topo() {
+        let i = id as usize;
+        let kind = csr.kind(i);
+        if !kind.is_input() {
+            words[i] = eval_gate(kind, csr.fanin_of(i), words);
+        }
+        if flip[i] {
+            words[i] = !golden[i];
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sim;
     use ser_netlist::csr::ConeArena;
     use ser_netlist::generate::{self, LayeredSpec};
+    use ser_netlist::{Circuit, NodeId};
+
+    /// Independent scalar reference over the pointer circuit —
+    /// deliberately *not* the production kernels (which `crate::sim` now
+    /// forwards to), so these tests stay a real oracle.
+    fn ref_gate(kind: GateKind, pins: &[u64]) -> u64 {
+        let mut it = pins.iter().copied();
+        let first = it.next().expect("gates have at least one fan-in");
+        match kind {
+            GateKind::And => it.fold(first, |a, w| a & w),
+            GateKind::Nand => !it.fold(first, |a, w| a & w),
+            GateKind::Or => it.fold(first, |a, w| a | w),
+            GateKind::Nor => !it.fold(first, |a, w| a | w),
+            GateKind::Xor => it.fold(first, |a, w| a ^ w),
+            GateKind::Xnor => !it.fold(first, |a, w| a ^ w),
+            GateKind::Not => !first,
+            GateKind::Buf => first,
+            GateKind::Input => unreachable!("inputs carry no function"),
+        }
+    }
+
+    fn ref_eval_word(c: &Circuit, pi_words: &[u64]) -> Vec<u64> {
+        let mut words = vec![0u64; c.node_count()];
+        for (k, &pi) in c.primary_inputs().iter().enumerate() {
+            words[pi.index()] = pi_words[k];
+        }
+        for &id in c.topological_order() {
+            let node = c.node(id);
+            if node.is_input() {
+                continue;
+            }
+            let pins: Vec<u64> = node.fanin.iter().map(|f| words[f.index()]).collect();
+            words[id.index()] = ref_gate(node.kind, &pins);
+        }
+        words
+    }
 
     #[test]
     fn csr_eval_matches_reference_on_c17() {
@@ -123,7 +206,7 @@ mod tests {
         let pi_words: Vec<u64> = (0..n as u64)
             .map(|k| 0x9E3779B97F4A7C15 ^ (k * 31))
             .collect();
-        let want = sim::eval_word(&c, &pi_words);
+        let want = ref_eval_word(&c, &pi_words);
         let mut got = vec![0u64; c.node_count()];
         eval_word(&csr, &pi_words, &mut got);
         assert_eq!(got, want);
@@ -138,7 +221,7 @@ mod tests {
         let pi_words: Vec<u64> = (0..n as u64)
             .map(|k| 0xDEADBEEF ^ (k * 0x5DEECE66D))
             .collect();
-        let want = sim::eval_word(&c, &pi_words);
+        let want = ref_eval_word(&c, &pi_words);
         let mut got = vec![0u64; c.node_count()];
         eval_word(&csr, &pi_words, &mut got);
         assert_eq!(got, want);
@@ -151,11 +234,24 @@ mod tests {
         let arena = ConeArena::build(&csr);
         let n = c.primary_inputs().len();
         let pi_words: Vec<u64> = (0..n as u64).map(|k| 0xCAFEF00D ^ (k * 97)).collect();
-        let base = sim::eval_word(&c, &pi_words);
+        let base = ref_eval_word(&c, &pi_words);
         for root in c.node_ids() {
-            let cone_ref = ser_netlist::cone::fanout_cone(&c, root);
-            let mut want = base.clone();
-            sim::eval_cone_forced(&c, &cone_ref, root, !base[root.index()], &mut want);
+            // Reference: full re-evaluation with the root forced at its
+            // topological step.
+            let mut want = vec![0u64; c.node_count()];
+            for (k, &pi) in c.primary_inputs().iter().enumerate() {
+                want[pi.index()] = pi_words[k];
+            }
+            for &id in c.topological_order() {
+                let node = c.node(id);
+                if !node.is_input() {
+                    let pins: Vec<u64> = node.fanin.iter().map(|f| want[f.index()]).collect();
+                    want[id.index()] = ref_gate(node.kind, &pins);
+                }
+                if id == root {
+                    want[id.index()] = !base[root.index()];
+                }
+            }
             let mut got = base.clone();
             eval_cone_forced(
                 &csr,
@@ -163,7 +259,48 @@ mod tests {
                 !base[root.index()],
                 &mut got,
             );
-            assert_eq!(got, want, "root {root}");
+            // Outside the cone `got` keeps base values; inside it must
+            // match the forced re-evaluation.
+            for id in c.node_ids() {
+                if arena.cone(root.index()).contains(&(id.index() as u32)) {
+                    assert_eq!(got[id.index()], want[id.index()], "root {root} node {id}");
+                } else {
+                    assert_eq!(got[id.index()], base[id.index()], "root {root} node {id}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flip_kernel_matches_reference() {
+        let c = generate::layered(&LayeredSpec::new("k", 6, 3, 40));
+        let csr = CsrView::build(&c);
+        let n = c.primary_inputs().len();
+        let pi_words: Vec<u64> = (0..n as u64).map(|k| 0xABCDEF ^ (k * 1301)).collect();
+        let golden = ref_eval_word(&c, &pi_words);
+        let gates: Vec<NodeId> = c.node_ids().collect();
+        for pair in gates.windows(2).step_by(7) {
+            let mut flip = vec![false; c.node_count()];
+            flip[pair[0].index()] = true;
+            flip[pair[1].index()] = true;
+            // Reference: forced complements folded into the scalar pass.
+            let mut want = vec![0u64; c.node_count()];
+            for (k, &pi) in c.primary_inputs().iter().enumerate() {
+                want[pi.index()] = pi_words[k];
+            }
+            for &id in c.topological_order() {
+                let node = c.node(id);
+                if !node.is_input() {
+                    let pins: Vec<u64> = node.fanin.iter().map(|f| want[f.index()]).collect();
+                    want[id.index()] = ref_gate(node.kind, &pins);
+                }
+                if flip[id.index()] {
+                    want[id.index()] = !golden[id.index()];
+                }
+            }
+            let mut got = vec![0u64; c.node_count()];
+            eval_word_with_flips(&csr, &pi_words, &golden, &flip, &mut got);
+            assert_eq!(got, want, "flips {pair:?}");
         }
     }
 

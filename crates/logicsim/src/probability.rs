@@ -5,10 +5,11 @@
 //! approximation under reconvergence (where the sampled estimate is the
 //! asymptotically exact alternative).
 
+use ser_netlist::csr::CsrView;
 use ser_netlist::{Circuit, GateKind};
 
+use crate::kernel;
 use crate::random::random_word;
-use crate::sim::eval_word;
 
 /// Analytic propagation with all primary inputs at probability `pi_prob`
 /// and fan-ins treated as independent.
@@ -65,15 +66,18 @@ fn xor_prob(a: f64, b: f64) -> f64 {
 
 /// Monte-Carlo estimate over `n_vectors` random vectors (rounded up to a
 /// multiple of 64), PI probability 0.5, deterministic in `seed`. Exact in
-/// the limit even under reconvergent fan-out.
+/// the limit even under reconvergent fan-out. Runs on the CSR kernels
+/// (the circuit is flattened once, not per word).
 pub fn static_probabilities_sampled(circuit: &Circuit, n_vectors: usize, seed: u64) -> Vec<f64> {
     assert!(n_vectors > 0, "need at least one vector");
     let n_words = n_vectors.div_ceil(64);
     let n_pi = circuit.primary_inputs().len();
+    let csr = CsrView::build(circuit);
+    let mut words = vec![0u64; circuit.node_count()];
     let mut ones = vec![0u64; circuit.node_count()];
     for w in 0..n_words {
         let pi_words = random_word(n_pi, 0.5, seed.wrapping_add(w as u64));
-        let words = eval_word(circuit, &pi_words);
+        kernel::eval_word(&csr, &pi_words, &mut words);
         for (acc, word) in ones.iter_mut().zip(&words) {
             *acc += word.count_ones() as u64;
         }

@@ -1,19 +1,38 @@
-//! 64-way packed zero-delay simulation kernels — the scalar reference
-//! path.
+//! Pointer-`Circuit` compatibility shims over the CSR simulation
+//! kernels.
 //!
-//! These walk the pointer-rich [`Circuit`] directly and dispatch through
-//! [`GateKind::eval_packed`](ser_netlist::GateKind::eval_packed). The
-//! hot paths (notably [`crate::sensitize`]) run the CSR twins in
-//! [`crate::kernel`] instead; the two are kept bit-for-bit equivalent by
-//! unit and property tests, which is why this reference implementation
-//! stays.
+//! Since the single-engine consolidation, **all** gate evaluation lives
+//! in [`crate::kernel`] and runs over a [`CsrView`]; the pointer-rich
+//! [`Circuit`] is a build/IO frontend only. The functions here keep the
+//! historical convenience signatures for one-off calls and tests — each
+//! flattens the circuit (`O(V + E)`) and forwards to the kernel, so
+//! callers evaluating in a loop should build a `CsrView` once and use
+//! [`crate::kernel`] directly:
+//!
+//! ```
+//! use ser_logicsim::kernel;
+//! use ser_netlist::csr::CsrView;
+//! use ser_netlist::generate;
+//!
+//! let c17 = generate::c17();
+//! let csr = CsrView::build(&c17); // once, outside the loop
+//! let words: Vec<u64> = vec![0b10; 5];
+//! let mut out = vec![0u64; c17.node_count()];
+//! kernel::eval_word(&csr, &words, &mut out);
+//! ```
 
+use ser_netlist::csr::CsrView;
 use ser_netlist::{Circuit, NodeId};
+
+use crate::kernel;
 
 /// Evaluates the whole circuit for one word of 64 input vectors.
 ///
 /// `pi_words[k]` carries vector bits for the `k`-th primary input (in
 /// declaration order). Returns one word per node.
+///
+/// Convenience shim: flattens the circuit and forwards to
+/// [`kernel::eval_word`]. Hot loops should flatten once instead.
 ///
 /// # Panics
 ///
@@ -22,44 +41,36 @@ use ser_netlist::{Circuit, NodeId};
 /// # Example
 ///
 /// ```
-/// use ser_logicsim::sim;
+/// use ser_logicsim::kernel;
+/// use ser_netlist::csr::CsrView;
 /// use ser_netlist::generate;
 ///
 /// let c17 = generate::c17();
+/// // The CSR kernel is the real entry point; build the view once.
+/// let csr = CsrView::build(&c17);
 /// // Two vectors in one word: all-zeros (bit 0) and all-ones (bit 1).
 /// let words: Vec<u64> = vec![0b10; 5];
-/// let out = sim::eval_word(&c17, &words);
+/// let mut out = vec![0u64; c17.node_count()];
+/// kernel::eval_word(&csr, &words, &mut out);
 /// let g10 = c17.find("10").unwrap(); // 10 = NAND(1, 3)
 /// assert_eq!(out[g10.index()] & 0b11, 0b01); // NAND(0,0)=1, NAND(1,1)=0
+/// // The shim agrees by construction.
+/// assert_eq!(ser_logicsim::sim::eval_word(&c17, &words), out);
 /// ```
 pub fn eval_word(circuit: &Circuit, pi_words: &[u64]) -> Vec<u64> {
-    assert_eq!(
-        pi_words.len(),
-        circuit.primary_inputs().len(),
-        "one word per primary input"
-    );
+    let csr = CsrView::build(circuit);
     let mut words = vec![0u64; circuit.node_count()];
-    for (k, &pi) in circuit.primary_inputs().iter().enumerate() {
-        words[pi.index()] = pi_words[k];
-    }
-    let mut pins: Vec<u64> = Vec::with_capacity(8);
-    for &id in circuit.topological_order() {
-        let node = circuit.node(id);
-        if node.is_input() {
-            continue;
-        }
-        pins.clear();
-        pins.extend(node.fanin.iter().map(|f| words[f.index()]));
-        words[id.index()] = node.kind.eval_packed(&pins);
-    }
+    kernel::eval_word(&csr, pi_words, &mut words);
     words
 }
 
 /// Re-evaluates only the fan-out cone of `root` after forcing its word to
 /// `forced`, writing updated values into `scratch` (which must start as a
-/// copy of the base evaluation). Returns nothing; `scratch` holds the
-/// perturbed state. `cone` must be `root`'s fan-out cone in topological
-/// order (see [`ser_netlist::cone::fanout_cone`]).
+/// copy of the base evaluation). `cone` must be `root`'s fan-out cone in
+/// topological order (see [`ser_netlist::cone::fanout_cone`]).
+///
+/// Convenience shim over [`kernel::eval_cone_forced`]; the `P_ij`
+/// estimator uses the arena-backed kernel path directly.
 pub fn eval_cone_forced(
     circuit: &Circuit,
     cone: &[NodeId],
@@ -67,17 +78,17 @@ pub fn eval_cone_forced(
     forced: u64,
     scratch: &mut [u64],
 ) {
-    scratch[root.index()] = forced;
-    let mut pins: Vec<u64> = Vec::with_capacity(8);
-    for &id in cone {
-        if id == root {
-            continue;
-        }
-        let node = circuit.node(id);
-        pins.clear();
-        pins.extend(node.fanin.iter().map(|f| scratch[f.index()]));
-        scratch[id.index()] = node.kind.eval_packed(&pins);
-    }
+    let csr = CsrView::build(circuit);
+    // The kernel wants an inclusive root-first cone; accept the looser
+    // historical contract (root anywhere, or absent) by normalizing.
+    let mut flat = Vec::with_capacity(cone.len() + 1);
+    flat.push(root.index() as u32);
+    flat.extend(
+        cone.iter()
+            .filter(|&&id| id != root)
+            .map(|id| id.index() as u32),
+    );
+    kernel::eval_cone_forced(&csr, &flat, forced, scratch);
 }
 
 /// Evaluates a single boolean vector (convenience wrapper over the packed
@@ -97,36 +108,25 @@ pub fn eval_vector(circuit: &Circuit, pi_values: &[bool]) -> Vec<bool> {
 ///
 /// Returns `(faulty_values, corrupted_outputs)`: the full node valuation
 /// under the flips and the primary outputs whose value changed.
+///
+/// Convenience shim over [`kernel::eval_word_with_flips`].
 pub fn eval_with_flips(
     circuit: &Circuit,
     pi_values: &[bool],
     flipped: &[NodeId],
 ) -> (Vec<bool>, Vec<NodeId>) {
+    let csr = CsrView::build(circuit);
     let words: Vec<u64> = pi_values.iter().map(|&b| if b { 1 } else { 0 }).collect();
-    let golden = eval_word(circuit, &words);
+    let mut golden = vec![0u64; circuit.node_count()];
+    kernel::eval_word(&csr, &words, &mut golden);
 
-    let mut faulty = vec![0u64; circuit.node_count()];
-    for (i, &pi) in circuit.primary_inputs().iter().enumerate() {
-        faulty[pi.index()] = words[i];
-    }
-    // Precomputed membership mask: O(nodes + flips) instead of a
-    // `flipped.contains` scan per node.
     let mut flip = vec![false; circuit.node_count()];
     for &id in flipped {
         flip[id.index()] = true;
     }
-    let mut pins: Vec<u64> = Vec::with_capacity(8);
-    for &id in circuit.topological_order() {
-        let node = circuit.node(id);
-        if !node.is_input() {
-            pins.clear();
-            pins.extend(node.fanin.iter().map(|f| faulty[f.index()]));
-            faulty[id.index()] = node.kind.eval_packed(&pins);
-        }
-        if flip[id.index()] {
-            faulty[id.index()] = !golden[id.index()];
-        }
-    }
+    let mut faulty = vec![0u64; circuit.node_count()];
+    kernel::eval_word_with_flips(&csr, &words, &golden, &flip, &mut faulty);
+
     let corrupted: Vec<NodeId> = circuit
         .primary_outputs()
         .iter()
@@ -181,24 +181,12 @@ mod tests {
             let cone = fanout_cone(&c, root);
             let mut scratch = base.clone();
             eval_cone_forced(&c, &cone, root, !base[root.index()], &mut scratch);
-            // Verify against brute force: a circuit where `root` evaluates
-            // to the complement — emulate by full evaluation with root
-            // forced at every topological step.
-            let mut truth = vec![0u64; c.node_count()];
-            for (k, &pi) in c.primary_inputs().iter().enumerate() {
-                truth[pi.index()] = words[k];
-            }
-            for &id in c.topological_order() {
-                let node = c.node(id);
-                if node.is_input() {
-                    continue;
-                }
-                let pins: Vec<u64> = node.fanin.iter().map(|f| truth[f.index()]).collect();
-                truth[id.index()] = node.kind.eval_packed(&pins);
-                if id == root {
-                    truth[id.index()] = !base[root.index()];
-                }
-            }
+            // Brute-force truth: evaluate the whole circuit via the flip
+            // machinery (root forced to its complement).
+            let mut truth = base.clone();
+            let mut flip = vec![false; c.node_count()];
+            flip[root.index()] = true;
+            kernel::eval_word_with_flips(&CsrView::build(&c), &words, &base, &flip, &mut truth);
             for id in c.node_ids() {
                 assert_eq!(
                     scratch[id.index()],

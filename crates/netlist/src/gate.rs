@@ -115,31 +115,6 @@ impl GateKind {
         }
     }
 
-    /// Evaluates the gate over 64-way packed fan-in words (one bit per
-    /// vector), the kernel of the bit-parallel logic simulator.
-    ///
-    /// # Panics
-    ///
-    /// Panics under the same conditions as [`GateKind::eval`].
-    pub fn eval_packed(self, inputs: &[u64]) -> u64 {
-        assert!(
-            self.arity_ok(inputs.len()),
-            "gate kind {self} cannot take {} inputs",
-            inputs.len()
-        );
-        match self {
-            GateKind::Input => panic!("primary inputs have no logic function"),
-            GateKind::And => inputs.iter().fold(!0u64, |acc, &w| acc & w),
-            GateKind::Nand => !inputs.iter().fold(!0u64, |acc, &w| acc & w),
-            GateKind::Or => inputs.iter().fold(0u64, |acc, &w| acc | w),
-            GateKind::Nor => !inputs.iter().fold(0u64, |acc, &w| acc | w),
-            GateKind::Xor => inputs.iter().fold(0u64, |acc, &w| acc ^ w),
-            GateKind::Xnor => !inputs.iter().fold(0u64, |acc, &w| acc ^ w),
-            GateKind::Not => !inputs[0],
-            GateKind::Buf => inputs[0],
-        }
-    }
-
     /// Returns `true` if a gate of this kind may have `n` fan-ins.
     ///
     /// NOT and BUF are strictly unary; every other gate requires at least
@@ -282,33 +257,6 @@ mod tests {
         assert!(!GateKind::Not.eval(&[true]));
         assert!(GateKind::Buf.eval(&[true]));
         assert!(!GateKind::Buf.eval(&[false]));
-    }
-
-    #[test]
-    fn eval_packed_matches_eval() {
-        for kind in [
-            GateKind::And,
-            GateKind::Nand,
-            GateKind::Or,
-            GateKind::Nor,
-            GateKind::Xor,
-            GateKind::Xnor,
-        ] {
-            for bits in 0..8u64 {
-                let a = bits & 1 != 0;
-                let b = bits & 2 != 0;
-                let c = bits & 4 != 0;
-                let words = [
-                    if a { !0 } else { 0 },
-                    if b { !0 } else { 0 },
-                    if c { !0 } else { 0 },
-                ];
-                let packed = kind.eval_packed(&words);
-                let scalar = kind.eval(&[a, b, c]);
-                assert_eq!(packed == !0, scalar, "{kind}({a},{b},{c})");
-                assert!(packed == 0 || packed == !0);
-            }
-        }
     }
 
     #[test]

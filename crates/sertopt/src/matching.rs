@@ -60,6 +60,13 @@ impl MatchingConfig {
 /// baseline exactly — the fixed point SERTOPT's zero-move must land on.
 /// Refinement passes then re-anchor on the previous pass's result.
 ///
+/// Single-engine note: this is a thin wrapper that compiles a
+/// [`MatchPlan`] and applies it once — there is no separate fresh
+/// matching implementation. Callers matching repeatedly should build the
+/// plan themselves and call [`MatchPlan::realize`] per target vector.
+/// The `matching` test module pins the wrapper bitwise against the
+/// pre-consolidation implementation.
+///
 /// Returns the realized assignment. The caller can obtain the realized
 /// delays via [`aserta::timing_view`]; they differ from the targets by
 /// the library's quantization (the paper: "the timing constraint might
@@ -71,155 +78,27 @@ pub fn match_delays(
     cfg: &MatchingConfig,
     reference: Option<&CircuitCells>,
 ) -> CircuitCells {
-    assert_eq!(
-        target_delays.len(),
-        circuit.node_count(),
-        "one target delay per node"
-    );
-    // Ensure every needed variant exists (bulk, parallel).
-    let spec = cfg.allowed.library_spec(circuit);
-    library.characterize_spec(&spec, 0);
-
-    let mut cells = match reference {
-        Some(reference) => {
-            let tv = aserta::timing_view(
-                circuit,
-                reference,
-                library,
-                cfg.load_model,
-                cfg.assumed_ramp,
-            );
-            one_pass(
-                circuit,
-                target_delays,
-                library,
-                cfg,
-                &tv.in_ramps,
-                Some(&tv.loads),
-            )
-        }
-        None => {
-            let ramps = vec![cfg.assumed_ramp; circuit.node_count()];
-            one_pass(circuit, target_delays, library, cfg, &ramps, None)
-        }
-    };
-    for _ in 0..cfg.refine_passes {
-        // Re-anchor on the current assignment, then re-match.
-        let tv = aserta::timing_view(circuit, &cells, library, cfg.load_model, cfg.assumed_ramp);
-        cells = one_pass(
-            circuit,
-            target_delays,
-            library,
-            cfg,
-            &tv.in_ramps,
-            Some(&tv.loads),
-        );
-    }
-    cells
+    MatchPlan::build(circuit, library, cfg, reference).realize(circuit, target_delays)
 }
 
-fn one_pass(
-    circuit: &Circuit,
-    target_delays: &[f64],
-    library: &mut Library,
-    cfg: &MatchingConfig,
-    in_ramps: &[f64],
-    fixed_loads: Option<&[f64]>,
-) -> CircuitCells {
-    let mut cells = CircuitCells::nominal(circuit);
-    let mut chosen_vdd: Vec<f64> = vec![f64::NAN; circuit.node_count()];
-
-    let order: Vec<NodeId> = circuit.topological_order().to_vec();
-    for &id in order.iter().rev() {
-        let node = circuit.node(id);
-        if node.is_input() {
-            continue;
-        }
-        // Load from the anchor assignment, or from already-chosen
-        // successors when matching from scratch.
-        let load = match fixed_loads {
-            Some(loads) => loads[id.index()],
-            None => {
-                let mut load = 0.0;
-                for &s in circuit.fanout(id) {
-                    load += cfg.load_model.wire_cap_per_pin;
-                    if let Some(p) = cells.get(s) {
-                        load += library.get_or_characterize(p).input_cap;
-                    }
-                }
-                if circuit.is_primary_output(id) {
-                    load += cfg.load_model.po_load;
-                }
-                load
-            }
-        };
-        // VDD floor: no low-VDD gate may drive a high-VDD gate.
-        let vdd_floor = circuit
-            .fanout(id)
-            .iter()
-            .filter_map(|&s| {
-                let v = chosen_vdd[s.index()];
-                if v.is_nan() {
-                    None
-                } else {
-                    Some(v)
-                }
-            })
-            .fold(0.0, f64::max);
-
-        let target = target_delays[id.index()];
-        let ramp = in_ramps[id.index()];
-        let mut best: Option<(f64, GateParams)> = None;
-        for &size in &cfg.allowed.sizes {
-            for &l in &cfg.allowed.lengths_nm {
-                for &vdd in &cfg.allowed.vdds {
-                    if vdd + 1e-12 < vdd_floor {
-                        continue;
-                    }
-                    for &vth in &cfg.allowed.vths {
-                        let p = GateParams::new(node.kind, node.fanin.len())
-                            .with_size(size)
-                            .with_length(l)
-                            .with_vdd(vdd)
-                            .with_vth(vth);
-                        let cell = library.get_or_characterize(&p);
-                        let d = cell.delay_at(load, ramp);
-                        let e_norm = cell.leak_power * 1e9 + cell.dynamic_energy(load) * 1e12;
-                        let score = (d - target).abs() + cfg.energy_tiebreak * e_norm * 1.0e-12;
-                        let better = match &best {
-                            Some((s, _)) => score < *s,
-                            None => true,
-                        };
-                        if better {
-                            best = Some((score, p));
-                        }
-                    }
-                }
-            }
-        }
-        let (_, p) = best.expect("allowed grid is non-empty and VDD floor is satisfiable");
-        chosen_vdd[id.index()] = p.vdd;
-        cells.set(id, p);
-    }
-    cells
-}
-
-/// A precompiled matcher for the optimizer inner loop: the reference
-/// anchor's per-gate loads/ramps, every allowed candidate's pass-1 delay
-/// and energy tie-break, and the characterized cells themselves are
-/// folded into flat tables **once**, so realizing a delay assignment
-/// never touches the library — no hashing, no characterization, no
-/// `&mut` anywhere.
+/// A precompiled matcher — the **only** matching engine (the fresh
+/// [`match_delays`] wrapper compiles a plan and applies it once): every
+/// allowed candidate's parameters and characterized cell are folded into
+/// flat tables, so realizing a delay assignment never touches the
+/// library — no hashing, no characterization, no `&mut` anywhere.
 ///
-/// [`MatchPlan::realize`] reproduces [`match_delays`] with the same
-/// `reference` anchor and `refine_passes` **bit for bit**: pass 1 scans
-/// the precomputed anchor tables; each refinement pass re-derives the
-/// loads/ramps of the previous pass's choices from the pooled cells
-/// (exactly [`aserta::timing_view`]'s arithmetic) and re-scans with
-/// live lookups. Candidates are enumerated in the same grid order,
-/// scored with the same expression and compared with the same strict
-/// `<`, and the VDD-monotonicity floor is enforced in the same reverse
-/// topological sweep.
+/// With a `reference` anchor the pass-1 loads/ramps come from the
+/// reference assignment's timing view and every candidate's pass-1
+/// delay/tie-break is precomputed; without one, pass 1 matches "from
+/// scratch", deriving each gate's load from the successors already
+/// chosen in the same reverse-topological sweep. Each refinement pass
+/// re-derives the loads/ramps of the previous pass's choices from the
+/// pooled cells (exactly [`aserta::timing_view`]'s arithmetic) and
+/// re-scans with live lookups. Candidates are enumerated in the fixed
+/// grid order, scored with one shared expression and compared with
+/// strict `<`, and the VDD-monotonicity floor is enforced in the same
+/// reverse topological sweep — the `matching` test module pins both
+/// anchor modes bitwise against the pre-consolidation implementation.
 #[derive(Debug, Clone)]
 pub struct MatchPlan {
     /// Gate nodes in reverse topological order (primary inputs skipped).
@@ -227,41 +106,63 @@ pub struct MatchPlan {
     /// Per-node candidate table offsets (`n + 1`; empty for inputs).
     cand_off: Vec<u32>,
     cand_params: Vec<GateParams>,
-    /// Candidate delay at the gate's pass-1 anchored (load, ramp).
+    /// Candidate delay at the gate's pass-1 anchored (load, ramp); empty
+    /// when the plan was built without a reference.
     cand_delay: Vec<f64>,
-    /// `energy_tiebreak * e_norm * 1e-12` at the pass-1 anchor.
+    /// `energy_tiebreak * e_norm * 1e-12` at the pass-1 anchor; empty
+    /// when the plan was built without a reference.
     cand_tiebreak: Vec<f64>,
     /// Pool index of each candidate's characterized cell.
     cand_cell: Vec<u32>,
     /// One characterized cell per (template, grid point) — shared by all
     /// gates of the same template.
     pool: Vec<CharacterizedCell>,
+    /// Whether pass 1 reads the precomputed anchor tables (`true`) or
+    /// matches from scratch (`false`).
+    anchored: bool,
     refine_passes: usize,
     load_model: LoadModel,
     assumed_ramp: f64,
     energy_tiebreak: f64,
 }
 
+/// How one matching pass derives each gate's (load, ramp) operating
+/// point.
+#[derive(Clone, Copy)]
+enum ScanMode<'a> {
+    /// Pass 1 with a reference anchor: read the precompiled tables.
+    Anchored,
+    /// Pass 1 without a reference: loads from the successors chosen so
+    /// far in the same reverse-topological sweep, ramps at the assumed
+    /// value.
+    Scratch,
+    /// Refinement: the `(loads, in_ramps)` of the previous pass's
+    /// choices.
+    Timing(&'a [f64], &'a [f64]),
+}
+
 impl MatchPlan {
     /// Compiles the plan: characterizes the allowed grid (bulk,
-    /// parallel), anchors pass-1 loads/ramps on `reference`'s timing
-    /// view, tabulates every candidate's delay/tie-break and pools the
-    /// cells the refinement passes will interrogate.
+    /// parallel), pools the cells every pass interrogates and — when a
+    /// `reference` is given — anchors pass-1 loads/ramps on its timing
+    /// view and tabulates every candidate's delay/tie-break.
     pub fn build(
         circuit: &Circuit,
         library: &mut Library,
         cfg: &MatchingConfig,
-        reference: &CircuitCells,
+        reference: Option<&CircuitCells>,
     ) -> Self {
         let spec = cfg.allowed.library_spec(circuit);
         library.characterize_spec(&spec, 0);
-        let tv = aserta::timing_view(
-            circuit,
-            reference,
-            library,
-            cfg.load_model,
-            cfg.assumed_ramp,
-        );
+        let anchor = reference.map(|reference| {
+            aserta::timing_view(
+                circuit,
+                reference,
+                library,
+                cfg.load_model,
+                cfg.assumed_ramp,
+            )
+        });
 
         let n = circuit.node_count();
         let per_gate = cfg.allowed.variants_per_template();
@@ -288,16 +189,17 @@ impl MatchPlan {
                         base
                     }
                 };
-                let load = tv.loads[id.index()];
-                let ramp = tv.in_ramps[id.index()];
                 for (k, p) in grid_points(&cfg.allowed, node.kind, node.fanin.len()).enumerate() {
                     let cell = &pool[base as usize + k];
                     debug_assert_eq!(cell.params, p);
-                    let e_norm = cell.leak_power * 1e9 + cell.dynamic_energy(load) * 1e12;
                     cand_params.push(p);
-                    cand_delay.push(cell.delay_at(load, ramp));
-                    cand_tiebreak.push(cfg.energy_tiebreak * e_norm * 1.0e-12);
                     cand_cell.push(base + k as u32);
+                    if let Some(tv) = &anchor {
+                        let load = tv.loads[id.index()];
+                        let e_norm = cell.leak_power * 1e9 + cell.dynamic_energy(load) * 1e12;
+                        cand_delay.push(cell.delay_at(load, tv.in_ramps[id.index()]));
+                        cand_tiebreak.push(cfg.energy_tiebreak * e_norm * 1.0e-12);
+                    }
                 }
             }
             cand_off.push(cand_params.len() as u32);
@@ -318,6 +220,7 @@ impl MatchPlan {
             cand_tiebreak,
             cand_cell,
             pool,
+            anchored: anchor.is_some(),
             refine_passes: cfg.refine_passes,
             load_model: cfg.load_model,
             assumed_ramp: cfg.assumed_ramp,
@@ -338,13 +241,18 @@ impl MatchPlan {
             "one target delay per node"
         );
         let mut choice = vec![u32::MAX; circuit.node_count()];
-        self.scan(circuit, target_delays, None, &mut choice);
+        let pass1 = if self.anchored {
+            ScanMode::Anchored
+        } else {
+            ScanMode::Scratch
+        };
+        self.scan(circuit, target_delays, pass1, &mut choice);
         for _ in 0..self.refine_passes {
             let (loads, in_ramps) = self.anchor_timing(circuit, &choice);
             self.scan(
                 circuit,
                 target_delays,
-                Some((&loads, &in_ramps)),
+                ScanMode::Timing(&loads, &in_ramps),
                 &mut choice,
             );
         }
@@ -356,14 +264,13 @@ impl MatchPlan {
         cells
     }
 
-    /// One reverse-topological matching pass. `anchor = None` reads the
-    /// precomputed pass-1 tables; `Some((loads, in_ramps))` interrogates
-    /// the pooled cells live (the refinement passes).
+    /// One reverse-topological matching pass (see [`ScanMode`] for how
+    /// the per-gate operating point is derived).
     fn scan(
         &self,
         circuit: &Circuit,
         target_delays: &[f64],
-        anchor: Option<(&[f64], &[f64])>,
+        mode: ScanMode<'_>,
         choice: &mut [u32],
     ) {
         let mut chosen_vdd: Vec<f64> = vec![f64::NAN; circuit.node_count()];
@@ -381,6 +288,26 @@ impl MatchPlan {
                     }
                 })
                 .fold(0.0, f64::max);
+            // Scratch mode: the load comes from the successors chosen so
+            // far (fan-outs precede their drivers in reverse topological
+            // order, so every successor already has a pooled cell).
+            let scratch_load = match mode {
+                ScanMode::Scratch => {
+                    let mut load = 0.0;
+                    for &s in circuit.fanout(id) {
+                        load += self.load_model.wire_cap_per_pin;
+                        let c = choice[s.index()];
+                        if c != u32::MAX {
+                            load += self.pool[self.cand_cell[c as usize] as usize].input_cap;
+                        }
+                    }
+                    if circuit.is_primary_output(id) {
+                        load += self.load_model.po_load;
+                    }
+                    load
+                }
+                _ => 0.0,
+            };
             let target = target_delays[i as usize];
             let lo = self.cand_off[i as usize] as usize;
             let hi = self.cand_off[i as usize + 1] as usize;
@@ -389,9 +316,18 @@ impl MatchPlan {
                 if self.cand_params[c].vdd + 1e-12 < vdd_floor {
                     continue;
                 }
-                let score = match anchor {
-                    None => (self.cand_delay[c] - target).abs() + self.cand_tiebreak[c],
-                    Some((loads, in_ramps)) => {
+                let score = match mode {
+                    ScanMode::Anchored => {
+                        (self.cand_delay[c] - target).abs() + self.cand_tiebreak[c]
+                    }
+                    ScanMode::Scratch => {
+                        let cell = &self.pool[self.cand_cell[c] as usize];
+                        let d = cell.delay_at(scratch_load, self.assumed_ramp);
+                        let e_norm =
+                            cell.leak_power * 1e9 + cell.dynamic_energy(scratch_load) * 1e12;
+                        (d - target).abs() + self.energy_tiebreak * e_norm * 1.0e-12
+                    }
+                    ScanMode::Timing(loads, in_ramps) => {
                         let load = loads[i as usize];
                         let cell = &self.pool[self.cand_cell[c] as usize];
                         let d = cell.delay_at(load, in_ramps[i as usize]);
@@ -540,8 +476,143 @@ mod tests {
         assert!(vdd_violations(&c, &cells).is_empty());
     }
 
+    /// The pre-consolidation matcher, captured verbatim as the bitwise
+    /// oracle for both [`MatchPlan`] anchor modes: a reverse-topological
+    /// pass with live library lookups, loads from the anchor timing view
+    /// (or from the successors chosen so far when matching from
+    /// scratch), and `timing_view`-anchored refinement passes.
+    fn reference_match_delays(
+        circuit: &Circuit,
+        target_delays: &[f64],
+        library: &mut Library,
+        cfg: &MatchingConfig,
+        reference: Option<&CircuitCells>,
+    ) -> CircuitCells {
+        fn one_pass(
+            circuit: &Circuit,
+            target_delays: &[f64],
+            library: &mut Library,
+            cfg: &MatchingConfig,
+            in_ramps: &[f64],
+            fixed_loads: Option<&[f64]>,
+        ) -> CircuitCells {
+            let mut cells = CircuitCells::nominal(circuit);
+            let mut chosen_vdd: Vec<f64> = vec![f64::NAN; circuit.node_count()];
+            let order: Vec<NodeId> = circuit.topological_order().to_vec();
+            for &id in order.iter().rev() {
+                let node = circuit.node(id);
+                if node.is_input() {
+                    continue;
+                }
+                let load = match fixed_loads {
+                    Some(loads) => loads[id.index()],
+                    None => {
+                        let mut load = 0.0;
+                        for &s in circuit.fanout(id) {
+                            load += cfg.load_model.wire_cap_per_pin;
+                            if let Some(p) = cells.get(s) {
+                                load += library.get_or_characterize(p).input_cap;
+                            }
+                        }
+                        if circuit.is_primary_output(id) {
+                            load += cfg.load_model.po_load;
+                        }
+                        load
+                    }
+                };
+                let vdd_floor = circuit
+                    .fanout(id)
+                    .iter()
+                    .filter_map(|&s| {
+                        let v = chosen_vdd[s.index()];
+                        if v.is_nan() {
+                            None
+                        } else {
+                            Some(v)
+                        }
+                    })
+                    .fold(0.0, f64::max);
+                let target = target_delays[id.index()];
+                let ramp = in_ramps[id.index()];
+                let mut best: Option<(f64, GateParams)> = None;
+                for &size in &cfg.allowed.sizes {
+                    for &l in &cfg.allowed.lengths_nm {
+                        for &vdd in &cfg.allowed.vdds {
+                            if vdd + 1e-12 < vdd_floor {
+                                continue;
+                            }
+                            for &vth in &cfg.allowed.vths {
+                                let p = GateParams::new(node.kind, node.fanin.len())
+                                    .with_size(size)
+                                    .with_length(l)
+                                    .with_vdd(vdd)
+                                    .with_vth(vth);
+                                let cell = library.get_or_characterize(&p);
+                                let d = cell.delay_at(load, ramp);
+                                let e_norm =
+                                    cell.leak_power * 1e9 + cell.dynamic_energy(load) * 1e12;
+                                let score =
+                                    (d - target).abs() + cfg.energy_tiebreak * e_norm * 1.0e-12;
+                                let better = match &best {
+                                    Some((s, _)) => score < *s,
+                                    None => true,
+                                };
+                                if better {
+                                    best = Some((score, p));
+                                }
+                            }
+                        }
+                    }
+                }
+                let (_, p) = best.expect("allowed grid is non-empty");
+                chosen_vdd[id.index()] = p.vdd;
+                cells.set(id, p);
+            }
+            cells
+        }
+
+        let spec = cfg.allowed.library_spec(circuit);
+        library.characterize_spec(&spec, 0);
+        let mut cells = match reference {
+            Some(reference) => {
+                let tv = aserta::timing_view(
+                    circuit,
+                    reference,
+                    library,
+                    cfg.load_model,
+                    cfg.assumed_ramp,
+                );
+                one_pass(
+                    circuit,
+                    target_delays,
+                    library,
+                    cfg,
+                    &tv.in_ramps,
+                    Some(&tv.loads),
+                )
+            }
+            None => {
+                let ramps = vec![cfg.assumed_ramp; circuit.node_count()];
+                one_pass(circuit, target_delays, library, cfg, &ramps, None)
+            }
+        };
+        for _ in 0..cfg.refine_passes {
+            let tv =
+                aserta::timing_view(circuit, &cells, library, cfg.load_model, cfg.assumed_ramp);
+            cells = one_pass(
+                circuit,
+                target_delays,
+                library,
+                cfg,
+                &tv.in_ramps,
+                Some(&tv.loads),
+            );
+        }
+        cells
+    }
+
     #[test]
-    fn plan_matches_match_delays_bitwise() {
+    fn plan_matches_reference_matcher_bitwise() {
         for (circuit, allowed) in [
             (generate::c17(), AllowedParams::tiny()),
             (generate::iscas85("c432").unwrap(), {
@@ -551,23 +622,29 @@ mod tests {
             }),
         ] {
             for refine_passes in [0usize, 1, 2] {
-                let mut l = lib();
-                let mut cfg = MatchingConfig::new(allowed.clone());
-                cfg.refine_passes = refine_passes;
-                let reference = aserta::CircuitCells::nominal(&circuit);
-                let plan = MatchPlan::build(&circuit, &mut l, &cfg, &reference);
-                for round in 0..3u32 {
-                    let targets: Vec<f64> = (0..circuit.node_count())
-                        .map(|i| 8.0e-12 + ((i as u32 * 7 + round * 13) % 11) as f64 * 9.0e-12)
-                        .collect();
-                    let want = match_delays(&circuit, &targets, &mut l, &cfg, Some(&reference));
-                    let got = plan.realize(&circuit, &targets);
-                    for g in circuit.gates() {
-                        assert_eq!(
-                            got.get(g),
-                            want.get(g),
-                            "gate {g} round {round} refine {refine_passes}"
-                        );
+                for with_reference in [false, true] {
+                    let mut l = lib();
+                    let mut cfg = MatchingConfig::new(allowed.clone());
+                    cfg.refine_passes = refine_passes;
+                    let nominal = aserta::CircuitCells::nominal(&circuit);
+                    let reference = with_reference.then_some(&nominal);
+                    let plan = MatchPlan::build(&circuit, &mut l, &cfg, reference);
+                    for round in 0..3u32 {
+                        let targets: Vec<f64> = (0..circuit.node_count())
+                            .map(|i| 8.0e-12 + ((i as u32 * 7 + round * 13) % 11) as f64 * 9.0e-12)
+                            .collect();
+                        let want =
+                            reference_match_delays(&circuit, &targets, &mut l, &cfg, reference);
+                        let got = plan.realize(&circuit, &targets);
+                        let wrapped = match_delays(&circuit, &targets, &mut l, &cfg, reference);
+                        for g in circuit.gates() {
+                            assert_eq!(
+                                got.get(g),
+                                want.get(g),
+                                "gate {g} round {round} refine {refine_passes} ref {with_reference}"
+                            );
+                            assert_eq!(wrapped.get(g), want.get(g), "wrapper, gate {g}");
+                        }
                     }
                 }
             }

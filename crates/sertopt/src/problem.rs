@@ -24,9 +24,12 @@
 //!   rows and per-gate terms are recomputed. Independent candidates
 //!   (finite-difference probes, GA populations) additionally batch
 //!   across threads via [`DelayProblem::evaluate_batch`].
-//! * [`EvalStrategy::FreshPerMove`] — the pre-session behaviour (one
-//!   full [`cost::evaluate`](crate::cost::evaluate) per move), kept as
-//!   the equivalence oracle and perf baseline.
+//! * [`EvalStrategy::FreshPerMove`] — one full
+//!   [`cost::evaluate`](crate::cost::evaluate) per move. Since the
+//!   single-engine consolidation this is a *cold-start session* per move
+//!   ([`aserta::analyze`] constructs a session and extracts its report),
+//!   kept as the equivalence oracle and the perf baseline the warm
+//!   session is measured against.
 //!
 //! Both strategies produce **bitwise identical** candidates: the session
 //! guarantees exact fidelity to the fresh analysis, and the per-gate
@@ -235,7 +238,7 @@ impl<'a> DelayProblem<'a> {
             None,
         );
         baseline.cost = weights.unreliability + weights.delay + weights.energy + weights.area;
-        let plan = MatchPlan::build(circuit, library, &matching, &baseline_cells);
+        let plan = MatchPlan::build(circuit, library, &matching, Some(&baseline_cells));
         let tension = TensionSpace::build(circuit);
         let levels = topo::levels_from_inputs(circuit);
         let depth = levels.iter().copied().max().unwrap_or(0);
@@ -394,8 +397,8 @@ impl<'a> DelayProblem<'a> {
         tagged.into_iter().map(|(_, c)| c).collect()
     }
 
-    /// The pre-session measurement: one full analysis over the private
-    /// fresh library — kept as the oracle and perf baseline.
+    /// The fresh measurement: one cold-start analysis session over the
+    /// private library per move — kept as the oracle and perf baseline.
     fn evaluate_fresh(&mut self, cells: CircuitCells) -> Candidate {
         let breakdown = evaluate(
             self.circuit,

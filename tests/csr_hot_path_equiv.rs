@@ -1,8 +1,11 @@
 //! Property-based equivalence of the CSR/parallel hot-path kernels
-//! against the seed scalar implementations, on random layered circuits:
+//! against **independent in-test scalar references** (the seed
+//! implementations, captured here verbatim — `ser_logicsim::sim` is a
+//! shim over the CSR kernels since the single-engine consolidation, so
+//! it can no longer serve as an oracle), on random layered circuits:
 //!
-//! * `kernel::eval_word` (CSR) must match `sim::eval_word` (scalar
-//!   reference) bit for bit;
+//! * `kernel::eval_word` (CSR) must match the scalar reference bit for
+//!   bit;
 //! * `sensitization_probabilities` must reproduce the pre-CSR per-node
 //!   cone-resimulation estimate exactly, for any worker-thread count;
 //! * `ExpectedWidths` must match the pre-hoist implementation (brackets
@@ -14,11 +17,11 @@ use soft_error::aserta::glitch::AttenuationModel;
 use soft_error::aserta::logical::{pi_weights, successor_sensitizations};
 use soft_error::logicsim::random::random_word;
 use soft_error::logicsim::sensitize::{sensitization_probabilities_threaded, SensitizationMatrix};
-use soft_error::logicsim::{kernel, probability, sim};
+use soft_error::logicsim::{kernel, probability};
 use soft_error::netlist::cone::fanout_cone;
 use soft_error::netlist::csr::CsrView;
 use soft_error::netlist::generate::{layered, LayeredSpec};
-use soft_error::netlist::{Circuit, NodeId};
+use soft_error::netlist::{Circuit, GateKind, NodeId};
 
 fn arbitrary_circuit() -> impl Strategy<Value = Circuit> {
     (2usize..9, 1usize..5, 8usize..70, 0u64..5000).prop_map(|(pi, po, gates, seed)| {
@@ -26,6 +29,58 @@ fn arbitrary_circuit() -> impl Strategy<Value = Circuit> {
         spec.seed = seed;
         layered(&spec)
     })
+}
+
+/// Scalar packed gate evaluation (the seed `GateKind::eval_packed`).
+fn ref_gate(kind: GateKind, pins: &[u64]) -> u64 {
+    match kind {
+        GateKind::Input => unreachable!("inputs carry no function"),
+        GateKind::And => pins.iter().fold(!0u64, |acc, &w| acc & w),
+        GateKind::Nand => !pins.iter().fold(!0u64, |acc, &w| acc & w),
+        GateKind::Or => pins.iter().fold(0u64, |acc, &w| acc | w),
+        GateKind::Nor => !pins.iter().fold(0u64, |acc, &w| acc | w),
+        GateKind::Xor => pins.iter().fold(0u64, |acc, &w| acc ^ w),
+        GateKind::Xnor => !pins.iter().fold(0u64, |acc, &w| acc ^ w),
+        GateKind::Not => !pins[0],
+        GateKind::Buf => pins[0],
+    }
+}
+
+/// The seed scalar `eval_word`: a topological walk over the pointer
+/// circuit.
+fn ref_eval_word(circuit: &Circuit, pi_words: &[u64]) -> Vec<u64> {
+    let mut words = vec![0u64; circuit.node_count()];
+    for (k, &pi) in circuit.primary_inputs().iter().enumerate() {
+        words[pi.index()] = pi_words[k];
+    }
+    for &id in circuit.topological_order() {
+        let node = circuit.node(id);
+        if node.is_input() {
+            continue;
+        }
+        let pins: Vec<u64> = node.fanin.iter().map(|f| words[f.index()]).collect();
+        words[id.index()] = ref_gate(node.kind, &pins);
+    }
+    words
+}
+
+/// The seed scalar `eval_cone_forced`.
+fn ref_eval_cone_forced(
+    circuit: &Circuit,
+    cone: &[NodeId],
+    root: NodeId,
+    forced: u64,
+    scratch: &mut [u64],
+) {
+    scratch[root.index()] = forced;
+    for &id in cone {
+        if id == root {
+            continue;
+        }
+        let node = circuit.node(id);
+        let pins: Vec<u64> = node.fanin.iter().map(|f| scratch[f.index()]).collect();
+        scratch[id.index()] = ref_gate(node.kind, &pins);
+    }
 }
 
 /// The seed implementation of `P_ij` estimation: word-major loop, per-node
@@ -46,11 +101,11 @@ fn reference_pij(circuit: &Circuit, n_vectors: usize, seed: u64) -> Vec<f64> {
     let mut scratch = vec![0u64; n_nodes];
     for w in 0..n_words {
         let pi_words = random_word(n_pi, 0.5, seed.wrapping_add(w as u64));
-        let base = sim::eval_word(circuit, &pi_words);
+        let base = ref_eval_word(circuit, &pi_words);
         scratch.copy_from_slice(&base);
         for id in circuit.node_ids() {
             let cone = &cones[id.index()];
-            sim::eval_cone_forced(circuit, cone, id, !base[id.index()], &mut scratch);
+            ref_eval_cone_forced(circuit, cone, id, !base[id.index()], &mut scratch);
             let row = &mut counts[id.index() * n_pos..(id.index() + 1) * n_pos];
             for (j, &po) in outputs.iter().enumerate() {
                 let diff = scratch[po.index()] ^ base[po.index()];
@@ -156,15 +211,17 @@ fn reference_expected_widths(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// CSR word evaluation agrees bit for bit with the scalar reference.
+    /// CSR word evaluation agrees bit for bit with the scalar reference
+    /// (and the `sim` shim forwards to the kernel faithfully).
     #[test]
     fn csr_eval_word_matches_scalar(circuit in arbitrary_circuit(), seed in 0u64..1 << 40) {
         let csr = CsrView::build(&circuit);
         let pi_words = random_word(circuit.primary_inputs().len(), 0.5, seed);
-        let want = sim::eval_word(&circuit, &pi_words);
+        let want = ref_eval_word(&circuit, &pi_words);
         let mut got = vec![0u64; circuit.node_count()];
         kernel::eval_word(&csr, &pi_words, &mut got);
-        prop_assert_eq!(got, want);
+        prop_assert_eq!(&got, &want);
+        prop_assert_eq!(soft_error::logicsim::sim::eval_word(&circuit, &pi_words), want);
     }
 
     /// The blocked/parallel estimator reproduces the seed estimate
