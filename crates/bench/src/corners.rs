@@ -53,7 +53,9 @@ impl Corner {
     /// moved to the corner point (sizes and lengths stay as assigned).
     pub fn cells(&self, circuit: &Circuit, base: &CircuitCells) -> CircuitCells {
         CircuitCells::from_fn(circuit, |id| {
-            let mut p = *base.get(id).expect("gates carry parameters");
+            let Some(&(mut p)) = base.get(id) else {
+                panic!("gates carry parameters")
+            };
             p.vdd = self.vdd;
             p.vth = self.vth;
             p
@@ -118,6 +120,46 @@ impl CornerGrid {
     }
 }
 
+/// Why one corner of a sweep failed to evaluate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SweepError {
+    /// The session rejected the corner or poisoned itself on it (the
+    /// replica heals with a full rebuild before its next corner).
+    Analysis(aserta::AnalysisError),
+    /// A corner evaluation panicked; the panic was caught at the
+    /// thread-scope boundary and the replica was rebuilt at the base
+    /// assignment.
+    Panicked,
+    /// A `fail-points` test hook fired.
+    FaultInjected(&'static str),
+}
+
+impl From<aserta::AnalysisError> for SweepError {
+    fn from(e: aserta::AnalysisError) -> Self {
+        SweepError::Analysis(e)
+    }
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Analysis(e) => write!(f, "corner analysis failed: {e}"),
+            SweepError::Panicked => write!(f, "corner evaluation panicked (caught)"),
+            SweepError::FaultInjected(name) => write!(f, "fault injected at `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Analysis(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
 /// One evaluated corner.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CornerPoint {
@@ -167,6 +209,29 @@ pub fn sweep_session(
     corners: &[Corner],
     threads: usize,
 ) -> Vec<CornerPoint> {
+    try_sweep_session(circuit, base, library, cfg, corners, threads)
+        .into_iter()
+        .map(|p| match p {
+            Ok(p) => p,
+            Err(e) => panic!("sweep_session: {e}"),
+        })
+        .collect()
+}
+
+/// Fallible [`sweep_session`]: one `Result` per corner in grid order. A
+/// corner the session rejects or poisons on (or that a `fail-points`
+/// hook fails) surfaces as a typed [`SweepError`]; the replica heals
+/// itself with a full rebuild before its next corner, so one bad corner
+/// never taints the rest of the grid. Panics inside a corner evaluation
+/// are caught per corner at the [`std::thread::scope`] boundary.
+pub fn try_sweep_session(
+    circuit: &Circuit,
+    base: &CircuitCells,
+    library: Library,
+    cfg: &AsertaConfig,
+    corners: &[Corner],
+    threads: usize,
+) -> Vec<Result<CornerPoint, SweepError>> {
     let mut session = AnalysisSession::new(circuit, base.clone(), library, cfg.clone());
     let workers = if threads == 0 {
         simulation_threads()
@@ -178,13 +243,14 @@ pub fn sweep_session(
     if workers == 1 {
         return corners
             .iter()
-            .map(|c| eval_corner(&mut session, circuit, base, c))
+            .map(|c| eval_corner_caught(&mut session, circuit, base, c))
             .collect();
     }
     let mut replicas: Vec<AnalysisSession<'_>> =
         (0..workers - 1).map(|_| session.clone()).collect();
     replicas.push(session);
-    let mut tagged: Vec<(usize, CornerPoint)> = std::thread::scope(|scope| {
+    let n_corners = corners.len();
+    let mut tagged: Vec<(usize, Result<CornerPoint, SweepError>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = replicas
             .iter_mut()
             .enumerate()
@@ -195,39 +261,79 @@ pub fn sweep_session(
                         .enumerate()
                         .skip(w)
                         .step_by(workers)
-                        .map(|(idx, c)| (idx, eval_corner(replica, circuit, base, c)))
+                        .map(|(idx, c)| (idx, eval_corner_caught(replica, circuit, base, c)))
                         .collect::<Vec<_>>()
                 })
             })
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("corner worker panicked"))
+            .enumerate()
+            .flat_map(|(w, h)| match h.join() {
+                Ok(out) => out,
+                // Backstop for a panic outside the per-corner catch
+                // (none is known): report the worker's whole stride
+                // failed rather than unwinding out of the sweep.
+                Err(_) => (w..n_corners)
+                    .step_by(workers)
+                    .map(|idx| (idx, Err(SweepError::Panicked)))
+                    .collect(),
+            })
             .collect()
     });
     tagged.sort_by_key(|&(idx, _)| idx);
     tagged.into_iter().map(|(_, p)| p).collect()
 }
 
+/// [`eval_corner`] with a per-corner panic catch; a caught panic leaves
+/// the replica rebuilt at the base assignment so later corners stay
+/// exact.
+fn eval_corner_caught(
+    session: &mut AnalysisSession<'_>,
+    circuit: &Circuit,
+    base: &CircuitCells,
+    corner: &Corner,
+) -> Result<CornerPoint, SweepError> {
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        eval_corner(session, circuit, base, corner)
+    }));
+    match attempt {
+        Ok(r) => r,
+        Err(_) => {
+            let _ = session.recover_with(base.clone());
+            Err(SweepError::Panicked)
+        }
+    }
+}
+
 /// Moves a session to one corner and reads the point. Exact regardless
 /// of the replica's prior state (the session fidelity contract), which
-/// is what makes the round-robin deal thread-count-invariant.
+/// is what makes the round-robin deal thread-count-invariant. A
+/// poisoned replica heals itself first with a full rebuild at the
+/// corner's own assignment.
 fn eval_corner(
     session: &mut AnalysisSession<'_>,
     circuit: &Circuit,
     base: &CircuitCells,
     corner: &Corner,
-) -> CornerPoint {
+) -> Result<CornerPoint, SweepError> {
+    ser_netlist::failpoint!(
+        "ser_bench::corner_eval",
+        return Err(SweepError::FaultInjected("ser_bench::corner_eval"))
+    );
+    if session.is_poisoned() {
+        session.recover_with(corner.cells(circuit, base))?;
+    }
     // Charge first: the cell-delta pass then derives its generated
     // widths directly at the corner's charge instead of deriving them at
     // the previous corner's charge only for set_charge to redo them all.
-    session.set_charge(corner.charge);
-    session.set_cells(&corner.cells(circuit, base));
-    CornerPoint {
+    session.try_set_charge(corner.charge)?;
+    session.try_set_cells(&corner.cells(circuit, base))?;
+    Ok(CornerPoint {
         corner: *corner,
         unreliability: session.unreliability(),
         critical_delay: session.critical_delay(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -282,6 +388,32 @@ mod tests {
         for threads in [2usize, 3, 8] {
             let t = sweep_session(&c, &base, lib(), &cfg(), &corners, threads);
             assert_eq!(one, t, "{threads} threads");
+        }
+    }
+
+    /// An injected fault fails exactly the corner it hits; the rest of
+    /// the grid is bitwise identical to a fault-free sweep.
+    #[test]
+    #[cfg(feature = "fail-points")]
+    fn injected_corner_fault_is_contained() {
+        use ser_netlist::failpoint::{self, FailAction};
+
+        let c = generate::c17();
+        let base = CircuitCells::nominal(&c);
+        let corners = CornerGrid::smoke().corners();
+        let clean = sweep_session(&c, &base, lib(), &cfg(), &corners, 1);
+
+        let _guard = failpoint::scenario();
+        failpoint::set_times("ser_bench::corner_eval", FailAction::Error, 1);
+        let faulted = try_sweep_session(&c, &base, lib(), &cfg(), &corners, 1);
+        assert_eq!(failpoint::hits("ser_bench::corner_eval"), 1);
+        assert!(matches!(
+            faulted[0],
+            Err(SweepError::FaultInjected("ser_bench::corner_eval"))
+        ));
+        for (i, got) in faulted.iter().enumerate().skip(1) {
+            let got = got.as_ref().expect("only the first corner faults");
+            assert_eq!(*got, clean[i], "corner {i}");
         }
     }
 

@@ -72,6 +72,32 @@ impl CharacterizedCell {
     pub fn electrical(&self, tech: &Technology) -> ser_spice::GateElectrical {
         ser_spice::GateElectrical::from_params(tech, &self.params)
     }
+
+    /// Whether every table entry and scalar of this cell is finite and
+    /// the scalars are physically sane (non-negative capacitances and
+    /// leakage, positive area). Cells built by the characterizer always
+    /// validate; hand-crafted or deserialized cells may not — analysis
+    /// sessions check this at construction.
+    pub fn validate(&self) -> bool {
+        self.delay.is_finite()
+            && self.out_ramp.is_finite()
+            && self.glitch.is_finite()
+            && self.input_cap.is_finite()
+            && self.input_cap >= 0.0
+            && self.leak_power.is_finite()
+            && self.leak_power >= 0.0
+            && self.c_self_total.is_finite()
+            && self.c_self_total >= 0.0
+            && self.area.is_finite()
+            && self.area > 0.0
+            && self.params.size.is_finite()
+            && self.params.size > 0.0
+            && self.params.vdd.is_finite()
+            && self.params.vdd > 0.0
+            && self.params.vth.is_finite()
+            && self.params.l_nm.is_finite()
+            && self.params.l_nm > 0.0
+    }
 }
 
 #[cfg(test)]

@@ -235,6 +235,20 @@ impl Library {
         self.index.insert(key, idx);
     }
 
+    /// Inserts (or replaces) a variant directly, bypassing
+    /// characterization. The cell is stored **as given** — including
+    /// tables a fault-injection test deliberately filled with NaN — so
+    /// downstream consumers must validate
+    /// ([`CharacterizedCell::validate`]) before trusting it.
+    pub fn insert(&mut self, cell: CharacterizedCell) {
+        let key = Key::of(&cell.params);
+        if let Some(&i) = self.index.get(&key) {
+            self.cells[i] = cell;
+        } else {
+            self.push(cell);
+        }
+    }
+
     /// Serializes the library to JSON.
     ///
     /// # Errors

@@ -233,6 +233,35 @@ impl Lut2 {
         })
     }
 
+    /// Builds the table **without** validating values (shape is still
+    /// checked). Escape hatch for fault-injection tests that need to
+    /// craft a table holding NaN/inf entries — exactly what [`Lut2::new`]
+    /// exists to prevent; never use it on real characterization data.
+    pub fn from_raw_unchecked(
+        axis0: Axis,
+        axis1: Axis,
+        values: Vec<f64>,
+    ) -> Result<Self, LutError> {
+        let expect = axis0.len() * axis1.len();
+        if values.len() != expect {
+            return Err(LutError::ShapeMismatch {
+                expect,
+                got: values.len(),
+            });
+        }
+        Ok(Lut2 {
+            axis0,
+            axis1,
+            values,
+        })
+    }
+
+    /// Whether every stored value is finite (true for any table built by
+    /// [`Lut2::new`]; may be false after [`Lut2::from_raw_unchecked`]).
+    pub fn is_finite(&self) -> bool {
+        self.values.iter().all(|v| v.is_finite())
+    }
+
     /// First axis.
     pub fn axis0(&self) -> &Axis {
         &self.axis0

@@ -15,6 +15,7 @@ use ser_netlist::{Circuit, NodeId};
 use crate::binding::{CircuitCells, TimingView};
 use crate::config::AsertaConfig;
 use crate::electrical::ExpectedWidths;
+use crate::error::AnalysisError;
 use crate::session::AnalysisSession;
 
 /// Everything ASERTA computes for one circuit + cell assignment.
@@ -55,7 +56,7 @@ impl AsertaReport {
             .gates()
             .map(|g| (g, self.per_gate_unreliability[g.index()]))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("unreliability is finite"));
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
         v.truncate(top);
         v
     }
@@ -66,6 +67,10 @@ impl AsertaReport {
 /// `P_ij` depends only on the circuit's logic (not on sizing/VDD/Vth), so
 /// optimizers compute it once and reuse it across every cost evaluation —
 /// this is the entry point they call.
+///
+/// # Panics
+///
+/// Panics on any [`AnalysisError`]; [`try_analyze`] is the fallible form.
 pub fn analyze(
     circuit: &Circuit,
     cells: &CircuitCells,
@@ -73,33 +78,80 @@ pub fn analyze(
     pij: &SensitizationMatrix,
     cfg: &AsertaConfig,
 ) -> AsertaReport {
+    match try_analyze(circuit, cells, library, pij, cfg) {
+        Ok(report) => report,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`analyze`] — validates the configuration and cell assignment
+/// (typed errors instead of panics) before running the full pipeline.
+///
+/// # Errors
+///
+/// See [`AnalysisSession::try_with_pij`](AnalysisSession::try_with_pij).
+pub fn try_analyze(
+    circuit: &Circuit,
+    cells: &CircuitCells,
+    library: &mut Library,
+    pij: &SensitizationMatrix,
+    cfg: &AsertaConfig,
+) -> Result<AsertaReport, AnalysisError> {
     // Warm the caller's library first (the pre-consolidation pipeline
     // characterized into it as a side effect, and repeated fresh analyses
     // rely on that cache staying hot), then cold-start a session on a
     // clone of the warmed state.
     for id in circuit.gates() {
-        library.get_or_characterize(cells.get(id).expect("gates carry parameters"));
+        let p = cells.get(id).ok_or(AnalysisError::MissingCellParams {
+            node: id.index() as u32,
+        })?;
+        library.get_or_characterize(p);
     }
-    let session = AnalysisSession::with_pij(
+    let session = AnalysisSession::try_with_pij(
         circuit,
         cells.clone(),
         library.clone(),
         cfg.clone(),
         pij.clone(),
-    );
-    session.into_report()
+    )?;
+    Ok(session.into_report())
 }
 
 /// Convenience entry point that also estimates `P_ij` (paper: 10 000
 /// random vectors) before running [`analyze`].
+///
+/// # Panics
+///
+/// Panics on any [`AnalysisError`]; [`try_analyze_fresh`] is the
+/// fallible form.
 pub fn analyze_fresh(
     circuit: &Circuit,
     cells: &CircuitCells,
     library: &mut Library,
     cfg: &AsertaConfig,
 ) -> AsertaReport {
+    match try_analyze_fresh(circuit, cells, library, cfg) {
+        Ok(report) => report,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`analyze_fresh`] — validates the configuration *before*
+/// the Monte-Carlo `P_ij` estimate (whose kernels assert on e.g. zero
+/// vectors), then runs [`try_analyze`].
+///
+/// # Errors
+///
+/// See [`AnalysisSession::try_with_pij`](AnalysisSession::try_with_pij).
+pub fn try_analyze_fresh(
+    circuit: &Circuit,
+    cells: &CircuitCells,
+    library: &mut Library,
+    cfg: &AsertaConfig,
+) -> Result<AsertaReport, AnalysisError> {
+    crate::session::validate_config(cfg)?;
     let pij = sensitization_probabilities(circuit, cfg.sensitization_vectors, cfg.seed);
-    analyze(circuit, cells, library, &pij, cfg)
+    try_analyze(circuit, cells, library, &pij, cfg)
 }
 
 #[cfg(test)]
@@ -129,6 +181,19 @@ mod tests {
         for &pi in c.primary_inputs() {
             assert_eq!(r1.per_gate_unreliability[pi.index()], 0.0);
         }
+    }
+
+    #[test]
+    fn fresh_analysis_validates_config_before_pij_estimation() {
+        // A zero-vector config must surface as a typed error from the
+        // fresh entry point, not an assert inside the Monte-Carlo kernel.
+        let c = generate::c17();
+        let cells = CircuitCells::nominal(&c);
+        let mut l = lib();
+        let mut bad = cfg();
+        bad.sensitization_vectors = 0;
+        let err = try_analyze_fresh(&c, &cells, &mut l, &bad).unwrap_err();
+        assert!(matches!(err, AnalysisError::InvalidConfig { .. }));
     }
 
     #[test]

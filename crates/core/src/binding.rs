@@ -191,7 +191,9 @@ pub fn timing_view(
             continue;
         }
         let ramp_in = gate_input_ramp(node, &out_ramps);
-        let p = cells.get(id).expect("gates carry parameters");
+        let Some(p) = cells.get(id) else {
+            panic!("gates carry parameters")
+        };
         let cell = library.get_or_characterize(p);
         in_ramps[id.index()] = ramp_in;
         delays[id.index()] = cell.delay_at(loads[id.index()], ramp_in);

@@ -1,0 +1,148 @@
+//! Typed analysis errors and the poisoned-session taxonomy.
+//!
+//! The fallible entry points (`try_with_pij`, `try_apply`,
+//! `try_set_cells`, `try_set_charge`, `try_resample_pij_rows`,
+//! [`try_analyze`](crate::try_analyze)) classify failures in two tiers:
+//!
+//! * **Rejections** — the input was invalid and nothing was mutated: the
+//!   session is bitwise identical to its pre-call state
+//!   ([`AnalysisError::MissingCellParams`],
+//!   [`AnalysisError::InvalidGateParams`],
+//!   [`AnalysisError::NonFiniteInput`],
+//!   [`AnalysisError::InvalidConfig`], [`AnalysisError::BadCell`],
+//!   [`AnalysisError::FaultInjected`]);
+//! * **Poisonings** — a numerical guard tripped *mid-recompute*, so the
+//!   session's caches may be partially updated. The session records a
+//!   [`PoisonReason`] and every further mutation is refused with
+//!   [`AnalysisError::Poisoned`] until
+//!   [`AnalysisSession::recover`](crate::AnalysisSession::recover) runs a
+//!   full-dirty rebuild.
+
+use std::fmt;
+
+/// Why an [`AnalysisSession`](crate::AnalysisSession) is poisoned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PoisonReason {
+    /// A numerical guard in a hot kernel saw a NaN, infinity or negative
+    /// quantity that must be non-negative.
+    NumericalFault {
+        /// Which kernel tripped (`"load"`, `"timing"`, `"generated-width"`,
+        /// `"width-row"`, `"unreliability"`, `"critical-delay"`).
+        stage: &'static str,
+        /// The node being recomputed, when attributable.
+        node: Option<u32>,
+    },
+    /// A fail point injected the fault mid-recompute (test builds only).
+    Injected(&'static str),
+}
+
+impl fmt::Display for PoisonReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoisonReason::NumericalFault {
+                stage,
+                node: Some(n),
+            } => {
+                write!(f, "non-finite value in the {stage} kernel at node {n}")
+            }
+            PoisonReason::NumericalFault { stage, node: None } => {
+                write!(f, "non-finite value in the {stage} kernel")
+            }
+            PoisonReason::Injected(name) => write!(f, "fault injected at `{name}`"),
+        }
+    }
+}
+
+/// Typed error surfaced by the fallible analysis entry points (see the
+/// [module docs](self) for the rejection/poisoning split).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// A gate has no cell parameters bound.
+    MissingCellParams {
+        /// The gate's node index.
+        node: u32,
+    },
+    /// A gate's parameters are unusable (non-finite, non-positive size,
+    /// or the target node is a primary input).
+    InvalidGateParams {
+        /// The offending node index.
+        node: u32,
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// A library cell variant failed validation (non-finite table entries
+    /// or unphysical scalars) — e.g. a hand-inserted or corrupted cell.
+    BadCell {
+        /// The gate bound to the bad cell.
+        node: u32,
+    },
+    /// A scalar input (charge, probability, …) was non-finite or out of
+    /// range.
+    NonFiniteInput {
+        /// What the scalar was.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The analysis configuration is unusable.
+    InvalidConfig {
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// A fail point rejected the call before any mutation (test builds
+    /// only); the session is bitwise intact.
+    FaultInjected(&'static str),
+    /// The session is poisoned; only
+    /// [`recover`](crate::AnalysisSession::recover) is accepted.
+    Poisoned(PoisonReason),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::MissingCellParams { node } => {
+                write!(f, "node {node} carries no cell parameters")
+            }
+            AnalysisError::InvalidGateParams { node, reason } => {
+                write!(f, "invalid parameters for node {node}: {reason}")
+            }
+            AnalysisError::BadCell { node } => {
+                write!(f, "library cell bound to node {node} fails validation")
+            }
+            AnalysisError::NonFiniteInput { what, value } => {
+                write!(f, "{what} must be finite and in range, got {value:e}")
+            }
+            AnalysisError::InvalidConfig { reason } => {
+                write!(f, "invalid analysis configuration: {reason}")
+            }
+            AnalysisError::FaultInjected(name) => {
+                write!(f, "fault injected at `{name}` (session unchanged)")
+            }
+            AnalysisError::Poisoned(reason) => {
+                write!(f, "session is poisoned ({reason}); recover() first")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = AnalysisError::Poisoned(PoisonReason::NumericalFault {
+            stage: "width-row",
+            node: Some(7),
+        });
+        let s = e.to_string();
+        assert!(s.contains("poisoned") && s.contains("width-row") && s.contains('7'));
+        assert!(AnalysisError::FaultInjected("aserta::session_recompute")
+            .to_string()
+            .contains("aserta::session_recompute"));
+    }
+}

@@ -24,6 +24,17 @@
 //! against the transistor-level reference) and a FIT-rate extension over
 //! a charge spectrum (the paper's stated future work).
 //!
+//! # Error handling
+//!
+//! Untrusted-input boundaries are fallible: [`try_analyze`] and the
+//! session's `try_*` entry points return a typed [`AnalysisError`]
+//! instead of panicking, and mid-recompute numerical faults flip the
+//! session into an explicit *poisoned* state recoverable with
+//! [`AnalysisSession::recover`] — see [`error`] and the
+//! [`session`] module docs. The library code itself is compiled with
+//! `clippy::unwrap_used`/`clippy::expect_used` denied; remaining panics
+//! are documented invariants.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -41,11 +52,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod analysis;
 mod binding;
 mod config;
 pub mod electrical;
+pub mod error;
 pub mod glitch;
 pub mod latching;
 pub mod logical;
@@ -54,8 +67,9 @@ pub mod ser;
 pub mod session;
 pub mod validate;
 
-pub use analysis::{analyze, analyze_fresh, AsertaReport};
+pub use analysis::{analyze, analyze_fresh, try_analyze, try_analyze_fresh, AsertaReport};
 pub use binding::{gate_input_ramp, node_load, timing_view, CircuitCells, LoadModel, TimingView};
 pub use config::AsertaConfig;
 pub use electrical::ExpectedWidths;
+pub use error::{AnalysisError, PoisonReason};
 pub use session::{AnalysisSession, ApplyStats};

@@ -11,7 +11,7 @@ pub fn format_ranked_table(
     limit: usize,
 ) -> String {
     let mut rows: Vec<(NodeId, f64)> = circuit.gates().map(|g| (g, values[g.index()])).collect();
-    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("values are finite"));
+    rows.sort_by(|a, b| b.1.total_cmp(&a.1));
     rows.truncate(limit);
     let mut out = String::new();
     out.push_str(caption);

@@ -82,7 +82,10 @@ pub fn soft_error_rate(
                 .expected_widths
                 .total_expected_width(id, report.generated_widths[id.index()]);
             let p_latch = model.latching.capture_probability(w_total);
-            let area = cells.get(id).expect("gates carry parameters").area();
+            let Some(p) = cells.get(id) else {
+                panic!("gates carry parameters")
+            };
+            let area = p.area();
             per_gate[id.index()] += weight * model.strike_rate_per_area * area * p_latch;
         }
     }
@@ -103,7 +106,7 @@ pub fn rank_by_fit(report: &SerReport, circuit: &Circuit) -> Vec<(NodeId, f64)> 
         .gates()
         .map(|g| (g, report.per_gate_fit[g.index()]))
         .collect();
-    v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("FIT is finite"));
+    v.sort_by(|a, b| b.1.total_cmp(&a.1));
     v
 }
 

@@ -32,6 +32,20 @@
 //! recomputation is guarded by a bitwise comparison of its inputs. The
 //! workspace property test `session_equiv` pins this.
 //!
+//! **Fault tolerance:** every mutating entry point has a fallible `try_*`
+//! form returning [`AnalysisError`]. Untrusted inputs (configuration
+//! scalars, cell parameters, charges) are validated *before* any
+//! mutation, so a rejection leaves the session bitwise intact. Numerical
+//! guards in the hot kernels (loads, timing lookups, generated widths,
+//! expected-width rows, the unreliability resum) catch NaN/Inf/negative
+//! intermediates mid-recompute; since the caches are then partially
+//! updated, the session flips to a *poisoned* state
+//! ([`AnalysisSession::is_poisoned`]) that refuses further mutations with
+//! [`AnalysisError::Poisoned`] until [`AnalysisSession::recover`] /
+//! [`AnalysisSession::recover_with`] runs a full-dirty rebuild. Read
+//! accessors keep working on a poisoned session. The legacy panicking
+//! API is preserved as thin wrappers over the `try_*` forms.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -68,6 +82,7 @@ use crate::analysis::AsertaReport;
 use crate::binding::{timing_view, CircuitCells, LoadModel, TimingView};
 use crate::config::AsertaConfig;
 use crate::electrical::{ExpectedWidths, InterpBrackets, RowKernel, WeightCache};
+use crate::error::{AnalysisError, PoisonReason};
 use crate::glitch::AttenuationModel;
 
 /// What one [`AnalysisSession::set_cells`] /
@@ -147,31 +162,106 @@ pub struct AnalysisSession<'c> {
     brackets: InterpBrackets,
     per_gate_u: Vec<f64>,
     unreliability: f64,
+    poison: Option<PoisonReason>,
     scratch: Scratch,
 }
 
 impl<'c> AnalysisSession<'c> {
     /// Builds a session: estimates `P_ij` (once), runs one full analysis
     /// and materializes every cache the incremental path serves from.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`AnalysisError`]; [`AnalysisSession::try_new`] is
+    /// the fallible form.
     pub fn new(
         circuit: &'c Circuit,
         cells: CircuitCells,
         library: Library,
         cfg: AsertaConfig,
     ) -> Self {
+        match Self::try_new(circuit, cells, library, cfg) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`AnalysisSession::new`]: validates the configuration
+    /// before the (expensive) `P_ij` estimate, then defers to
+    /// [`AnalysisSession::try_with_pij`].
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisSession::try_with_pij`].
+    pub fn try_new(
+        circuit: &'c Circuit,
+        cells: CircuitCells,
+        library: Library,
+        cfg: AsertaConfig,
+    ) -> Result<Self, AnalysisError> {
+        validate_config(&cfg)?;
         let pij = sensitization_probabilities(circuit, cfg.sensitization_vectors, cfg.seed);
-        Self::with_pij(circuit, cells, library, cfg, pij)
+        Self::try_with_pij(circuit, cells, library, cfg, pij)
     }
 
     /// [`AnalysisSession::new`] with a caller-provided sensitization
     /// matrix (to share one estimate across sessions).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`AnalysisError`];
+    /// [`AnalysisSession::try_with_pij`] is the fallible form.
     pub fn with_pij(
+        circuit: &'c Circuit,
+        cells: CircuitCells,
+        library: Library,
+        cfg: AsertaConfig,
+        pij: SensitizationMatrix,
+    ) -> Self {
+        match Self::try_with_pij(circuit, cells, library, cfg, pij) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`AnalysisSession::with_pij`] — the untrusted-input
+    /// boundary of session construction.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnalysisError::InvalidConfig`] for unusable configuration
+    ///   scalars, or a sensitization matrix that does not cover exactly
+    ///   the circuit's primary outputs;
+    /// * [`AnalysisError::MissingCellParams`] when a gate carries no
+    ///   parameters;
+    /// * [`AnalysisError::InvalidGateParams`] for non-finite or
+    ///   unphysical parameters;
+    /// * [`AnalysisError::BadCell`] when a gate's characterized library
+    ///   cell fails validation (non-finite lookup tables or scalars).
+    pub fn try_with_pij(
         circuit: &'c Circuit,
         cells: CircuitCells,
         mut library: Library,
         cfg: AsertaConfig,
         pij: SensitizationMatrix,
-    ) -> Self {
+    ) -> Result<Self, AnalysisError> {
+        validate_config(&cfg)?;
+        if pij.outputs() != circuit.primary_outputs() {
+            return Err(AnalysisError::InvalidConfig {
+                reason: "sensitization matrix does not cover the circuit's primary outputs",
+            });
+        }
+        for id in circuit.gates() {
+            let node = id.index() as u32;
+            let p = cells
+                .get(id)
+                .ok_or(AnalysisError::MissingCellParams { node })?;
+            validate_gate_params(node, p)?;
+            if !library.get_or_characterize(p).validate() {
+                return Err(AnalysisError::BadCell { node });
+            }
+        }
+
         let n = circuit.node_count();
         let loads_model = LoadModel {
             wire_cap_per_pin: cfg.wire_cap_per_pin,
@@ -182,7 +272,9 @@ impl<'c> AnalysisSession<'c> {
 
         let mut generated = vec![0.0f64; n];
         for id in circuit.gates() {
-            let p = cells.get(id).expect("gates carry parameters");
+            let Some(p) = cells.get(id) else {
+                panic!("invariant: gates carry parameters (validated above)")
+            };
             let cell = library.get_or_characterize(p);
             generated[id.index()] = cell.glitch_width_at(timing.loads[id.index()], cfg.charge);
         }
@@ -204,8 +296,11 @@ impl<'c> AnalysisSession<'c> {
 
         let mut per_gate_u = vec![0.0f64; n];
         for id in circuit.gates() {
-            let z = cells.get(id).expect("gates carry parameters").size;
-            per_gate_u[id.index()] = z * widths.total_expected_width(id, generated[id.index()]);
+            let Some(p) = cells.get(id) else {
+                panic!("invariant: gates carry parameters (validated above)")
+            };
+            per_gate_u[id.index()] =
+                p.size * widths.total_expected_width(id, generated[id.index()]);
         }
         let critical_delay = timing.critical_path_delay(circuit);
 
@@ -227,10 +322,11 @@ impl<'c> AnalysisSession<'c> {
             brackets,
             per_gate_u,
             unreliability: 0.0,
+            poison: None,
             scratch: Scratch::new(n, grid.len() * n_pos),
         };
         session.resum_unreliability();
-        session
+        Ok(session)
     }
 
     /// The circuit under analysis.
@@ -278,6 +374,20 @@ impl<'c> AnalysisSession<'c> {
         self.unreliability
     }
 
+    /// Whether the session is poisoned: a numerical guard (or an injected
+    /// fault) tripped mid-recompute, so the caches may be partially
+    /// updated. A poisoned session refuses every further mutation with
+    /// [`AnalysisError::Poisoned`]; reads keep working. Clear it with
+    /// [`AnalysisSession::recover`].
+    pub fn is_poisoned(&self) -> bool {
+        self.poison.is_some()
+    }
+
+    /// Why the session is poisoned, if it is.
+    pub fn poison(&self) -> Option<&PoisonReason> {
+        self.poison.as_ref()
+    }
+
     /// Per-node `U_i` (Eq. 3); zero for primary inputs.
     pub fn per_gate_unreliability(&self) -> &[f64] {
         &self.per_gate_u
@@ -297,7 +407,9 @@ impl<'c> AnalysisSession<'c> {
     /// Panics if `id` is a primary input.
     pub fn cell_and_load(&mut self, id: NodeId) -> (&CharacterizedCell, f64) {
         let load = self.timing.loads[id.index()];
-        let p = self.cells.get(id).expect("gates carry parameters");
+        let Some(p) = self.cells.get(id) else {
+            panic!("cell_and_load: node {id} is a primary input")
+        };
         (self.library.get_or_characterize(p), load)
     }
 
@@ -334,8 +446,35 @@ impl<'c> AnalysisSession<'c> {
     ///
     /// # Panics
     ///
-    /// Panics if a delta targets a primary input.
+    /// Panics on any [`AnalysisError`] (e.g. a delta targeting a primary
+    /// input); [`AnalysisSession::try_apply`] is the fallible form.
     pub fn apply(&mut self, deltas: &[(NodeId, GateParams)]) -> ApplyStats {
+        match self.try_apply(deltas) {
+            Ok(stats) => stats,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`AnalysisSession::apply`]. Deltas are validated before
+    /// any mutation, so on every rejection the session is bitwise
+    /// identical to its pre-call state.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnalysisError::Poisoned`] if the session is already poisoned,
+    ///   or if a numerical guard trips mid-recompute (the session then
+    ///   poisons itself — see the [module docs](self));
+    /// * [`AnalysisError::InvalidGateParams`] for a delta targeting a
+    ///   primary input or carrying non-finite parameters (session
+    ///   unchanged).
+    pub fn try_apply(
+        &mut self,
+        deltas: &[(NodeId, GateParams)],
+    ) -> Result<ApplyStats, AnalysisError> {
+        self.ensure_clean()?;
+        for &(id, ref p) in deltas {
+            self.validate_delta(id, p)?;
+        }
         let mut changed: Vec<u32> = Vec::with_capacity(deltas.len());
         for &(id, p) in deltas {
             if self.cells.get(id) != Some(&p) {
@@ -351,10 +490,43 @@ impl<'c> AnalysisSession<'c> {
     /// Moves the session to a full target assignment, diffing it against
     /// the current one — the natural entry point for optimizer loops
     /// whose matcher produces whole candidate assignments.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`AnalysisError`];
+    /// [`AnalysisSession::try_set_cells`] is the fallible form.
     pub fn set_cells(&mut self, target: &CircuitCells) -> ApplyStats {
+        match self.try_set_cells(target) {
+            Ok(stats) => stats,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`AnalysisSession::set_cells`]. The whole target is
+    /// validated before any mutation.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnalysisError::Poisoned`] if the session is already poisoned,
+    ///   or if a numerical guard trips mid-recompute;
+    /// * [`AnalysisError::MissingCellParams`] when the target misses a
+    ///   gate (session unchanged);
+    /// * [`AnalysisError::InvalidGateParams`] for non-finite target
+    ///   parameters (session unchanged).
+    pub fn try_set_cells(&mut self, target: &CircuitCells) -> Result<ApplyStats, AnalysisError> {
+        self.ensure_clean()?;
+        for id in self.circuit.gates() {
+            let node = id.index() as u32;
+            let p = target
+                .get(id)
+                .ok_or(AnalysisError::MissingCellParams { node })?;
+            validate_gate_params(node, p)?;
+        }
         let mut changed: Vec<u32> = Vec::new();
         for id in self.circuit.gates() {
-            let p = *target.get(id).expect("gates carry parameters");
+            let Some(&p) = target.get(id) else {
+                continue; // unreachable: validated above
+            };
             if self.cells.get(id) != Some(&p) {
                 self.cells.set(id, p);
                 changed.push(id.index() as u32);
@@ -374,16 +546,51 @@ impl<'c> AnalysisSession<'c> {
     /// Note the matrix then mixes sample sizes across rows;
     /// [`SensitizationMatrix::vectors_used`] keeps reporting the
     /// session-wide default.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`AnalysisError`];
+    /// [`AnalysisSession::try_resample_pij_rows`] is the fallible form.
     pub fn resample_pij_rows(
         &mut self,
         nodes: &[NodeId],
         n_vectors: usize,
         seed: u64,
     ) -> ApplyStats {
+        match self.try_resample_pij_rows(nodes, n_vectors, seed) {
+            Ok(stats) => stats,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`AnalysisSession::resample_pij_rows`].
+    ///
+    /// # Errors
+    ///
+    /// * [`AnalysisError::Poisoned`] if the session is already poisoned,
+    ///   or if a width-row guard trips mid-recompute;
+    /// * [`AnalysisError::InvalidConfig`] for `n_vectors == 0` (session
+    ///   unchanged).
+    pub fn try_resample_pij_rows(
+        &mut self,
+        nodes: &[NodeId],
+        n_vectors: usize,
+        seed: u64,
+    ) -> Result<ApplyStats, AnalysisError> {
+        self.ensure_clean()?;
         let mut stats = ApplyStats::default();
         if nodes.is_empty() {
-            return stats;
+            return Ok(stats);
         }
+        if n_vectors == 0 {
+            return Err(AnalysisError::InvalidConfig {
+                reason: "resampling needs at least one vector",
+            });
+        }
+        ser_netlist::failpoint!(
+            "aserta::resample_rows",
+            return Err(AnalysisError::FaultInjected("aserta::resample_rows"))
+        );
         let update = resimulate_rows(self.circuit, nodes, n_vectors, seed);
         self.pij.apply_update(&update);
         // π weights read P rows of both a node and its successors; a full
@@ -415,6 +622,16 @@ impl<'c> AnalysisSession<'c> {
                 n_pos: self.n_pos,
             };
             let changed = kernel.recompute_row(i, self.widths.ws_mut(), &mut scratch.row_buf);
+            if scratch
+                .row_buf
+                .iter()
+                .any(|&v| !(v.is_finite() && v >= 0.0))
+            {
+                return Err(self.poison_now(PoisonReason::NumericalFault {
+                    stage: "width-row",
+                    node: Some(i as u32),
+                }));
+            }
             if changed {
                 scratch.row_changed.insert(i as u32);
                 scratch.u_dirty.insert(i as u32);
@@ -422,7 +639,13 @@ impl<'c> AnalysisSession<'c> {
         }
         stats.rows_changed = scratch.row_changed.len();
         self.refresh_unreliability();
-        stats
+        if !self.unreliability.is_finite() {
+            return Err(self.poison_now(PoisonReason::NumericalFault {
+                stage: "unreliability",
+                node: None,
+            }));
+        }
+        Ok(stats)
     }
 
     /// Moves the session to a new injected strike charge (the corner
@@ -437,18 +660,57 @@ impl<'c> AnalysisSession<'c> {
     /// [`analyze`](crate::analyze) at the new charge
     /// ([`ApplyStats::gates_changed`] counts the gates whose generated
     /// width moved).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`AnalysisError`];
+    /// [`AnalysisSession::try_set_charge`] is the fallible form.
     pub fn set_charge(&mut self, charge: f64) -> ApplyStats {
+        match self.try_set_charge(charge) {
+            Ok(stats) => stats,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`AnalysisSession::set_charge`].
+    ///
+    /// # Errors
+    ///
+    /// * [`AnalysisError::Poisoned`] if the session is already poisoned,
+    ///   or if a generated-width guard trips mid-recompute;
+    /// * [`AnalysisError::NonFiniteInput`] for a non-finite or
+    ///   non-positive charge (session unchanged).
+    pub fn try_set_charge(&mut self, charge: f64) -> Result<ApplyStats, AnalysisError> {
+        self.ensure_clean()?;
+        if !(charge.is_finite() && charge > 0.0) {
+            return Err(AnalysisError::NonFiniteInput {
+                what: "injected charge",
+                value: charge,
+            });
+        }
         let mut stats = ApplyStats::default();
         if charge == self.cfg.charge {
-            return stats;
+            return Ok(stats);
         }
+        ser_netlist::failpoint!(
+            "aserta::set_charge",
+            return Err(AnalysisError::FaultInjected("aserta::set_charge"))
+        );
         self.cfg.charge = charge;
         self.scratch.u_dirty.clear();
         for id in self.circuit.gates() {
             let i = id.index();
-            let p = self.cells.get(id).expect("gates carry parameters");
+            let Some(p) = self.cells.get(id) else {
+                panic!("invariant: gates carry parameters")
+            };
             let cell = self.library.get_or_characterize(p);
             let w = cell.glitch_width_at(self.timing.loads[i], charge);
+            if !(w.is_finite() && w >= 0.0) {
+                return Err(self.poison_now(PoisonReason::NumericalFault {
+                    stage: "generated-width",
+                    node: Some(i as u32),
+                }));
+            }
             if w != self.generated[i] {
                 self.generated[i] = w;
                 self.scratch.u_dirty.insert(i as u32);
@@ -456,19 +718,33 @@ impl<'c> AnalysisSession<'c> {
             }
         }
         self.refresh_unreliability();
-        stats
+        if !self.unreliability.is_finite() {
+            return Err(self.poison_now(PoisonReason::NumericalFault {
+                stage: "unreliability",
+                node: None,
+            }));
+        }
+        Ok(stats)
     }
 
     /// The shared tail of every delta application: `self.cells` already
     /// holds the new assignment; `changed` lists the gates that differ.
-    fn update_after(&mut self, changed: Vec<u32>) -> ApplyStats {
+    /// Numerical guards poison the session on the first non-finite (or
+    /// negative-where-impossible) intermediate — the caches are partially
+    /// updated at that point, so only a full rebuild can restore the
+    /// fidelity contract.
+    fn update_after(&mut self, changed: Vec<u32>) -> Result<ApplyStats, AnalysisError> {
         let mut stats = ApplyStats {
             gates_changed: changed.len(),
             ..ApplyStats::default()
         };
         if changed.is_empty() {
-            return stats;
+            return Ok(stats);
         }
+        ser_netlist::failpoint!(
+            "aserta::session_recompute",
+            return Err(self.poison_now(PoisonReason::Injected("aserta::session_recompute")))
+        );
         let scratch = &mut self.scratch;
 
         // --- Loads: only fan-ins of changed gates can see a new input
@@ -495,6 +771,12 @@ impl<'c> AnalysisSession<'c> {
                     .get(s)
                     .map(|p| library.get_or_characterize(p).input_cap)
             });
+            if !(c.is_finite() && c >= 0.0) {
+                return Err(self.poison_now(PoisonReason::NumericalFault {
+                    stage: "load",
+                    node: Some(i as u32),
+                }));
+            }
             if c != self.timing.loads[i] {
                 self.timing.loads[i] = c;
                 scratch.load_changed.insert(i as u32);
@@ -530,10 +812,18 @@ impl<'c> AnalysisSession<'c> {
             {
                 continue;
             }
-            let p = self.cells.get(id).expect("gates carry parameters");
+            let Some(p) = self.cells.get(id) else {
+                panic!("invariant: gates carry parameters")
+            };
             let cell = self.library.get_or_characterize(p);
             let d = cell.delay_at(self.timing.loads[i], ramp_in);
             let or = cell.out_ramp_at(self.timing.loads[i], ramp_in);
+            if !(d.is_finite() && d >= 0.0 && or.is_finite() && or >= 0.0) {
+                return Err(self.poison_now(PoisonReason::NumericalFault {
+                    stage: "timing",
+                    node: Some(i as u32),
+                }));
+            }
             self.timing.in_ramps[i] = ramp_in;
             if d != self.timing.delays[i] {
                 self.timing.delays[i] = d;
@@ -559,11 +849,20 @@ impl<'c> AnalysisSession<'c> {
                 stats.energy_dirty.push(i);
             }
         }
-        for &i in &stats.energy_dirty {
+        for idx in 0..stats.energy_dirty.len() {
+            let i = stats.energy_dirty[idx];
             let id = NodeId::new(i as usize);
-            let p = self.cells.get(id).expect("energy-dirty nodes are gates");
+            let Some(p) = self.cells.get(id) else {
+                panic!("invariant: energy-dirty nodes are gates")
+            };
             let cell = self.library.get_or_characterize(p);
             let w = cell.glitch_width_at(self.timing.loads[i as usize], self.cfg.charge);
+            if !(w.is_finite() && w >= 0.0) {
+                return Err(self.poison_now(PoisonReason::NumericalFault {
+                    stage: "generated-width",
+                    node: Some(i),
+                }));
+            }
             if w != self.generated[i as usize] {
                 self.generated[i as usize] = w;
             }
@@ -613,6 +912,16 @@ impl<'c> AnalysisSession<'c> {
                 n_pos: self.n_pos,
             };
             let row_moved = kernel.recompute_row(i, self.widths.ws_mut(), &mut scratch.row_buf);
+            if scratch
+                .row_buf
+                .iter()
+                .any(|&v| !(v.is_finite() && v >= 0.0))
+            {
+                return Err(self.poison_now(PoisonReason::NumericalFault {
+                    stage: "width-row",
+                    node: Some(i as u32),
+                }));
+            }
             if row_moved {
                 scratch.row_changed.insert(i as u32);
                 scratch.u_dirty.insert(i as u32);
@@ -623,8 +932,85 @@ impl<'c> AnalysisSession<'c> {
         // --- Unreliability: refresh dirty U_i, then resum in the batch
         // pass's exact order. Critical delay is one cheap arrival pass.
         self.refresh_unreliability();
+        if !self.unreliability.is_finite() {
+            return Err(self.poison_now(PoisonReason::NumericalFault {
+                stage: "unreliability",
+                node: None,
+            }));
+        }
         self.refresh_critical_delay();
-        stats
+        if !self.critical_delay.is_finite() {
+            return Err(self.poison_now(PoisonReason::NumericalFault {
+                stage: "critical-delay",
+                node: None,
+            }));
+        }
+        Ok(stats)
+    }
+
+    /// Rebuilds the session from scratch over its current cell
+    /// assignment, clearing any poison — the full-dirty recovery path
+    /// (cold construction with the session's own `P_ij`, so no
+    /// re-estimation).
+    ///
+    /// # Errors
+    ///
+    /// Any [`AnalysisError`] from the fresh construction — notably
+    /// [`AnalysisError::BadCell`] when the current assignment still maps
+    /// to an invalid library cell; recover onto a known-good assignment
+    /// with [`AnalysisSession::recover_with`] in that case. On error the
+    /// session keeps its previous (possibly poisoned) state.
+    pub fn recover(&mut self) -> Result<(), AnalysisError> {
+        self.recover_with(self.cells.clone())
+    }
+
+    /// [`AnalysisSession::recover`] onto a caller-chosen cell assignment.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisSession::recover`].
+    pub fn recover_with(&mut self, cells: CircuitCells) -> Result<(), AnalysisError> {
+        ser_netlist::failpoint!(
+            "aserta::full_rebuild",
+            return Err(AnalysisError::FaultInjected("aserta::full_rebuild"))
+        );
+        let fresh = Self::try_with_pij(
+            self.circuit,
+            cells,
+            self.library.clone(),
+            self.cfg.clone(),
+            self.pij.clone(),
+        )?;
+        *self = fresh;
+        Ok(())
+    }
+
+    /// Refuses the call when the session is poisoned.
+    fn ensure_clean(&self) -> Result<(), AnalysisError> {
+        match &self.poison {
+            Some(reason) => Err(AnalysisError::Poisoned(reason.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// Records `reason` as the session's poison and returns the matching
+    /// error — the single exit used by every mid-recompute guard.
+    fn poison_now(&mut self, reason: PoisonReason) -> AnalysisError {
+        self.poison = Some(reason.clone());
+        AnalysisError::Poisoned(reason)
+    }
+
+    /// Pre-mutation validation of one delta: the target must be a gate
+    /// and the parameters finite.
+    fn validate_delta(&self, id: NodeId, p: &GateParams) -> Result<(), AnalysisError> {
+        let node = id.index() as u32;
+        if self.circuit.node(id).is_input() {
+            return Err(AnalysisError::InvalidGateParams {
+                node,
+                reason: "primary inputs carry no cell parameters",
+            });
+        }
+        validate_gate_params(node, p)
     }
 
     /// Recomputes `U_i` for the gates in `scratch.u_dirty` and resums the
@@ -670,6 +1056,52 @@ impl<'c> AnalysisSession<'c> {
         }
         self.critical_delay = worst;
     }
+}
+
+/// Rejects configuration scalars the analysis kernels cannot digest.
+pub(crate) fn validate_config(cfg: &AsertaConfig) -> Result<(), AnalysisError> {
+    let bad = |reason: &'static str| AnalysisError::InvalidConfig { reason };
+    if !(cfg.charge.is_finite() && cfg.charge > 0.0) {
+        return Err(bad("charge must be finite and positive"));
+    }
+    if cfg.sensitization_vectors == 0 {
+        return Err(bad("sensitization_vectors must be at least 1"));
+    }
+    if cfg.sample_widths < 2 {
+        return Err(bad("sample_widths must be at least 2"));
+    }
+    if !(cfg.wide_width.is_finite() && cfg.wide_width > 0.0) {
+        return Err(bad("wide_width must be finite and positive"));
+    }
+    if !(cfg.pi_probability.is_finite() && (0.0..=1.0).contains(&cfg.pi_probability)) {
+        return Err(bad("pi_probability must lie in [0, 1]"));
+    }
+    if !(cfg.pi_ramp.is_finite() && cfg.pi_ramp > 0.0) {
+        return Err(bad("pi_ramp must be finite and positive"));
+    }
+    if !(cfg.wire_cap_per_pin.is_finite() && cfg.wire_cap_per_pin >= 0.0) {
+        return Err(bad("wire_cap_per_pin must be finite and non-negative"));
+    }
+    if !(cfg.po_load.is_finite() && cfg.po_load >= 0.0) {
+        return Err(bad("po_load must be finite and non-negative"));
+    }
+    Ok(())
+}
+
+/// Rejects per-gate parameters whose table lookups would produce NaN.
+fn validate_gate_params(node: u32, p: &GateParams) -> Result<(), AnalysisError> {
+    let reason = if !(p.size.is_finite() && p.size > 0.0) {
+        "size must be finite and positive"
+    } else if !(p.l_nm.is_finite() && p.l_nm > 0.0) {
+        "channel length must be finite and positive"
+    } else if !(p.vdd.is_finite() && p.vdd > 0.0) {
+        "vdd must be finite and positive"
+    } else if !p.vth.is_finite() {
+        "vth must be finite"
+    } else {
+        return Ok(());
+    };
+    Err(AnalysisError::InvalidGateParams { node, reason })
 }
 
 #[cfg(test)]
@@ -857,6 +1289,147 @@ mod tests {
         clone.apply(&[(g, p)]);
         assert_ne!(clone.unreliability(), session.unreliability());
         assert_matches_fresh(&clone);
+        assert_matches_fresh(&session);
+    }
+
+    #[test]
+    fn construction_rejects_bad_config_and_bad_params() {
+        let c = generate::c17();
+        let mut bad = cfg();
+        bad.charge = f64::NAN;
+        let err = AnalysisSession::try_new(&c, CircuitCells::nominal(&c), lib(), bad);
+        assert!(matches!(err, Err(AnalysisError::InvalidConfig { .. })));
+
+        let mut cells = CircuitCells::nominal(&c);
+        let g = c.find("10").unwrap();
+        let mut p = *cells.get(g).unwrap();
+        p.vdd = f64::NAN;
+        cells.set(g, p);
+        let err = AnalysisSession::try_new(&c, cells, lib(), cfg());
+        assert!(matches!(err, Err(AnalysisError::InvalidGateParams { .. })));
+    }
+
+    #[test]
+    fn delta_rejections_leave_the_session_bitwise_intact() {
+        let c = generate::c17();
+        let mut session = AnalysisSession::new(&c, CircuitCells::nominal(&c), lib(), cfg());
+        let u_before = session.unreliability();
+        let timing_before = session.timing().clone();
+
+        // A primary-input target is a typed error, not a panic.
+        let pi = c.primary_inputs()[0];
+        let err = session
+            .try_apply(&[(pi, GateParams::new(ser_netlist::GateKind::Nand, 2))])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            AnalysisError::InvalidGateParams { reason, .. }
+                if reason.contains("primary inputs")
+        ));
+
+        // Non-finite parameters are rejected before any mutation.
+        let g = c.find("10").unwrap();
+        let mut p = *session.cells().get(g).unwrap();
+        p.size = f64::NAN;
+        assert!(matches!(
+            session.try_apply(&[(g, p)]),
+            Err(AnalysisError::InvalidGateParams { .. })
+        ));
+        let mut q = *session.cells().get(g).unwrap();
+        q.vdd = f64::INFINITY;
+        assert!(matches!(
+            session.try_set_charge(f64::NAN),
+            Err(AnalysisError::NonFiniteInput { .. })
+        ));
+        assert!(matches!(
+            session.try_apply(&[(g, q)]),
+            Err(AnalysisError::InvalidGateParams { .. })
+        ));
+
+        assert!(!session.is_poisoned());
+        assert_eq!(session.unreliability(), u_before);
+        assert_eq!(session.timing().delays, timing_before.delays);
+        assert_eq!(session.timing().loads, timing_before.loads);
+        // And the session still works.
+        let mut ok = *session.cells().get(g).unwrap();
+        ok.size = 4.0;
+        session.apply(&[(g, ok)]);
+        assert_matches_fresh(&session);
+    }
+
+    #[test]
+    fn nan_lut_poisons_then_recover_with_restores() {
+        use ser_cells::lut::{Axis, Lut2};
+
+        let c = generate::c17();
+        let g = c.find("10").unwrap();
+        let mut p = *CircuitCells::nominal(&c).get(g).unwrap();
+        p.size = 4.0;
+
+        // Pre-insert a NaN-filled variant under the delta's exact key, so
+        // the incremental recompute interpolates NaN out of the delay
+        // table and the timing guard trips mid-update.
+        let nan_lut = || {
+            Lut2::from_raw_unchecked(
+                Axis::new(vec![1e-15, 4e-15]).unwrap(),
+                Axis::new(vec![1e-12, 40e-12]).unwrap(),
+                vec![f64::NAN; 4],
+            )
+            .unwrap()
+        };
+        let bad_cell = CharacterizedCell {
+            params: p,
+            input_cap: 0.3e-15,
+            delay: nan_lut(),
+            out_ramp: nan_lut(),
+            glitch: nan_lut(),
+            leak_power: 1e-9,
+            c_self_total: 0.5e-15,
+            area: 2.0,
+        };
+        let mut l = lib();
+        l.insert(bad_cell);
+
+        // Construction validates only the *current* assignment (nominal),
+        // which doesn't touch the bad key — so it succeeds.
+        let mut session = AnalysisSession::new(&c, CircuitCells::nominal(&c), l, cfg());
+        assert!(!session.is_poisoned());
+
+        let err = session.try_apply(&[(g, p)]).unwrap_err();
+        assert!(matches!(
+            err,
+            AnalysisError::Poisoned(PoisonReason::NumericalFault { .. })
+        ));
+        assert!(session.is_poisoned());
+
+        // Every further mutation is refused with the recorded reason.
+        assert!(matches!(
+            session.try_set_charge(32e-15),
+            Err(AnalysisError::Poisoned(_))
+        ));
+        assert!(matches!(
+            session.try_apply(&[]),
+            Err(AnalysisError::Poisoned(_))
+        ));
+        // Reads still work.
+        let _ = session.unreliability();
+
+        // recover() keeps the bad assignment, whose cell fails
+        // construction-time validation.
+        assert!(matches!(
+            session.recover(),
+            Err(AnalysisError::BadCell { .. })
+        ));
+        assert!(session.is_poisoned(), "failed recovery keeps the poison");
+
+        // recover_with a clean assignment restores bitwise-fresh state.
+        session.recover_with(CircuitCells::nominal(&c)).unwrap();
+        assert!(!session.is_poisoned());
+        assert_matches_fresh(&session);
+        // And the session accepts mutations again.
+        let mut ok = *session.cells().get(g).unwrap();
+        ok.vth = 0.3;
+        session.apply(&[(g, ok)]);
         assert_matches_fresh(&session);
     }
 }

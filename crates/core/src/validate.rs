@@ -63,7 +63,10 @@ pub fn correlate_with_reference(
         ..CircuitSimConfig::default()
     };
     let elec = CircuitElectrical::new(tech, circuit, &sim_cfg, |id| {
-        *cells.get(id).expect("gates carry parameters")
+        let Some(p) = cells.get(id) else {
+            panic!("gates carry parameters")
+        };
+        *p
     });
     let vectors = random_vectors(
         circuit.primary_inputs().len(),

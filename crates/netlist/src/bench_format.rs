@@ -48,13 +48,20 @@ use crate::id::NodeId;
 /// # Ok::<(), ser_netlist::ParseBenchError>(())
 /// ```
 pub fn parse(text: &str, name: &str) -> Result<Circuit, ParseBenchError> {
+    /// A signal reference plus where it occurred (for diagnostics).
+    struct Ref {
+        name: String,
+        line: usize,
+        column: usize,
+    }
+
     enum Decl {
         Input,
-        Gate { kind: GateKind, fanin: Vec<String> },
+        Gate { kind: GateKind, fanin: Vec<Ref> },
     }
 
     let mut decls: Vec<(String, Decl)> = Vec::new();
-    let mut outputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<Ref> = Vec::new();
     let mut defined_at: HashMap<String, usize> = HashMap::new();
 
     for (lineno, raw) in text.lines().enumerate() {
@@ -70,50 +77,70 @@ pub fn parse(text: &str, name: &str) -> Result<Circuit, ParseBenchError> {
         if let Some(rest) = strip_directive(code, "INPUT") {
             let sig = rest.to_owned();
             if defined_at.insert(sig.clone(), line).is_some() {
-                return Err(ParseBenchError::Redefined { line, name: sig });
+                return Err(ParseBenchError::Redefined {
+                    line,
+                    column: column_in(raw, rest),
+                    name: sig,
+                });
             }
             decls.push((sig, Decl::Input));
         } else if let Some(rest) = strip_directive(code, "OUTPUT") {
-            outputs.push(rest.to_owned());
+            outputs.push(Ref {
+                name: rest.to_owned(),
+                line,
+                column: column_in(raw, rest),
+            });
         } else if let Some((lhs, rhs)) = code.split_once('=') {
-            let sig = lhs.trim().to_owned();
+            let lhs = lhs.trim();
+            let sig = lhs.to_owned();
             let rhs = rhs.trim();
             let (kind_tok, args) = rhs.split_once('(').ok_or_else(|| ParseBenchError::Syntax {
                 line,
+                column: column_in(raw, rhs),
                 text: code.to_owned(),
             })?;
+            let kind_tok = kind_tok.trim();
             let args = args
                 .strip_suffix(')')
                 .ok_or_else(|| ParseBenchError::Syntax {
                     line,
+                    column: column_in(raw, args),
                     text: code.to_owned(),
                 })?;
-            let kind: GateKind =
-                kind_tok
-                    .trim()
-                    .parse()
-                    .map_err(|_| ParseBenchError::UnknownGate {
-                        line,
-                        kind: kind_tok.trim().to_owned(),
-                    })?;
+            let kind: GateKind = kind_tok.parse().map_err(|_| ParseBenchError::UnknownGate {
+                line,
+                column: column_in(raw, kind_tok),
+                kind: kind_tok.to_owned(),
+            })?;
             if kind == GateKind::Input {
                 return Err(ParseBenchError::Syntax {
                     line,
+                    column: column_in(raw, kind_tok),
                     text: code.to_owned(),
                 });
             }
-            let fanin: Vec<String> = args
+            let fanin: Vec<Ref> = args
                 .split(',')
-                .map(|a| a.trim().to_owned())
+                .map(|a| a.trim())
                 .filter(|a| !a.is_empty())
+                .map(|a| Ref {
+                    name: a.to_owned(),
+                    line,
+                    column: column_in(raw, a),
+                })
                 .collect();
             if defined_at.insert(sig.clone(), line).is_some() {
-                return Err(ParseBenchError::Redefined { line, name: sig });
+                return Err(ParseBenchError::Redefined {
+                    line,
+                    column: column_in(raw, lhs),
+                    name: sig,
+                });
             }
             decls.push((sig, Decl::Gate { kind, fanin }));
         } else {
             return Err(ParseBenchError::Syntax {
                 line,
+                column: column_in(raw, code),
                 text: code.to_owned(),
             });
         }
@@ -137,9 +164,13 @@ pub fn parse(text: &str, name: &str) -> Result<Circuit, ParseBenchError> {
             Decl::Gate { kind, fanin } => {
                 let mut pins = Vec::with_capacity(fanin.len());
                 for f in fanin {
-                    let &i = index
-                        .get(f.as_str())
-                        .ok_or_else(|| ParseBenchError::UndefinedSignal { name: f.clone() })?;
+                    let &i = index.get(f.name.as_str()).ok_or_else(|| {
+                        ParseBenchError::UndefinedSignal {
+                            line: f.line,
+                            column: f.column,
+                            name: f.name.clone(),
+                        }
+                    })?;
                     pins.push(NodeId::new(i));
                 }
                 Node {
@@ -155,12 +186,32 @@ pub fn parse(text: &str, name: &str) -> Result<Circuit, ParseBenchError> {
     let mut pos = Vec::with_capacity(outputs.len());
     for out in &outputs {
         let &i = index
-            .get(out.as_str())
-            .ok_or_else(|| ParseBenchError::UndefinedSignal { name: out.clone() })?;
+            .get(out.name.as_str())
+            .ok_or_else(|| ParseBenchError::UndefinedSignal {
+                line: out.line,
+                column: out.column,
+                name: out.name.clone(),
+            })?;
         pos.push(NodeId::new(i));
     }
 
     Ok(Circuit::from_parts(name, nodes, pos)?)
+}
+
+/// 1-based byte column of `token` within `line`. `token` must be a
+/// subslice of `line` (all parser tokens are — they come from `split`,
+/// `trim` and `strip_*` on the raw line); a non-subslice falls back to a
+/// plain substring search, and column 1 if even that fails.
+fn column_in(line: &str, token: &str) -> usize {
+    let line_start = line.as_ptr() as usize;
+    let tok_start = token.as_ptr() as usize;
+    if tok_start >= line_start && tok_start + token.len() <= line_start + line.len() {
+        return tok_start - line_start + 1;
+    }
+    match line.find(token) {
+        Some(off) => off + 1,
+        None => 1,
+    }
 }
 
 fn strip_directive<'a>(code: &'a str, directive: &str) -> Option<&'a str> {

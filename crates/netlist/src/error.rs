@@ -88,6 +88,10 @@ impl fmt::Display for NetlistError {
 impl std::error::Error for NetlistError {}
 
 /// Error produced while parsing an ISCAS'85 `.bench` file.
+///
+/// Every lexical variant carries the 1-based line number and 1-based
+/// byte column of the offending token, so malformed inputs are
+/// pinpointed exactly.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum ParseBenchError {
@@ -95,6 +99,8 @@ pub enum ParseBenchError {
     Syntax {
         /// 1-based line number.
         line: usize,
+        /// 1-based byte column where the unparseable text starts.
+        column: usize,
         /// The offending text.
         text: String,
     },
@@ -102,11 +108,17 @@ pub enum ParseBenchError {
     UnknownGate {
         /// 1-based line number.
         line: usize,
+        /// 1-based byte column of the kind token.
+        column: usize,
         /// The unrecognized kind token.
         kind: String,
     },
     /// A signal is referenced but never defined.
     UndefinedSignal {
+        /// 1-based line number of the reference.
+        line: usize,
+        /// 1-based byte column of the reference.
+        column: usize,
         /// The undefined signal name.
         name: String,
     },
@@ -114,6 +126,8 @@ pub enum ParseBenchError {
     Redefined {
         /// 1-based line number of the second definition.
         line: usize,
+        /// 1-based byte column of the redefined signal token.
+        column: usize,
         /// The redefined signal name.
         name: String,
     },
@@ -124,17 +138,23 @@ pub enum ParseBenchError {
 impl fmt::Display for ParseBenchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ParseBenchError::Syntax { line, text } => {
-                write!(f, "line {line}: cannot parse `{text}`")
+            ParseBenchError::Syntax { line, column, text } => {
+                write!(f, "line {line}:{column}: cannot parse `{text}`")
             }
-            ParseBenchError::UnknownGate { line, kind } => {
-                write!(f, "line {line}: unknown gate kind `{kind}`")
+            ParseBenchError::UnknownGate { line, column, kind } => {
+                write!(f, "line {line}:{column}: unknown gate kind `{kind}`")
             }
-            ParseBenchError::UndefinedSignal { name } => {
-                write!(f, "signal `{name}` referenced but never defined")
+            ParseBenchError::UndefinedSignal { line, column, name } => {
+                write!(
+                    f,
+                    "line {line}:{column}: signal `{name}` referenced but never defined"
+                )
             }
-            ParseBenchError::Redefined { line, name } => {
-                write!(f, "line {line}: signal `{name}` driven more than once")
+            ParseBenchError::Redefined { line, column, name } => {
+                write!(
+                    f,
+                    "line {line}:{column}: signal `{name}` driven more than once"
+                )
             }
             ParseBenchError::Structure(e) => write!(f, "invalid netlist structure: {e}"),
         }

@@ -1,0 +1,207 @@
+//! A cfg-gated fail-point registry for fault-injection testing, modeled
+//! on the `fail` crate.
+//!
+//! A *fail point* is a named hook compiled into library code behind the
+//! `fail-points` cargo feature. In production builds the hook vanishes
+//! entirely; in fault-injection builds a test arms a fail point with a
+//! [`FailAction`] and the next execution of the hook either surfaces a
+//! typed error (through the `failpoint!` macro's error arm) or panics on
+//! purpose (to exercise panic containment at thread-scope boundaries).
+//!
+//! Consuming crates declare their own `fail-points` feature forwarding to
+//! `ser_netlist/fail-points`, then thread hooks through fallible code:
+//!
+//! ```ignore
+//! ser_netlist::failpoint!("aserta::session_recompute", {
+//!     return Err(self.poison_now(PoisonReason::Injected("aserta::session_recompute")));
+//! });
+//! ```
+//!
+//! Tests serialize access to the process-global registry with
+//! [`scenario`], which clears all fail points on entry and on drop:
+//!
+//! ```ignore
+//! let _guard = ser_netlist::failpoint::scenario();
+//! ser_netlist::failpoint::set_times("aserta::session_recompute", FailAction::Error, 1);
+//! assert!(session.try_apply(&deltas).is_err());
+//! assert_eq!(ser_netlist::failpoint::hits("aserta::session_recompute"), 1);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// What an armed fail point does when execution reaches it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailAction {
+    /// Take the `failpoint!` macro's error arm (surface a typed error).
+    Error,
+    /// Panic at the fail point (exercises panic containment).
+    Panic,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Armed {
+    action: FailAction,
+    /// Remaining firings; `None` = unlimited.
+    remaining: Option<usize>,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    armed: HashMap<String, Armed>,
+    /// Times each fail point actually fired (returned `Some` from
+    /// [`check`]).
+    hits: HashMap<String, usize>,
+}
+
+fn registry() -> MutexGuard<'static, Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    match REGISTRY.get_or_init(Mutex::default).lock() {
+        Ok(g) => g,
+        // A panicking fail point poisons the mutex by design; the state
+        // is a plain map, always valid.
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Arms `name` to fire on every execution until [`clear`]ed.
+pub fn set(name: &str, action: FailAction) {
+    registry().armed.insert(
+        name.to_owned(),
+        Armed {
+            action,
+            remaining: None,
+        },
+    );
+}
+
+/// Arms `name` to fire on the next `times` executions, then disarm
+/// itself. `set_times(name, action, 1)` is the one-shot used to test
+/// recovery after a transient fault.
+pub fn set_times(name: &str, action: FailAction, times: usize) {
+    registry().armed.insert(
+        name.to_owned(),
+        Armed {
+            action,
+            remaining: Some(times),
+        },
+    );
+}
+
+/// Disarms `name` (keeps its hit counter).
+pub fn clear(name: &str) {
+    registry().armed.remove(name);
+}
+
+/// Disarms every fail point and zeroes all hit counters.
+pub fn clear_all() {
+    let mut reg = registry();
+    reg.armed.clear();
+    reg.hits.clear();
+}
+
+/// Times `name` has fired since the last [`clear_all`].
+pub fn hits(name: &str) -> usize {
+    registry().hits.get(name).copied().unwrap_or(0)
+}
+
+/// Evaluates the fail point `name`: returns the armed action (consuming
+/// one firing of a counted arm) or `None` when disarmed. Library code
+/// calls this through the `failpoint!` macro, never directly.
+pub fn check(name: &str) -> Option<FailAction> {
+    let mut reg = registry();
+    let armed = reg.armed.get_mut(name)?;
+    let action = armed.action;
+    match &mut armed.remaining {
+        Some(0) => return None,
+        Some(n) => {
+            *n -= 1;
+            if *n == 0 {
+                reg.armed.remove(name);
+            }
+        }
+        None => {}
+    }
+    *reg.hits.entry(name.to_owned()).or_insert(0) += 1;
+    Some(action)
+}
+
+/// RAII guard serializing fault-injection scenarios.
+///
+/// The fail-point registry is process-global, so concurrently running
+/// tests would trip over each other's armed points. [`scenario`] takes a
+/// global lock and clears all state on entry and on drop; hold the guard
+/// for the whole test.
+pub struct Scenario {
+    _lock: MutexGuard<'static, ()>,
+}
+
+/// Starts an isolated fault-injection scenario (see [`Scenario`]).
+pub fn scenario() -> Scenario {
+    static SCENARIO: OnceLock<Mutex<()>> = OnceLock::new();
+    let lock = match SCENARIO.get_or_init(Mutex::default).lock() {
+        Ok(g) => g,
+        // A previous scenario panicked mid-test (possibly on purpose, via
+        // `FailAction::Panic`); the registry is still structurally sound.
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    clear_all();
+    Scenario { _lock: lock }
+}
+
+impl Drop for Scenario {
+    fn drop(&mut self) {
+        clear_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counted_arm_fires_then_disarms() {
+        let _guard = scenario();
+        set_times("netlist::test_point", FailAction::Error, 2);
+        assert_eq!(check("netlist::test_point"), Some(FailAction::Error));
+        assert_eq!(check("netlist::test_point"), Some(FailAction::Error));
+        assert_eq!(check("netlist::test_point"), None);
+        assert_eq!(hits("netlist::test_point"), 2);
+    }
+
+    #[test]
+    fn unlimited_arm_fires_until_cleared() {
+        let _guard = scenario();
+        set("netlist::test_unlimited", FailAction::Panic);
+        for _ in 0..5 {
+            assert_eq!(check("netlist::test_unlimited"), Some(FailAction::Panic));
+        }
+        clear("netlist::test_unlimited");
+        assert_eq!(check("netlist::test_unlimited"), None);
+        assert_eq!(hits("netlist::test_unlimited"), 5);
+    }
+
+    #[test]
+    fn scenario_clears_state() {
+        {
+            let _guard = scenario();
+            set("netlist::test_leak", FailAction::Error);
+        }
+        let _guard = scenario();
+        assert_eq!(check("netlist::test_leak"), None);
+        assert_eq!(hits("netlist::test_leak"), 0);
+    }
+
+    #[test]
+    fn macro_error_arm_returns() {
+        let _guard = scenario();
+        fn hook() -> Result<u32, &'static str> {
+            crate::failpoint!("netlist::test_macro", return Err("injected"));
+            Ok(7)
+        }
+        assert_eq!(hook(), Ok(7));
+        set_times("netlist::test_macro", FailAction::Error, 1);
+        assert_eq!(hook(), Err("injected"));
+        assert_eq!(hook(), Ok(7), "one-shot arm must disarm itself");
+    }
+}

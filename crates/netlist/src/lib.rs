@@ -41,6 +41,8 @@ pub mod cone;
 pub mod csr;
 pub mod dirty;
 mod error;
+#[cfg(feature = "fail-points")]
+pub mod failpoint;
 mod gate;
 pub mod generate;
 mod id;
@@ -53,3 +55,35 @@ pub use circuit::Circuit;
 pub use error::{NetlistError, ParseBenchError};
 pub use gate::{GateKind, Node};
 pub use id::NodeId;
+
+/// Declares a fail point (see [`failpoint`] — the module).
+///
+/// The one-argument form panics when armed with either action. The
+/// two-argument form runs `$on_error` (typically a `return Err(...)`)
+/// for `FailAction::Error` and panics for `FailAction::Panic`. The
+/// whole expansion is gated on the **consuming** crate's `fail-points`
+/// feature, which must forward to `ser_netlist/fail-points`; production
+/// builds compile the hook to nothing.
+#[macro_export]
+macro_rules! failpoint {
+    ($name:expr) => {
+        #[cfg(feature = "fail-points")]
+        {
+            if let Some(_action) = $crate::failpoint::check($name) {
+                panic!("fail point `{}`: injected panic", $name);
+            }
+        }
+    };
+    ($name:expr, $on_error:expr) => {
+        #[cfg(feature = "fail-points")]
+        {
+            match $crate::failpoint::check($name) {
+                Some($crate::failpoint::FailAction::Panic) => {
+                    panic!("fail point `{}`: injected panic", $name)
+                }
+                Some($crate::failpoint::FailAction::Error) => $on_error,
+                None => {}
+            }
+        }
+    };
+}

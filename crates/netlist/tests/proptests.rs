@@ -104,4 +104,72 @@ proptest! {
             }
         }
     }
+
+    /// Truncating a valid `.bench` file at any byte boundary must yield
+    /// `Ok` or a typed `ParseBenchError` — never a panic.
+    #[test]
+    fn truncated_bench_never_panics(spec in arb_spec(), frac in 0.0f64..1.0) {
+        let c = layered(&spec);
+        let text = bench_format::write(&c);
+        let mut cut = (text.len() as f64 * frac) as usize;
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let _ = bench_format::parse(&text[..cut], "trunc");
+    }
+
+    /// Flipping an arbitrary byte of a valid `.bench` file must yield
+    /// `Ok` or a typed error — never a panic — and any error must carry
+    /// a plausible source position.
+    #[test]
+    fn byte_flipped_bench_never_panics(spec in arb_spec(), pos_frac in 0.0f64..1.0, flip in 1u64..256) {
+        let c = layered(&spec);
+        let text = bench_format::write(&c);
+        let mut bytes = text.into_bytes();
+        if !bytes.is_empty() {
+            let i = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+            bytes[i] ^= flip as u8;
+        }
+        if let Ok(mutated) = String::from_utf8(bytes) {
+            let line_count = mutated.lines().count();
+            if let Err(e) = bench_format::parse(&mutated, "flip") {
+                use ser_netlist::ParseBenchError as E;
+                match e {
+                    E::Syntax { line, column, .. }
+                    | E::UnknownGate { line, column, .. }
+                    | E::UndefinedSignal { line, column, .. }
+                    | E::Redefined { line, column, .. } => {
+                        prop_assert!(line >= 1 && line <= line_count.max(1));
+                        prop_assert!(column >= 1);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Duplicating any definition line must be rejected as `Redefined`
+    /// (pointing at the duplicate) or another typed error — never a panic.
+    #[test]
+    fn duplicated_line_never_panics(spec in arb_spec(), pick in 0.0f64..1.0) {
+        let c = layered(&spec);
+        let text = bench_format::write(&c);
+        let defs: Vec<&str> = text
+            .lines()
+            .filter(|l| {
+                let code = l.split('#').next().unwrap_or("").trim();
+                !code.is_empty() && !code.starts_with("OUTPUT")
+            })
+            .collect();
+        if defs.is_empty() {
+            return Ok(());
+        }
+        let dup = defs[((defs.len() - 1) as f64 * pick) as usize];
+        let mutated = format!("{text}\n{dup}\n");
+        let err = bench_format::parse(&mutated, "dup")
+            .expect_err("duplicate driver must be rejected");
+        if let ser_netlist::ParseBenchError::Redefined { line, .. } = err {
+            prop_assert!(line > text.lines().count());
+        }
+    }
 }

@@ -47,7 +47,10 @@ pub fn size_for_speed(
             }
             // Pick the smallest size whose input cap × effort covers the
             // load (i.e. stage effort ≤ target), defaulting to the max.
-            let mut chosen = *sizes.last().expect("non-empty");
+            let Some(&fallback) = sizes.last() else {
+                panic!("need at least one allowed size")
+            };
+            let mut chosen = fallback;
             let mut best: Option<f64> = None;
             for &size in sizes {
                 let p = GateParams::new(node.kind, node.fanin.len()).with_size(size);
@@ -64,10 +67,7 @@ pub fn size_for_speed(
                 }
             }
             if best.is_none() {
-                chosen = *sizes
-                    .iter()
-                    .max_by(|a, b| a.partial_cmp(b).expect("sizes are finite"))
-                    .expect("non-empty");
+                chosen = sizes.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             }
             cells.set(
                 id,

@@ -131,7 +131,9 @@ pub fn gate_energy(
     load: f64,
     energy_model: &EnergyModel,
 ) -> f64 {
-    let p = cells.get(id).expect("gates carry parameters");
+    let Some(p) = cells.get(id) else {
+        panic!("gate_energy: node {id} carries no cell parameters")
+    };
     let cell = library.get_or_characterize(p);
     let activity = 2.0 * static_prob * (1.0 - static_prob);
     activity * cell.dynamic_energy(load) + cell.static_energy(energy_model.clock_period)

@@ -22,6 +22,16 @@
 //! alternatives: simulated annealing, a genetic algorithm, and coordinate
 //! descent.
 //!
+//! # Error handling
+//!
+//! Candidate evaluation is fallible: [`DelayProblem::try_evaluate_phi`]
+//! and [`DelayProblem::evaluate_batch`] return typed [`EvalError`]s,
+//! replica panics are caught per candidate at the thread-scope boundary,
+//! and every optimizer skips or penalizes failed candidates
+//! deterministically — see [`error`]. The library code itself is
+//! compiled with `clippy::unwrap_used`/`clippy::expect_used` denied;
+//! remaining panics are documented invariants.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -43,10 +53,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod allowed;
 mod baseline;
 pub mod cost;
+pub mod error;
 pub mod matching;
 pub mod nullspace;
 pub mod optimize;
@@ -58,7 +70,8 @@ pub mod topology;
 pub use allowed::AllowedParams;
 pub use baseline::size_for_speed;
 pub use cost::{CostBreakdown, CostWeights, EnergyModel};
+pub use error::EvalError;
 pub use matching::MatchPlan;
 pub use optimize::{optimize_circuit, Algorithm, OptimizerConfig};
-pub use problem::{DelayProblem, EvalStrategy};
+pub use problem::{Candidate, DelayProblem, EvalStrategy};
 pub use result::Outcome;

@@ -16,6 +16,7 @@ use ser_netlist::{Circuit, GateKind, NodeId};
 use ser_spice::GateParams;
 
 use crate::allowed::AllowedParams;
+use crate::error::EvalError;
 
 /// Matching knobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -233,35 +234,65 @@ impl MatchPlan {
     ///
     /// # Panics
     ///
-    /// Panics if `target_delays` does not hold one entry per node.
+    /// Panics on any condition [`MatchPlan::try_realize`] reports as an
+    /// error (wrong target count, non-finite targets, unsatisfiable
+    /// grid).
     pub fn realize(&self, circuit: &Circuit, target_delays: &[f64]) -> CircuitCells {
-        assert_eq!(
-            target_delays.len(),
-            circuit.node_count(),
-            "one target delay per node"
+        match self.try_realize(circuit, target_delays) {
+            Ok(cells) => cells,
+            Err(e) => panic!("realize: {e}"),
+        }
+    }
+
+    /// Fallible [`MatchPlan::realize`]: rejects malformed targets (wrong
+    /// count, non-finite entries) and an unsatisfiable candidate grid
+    /// with a typed [`EvalError`] instead of panicking. The plan itself
+    /// is immutable, so a failed realization has no state to corrupt.
+    pub fn try_realize(
+        &self,
+        circuit: &Circuit,
+        target_delays: &[f64],
+    ) -> Result<CircuitCells, EvalError> {
+        ser_netlist::failpoint!(
+            "sertopt::match_realize",
+            return Err(EvalError::FaultInjected("sertopt::match_realize"))
         );
+        if target_delays.len() != circuit.node_count() {
+            return Err(EvalError::Match {
+                reason: "one target delay per node",
+            });
+        }
+        if target_delays.iter().any(|d| !d.is_finite()) {
+            return Err(EvalError::Match {
+                reason: "target delays must be finite",
+            });
+        }
         let mut choice = vec![u32::MAX; circuit.node_count()];
         let pass1 = if self.anchored {
             ScanMode::Anchored
         } else {
             ScanMode::Scratch
         };
-        self.scan(circuit, target_delays, pass1, &mut choice);
+        self.scan(circuit, target_delays, pass1, &mut choice)?;
         for _ in 0..self.refine_passes {
+            ser_netlist::failpoint!(
+                "sertopt::match_refine",
+                return Err(EvalError::FaultInjected("sertopt::match_refine"))
+            );
             let (loads, in_ramps) = self.anchor_timing(circuit, &choice);
             self.scan(
                 circuit,
                 target_delays,
                 ScanMode::Timing(&loads, &in_ramps),
                 &mut choice,
-            );
+            )?;
         }
         let mut cells = CircuitCells::nominal(circuit);
         for &i in &self.order {
             let id = NodeId::new(i as usize);
             cells.set(id, self.cand_params[choice[i as usize] as usize]);
         }
-        cells
+        Ok(cells)
     }
 
     /// One reverse-topological matching pass (see [`ScanMode`] for how
@@ -272,7 +303,7 @@ impl MatchPlan {
         target_delays: &[f64],
         mode: ScanMode<'_>,
         choice: &mut [u32],
-    ) {
+    ) -> Result<(), EvalError> {
         let mut chosen_vdd: Vec<f64> = vec![f64::NAN; circuit.node_count()];
         for &i in &self.order {
             let id = NodeId::new(i as usize);
@@ -343,10 +374,15 @@ impl MatchPlan {
                     best = Some((score, c));
                 }
             }
-            let (_, c) = best.expect("allowed grid is non-empty and VDD floor is satisfiable");
+            let Some((_, c)) = best else {
+                return Err(EvalError::Match {
+                    reason: "allowed grid is empty or the VDD floor is unsatisfiable",
+                });
+            };
             chosen_vdd[i as usize] = self.cand_params[c].vdd;
             choice[i as usize] = c as u32;
         }
+        Ok(())
     }
 
     /// The loads and input ramps of the current choices — exactly
@@ -407,7 +443,10 @@ fn grid_points<'a>(
 pub fn vdd_violations(circuit: &Circuit, cells: &CircuitCells) -> Vec<(NodeId, NodeId)> {
     let mut bad = Vec::new();
     for id in circuit.gates() {
-        let v = cells.get(id).expect("gates carry parameters").vdd;
+        let Some(p) = cells.get(id) else {
+            panic!("gates carry parameters")
+        };
+        let v = p.vdd;
         for &s in circuit.fanout(id) {
             if let Some(ps) = cells.get(s) {
                 if v + 1e-12 < ps.vdd {

@@ -8,7 +8,9 @@ use crate::problem::DelayProblem;
 
 /// Runs `moves` Metropolis steps with a geometric cooling schedule.
 /// Each move perturbs a random small subset of coordinates by a Gaussian
-/// step scaled to the current temperature.
+/// step scaled to the current temperature. A move whose evaluation fails
+/// is rejected deterministically (cooling continues, history keeps its
+/// shape).
 pub fn run(
     problem: &mut DelayProblem<'_>,
     moves: usize,
@@ -17,11 +19,11 @@ pub fn run(
 ) -> (Vec<f64>, Vec<f64>) {
     let dim = problem.dim();
     if dim == 0 {
-        return (Vec::new(), vec![problem.evaluate_phi(&[]).cost]);
+        return (Vec::new(), vec![start_cost(problem, &[])]);
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut phi = vec![0.0f64; dim];
-    let mut cur_cost = problem.evaluate_phi(&phi).cost;
+    let mut cur_cost = start_cost(problem, &phi);
     let mut best_phi = phi.clone();
     let mut best_cost = cur_cost;
     let mut history = vec![best_cost];
@@ -45,7 +47,11 @@ pub fn run(
             let g: f64 = (0..4).map(|_| rng.random::<f64>() - 0.5).sum::<f64>();
             trial[k] += g * initial_step * (temp / t_start).max(0.1);
         }
-        let c = problem.evaluate_phi(&trial).cost;
+        let Ok(c) = problem.try_evaluate_phi(&trial).map(|c| c.cost) else {
+            history.push(best_cost);
+            temp *= cooling;
+            continue;
+        };
         let accept = c < cur_cost || {
             let p = ((cur_cost - c) / temp).exp();
             rng.random::<f64>() < p
@@ -62,4 +68,13 @@ pub fn run(
         temp *= cooling;
     }
     (best_phi, history)
+}
+
+/// The cost of the search's starting point; a failed start reads as
+/// infinitely bad so any surviving candidate improves on it.
+fn start_cost(problem: &mut DelayProblem<'_>, phi: &[f64]) -> f64 {
+    problem
+        .try_evaluate_phi(phi)
+        .map(|c| c.cost)
+        .unwrap_or(f64::INFINITY)
 }

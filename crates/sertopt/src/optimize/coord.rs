@@ -8,7 +8,8 @@ use crate::problem::DelayProblem;
 
 /// Runs `iterations` sweeps; each sweep tries ±step on every coordinate
 /// (shuffled order) and keeps improvements greedily. The step halves
-/// after a sweep without improvement.
+/// after a sweep without improvement. A trial whose evaluation fails is
+/// skipped deterministically (it counts as non-improving).
 pub fn run(
     problem: &mut DelayProblem<'_>,
     iterations: usize,
@@ -17,11 +18,11 @@ pub fn run(
 ) -> (Vec<f64>, Vec<f64>) {
     let dim = problem.dim();
     if dim == 0 {
-        return (Vec::new(), vec![problem.evaluate_phi(&[]).cost]);
+        return (Vec::new(), vec![start_cost(problem, &[])]);
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut phi = vec![0.0f64; dim];
-    let mut best_cost = problem.evaluate_phi(&phi).cost;
+    let mut best_cost = start_cost(problem, &phi);
     let mut history = vec![best_cost];
     let mut step = initial_step;
     let mut order: Vec<usize> = (0..dim).collect();
@@ -33,7 +34,9 @@ pub fn run(
             for dir in [1.0, -1.0] {
                 let mut trial = phi.clone();
                 trial[k] += dir * step;
-                let c = problem.evaluate_phi(&trial).cost;
+                let Ok(c) = problem.try_evaluate_phi(&trial).map(|c| c.cost) else {
+                    continue;
+                };
                 if c < best_cost {
                     best_cost = c;
                     phi = trial;
@@ -51,4 +54,13 @@ pub fn run(
         }
     }
     (phi, history)
+}
+
+/// The cost of the search's starting point; a failed start reads as
+/// infinitely bad so any surviving candidate improves on it.
+fn start_cost(problem: &mut DelayProblem<'_>, phi: &[f64]) -> f64 {
+    problem
+        .try_evaluate_phi(phi)
+        .map(|c| c.cost)
+        .unwrap_or(f64::INFINITY)
 }

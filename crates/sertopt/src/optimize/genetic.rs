@@ -18,6 +18,9 @@ const MUTATION_RATE: f64 = 0.3;
 /// each generation's offspring are independent — they are bred first
 /// (one sequential RNG stream) and then evaluated as one thread-batched
 /// call, which keeps the outcome identical for every worker count.
+/// Candidates whose evaluation fails are penalized with an infinite
+/// cost, so selection deterministically breeds past them and a fault
+/// never aborts the search.
 pub fn run(
     problem: &mut DelayProblem<'_>,
     generations: usize,
@@ -26,7 +29,11 @@ pub fn run(
 ) -> (Vec<f64>, Vec<f64>) {
     let dim = problem.dim();
     if dim == 0 {
-        return (Vec::new(), vec![problem.evaluate_phi(&[]).cost]);
+        let cost = problem
+            .try_evaluate_phi(&[])
+            .map(|c| c.cost)
+            .unwrap_or(f64::INFINITY);
+        return (Vec::new(), vec![cost]);
     }
     let mut rng = StdRng::seed_from_u64(seed);
 
@@ -44,7 +51,7 @@ pub fn run(
     let mut population: Vec<(Vec<f64>, f64)> = genomes
         .into_iter()
         .zip(costs)
-        .map(|(g, c)| (g, c.cost))
+        .map(|(g, c)| (g, penalized_cost(c)))
         .collect();
 
     let mut history = vec![best_of(&population).1];
@@ -73,7 +80,12 @@ pub fn run(
         // …then score it in one batch, with the elite carried over.
         let costs = problem.evaluate_batch(&brood);
         let mut next: Vec<(Vec<f64>, f64)> = vec![best_of(&population).clone()];
-        next.extend(brood.into_iter().zip(costs).map(|(g, c)| (g, c.cost)));
+        next.extend(
+            brood
+                .into_iter()
+                .zip(costs)
+                .map(|(g, c)| (g, penalized_cost(c))),
+        );
         population = next;
         history.push(best_of(&population).1);
     }
@@ -81,11 +93,20 @@ pub fn run(
     (genes, history)
 }
 
+/// Failed evaluations count as infinitely bad — a deterministic penalty
+/// that keeps population and history shapes intact.
+fn penalized_cost(c: Result<crate::problem::Candidate, crate::error::EvalError>) -> f64 {
+    match c {
+        Ok(c) => c.cost,
+        Err(_) => f64::INFINITY,
+    }
+}
+
 fn best_of(population: &[(Vec<f64>, f64)]) -> &(Vec<f64>, f64) {
-    population
-        .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are finite"))
-        .expect("population is non-empty")
+    let Some(best) = population.iter().min_by(|a, b| a.1.total_cmp(&b.1)) else {
+        panic!("population is non-empty")
+    };
+    best
 }
 
 fn tournament<'p>(population: &'p [(Vec<f64>, f64)], rng: &mut StdRng) -> &'p [f64] {
@@ -96,5 +117,8 @@ fn tournament<'p>(population: &'p [(Vec<f64>, f64)], rng: &mut StdRng) -> &'p [f
             best = Some(cand);
         }
     }
-    &best.expect("tournament saw a candidate").0
+    let Some(best) = best else {
+        panic!("tournament saw a candidate")
+    };
+    &best.0
 }

@@ -149,17 +149,36 @@ pub fn optimize_circuit(
             genetic::run(&mut problem, cfg.iterations, cfg.initial_step, cfg.seed)
         }
     };
-    let best = problem.evaluate_phi(&best_phi);
     // Guards against library-quantization drift: prefer the re-matched
     // zero move if it beats the search result, and fall back to the
     // untouched baseline when nothing beats it (the paper's c499 row —
     // "the unreliability of c499 could not be reduced" — is exactly this
-    // outcome).
-    let zero = problem.evaluate_phi(&vec![0.0; problem.dim()]);
-    let (mut final_candidate, mut final_phi) = if zero.cost < best.cost {
-        (zero, vec![0.0; problem.dim()])
-    } else {
-        (best, best_phi)
+    // outcome). Evaluation failures (possible only under injected faults
+    // or degenerate configurations) drop the failed point from the
+    // comparison instead of aborting.
+    let zero_phi = vec![0.0; problem.dim()];
+    let best = problem.try_evaluate_phi(&best_phi).ok();
+    let zero = problem.try_evaluate_phi(&zero_phi).ok();
+    let picked = match (best, zero) {
+        (Some(b), Some(z)) => Some(if z.cost < b.cost {
+            (z, zero_phi.clone())
+        } else {
+            (b, best_phi)
+        }),
+        (Some(b), None) => Some((b, best_phi)),
+        (None, Some(z)) => Some((z, zero_phi.clone())),
+        (None, None) => None,
+    };
+    let (mut final_candidate, mut final_phi) = match picked {
+        Some(p) => p,
+        None => (
+            crate::problem::Candidate {
+                cost: problem.baseline.cost,
+                breakdown: problem.baseline,
+                cells: baseline_cells.clone(),
+            },
+            zero_phi,
+        ),
     };
     // partial_cmp: a NaN cost must also fall back to the baseline.
     if final_candidate.cost.partial_cmp(&problem.baseline.cost) != Some(std::cmp::Ordering::Less) {

@@ -34,12 +34,12 @@ pub fn run(
 ) -> (Vec<f64>, Vec<f64>) {
     let dim = problem.dim();
     if dim == 0 {
-        return (Vec::new(), vec![problem.evaluate_phi(&[]).cost]);
+        return (Vec::new(), vec![start_cost(problem, &[])]);
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut phi = vec![0.0f64; dim];
     let mut best_phi = phi.clone();
-    let mut best_cost = problem.evaluate_phi(&phi).cost;
+    let mut best_cost = start_cost(problem, &phi);
     let mut history = vec![best_cost];
     let mut step = initial_step;
 
@@ -64,7 +64,12 @@ pub fn run(
                     .zip(&grad)
                     .map(|(&p, &g)| p - trial_step * g / norm)
                     .collect();
-                let c = problem.evaluate_phi(&trial).cost;
+                // A failed trial counts as non-improving; backtracking
+                // continues deterministically.
+                let Ok(c) = problem.try_evaluate_phi(&trial).map(|c| c.cost) else {
+                    trial_step *= 0.5;
+                    continue;
+                };
                 if c < best_cost {
                     best_cost = c;
                     phi = trial.clone();
@@ -88,11 +93,13 @@ pub fn run(
                 })
                 .collect();
             let costs = problem.evaluate_batch(&trials);
+            // Failed probes are skipped; the first surviving improvement
+            // in draw order wins (mirroring the sequential scan).
             if let Some((trial, c)) = trials
                 .into_iter()
                 .zip(costs)
-                .find(|(_, c)| c.cost < best_cost)
-                .map(|(t, c)| (t, c.cost))
+                .filter_map(|(t, c)| c.ok().map(|c| (t, c.cost)))
+                .find(|(_, c)| *c < best_cost)
             {
                 best_cost = c;
                 phi = trial.clone();
@@ -114,9 +121,19 @@ pub fn run(
     (best_phi, history)
 }
 
+/// The cost of the search's starting point; a failed start reads as
+/// infinitely bad so any surviving candidate improves on it.
+fn start_cost(problem: &mut DelayProblem<'_>, phi: &[f64]) -> f64 {
+    problem
+        .try_evaluate_phi(phi)
+        .map(|c| c.cost)
+        .unwrap_or(f64::INFINITY)
+}
+
 fn forward_difference(problem: &mut DelayProblem<'_>, phi: &[f64], f0: f64, h: f64) -> Vec<f64> {
     // One independent probe per coordinate — a single thread-batched
-    // evaluation round.
+    // evaluation round. A failed probe reads a zero slope along its
+    // coordinate (deterministically skipped).
     let trials: Vec<Vec<f64>> = (0..phi.len())
         .map(|k| {
             let mut p = phi.to_vec();
@@ -127,7 +144,10 @@ fn forward_difference(problem: &mut DelayProblem<'_>, phi: &[f64], f0: f64, h: f
     problem
         .evaluate_batch(&trials)
         .iter()
-        .map(|c| (c.cost - f0) / h)
+        .map(|c| match c {
+            Ok(c) => (c.cost - f0) / h,
+            Err(_) => 0.0,
+        })
         .collect()
 }
 
@@ -158,9 +178,12 @@ fn spsa(
     }
     let costs = problem.evaluate_batch(&trials);
     for (i, signs) in all_signs.iter().enumerate() {
-        let fp = costs[2 * i].cost;
-        let fm = costs[2 * i + 1].cost;
-        let d = (fp - fm) / (2.0 * h);
+        // A sample with a failed probe contributes nothing (skipped
+        // deterministically).
+        let (Ok(fp), Ok(fm)) = (&costs[2 * i], &costs[2 * i + 1]) else {
+            continue;
+        };
+        let d = (fp.cost - fm.cost) / (2.0 * h);
         for (g, &s) in grad.iter_mut().zip(signs) {
             *g += d * s / samples as f64;
         }

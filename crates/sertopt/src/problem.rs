@@ -44,6 +44,7 @@ use ser_netlist::{topo, Circuit, NodeId};
 use serde::{Deserialize, Serialize};
 
 use crate::cost::{evaluate, CostBreakdown, CostWeights, EnergyModel};
+use crate::error::EvalError;
 use crate::matching::{MatchPlan, MatchingConfig};
 use crate::nullspace::TensionSpace;
 use crate::sta;
@@ -77,6 +78,10 @@ pub enum EvalStrategy {
 struct Replica<'a> {
     session: AnalysisSession<'a>,
     gate_energy: Vec<f64>,
+    /// Set when a caught panic may have left the session mid-update; the
+    /// next evaluation rebuilds the replica from scratch before
+    /// measuring anything.
+    wrecked: bool,
 }
 
 impl<'a> Replica<'a> {
@@ -89,19 +94,34 @@ impl<'a> Replica<'a> {
         Replica {
             session,
             gate_energy,
+            wrecked: false,
         }
     }
 
     /// Moves the session to `cells` and measures it; mirrors
     /// [`evaluate`]'s arithmetic bit for bit.
+    ///
+    /// A poisoned or panic-wrecked replica heals itself first with a
+    /// full rebuild at the incoming candidate — bitwise identical to the
+    /// incremental path by the session's fidelity guarantee, so one
+    /// failed candidate never taints later ones.
     fn evaluate(
         &mut self,
         cells: CircuitCells,
         energy_model: &EnergyModel,
         weights: &CostWeights,
         baseline: &CostBreakdown,
-    ) -> Candidate {
-        let stats = self.session.set_cells(&cells);
+    ) -> Result<Candidate, EvalError> {
+        ser_netlist::failpoint!(
+            "sertopt::replica_evaluate",
+            return Err(EvalError::FaultInjected("sertopt::replica_evaluate"))
+        );
+        if self.wrecked || self.session.is_poisoned() {
+            self.session.recover_with(cells.clone())?;
+            self.refresh_all_energy(energy_model);
+            self.wrecked = false;
+        }
+        let stats = self.session.try_set_cells(&cells)?;
         for &i in &stats.energy_dirty {
             let id = NodeId::new(i as usize);
             self.gate_energy[i as usize] = replica_gate_energy(&mut self.session, id, energy_model);
@@ -119,10 +139,17 @@ impl<'a> Replica<'a> {
             cost: f64::NAN,
         };
         breakdown.cost = weights.cost(&breakdown, baseline);
-        Candidate {
+        Ok(Candidate {
             cost: breakdown.cost,
             breakdown,
             cells,
+        })
+    }
+
+    fn refresh_all_energy(&mut self, energy_model: &EnergyModel) {
+        let circuit = self.session.circuit();
+        for id in circuit.gates() {
+            self.gate_energy[id.index()] = replica_gate_energy(&mut self.session, id, energy_model);
         }
     }
 }
@@ -132,6 +159,7 @@ impl Clone for Replica<'_> {
         Replica {
             session: self.session.clone(),
             gate_energy: self.gate_energy.clone(),
+            wrecked: self.wrecked,
         }
     }
 }
@@ -215,7 +243,10 @@ impl<'a> DelayProblem<'a> {
         let spec = matching.allowed.library_spec(circuit);
         library.characterize_spec(&spec, 0);
         for id in circuit.gates() {
-            library.get_or_characterize(baseline_cells.get(id).expect("gates carry parameters"));
+            let Some(p) = baseline_cells.get(id) else {
+                panic!("invariant: baseline assignment covers every gate")
+            };
+            library.get_or_characterize(p);
         }
 
         let pij =
@@ -321,25 +352,49 @@ impl<'a> DelayProblem<'a> {
     /// Evaluates a search point: tension deltas plus slack-bounded level
     /// slowdowns → clamped delay targets → matched cells → Eq. 5 cost
     /// against the baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any condition [`DelayProblem::try_evaluate_phi`]
+    /// reports as an error.
     pub fn evaluate_phi(&mut self, phi: &[f64]) -> Candidate {
+        match self.try_evaluate_phi(phi) {
+            Ok(c) => c,
+            Err(e) => panic!("evaluate_phi: {e}"),
+        }
+    }
+
+    /// Fallible [`DelayProblem::evaluate_phi`]: matching and measurement
+    /// failures (including injected faults) surface as a typed
+    /// [`EvalError`]. A failure never corrupts later evaluations — the
+    /// replica heals itself with a full rebuild on its next call.
+    pub fn try_evaluate_phi(&mut self, phi: &[f64]) -> Result<Candidate, EvalError> {
         self.evaluations += 1;
         let targets = self.targets_for(phi);
-        let cells = self.plan.realize(self.circuit, &targets);
+        let cells = self.plan.try_realize(self.circuit, &targets)?;
         match self.strategy {
             EvalStrategy::Incremental => {
                 self.replicas[0].evaluate(cells, &self.energy, &self.weights, &self.baseline)
             }
-            EvalStrategy::FreshPerMove => self.evaluate_fresh(cells),
+            EvalStrategy::FreshPerMove => Ok(self.evaluate_fresh(cells)),
         }
     }
 
-    /// Evaluates independent search points as one batch. Under
+    /// Evaluates independent search points as one batch, returning one
+    /// `Result` per candidate in input order. Under
     /// [`EvalStrategy::Incremental`] the batch is spread over up to
     /// [`DelayProblem::threads`] session replicas; the result is
     /// **identical for every thread count** (each evaluation is exact
-    /// regardless of its replica's prior state). The fresh strategy
-    /// evaluates sequentially.
-    pub fn evaluate_batch(&mut self, phis: &[Vec<f64>]) -> Vec<Candidate> {
+    /// regardless of its replica's prior state, and a failure is a
+    /// property of the candidate, not of the replica it landed on). The
+    /// fresh strategy evaluates sequentially.
+    ///
+    /// Panics inside a replica evaluation are caught per candidate at
+    /// the [`std::thread::scope`] boundary and surface as
+    /// [`EvalError::Panicked`]; the replica rebuilds itself before its
+    /// next evaluation, so no panic escapes the scope and no later
+    /// candidate sees the wreckage.
+    pub fn evaluate_batch(&mut self, phis: &[Vec<f64>]) -> Vec<Result<Candidate, EvalError>> {
         let workers = match self.strategy {
             EvalStrategy::FreshPerMove => 1,
             EvalStrategy::Incremental => {
@@ -352,7 +407,7 @@ impl<'a> DelayProblem<'a> {
             }
         };
         if workers <= 1 {
-            return phis.iter().map(|phi| self.evaluate_phi(phi)).collect();
+            return phis.iter().map(|phi| self.try_evaluate_phi(phi)).collect();
         }
         self.evaluations += phis.len();
         while self.replicas.len() < workers {
@@ -361,14 +416,15 @@ impl<'a> DelayProblem<'a> {
         }
         // Realize all candidates up front (cheap scans over the plan),
         // then measure them on per-worker sessions in round-robin strides.
-        let jobs: Vec<CircuitCells> = phis
+        let jobs: Vec<Result<CircuitCells, EvalError>> = phis
             .iter()
-            .map(|phi| self.plan.realize(self.circuit, &self.targets_for(phi)))
+            .map(|phi| self.plan.try_realize(self.circuit, &self.targets_for(phi)))
             .collect();
         let energy = &self.energy;
         let weights = &self.weights;
         let baseline = &self.baseline;
-        let mut tagged: Vec<(usize, Candidate)> = std::thread::scope(|scope| {
+        let n_jobs = jobs.len();
+        let mut tagged: Vec<(usize, Result<Candidate, EvalError>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .replicas
                 .iter_mut()
@@ -379,10 +435,31 @@ impl<'a> DelayProblem<'a> {
                     scope.spawn(move || {
                         let mut out = Vec::new();
                         for (idx, cells) in jobs.iter().enumerate().skip(w).step_by(workers) {
-                            out.push((
-                                idx,
-                                replica.evaluate(cells.clone(), energy, weights, baseline),
-                            ));
+                            let result = match cells {
+                                Ok(cells) => {
+                                    let attempt = std::panic::catch_unwind(
+                                        std::panic::AssertUnwindSafe(|| {
+                                            replica.evaluate(
+                                                cells.clone(),
+                                                energy,
+                                                weights,
+                                                baseline,
+                                            )
+                                        }),
+                                    );
+                                    match attempt {
+                                        Ok(r) => r,
+                                        Err(_) => {
+                                            replica.wrecked = true;
+                                            Err(EvalError::Panicked {
+                                                context: "replica evaluation",
+                                            })
+                                        }
+                                    }
+                                }
+                                Err(e) => Err(e.clone()),
+                            };
+                            out.push((idx, result));
                         }
                         out
                     })
@@ -390,7 +467,24 @@ impl<'a> DelayProblem<'a> {
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("evaluation worker panicked"))
+                .enumerate()
+                .flat_map(|(w, h)| match h.join() {
+                    Ok(out) => out,
+                    // Backstop: a panic outside the per-candidate
+                    // catch (none is known) loses the worker's
+                    // stride; report each of its candidates failed.
+                    Err(_) => (w..n_jobs)
+                        .step_by(workers)
+                        .map(|idx| {
+                            (
+                                idx,
+                                Err(EvalError::Panicked {
+                                    context: "evaluation worker",
+                                }),
+                            )
+                        })
+                        .collect(),
+                })
                 .collect()
         });
         tagged.sort_by_key(|&(idx, _)| idx);
@@ -522,8 +616,65 @@ mod tests {
         for threads in [1usize, 2, 5] {
             p.threads = threads;
             let batch = p.evaluate_batch(&phis);
-            let costs: Vec<f64> = batch.iter().map(|c| c.cost).collect();
+            let costs: Vec<f64> = batch
+                .into_iter()
+                .map(|c| c.expect("no faults injected").cost)
+                .collect();
             assert_eq!(costs, sequential, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn wrong_length_targets_are_a_typed_error() {
+        let mut lib = Library::new(Technology::ptm70(), CharGrids::coarse());
+        let p = problem_for_c17(&mut lib);
+        let plan = MatchPlan::build(p.circuit, &mut lib, &p.matching, Some(&p.baseline_cells));
+        let err = plan.try_realize(p.circuit, &[1.0e-12]).unwrap_err();
+        assert!(matches!(err, crate::error::EvalError::Match { .. }));
+        let err = plan
+            .try_realize(p.circuit, &vec![f64::NAN; p.circuit.node_count()])
+            .unwrap_err();
+        assert!(matches!(err, crate::error::EvalError::Match { .. }));
+    }
+
+    /// An injected fault fails exactly the candidate it hits; every
+    /// other candidate of the batch — including later ones measured on
+    /// the same replica — is bitwise identical to a fault-free run.
+    #[test]
+    #[cfg(feature = "fail-points")]
+    fn injected_batch_fault_is_contained_to_one_candidate() {
+        use ser_netlist::failpoint::{self, FailAction};
+
+        let mut lib = Library::new(Technology::ptm70(), CharGrids::coarse());
+        let mut p = problem_for_c17(&mut lib);
+        p.threads = 1;
+        let dim = p.dim();
+        let phis: Vec<Vec<f64>> = (0..5)
+            .map(|s| {
+                (0..dim)
+                    .map(|k| 6.0e-12 * (((k * 3 + s) % 5) as f64 - 2.0))
+                    .collect()
+            })
+            .collect();
+        let clean: Vec<f64> = p
+            .evaluate_batch(&phis)
+            .into_iter()
+            .map(|c| c.expect("no faults armed").cost)
+            .collect();
+
+        let _guard = failpoint::scenario();
+        failpoint::set_times("sertopt::replica_evaluate", FailAction::Error, 1);
+        let faulted = p.evaluate_batch(&phis);
+        assert_eq!(failpoint::hits("sertopt::replica_evaluate"), 1);
+        assert!(matches!(
+            faulted[0],
+            Err(crate::error::EvalError::FaultInjected(
+                "sertopt::replica_evaluate"
+            ))
+        ));
+        for (i, got) in faulted.iter().enumerate().skip(1) {
+            let got = got.as_ref().expect("only the first candidate faults");
+            assert_eq!(got.cost, clean[i], "candidate {i}");
         }
     }
 }

@@ -66,31 +66,28 @@ pub fn analyze(circuit: &Circuit, delays: &[f64], clock: f64) -> Timing {
 pub fn critical_path(circuit: &Circuit, delays: &[f64]) -> Vec<NodeId> {
     let t = analyze(circuit, delays, 0.0);
     // Walk back from the worst PO along worst-arrival fan-ins.
-    let mut at = *circuit
+    let Some(&worst_po) = circuit
         .primary_outputs()
         .iter()
-        .max_by(|a, b| {
-            t.arrival[a.index()]
-                .partial_cmp(&t.arrival[b.index()])
-                .expect("arrivals are finite")
-        })
-        .expect("circuits have outputs");
+        .max_by(|a, b| t.arrival[a.index()].total_cmp(&t.arrival[b.index()]))
+    else {
+        panic!("circuits have outputs")
+    };
+    let mut at = worst_po;
     let mut path = vec![at];
     loop {
         let node = circuit.node(at);
         if node.is_input() {
             break;
         }
-        let next = node
+        let Some(next) = node
             .fanin
             .iter()
             .copied()
-            .max_by(|a, b| {
-                t.arrival[a.index()]
-                    .partial_cmp(&t.arrival[b.index()])
-                    .expect("arrivals are finite")
-            })
-            .expect("gates have fan-ins");
+            .max_by(|a, b| t.arrival[a.index()].total_cmp(&t.arrival[b.index()]))
+        else {
+            panic!("gates have fan-ins")
+        };
         path.push(next);
         at = next;
     }

@@ -1,0 +1,108 @@
+//! Typed errors for the transient-simulation substrate.
+//!
+//! The crate keeps two error families: [`StrikeError`] for invalid strike
+//! descriptions (untrusted, user-supplied parameters) and
+//! [`TransientError`] for integration failures — bad configuration or a
+//! numerically diverging RK4 step that survives bounded step-halving.
+
+use std::fmt;
+
+/// Invalid particle-strike parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum StrikeError {
+    /// Deposited charge must be positive and finite.
+    NonPositiveCharge {
+        /// The offending charge, coulombs.
+        charge: f64,
+    },
+    /// Time constants must satisfy `0 < tau_rise < tau_fall` (finite).
+    BadTimeConstants {
+        /// The offending rise constant, seconds.
+        tau_rise: f64,
+        /// The offending fall constant, seconds.
+        tau_fall: f64,
+    },
+}
+
+impl fmt::Display for StrikeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StrikeError::NonPositiveCharge { charge } => {
+                write!(
+                    f,
+                    "strike charge must be positive and finite, got {charge:e}"
+                )
+            }
+            StrikeError::BadTimeConstants { tau_rise, tau_fall } => write!(
+                f,
+                "need 0 < tau_rise < tau_fall, got tau_rise {tau_rise:e}, tau_fall {tau_fall:e}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StrikeError {}
+
+/// Transient-simulation failure.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TransientError {
+    /// The integration setup is invalid (non-positive step, negative
+    /// load, zero node capacitance, non-finite bounds, stageless cell).
+    BadConfig {
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// An RK4 step produced a non-finite voltage and bounded step-halving
+    /// retries could not recover it.
+    NonConvergence {
+        /// Simulation time of the failing step, seconds.
+        time: f64,
+        /// The (full) step size that failed, seconds.
+        step: f64,
+        /// Number of step-halving levels exhausted before giving up.
+        halvings: u32,
+    },
+}
+
+impl fmt::Display for TransientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransientError::BadConfig { reason } => {
+                write!(f, "invalid transient configuration: {reason}")
+            }
+            TransientError::NonConvergence {
+                time,
+                step,
+                halvings,
+            } => write!(
+                f,
+                "transient integration diverged at t = {time:e} s \
+                 (step {step:e} s, {halvings} halving levels exhausted)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TransientError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_mention_the_offending_quantity() {
+        let e = StrikeError::BadTimeConstants {
+            tau_rise: 5e-11,
+            tau_fall: 5e-12,
+        };
+        assert!(e.to_string().contains("tau_rise"));
+        let e = TransientError::NonConvergence {
+            time: 1e-9,
+            step: 2.5e-13,
+            halvings: 6,
+        };
+        assert!(e.to_string().contains("diverged"));
+    }
+}

@@ -45,6 +45,7 @@
 
 pub mod circuit_sim;
 mod device;
+pub mod error;
 mod gate_model;
 pub mod measure;
 mod strike;
@@ -54,6 +55,7 @@ pub mod units;
 pub mod waveform;
 
 pub use device::{Mosfet, Polarity};
+pub use error::{StrikeError, TransientError};
 pub use gate_model::{GateElectrical, GateParams, Stage};
 pub use strike::Strike;
 pub use tech::Technology;

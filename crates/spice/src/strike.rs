@@ -1,5 +1,6 @@
 use serde::{Deserialize, Serialize};
 
+use crate::error::StrikeError;
 use crate::units::{FC, PS};
 
 /// A particle-strike current source: the classic double-exponential pulse
@@ -41,30 +42,48 @@ impl Strike {
     ///
     /// # Panics
     ///
-    /// Panics if `q_fc` is not positive and finite.
+    /// Panics if `q_fc` is not positive and finite. Use
+    /// [`Strike::try_charge_fc`] to reject untrusted input gracefully.
     pub fn charge_fc(q_fc: f64) -> Self {
         Strike::new(q_fc * FC, Self::DEFAULT_TAU_RISE, Self::DEFAULT_TAU_FALL)
+    }
+
+    /// Fallible form of [`Strike::charge_fc`]: rejects a non-positive or
+    /// non-finite charge with a typed error instead of panicking.
+    #[must_use = "the strike is only built when the parameters validate"]
+    pub fn try_charge_fc(q_fc: f64) -> Result<Self, StrikeError> {
+        Strike::try_new(q_fc * FC, Self::DEFAULT_TAU_RISE, Self::DEFAULT_TAU_FALL)
     }
 
     /// Full constructor (SI units).
     ///
     /// # Panics
     ///
-    /// Panics unless `charge > 0`, `0 < tau_rise < tau_fall`.
+    /// Panics unless `charge > 0`, `0 < tau_rise < tau_fall`. Use
+    /// [`Strike::try_new`] to reject untrusted input gracefully.
     pub fn new(charge: f64, tau_rise: f64, tau_fall: f64) -> Self {
-        assert!(
-            charge > 0.0 && charge.is_finite(),
-            "strike charge must be positive"
-        );
-        assert!(
-            tau_rise > 0.0 && tau_fall > tau_rise,
-            "need 0 < tau_rise < tau_fall"
-        );
-        Strike {
+        match Strike::try_new(charge, tau_rise, tau_fall) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible full constructor (SI units): validates `charge > 0` and
+    /// `0 < tau_rise < tau_fall` (all finite), returning a typed
+    /// [`StrikeError`] on violation.
+    #[must_use = "the strike is only built when the parameters validate"]
+    pub fn try_new(charge: f64, tau_rise: f64, tau_fall: f64) -> Result<Self, StrikeError> {
+        if !(charge > 0.0 && charge.is_finite()) {
+            return Err(StrikeError::NonPositiveCharge { charge });
+        }
+        if !(tau_rise > 0.0 && tau_fall > tau_rise && tau_fall.is_finite()) {
+            return Err(StrikeError::BadTimeConstants { tau_rise, tau_fall });
+        }
+        Ok(Strike {
             charge,
             tau_rise,
             tau_fall,
-        }
+        })
     }
 
     /// Deposited charge in coulombs.
@@ -139,5 +158,28 @@ mod tests {
     #[should_panic(expected = "tau_rise")]
     fn rejects_inverted_taus() {
         let _ = Strike::new(16.0 * FC, 50.0 * PS, 5.0 * PS);
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        use crate::error::StrikeError;
+        assert!(matches!(
+            Strike::try_new(0.0, 5.0 * PS, 50.0 * PS),
+            Err(StrikeError::NonPositiveCharge { .. })
+        ));
+        assert!(matches!(
+            Strike::try_charge_fc(f64::NAN),
+            Err(StrikeError::NonPositiveCharge { .. })
+        ));
+        assert!(matches!(
+            Strike::try_new(16.0 * FC, 50.0 * PS, 5.0 * PS),
+            Err(StrikeError::BadTimeConstants { .. })
+        ));
+        assert!(matches!(
+            Strike::try_new(16.0 * FC, 5.0 * PS, f64::INFINITY),
+            Err(StrikeError::BadTimeConstants { .. })
+        ));
+        let s = Strike::try_charge_fc(16.0).expect("valid strike");
+        assert_eq!(s, Strike::charge_fc(16.0));
     }
 }

@@ -2,12 +2,18 @@
 //! single-gate experiment drivers used for characterization (delay, glitch
 //! generation, glitch propagation).
 
+use crate::error::TransientError;
 use crate::gate_model::{GateElectrical, Stage};
 use crate::measure;
 use crate::strike::Strike;
 use crate::tech::Technology;
 use crate::units::{NS, PS};
 use crate::waveform::{ramp, trapezoid_glitch, Waveform};
+
+/// Step-halving levels tried before a non-finite RK4 step is reported as
+/// [`TransientError::NonConvergence`]: the failing step is re-integrated
+/// with 2, 4, … up to 2⁶ substeps.
+pub const MAX_STEP_HALVINGS: u32 = 6;
 
 /// Integration settings.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,10 +54,86 @@ pub fn simulate_stage(
     v0: f64,
     cfg: &TransientConfig,
 ) -> Waveform {
-    assert!(cfg.dt > 0.0, "time step must be positive");
-    assert!(c_ext >= 0.0, "external load cannot be negative");
+    match try_simulate_stage(tech, stage, vin, c_ext, strike, v0, cfg) {
+        Ok(w) => w,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// One (possibly clamped) RK4 step of size `h` from `(t, v)`.
+#[inline]
+fn rk4_step(f: &dyn Fn(f64, f64) -> f64, t: f64, v: f64, h: f64, lo: f64, hi: f64) -> f64 {
+    let k1 = f(t, v);
+    let k2 = f(t + 0.5 * h, v + 0.5 * h * k1);
+    let k3 = f(t + 0.5 * h, v + 0.5 * h * k2);
+    let k4 = f(t + h, v + h * k3);
+    (v + h / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4)).clamp(lo, hi)
+}
+
+/// Re-integrates the failing step `[t, t+h]` with 2, 4, … up to
+/// 2^[`MAX_STEP_HALVINGS`] substeps; returns NaN when every refinement
+/// level still diverges.
+fn refine_step(f: &dyn Fn(f64, f64) -> f64, t: f64, v: f64, h: f64, lo: f64, hi: f64) -> f64 {
+    let mut parts = 2u32;
+    for _ in 0..MAX_STEP_HALVINGS {
+        let hs = h / f64::from(parts);
+        let mut vv = v;
+        let mut diverged = false;
+        for k in 0..parts {
+            vv = rk4_step(f, t + f64::from(k) * hs, vv, hs, lo, hi);
+            ser_netlist::failpoint!("spice::transient_step", vv = f64::NAN);
+            if !vv.is_finite() {
+                diverged = true;
+                break;
+            }
+        }
+        if !diverged {
+            return vv;
+        }
+        parts *= 2;
+    }
+    f64::NAN
+}
+
+/// Fallible form of [`simulate_stage`]: validates the configuration with
+/// typed [`TransientError::BadConfig`] errors, and recovers a non-finite
+/// RK4 step by bounded step-halving (up to [`MAX_STEP_HALVINGS`] levels)
+/// before reporting [`TransientError::NonConvergence`].
+pub fn try_simulate_stage(
+    tech: &Technology,
+    stage: &Stage,
+    vin: &dyn Fn(f64) -> f64,
+    c_ext: f64,
+    strike: Option<(&Strike, f64, f64)>,
+    v0: f64,
+    cfg: &TransientConfig,
+) -> Result<Waveform, TransientError> {
+    if !(cfg.dt > 0.0 && cfg.dt.is_finite()) {
+        return Err(TransientError::BadConfig {
+            reason: "time step must be positive and finite",
+        });
+    }
+    if !(cfg.max_window > 0.0 && cfg.max_window.is_finite()) {
+        return Err(TransientError::BadConfig {
+            reason: "simulation window must be positive and finite",
+        });
+    }
+    if !(c_ext >= 0.0 && c_ext.is_finite()) {
+        return Err(TransientError::BadConfig {
+            reason: "external load cannot be negative",
+        });
+    }
     let c_total = stage.c_self + c_ext;
-    assert!(c_total > 0.0, "node needs some capacitance");
+    if !(c_total > 0.0 && c_total.is_finite()) {
+        return Err(TransientError::BadConfig {
+            reason: "node needs some capacitance",
+        });
+    }
+    if !v0.is_finite() {
+        return Err(TransientError::BadConfig {
+            reason: "initial node voltage must be finite",
+        });
+    }
 
     let inj = |t: f64| -> f64 {
         match strike {
@@ -95,11 +177,20 @@ pub fn simulate_stage(
     for i in 0..n_max {
         let t = i as f64 * cfg.dt;
         let h = cfg.dt;
-        let k1 = f(t, v);
-        let k2 = f(t + 0.5 * h, v + 0.5 * h * k1);
-        let k3 = f(t + 0.5 * h, v + 0.5 * h * k2);
-        let k4 = f(t + h, v + h * k3);
-        let v_next = (v + h / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4)).clamp(lo, hi);
+        let mut v_next = rk4_step(&f, t, v, h, lo, hi);
+        ser_netlist::failpoint!("spice::transient_step", v_next = f64::NAN);
+        if !v_next.is_finite() {
+            // A diverging step on a stiff node: retry the same interval
+            // with progressively halved substeps before giving up.
+            v_next = refine_step(&f, t, v, h, lo, hi);
+            if !v_next.is_finite() {
+                return Err(TransientError::NonConvergence {
+                    time: t,
+                    step: h,
+                    halvings: MAX_STEP_HALVINGS,
+                });
+            }
+        }
 
         let output_still = (v_next - v).abs() < cfg.settle_band;
         v = v_next;
@@ -113,7 +204,7 @@ pub fn simulate_stage(
             still = 0;
         }
     }
-    Waveform::from_samples(0.0, cfg.dt, samples)
+    Ok(Waveform::from_samples(0.0, cfg.dt, samples))
 }
 
 /// DC rail for a stage given a static input: high output for input below
@@ -140,6 +231,21 @@ pub fn simulate_gate(
     c_load: f64,
     cfg: &TransientConfig,
 ) -> Waveform {
+    match try_simulate_gate(tech, gate, vin, invert_input, c_load, cfg) {
+        Ok(w) => w,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`simulate_gate`] (see [`try_simulate_stage`]).
+pub fn try_simulate_gate(
+    tech: &Technology,
+    gate: &GateElectrical,
+    vin: &dyn Fn(f64) -> f64,
+    invert_input: bool,
+    c_load: f64,
+    cfg: &TransientConfig,
+) -> Result<Waveform, TransientError> {
     let vdd = gate.params().vdd;
     let stages = gate.stages();
     let first_in: Box<dyn Fn(f64) -> f64> = if invert_input {
@@ -151,15 +257,15 @@ pub fn simulate_gate(
 
     if stages.len() == 1 {
         let v0 = dc_output(&stages[0], first_in(0.0));
-        return simulate_stage(tech, &stages[0], &*first_in, c_load, None, v0, cfg);
+        return try_simulate_stage(tech, &stages[0], &*first_in, c_load, None, v0, cfg);
     }
 
     let inter_cap = gate.interstage_cap(tech);
     let v0_1 = dc_output(&stages[0], first_in(0.0));
-    let w1 = simulate_stage(tech, &stages[0], &*first_in, inter_cap, None, v0_1, cfg);
+    let w1 = try_simulate_stage(tech, &stages[0], &*first_in, inter_cap, None, v0_1, cfg)?;
     let v0_2 = dc_output(&stages[1], w1.value_at(0.0));
     let w1_fn = move |t: f64| w1.value_at(t);
-    simulate_stage(tech, &stages[1], &w1_fn, c_load, None, v0_2, cfg)
+    try_simulate_stage(tech, &stages[1], &w1_fn, c_load, None, v0_2, cfg)
 }
 
 /// Simulates a particle strike at the cell's **output** node while its
@@ -176,7 +282,26 @@ pub fn simulate_strike(
     strike: &Strike,
     cfg: &TransientConfig,
 ) -> Waveform {
-    let out_stage = gate.stages().last().expect("cells have >= 1 stage");
+    match try_simulate_strike(tech, gate, output_high, c_load, strike, cfg) {
+        Ok(w) => w,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`simulate_strike`] (see [`try_simulate_stage`]).
+pub fn try_simulate_strike(
+    tech: &Technology,
+    gate: &GateElectrical,
+    output_high: bool,
+    c_load: f64,
+    strike: &Strike,
+    cfg: &TransientConfig,
+) -> Result<Waveform, TransientError> {
+    let Some(out_stage) = gate.stages().last() else {
+        return Err(TransientError::BadConfig {
+            reason: "cell has no stages",
+        });
+    };
     let vdd = out_stage.vdd;
     // Static input of the output stage that produces the requested state.
     let vin_static = if output_high { 0.0 } else { vdd };
@@ -184,7 +309,7 @@ pub fn simulate_strike(
     let sign = if output_high { -1.0 } else { 1.0 };
     let onset = 10.0 * PS;
     let vin = move |_t: f64| vin_static;
-    simulate_stage(
+    try_simulate_stage(
         tech,
         out_stage,
         &vin,
@@ -431,6 +556,48 @@ mod tests {
             w_and / PS,
             w_nand / PS
         );
+    }
+
+    #[test]
+    fn bad_config_is_a_typed_error_not_a_panic() {
+        let t = tech();
+        let g = inv(1.0);
+        let vin = ramp(0.0, 1.0, 20.0 * PS, 10.0 * PS);
+        let cfg = TransientConfig {
+            dt: 0.0,
+            ..TransientConfig::default()
+        };
+        let err = try_simulate_gate(&t, &g, &vin, false, 2.0 * FF, &cfg).unwrap_err();
+        assert!(matches!(err, TransientError::BadConfig { .. }));
+        let cfg = TransientConfig {
+            dt: f64::NAN,
+            ..TransientConfig::default()
+        };
+        assert!(try_simulate_gate(&t, &g, &vin, false, 2.0 * FF, &cfg).is_err());
+        assert!(try_simulate_gate(&t, &g, &vin, false, -FF, &TransientConfig::default()).is_err());
+    }
+
+    #[cfg(feature = "fail-points")]
+    #[test]
+    fn transient_fault_one_shot_recovers_persistent_does_not() {
+        use ser_netlist::failpoint::{self, FailAction};
+        let t = tech();
+        let g = inv(1.0);
+        let vin = ramp(0.0, 1.0, 20.0 * PS, 10.0 * PS);
+        let cfg = TransientConfig::default();
+
+        // One bad step: the step-halving retry re-integrates it cleanly.
+        let _guard = failpoint::scenario();
+        failpoint::set_times("spice::transient_step", FailAction::Error, 1);
+        let out = try_simulate_gate(&t, &g, &vin, false, 2.0 * FF, &cfg)
+            .expect("one transient bad step must be recovered by refinement");
+        assert!(out.value_at(out.t_end()) < 0.1);
+        assert_eq!(failpoint::hits("spice::transient_step"), 1);
+
+        // Every step (including refinement substeps) bad: typed error.
+        failpoint::set("spice::transient_step", FailAction::Error);
+        let err = try_simulate_gate(&t, &g, &vin, false, 2.0 * FF, &cfg).unwrap_err();
+        assert!(matches!(err, TransientError::NonConvergence { .. }));
     }
 
     #[test]

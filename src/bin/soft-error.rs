@@ -14,7 +14,7 @@
 use std::fs;
 use std::process::ExitCode;
 
-use soft_error::aserta::{analyze_fresh, report, validate, AsertaConfig, CircuitCells};
+use soft_error::aserta::{report, try_analyze_fresh, validate, AsertaConfig, CircuitCells};
 use soft_error::cells::{CharGrids, Library, LibrarySpec};
 use soft_error::netlist::{bench_format, generate, stats::CircuitStats, Circuit, GateKind};
 use soft_error::sertopt::{optimize_circuit, Algorithm, AllowedParams, OptimizerConfig};
@@ -106,7 +106,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let mut library = Library::new(Technology::ptm70(), CharGrids::standard());
     let cells = CircuitCells::nominal(&circuit);
     let t0 = std::time::Instant::now();
-    let rep = analyze_fresh(&circuit, &cells, &mut library, &cfg);
+    let rep = try_analyze_fresh(&circuit, &cells, &mut library, &cfg).map_err(|e| e.to_string())?;
     let secs = t0.elapsed().as_secs_f64();
 
     println!("circuit          {}", circuit.name());
@@ -243,6 +243,9 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
     let spec = args.first().ok_or("validate needs a circuit")?;
     let circuit = load_circuit(spec)?;
     let vectors: usize = flag_parse(args, "--vectors", 25)?;
+    if vectors == 0 {
+        return Err("--vectors must be at least 1".into());
+    }
     let levels: usize = flag_parse(args, "--levels", 5)?;
     let tech = Technology::ptm70();
     let mut library = Library::new(tech.clone(), CharGrids::standard());
