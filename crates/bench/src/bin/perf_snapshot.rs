@@ -24,7 +24,7 @@
 //!
 //! ```text
 //! cargo run --release -p ser-bench --bin perf_snapshot -- \
-//!     [--smoke] [--gate] [--out PATH] [--baseline PATH]
+//!     [--smoke] [--gate] [--scaling] [--out PATH] [--baseline PATH]
 //! ```
 //!
 //! `--smoke` shrinks vector counts and repetitions for CI and compares
@@ -34,14 +34,27 @@
 //! additionally fails (exit 1) if any timed section regresses beyond
 //! [`GATE_THRESHOLD`]× the baseline. `--baseline` compares against an
 //! explicit snapshot file instead and embeds it in the output document.
+//!
+//! `--scaling` additionally records a gates-versus-time/memory curve on
+//! the [`tiled`](ser_netlist::generate::tiled) big-circuit family
+//! (1k/10k gates in smoke mode, 1k/10k/100k otherwise): `analyze_fresh`
+//! wall time, the streamed estimator's peak arena bytes (total and
+//! amortized per node) and the process peak RSS per point, plus the
+//! fitted log-log slope of time versus gates. Under `--gate` the slope
+//! is compared against the baseline's — catching asymptotic regressions
+//! that per-circuit constants would miss — alongside the usual
+//! per-point wall-time ratios.
 
 use aserta::{analyze_fresh, timing_view, AsertaConfig, CircuitCells, ExpectedWidths, LoadModel};
 use ser_bench::corners::{sweep_fresh, sweep_session, CornerGrid};
 use ser_bench::timed;
 use ser_cells::{CharGrids, Library};
 use ser_logicsim::probability::static_probabilities_analytic;
-use ser_logicsim::sensitize::{sensitization_probabilities, simulation_threads};
-use ser_netlist::generate::{self, LayeredSpec};
+use ser_logicsim::sensitize::{
+    cone_chunk_size, sensitization_probabilities, sensitization_probabilities_with_stats,
+    simulation_threads,
+};
+use ser_netlist::generate::{self, LayeredSpec, TiledSpec};
 use ser_netlist::Circuit;
 use ser_spice::Technology;
 use serde_json::Value;
@@ -80,11 +93,18 @@ const TIMED_KEYS: [&str; 7] = [
     "corners_session_s",
 ];
 
+/// Allowed additive increase of the fitted log-log `analyze_fresh` slope
+/// over the baseline's before the scaling gate fails. A slope step of
+/// this size means super-linear growth crept in (e.g. an accidental
+/// `O(V·|PO|)` pass), which per-point ratios on small circuits miss.
+const SLOPE_MARGIN: f64 = 0.35;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let gate = args.iter().any(|a| a == "--gate");
-    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_pr5.json".to_owned());
+    let scaling_mode = args.iter().any(|a| a == "--scaling");
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_pr7.json".to_owned());
     let baseline_path = flag_value(&args, "--baseline");
 
     // Smoke keeps vector counts small but still takes best-of-3: the
@@ -108,6 +128,7 @@ fn main() {
         eprintln!("measured {}", circuit.name());
         rows.push(row);
     }
+    let scaling_doc = scaling_mode.then(|| measure_scaling(smoke));
 
     // An explicit --baseline is embedded in the document; the committed
     // smoke baseline is only *printed* (embedding it would nest forever
@@ -131,16 +152,22 @@ fn main() {
     let mut regressions: Vec<String> = Vec::new();
     if let Some(base) = &compare_against {
         regressions = print_comparison(base, &rows);
+        if let Some(run_scaling) = &scaling_doc {
+            regressions.extend(print_scaling_comparison(base, run_scaling));
+        }
     }
 
     let mut doc: Vec<(String, Value)> = vec![
-        ("snapshot".into(), serde_json::to_value(&"pr5")),
+        ("snapshot".into(), serde_json::to_value(&"pr7")),
         ("smoke".into(), serde_json::to_value(&smoke)),
         ("threads".into(), serde_json::to_value(&(threads as u64))),
         ("vectors".into(), serde_json::to_value(&(vectors as u64))),
         ("reps".into(), serde_json::to_value(&(reps as u64))),
         ("circuits".into(), Value::Array(rows)),
     ];
+    if let Some(s) = scaling_doc {
+        doc.push(("scaling".into(), s));
+    }
     if let Some(s) = speedups {
         doc.push(("speedup_vs_baseline".into(), s));
     }
@@ -333,6 +360,219 @@ fn measure_corners(circuit: &Circuit, smoke: bool) -> Value {
             serde_json::to_value(&(fresh_s / session_s)),
         ),
     ])
+}
+
+/// Measures the gates-versus-cost curve on the [`generate::tiled`]
+/// big-circuit family: per point, best-of-2 `pij` and `analyze_fresh`
+/// wall times, the streamed estimator's arena profile and the process
+/// peak RSS (monotonic across points — sizes run ascending, so each
+/// reading is the high-water mark after that size).
+fn measure_scaling(smoke: bool) -> Value {
+    let sizes: &[usize] = if smoke {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let vectors = if smoke { 512 } else { 1024 };
+    let reps = 2;
+    let threads = simulation_threads();
+    let chunk = cone_chunk_size();
+
+    let mut points: Vec<Value> = Vec::new();
+    for &gates in sizes {
+        let name = format!("tiled{}k", gates / 1000);
+        let circuit = generate::tiled(&TiledSpec::scaled(name.clone(), gates));
+        let nodes = circuit.node_count();
+        let cells = CircuitCells::nominal(&circuit);
+        let cfg = AsertaConfig {
+            sensitization_vectors: vectors,
+            seed: SEED,
+            ..AsertaConfig::default()
+        };
+        let mut lib = Library::new(Technology::ptm70(), CharGrids::coarse());
+        // Warm-up: characterizes every cell once so timed runs hit the
+        // cache, exactly like the fixed-circuit suite.
+        analyze_fresh(&circuit, &cells, &mut lib, &cfg);
+
+        let ((_, stats), first_s) = timed(|| {
+            sensitization_probabilities_with_stats(&circuit, vectors, SEED, threads, chunk)
+        });
+        let pij_s = first_s.min(best_of(reps - 1, || {
+            timed(|| sensitization_probabilities(&circuit, vectors, SEED)).1
+        }));
+        let analyze_s = best_of(reps, || {
+            timed(|| analyze_fresh(&circuit, &cells, &mut lib, &cfg)).1
+        });
+
+        points.push(Value::Object(vec![
+            ("name".into(), serde_json::to_value(&name)),
+            ("gates".into(), serde_json::to_value(&(gates as u64))),
+            ("nodes".into(), serde_json::to_value(&(nodes as u64))),
+            ("pij_s".into(), serde_json::to_value(&pij_s)),
+            ("analyze_fresh_s".into(), serde_json::to_value(&analyze_s)),
+            (
+                "arena_chunks".into(),
+                serde_json::to_value(&(stats.chunks as u64)),
+            ),
+            (
+                "arena_peak_bytes".into(),
+                serde_json::to_value(&(stats.peak_bytes as u64)),
+            ),
+            (
+                "arena_bytes_per_node".into(),
+                serde_json::to_value(&(stats.peak_bytes as f64 / nodes as f64)),
+            ),
+            (
+                "cone_entries".into(),
+                serde_json::to_value(&(stats.cone_entries as u64)),
+            ),
+            (
+                "peak_rss_bytes".into(),
+                match peak_rss_bytes() {
+                    Some(b) => serde_json::to_value(&b),
+                    None => Value::Null,
+                },
+            ),
+        ]));
+        eprintln!("measured scaling point {name} ({gates} gates)");
+    }
+
+    let slope = fit_loglog_slope(&points, "analyze_fresh_s");
+    Value::Object(vec![
+        ("vectors".into(), serde_json::to_value(&(vectors as u64))),
+        ("chunk".into(), serde_json::to_value(&(chunk as u64))),
+        ("points".into(), Value::Array(points)),
+        (
+            "slope_analyze_fresh".into(),
+            match slope {
+                Some(s) => serde_json::to_value(&s),
+                None => Value::Null,
+            },
+        ),
+    ])
+}
+
+/// Least-squares slope of `ln(point[key])` against `ln(gates)` — the
+/// empirical scaling exponent (1.0 = linear in circuit size). `None`
+/// with fewer than two usable points.
+fn fit_loglog_slope(points: &[Value], key: &str) -> Option<f64> {
+    let xy: Vec<(f64, f64)> = points
+        .iter()
+        .filter_map(|p| {
+            let g = num(p, "gates").filter(|&g| g > 0.0)?;
+            let t = num(p, key).filter(|&t| t > 0.0)?;
+            Some((g.ln(), t.ln()))
+        })
+        .collect();
+    if xy.len() < 2 {
+        return None;
+    }
+    let n = xy.len() as f64;
+    let mx = xy.iter().map(|&(x, _)| x).sum::<f64>() / n;
+    let my = xy.iter().map(|&(_, y)| y).sum::<f64>() / n;
+    let sxy = xy.iter().map(|&(x, y)| (x - mx) * (y - my)).sum::<f64>();
+    let sxx = xy.iter().map(|&(x, _)| (x - mx) * (x - mx)).sum::<f64>();
+    (sxx > 0.0).then(|| sxy / sxx)
+}
+
+/// Peak resident-set size of this process from `/proc/self/status`
+/// (`VmHWM`), in bytes. `None` off Linux.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line
+        .trim_start_matches("VmHWM:")
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
+
+/// Prints the scaling-curve comparison and returns its gate findings:
+/// per-point `analyze_fresh` ratios beyond [`GATE_THRESHOLD`] (like the
+/// fixed-circuit sections), a fitted slope more than [`SLOPE_MARGIN`]
+/// above the baseline's, and — loudly — a baseline with no scaling
+/// section or mismatched points.
+fn print_scaling_comparison(baseline: &Value, run: &Value) -> Vec<String> {
+    let mut regressions = Vec::new();
+    println!("\nscaling comparison vs baseline:");
+    let Some(base) = field(baseline, "scaling") else {
+        println!("  (baseline has no scaling section)");
+        regressions.push(
+            "scaling: section missing from baseline — regenerate crates/bench/baselines/smoke.json"
+                .to_owned(),
+        );
+        return regressions;
+    };
+    let empty: Vec<Value> = Vec::new();
+    let base_points = field(base, "points")
+        .and_then(Value::as_array)
+        .unwrap_or(&empty);
+    let run_points = field(run, "points")
+        .and_then(Value::as_array)
+        .unwrap_or(&empty);
+
+    for point in run_points {
+        let Some(gates) = num(point, "gates") else {
+            continue;
+        };
+        let name = format!("{}-gate point", gates as u64);
+        let Some(base_point) = base_points.iter().find(|b| num(b, "gates") == Some(gates)) else {
+            println!("  {name} (not in baseline)");
+            regressions.push(format!(
+                "scaling: {name} missing from baseline — regenerate crates/bench/baselines/smoke.json"
+            ));
+            continue;
+        };
+        match (
+            num(base_point, "analyze_fresh_s"),
+            num(point, "analyze_fresh_s"),
+        ) {
+            (Some(b), Some(n)) if b > 0.0 => {
+                let ratio = n / b;
+                println!("  {name:<18} analyze_fresh {ratio:.2}x");
+                if ratio > GATE_THRESHOLD && b >= MIN_GATED_SECONDS {
+                    regressions.push(format!(
+                        "scaling: {name} analyze_fresh_s {n:.6}s vs baseline {b:.6}s ({ratio:.2}x)"
+                    ));
+                }
+            }
+            _ => {
+                println!("  {name:<18} (no comparable timing)");
+            }
+        }
+    }
+    for base_point in base_points {
+        let Some(gates) = num(base_point, "gates") else {
+            continue;
+        };
+        if !run_points.iter().any(|p| num(p, "gates") == Some(gates)) {
+            regressions.push(format!(
+                "scaling: {}-gate point in baseline but not measured — a scaling size silently dropped",
+                gates as u64
+            ));
+        }
+    }
+
+    match (
+        num(base, "slope_analyze_fresh"),
+        num(run, "slope_analyze_fresh"),
+    ) {
+        (Some(b), Some(n)) => {
+            println!("  slope             {n:.3} vs baseline {b:.3}");
+            if n > b + SLOPE_MARGIN {
+                regressions.push(format!(
+                    "scaling: analyze_fresh slope {n:.3} vs baseline {b:.3} — asymptotic regression"
+                ));
+            }
+        }
+        _ => {
+            println!("  slope             (not comparable)");
+        }
+    }
+    regressions
 }
 
 /// Appends `extra`'s fields to the `row` object.

@@ -28,17 +28,28 @@ use ser_logicsim::SensitizationMatrix;
 use ser_netlist::{Circuit, NodeId};
 
 use crate::glitch::AttenuationModel;
-use crate::logical::{pi_weights, successor_sensitizations};
+use crate::logical::{pi_weights_into, successor_sensitizations_into};
 
 /// The computed expected-width tables.
 ///
-/// Storage is node-major, then sample-width, then PO column:
-/// `ws[(node·K + k)·n_pos + j]`.
+/// Storage is *sparse over structurally reachable PO columns*: node `i`
+/// stores `grid.len()` samples for exactly the columns in
+/// `pij.reachable_columns(i)` (every other `W_ijk` is structurally
+/// zero, `P_ij = 0`). Layout is node-major, then sample-width, then
+/// reachable-column position: node `i`'s row starts at
+/// `reach_off[i]·K` and entry `(k, t)` lives at `base + k·len_i + t`.
+/// On deep circuits with few POs this is the difference between
+/// `O(V·K·|PO|)` and `O(K·Σ|reach(i)|)` bytes — the dense table alone
+/// would dwarf every other analysis artifact at 100k gates.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExpectedWidths {
     outputs: Vec<NodeId>,
     grid: Vec<f64>,
-    n_pos: usize,
+    /// CSR offsets into `reach_cols` (length `n_nodes + 1`).
+    reach_off: Vec<u32>,
+    /// Reachable PO columns per node, ascending (mirrors the
+    /// sensitization matrix's structural reachability).
+    reach_cols: Vec<u32>,
     ws: Vec<f64>,
 }
 
@@ -92,26 +103,34 @@ impl ExpectedWidths {
         full_width_state(circuit, probs, pij, delays, grid, model).0
     }
 
-    /// All-zero tables for `n_nodes` nodes — the starting point of the
-    /// full-dirty pass (and of a cold [`AnalysisSession`]).
+    /// All-zero tables over the sensitization matrix's structural
+    /// reachability — the starting point of the full-dirty pass (and of
+    /// a cold [`AnalysisSession`]).
     ///
     /// # Panics
     ///
     /// Panics if `grid` is unsorted or does not start at 0.
     ///
     /// [`AnalysisSession`]: crate::AnalysisSession
-    pub(crate) fn zeroed(outputs: Vec<NodeId>, grid: Vec<f64>, n_nodes: usize) -> Self {
+    pub(crate) fn zeroed(pij: &SensitizationMatrix, grid: Vec<f64>, n_nodes: usize) -> Self {
         assert!(
             grid.windows(2).all(|w| w[1] > w[0]),
             "sample grid must be strictly increasing"
         );
         assert_eq!(grid.first(), Some(&0.0), "sample grid must start at 0");
-        let n_pos = outputs.len();
-        let ws = vec![0.0f64; n_nodes * grid.len() * n_pos];
+        let mut reach_off = Vec::with_capacity(n_nodes + 1);
+        let mut reach_cols: Vec<u32> = Vec::new();
+        reach_off.push(0u32);
+        for i in 0..n_nodes {
+            reach_cols.extend_from_slice(pij.reachable_columns(NodeId::new(i)));
+            reach_off.push(reach_cols.len() as u32);
+        }
+        let ws = vec![0.0f64; grid.len() * reach_cols.len()];
         ExpectedWidths {
-            outputs,
+            outputs: pij.outputs().to_vec(),
             grid,
-            n_pos,
+            reach_off,
+            reach_cols,
             ws,
         }
     }
@@ -126,79 +145,89 @@ impl ExpectedWidths {
         &self.grid
     }
 
+    /// The sparse row geometry of node `i`: `(base, cols)` where `base`
+    /// indexes `ws` at sample 0 and `cols` lists the reachable PO
+    /// columns (row stride per sample = `cols.len()`).
+    #[inline]
+    fn row_of(&self, i: usize) -> (usize, &[u32]) {
+        let lo = self.reach_off[i] as usize;
+        let hi = self.reach_off[i + 1] as usize;
+        (lo * self.grid.len(), &self.reach_cols[lo..hi])
+    }
+
     /// `WS_ijk`: expected width at PO column `j` for sample width index
-    /// `k` at gate `i`.
+    /// `k` at gate `i` (structurally zero off the reachability list).
     pub fn at_sample(&self, i: NodeId, j: usize, k: usize) -> f64 {
-        self.ws[(i.index() * self.grid.len() + k) * self.n_pos + j]
+        let (base, cols) = self.row_of(i.index());
+        match cols.binary_search(&(j as u32)) {
+            Ok(t) => self.ws[base + k * cols.len() + t],
+            Err(_) => 0.0,
+        }
     }
 
     /// Step (iv): the expected width `W_ij` at PO column `j` for an
     /// arbitrary generated width `w_gen` at gate `i`, interpolating the
     /// sample tables.
     pub fn expected_width(&self, i: NodeId, j: usize, w_gen: f64) -> f64 {
-        interp_width(
-            &self.ws,
-            i.index() * self.grid.len() * self.n_pos,
-            self.n_pos,
-            j,
-            &self.grid,
-            w_gen,
-        )
+        let (base, cols) = self.row_of(i.index());
+        match cols.binary_search(&(j as u32)) {
+            Ok(t) => interp_col(&self.ws, base, cols.len(), t, &self.grid, w_gen),
+            Err(_) => 0.0,
+        }
     }
 
     /// `Σ_j W_ij` for a generated width — the latching-window-masked
-    /// total the unreliability formula consumes.
+    /// total the unreliability formula consumes. Unreachable columns
+    /// contribute exactly `+0.0`, so summing the reachable ones in
+    /// column order is bitwise identical to the dense sum.
     pub fn total_expected_width(&self, i: NodeId, w_gen: f64) -> f64 {
-        (0..self.n_pos)
-            .map(|j| self.expected_width(i, j, w_gen))
+        let (base, cols) = self.row_of(i.index());
+        (0..cols.len())
+            .map(|t| interp_col(&self.ws, base, cols.len(), t, &self.grid, w_gen))
             .sum()
     }
 
-    /// The raw node-major `[k][j]` storage (test-only: equivalence
-    /// assertions compare whole tables at once).
+    /// The raw sparse `[k][t]` storage (test-only: equivalence
+    /// assertions compare whole tables at once; both sides are built
+    /// over the same `P_ij`, hence the same layout).
     #[cfg(test)]
     #[inline]
     pub(crate) fn ws(&self) -> &[f64] {
         &self.ws
     }
-
-    /// Mutable access to the raw storage (see [`ExpectedWidths::ws`]).
-    #[inline]
-    pub(crate) fn ws_mut(&mut self) -> &mut [f64] {
-        &mut self.ws
-    }
 }
 
-/// One hoisted interpolation bracket: row offsets (premultiplied by the
-/// PO-column stride) and blend weights of the two grid samples framing an
-/// attenuated width.
+/// One hoisted interpolation bracket: the sample indices and blend
+/// weights of the two grid samples framing an attenuated width. Indices
+/// are plain `k` values — each consumer multiplies by its own row
+/// stride (the sparse tables give every node a different one).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) struct Bracket {
-    pub(crate) off_lo: usize,
-    pub(crate) off_hi: usize,
+    pub(crate) k_lo: usize,
+    pub(crate) k_hi: usize,
     pub(crate) w_lo: f64,
     pub(crate) w_hi: f64,
 }
 
 /// The bracket of one attenuated width `w` in `grid`: the two framing
-/// sample rows (offsets premultiplied by the PO-column stride `n_pos`)
-/// and their blend weights, clamped at both ends. This is the single
-/// source of truth shared by the batch pass and the incremental engine's
-/// per-node bracket refresh, and it reproduces [`interp_width`]'s
-/// arithmetic exactly (same clamping, same blend expression).
-pub(crate) fn bracket_for(grid: &[f64], w: f64, n_pos: usize) -> Bracket {
+/// sample indices and their blend weights, clamped at both ends. This
+/// is the single source of truth shared by the batch pass and the
+/// incremental engine's per-node bracket refresh, and it reproduces
+/// [`interp_col`]'s arithmetic exactly (same clamping, same blend
+/// expression).
+pub(crate) fn bracket_for(grid: &[f64], w: f64) -> Bracket {
     let top = grid.len() - 1;
     if w <= grid[0] {
         Bracket {
-            off_lo: 0,
-            off_hi: 0,
+            k_lo: 0,
+            k_hi: 0,
             w_lo: 1.0,
             w_hi: 0.0,
         }
     } else if w >= grid[top] {
         Bracket {
-            off_lo: top * n_pos,
-            off_hi: top * n_pos,
+            k_lo: top,
+            k_hi: top,
             w_lo: 0.0,
             w_hi: 1.0,
         }
@@ -215,8 +244,8 @@ pub(crate) fn bracket_for(grid: &[f64], w: f64, n_pos: usize) -> Bracket {
         }
         let frac = (w - grid[lo]) / (grid[lo + 1] - grid[lo]);
         Bracket {
-            off_lo: lo * n_pos,
-            off_hi: (lo + 1) * n_pos,
+            k_lo: lo,
+            k_hi: lo + 1,
             w_lo: 1.0 - frac,
             w_hi: frac,
         }
@@ -233,12 +262,12 @@ pub(crate) struct InterpBrackets {
 }
 
 impl InterpBrackets {
-    pub(crate) fn new(grid: &[f64], delays: &[f64], model: AttenuationModel, n_pos: usize) -> Self {
+    pub(crate) fn new(grid: &[f64], delays: &[f64], model: AttenuationModel) -> Self {
         let k_n = grid.len();
         let mut per_node = Vec::with_capacity(delays.len() * k_n);
         for &delay in delays {
             for &g in grid {
-                per_node.push(bracket_for(grid, model.apply(g, delay), n_pos));
+                per_node.push(bracket_for(grid, model.apply(g, delay)));
             }
         }
         InterpBrackets { per_node, k_n }
@@ -251,10 +280,9 @@ impl InterpBrackets {
         grid: &[f64],
         delay: f64,
         model: AttenuationModel,
-        n_pos: usize,
     ) {
         for (k, &g) in grid.iter().enumerate() {
-            self.per_node[node * self.k_n + k] = bracket_for(grid, model.apply(g, delay), n_pos);
+            self.per_node[node * self.k_n + k] = bracket_for(grid, model.apply(g, delay));
         }
     }
 
@@ -281,6 +309,12 @@ pub(crate) struct WeightCache {
     /// row kernel skips (`P_ij = 0` or all-zero weights).
     blk_off: Vec<u32>,
     pis: Vec<f64>,
+    /// Parallel to `pis`: the position of the block's column in the
+    /// *successor's* reachable-column list, or `u32::MAX` when the
+    /// successor does not reach it (its `WS` there is exactly 0.0, so
+    /// the kernel skips the term). This is what lets the row kernel
+    /// index the sparse width rows without a per-term binary search.
+    succ_pos: Vec<u32>,
     /// PO column of each node (`u32::MAX` = not a primary output) —
     /// logic-only like everything else here, so the row kernel's step
     /// (ii) is a table lookup instead of an output-list scan.
@@ -295,6 +329,7 @@ impl WeightCache {
         let mut slot_off = Vec::with_capacity(n + 1);
         let mut blk_off: Vec<u32> = Vec::new();
         let mut pis: Vec<f64> = Vec::new();
+        let mut succ_pos: Vec<u32> = Vec::new();
         let mut po_col = vec![u32::MAX; n];
         for (j, &po) in pij.outputs().iter().enumerate() {
             po_col[po.index()] = j as u32;
@@ -302,18 +337,25 @@ impl WeightCache {
         succ_off.push(0u32);
         slot_off.push(0usize);
         blk_off.push(0u32);
+        let mut successors: Vec<(NodeId, f64)> = Vec::new();
+        let mut w_buf: Vec<f64> = Vec::new();
         for i in 0..n {
             let id = NodeId::new(i);
-            let successors = successor_sensitizations(circuit, probs, id);
+            successor_sensitizations_into(circuit, probs, id, &mut successors);
             succ_nodes.extend(successors.iter().map(|&(s, _)| s.index() as u32));
             succ_off.push(succ_nodes.len() as u32);
             for &col in pij.reachable_columns(id) {
                 let j = col as usize;
                 let p_ij = pij.p(id, j);
                 if p_ij > 0.0 && !successors.is_empty() {
-                    let w = pi_weights(&successors, p_ij, |s| pij.p(s, j));
-                    if !w.iter().all(|&x| x == 0.0) {
-                        pis.extend(w);
+                    pi_weights_into(&successors, p_ij, |s| pij.p(s, j), &mut w_buf);
+                    if !w_buf.iter().all(|&x| x == 0.0) {
+                        pis.extend_from_slice(&w_buf);
+                        succ_pos.extend(successors.iter().map(|&(s, _)| {
+                            pij.reachable_columns(s)
+                                .binary_search(&col)
+                                .map_or(u32::MAX, |t| t as u32)
+                        }));
                     }
                 }
                 blk_off.push(pis.len() as u32);
@@ -326,6 +368,7 @@ impl WeightCache {
             slot_off,
             blk_off,
             pis,
+            succ_pos,
             po_col,
         }
     }
@@ -335,12 +378,15 @@ impl WeightCache {
         &self.succ_nodes[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
     }
 
-    /// The weight block of node `i`'s `t`-th reachable column (empty when
-    /// the row kernel would skip that column).
+    /// The weight block and successor-position block of node `i`'s
+    /// `t`-th reachable column (empty when the row kernel would skip
+    /// that column).
     #[inline]
-    fn block(&self, i: usize, t: usize) -> &[f64] {
+    fn block(&self, i: usize, t: usize) -> (&[f64], &[u32]) {
         let slot = self.slot_off[i] + t;
-        &self.pis[self.blk_off[slot] as usize..self.blk_off[slot + 1] as usize]
+        let lo = self.blk_off[slot] as usize;
+        let hi = self.blk_off[slot + 1] as usize;
+        (&self.pis[lo..hi], &self.succ_pos[lo..hi])
     }
 }
 
@@ -351,27 +397,34 @@ impl WeightCache {
 /// exactly the dirty rows.
 pub(crate) struct RowKernel<'a> {
     pub(crate) weights: &'a WeightCache,
-    pub(crate) pij: &'a SensitizationMatrix,
     pub(crate) brackets: &'a InterpBrackets,
     pub(crate) grid: &'a [f64],
-    pub(crate) n_pos: usize,
 }
 
 impl RowKernel<'_> {
-    /// **The** width arithmetic: derives node `i`'s `[k][j]` row into
-    /// `row_buf` from the cached weights, the successors' rows in `ws`
-    /// and the hoisted brackets.
-    fn derive_row(&self, i: usize, ws: &[f64], row_buf: &mut [f64]) {
+    /// **The** width arithmetic: derives node `i`'s sparse `[k][t]` row
+    /// into `row_buf` (resized to the row's exact length) from the
+    /// cached weights, the successors' rows in `widths` and the hoisted
+    /// brackets.
+    fn derive_row(&self, i: usize, widths: &ExpectedWidths, row_buf: &mut Vec<f64>) {
         let k_n = self.grid.len();
-        let n_pos = self.n_pos;
-        let id = NodeId::new(i);
-        row_buf.fill(0.0);
+        let (_, cols) = widths.row_of(i);
+        let len_i = cols.len();
+        row_buf.clear();
+        row_buf.resize(k_n * len_i, 0.0);
 
         // Step (ii): a primary output latches its own glitch verbatim.
+        // A PO's cone contains itself, so its column is always on its
+        // own reachability list.
         let self_col = self.weights.po_col[i];
         if self_col != u32::MAX {
-            for k in 0..k_n {
-                row_buf[k * n_pos + self_col as usize] = self.grid[k];
+            // Invariant: the column is present — a cone contains its root.
+            if let Ok(t) = cols.binary_search(&self_col) {
+                for k in 0..k_n {
+                    row_buf[k * len_i + t] = self.grid[k];
+                }
+            } else {
+                debug_assert!(false, "a primary output reaches its own column");
             }
         }
 
@@ -379,43 +432,50 @@ impl RowKernel<'_> {
         // weights (applies to PO nodes that also feed logic — a strict
         // generalization of the paper, reducing to it when POs are
         // sinks). Columns outside the reachability list are structurally
-        // zero (`P_ij = 0`) and never visited.
+        // zero (`P_ij = 0`) and never visited; a successor that does not
+        // reach the column holds an exact 0.0 there, so skipping its
+        // term drops only `+0.0` additions (all summands are
+        // non-negative — bitwise neutral).
         let successors = self.weights.successors(i);
         if !successors.is_empty() {
-            for (t, &col) in self.pij.reachable_columns(id).iter().enumerate() {
-                let j = col as usize;
-                let blk = self.weights.block(i, t);
+            for t in 0..len_i {
+                let (blk, pos) = self.weights.block(i, t);
                 if blk.is_empty() {
                     continue;
                 }
-                for (k, slot) in row_buf.chunks_mut(n_pos).enumerate() {
+                for k in 0..k_n {
                     let mut sum = 0.0;
-                    for (&s, &pi_w) in successors.iter().zip(blk) {
-                        if pi_w == 0.0 {
+                    for ((&s, &pi_w), &ps) in successors.iter().zip(blk).zip(pos) {
+                        if pi_w == 0.0 || ps == u32::MAX {
                             continue;
                         }
                         let b = self.brackets.at(s as usize, k);
-                        let s_base = s as usize * k_n * n_pos;
-                        let we =
-                            ws[s_base + b.off_lo + j] * b.w_lo + ws[s_base + b.off_hi + j] * b.w_hi;
+                        let (s_base, s_cols) = widths.row_of(s as usize);
+                        let s_len = s_cols.len();
+                        let we = widths.ws[s_base + b.k_lo * s_len + ps as usize] * b.w_lo
+                            + widths.ws[s_base + b.k_hi * s_len + ps as usize] * b.w_hi;
                         sum += pi_w * we;
                     }
-                    slot[j] += sum;
+                    row_buf[k * len_i + t] += sum;
                 }
             }
         }
     }
 
-    /// Re-derives node `i`'s row in `ws` (the node-major `[k][j]`
-    /// storage), using `row_buf` (one row long) as scratch. Returns
-    /// whether the row changed at any bit — the incremental engine's
-    /// entry point (change detection gates its dirty propagation).
-    pub(crate) fn recompute_row(&self, i: usize, ws: &mut [f64], row_buf: &mut [f64]) -> bool {
-        self.derive_row(i, ws, row_buf);
-        let k_n = self.grid.len();
-        let base = i * k_n * self.n_pos;
-        let dst = &mut ws[base..base + k_n * self.n_pos];
-        if dst == row_buf {
+    /// Re-derives node `i`'s sparse row in `widths`, using `row_buf` as
+    /// scratch (resized to the row length). Returns whether the row
+    /// changed at any bit — the incremental engine's entry point
+    /// (change detection gates its dirty propagation).
+    pub(crate) fn recompute_row(
+        &self,
+        i: usize,
+        widths: &mut ExpectedWidths,
+        row_buf: &mut Vec<f64>,
+    ) -> bool {
+        self.derive_row(i, widths, row_buf);
+        let (base, _) = widths.row_of(i);
+        let dst = &mut widths.ws[base..base + row_buf.len()];
+        if dst == &row_buf[..] {
             false
         } else {
             dst.copy_from_slice(row_buf);
@@ -426,11 +486,10 @@ impl RowKernel<'_> {
     /// [`RowKernel::recompute_row`] without the change detection — the
     /// full-dirty (batch / cold-start) passes know every row is being
     /// written, so the bitwise compare would be pure overhead.
-    pub(crate) fn fill_row(&self, i: usize, ws: &mut [f64], row_buf: &mut [f64]) {
-        self.derive_row(i, ws, row_buf);
-        let k_n = self.grid.len();
-        let base = i * k_n * self.n_pos;
-        ws[base..base + k_n * self.n_pos].copy_from_slice(row_buf);
+    pub(crate) fn fill_row(&self, i: usize, widths: &mut ExpectedWidths, row_buf: &mut Vec<f64>) {
+        self.derive_row(i, widths, row_buf);
+        let (base, _) = widths.row_of(i);
+        widths.ws[base..base + row_buf.len()].copy_from_slice(row_buf);
     }
 }
 
@@ -448,41 +507,43 @@ pub(crate) fn full_width_state(
     grid: Vec<f64>,
     model: AttenuationModel,
 ) -> (ExpectedWidths, WeightCache, InterpBrackets) {
-    let mut out = ExpectedWidths::zeroed(pij.outputs().to_vec(), grid, circuit.node_count());
+    let mut out = ExpectedWidths::zeroed(pij, grid, circuit.node_count());
     let weights = WeightCache::build(circuit, probs, pij);
-    let brackets = InterpBrackets::new(&out.grid, delays, model, out.n_pos);
-    let mut row_buf = vec![0.0f64; out.grid.len() * out.n_pos];
+    let brackets = InterpBrackets::new(&out.grid, delays, model);
+    let mut row_buf: Vec<f64> = Vec::new();
     {
+        // The kernel borrows the grid by value-clone: `fill_row` needs
+        // `&mut out` while the K-element grid is immutable context.
+        let grid = out.grid.clone();
         let kernel = RowKernel {
             weights: &weights,
-            pij,
             brackets: &brackets,
-            grid: &out.grid,
-            n_pos: out.n_pos,
+            grid: &grid,
         };
         for &id in circuit.topological_order().iter().rev() {
-            kernel.fill_row(id.index(), &mut out.ws, &mut row_buf);
+            kernel.fill_row(id.index(), &mut out, &mut row_buf);
         }
     }
     (out, weights, brackets)
 }
 
-/// Interpolates a node's `[k][j]` table along k at width `w` (clamped).
+/// Interpolates one sparse column (`stride` entries per sample, column
+/// position `t`) along k at width `w` (clamped).
 #[inline]
-pub(crate) fn interp_width(
+pub(crate) fn interp_col(
     ws: &[f64],
     node_base: usize,
-    n_pos: usize,
-    j: usize,
+    stride: usize,
+    t: usize,
     grid: &[f64],
     w: f64,
 ) -> f64 {
     let k_n = grid.len();
     if w <= grid[0] {
-        return ws[node_base + j];
+        return ws[node_base + t];
     }
     if w >= grid[k_n - 1] {
-        return ws[node_base + (k_n - 1) * n_pos + j];
+        return ws[node_base + (k_n - 1) * stride + t];
     }
     let mut lo = 0usize;
     let mut hi = k_n - 1;
@@ -495,8 +556,8 @@ pub(crate) fn interp_width(
         }
     }
     let frac = (w - grid[lo]) / (grid[lo + 1] - grid[lo]);
-    let a = ws[node_base + lo * n_pos + j];
-    let b = ws[node_base + (lo + 1) * n_pos + j];
+    let a = ws[node_base + lo * stride + t];
+    let b = ws[node_base + (lo + 1) * stride + t];
     a * (1.0 - frac) + b * frac
 }
 

@@ -49,13 +49,26 @@ pub fn side_sensitization(circuit: &Circuit, probs: &[f64], i: NodeId, s: NodeId
 /// The deduplicated successors of `i` with their `S_is` weights.
 pub fn successor_sensitizations(circuit: &Circuit, probs: &[f64], i: NodeId) -> Vec<(NodeId, f64)> {
     let mut out: Vec<(NodeId, f64)> = Vec::new();
+    successor_sensitizations_into(circuit, probs, i, &mut out);
+    out
+}
+
+/// [`successor_sensitizations`] into a caller-owned buffer (cleared
+/// first) — the weight-cache builder calls this once per node, so
+/// reusing one buffer avoids an allocation per node on large circuits.
+pub fn successor_sensitizations_into(
+    circuit: &Circuit,
+    probs: &[f64],
+    i: NodeId,
+    out: &mut Vec<(NodeId, f64)>,
+) {
+    out.clear();
     for &s in circuit.fanout(i) {
         if out.iter().any(|&(seen, _)| seen == s) {
             continue; // multi-pin connection: one successor entry
         }
         out.push((s, side_sensitization(circuit, probs, i, s)));
     }
-    out
 }
 
 /// The Eq. 2 weights `π_isj = S_is·P_ij / Σ_k S_ik·P_kj` for one gate `i`
@@ -71,14 +84,27 @@ pub fn pi_weights(
     p_ij: f64,
     p_sj: impl Fn(NodeId) -> f64,
 ) -> Vec<f64> {
+    let mut out = Vec::new();
+    pi_weights_into(successors, p_ij, p_sj, &mut out);
+    out
+}
+
+/// [`pi_weights`] into a caller-owned buffer (cleared first) — called
+/// once per `(node, reachable PO)` pair during weight-cache
+/// construction, so the buffer reuse matters at 100k gates.
+pub fn pi_weights_into(
+    successors: &[(NodeId, f64)],
+    p_ij: f64,
+    p_sj: impl Fn(NodeId) -> f64,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
     let denom: f64 = successors.iter().map(|&(s, s_is)| s_is * p_sj(s)).sum();
     if denom <= 0.0 || p_ij <= 0.0 {
-        return vec![0.0; successors.len()];
+        out.resize(successors.len(), 0.0);
+        return;
     }
-    successors
-        .iter()
-        .map(|&(_, s_is)| s_is * p_ij / denom)
-        .collect()
+    out.extend(successors.iter().map(|&(_, s_is)| s_is * p_ij / denom));
 }
 
 #[cfg(test)]

@@ -121,7 +121,7 @@ struct Scratch {
 }
 
 impl Scratch {
-    fn new(n: usize, row_len: usize) -> Self {
+    fn new(n: usize) -> Self {
         Scratch {
             load_cand: SparseSet::new(n),
             load_changed: SparseSet::new(n),
@@ -130,7 +130,9 @@ impl Scratch {
             row_cand: SparseSet::new(n),
             row_changed: SparseSet::new(n),
             u_dirty: SparseSet::new(n),
-            row_buf: vec![0.0; row_len],
+            // Sized lazily by the row kernel (sparse rows have
+            // per-node lengths).
+            row_buf: Vec::new(),
             arrival: vec![0.0; n],
         }
     }
@@ -153,7 +155,6 @@ pub struct AnalysisSession<'c> {
     pij: SensitizationMatrix,
     static_probs: Vec<f64>,
     grid: Vec<f64>,
-    n_pos: usize,
     weights: WeightCache,
     timing: TimingView,
     critical_delay: f64,
@@ -284,7 +285,6 @@ impl<'c> AnalysisSession<'c> {
         // only; the session keeps the weight cache and brackets alive as
         // its caches.
         let grid = cfg.sample_width_grid();
-        let n_pos = pij.outputs().len();
         let (widths, weights, brackets) = crate::electrical::full_width_state(
             circuit,
             &static_probs,
@@ -312,8 +312,7 @@ impl<'c> AnalysisSession<'c> {
             csr: CsrView::build(circuit),
             pij,
             static_probs,
-            grid: grid.clone(),
-            n_pos,
+            grid,
             weights,
             timing,
             critical_delay,
@@ -323,7 +322,7 @@ impl<'c> AnalysisSession<'c> {
             per_gate_u,
             unreliability: 0.0,
             poison: None,
-            scratch: Scratch::new(n, grid.len() * n_pos),
+            scratch: Scratch::new(n),
         };
         session.resum_unreliability();
         Ok(session)
@@ -616,12 +615,10 @@ impl<'c> AnalysisSession<'c> {
             stats.rows_recomputed += 1;
             let kernel = RowKernel {
                 weights: &self.weights,
-                pij: &self.pij,
                 brackets: &self.brackets,
                 grid: &self.grid,
-                n_pos: self.n_pos,
             };
-            let changed = kernel.recompute_row(i, self.widths.ws_mut(), &mut scratch.row_buf);
+            let changed = kernel.recompute_row(i, &mut self.widths, &mut scratch.row_buf);
             if scratch
                 .row_buf
                 .iter()
@@ -878,7 +875,6 @@ impl<'c> AnalysisSession<'c> {
                 &self.grid,
                 self.timing.delays[i as usize],
                 AttenuationModel::PaperEq1,
-                self.n_pos,
             );
         }
         strict_ancestors(
@@ -906,12 +902,10 @@ impl<'c> AnalysisSession<'c> {
             stats.rows_recomputed += 1;
             let kernel = RowKernel {
                 weights: &self.weights,
-                pij: &self.pij,
                 brackets: &self.brackets,
                 grid: &self.grid,
-                n_pos: self.n_pos,
             };
-            let row_moved = kernel.recompute_row(i, self.widths.ws_mut(), &mut scratch.row_buf);
+            let row_moved = kernel.recompute_row(i, &mut self.widths, &mut scratch.row_buf);
             if scratch
                 .row_buf
                 .iter()

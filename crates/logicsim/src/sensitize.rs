@@ -10,13 +10,23 @@
 //!
 //! # Hot-path architecture
 //!
-//! The estimator runs over the flat CSR view ([`CsrView`]) with every
-//! node's fan-out cone and reachable-PO column list premultiplied into
-//! one [`ConeArena`], so each strike resimulates exactly the nodes that
-//! can change and counts differences only at the POs it can reach.
-//! 64-vector words are distributed round-robin over worker threads
-//! ([`simulation_threads`]: `SER_SIM_THREADS` or the machine's available
-//! parallelism).
+//! The estimator runs over the flat CSR view ([`CsrView`]) with fan-out
+//! cones and reachable-PO column lists materialized in [`ConeArena`]s,
+//! so each strike resimulates exactly the nodes that can change and
+//! counts differences only at the POs it can reach. 64-vector words are
+//! distributed round-robin over worker threads ([`simulation_threads`]:
+//! `SER_SIM_THREADS` or the machine's available parallelism).
+//!
+//! Cones are **streamed in chunks** rather than held all at once: a
+//! [`ChunkedConeArena`] plans a PO-region partition of the roots
+//! ([`cone_chunk_size`] roots per chunk, `SER_CONE_CHUNK` to override),
+//! and the estimator builds each chunk's arena on first touch, compiles
+//! and replays its cone programs, scatters the counts, and releases the
+//! chunk before touching the next. Peak arena memory is therefore
+//! bounded by one chunk — not the whole-circuit cone closure, which on
+//! 100k-gate circuits runs to gigabytes. Per-thread simulation buffers
+//! and the program-compile scratch live in a pool that is reused across
+//! chunks, so the inner loop performs no per-node allocation.
 //!
 //! **Determinism contract:** results are bitwise identical for every
 //! thread count. Word `w` always draws its stimulus from
@@ -25,7 +35,7 @@
 //! counts are merged by integer summation (associative and commutative)
 //! before a single final division.
 
-use ser_netlist::csr::{ConeArena, CsrView};
+use ser_netlist::csr::{ChunkedConeArena, ConeArena, CsrView};
 use ser_netlist::{Circuit, GateKind, NodeId};
 
 use crate::kernel;
@@ -172,6 +182,41 @@ pub fn simulation_threads() -> usize {
         })
 }
 
+/// Default roots-per-chunk of the streamed estimator. At typical cone
+/// sizes a chunk's arena plus compiled programs stays in the low
+/// megabytes, which amortizes to tens of bytes per circuit node on
+/// 100k-gate designs.
+const DEFAULT_CONE_CHUNK: usize = 128;
+
+/// Roots-per-chunk used by the streamed estimator: the `SER_CONE_CHUNK`
+/// environment override when set to a positive integer, else the
+/// built-in default of 128. Results are bitwise identical for every
+/// chunk size. The fault-free base evaluation is hoisted per word-block
+/// (not per chunk), so the knob trades peak arena memory against
+/// per-block program recompilation only — shrinking it is cheap.
+pub fn cone_chunk_size() -> usize {
+    std::env::var("SER_CONE_CHUNK")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_CONE_CHUNK)
+}
+
+/// Memory/work profile of one streamed estimation run — the probe the
+/// scaling benchmark reads. Deliberately *not* part of
+/// [`SensitizationMatrix`], whose equality is the bitwise-determinism
+/// oracle and must not depend on chunking.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EstimateStats {
+    /// Number of cone chunks the run streamed through.
+    pub chunks: usize,
+    /// High-water mark of arena plus compiled-program bytes across the
+    /// run (including the arena builder's transient assembly buffer).
+    pub peak_bytes: usize,
+    /// Total cone entries replayed (the Σ|cone| work term).
+    pub cone_entries: usize,
+}
+
 /// Estimates the full matrix with `n_vectors` random vectors (rounded up
 /// to a multiple of 64), PI probability 0.5, deterministic in `seed` and
 /// independent of the worker-thread count (see the module docs).
@@ -202,6 +247,40 @@ pub fn sensitization_probabilities_threaded(
     seed: u64,
     threads: usize,
 ) -> SensitizationMatrix {
+    sensitization_probabilities_chunked(circuit, n_vectors, seed, threads, cone_chunk_size())
+}
+
+/// [`sensitization_probabilities_threaded`] with an explicit
+/// roots-per-chunk for the streamed cone arena. Results are bitwise
+/// identical for every `chunk_size` (and every `threads`) value — the
+/// workspace proptests pin this.
+///
+/// # Panics
+///
+/// Panics if `n_vectors`, `threads` or `chunk_size` is 0.
+pub fn sensitization_probabilities_chunked(
+    circuit: &Circuit,
+    n_vectors: usize,
+    seed: u64,
+    threads: usize,
+    chunk_size: usize,
+) -> SensitizationMatrix {
+    sensitization_probabilities_with_stats(circuit, n_vectors, seed, threads, chunk_size).0
+}
+
+/// [`sensitization_probabilities_chunked`] plus the [`EstimateStats`]
+/// memory/work profile of the run.
+///
+/// # Panics
+///
+/// Panics if `n_vectors`, `threads` or `chunk_size` is 0.
+pub fn sensitization_probabilities_with_stats(
+    circuit: &Circuit,
+    n_vectors: usize,
+    seed: u64,
+    threads: usize,
+    chunk_size: usize,
+) -> (SensitizationMatrix, EstimateStats) {
     assert!(n_vectors > 0, "need at least one vector");
     assert!(threads > 0, "need at least one worker thread");
     let outputs: Vec<NodeId> = circuit.primary_outputs().to_vec();
@@ -210,33 +289,54 @@ pub fn sensitization_probabilities_threaded(
     let n_words = n_vectors.div_ceil(64);
 
     let csr = CsrView::build(circuit);
-    let arena = ConeArena::build(&csr);
-    let roots: Vec<u32> = (0..n_nodes as u32).collect();
-    let progs = ConePrograms::compile(&csr, &arena, &roots);
-
-    let (counts, obs_counts) = accumulate_counts(&csr, &progs, seed, threads, n_words);
+    let mut plan = ChunkedConeArena::plan(&csr, chunk_size);
 
     // Scatter the flat reachable-PO counts into the dense row-major
-    // matrix; unreachable columns stay at their structural zero.
+    // matrix; unreachable columns stay at their structural zero. The
+    // (node, col) pairs rebuild the node-ordered reachability CSR after
+    // the chunk arenas (which visit roots in PO-region order) are gone.
     let total = (n_words * 64) as f64;
     let mut p = vec![0.0f64; n_nodes * n_pos];
-    for i in 0..n_nodes {
-        let start = progs.po_off[i];
-        for (t, &col) in arena.reachable_cols(i).iter().enumerate() {
-            p[i * n_pos + col as usize] = counts[start + t] as f64 / total;
-        }
-    }
-    let obs: Vec<f64> = obs_counts.into_iter().map(|c| c as f64 / total).collect();
+    let mut obs = vec![0.0f64; n_nodes];
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    let stats = estimate_chunks(
+        &csr,
+        &mut plan,
+        seed,
+        threads,
+        n_words,
+        |root, cols, counts, obs_count| {
+            let i = root as usize;
+            for (t, &col) in cols.iter().enumerate() {
+                p[i * n_pos + col as usize] = counts[t] as f64 / total;
+                pairs.push((root, col));
+            }
+            obs[i] = obs_count as f64 / total;
+        },
+    );
 
-    SensitizationMatrix {
-        outputs,
-        n_nodes,
-        p,
-        obs,
-        reach_off: arena.reachable_offsets().to_vec(),
-        reach_cols: arena.reachable_cols_flat().to_vec(),
-        vectors_used: n_words * 64,
+    pairs.sort_unstable();
+    let mut reach_off = vec![0usize; n_nodes + 1];
+    for &(i, _) in &pairs {
+        reach_off[i as usize + 1] += 1;
     }
+    for i in 0..n_nodes {
+        reach_off[i + 1] += reach_off[i];
+    }
+    let reach_cols: Vec<u32> = pairs.iter().map(|&(_, c)| c).collect();
+
+    (
+        SensitizationMatrix {
+            outputs,
+            n_nodes,
+            p,
+            obs,
+            reach_off,
+            reach_cols,
+            vectors_used: n_words * 64,
+        },
+        stats,
+    )
 }
 
 /// Selectively re-simulates the strike cones of `nodes` only, with the
@@ -275,6 +375,24 @@ pub fn resimulate_rows_threaded(
     seed: u64,
     threads: usize,
 ) -> PijRowUpdate {
+    resimulate_rows_chunked(circuit, nodes, n_vectors, seed, threads, cone_chunk_size())
+}
+
+/// [`resimulate_rows_threaded`] with an explicit roots-per-chunk for the
+/// streamed cone arena. Results are bitwise identical for every
+/// `chunk_size` (and every `threads`) value.
+///
+/// # Panics
+///
+/// Panics if `n_vectors`, `threads` or `chunk_size` is 0.
+pub fn resimulate_rows_chunked(
+    circuit: &Circuit,
+    nodes: &[NodeId],
+    n_vectors: usize,
+    seed: u64,
+    threads: usize,
+    chunk_size: usize,
+) -> PijRowUpdate {
     assert!(n_vectors > 0, "need at least one vector");
     assert!(threads > 0, "need at least one worker thread");
     let n_pos = circuit.primary_outputs().len();
@@ -290,24 +408,45 @@ pub fn resimulate_rows_threaded(
         };
     }
 
-    // Only the listed cones are materialized (slot-indexed arena), so
-    // the setup cost is one O(V+E) flattening pass plus work
-    // proportional to the requested cones.
+    // Only the listed cones are materialized (and only one chunk of them
+    // at a time), so the setup cost is one O(V+E) flattening pass plus
+    // work proportional to the requested cones.
     let csr = CsrView::build(circuit);
-    let arena = ConeArena::build_for(&csr, &roots);
-    let progs = ConePrograms::compile(&csr, &arena, &roots);
+    let mut plan = ChunkedConeArena::plan_for(&csr, &roots, chunk_size);
 
-    let (counts, obs_counts) = accumulate_counts(&csr, &progs, seed, threads, n_words);
-
-    let total = (n_words * 64) as f64;
-    let mut p = vec![0.0f64; roots.len() * n_pos];
-    for ri in 0..roots.len() {
-        let start = progs.po_off[ri];
-        for (t, &col) in arena.reachable_cols(ri).iter().enumerate() {
-            p[ri * n_pos + col as usize] = counts[start + t] as f64 / total;
+    // The chunk plan visits roots in deduplicated PO-region order; the
+    // update must come back in request order (with duplicates repeated).
+    let mut first_slot = vec![u32::MAX; circuit.node_count()];
+    for (t, &r) in roots.iter().enumerate() {
+        if first_slot[r as usize] == u32::MAX {
+            first_slot[r as usize] = t as u32;
         }
     }
-    let obs: Vec<f64> = obs_counts.into_iter().map(|c| c as f64 / total).collect();
+    let total = (n_words * 64) as f64;
+    let mut p = vec![0.0f64; roots.len() * n_pos];
+    let mut obs = vec![0.0f64; roots.len()];
+    estimate_chunks(
+        &csr,
+        &mut plan,
+        seed,
+        threads,
+        n_words,
+        |root, cols, counts, obs_count| {
+            let t = first_slot[root as usize] as usize;
+            for (ci, &col) in cols.iter().enumerate() {
+                p[t * n_pos + col as usize] = counts[ci] as f64 / total;
+            }
+            obs[t] = obs_count as f64 / total;
+        },
+    );
+    for (t, &r) in roots.iter().enumerate() {
+        let f = first_slot[r as usize] as usize;
+        if f != t {
+            let (head, tail) = p.split_at_mut(t * n_pos);
+            tail[..n_pos].copy_from_slice(&head[f * n_pos..(f + 1) * n_pos]);
+            obs[t] = obs[f];
+        }
+    }
 
     PijRowUpdate {
         nodes: roots,
@@ -318,44 +457,188 @@ pub fn resimulate_rows_threaded(
     }
 }
 
-/// Runs [`count_words`] over the compiled programs, across `threads`
-/// workers dealt round-robin; per-worker integer accumulators are merged
-/// by order-independent summation, so the result is bitwise identical for
-/// every thread count.
-fn accumulate_counts(
+/// The streamed estimation driver: for each [`BLOCK`]-word block, the
+/// fault-free circuit is evaluated **once** and transposed to node-major
+/// rows; every planned chunk then streams through — arena built on first
+/// touch, cone programs recompiled into the pooled buffers, strikes
+/// replayed with the chunk's roots split across the worker pool — and is
+/// released before the next chunk is touched.
+///
+/// Hoisting the base evaluation out of the chunk loop is what makes
+/// small chunks affordable: the full-circuit work is `O(V)` per word
+/// regardless of the chunk count, so the chunk size trades only peak
+/// arena memory against per-block recompilation, not simulation time.
+///
+/// `sink(root_node, reachable_cols, counts_per_col, union_count)` is
+/// invoked exactly once per planned root, after the last block. Peak
+/// tracked memory is one chunk's arena + programs; on top of that live
+/// the block's base rows (`node_count × block` words) and one set of
+/// integer hit counters per planned root.
+fn estimate_chunks(
     csr: &CsrView,
-    progs: &ConePrograms,
+    plan: &mut ChunkedConeArena,
     seed: u64,
     threads: usize,
     n_words: usize,
-) -> (Vec<u64>, Vec<u64>) {
-    let threads = threads.min(n_words);
-    if threads <= 1 {
-        return count_words(csr, progs, seed, 0, 1, n_words);
+    mut sink: impl FnMut(u32, &[u32], &[u64], u64),
+) -> EstimateStats {
+    let n_chunks = plan.chunk_count();
+    let mut pool: Vec<SimScratch> = (0..threads.max(1)).map(|_| SimScratch::default()).collect();
+    let mut compile_scratch = CompileScratch::default();
+    let mut progs = ConePrograms::default();
+    let mut base: Vec<u64> = Vec::new();
+    let mut tmp: Vec<u64> = vec![0; csr.node_count()];
+    // Hit counters for every planned root, chunk-major in plan order;
+    // they persist across blocks (the arena chunks do not).
+    let mut counts: Vec<u64> = Vec::new();
+    let mut obs_counts: Vec<u64> = Vec::new();
+    let mut count_off: Vec<usize> = vec![0];
+    let mut root_off: Vec<usize> = vec![0];
+    let mut stats = EstimateStats {
+        chunks: n_chunks,
+        ..EstimateStats::default()
+    };
+
+    let n_blocks = n_words.div_ceil(BLOCK);
+    for b in 0..n_blocks {
+        let w0 = b * BLOCK;
+        let wc = BLOCK.min(n_words - w0);
+        eval_base_block(csr, seed, w0, wc, &mut base, &mut tmp);
+
+        for k in 0..n_chunks {
+            plan.ensure(csr, k);
+            let arena = plan.chunk_arena(k).expect("chunk built above");
+            let chunk_roots = plan.chunk_roots(k);
+            progs.recompile(csr, arena, chunk_roots, &mut compile_scratch);
+            if b == 0 {
+                stats.cone_entries += arena.total_cone_len();
+                count_off.push(count_off[k] + progs.total_reachable());
+                root_off.push(root_off[k] + progs.root_count());
+                counts.resize(count_off[k + 1], 0);
+                obs_counts.resize(root_off[k + 1], 0);
+            }
+            stats.peak_bytes = stats.peak_bytes.max(plan.peak_bytes() + progs.bytes());
+
+            replay_block(
+                &progs,
+                &base,
+                wc,
+                &mut pool,
+                &mut counts[count_off[k]..count_off[k + 1]],
+                &mut obs_counts[root_off[k]..root_off[k + 1]],
+            );
+
+            if b + 1 == n_blocks {
+                for (slot, &root) in chunk_roots.iter().enumerate() {
+                    let range =
+                        count_off[k] + progs.po_off[slot]..count_off[k] + progs.po_off[slot + 1];
+                    sink(
+                        root,
+                        arena.reachable_cols(slot),
+                        &counts[range],
+                        obs_counts[root_off[k] + slot],
+                    );
+                }
+            }
+            plan.release(k);
+        }
     }
-    let partials: Vec<(Vec<u64>, Vec<u64>)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let progs = &*progs;
-                scope.spawn(move || count_words(csr, progs, seed, t, threads, n_words))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("simulation worker panicked"))
-            .collect()
+    stats
+}
+
+/// Evaluates the fault-free circuit for global words `w0 .. w0 + wc` and
+/// transposes the results into node-major rows (`base[node * wc + lane]`)
+/// shared read-only by every worker replaying the block.
+fn eval_base_block(
+    csr: &CsrView,
+    seed: u64,
+    w0: usize,
+    wc: usize,
+    base: &mut Vec<u64>,
+    tmp: &mut [u64],
+) {
+    let n_pi = csr.inputs().len();
+    base.resize(csr.node_count() * wc, 0);
+    for wl in 0..wc {
+        let pi_words = random_word(n_pi, 0.5, seed.wrapping_add((w0 + wl) as u64));
+        kernel::eval_word(csr, &pi_words, tmp);
+        for (i, &v) in tmp.iter().enumerate() {
+            base[i * wc + wl] = v;
+        }
+    }
+}
+
+/// Replays one block's strikes for every root of the compiled chunk,
+/// splitting the roots into contiguous spans balanced by program size,
+/// one worker per span. Each `(root, word)` hit increments exactly one
+/// integer counter owned by exactly one worker, so the totals are
+/// bitwise identical for every thread count.
+fn replay_block(
+    progs: &ConePrograms,
+    base: &[u64],
+    wc: usize,
+    pool: &mut [SimScratch],
+    counts: &mut [u64],
+    obs_counts: &mut [u64],
+) {
+    let n_roots = progs.root_count();
+    if n_roots == 0 {
+        return;
+    }
+    let workers = pool.len().min(n_roots).max(1);
+    if workers == 1 {
+        pool[0].prepare(progs.max_cone, wc);
+        replay_roots(
+            progs,
+            base,
+            wc,
+            0..n_roots,
+            &mut pool[0].vals,
+            counts,
+            obs_counts,
+        );
+        return;
+    }
+
+    // Greedy spans weighted by op count (+1 per root so trivial cones
+    // still advance); the target guarantees at most `workers` spans.
+    let total_w = progs.ops.len() + n_roots;
+    let target = total_w / workers + 1;
+    let mut spans: Vec<std::ops::Range<usize>> = Vec::with_capacity(workers);
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    for ri in 0..n_roots {
+        acc += progs.op_off[ri + 1] - progs.op_off[ri] + 1;
+        if acc >= target {
+            spans.push(start..ri + 1);
+            start = ri + 1;
+            acc = 0;
+        }
+    }
+    if start < n_roots {
+        spans.push(start..n_roots);
+    }
+    debug_assert!(spans.len() <= workers, "span balancing overflowed the pool");
+
+    std::thread::scope(|scope| {
+        let mut counts_rest = counts;
+        let mut obs_rest = obs_counts;
+        let mut count_consumed = 0usize;
+        let mut root_consumed = 0usize;
+        for (span, scratch) in spans.into_iter().zip(pool.iter_mut()) {
+            scratch.prepare(progs.max_cone, wc);
+            let (c_span, c_rest) =
+                counts_rest.split_at_mut(progs.po_off[span.end] - count_consumed);
+            let (o_span, o_rest) = obs_rest.split_at_mut(span.end - root_consumed);
+            count_consumed = progs.po_off[span.end];
+            root_consumed = span.end;
+            counts_rest = c_rest;
+            obs_rest = o_rest;
+            let vals = &mut scratch.vals;
+            let progs = &*progs;
+            scope.spawn(move || replay_roots(progs, base, wc, span, vals, c_span, o_span));
+        }
     });
-    let mut counts = vec![0u64; progs.total_reachable()];
-    let mut obs_counts = vec![0u64; progs.root_count()];
-    for (c, o) in partials {
-        for (acc, x) in counts.iter_mut().zip(&c) {
-            *acc += x;
-        }
-        for (acc, x) in obs_counts.iter_mut().zip(&o) {
-            *acc += x;
-        }
-    }
-    (counts, obs_counts)
 }
 
 /// Words evaluated together in one block: cone programs stay hot in L1
@@ -398,6 +681,11 @@ struct PoSlot {
 ///
 /// All per-root arrays (`op_off`, `po_off`, …) are indexed by *position
 /// in the root list*, not by node index.
+///
+/// The struct is a reusable buffer: the streamed estimator keeps one
+/// instance and [`recompile`](ConePrograms::recompile)s it per chunk, so
+/// no program storage is reallocated between chunks.
+#[derive(Default)]
 struct ConePrograms {
     roots: Vec<u32>,
     op_off: Vec<usize>,
@@ -408,42 +696,81 @@ struct ConePrograms {
     max_cone: usize,
 }
 
+/// Reusable compile-time scratch for [`ConePrograms::recompile`]: the
+/// stamped cone-membership map, carried across chunks with a monotonic
+/// epoch so it never needs clearing.
+#[derive(Default)]
+struct CompileScratch {
+    stamp: Vec<u32>,
+    pos: Vec<u32>,
+    epoch: u32,
+}
+
+impl CompileScratch {
+    /// Sizes the maps for `n` nodes and reserves `n_roots` fresh stamp
+    /// values, returning the first.
+    fn begin(&mut self, n: usize, n_roots: usize) -> u32 {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, u32::MAX);
+            self.pos.resize(n, 0);
+        }
+        let span = u32::try_from(n_roots).expect("chunk root count fits in u32");
+        if self.epoch >= u32::MAX - span {
+            self.stamp.fill(u32::MAX);
+            self.epoch = 0;
+        }
+        let base = self.epoch;
+        self.epoch += span;
+        base
+    }
+}
+
 impl ConePrograms {
-    fn compile(csr: &CsrView, arena: &ConeArena, roots: &[u32]) -> Self {
+    fn recompile(
+        &mut self,
+        csr: &CsrView,
+        arena: &ConeArena,
+        roots: &[u32],
+        scratch: &mut CompileScratch,
+    ) {
         let n = csr.node_count();
         assert!(
             n < LOCAL as usize,
             "node count exceeds the operand tag space"
         );
-        let mut op_off = Vec::with_capacity(roots.len() + 1);
-        let mut ops = Vec::new();
-        let mut operands: Vec<u32> = Vec::new();
-        let mut po_off = Vec::with_capacity(roots.len() + 1);
-        let mut po_slots = Vec::new();
-        op_off.push(0);
-        po_off.push(0);
+        self.roots.clear();
+        self.roots.extend_from_slice(roots);
+        self.op_off.clear();
+        self.ops.clear();
+        self.operands.clear();
+        self.po_off.clear();
+        self.po_slots.clear();
+        self.op_off.push(0);
+        self.po_off.push(0);
 
         // Stamped cone-membership map: pos[v] is v's value row while
-        // stamp[v] == current root position.
-        let mut stamp = vec![u32::MAX; n];
-        let mut pos = vec![0u32; n];
-        let mut max_cone = 0usize;
+        // stamp[v] == this root's epoch stamp.
+        let base = scratch.begin(n, roots.len());
+        let stamp = &mut scratch.stamp;
+        let pos = &mut scratch.pos;
+        self.max_cone = 0;
         for ri in 0..roots.len() {
+            let mark = base + ri as u32;
             let cone = arena.cone(ri);
-            max_cone = max_cone.max(cone.len());
+            self.max_cone = self.max_cone.max(cone.len());
             for (p, &v) in cone.iter().enumerate() {
-                stamp[v as usize] = ri as u32;
+                stamp[v as usize] = mark;
                 pos[v as usize] = p as u32;
             }
             for &v in &cone[1..] {
                 let fanin = csr.fanin_of(v as usize);
-                ops.push(ProgOp {
+                self.ops.push(ProgOp {
                     kind: csr.kind(v as usize),
                     n_in: fanin.len() as u32,
-                    off: operands.len() as u32,
+                    off: self.operands.len() as u32,
                 });
                 for &f in fanin {
-                    operands.push(if stamp[f as usize] == ri as u32 {
+                    self.operands.push(if stamp[f as usize] == mark {
                         LOCAL | pos[f as usize]
                     } else {
                         f
@@ -452,25 +779,24 @@ impl ConePrograms {
             }
             for &col in arena.reachable_cols(ri) {
                 let po = csr.outputs()[col as usize];
-                debug_assert_eq!(stamp[po as usize], ri as u32, "reachable PO is in the cone");
-                po_slots.push(PoSlot {
+                debug_assert_eq!(stamp[po as usize], mark, "reachable PO is in the cone");
+                self.po_slots.push(PoSlot {
                     local: pos[po as usize],
                     po,
                 });
             }
-            op_off.push(ops.len());
-            po_off.push(po_slots.len());
+            self.op_off.push(self.ops.len());
+            self.po_off.push(self.po_slots.len());
         }
+    }
 
-        ConePrograms {
-            roots: roots.to_vec(),
-            op_off,
-            ops,
-            operands,
-            po_off,
-            po_slots,
-            max_cone,
-        }
+    /// Logical heap footprint of the compiled programs, in bytes.
+    fn bytes(&self) -> usize {
+        self.roots.len() * 4
+            + self.ops.len() * std::mem::size_of::<ProgOp>()
+            + self.operands.len() * 4
+            + self.po_slots.len() * std::mem::size_of::<PoSlot>()
+            + (self.op_off.len() + self.po_off.len()) * 8
     }
 
     #[inline]
@@ -548,111 +874,99 @@ fn accumulate_row(kind: GateKind, dst: &mut [u64], src: &[u64]) {
     }
 }
 
-/// Simulates the words `first, first + stride, …` below `n_words` in
-/// blocks of [`BLOCK`], returning flat reachable-PO hit counts (laid out
-/// per the programs' root-positional `po_off`) and per-root any-PO union
-/// counts.
-///
-/// Per block, the fault-free circuit is evaluated word-major and
-/// transposed into node-major rows (`base[node][word]`); each compiled
-/// root's cone program then replays the strike for every word in the
-/// block against those rows, with no scratch state to restore.
-fn count_words(
-    csr: &CsrView,
-    progs: &ConePrograms,
-    seed: u64,
-    first: usize,
-    stride: usize,
-    n_words: usize,
-) -> (Vec<u64>, Vec<u64>) {
-    let n_nodes = csr.node_count();
-    let n_pi = csr.inputs().len();
-    let mut counts = vec![0u64; progs.total_reachable()];
-    let mut obs_counts = vec![0u64; progs.root_count()];
+/// Per-worker cone-local value rows, pooled across chunks and blocks by
+/// the streamed estimator. Grow-only, so a multi-chunk run performs no
+/// per-chunk reallocation beyond the first.
+#[derive(Default)]
+struct SimScratch {
+    vals: Vec<u64>,
+}
 
-    let mut base = vec![0u64; n_nodes * BLOCK];
-    let mut tmp = vec![0u64; n_nodes];
-    let mut vals = vec![0u64; progs.max_cone.max(1) * BLOCK];
-    let mut union_buf = [0u64; BLOCK];
-    let mut block: Vec<usize> = Vec::with_capacity(BLOCK);
-
-    let mut w = first;
-    while w < n_words {
-        block.clear();
-        while w < n_words && block.len() < BLOCK {
-            block.push(w);
-            w += stride;
-        }
-        let wc = block.len();
-
-        // Fault-free base values, transposed to node-major rows.
-        for (wl, &wg) in block.iter().enumerate() {
-            let pi_words = random_word(n_pi, 0.5, seed.wrapping_add(wg as u64));
-            kernel::eval_word(csr, &pi_words, &mut tmp);
-            for (i, &v) in tmp.iter().enumerate() {
-                base[i * BLOCK + wl] = v;
-            }
-        }
-
-        for (ri, &root) in progs.roots.iter().enumerate() {
-            let i = root as usize;
-            // Row 0: the struck node, flipped in every lane.
-            for (d, &x) in vals[..wc].iter_mut().zip(&base[i * BLOCK..][..wc]) {
-                *d = !x;
-            }
-            for (e, op) in progs.ops_of(ri).iter().enumerate() {
-                let (done, rest) = vals.split_at_mut((e + 1) * BLOCK);
-                let dst = &mut rest[..wc];
-                let row = |t: u32| -> &[u64] {
-                    if t & LOCAL != 0 {
-                        &done[((t & !LOCAL) as usize) * BLOCK..][..wc]
-                    } else {
-                        &base[(t as usize) * BLOCK..][..wc]
-                    }
-                };
-                let args = &progs.operands[op.off as usize..(op.off + op.n_in) as usize];
-                match *args {
-                    [a] => unary_row(op.kind, dst, row(a)),
-                    [a, b] => binary_row(op.kind, dst, row(a), row(b)),
-                    [a, ref more @ ..] => {
-                        dst.copy_from_slice(row(a));
-                        for &m in more {
-                            accumulate_row(op.kind, dst, row(m));
-                        }
-                        if op.kind.is_inverting() {
-                            for d in dst.iter_mut() {
-                                *d = !*d;
-                            }
-                        }
-                    }
-                    [] => unreachable!("gates have at least one fan-in"),
-                }
-            }
-
-            let slots = progs.po_slots_of(ri);
-            if slots.is_empty() {
-                continue;
-            }
-            union_buf[..wc].fill(0);
-            let start = progs.po_off[ri];
-            for (t, slot) in slots.iter().enumerate() {
-                let vrow = &vals[(slot.local as usize) * BLOCK..][..wc];
-                let prow = &base[(slot.po as usize) * BLOCK..][..wc];
-                let mut hits = 0u64;
-                for (u, (&v, &p)) in union_buf[..wc].iter_mut().zip(vrow.iter().zip(prow)) {
-                    let diff = v ^ p;
-                    hits += u64::from(diff.count_ones());
-                    *u |= diff;
-                }
-                counts[start + t] += hits;
-            }
-            obs_counts[ri] += union_buf[..wc]
-                .iter()
-                .map(|&u| u64::from(u.count_ones()))
-                .sum::<u64>();
+impl SimScratch {
+    fn prepare(&mut self, max_cone: usize, wc: usize) {
+        let need = max_cone.max(1) * wc;
+        if self.vals.len() < need {
+            self.vals.resize(need, 0);
         }
     }
-    (counts, obs_counts)
+}
+
+/// Replays the strike of every root in `roots` against one block's base
+/// rows (stride `wc`, see [`eval_base_block`]), accumulating flat
+/// reachable-PO hit counts and per-root any-PO union counts. The
+/// `counts`/`obs_counts` slices cover exactly this span's po-slots and
+/// roots (offset by the span start), so concurrent spans never share a
+/// counter.
+fn replay_roots(
+    progs: &ConePrograms,
+    base: &[u64],
+    wc: usize,
+    roots: std::ops::Range<usize>,
+    vals: &mut [u64],
+    counts: &mut [u64],
+    obs_counts: &mut [u64],
+) {
+    let count_base = progs.po_off[roots.start];
+    let obs_base = roots.start;
+    let mut union_buf = [0u64; BLOCK];
+
+    for ri in roots {
+        let i = progs.roots[ri] as usize;
+        // Row 0: the struck node, flipped in every lane.
+        for (d, &x) in vals[..wc].iter_mut().zip(&base[i * wc..][..wc]) {
+            *d = !x;
+        }
+        for (e, op) in progs.ops_of(ri).iter().enumerate() {
+            let (done, rest) = vals.split_at_mut((e + 1) * wc);
+            let dst = &mut rest[..wc];
+            let row = |t: u32| -> &[u64] {
+                if t & LOCAL != 0 {
+                    &done[((t & !LOCAL) as usize) * wc..][..wc]
+                } else {
+                    &base[(t as usize) * wc..][..wc]
+                }
+            };
+            let args = &progs.operands[op.off as usize..(op.off + op.n_in) as usize];
+            match *args {
+                [a] => unary_row(op.kind, dst, row(a)),
+                [a, b] => binary_row(op.kind, dst, row(a), row(b)),
+                [a, ref more @ ..] => {
+                    dst.copy_from_slice(row(a));
+                    for &m in more {
+                        accumulate_row(op.kind, dst, row(m));
+                    }
+                    if op.kind.is_inverting() {
+                        for d in dst.iter_mut() {
+                            *d = !*d;
+                        }
+                    }
+                }
+                [] => unreachable!("gates have at least one fan-in"),
+            }
+        }
+
+        let slots = progs.po_slots_of(ri);
+        if slots.is_empty() {
+            continue;
+        }
+        union_buf[..wc].fill(0);
+        let start = progs.po_off[ri] - count_base;
+        for (t, slot) in slots.iter().enumerate() {
+            let vrow = &vals[(slot.local as usize) * wc..][..wc];
+            let prow = &base[(slot.po as usize) * wc..][..wc];
+            let mut hits = 0u64;
+            for (u, (&v, &p)) in union_buf[..wc].iter_mut().zip(vrow.iter().zip(prow)) {
+                let diff = v ^ p;
+                hits += u64::from(diff.count_ones());
+                *u |= diff;
+            }
+            counts[start + t] += hits;
+        }
+        obs_counts[ri - obs_base] += union_buf[..wc]
+            .iter()
+            .map(|&u| u64::from(u.count_ones()))
+            .sum::<u64>();
+    }
 }
 
 #[cfg(test)]
@@ -788,6 +1102,72 @@ mod tests {
         let m5 = sensitization_probabilities_threaded(&c, 512, 77, 5);
         assert_eq!(m1, m2);
         assert_eq!(m1, m5);
+    }
+
+    #[test]
+    fn chunk_sizes_agree_bitwise() {
+        // The streamed estimator is bitwise chunk-size invariant — a
+        // chunk per root, odd chunk sizes, and one chunk covering the
+        // whole circuit all reproduce the same matrix (including the
+        // reachability CSR, whose node order must survive the PO-region
+        // chunk ordering).
+        let c = generate::sec32("t");
+        let whole = sensitization_probabilities_chunked(&c, 512, 77, 2, c.node_count());
+        for chunk_size in [1, 13, 100] {
+            for threads in [1, 3] {
+                let m = sensitization_probabilities_chunked(&c, 512, 77, threads, chunk_size);
+                assert_eq!(m, whole, "chunk {chunk_size}, {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn resim_chunk_sizes_agree_bitwise() {
+        let c = generate::sec32("t");
+        let subset: Vec<_> = c.node_ids().filter(|id| id.index() % 4 == 1).collect();
+        let whole = resimulate_rows_chunked(&c, &subset, 512, 77, 1, c.node_count());
+        for chunk_size in [1, 7] {
+            let up = resimulate_rows_chunked(&c, &subset, 512, 77, 2, chunk_size);
+            assert_eq!(up, whole, "chunk {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn resim_handles_duplicate_nodes() {
+        let c = generate::c17();
+        let g = c.gates().next().unwrap();
+        let h = c.gates().nth(2).unwrap();
+        let up = resimulate_rows_chunked(&c, &[g, h, g], 256, 5, 1, 2);
+        assert_eq!(
+            up.nodes(),
+            &[g.index() as u32, h.index() as u32, g.index() as u32]
+        );
+        assert_eq!(up.row(0), up.row(2), "duplicate rows repeat");
+        assert_eq!(up.observability(0), up.observability(2));
+    }
+
+    #[test]
+    fn estimate_stats_profile_the_run() {
+        let c = generate::sec32("t");
+        let (m, stats) = sensitization_probabilities_with_stats(&c, 512, 77, 1, 32);
+        assert_eq!(stats.chunks, c.node_count().div_ceil(32));
+        assert!(stats.peak_bytes > 0);
+        assert!(stats.cone_entries > c.node_count());
+        // Streaming in chunks must hold strictly less than the
+        // monolithic closure plus its compiled programs would.
+        let csr = CsrView::build(&c);
+        let full = ConeArena::build(&csr);
+        let roots: Vec<u32> = (0..c.node_count() as u32).collect();
+        let mut full_progs = ConePrograms::default();
+        full_progs.recompile(&csr, &full, &roots, &mut CompileScratch::default());
+        let monolithic = full.bytes() + full_progs.bytes();
+        assert!(
+            stats.peak_bytes < monolithic,
+            "{} vs monolithic {monolithic}",
+            stats.peak_bytes
+        );
+        // And the stats probe returns the same matrix.
+        assert_eq!(m, sensitization_probabilities_chunked(&c, 512, 77, 1, 32));
     }
 
     #[test]

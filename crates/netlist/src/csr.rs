@@ -8,9 +8,12 @@
 //! [`CsrView`] flattens the structure the kernels actually need — gate
 //! kinds, fan-in/fan-out adjacency and the topological order — into a
 //! handful of contiguous `u32` arrays, and [`ConeArena`] materializes
-//! *every* node's fan-out cone (plus its reachable-primary-output column
-//! list) into one shared arena so per-strike resimulation touches exactly
-//! the nodes that can change.
+//! fan-out cones (plus their reachable-primary-output column lists) into
+//! one shared arena so per-strike resimulation touches exactly the nodes
+//! that can change. For circuits too large to hold the whole cone
+//! closure, [`ChunkedConeArena`] plans a PO-region partition of the
+//! roots and builds each chunk's arena lazily on first touch, bounding
+//! peak memory to the active chunk plus an `O(nodes)` index.
 //!
 //! # Example
 //!
@@ -208,52 +211,180 @@ impl ConeArena {
     /// of the arena holds the cone and reachable-PO list of `roots[t]`.
     /// Selective re-simulation uses this to pay for exactly the cones it
     /// replays instead of the whole circuit.
+    ///
+    /// The builder deduplicates shared sub-cones across roots: requested
+    /// roots are processed in descending topological rank, and a root
+    /// whose fan-out successors are all already built assembles its cone
+    /// by merging theirs (a rank-ordered k-way merge, or a straight
+    /// prepend-copy for single-fan-out nodes) instead of re-traversing
+    /// the shared fan-out graph. Roots with unbuilt successors fall back
+    /// to a sparse DFS that still splices in any finished cone it
+    /// reaches. The produced arena is bitwise identical to the one the
+    /// naive per-root DFS builds.
     pub fn build_for(csr: &CsrView, roots: &[u32]) -> Self {
+        Self::build_for_with_stats(csr, roots).0
+    }
+
+    /// [`ConeArena::build_for`] plus [`ConeBuildStats`] describing how
+    /// much traversal the deduplicating builder actually performed.
+    pub fn build_for_with_stats(csr: &CsrView, roots: &[u32]) -> (Self, ConeBuildStats) {
+        const NONE: u32 = u32::MAX;
         let n = csr.node_count();
+        let mut stats = ConeBuildStats::default();
+
+        // Build in descending topological rank so every requested root
+        // downstream of another is finished before its predecessors ask
+        // for it. `tmp` holds cones in processing order; the request
+        // (slot) order is restored by the assembly pass below.
+        let mut order: Vec<u32> = (0..roots.len() as u32).collect();
+        order.sort_unstable_by_key(|&t| std::cmp::Reverse(csr.rank_of(roots[t as usize] as usize)));
+
+        let mut memo = vec![NONE; n]; // node -> finished tmp-cone index
+        let mut tmp_of_slot = vec![0u32; roots.len()];
+        let mut tmp_off: Vec<usize> = Vec::with_capacity(roots.len() + 1);
+        tmp_off.push(0);
+        let mut tmp: Vec<u32> = Vec::new();
+
+        // DFS fallback state: stamp[v] == cone index marks v as reached,
+        // so the array never needs clearing between roots.
+        let mut stamp = vec![NONE; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut heads: Vec<(usize, usize)> = Vec::new();
+
+        for &t in &order {
+            let root = roots[t as usize];
+            if memo[root as usize] != NONE {
+                // Duplicate root in the request: alias the finished cone.
+                tmp_of_slot[t as usize] = memo[root as usize];
+                continue;
+            }
+            let idx = (tmp_off.len() - 1) as u32;
+            let start = tmp.len();
+            let fanout = csr.fanout_of(root as usize);
+            let all_built = !fanout.is_empty() && fanout.iter().all(|&s| memo[s as usize] != NONE);
+            if fanout.is_empty() {
+                tmp.push(root);
+            } else if all_built && fanout.len() == 1 {
+                // rank(root) precedes every entry of the successor cone,
+                // so a straight prepend-copy stays rank-sorted.
+                let m = memo[fanout[0] as usize] as usize;
+                let (s, e) = (tmp_off[m], tmp_off[m + 1]);
+                tmp.push(root);
+                tmp.extend_from_within(s..e);
+                stats.spliced_entries += e - s;
+                stats.merged_roots += 1;
+            } else if all_built {
+                // Rank-ordered k-way merge of the successor cones. Ranks
+                // are a permutation, so equal heads mean the same node;
+                // advancing every list whose head matches deduplicates.
+                heads.clear();
+                for &s in fanout {
+                    let m = memo[s as usize] as usize;
+                    heads.push((tmp_off[m], tmp_off[m + 1]));
+                    stats.spliced_entries += tmp_off[m + 1] - tmp_off[m];
+                }
+                tmp.push(root);
+                loop {
+                    let mut best: Option<(u32, u32)> = None;
+                    for &(p, e) in &heads {
+                        if p < e {
+                            let v = tmp[p];
+                            let r = csr.rank_of(v as usize);
+                            if best.is_none_or(|(br, _)| r < br) {
+                                best = Some((r, v));
+                            }
+                        }
+                    }
+                    let Some((_, v)) = best else { break };
+                    tmp.push(v);
+                    for h in heads.iter_mut() {
+                        if h.0 < h.1 && tmp[h.0] == v {
+                            h.0 += 1;
+                        }
+                    }
+                }
+                stats.merged_roots += 1;
+            } else {
+                // Sparse DFS, splicing in any finished cone it reaches.
+                stats.dfs_roots += 1;
+                stamp[root as usize] = idx;
+                tmp.push(root);
+                stack.push(root);
+                while let Some(u) = stack.pop() {
+                    for &v in csr.fanout_of(u as usize) {
+                        stats.dfs_edges += 1;
+                        if stamp[v as usize] == idx {
+                            continue;
+                        }
+                        let m = memo[v as usize];
+                        if m != NONE {
+                            let (s, e) = (tmp_off[m as usize], tmp_off[m as usize + 1]);
+                            for p in s..e {
+                                let w = tmp[p];
+                                if stamp[w as usize] != idx {
+                                    stamp[w as usize] = idx;
+                                    tmp.push(w);
+                                }
+                            }
+                            stats.spliced_entries += e - s;
+                        } else {
+                            stamp[v as usize] = idx;
+                            tmp.push(v);
+                            stack.push(v);
+                        }
+                    }
+                }
+                tmp[start..].sort_unstable_by_key(|&v| csr.rank_of(v as usize));
+            }
+            tmp_off.push(tmp.len());
+            memo[root as usize] = idx;
+            tmp_of_slot[t as usize] = idx;
+        }
+
+        // Assemble in request (slot) order.
+        let total: usize = tmp_of_slot
+            .iter()
+            .map(|&m| tmp_off[m as usize + 1] - tmp_off[m as usize])
+            .sum();
         let mut cone_off = Vec::with_capacity(roots.len() + 1);
         let mut po_off = Vec::with_capacity(roots.len() + 1);
-        let mut cones: Vec<u32> = Vec::new();
+        let mut cones: Vec<u32> = Vec::with_capacity(total);
         let mut po_cols: Vec<u32> = Vec::new();
         cone_off.push(0);
         po_off.push(0);
-
-        // Per-slot visited stamps: stamp[v] == slot marks v as reached, so
-        // the array never needs clearing between roots.
-        let mut stamp = vec![NO_PO; n];
-        let mut stack: Vec<u32> = Vec::new();
-        for (slot, &root) in roots.iter().enumerate() {
-            let slot = slot as u32;
-            let start = cones.len();
-            stamp[root as usize] = slot;
-            cones.push(root);
-            stack.push(root);
-            while let Some(u) = stack.pop() {
-                for &v in csr.fanout_of(u as usize) {
-                    if stamp[v as usize] != slot {
-                        stamp[v as usize] = slot;
-                        cones.push(v);
-                        stack.push(v);
-                    }
-                }
-            }
-            cones[start..].sort_unstable_by_key(|&v| csr.rank_of(v as usize));
-            for &v in &cones[start..] {
+        for &m in &tmp_of_slot {
+            let (s, e) = (tmp_off[m as usize], tmp_off[m as usize + 1]);
+            cones.extend_from_slice(&tmp[s..e]);
+            let ps = *po_off.last().expect("offsets start populated");
+            for &v in &tmp[s..e] {
                 let col = csr.po_col_of(v as usize);
                 if col != NO_PO {
                     po_cols.push(col);
                 }
             }
-            po_cols[po_off[slot as usize]..].sort_unstable();
+            po_cols[ps..].sort_unstable();
             cone_off.push(cones.len());
             po_off.push(po_cols.len());
         }
 
-        ConeArena {
-            cone_off,
-            cones,
-            po_off,
-            po_cols,
-        }
+        (
+            ConeArena {
+                cone_off,
+                cones,
+                po_off,
+                po_cols,
+            },
+            stats,
+        )
+    }
+
+    /// Logical heap footprint of the arena's backing arrays, in bytes —
+    /// the quantity the chunked arena's budget accounting tracks.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.cones.len() * 4
+            + self.po_cols.len() * 4
+            + (self.cone_off.len() + self.po_off.len()) * 8
     }
 
     /// The inclusive, topologically sorted fan-out cone in slot `i` (for
@@ -303,6 +434,282 @@ impl ConeArena {
     #[inline]
     pub fn reachable_cols_flat(&self) -> &[u32] {
         &self.po_cols
+    }
+}
+
+/// Work counters from one [`ConeArena::build_for_with_stats`] call.
+///
+/// The deduplicating builder's regression guard: on fan-out-heavy
+/// (diamond) circuits a full build should report `dfs_edges == 0` —
+/// every cone is assembled from its successors' finished cones instead
+/// of re-traversing the shared fan-out graph.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConeBuildStats {
+    /// Fan-out edges walked by the sparse-DFS fallback.
+    pub dfs_edges: usize,
+    /// Roots built by the DFS fallback (some successor not yet built).
+    pub dfs_roots: usize,
+    /// Roots assembled purely from finished successor cones.
+    pub merged_roots: usize,
+    /// Cone entries read from finished cones during merges and splices.
+    pub spliced_entries: usize,
+}
+
+/// Sentinel marking "node is not a planned root" in
+/// [`ChunkedConeArena`]'s node-to-chunk maps.
+const NO_CHUNK: u32 = u32::MAX;
+
+/// A chunked, lazily-built cone arena: the scalable replacement for
+/// materializing every node's cone at once.
+///
+/// [`ConeArena::build`] holds the whole-circuit cone closure — `O(nodes
+/// × cone-size)` memory that explodes quadratically on deep circuits.
+/// `ChunkedConeArena` instead *plans* a partition of the requested roots
+/// into chunks of `chunk_size`, grouped by PO region (roots are ordered
+/// by the minimum primary-output column they reach, then by topological
+/// rank, so roots sharing fan-out land in the same chunk and the
+/// deduplicating builder collapses their shared sub-cones). Each chunk's
+/// [`ConeArena`] is built on first touch and can be released once
+/// consumed, so peak memory scales with the *active working set* — one
+/// chunk plus the plan's `O(nodes)` index — not the closure.
+///
+/// Byte accounting: [`resident_bytes`](ChunkedConeArena::resident_bytes)
+/// is the retained footprint of all built chunks,
+/// [`peak_bytes`](ChunkedConeArena::peak_bytes) the high-water mark
+/// (including the builder's transient assembly buffer, which is
+/// proportional to the chunk being built). An optional
+/// [`budget`](ChunkedConeArena::with_budget) evicts the oldest resident
+/// chunks (never the one just built) when the retained footprint
+/// exceeds it.
+///
+/// # Example
+///
+/// ```
+/// use ser_netlist::csr::{ChunkedConeArena, ConeArena, CsrView};
+/// use ser_netlist::generate;
+///
+/// let c = generate::sec32("t");
+/// let csr = CsrView::build(&c);
+/// let full = ConeArena::build(&csr);
+/// let mut chunked = ChunkedConeArena::plan(&csr, 64);
+/// for id in c.node_ids() {
+///     // Lazily built, bitwise identical to the monolithic arena.
+///     assert_eq!(chunked.cone_of(&csr, id.index()), full.cone(id.index()));
+/// }
+/// assert!(chunked.peak_bytes() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChunkedConeArena {
+    chunk_off: Vec<usize>,
+    roots: Vec<u32>,
+    /// Node -> owning chunk (NO_CHUNK when the node is not a root).
+    chunk_of_node: Vec<u32>,
+    /// Node -> slot within its owning chunk's arena.
+    slot_of_node: Vec<u32>,
+    built: Vec<Option<ConeArena>>,
+    /// Build order of the currently resident chunks (eviction FIFO).
+    resident: Vec<usize>,
+    resident_bytes: usize,
+    peak_bytes: usize,
+    budget: Option<usize>,
+}
+
+impl ChunkedConeArena {
+    /// Plans chunks covering **every** node of `csr`.
+    pub fn plan(csr: &CsrView, chunk_size: usize) -> Self {
+        let all: Vec<u32> = (0..csr.node_count() as u32).collect();
+        Self::plan_for(csr, &all, chunk_size)
+    }
+
+    /// Plans chunks covering `roots` only (duplicates are ignored).
+    /// Nothing is built until a chunk is first touched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    pub fn plan_for(csr: &CsrView, roots: &[u32], chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        let n = csr.node_count();
+
+        // PO-region key: the smallest output column a node reaches
+        // (NO_PO for dead nodes), by one reverse-topological pass.
+        let mut region = vec![NO_PO; n];
+        for &i in csr.topo().iter().rev() {
+            let mut key = csr.po_col_of(i as usize);
+            for &s in csr.fanout_of(i as usize) {
+                key = key.min(region[s as usize]);
+            }
+            region[i as usize] = key;
+        }
+
+        let mut ordered = roots.to_vec();
+        ordered.sort_unstable_by_key(|&r| (region[r as usize], csr.rank_of(r as usize)));
+        ordered.dedup();
+
+        let mut chunk_off: Vec<usize> = (0..ordered.len()).step_by(chunk_size).collect();
+        chunk_off.push(ordered.len());
+        let n_chunks = chunk_off.len() - 1;
+
+        let mut chunk_of_node = vec![NO_CHUNK; n];
+        let mut slot_of_node = vec![NO_CHUNK; n];
+        for k in 0..n_chunks {
+            for (slot, &r) in ordered[chunk_off[k]..chunk_off[k + 1]].iter().enumerate() {
+                chunk_of_node[r as usize] = k as u32;
+                slot_of_node[r as usize] = slot as u32;
+            }
+        }
+
+        ChunkedConeArena {
+            chunk_off,
+            roots: ordered,
+            chunk_of_node,
+            slot_of_node,
+            built: vec![None; n_chunks],
+            resident: Vec::new(),
+            resident_bytes: 0,
+            peak_bytes: 0,
+            budget: None,
+        }
+    }
+
+    /// Sets a retained-bytes budget: after each build, the oldest
+    /// resident chunks (never the one just built) are evicted until the
+    /// retained footprint fits.
+    pub fn with_budget(mut self, bytes: usize) -> Self {
+        self.budget = Some(bytes);
+        self
+    }
+
+    /// Number of planned chunks.
+    #[inline]
+    pub fn chunk_count(&self) -> usize {
+        self.chunk_off.len() - 1
+    }
+
+    /// The roots assigned to chunk `k`, in slot order.
+    #[inline]
+    pub fn chunk_roots(&self, k: usize) -> &[u32] {
+        &self.roots[self.chunk_off[k]..self.chunk_off[k + 1]]
+    }
+
+    /// All planned roots, chunk-grouped (deduplicated PO-region order).
+    #[inline]
+    pub fn planned_roots(&self) -> &[u32] {
+        &self.roots
+    }
+
+    /// Whether chunk `k` is currently built and resident.
+    #[inline]
+    pub fn is_resident(&self, k: usize) -> bool {
+        self.built[k].is_some()
+    }
+
+    /// The resident arena of chunk `k`, or `None` when not built — the
+    /// borrow-friendly companion of [`ensure`](Self::ensure) (build
+    /// first, then read through a shared borrow).
+    #[inline]
+    pub fn chunk_arena(&self, k: usize) -> Option<&ConeArena> {
+        self.built[k].as_ref()
+    }
+
+    /// The chunk and slot owning `node`'s cone, or `None` if `node` was
+    /// not in the planned roots.
+    #[inline]
+    pub fn slot_of(&self, node: usize) -> Option<(usize, usize)> {
+        if self.chunk_of_node[node] == NO_CHUNK {
+            None
+        } else {
+            Some((
+                self.chunk_of_node[node] as usize,
+                self.slot_of_node[node] as usize,
+            ))
+        }
+    }
+
+    /// The arena of chunk `k`, building it on first touch.
+    pub fn ensure(&mut self, csr: &CsrView, k: usize) -> &ConeArena {
+        if self.built[k].is_none() {
+            let arena = ConeArena::build_for(csr, self.chunk_roots(k));
+            let bytes = arena.bytes();
+            self.resident_bytes += bytes;
+            // The builder's processing-order buffer coexists with the
+            // assembled arena, so the true high-water mark includes one
+            // extra copy of the chunk being built.
+            self.peak_bytes = self.peak_bytes.max(self.resident_bytes + bytes);
+            self.built[k] = Some(arena);
+            self.resident.push(k);
+            if let Some(budget) = self.budget {
+                while self.resident_bytes > budget && self.resident.len() > 1 {
+                    let victim = if self.resident[0] == k {
+                        self.resident.remove(1)
+                    } else {
+                        self.resident.remove(0)
+                    };
+                    self.drop_chunk(victim);
+                }
+            }
+        }
+        self.built[k].as_ref().expect("chunk built above")
+    }
+
+    /// Builds every chunk and keeps all of them resident — the small-
+    /// circuit path where the whole closure fits comfortably. The byte
+    /// budget is ignored.
+    pub fn build_all(&mut self, csr: &CsrView) {
+        let budget = self.budget.take();
+        for k in 0..self.chunk_count() {
+            self.ensure(csr, k);
+        }
+        self.budget = budget;
+    }
+
+    /// Releases chunk `k`'s arena (a later touch rebuilds it).
+    pub fn release(&mut self, k: usize) {
+        if self.built[k].is_some() {
+            if let Some(pos) = self.resident.iter().position(|&c| c == k) {
+                self.resident.remove(pos);
+            }
+            self.drop_chunk(k);
+        }
+    }
+
+    fn drop_chunk(&mut self, k: usize) {
+        let bytes = self.built[k].as_ref().map_or(0, ConeArena::bytes);
+        self.resident_bytes -= bytes;
+        self.built[k] = None;
+    }
+
+    /// The cone of `node`, lazily building its chunk on first touch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was not in the planned roots.
+    pub fn cone_of(&mut self, csr: &CsrView, node: usize) -> &[u32] {
+        let (k, slot) = self.slot_of(node).expect("node must be a planned root");
+        self.ensure(csr, k).cone(slot)
+    }
+
+    /// The reachable-PO columns of `node`, lazily building its chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was not in the planned roots.
+    pub fn reachable_cols_of(&mut self, csr: &CsrView, node: usize) -> &[u32] {
+        let (k, slot) = self.slot_of(node).expect("node must be a planned root");
+        self.ensure(csr, k).reachable_cols(slot)
+    }
+
+    /// Retained bytes across all currently resident chunk arenas.
+    #[inline]
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// High-water mark of [`resident_bytes`](Self::resident_bytes) plus
+    /// the builder's transient assembly buffer.
+    #[inline]
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
     }
 }
 
@@ -413,6 +820,194 @@ mod tests {
             .map(|&r| full.cone(r as usize).len())
             .sum::<usize>();
         assert_eq!(sub.total_cone_len(), expect);
+    }
+
+    /// Independent naive per-root DFS builder — the pre-dedup reference.
+    fn naive_build_for(csr: &CsrView, roots: &[u32]) -> (Vec<Vec<u32>>, Vec<Vec<u32>>) {
+        let n = csr.node_count();
+        let mut cones = Vec::new();
+        let mut cols = Vec::new();
+        for &root in roots {
+            let mut seen = vec![false; n];
+            let mut stack = vec![root];
+            let mut cone = vec![root];
+            seen[root as usize] = true;
+            while let Some(u) = stack.pop() {
+                for &v in csr.fanout_of(u as usize) {
+                    if !seen[v as usize] {
+                        seen[v as usize] = true;
+                        cone.push(v);
+                        stack.push(v);
+                    }
+                }
+            }
+            cone.sort_unstable_by_key(|&v| csr.rank_of(v as usize));
+            let mut c: Vec<u32> = cone
+                .iter()
+                .map(|&v| csr.po_col_of(v as usize))
+                .filter(|&c| c != NO_PO)
+                .collect();
+            c.sort_unstable();
+            cones.push(cone);
+            cols.push(c);
+        }
+        (cones, cols)
+    }
+
+    /// A diamond ladder: each stage forks into two parallel gates that
+    /// reconverge, so every node's cone overlaps its siblings' almost
+    /// entirely — the worst case for the old per-root re-traversal.
+    fn diamond_ladder(stages: usize) -> Circuit {
+        use crate::{CircuitBuilder, GateKind};
+        let mut b = CircuitBuilder::new("diamonds");
+        let mut cur = b.input("a");
+        let aux = b.input("b");
+        for s in 0..stages {
+            let l = b
+                .gate(GateKind::Nand, format!("l{s}"), &[cur, aux])
+                .unwrap();
+            let r = b.gate(GateKind::Nor, format!("r{s}"), &[cur, aux]).unwrap();
+            cur = b.gate(GateKind::And, format!("j{s}"), &[l, r]).unwrap();
+        }
+        b.mark_output(cur);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn deduped_full_build_matches_naive_on_diamond_ladder() {
+        let c = diamond_ladder(40);
+        let csr = CsrView::build(&c);
+        let roots: Vec<u32> = (0..c.node_count() as u32).collect();
+        let (arena, stats) = ConeArena::build_for_with_stats(&csr, &roots);
+        let (want_cones, want_cols) = naive_build_for(&csr, &roots);
+        for (i, (wc, wk)) in want_cones.iter().zip(&want_cols).enumerate() {
+            assert_eq!(arena.cone(i), &wc[..], "cone of {i}");
+            assert_eq!(arena.reachable_cols(i), &wk[..], "cols of {i}");
+        }
+        // Regression guard: with every node requested, each cone is
+        // assembled from its successors' finished cones — the shared
+        // diamond fan-out must never be re-traversed per root.
+        assert_eq!(stats.dfs_edges, 0, "no DFS re-traversal: {stats:?}");
+        assert_eq!(stats.dfs_roots, 0);
+        assert!(stats.merged_roots > 0);
+        // Merge work is bounded by reading each successor cone once per
+        // predecessor edge — not by re-walking the cone subgraph edge
+        // set per root (which on this ladder is ~2 edges per entry).
+        let per_edge_bound: usize = roots
+            .iter()
+            .flat_map(|&r| csr.fanout_of(r as usize))
+            .map(|&s| arena.cone(s as usize).len())
+            .sum();
+        assert!(
+            stats.spliced_entries <= per_edge_bound,
+            "{} > {per_edge_bound}",
+            stats.spliced_entries
+        );
+    }
+
+    #[test]
+    fn deduped_subset_build_matches_naive() {
+        // Subsets exercise the DFS + splice fallback (some successors
+        // are not requested roots), including duplicate roots.
+        let c = generate::sec32("t");
+        let csr = CsrView::build(&c);
+        let roots: Vec<u32> = (0..c.node_count() as u32)
+            .filter(|r| r % 5 == 2)
+            .chain([7, 7])
+            .collect();
+        let arena = ConeArena::build_for(&csr, &roots);
+        let (want_cones, want_cols) = naive_build_for(&csr, &roots);
+        for (slot, (wc, wk)) in want_cones.iter().zip(&want_cols).enumerate() {
+            assert_eq!(arena.cone(slot), &wc[..], "slot {slot}");
+            assert_eq!(arena.reachable_cols(slot), &wk[..], "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn chunked_arena_matches_full_across_chunk_sizes() {
+        let c = generate::sec32("t");
+        let csr = CsrView::build(&c);
+        let full = ConeArena::build(&csr);
+        for chunk_size in [1, 7, 64, 1 << 20] {
+            let mut chunked = ChunkedConeArena::plan(&csr, chunk_size);
+            for id in c.node_ids() {
+                let i = id.index();
+                assert_eq!(chunked.cone_of(&csr, i), full.cone(i), "cone of {i}");
+                assert_eq!(
+                    chunked.reachable_cols_of(&csr, i),
+                    full.reachable_cols(i),
+                    "cols of {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_arena_is_lazy_and_releasable() {
+        let c = generate::sec32("t");
+        let csr = CsrView::build(&c);
+        let mut chunked = ChunkedConeArena::plan(&csr, 32);
+        assert!(chunked.chunk_count() > 2);
+        assert_eq!(chunked.resident_bytes(), 0, "nothing built at plan time");
+        let node = chunked.chunk_roots(0)[0] as usize;
+        chunked.cone_of(&csr, node);
+        assert!(chunked.is_resident(0));
+        assert!(!chunked.is_resident(1), "untouched chunks stay unbuilt");
+        let resident = chunked.resident_bytes();
+        assert!(resident > 0);
+        assert!(chunked.peak_bytes() >= resident);
+        chunked.release(0);
+        assert_eq!(chunked.resident_bytes(), 0);
+        assert!(!chunked.is_resident(0));
+        // A later touch rebuilds the same cone.
+        let full = ConeArena::build(&csr);
+        assert_eq!(chunked.cone_of(&csr, node), full.cone(node));
+    }
+
+    #[test]
+    fn chunked_budget_evicts_oldest_chunks() {
+        let c = generate::sec32("t");
+        let csr = CsrView::build(&c);
+        let mut chunked = ChunkedConeArena::plan(&csr, 16).with_budget(1);
+        for k in 0..chunked.chunk_count() {
+            chunked.ensure(&csr, k);
+            // The chunk just built always stays resident.
+            assert!(chunked.is_resident(k));
+            assert_eq!(chunked.resident.len(), 1, "budget keeps one chunk");
+        }
+        assert!(chunked.peak_bytes() > 0);
+    }
+
+    #[test]
+    fn chunked_build_all_keeps_everything_resident() {
+        let c = generate::c17();
+        let csr = CsrView::build(&c);
+        let mut chunked = ChunkedConeArena::plan(&csr, 4).with_budget(1);
+        chunked.build_all(&csr);
+        for k in 0..chunked.chunk_count() {
+            assert!(chunked.is_resident(k), "chunk {k}");
+        }
+        let full = ConeArena::build(&csr);
+        for id in c.node_ids() {
+            assert_eq!(chunked.cone_of(&csr, id.index()), full.cone(id.index()));
+        }
+    }
+
+    #[test]
+    fn chunked_plan_for_subset_matches_build_for() {
+        let c = generate::sec32("t");
+        let csr = CsrView::build(&c);
+        let roots: Vec<u32> = (0..c.node_count() as u32).filter(|r| r % 3 == 0).collect();
+        let reference = ConeArena::build_for(&csr, &roots);
+        let mut chunked = ChunkedConeArena::plan_for(&csr, &roots, 11);
+        for (slot, &r) in roots.iter().enumerate() {
+            assert_eq!(chunked.cone_of(&csr, r as usize), reference.cone(slot));
+            assert_eq!(
+                chunked.reachable_cols_of(&csr, r as usize),
+                reference.reachable_cols(slot)
+            );
+        }
+        assert_eq!(chunked.slot_of(1), None, "non-roots carry no slot");
     }
 
     #[test]

@@ -31,8 +31,12 @@ mod arith;
 mod ecc;
 mod iscas;
 mod layered;
+mod sram;
+mod tiled;
 
 pub use arith::{multiplier, multiplier_with_style, ripple_carry_adder, CellStyle};
 pub use ecc::{sec32, sec32_codeword, sec32_nand};
 pub use iscas::{c17, iscas85, iscas85_suite, IscasProfile, ISCAS85_PROFILES, TABLE1_CIRCUITS};
 pub use layered::{layered, GateMix, LayeredSpec};
+pub use sram::{sram_periphery, SramSpec};
+pub use tiled::{tiled, TiledSpec};

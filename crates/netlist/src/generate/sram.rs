@@ -1,0 +1,290 @@
+//! SRAM-periphery generator: predecoded row decoders, column mux /
+//! sense-amp trees and write drivers.
+//!
+//! Memory periphery is the canonical *wide* soft-error workload: a row
+//! decoder fans a few address bits out to hundreds of wordlines (many
+//! shallow, disjoint cones — one PO each), while the read path funnels
+//! many bitlines through per-bit OR trees into a handful of data
+//! outputs (deep reconvergent cones — few POs). Both shapes stress the
+//! analysis engine differently from random logic, and a wordline glitch
+//! is a real SER hazard (it falsely selects a row), so treating
+//! wordlines as observable outputs matches the paper's model.
+//!
+//! The generated block contains, for an `rows × cols × data_width`
+//! array:
+//!
+//! * a **row decoder**: per-bit complement inverters, 2-bit predecode
+//!   AND groups, one AND + buffer driver per wordline (gated by `en`);
+//! * a **column read path** per data bit: column-select decode over the
+//!   column address, bitline AND column-select terms, a balanced OR
+//!   mux tree and a two-inverter sense/output stage;
+//! * a **write path** per data bit: `AND(din, we)` plus a buffer
+//!   driver.
+//!
+//! Everything is purely structural — no RNG — so equal specs generate
+//! equal circuits by construction.
+
+use crate::builder::CircuitBuilder;
+use crate::circuit::Circuit;
+use crate::gate::GateKind;
+use crate::id::NodeId;
+
+/// Parameters for [`sram_periphery`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SramSpec {
+    /// Circuit name.
+    pub name: String,
+    /// Wordlines (rows of the array). At least 2.
+    pub rows: usize,
+    /// Columns multiplexed per data bit. At least 1.
+    pub cols: usize,
+    /// Data bits. At least 1.
+    pub data_width: usize,
+}
+
+impl SramSpec {
+    /// A spec for an `rows × cols × data_width` array periphery.
+    pub fn new(name: impl Into<String>, rows: usize, cols: usize, data_width: usize) -> Self {
+        SramSpec {
+            name: name.into(),
+            rows,
+            cols,
+            data_width,
+        }
+    }
+}
+
+/// Generates the periphery block (see the module docs).
+///
+/// Primary inputs: row address (`⌈log2 rows⌉` bits), column address
+/// (`⌈log2 cols⌉` bits), `en`, `we`, per-bit `din`, and one bitline per
+/// `(bit, column)`. Primary outputs: `rows` wordline drivers, one
+/// `dout` and one write driver per data bit.
+///
+/// # Panics
+///
+/// Panics if `rows < 2`, `cols < 1` or `data_width < 1`.
+pub fn sram_periphery(spec: &SramSpec) -> Circuit {
+    assert!(spec.rows >= 2, "need at least two rows");
+    assert!(spec.cols >= 1, "need at least one column");
+    assert!(spec.data_width >= 1, "need at least one data bit");
+
+    let mut b = CircuitBuilder::new(spec.name.clone());
+    let a_row = ceil_log2(spec.rows);
+    let a_col = ceil_log2(spec.cols);
+
+    let row_addr: Vec<NodeId> = (0..a_row).map(|i| b.input(format!("ra{i}"))).collect();
+    let col_addr: Vec<NodeId> = (0..a_col).map(|i| b.input(format!("ca{i}"))).collect();
+    let en = b.input("en");
+    let we = b.input("we");
+    let din: Vec<NodeId> = (0..spec.data_width)
+        .map(|d| b.input(format!("din{d}")))
+        .collect();
+    let bitlines: Vec<Vec<NodeId>> = (0..spec.data_width)
+        .map(|d| {
+            (0..spec.cols)
+                .map(|c| b.input(format!("bl{d}_{c}")))
+                .collect()
+        })
+        .collect();
+
+    // --- Row decoder: complements, 2-bit predecode, wordline ANDs.
+    let row_lines = decode_lines(&mut b, &row_addr, "r");
+    for r in 0..spec.rows {
+        let mut pins: Vec<NodeId> = select_pins(&row_lines, r);
+        pins.push(en);
+        let wl = b
+            .gate(GateKind::And, format!("wl{r}"), &pins)
+            .expect("decoder pins already emitted");
+        let drv = b
+            .gate(GateKind::Buf, format!("wld{r}"), &[wl])
+            .expect("wordline driver");
+        b.mark_output(drv);
+    }
+
+    // --- Column select lines (shared by all data bits).
+    let col_lines = decode_lines(&mut b, &col_addr, "c");
+    let col_sel: Vec<NodeId> = (0..spec.cols)
+        .map(|c| {
+            let pins = select_pins(&col_lines, c);
+            match pins.len() {
+                0 => en, // single column: always selected while enabled
+                1 => pins[0],
+                _ => b
+                    .gate(GateKind::And, format!("csel{c}"), &pins)
+                    .expect("column decode pins already emitted"),
+            }
+        })
+        .collect();
+
+    // --- Read path per data bit: bitline·select terms, OR mux tree,
+    // sense stage.
+    for (d, bits) in bitlines.iter().enumerate() {
+        let terms: Vec<NodeId> = (0..spec.cols)
+            .map(|c| {
+                b.gate(GateKind::And, format!("t{d}_{c}"), &[bits[c], col_sel[c]])
+                    .expect("mux term pins already emitted")
+            })
+            .collect();
+        let mux = or_tree(&mut b, &terms, &format!("m{d}"));
+        let s1 = b
+            .gate(GateKind::Not, format!("sa{d}"), &[mux])
+            .expect("sense input stage");
+        let dout = b
+            .gate(GateKind::Not, format!("dout{d}"), &[s1])
+            .expect("sense output stage");
+        b.mark_output(dout);
+    }
+
+    // --- Write path per data bit.
+    for (d, &di) in din.iter().enumerate() {
+        let wd = b
+            .gate(GateKind::And, format!("wd{d}"), &[di, we])
+            .expect("write gate pins already emitted");
+        let drv = b
+            .gate(GateKind::Buf, format!("wdrv{d}"), &[wd])
+            .expect("write driver");
+        b.mark_output(drv);
+    }
+
+    b.finish().expect("periphery construction is valid")
+}
+
+/// Decoded line groups for an address: bits are paired into 2-bit
+/// predecode groups of four AND lines each (a trailing odd bit
+/// contributes a `[complement, bit]` group directly). `select_pins`
+/// later picks one line per group for a given index.
+fn decode_lines(b: &mut CircuitBuilder, addr: &[NodeId], prefix: &str) -> Vec<Vec<NodeId>> {
+    let comps: Vec<NodeId> = addr
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| {
+            b.gate(GateKind::Not, format!("{prefix}n{i}"), &[a])
+                .expect("complement of an input")
+        })
+        .collect();
+    let mut groups = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < addr.len() {
+        let (a0, n0) = (addr[i], comps[i]);
+        let (a1, n1) = (addr[i + 1], comps[i + 1]);
+        let mut lines = Vec::with_capacity(4);
+        for v in 0..4u32 {
+            let p0 = if v & 1 == 0 { n0 } else { a0 };
+            let p1 = if v & 2 == 0 { n1 } else { a1 };
+            lines.push(
+                b.gate(GateKind::And, format!("{prefix}p{i}_{v}"), &[p0, p1])
+                    .expect("predecode pins already emitted"),
+            );
+        }
+        groups.push(lines);
+        i += 2;
+    }
+    if i < addr.len() {
+        groups.push(vec![comps[i], addr[i]]);
+    }
+    groups
+}
+
+/// One decoded line per predecode group for index `idx` (group `g`
+/// consumes the next `log2(group len)` low bits).
+fn select_pins(groups: &[Vec<NodeId>], idx: usize) -> Vec<NodeId> {
+    let mut pins = Vec::with_capacity(groups.len());
+    let mut rest = idx;
+    for lines in groups {
+        pins.push(lines[rest % lines.len()]);
+        rest /= lines.len();
+    }
+    pins
+}
+
+/// Balanced two-input OR reduction; a single term passes through.
+fn or_tree(b: &mut CircuitBuilder, terms: &[NodeId], prefix: &str) -> NodeId {
+    assert!(!terms.is_empty(), "OR tree needs at least one term");
+    let mut level: Vec<NodeId> = terms.to_vec();
+    let mut n = 0usize;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut it = level.chunks_exact(2);
+        for pair in &mut it {
+            let g = b
+                .gate(GateKind::Or, format!("{prefix}_{n}"), &[pair[0], pair[1]])
+                .expect("tree pins already emitted");
+            n += 1;
+            next.push(g);
+        }
+        next.extend(it.remainder().iter().copied());
+        level = next;
+    }
+    level[0]
+}
+
+fn ceil_log2(n: usize) -> usize {
+    assert!(n >= 1);
+    (usize::BITS - (n - 1).leading_zeros()) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::{ConeArena, CsrView};
+
+    #[test]
+    fn interface_counts_match_the_spec() {
+        let spec = SramSpec::new("m", 16, 4, 8);
+        let c = sram_periphery(&spec);
+        // ra×4, ca×2, en, we, din×8, bl×32.
+        assert_eq!(c.primary_inputs().len(), 4 + 2 + 1 + 1 + 8 + 32);
+        // 16 wordlines + 8 douts + 8 write drivers.
+        assert_eq!(c.primary_outputs().len(), 16 + 8 + 8);
+    }
+
+    #[test]
+    fn deterministic_by_construction() {
+        let spec = SramSpec::new("m", 8, 2, 4);
+        assert_eq!(sram_periphery(&spec), sram_periphery(&spec));
+    }
+
+    #[test]
+    fn non_power_of_two_rows_and_single_column_work() {
+        let c = sram_periphery(&SramSpec::new("m", 5, 1, 2));
+        assert_eq!(
+            c.primary_outputs().len(),
+            5 + 2 + 2,
+            "5 wordlines, 2 douts, 2 write drivers"
+        );
+        let d = sram_periphery(&SramSpec::new("m", 3, 3, 1));
+        assert_eq!(d.primary_outputs().len(), 3 + 1 + 1);
+    }
+
+    #[test]
+    fn wordline_cones_are_shallow_and_disjoint_per_po() {
+        // The decoder shape: every address complement/predecode node
+        // reaches many wordline POs, but each wordline AND reaches
+        // exactly its own.
+        let spec = SramSpec::new("m", 16, 4, 2);
+        let c = sram_periphery(&spec);
+        let csr = CsrView::build(&c);
+        let arena = ConeArena::build(&csr);
+        let wl0 = c.find("wl0").unwrap();
+        assert_eq!(arena.reachable_cols(wl0.index()).len(), 1);
+        let ra0 = c.find("ra0").unwrap();
+        assert!(
+            arena.reachable_cols(ra0.index()).len() >= 16,
+            "an address bit fans out to every wordline"
+        );
+    }
+
+    #[test]
+    fn read_path_funnels_all_bitlines_into_one_po() {
+        let spec = SramSpec::new("m", 8, 8, 1);
+        let c = sram_periphery(&spec);
+        let csr = CsrView::build(&c);
+        let arena = ConeArena::build(&csr);
+        for col in 0..8 {
+            let bl = c.find(&format!("bl0_{col}")).unwrap();
+            let cols = arena.reachable_cols(bl.index());
+            assert_eq!(cols.len(), 1, "bitline {col} reaches only dout");
+        }
+    }
+}

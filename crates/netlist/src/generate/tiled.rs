@@ -1,0 +1,269 @@
+//! Tiled large-circuit generator: many private-input layered tiles whose
+//! outputs feed a small set of parity-compaction trees.
+//!
+//! [`layered`](super::layered) alone does not scale to 100k gates as an
+//! *analysis* workload: with shared primary inputs every node's fan-out
+//! cone grows with the whole circuit, so cone-based kernels degenerate
+//! to quadratic work and memory. Real designs are not like that — they
+//! are blocks with private interfaces whose observability funnels
+//! through a narrow compaction/merge layer (test compactors, ECC check
+//! trees, bus muxes). [`tiled`] reproduces that shape:
+//!
+//! * each tile is an independent [`layered`] circuit with *private*
+//!   primary inputs, so fan-out cones stay bounded by the tile size;
+//! * tile outputs are folded into `n_outputs` balanced XOR trees
+//!   (round-robin assignment), so the final PO count — and with it the
+//!   width of every reachability list — stays small no matter how many
+//!   tiles there are.
+//!
+//! The result is a deep, wide topology whose per-node cone size and
+//! reachable-PO count are both `O(tile)` — exactly the regime where the
+//! chunked cone arena and sparse width tables pay off, and an honest
+//! stand-in for the nanometer-scale netlists the paper targets.
+
+use crate::builder::CircuitBuilder;
+use crate::circuit::Circuit;
+use crate::gate::GateKind;
+use crate::id::NodeId;
+
+use super::layered::{layered, LayeredSpec};
+
+/// Parameters for [`tiled`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TiledSpec {
+    /// Circuit name.
+    pub name: String,
+    /// Number of independent tiles.
+    pub tiles: usize,
+    /// Primary inputs per tile (private to that tile).
+    pub tile_inputs: usize,
+    /// Outputs per tile feeding the compaction trees.
+    pub tile_outputs: usize,
+    /// Gates per tile (before the extra gates a remainder distribution
+    /// may add — see [`TiledSpec::scaled`]).
+    pub tile_gates: usize,
+    /// Extra gates distributed one-per-tile to the first `remainder`
+    /// tiles, so a total budget is honoured exactly.
+    pub remainder: usize,
+    /// Number of final primary outputs (XOR-tree roots).
+    pub n_outputs: usize,
+    /// RNG seed; equal specs generate equal circuits.
+    pub seed: u64,
+}
+
+impl TiledSpec {
+    /// A spec honouring `n_gates` **exactly**, with tile size ~1.6k,
+    /// eight tile outputs and eight final POs — the `layered100k`-class
+    /// constructor (`scaled(name, 100_000)`) behind the scaling
+    /// benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_gates < 16` (too small to tile meaningfully — use
+    /// [`layered`] directly).
+    pub fn scaled(name: impl Into<String>, n_gates: usize) -> Self {
+        assert!(n_gates >= 16, "tiled circuits start at 16 gates");
+        let n_outputs = 8usize;
+        let tiles = (n_gates / 1600).clamp(1, 1024);
+        let tile_outputs = 8usize;
+        // Each XOR tree of L leaves costs L-1 two-input gates; with
+        // `tiles·tile_outputs` leaves split over `n_outputs` trees the
+        // compaction layer costs `leaves - n_outputs` gates (zero when a
+        // tree has a single leaf: the tile output is the PO).
+        let leaves = tiles * tile_outputs;
+        let reduction = leaves.saturating_sub(n_outputs.min(leaves));
+        let tile_budget = n_gates
+            .checked_sub(reduction)
+            .expect("reduction layer exceeds gate budget");
+        let tile_gates = tile_budget / tiles;
+        let remainder = tile_budget - tile_gates * tiles;
+        assert!(
+            tile_gates >= tile_outputs,
+            "per-tile budget {tile_gates} below the tile output count"
+        );
+        TiledSpec {
+            name: name.into(),
+            tiles,
+            tile_inputs: (tile_gates / 64).max(8),
+            tile_outputs,
+            tile_gates,
+            remainder,
+            n_outputs: n_outputs.min(leaves),
+            seed: 0x711E_D00D,
+        }
+    }
+
+    /// Total gate count the spec will generate.
+    pub fn total_gates(&self) -> usize {
+        let leaves = self.tiles * self.tile_outputs;
+        let reduction = leaves.saturating_sub(self.n_outputs);
+        self.tiles * self.tile_gates + self.remainder + reduction
+    }
+}
+
+/// Generates a tiled circuit (see the module docs).
+///
+/// # Panics
+///
+/// Panics on a degenerate spec: zero tiles/inputs/outputs, a per-tile
+/// gate budget below the tile output count, or more final outputs than
+/// tree leaves.
+pub fn tiled(spec: &TiledSpec) -> Circuit {
+    assert!(spec.tiles > 0, "need at least one tile");
+    assert!(spec.n_outputs > 0, "need at least one primary output");
+    let leaves_total = spec.tiles * spec.tile_outputs;
+    assert!(
+        spec.n_outputs <= leaves_total,
+        "more final outputs than tile-output leaves"
+    );
+
+    let mut b = CircuitBuilder::new(spec.name.clone());
+    // Round-robin leaf assignment: tile output `i` (global order) feeds
+    // tree `i % n_outputs`.
+    let mut tree_leaves: Vec<Vec<NodeId>> = vec![Vec::new(); spec.n_outputs];
+    let mut leaf_no = 0usize;
+
+    for t in 0..spec.tiles {
+        let extra = usize::from(t < spec.remainder);
+        let tile_spec = LayeredSpec::new(
+            format!("{}_t{}", spec.name, t),
+            spec.tile_inputs,
+            spec.tile_outputs,
+            spec.tile_gates + extra,
+        );
+        let tile_spec = LayeredSpec {
+            seed: spec
+                .seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1)),
+            ..tile_spec
+        };
+        let tile = layered(&tile_spec);
+        let map = splice(&mut b, &tile, &format!("t{t}"));
+        for &po in tile.primary_outputs() {
+            tree_leaves[leaf_no % spec.n_outputs].push(map[po.index()]);
+            leaf_no += 1;
+        }
+    }
+
+    for (j, leaves) in tree_leaves.into_iter().enumerate() {
+        let root = xor_tree(&mut b, &leaves, &format!("x{j}"));
+        b.mark_output(root);
+    }
+    b.finish()
+        .expect("tiled construction is structurally valid")
+}
+
+/// Re-emits `tile`'s nodes into `b` in index order (topologically valid:
+/// the builder hands out ids fan-ins-first and the dangling-fold only
+/// appends earlier-layer pins to later-layer gates). Inputs become fresh
+/// private primary inputs. Returns the old→new id map.
+fn splice(b: &mut CircuitBuilder, tile: &Circuit, prefix: &str) -> Vec<NodeId> {
+    let mut map = Vec::with_capacity(tile.node_count());
+    let mut pins: Vec<NodeId> = Vec::new();
+    for id in tile.node_ids() {
+        let node = tile.node(id);
+        let new_id = if node.is_input() {
+            b.input(format!("{prefix}_{}", node.name))
+        } else {
+            pins.clear();
+            pins.extend(node.fanin.iter().map(|f| map[f.index()]));
+            b.gate(node.kind, format!("{prefix}_{}", node.name), &pins)
+                .expect("spliced pins reference already-emitted nodes")
+        };
+        map.push(new_id);
+    }
+    map
+}
+
+/// Balanced two-input XOR reduction of `leaves`; a single leaf is
+/// returned as-is (the caller marks it as the output).
+fn xor_tree(b: &mut CircuitBuilder, leaves: &[NodeId], prefix: &str) -> NodeId {
+    assert!(!leaves.is_empty(), "XOR tree needs at least one leaf");
+    let mut level: Vec<NodeId> = leaves.to_vec();
+    let mut n = 0usize;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut it = level.chunks_exact(2);
+        for pair in &mut it {
+            let g = b
+                .gate(GateKind::Xor, format!("{prefix}_{n}"), &[pair[0], pair[1]])
+                .expect("tree pins already emitted");
+            n += 1;
+            next.push(g);
+        }
+        next.extend(it.remainder().iter().copied());
+        level = next;
+    }
+    level[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::{ConeArena, CsrView};
+    use crate::topo;
+
+    #[test]
+    fn scaled_spec_honours_exact_totals() {
+        for target in [1_000usize, 4_321, 10_000, 100_000] {
+            let spec = TiledSpec::scaled("s", target);
+            assert_eq!(spec.total_gates(), target, "target {target}");
+            let c = tiled(&spec);
+            assert_eq!(c.gate_count(), target, "generated {target}");
+            assert_eq!(c.primary_outputs().len(), spec.n_outputs);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_equal_specs() {
+        let spec = TiledSpec::scaled("s", 3_000);
+        assert_eq!(tiled(&spec), tiled(&spec));
+    }
+
+    #[test]
+    fn tile_inputs_are_private() {
+        let spec = TiledSpec::scaled("s", 10_000);
+        let c = tiled(&spec);
+        assert_eq!(
+            c.primary_inputs().len(),
+            spec.tiles * spec.tile_inputs,
+            "each tile must own its inputs"
+        );
+    }
+
+    #[test]
+    fn cones_stay_tile_bounded() {
+        // The scaling property the generator exists for: no fan-out cone
+        // approaches the circuit size, and every node reaches only a few
+        // POs.
+        let spec = TiledSpec::scaled("s", 10_000);
+        let c = tiled(&spec);
+        let csr = CsrView::build(&c);
+        let arena = ConeArena::build(&csr);
+        let n = c.node_count();
+        for i in 0..n {
+            assert!(
+                arena.cone(i).len() * 4 < n,
+                "cone of node {i} spans {}/{} nodes",
+                arena.cone(i).len(),
+                n
+            );
+            assert!(
+                arena.reachable_cols(i).len() <= spec.n_outputs,
+                "node {i} reaches too many POs"
+            );
+        }
+    }
+
+    #[test]
+    fn structure_is_deep_and_observable() {
+        let spec = TiledSpec::scaled("s", 3_000);
+        let c = tiled(&spec);
+        assert!(topo::depth(&c) >= 10, "tiles plus trees must be deep");
+        let dangling = c
+            .node_ids()
+            .filter(|&id| c.fanout(id).is_empty() && !c.is_primary_output(id))
+            .count();
+        assert_eq!(dangling, 0, "every net must be observed");
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based equivalence of the chunked, lazily-built cone arena
+//! against the monolithic whole-circuit closure, on random layered
+//! circuits:
+//!
+//! * every chunking of the roots must reproduce the monolithic arena's
+//!   cones and reachable-PO lists exactly (including under a byte
+//!   budget that forces eviction and rebuild);
+//! * the streamed `P_ij` estimator must return **bitwise identical**
+//!   matrices for every `(threads, chunk_size)` combination — the
+//!   determinism contract the analysis engine's caches rely on;
+//! * selective row re-simulation must agree with the full estimate for
+//!   every chunking of the requested subset.
+
+use proptest::prelude::*;
+use soft_error::logicsim::sensitize::{
+    resimulate_rows_chunked, sensitization_probabilities_chunked,
+};
+use soft_error::netlist::csr::{ChunkedConeArena, ConeArena, CsrView};
+use soft_error::netlist::generate::{layered, LayeredSpec};
+use soft_error::netlist::{Circuit, NodeId};
+
+fn arbitrary_circuit() -> impl Strategy<Value = Circuit> {
+    (2usize..9, 1usize..5, 8usize..70, 0u64..5000).prop_map(|(pi, po, gates, seed)| {
+        let mut spec = LayeredSpec::new("prop", pi, po, gates.max(po));
+        spec.seed = seed;
+        layered(&spec)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Lazy per-chunk builds reproduce the monolithic closure exactly,
+    /// for every chunk size — and a starvation-level byte budget (one
+    /// chunk resident at a time, constant eviction) changes nothing.
+    #[test]
+    fn chunked_cones_match_monolithic(
+        circuit in arbitrary_circuit(),
+        chunk_size in 1usize..40,
+    ) {
+        let csr = CsrView::build(&circuit);
+        let full = ConeArena::build(&csr);
+        let mut lazy = ChunkedConeArena::plan(&csr, chunk_size);
+        let mut starved = ChunkedConeArena::plan(&csr, chunk_size).with_budget(1);
+        for id in circuit.node_ids() {
+            let i = id.index();
+            prop_assert_eq!(lazy.cone_of(&csr, i), full.cone(i), "cone of {}", i);
+            prop_assert_eq!(
+                lazy.reachable_cols_of(&csr, i),
+                full.reachable_cols(i),
+                "reach of {}",
+                i
+            );
+            prop_assert_eq!(starved.cone_of(&csr, i), full.cone(i), "starved cone of {}", i);
+        }
+        prop_assert!(starved.resident_bytes() <= lazy.resident_bytes());
+
+        // `build_all` materializes the same chunks the lazy walk did.
+        let mut eager = ChunkedConeArena::plan(&csr, chunk_size);
+        eager.build_all(&csr);
+        for k in 0..eager.chunk_count() {
+            prop_assert!(eager.is_resident(k));
+            let arena = eager.chunk_arena(k).expect("built by build_all");
+            for (slot, &root) in eager.chunk_roots(k).iter().enumerate() {
+                prop_assert_eq!(arena.cone(slot), full.cone(root as usize));
+            }
+        }
+    }
+
+    /// The streamed estimator is bitwise identical for every worker
+    /// count and every chunk size, including the degenerate one-root
+    /// chunks and the single-chunk (monolithic) extreme.
+    #[test]
+    fn pij_bitwise_identical_across_threads_and_chunks(
+        circuit in arbitrary_circuit(),
+        seed in 0u64..1 << 40,
+    ) {
+        let n_vectors = 192; // 3 words: exercises uneven word blocks
+        let monolithic = sensitization_probabilities_chunked(
+            &circuit, n_vectors, seed, 1, circuit.node_count(),
+        );
+        for threads in [1usize, 2, 7] {
+            for chunk_size in [1usize, 3, 16, 64] {
+                let m = sensitization_probabilities_chunked(
+                    &circuit, n_vectors, seed, threads, chunk_size,
+                );
+                prop_assert_eq!(
+                    &m, &monolithic,
+                    "threads {} chunk {}", threads, chunk_size
+                );
+            }
+        }
+    }
+
+    /// Selective re-simulation of a scattered subset matches the full
+    /// estimate row for row, for every `(threads, chunk_size)`.
+    #[test]
+    fn resimulated_rows_chunk_invariant(
+        circuit in arbitrary_circuit(),
+        seed in 0u64..1 << 40,
+        stride in 2usize..5,
+    ) {
+        let n_vectors = 192;
+        let full = sensitization_probabilities_chunked(
+            &circuit, n_vectors, seed, 1, circuit.node_count(),
+        );
+        let subset: Vec<NodeId> = circuit
+            .node_ids()
+            .filter(|id| id.index() % stride == 1)
+            .collect();
+        prop_assert!(!subset.is_empty(), "node index 1 always exists at these sizes");
+        let n_pos = circuit.primary_outputs().len();
+        for threads in [1usize, 3] {
+            for chunk_size in [1usize, 4, 64] {
+                let up = resimulate_rows_chunked(
+                    &circuit, &subset, n_vectors, seed, threads, chunk_size,
+                );
+                for (t, &id) in subset.iter().enumerate() {
+                    prop_assert_eq!(
+                        up.row(t),
+                        full.row(id),
+                        "row {} threads {} chunk {}", id, threads, chunk_size
+                    );
+                    for j in 0..n_pos {
+                        prop_assert_eq!(up.row(t)[j], full.p(id, j));
+                    }
+                }
+            }
+        }
+    }
+}
