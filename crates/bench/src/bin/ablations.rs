@@ -18,7 +18,7 @@ use aserta::AsertaConfig;
 use ser_cells::{characterize_cell, CharGrids, Library};
 use ser_logicsim::probability::static_probabilities_analytic;
 use ser_logicsim::sensitize::sensitization_probabilities;
-use ser_netlist::{generate, GateKind};
+use ser_netlist::GateKind;
 use ser_spice::measure::pearson_correlation;
 use ser_spice::transient::{gate_delay, TransientConfig};
 use ser_spice::units::{FF, PS};
@@ -71,7 +71,7 @@ fn ablate_interpolation(tech: &Technology) {
 ///    unreliability rankings on c432.
 fn ablate_attenuation_model() {
     println!("## ablation 2: Eq. 1 vs smooth attenuation (c432 U_i correlation)");
-    let circuit = generate::iscas85("c432").expect("bundled benchmark");
+    let circuit = ser_bench::bundled_iscas85("c432");
     let cfg = AsertaConfig::default();
     let pij = sensitization_probabilities(&circuit, 4096, cfg.seed);
     let probs = static_probabilities_analytic(&circuit, 0.5);
@@ -112,7 +112,7 @@ fn ablate_nullspace() {
     // Exact nullspace enumeration only scales to the smallest benchmark.
     {
         let name = "c17";
-        let c = generate::iscas85(name).expect("bundled");
+        let c = ser_bench::bundled_iscas85(name);
         let exact = TopologyMatrix::build(&c, 200_000).map(|t| exact_nullspace(&t).len());
         let tension = TensionSpace::build(&c).dim();
         println!(
@@ -138,7 +138,7 @@ fn ablate_nullspace() {
         );
     }
     for name in ["c432", "c1908"] {
-        let c = generate::iscas85(name).expect("bundled");
+        let c = ser_bench::bundled_iscas85(name);
         let tension = TensionSpace::build(&c).dim();
         println!(
             "{:<10} {:>7} {:>12} {:>13}",
@@ -166,7 +166,7 @@ fn ablate_optimizers() {
         Algorithm::Anneal,
         Algorithm::Genetic,
     ] {
-        let circuit = generate::iscas85("c432").expect("bundled");
+        let circuit = ser_bench::bundled_iscas85("c432");
         let mut library = Library::new(Technology::ptm70(), CharGrids::coarse());
         let mut cfg = OptimizerConfig::fast();
         cfg.algorithm = algo;

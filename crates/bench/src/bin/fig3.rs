@@ -9,7 +9,6 @@
 
 use aserta::{validate, AsertaConfig, CircuitCells};
 use ser_cells::{CharGrids, Library};
-use ser_netlist::generate;
 use ser_spice::Technology;
 
 fn main() {
@@ -29,7 +28,7 @@ fn main() {
 
     let mut correlations = Vec::new();
     for name in &names {
-        let circuit = generate::iscas85(name).expect("known benchmark");
+        let circuit = ser_bench::bundled_iscas85(name);
         let cells = CircuitCells::nominal(&circuit);
         let mut lib = Library::new(tech.clone(), CharGrids::standard());
         let cfg = AsertaConfig::default();

@@ -85,7 +85,7 @@ fn main() {
         "circuit", "P(single hits)", "P(double hits)", "ratio"
     );
     for name in ["c432", "c499", "c880", "c1908"] {
-        let circuit = generate::iscas85(name).expect("bundled benchmark");
+        let circuit = ser_bench::bundled_iscas85(name);
         let vectors = random_vectors(circuit.primary_inputs().len(), n_vectors, 0.5, 77);
         let gates: Vec<NodeId> = circuit.gates().collect();
         let mut rng = StdRng::seed_from_u64(0xD0B1E);

@@ -13,18 +13,24 @@
 //!   SERTOPT run measured against both evaluation strategies: one full
 //!   analysis (a cold-start session, including its owned-state setup)
 //!   per move versus the persistent warm
-//!   [`AnalysisSession`](aserta::AnalysisSession). The two runs produce
+//!   [`aserta::AnalysisSession`]. The two runs produce
 //!   identical outcomes (asserted), so the ratio measures warm-session
 //!   reuse against the cold-start oracle path;
 //! * `corners_fresh` / `corners_session` — the multi-corner scenario
 //!   sweep ([`ser_bench::corners`]): a VDD × Vth × charge grid analyzed
 //!   fresh per corner (cold session + `P_ij` re-estimate each time)
 //!   versus driven through one warm session as per-corner deltas.
-//!   Identical points (asserted), same warm-vs-cold reading.
+//!   Identical points (asserted), same warm-vs-cold reading;
+//! * `snapshot_rebuild` / `snapshot_restore` — cold-starting a session
+//!   from a `.sersnap` image versus rebuilding it from scratch
+//!   (including the Monte-Carlo `P_ij` estimate the snapshot makes
+//!   redundant). The restored session is bitwise-verified against the
+//!   live one by construction, so the ratio is pure persistence win.
 //!
 //! ```text
 //! cargo run --release -p ser-bench --bin perf_snapshot -- \
-//!     [--smoke] [--gate] [--scaling] [--out PATH] [--baseline PATH]
+//!     [--smoke] [--gate] [--scaling] [--out PATH] [--baseline PATH] \
+//!     [--emit-snapshot PATH]
 //! ```
 //!
 //! `--smoke` shrinks vector counts and repetitions for CI and compares
@@ -45,7 +51,10 @@
 //! that per-circuit constants would miss — alongside the usual
 //! per-point wall-time ratios.
 
-use aserta::{analyze_fresh, timing_view, AsertaConfig, CircuitCells, ExpectedWidths, LoadModel};
+use aserta::{
+    timing_view, AnalysisSession, AsertaConfig, AsertaReport, CircuitCells, ExpectedWidths,
+    LoadModel, SessionSnapshot,
+};
 use ser_bench::corners::{sweep_fresh, sweep_session, CornerGrid};
 use ser_bench::timed;
 use ser_cells::{CharGrids, Library};
@@ -62,6 +71,24 @@ use sertopt::{Algorithm, AllowedParams, EvalStrategy, OptimizerConfig};
 
 /// Fixed seed shared by every stochastic estimate in the snapshot.
 const SEED: u64 = 0xBE7C;
+
+/// Prints a fatal error and exits — the bench binary's replacement for
+/// `unwrap()`/`panic!` on fallible analysis and I/O surfaces.
+fn die(context: &str, err: impl std::fmt::Display) -> ! {
+    eprintln!("error: {context}: {err}");
+    std::process::exit(2);
+}
+
+/// [`aserta::try_analyze_fresh`] with bench-style error reporting.
+fn checked_analyze(
+    circuit: &Circuit,
+    cells: &CircuitCells,
+    lib: &mut Library,
+    cfg: &AsertaConfig,
+) -> AsertaReport {
+    aserta::try_analyze_fresh(circuit, cells, lib, cfg)
+        .unwrap_or_else(|e| die(&format!("analyzing {}", circuit.name()), e))
+}
 
 /// The committed smoke baseline CI gates against (regenerate by running
 /// `perf_snapshot --smoke --out crates/bench/baselines/smoke.json` on
@@ -83,7 +110,7 @@ const MIN_GATED_SECONDS: f64 = 1.0e-2;
 /// whole circuit) missing from the baseline is a **loud** `--gate`
 /// failure, not a silent skip — regenerate the committed baseline
 /// whenever a scenario is added.
-const TIMED_KEYS: [&str; 7] = [
+const TIMED_KEYS: [&str; 8] = [
     "pij_s",
     "widths_s",
     "analyze_fresh_s",
@@ -91,6 +118,7 @@ const TIMED_KEYS: [&str; 7] = [
     "optimize_incremental_s",
     "corners_fresh_s",
     "corners_session_s",
+    "snapshot_restore_s",
 ];
 
 /// Allowed additive increase of the fitted log-log `analyze_fresh` slope
@@ -106,6 +134,13 @@ fn main() {
     let scaling_mode = args.iter().any(|a| a == "--scaling");
     let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_pr7.json".to_owned());
     let baseline_path = flag_value(&args, "--baseline");
+
+    // A sample image of the current format version, e.g. for CI to
+    // upload as a downloadable artifact. Standalone: emits and exits.
+    if let Some(path) = flag_value(&args, "--emit-snapshot") {
+        emit_snapshot(&path);
+        return;
+    }
 
     // Smoke keeps vector counts small but still takes best-of-3: the
     // 1.5x gate needs timings stable enough not to trip on scheduler
@@ -125,6 +160,7 @@ fn main() {
         let mut row = measure(&circuit, vectors, reps);
         merge(&mut row, measure_optimize(&circuit, smoke));
         merge(&mut row, measure_corners(&circuit, smoke));
+        merge(&mut row, measure_snapshot_restore(&circuit, smoke));
         eprintln!("measured {}", circuit.name());
         rows.push(row);
     }
@@ -134,8 +170,8 @@ fn main() {
     // smoke baseline is only *printed* (embedding it would nest forever
     // once the output is committed as the next baseline).
     let explicit_baseline = baseline_path.map(|p| {
-        let text = std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {p}: {e}"));
-        serde_json::from_str::<Value>(&text).unwrap_or_else(|e| panic!("parse {p}: {e}"))
+        let text = std::fs::read_to_string(&p).unwrap_or_else(|e| die(&format!("reading {p}"), e));
+        serde_json::from_str::<Value>(&text).unwrap_or_else(|e| die(&format!("parsing {p}"), e))
     });
     let speedups = explicit_baseline.as_ref().map(|b| speedups_vs(b, &rows));
 
@@ -143,7 +179,7 @@ fn main() {
         if smoke || gate {
             Some(
                 serde_json::from_str::<Value>(EMBEDDED_SMOKE_BASELINE)
-                    .expect("embedded smoke baseline parses"),
+                    .unwrap_or_else(|e| die("parsing the embedded smoke baseline", e)),
             )
         } else {
             None
@@ -174,8 +210,10 @@ fn main() {
     if let Some(b) = explicit_baseline {
         doc.push(("baseline".into(), b));
     }
-    let text = serde_json::to_string_pretty(&Value::Object(doc)).expect("render JSON");
-    std::fs::write(&out_path, text + "\n").unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    let text = serde_json::to_string_pretty(&Value::Object(doc))
+        .unwrap_or_else(|e| die("rendering the output JSON", e));
+    std::fs::write(&out_path, text + "\n")
+        .unwrap_or_else(|e| die(&format!("writing {out_path}"), e));
     println!("wrote {out_path}");
 
     if gate && !regressions.is_empty() {
@@ -213,7 +251,7 @@ fn measure(circuit: &Circuit, vectors: usize, reps: usize) -> Value {
     };
 
     // Warm-up: characterizes every cell once so timed runs hit the cache.
-    let report = analyze_fresh(circuit, &cells, &mut lib, &cfg);
+    let report = checked_analyze(circuit, &cells, &mut lib, &cfg);
 
     // The first timed run doubles as the matrix used by the widths pass.
     let (pij, first_s) = timed(|| sensitization_probabilities(circuit, vectors, SEED));
@@ -236,7 +274,7 @@ fn measure(circuit: &Circuit, vectors: usize, reps: usize) -> Value {
     });
 
     let analyze_s = best_of(reps, || {
-        timed(|| analyze_fresh(circuit, &cells, &mut lib, &cfg)).1
+        timed(|| checked_analyze(circuit, &cells, &mut lib, &cfg)).1
     });
 
     Value::Object(vec![
@@ -339,7 +377,7 @@ fn measure_corners(circuit: &Circuit, smoke: bool) -> Value {
     // base-point variants the session boots from — outside the clock,
     // so neither run times first-touch characterization.
     let mut lib_fresh = Library::new(Technology::ptm70(), CharGrids::coarse());
-    analyze_fresh(circuit, &cells, &mut lib_fresh, &cfg);
+    checked_analyze(circuit, &cells, &mut lib_fresh, &cfg);
     sweep_fresh(circuit, &cells, &mut lib_fresh, &cfg, &corners);
     let lib_session = lib_fresh.clone();
 
@@ -360,6 +398,108 @@ fn measure_corners(circuit: &Circuit, smoke: bool) -> Value {
             serde_json::to_value(&(fresh_s / session_s)),
         ),
     ])
+}
+
+/// Times cold-start-from-file against a full rebuild at the same
+/// config, best-of-2 each: `snapshot_restore_s` covers `read_file` +
+/// `restore_from` (decode, CRC checks, re-derivation and the bitwise
+/// verification restore performs by construction), `snapshot_rebuild_s`
+/// covers `try_new` from scratch including the Monte-Carlo `P_ij`
+/// estimate the snapshot makes redundant.
+fn measure_snapshot_restore(circuit: &Circuit, smoke: bool) -> Value {
+    let vectors = if smoke { 512 } else { 2048 };
+    let cfg = AsertaConfig {
+        sensitization_vectors: vectors,
+        seed: SEED,
+        ..AsertaConfig::default()
+    };
+    let cells = CircuitCells::nominal(circuit);
+    let mut lib = Library::new(Technology::ptm70(), CharGrids::coarse());
+    // Warm the characterization cache so both paths time their own work.
+    checked_analyze(circuit, &cells, &mut lib, &cfg);
+
+    let session = AnalysisSession::try_new(circuit, cells.clone(), lib.clone(), cfg.clone())
+        .unwrap_or_else(|e| die(&format!("building session for {}", circuit.name()), e));
+    let rebuild_s = best_of(2, || {
+        timed(|| {
+            AnalysisSession::try_new(circuit, cells.clone(), lib.clone(), cfg.clone())
+                .unwrap_or_else(|e| die(&format!("rebuilding session for {}", circuit.name()), e))
+        })
+        .1
+    });
+
+    let dir = std::env::temp_dir().join(format!("sersnap-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| die("creating snapshot temp dir", e));
+    let path = dir.join(format!("{}.sersnap", circuit.name()));
+    session
+        .snapshot_to(&path)
+        .unwrap_or_else(|e| die(&format!("writing snapshot for {}", circuit.name()), e));
+    let snapshot_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+
+    let live_bits = session.unreliability().to_bits();
+    let restore_s = best_of(2, || {
+        timed(|| {
+            let snap = SessionSnapshot::read_file(&path)
+                .unwrap_or_else(|e| die(&format!("reading snapshot for {}", circuit.name()), e));
+            let restored = AnalysisSession::restore_from(&snap)
+                .unwrap_or_else(|e| die(&format!("restoring session for {}", circuit.name()), e));
+            assert_eq!(
+                restored.unreliability().to_bits(),
+                live_bits,
+                "restored session must match the live one bitwise"
+            );
+        })
+        .1
+    });
+    std::fs::remove_dir_all(&dir).ok();
+
+    Value::Object(vec![
+        (
+            "snapshot_rebuild_s".into(),
+            serde_json::to_value(&rebuild_s),
+        ),
+        (
+            "snapshot_restore_s".into(),
+            serde_json::to_value(&restore_s),
+        ),
+        (
+            "snapshot_restore_speedup".into(),
+            serde_json::to_value(&(rebuild_s / restore_s)),
+        ),
+        (
+            "snapshot_bytes".into(),
+            serde_json::to_value(&snapshot_bytes),
+        ),
+    ])
+}
+
+/// Writes a known-good `.sersnap` image of the sec32 reference circuit
+/// at the current format version, then verifies it restores bitwise.
+fn emit_snapshot(path: &str) {
+    let circuit = generate::sec32("sec32");
+    let cfg = AsertaConfig {
+        sensitization_vectors: 512,
+        seed: SEED,
+        ..AsertaConfig::default()
+    };
+    let cells = CircuitCells::nominal(&circuit);
+    let lib = Library::new(Technology::ptm70(), CharGrids::coarse());
+    let session = AnalysisSession::try_new(&circuit, cells, lib, cfg)
+        .unwrap_or_else(|e| die("building the sample session", e));
+    session
+        .snapshot_to(path)
+        .unwrap_or_else(|e| die(&format!("writing {path}"), e));
+    let snap = SessionSnapshot::read_file(path)
+        .unwrap_or_else(|e| die(&format!("reading back {path}"), e));
+    let restored = AnalysisSession::restore_from(&snap)
+        .unwrap_or_else(|e| die(&format!("restoring {path}"), e));
+    assert_eq!(
+        restored.unreliability().to_bits(),
+        session.unreliability().to_bits(),
+        "emitted snapshot must restore bitwise"
+    );
+    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    println!("wrote {path} ({bytes} bytes, restore verified bitwise)");
 }
 
 /// Measures the gates-versus-cost curve on the [`generate::tiled`]
@@ -392,7 +532,7 @@ fn measure_scaling(smoke: bool) -> Value {
         let mut lib = Library::new(Technology::ptm70(), CharGrids::coarse());
         // Warm-up: characterizes every cell once so timed runs hit the
         // cache, exactly like the fixed-circuit suite.
-        analyze_fresh(&circuit, &cells, &mut lib, &cfg);
+        checked_analyze(&circuit, &cells, &mut lib, &cfg);
 
         let ((_, stats), first_s) = timed(|| {
             sensitization_probabilities_with_stats(&circuit, vectors, SEED, threads, chunk)
@@ -401,7 +541,7 @@ fn measure_scaling(smoke: bool) -> Value {
             timed(|| sensitization_probabilities(&circuit, vectors, SEED)).1
         }));
         let analyze_s = best_of(reps, || {
-            timed(|| analyze_fresh(&circuit, &cells, &mut lib, &cfg)).1
+            timed(|| checked_analyze(&circuit, &cells, &mut lib, &cfg)).1
         });
 
         points.push(Value::Object(vec![

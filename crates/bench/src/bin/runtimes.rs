@@ -10,7 +10,6 @@
 use aserta::{analyze, AsertaConfig, CircuitCells};
 use ser_cells::{CharGrids, Library};
 use ser_logicsim::sensitize::sensitization_probabilities;
-use ser_netlist::generate;
 use ser_spice::circuit_sim::{reference_unreliability, CircuitElectrical, CircuitSimConfig};
 use ser_spice::Technology;
 
@@ -33,7 +32,7 @@ fn main() {
         "circuit", "gates", "pij (s)", "aserta (s)", "reference (s)", "speedup"
     );
     for name in names {
-        let circuit = generate::iscas85(name).expect("known benchmark");
+        let circuit = ser_bench::bundled_iscas85(name);
         let mut lib = Library::new(tech.clone(), CharGrids::standard());
         let cells = CircuitCells::nominal(&circuit);
         let cfg = AsertaConfig::default();

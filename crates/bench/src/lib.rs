@@ -24,6 +24,16 @@ pub mod table1;
 
 use std::time::Instant;
 
+/// Looks up a bundled ISCAS'85 benchmark, exiting with a clear message
+/// on an unknown name — the bin-friendly alternative to `.expect`,
+/// keeping the experiment binaries free of panicking error paths.
+pub fn bundled_iscas85(name: &str) -> ser_netlist::Circuit {
+    ser_netlist::generate::iscas85(name).unwrap_or_else(|| {
+        eprintln!("error: `{name}` is not a bundled ISCAS'85 benchmark");
+        std::process::exit(2);
+    })
+}
+
 /// Times a closure, returning `(result, seconds)`.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let t0 = Instant::now();

@@ -6,7 +6,7 @@
 use aserta::{analyze, AsertaConfig, CircuitCells};
 use ser_cells::Library;
 use ser_logicsim::sensitize::sensitization_probabilities;
-use ser_netlist::{generate, Circuit};
+use ser_netlist::Circuit;
 use ser_spice::circuit_sim::{reference_unreliability, CircuitElectrical, CircuitSimConfig};
 use ser_spice::{Strike, Technology};
 use sertopt::{optimize_circuit, AllowedParams, OptimizerConfig, Outcome};
@@ -156,7 +156,7 @@ impl Default for Table1Config {
 
 /// Runs one circuit's row end to end.
 pub fn run_circuit(spec: &CircuitSpec, cfg: &Table1Config, library: &mut Library) -> Table1Row {
-    let circuit = generate::iscas85(spec.name).expect("known benchmark name");
+    let circuit = crate::bundled_iscas85(spec.name);
     let mut opt_cfg = cfg.optimizer.clone();
     opt_cfg.allowed = spec.allowed.clone();
 
@@ -253,7 +253,10 @@ fn reference_decrease(
     );
     let total = |cells: &CircuitCells| -> f64 {
         let elec = CircuitElectrical::new(&tech, circuit, &sim_cfg, |id| {
-            *cells.get(id).expect("gates carry parameters")
+            // Invariant: `CircuitCells` assigns parameters to every gate.
+            #[allow(clippy::expect_used)]
+            let p = *cells.get(id).expect("gates carry parameters");
+            p
         });
         reference_unreliability(&tech, circuit, &elec, &vectors, &sim_cfg)
             .iter()

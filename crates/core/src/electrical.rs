@@ -54,6 +54,16 @@ pub struct ExpectedWidths {
 }
 
 impl ExpectedWidths {
+    /// Drops the table storage. Recovery sheds the derived caches before
+    /// a full rebuild so its peak memory stays near one session's.
+    pub(crate) fn shed(&mut self) {
+        self.outputs = Vec::new();
+        self.grid = Vec::new();
+        self.reach_off = Vec::new();
+        self.reach_cols = Vec::new();
+        self.ws = Vec::new();
+    }
+
     /// Builds the tables: a full-dirty application of the shared row
     /// kernel in reverse topological order.
     ///
@@ -187,10 +197,9 @@ impl ExpectedWidths {
             .sum()
     }
 
-    /// The raw sparse `[k][t]` storage (test-only: equivalence
-    /// assertions compare whole tables at once; both sides are built
-    /// over the same `P_ij`, hence the same layout).
-    #[cfg(test)]
+    /// The raw sparse `[k][t]` storage — equivalence assertions and the
+    /// session snapshot verifier compare whole tables at once; both
+    /// sides are built over the same `P_ij`, hence the same layout.
     #[inline]
     pub(crate) fn ws(&self) -> &[f64] {
         &self.ws
@@ -262,6 +271,12 @@ pub(crate) struct InterpBrackets {
 }
 
 impl InterpBrackets {
+    /// Drops the bracket storage (see [`ExpectedWidths::shed`]).
+    pub(crate) fn shed(&mut self) {
+        self.per_node = Vec::new();
+        self.k_n = 0;
+    }
+
     pub(crate) fn new(grid: &[f64], delays: &[f64], model: AttenuationModel) -> Self {
         let k_n = grid.len();
         let mut per_node = Vec::with_capacity(delays.len() * k_n);
@@ -322,6 +337,19 @@ pub(crate) struct WeightCache {
 }
 
 impl WeightCache {
+    /// Drops the cached weights (see [`ExpectedWidths::shed`]). The
+    /// `π_isj` table is the largest derived artifact of a session, so
+    /// shedding it is most of recovery's memory headroom.
+    pub(crate) fn shed(&mut self) {
+        self.succ_off = Vec::new();
+        self.succ_nodes = Vec::new();
+        self.slot_off = Vec::new();
+        self.blk_off = Vec::new();
+        self.pis = Vec::new();
+        self.succ_pos = Vec::new();
+        self.po_col = Vec::new();
+    }
+
     pub(crate) fn build(circuit: &Circuit, probs: &[f64], pij: &SensitizationMatrix) -> Self {
         let n = circuit.node_count();
         let mut succ_off = Vec::with_capacity(n + 1);

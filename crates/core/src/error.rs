@@ -10,15 +10,24 @@
 //!   [`AnalysisError::InvalidGateParams`],
 //!   [`AnalysisError::NonFiniteInput`],
 //!   [`AnalysisError::InvalidConfig`], [`AnalysisError::BadCell`],
-//!   [`AnalysisError::FaultInjected`]);
+//!   [`AnalysisError::FaultInjected`], and
+//!   [`AnalysisError::Interrupted`] when the session's
+//!   [`Deadline`](ser_netlist::govern::Deadline) is already exhausted at
+//!   a mutating entry point — the call is refused *before* any state
+//!   changes);
 //! * **Poisonings** — a numerical guard tripped *mid-recompute*, so the
 //!   session's caches may be partially updated. The session records a
 //!   [`PoisonReason`] and every further mutation is refused with
 //!   [`AnalysisError::Poisoned`] until
 //!   [`AnalysisSession::recover`](crate::AnalysisSession::recover) runs a
-//!   full-dirty rebuild.
+//!   full-dirty rebuild. An exhausted budget observed at a *stage
+//!   boundary inside* a recompute poisons too
+//!   ([`PoisonReason::Interrupted`]): the caches are partially updated
+//!   at that point, exactly like a numerical fault.
 
 use std::fmt;
+
+use ser_netlist::govern::Interrupted;
 
 /// Why an [`AnalysisSession`](crate::AnalysisSession) is poisoned.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,6 +44,12 @@ pub enum PoisonReason {
     },
     /// A fail point injected the fault mid-recompute (test builds only).
     Injected(&'static str),
+    /// The execution budget ran out at a stage boundary *inside* a
+    /// recompute; earlier stages had already mutated the caches.
+    Interrupted(Interrupted),
+    /// A recovery rebuild failed after the session had already shed its
+    /// derived caches; only another recovery can restore the session.
+    RecoveryFailed,
 }
 
 impl fmt::Display for PoisonReason {
@@ -50,6 +65,10 @@ impl fmt::Display for PoisonReason {
                 write!(f, "non-finite value in the {stage} kernel")
             }
             PoisonReason::Injected(name) => write!(f, "fault injected at `{name}`"),
+            PoisonReason::Interrupted(i) => write!(f, "recompute {i}"),
+            PoisonReason::RecoveryFailed => {
+                write!(f, "a recovery rebuild failed with the caches shed")
+            }
         }
     }
 }
@@ -94,6 +113,11 @@ pub enum AnalysisError {
     /// A fail point rejected the call before any mutation (test builds
     /// only); the session is bitwise intact.
     FaultInjected(&'static str),
+    /// The session's execution budget
+    /// ([`Deadline`](ser_netlist::govern::Deadline)) was already
+    /// exhausted at a mutating entry point; the call was refused before
+    /// any mutation, so the session is bitwise intact.
+    Interrupted(Interrupted),
     /// The session is poisoned; only
     /// [`recover`](crate::AnalysisSession::recover) is accepted.
     Poisoned(PoisonReason),
@@ -119,6 +143,9 @@ impl fmt::Display for AnalysisError {
             }
             AnalysisError::FaultInjected(name) => {
                 write!(f, "fault injected at `{name}` (session unchanged)")
+            }
+            AnalysisError::Interrupted(i) => {
+                write!(f, "{i} (session unchanged)")
             }
             AnalysisError::Poisoned(reason) => {
                 write!(f, "session is poisoned ({reason}); recover() first")

@@ -65,6 +65,7 @@ pub mod logical;
 pub mod report;
 pub mod ser;
 pub mod session;
+pub mod snapshot;
 pub mod validate;
 
 pub use analysis::{analyze, analyze_fresh, try_analyze, try_analyze_fresh, AsertaReport};
@@ -72,4 +73,6 @@ pub use binding::{gate_input_ramp, node_load, timing_view, CircuitCells, LoadMod
 pub use config::AsertaConfig;
 pub use electrical::ExpectedWidths;
 pub use error::{AnalysisError, PoisonReason};
+pub use ser_netlist::govern::{CancelToken, Deadline, DegradationEvent, Interrupted};
 pub use session::{AnalysisSession, ApplyStats};
+pub use snapshot::{SessionSnapshot, SessionSnapshotError};

@@ -69,12 +69,17 @@
 //! );
 //! ```
 
+use std::path::Path;
+
 use ser_cells::{CharacterizedCell, Library};
 use ser_logicsim::probability::static_probabilities_analytic;
-use ser_logicsim::sensitize::{resimulate_rows, sensitization_probabilities};
+use ser_logicsim::sensitize::{
+    resimulate_rows, sensitization_probabilities, sensitization_probabilities_governed,
+};
 use ser_logicsim::SensitizationMatrix;
 use ser_netlist::csr::CsrView;
 use ser_netlist::dirty::{close_over_fanout, strict_ancestors, SparseSet};
+use ser_netlist::govern::{Deadline, DegradationEvent};
 use ser_netlist::{Circuit, NodeId};
 use ser_spice::GateParams;
 
@@ -84,6 +89,7 @@ use crate::config::AsertaConfig;
 use crate::electrical::{ExpectedWidths, InterpBrackets, RowKernel, WeightCache};
 use crate::error::{AnalysisError, PoisonReason};
 use crate::glitch::AttenuationModel;
+use crate::snapshot::{DerivedState, SessionSnapshot, SessionSnapshotError};
 
 /// What one [`AnalysisSession::set_cells`] /
 /// [`AnalysisSession::apply`] call actually recomputed — the observable
@@ -145,7 +151,7 @@ impl Scratch {
 /// are characterized lazily on first use), so it is `Clone` + `Send`:
 /// optimizers replicate one session per worker thread and evaluate
 /// independent candidates in parallel.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct AnalysisSession<'c> {
     circuit: &'c Circuit,
     cfg: AsertaConfig,
@@ -164,6 +170,8 @@ pub struct AnalysisSession<'c> {
     per_gate_u: Vec<f64>,
     unreliability: f64,
     poison: Option<PoisonReason>,
+    deadline: Deadline,
+    degradations: Vec<DegradationEvent>,
     scratch: Scratch,
 }
 
@@ -322,9 +330,58 @@ impl<'c> AnalysisSession<'c> {
             per_gate_u,
             unreliability: 0.0,
             poison: None,
+            deadline: Deadline::none(),
+            degradations: Vec::new(),
             scratch: Scratch::new(n),
         };
         session.resum_unreliability();
+        Ok(session)
+    }
+
+    /// [`AnalysisSession::try_new`] under a cooperative execution budget.
+    ///
+    /// The Monte-Carlo `P_ij` estimate runs governed: when the budget
+    /// expires mid-estimate, the completed blocks (a consistent partial
+    /// estimate over fewer vectors) are kept, the truncation is recorded
+    /// as a [`DegradationEvent::EstimateTruncated`] (surfaced via
+    /// [`AnalysisSession::degradations`] and on the report), and
+    /// construction finishes over the partial matrix. Memory-governor
+    /// events from the estimator (chunk shrinks, cone evictions) are
+    /// recorded the same way. The deadline stays installed on the
+    /// session, so later mutations keep honoring it (see
+    /// [`AnalysisSession::set_deadline`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`AnalysisError::Interrupted`] when the budget expires before
+    ///   even one simulation block completes (there is no partial state
+    ///   worth keeping);
+    /// * anything [`AnalysisSession::try_with_pij`] rejects.
+    pub fn try_new_governed(
+        circuit: &'c Circuit,
+        cells: CircuitCells,
+        library: Library,
+        cfg: AsertaConfig,
+        deadline: Deadline,
+    ) -> Result<Self, AnalysisError> {
+        validate_config(&cfg)?;
+        let est = sensitization_probabilities_governed(
+            circuit,
+            cfg.sensitization_vectors,
+            cfg.seed,
+            &deadline,
+        )
+        .map_err(AnalysisError::Interrupted)?;
+        let mut events = est.events;
+        if est.interrupted.is_some() && est.vectors_completed < cfg.sensitization_vectors {
+            events.push(DegradationEvent::EstimateTruncated {
+                completed: est.vectors_completed,
+                requested: cfg.sensitization_vectors,
+            });
+        }
+        let mut session = Self::try_with_pij(circuit, cells, library, cfg, est.matrix)?;
+        session.deadline = deadline;
+        session.degradations = events;
         Ok(session)
     }
 
@@ -387,6 +444,35 @@ impl<'c> AnalysisSession<'c> {
         self.poison.as_ref()
     }
 
+    /// The execution budget in force ([`Deadline::none`] by default).
+    pub fn deadline(&self) -> &Deadline {
+        &self.deadline
+    }
+
+    /// Installs a cooperative execution budget. Every mutating entry
+    /// point first checks it (an exhausted budget is a clean
+    /// [`AnalysisError::Interrupted`] rejection, session untouched), and
+    /// recompute stages re-check it at their boundaries (an exhaustion
+    /// observed there poisons the session with
+    /// [`PoisonReason::Interrupted`], since the caches are partially
+    /// updated — recover as for any poisoning).
+    pub fn set_deadline(&mut self, deadline: Deadline) {
+        self.deadline = deadline;
+    }
+
+    /// Removes any execution budget.
+    pub fn clear_deadline(&mut self) {
+        self.deadline = Deadline::none();
+    }
+
+    /// Graceful-degradation events recorded while building or governing
+    /// this session (estimate truncation, cone-arena shrinks/evictions
+    /// under a soft memory budget). Also surfaced on
+    /// [`AnalysisSession::report`].
+    pub fn degradations(&self) -> &[DegradationEvent] {
+        &self.degradations
+    }
+
     /// Per-node `U_i` (Eq. 3); zero for primary inputs.
     pub fn per_gate_unreliability(&self) -> &[f64] {
         &self.per_gate_u
@@ -422,6 +508,7 @@ impl<'c> AnalysisSession<'c> {
             expected_widths: self.widths.clone(),
             static_probs: self.static_probs.clone(),
             timing: self.timing.clone(),
+            degradations: self.degradations.iter().map(ToString::to_string).collect(),
         }
     }
 
@@ -436,7 +523,106 @@ impl<'c> AnalysisSession<'c> {
             expected_widths: self.widths,
             static_probs: self.static_probs,
             timing: self.timing,
+            degradations: self.degradations.iter().map(ToString::to_string).collect(),
         }
+    }
+
+    /// Captures the whole session as an owned, persistable
+    /// [`SessionSnapshot`] (circuit, configuration, library, cell
+    /// assignment, `P_ij`, and the derived state for bitwise restore
+    /// verification).
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::Poisoned`] — a poisoned session's caches are
+    /// partially updated, so an image of them could never verify;
+    /// recover first.
+    pub fn snapshot(&self) -> Result<SessionSnapshot, AnalysisError> {
+        self.ensure_clean()?;
+        Ok(SessionSnapshot {
+            circuit: self.circuit.clone(),
+            cfg: self.cfg.clone(),
+            library: self.library.clone(),
+            cells: self.cells.clone(),
+            pij: self.pij.clone(),
+            derived: DerivedState {
+                loads: self.timing.loads.clone(),
+                in_ramps: self.timing.in_ramps.clone(),
+                delays: self.timing.delays.clone(),
+                out_ramps: self.timing.out_ramps.clone(),
+                static_probs: self.static_probs.clone(),
+                generated: self.generated.clone(),
+                ws: self.widths.ws().to_vec(),
+                per_gate_u: self.per_gate_u.clone(),
+                critical_delay: self.critical_delay,
+                unreliability: self.unreliability,
+            },
+        })
+    }
+
+    /// Atomically persists the session to `path` (snapshot capture +
+    /// [`SessionSnapshot::write_to`]'s write-rename).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionSnapshotError::Analysis`] for a poisoned session,
+    /// [`SessionSnapshotError::Codec`] for encode/filesystem failures.
+    pub fn snapshot_to(&self, path: impl AsRef<Path>) -> Result<(), SessionSnapshotError> {
+        self.snapshot()?.write_to(path).map_err(Into::into)
+    }
+
+    /// Rebuilds a live session from a snapshot (borrowing the
+    /// snapshot's circuit), then verifies **bitwise** that every derived
+    /// table matches what the captured session held — timing, generated
+    /// and expected widths, per-gate and total unreliability, critical
+    /// delay. The expensive inputs (`P_ij`, characterized cells) come
+    /// straight from the image, so this is a cold-start shortcut, not a
+    /// re-estimation.
+    ///
+    /// # Errors
+    ///
+    /// * [`SessionSnapshotError::Analysis`] when the persisted inputs
+    ///   fail construction-time validation;
+    /// * [`SessionSnapshotError::StateMismatch`] when the rebuilt
+    ///   analysis disagrees with the persisted derived state (an
+    ///   internally inconsistent image) — the snapshot is not trusted
+    ///   and no session is returned.
+    pub fn restore_from(snap: &'c SessionSnapshot) -> Result<Self, SessionSnapshotError> {
+        let session = Self::try_with_pij(
+            &snap.circuit,
+            snap.cells.clone(),
+            snap.library.clone(),
+            snap.cfg.clone(),
+            snap.pij.clone(),
+        )?;
+        let d = &snap.derived;
+        let mismatch = |what: &'static str| SessionSnapshotError::StateMismatch { what };
+        let bitwise_eq = |a: &[f64], b: &[f64]| {
+            a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+        };
+        for (what, live, stored) in [
+            ("loads", &session.timing.loads, &d.loads),
+            ("in_ramps", &session.timing.in_ramps, &d.in_ramps),
+            ("delays", &session.timing.delays, &d.delays),
+            ("out_ramps", &session.timing.out_ramps, &d.out_ramps),
+            ("static_probs", &session.static_probs, &d.static_probs),
+            ("generated widths", &session.generated, &d.generated),
+            ("per-gate unreliability", &session.per_gate_u, &d.per_gate_u),
+        ] {
+            if !bitwise_eq(live, stored) {
+                return Err(mismatch(what));
+            }
+        }
+        if !bitwise_eq(session.widths.ws(), &d.ws) {
+            return Err(mismatch("expected-width tables"));
+        }
+        if session.critical_delay.to_bits() != d.critical_delay.to_bits() {
+            return Err(mismatch("critical delay"));
+        }
+        if session.unreliability.to_bits() != d.unreliability.to_bits() {
+            return Err(mismatch("total unreliability"));
+        }
+        Ok(session)
     }
 
     /// Applies per-gate deltas (`(gate, new cell parameters)` pairs) and
@@ -471,6 +657,7 @@ impl<'c> AnalysisSession<'c> {
         deltas: &[(NodeId, GateParams)],
     ) -> Result<ApplyStats, AnalysisError> {
         self.ensure_clean()?;
+        self.check_entry()?;
         for &(id, ref p) in deltas {
             self.validate_delta(id, p)?;
         }
@@ -514,6 +701,7 @@ impl<'c> AnalysisSession<'c> {
     ///   parameters (session unchanged).
     pub fn try_set_cells(&mut self, target: &CircuitCells) -> Result<ApplyStats, AnalysisError> {
         self.ensure_clean()?;
+        self.check_entry()?;
         for id in self.circuit.gates() {
             let node = id.index() as u32;
             let p = target
@@ -577,6 +765,7 @@ impl<'c> AnalysisSession<'c> {
         seed: u64,
     ) -> Result<ApplyStats, AnalysisError> {
         self.ensure_clean()?;
+        self.check_entry()?;
         let mut stats = ApplyStats::default();
         if nodes.is_empty() {
             return Ok(stats);
@@ -595,6 +784,7 @@ impl<'c> AnalysisSession<'c> {
         // π weights read P rows of both a node and its successors; a full
         // rebuild is simplest and exact (refinement is a rare, heavy op).
         self.weights = WeightCache::build(self.circuit, &self.static_probs, &self.pij);
+        self.budget_checkpoint("session::widths")?;
 
         // Width rows of the changed nodes and all their strict ancestors
         // are invalid; re-derive in reverse topological order.
@@ -679,6 +869,7 @@ impl<'c> AnalysisSession<'c> {
     ///   non-positive charge (session unchanged).
     pub fn try_set_charge(&mut self, charge: f64) -> Result<ApplyStats, AnalysisError> {
         self.ensure_clean()?;
+        self.check_entry()?;
         if !(charge.is_finite() && charge > 0.0) {
             return Err(AnalysisError::NonFiniteInput {
                 what: "injected charge",
@@ -694,6 +885,7 @@ impl<'c> AnalysisSession<'c> {
             return Err(AnalysisError::FaultInjected("aserta::set_charge"))
         );
         self.cfg.charge = charge;
+        self.budget_checkpoint("session::generated-widths")?;
         self.scratch.u_dirty.clear();
         for id in self.circuit.gates() {
             let i = id.index();
@@ -783,6 +975,8 @@ impl<'c> AnalysisSession<'c> {
         // --- Delays and ramps: forward sweep over the fan-out closure of
         // everything that changed, stopping where recomputed values are
         // bitwise identical.
+        self.budget_checkpoint("session::timing")?;
+        let scratch = &mut self.scratch;
         scratch.timing_affected.clear();
         scratch.delay_changed.clear();
         for &g in &changed {
@@ -835,6 +1029,8 @@ impl<'c> AnalysisSession<'c> {
 
         // --- Generated widths + the per-gate energy dirty set: cell or
         // load changes move the strike tables' operating point.
+        self.budget_checkpoint("session::generated-widths")?;
+        let scratch = &mut self.scratch;
         scratch.u_dirty.clear();
         for &g in &changed {
             stats.energy_dirty.push(g);
@@ -869,6 +1065,8 @@ impl<'c> AnalysisSession<'c> {
 
         // --- Expected-width rows: brackets of delay-changed nodes, then
         // the strict-ancestor closure in reverse topological order.
+        self.budget_checkpoint("session::widths")?;
+        let scratch = &mut self.scratch;
         for &i in scratch.delay_changed.members() {
             self.brackets.refresh_node(
                 i as usize,
@@ -925,6 +1123,7 @@ impl<'c> AnalysisSession<'c> {
 
         // --- Unreliability: refresh dirty U_i, then resum in the batch
         // pass's exact order. Critical delay is one cheap arrival pass.
+        self.budget_checkpoint("session::unreliability")?;
         self.refresh_unreliability();
         if !self.unreliability.is_finite() {
             return Err(self.poison_now(PoisonReason::NumericalFault {
@@ -947,13 +1146,22 @@ impl<'c> AnalysisSession<'c> {
     /// (cold construction with the session's own `P_ij`, so no
     /// re-estimation).
     ///
+    /// Recovery is memory-lean: the derived caches are shed *before*
+    /// the rebuild, so peak memory stays near one session's footprint
+    /// (plus the retained `P_ij`) instead of two — a 10k-gate recovery
+    /// fits the same address-space ceiling cold construction does.
+    ///
     /// # Errors
     ///
     /// Any [`AnalysisError`] from the fresh construction — notably
     /// [`AnalysisError::BadCell`] when the current assignment still maps
     /// to an invalid library cell; recover onto a known-good assignment
-    /// with [`AnalysisSession::recover_with`] in that case. On error the
-    /// session keeps its previous (possibly poisoned) state.
+    /// with [`AnalysisSession::recover_with`] in that case. Because the
+    /// caches were already shed, a failed rebuild leaves the session
+    /// poisoned ([`PoisonReason::RecoveryFailed`] if it was clean); its
+    /// circuit, cells, config and `P_ij` are intact, so a later recovery
+    /// onto a valid assignment still succeeds (re-characterizing library
+    /// cells lazily).
     pub fn recover(&mut self) -> Result<(), AnalysisError> {
         self.recover_with(self.cells.clone())
     }
@@ -968,15 +1176,44 @@ impl<'c> AnalysisSession<'c> {
             "aserta::full_rebuild",
             return Err(AnalysisError::FaultInjected("aserta::full_rebuild"))
         );
-        let fresh = Self::try_with_pij(
+        // Shed the derived caches and hand the library over before
+        // rebuilding: everything dropped here is exactly what the
+        // rebuild re-derives, and releasing it first keeps recovery
+        // inside the memory ceiling a single cold construction needs.
+        self.weights.shed();
+        self.widths.shed();
+        self.brackets.shed();
+        self.timing = TimingView {
+            loads: Vec::new(),
+            in_ramps: Vec::new(),
+            delays: Vec::new(),
+            out_ramps: Vec::new(),
+        };
+        self.scratch = Scratch::new(0);
+        self.static_probs = Vec::new();
+        self.generated = Vec::new();
+        self.per_gate_u = Vec::new();
+        self.grid = Vec::new();
+        let empty = Library::new(self.library.tech().clone(), self.library.grids().clone());
+        let library = std::mem::replace(&mut self.library, empty);
+
+        match Self::try_with_pij(
             self.circuit,
             cells,
-            self.library.clone(),
+            library,
             self.cfg.clone(),
             self.pij.clone(),
-        )?;
-        *self = fresh;
-        Ok(())
+        ) {
+            Ok(fresh) => {
+                *self = fresh;
+                Ok(())
+            }
+            Err(e) => {
+                // The caches are gone; only another recovery can help.
+                self.poison.get_or_insert(PoisonReason::RecoveryFailed);
+                Err(e)
+            }
+        }
     }
 
     /// Refuses the call when the session is poisoned.
@@ -984,6 +1221,24 @@ impl<'c> AnalysisSession<'c> {
         match &self.poison {
             Some(reason) => Err(AnalysisError::Poisoned(reason.clone())),
             None => Ok(()),
+        }
+    }
+
+    /// Pre-mutation budget check at a mutating entry point: an exhausted
+    /// [`Deadline`] is a clean rejection, session bitwise intact.
+    fn check_entry(&self) -> Result<(), AnalysisError> {
+        self.deadline
+            .check("session::entry")
+            .map_err(AnalysisError::Interrupted)
+    }
+
+    /// Budget checkpoint at a stage boundary *inside* a recompute: the
+    /// caches are partially updated here, so exhaustion poisons (exactly
+    /// like a numerical fault — recover with a full-dirty rebuild).
+    fn budget_checkpoint(&mut self, stage: &'static str) -> Result<(), AnalysisError> {
+        match self.deadline.check(stage) {
+            Ok(()) => Ok(()),
+            Err(i) => Err(self.poison_now(PoisonReason::Interrupted(i))),
         }
     }
 
@@ -1425,5 +1680,133 @@ mod tests {
         ok.vth = 0.3;
         session.apply(&[(g, ok)]);
         assert_matches_fresh(&session);
+    }
+
+    #[test]
+    fn failed_recovery_on_a_clean_session_sets_recovery_failed_poison() {
+        let c = generate::c17();
+        let mut session = AnalysisSession::new(&c, CircuitCells::nominal(&c), lib(), cfg());
+        assert!(!session.is_poisoned());
+
+        // A rebuild target that fails construction-time validation: the
+        // caches are already shed at that point, so the clean session
+        // must come out explicitly poisoned, not silently hollow.
+        let g = c.find("10").unwrap();
+        let mut bad = CircuitCells::nominal(&c);
+        let mut p = *bad.get(g).unwrap();
+        p.size = f64::NAN;
+        bad.set(g, p);
+        session.recover_with(bad).unwrap_err();
+        assert!(session.is_poisoned());
+        assert_eq!(session.poison(), Some(&PoisonReason::RecoveryFailed));
+        assert!(matches!(
+            session.try_apply(&[]),
+            Err(AnalysisError::Poisoned(PoisonReason::RecoveryFailed))
+        ));
+
+        // Recovery onto a valid assignment still succeeds (the retained
+        // `P_ij` makes it bitwise-fresh, the library re-characterizes).
+        session.recover_with(CircuitCells::nominal(&c)).unwrap();
+        assert!(!session.is_poisoned());
+        assert_matches_fresh(&session);
+    }
+
+    #[test]
+    fn governed_construction_matches_ungoverned_bitwise() {
+        let c = generate::sec32("s");
+        let plain = AnalysisSession::new(&c, CircuitCells::nominal(&c), lib(), cfg());
+        let governed = AnalysisSession::try_new_governed(
+            &c,
+            CircuitCells::nominal(&c),
+            lib(),
+            cfg(),
+            Deadline::within(std::time::Duration::from_secs(3600)),
+        )
+        .unwrap();
+        assert_eq!(governed.pij(), plain.pij());
+        assert_eq!(governed.unreliability(), plain.unreliability());
+        assert_eq!(
+            governed.per_gate_unreliability(),
+            plain.per_gate_unreliability()
+        );
+        assert!(governed.degradations().is_empty());
+        assert!(governed.report().degradations.is_empty());
+    }
+
+    #[test]
+    fn exhausted_budget_at_construction_is_a_typed_interruption() {
+        let c = generate::c17();
+        let err = AnalysisSession::try_new_governed(
+            &c,
+            CircuitCells::nominal(&c),
+            lib(),
+            cfg(),
+            Deadline::within(std::time::Duration::ZERO),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AnalysisError::Interrupted(_)), "{err}");
+    }
+
+    #[test]
+    fn cancelled_budget_rejects_mutations_cleanly() {
+        use ser_netlist::govern::{CancelToken, InterruptReason};
+
+        let c = generate::c17();
+        let mut session = AnalysisSession::new(&c, CircuitCells::nominal(&c), lib(), cfg());
+        let token = CancelToken::new();
+        session.set_deadline(Deadline::none().with_token(token.clone()));
+
+        // Budget still open: mutations work.
+        let g = c.find("10").unwrap();
+        let mut p = *session.cells().get(g).unwrap();
+        p.size = 4.0;
+        session.apply(&[(g, p)]);
+        assert_matches_fresh(&session);
+
+        // Cancelled: every mutating entry point is refused *before* any
+        // state changes — the session stays clean and bitwise intact.
+        token.cancel();
+        let u_before = session.unreliability();
+        let mut q = *session.cells().get(g).unwrap();
+        q.size = 2.0;
+        for err in [
+            session.try_apply(&[(g, q)]).unwrap_err(),
+            session
+                .try_set_cells(&CircuitCells::nominal(&c))
+                .unwrap_err(),
+            session.try_set_charge(32e-15).unwrap_err(),
+            session.try_resample_pij_rows(&[g], 1024, 5).unwrap_err(),
+        ] {
+            match err {
+                AnalysisError::Interrupted(i) => {
+                    assert_eq!(i.stage, "session::entry");
+                    assert_eq!(i.reason, InterruptReason::Cancelled);
+                }
+                other => panic!("expected Interrupted, got {other}"),
+            }
+        }
+        assert!(!session.is_poisoned(), "entry rejections never poison");
+        assert_eq!(session.unreliability(), u_before);
+
+        // Clearing the budget restores full service.
+        session.clear_deadline();
+        session.apply(&[(g, q)]);
+        assert_matches_fresh(&session);
+    }
+
+    #[test]
+    fn snapshot_of_recovered_session_round_trips() {
+        let c = generate::sec32("s");
+        let mut session = AnalysisSession::new(&c, CircuitCells::nominal(&c), lib(), cfg());
+        let g = c.gates().next().unwrap();
+        let mut p = *session.cells().get(g).unwrap();
+        p.size = 4.0;
+        session.apply(&[(g, p)]);
+        session.recover().unwrap();
+
+        let snap = session.snapshot().unwrap();
+        let restored = AnalysisSession::restore_from(&snap).unwrap();
+        assert_eq!(restored.unreliability(), session.unreliability());
+        assert_eq!(restored.cells(), session.cells());
     }
 }

@@ -39,4 +39,4 @@ pub mod random;
 pub mod sensitize;
 pub mod sim;
 
-pub use sensitize::{PijRowUpdate, SensitizationMatrix};
+pub use sensitize::{GovernedEstimate, PijRowUpdate, SensitizationMatrix};

@@ -36,6 +36,7 @@
 //! before a single final division.
 
 use ser_netlist::csr::{ChunkedConeArena, ConeArena, CsrView};
+use ser_netlist::govern::{Deadline, DegradationEvent, Interrupted};
 use ser_netlist::{Circuit, GateKind, NodeId};
 
 use crate::kernel;
@@ -104,6 +105,122 @@ impl SensitizationMatrix {
     #[inline]
     pub fn reachable_columns(&self, node: NodeId) -> &[u32] {
         &self.reach_cols[self.reach_off[node.index()]..self.reach_off[node.index() + 1]]
+    }
+
+    /// Number of nodes the matrix covers (the row space).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// The full node-major probability storage
+    /// (`p[node * outputs.len() + col]`) — the raw payload a snapshot
+    /// encoder persists bitwise.
+    #[inline]
+    pub fn probabilities(&self) -> &[f64] {
+        &self.p
+    }
+
+    /// The measured any-PO union observability per node (see
+    /// [`SensitizationMatrix::observability`]), as one flat slice.
+    #[inline]
+    pub fn observabilities(&self) -> &[f64] {
+        &self.obs
+    }
+
+    /// The per-node reachable-column offsets (`node_count + 1` entries)
+    /// behind [`SensitizationMatrix::reachable_columns`].
+    #[inline]
+    pub fn reach_offsets(&self) -> &[usize] {
+        &self.reach_off
+    }
+
+    /// The concatenated reachable-column lists behind
+    /// [`SensitizationMatrix::reachable_columns`].
+    #[inline]
+    pub fn reach_columns_flat(&self) -> &[u32] {
+        &self.reach_cols
+    }
+
+    /// Reassembles a matrix from the raw parts exposed by the accessors
+    /// above, re-validating every structural invariant — the funnel a
+    /// snapshot decoder must pass so a damaged file can never produce a
+    /// silently-wrong matrix.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the violated invariant: length
+    /// mismatches, a non-monotonic reachability CSR, column indices out
+    /// of range or not strictly ascending per row, probabilities outside
+    /// `[0, 1]` or non-finite, or a zero vector count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts(
+        outputs: Vec<NodeId>,
+        n_nodes: usize,
+        p: Vec<f64>,
+        obs: Vec<f64>,
+        reach_off: Vec<usize>,
+        reach_cols: Vec<u32>,
+        vectors_used: usize,
+    ) -> Result<Self, String> {
+        let n_pos = outputs.len();
+        if vectors_used == 0 {
+            return Err("vectors_used must be positive".into());
+        }
+        if p.len() != n_nodes.checked_mul(n_pos).ok_or("matrix size overflows")? {
+            return Err(format!(
+                "probability storage holds {} entries, expected {}",
+                p.len(),
+                n_nodes * n_pos
+            ));
+        }
+        if obs.len() != n_nodes {
+            return Err(format!(
+                "observability storage holds {} entries, expected {n_nodes}",
+                obs.len()
+            ));
+        }
+        if reach_off.len() != n_nodes + 1 || reach_off.first() != Some(&0) {
+            return Err("reachability offsets malformed".into());
+        }
+        if reach_off.windows(2).any(|w| w[0] > w[1]) {
+            return Err("reachability offsets not monotonic".into());
+        }
+        if *reach_off.last().unwrap_or(&0) != reach_cols.len() {
+            return Err("reachability offsets do not cover the column list".into());
+        }
+        for i in 0..n_nodes {
+            let row = &reach_cols[reach_off[i]..reach_off[i + 1]];
+            if row.iter().any(|&c| c as usize >= n_pos) {
+                return Err(format!("node {i} reaches a column out of range"));
+            }
+            if row.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("node {i} columns not strictly ascending"));
+            }
+            // The reachability CSR declares the structural support: a
+            // probability outside it must be exactly zero.
+            let mut next = row.iter().peekable();
+            for (j, &pij) in p[i * n_pos..(i + 1) * n_pos].iter().enumerate() {
+                let reachable = next.peek().is_some_and(|&&c| c as usize == j);
+                if reachable {
+                    next.next();
+                } else if pij != 0.0 {
+                    return Err(format!("node {i} has nonzero P at unreachable column {j}"));
+                }
+            }
+        }
+        if p.iter().chain(&obs).any(|&x| !(0.0..=1.0).contains(&x)) {
+            return Err("probability outside [0, 1]".into());
+        }
+        Ok(SensitizationMatrix {
+            outputs,
+            n_nodes,
+            p,
+            obs,
+            reach_off,
+            reach_cols,
+            vectors_used,
+        })
     }
 
     /// Patches the rows covered by a selective re-simulation
@@ -299,13 +416,14 @@ pub fn sensitization_probabilities_with_stats(
     let mut p = vec![0.0f64; n_nodes * n_pos];
     let mut obs = vec![0.0f64; n_nodes];
     let mut pairs: Vec<(u32, u32)> = Vec::new();
-    let stats = estimate_chunks(
+    let (stats, _, _) = estimate_chunks(
         &csr,
         &mut plan,
         seed,
         threads,
         n_words,
-        |root, cols, counts, obs_count| {
+        None,
+        |root, cols, counts, obs_count, _| {
             let i = root as usize;
             for (t, &col) in cols.iter().enumerate() {
                 p[i * n_pos + col as usize] = counts[t] as f64 / total;
@@ -337,6 +455,230 @@ pub fn sensitization_probabilities_with_stats(
         },
         stats,
     )
+}
+
+/// Soft memory budget (bytes) for the streamed estimator: the
+/// `SER_MEM_SOFT_LIMIT` environment override when set to a positive
+/// byte count (optional `K`/`M`/`G` suffix, powers of 1024), else
+/// `None` (ungoverned). Only the *governed* estimation entry points
+/// honor it; see [`sensitization_probabilities_governed`].
+pub fn mem_soft_limit() -> Option<usize> {
+    parse_byte_size(&std::env::var("SER_MEM_SOFT_LIMIT").ok()?)
+}
+
+/// Parses `"65536"`, `"64K"`, `"8M"`, `"1G"` into bytes (powers of
+/// 1024). Returns `None` for malformed or zero values.
+fn parse_byte_size(s: &str) -> Option<usize> {
+    let t = s.trim();
+    let (num, mult) = match t.as_bytes().last()? {
+        b'k' | b'K' => (&t[..t.len() - 1], 1usize << 10),
+        b'm' | b'M' => (&t[..t.len() - 1], 1usize << 20),
+        b'g' | b'G' => (&t[..t.len() - 1], 1usize << 30),
+        _ => (t, 1),
+    };
+    let n: usize = num.trim().parse().ok()?;
+    (n > 0).then(|| n.saturating_mul(mult))
+}
+
+/// Outcome of a *governed* estimation run: the matrix built from every
+/// word block that completed before the budget ran out, plus the
+/// degradation record.
+///
+/// When `interrupted` is `None` the run finished in full and `matrix`
+/// is bitwise identical to the ungoverned estimate at the same
+/// parameters. When it is `Some`, `matrix` is bitwise identical to a
+/// *fresh* ungoverned estimate over exactly `vectors_completed` vectors
+/// at the same seed — a consistent, smaller-sample result, never a torn
+/// one.
+#[derive(Debug, Clone)]
+pub struct GovernedEstimate {
+    /// The estimated matrix (over `vectors_completed` vectors).
+    pub matrix: SensitizationMatrix,
+    /// Random vectors actually simulated (a multiple of 64; equals the
+    /// rounded-up request unless the run was interrupted).
+    pub vectors_completed: usize,
+    /// Memory/work profile of the run.
+    pub stats: EstimateStats,
+    /// Memory-governor degradations applied to stay under the soft
+    /// budget, in the order they occurred. Empty when nothing degraded.
+    pub events: Vec<DegradationEvent>,
+    /// `Some` when a deadline/cancellation stopped the run early (at a
+    /// word-block boundary); the matrix still holds every completed
+    /// block.
+    pub interrupted: Option<Interrupted>,
+}
+
+/// [`sensitization_probabilities`] under a wall-clock/cancellation
+/// budget and the environment's soft memory budget
+/// ([`mem_soft_limit`]): thread count, chunk size and memory limit all
+/// come from their environment knobs.
+///
+/// # Errors
+///
+/// Returns the [`Interrupted`] budget verdict only when **zero** word
+/// blocks completed — there is no partial result to hand back. Any
+/// later interruption returns `Ok` with
+/// [`GovernedEstimate::interrupted`] set.
+///
+/// # Panics
+///
+/// Panics if `n_vectors` is 0.
+pub fn sensitization_probabilities_governed(
+    circuit: &Circuit,
+    n_vectors: usize,
+    seed: u64,
+    deadline: &Deadline,
+) -> Result<GovernedEstimate, Interrupted> {
+    sensitization_probabilities_governed_chunked(
+        circuit,
+        n_vectors,
+        seed,
+        simulation_threads(),
+        cone_chunk_size(),
+        deadline,
+        mem_soft_limit(),
+    )
+}
+
+/// [`sensitization_probabilities_governed`] with every governor knob
+/// explicit. `mem_soft_limit` is a *soft* byte budget: before the run,
+/// the cone chunk size is halved (and the chunks replanned) until one
+/// chunk's build fits, and during the run resident chunks are shed
+/// LRU-first; both degradations are recorded as
+/// [`DegradationEvent`]s rather than failing the run. The deadline (or
+/// its cancel token) is checked at every 64-word block boundary — the
+/// points where the hit counters hold a consistent prefix of the
+/// vector stream.
+///
+/// # Errors
+///
+/// See [`sensitization_probabilities_governed`].
+///
+/// # Panics
+///
+/// Panics if `n_vectors`, `threads` or `chunk_size` is 0.
+pub fn sensitization_probabilities_governed_chunked(
+    circuit: &Circuit,
+    n_vectors: usize,
+    seed: u64,
+    threads: usize,
+    chunk_size: usize,
+    deadline: &Deadline,
+    mem_soft_limit: Option<usize>,
+) -> Result<GovernedEstimate, Interrupted> {
+    assert!(n_vectors > 0, "need at least one vector");
+    assert!(threads > 0, "need at least one worker thread");
+    let outputs: Vec<NodeId> = circuit.primary_outputs().to_vec();
+    let n_pos = outputs.len();
+    let n_nodes = circuit.node_count();
+    let n_words = n_vectors.div_ceil(64);
+
+    let csr = CsrView::build(circuit);
+    let mut events = Vec::new();
+    let mut plan = plan_under_budget(&csr, chunk_size, mem_soft_limit, &mut events);
+
+    let mut p = vec![0.0f64; n_nodes * n_pos];
+    let mut obs = vec![0.0f64; n_nodes];
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    let (stats, words_done, interrupted) = estimate_chunks(
+        &csr,
+        &mut plan,
+        seed,
+        threads,
+        n_words,
+        Some(Governor {
+            deadline,
+            keep_resident: mem_soft_limit.is_some(),
+        }),
+        |root, cols, counts, obs_count, words| {
+            let total = (words * 64) as f64;
+            let i = root as usize;
+            for (t, &col) in cols.iter().enumerate() {
+                p[i * n_pos + col as usize] = counts[t] as f64 / total;
+                pairs.push((root, col));
+            }
+            obs[i] = obs_count as f64 / total;
+        },
+    );
+    if words_done == 0 {
+        return Err(interrupted.expect("a run that did no work must have been interrupted"));
+    }
+    if plan.evictions() > 0 {
+        events.push(DegradationEvent::ConesShed {
+            evictions: plan.evictions(),
+        });
+    }
+
+    pairs.sort_unstable();
+    let mut reach_off = vec![0usize; n_nodes + 1];
+    for &(i, _) in &pairs {
+        reach_off[i as usize + 1] += 1;
+    }
+    for i in 0..n_nodes {
+        reach_off[i + 1] += reach_off[i];
+    }
+    let reach_cols: Vec<u32> = pairs.iter().map(|&(_, c)| c).collect();
+
+    Ok(GovernedEstimate {
+        matrix: SensitizationMatrix {
+            outputs,
+            n_nodes,
+            p,
+            obs,
+            reach_off,
+            reach_cols,
+            vectors_used: words_done * 64,
+        },
+        vectors_completed: words_done * 64,
+        stats,
+        events,
+        interrupted,
+    })
+}
+
+/// Execution-governor knobs threaded into [`estimate_chunks`]; see its
+/// docs for the semantics of each field.
+struct Governor<'a> {
+    deadline: &'a Deadline,
+    keep_resident: bool,
+}
+
+/// Plans the chunked cone arena under an optional soft byte budget:
+/// halve the chunk size (and replan) while building the first chunk
+/// overshoots the limit, then install the limit as the plan's LRU
+/// residency budget. The probe inspects the first chunk only — the
+/// limit stays *soft* for pathological cones — and every shrink is
+/// recorded as a [`DegradationEvent::ChunkShrunk`].
+fn plan_under_budget(
+    csr: &CsrView,
+    chunk_size: usize,
+    limit: Option<usize>,
+    events: &mut Vec<DegradationEvent>,
+) -> ChunkedConeArena {
+    let Some(limit) = limit else {
+        return ChunkedConeArena::plan(csr, chunk_size);
+    };
+    let mut size = chunk_size;
+    loop {
+        let mut plan = ChunkedConeArena::plan(csr, size);
+        if plan.chunk_count() > 0 {
+            plan.ensure(csr, 0);
+            let probe = plan.peak_bytes();
+            plan.release(0);
+            if probe > limit && size > 1 {
+                size = (size / 2).max(1);
+                continue;
+            }
+        }
+        if size != chunk_size {
+            events.push(DegradationEvent::ChunkShrunk {
+                from: chunk_size,
+                to: size,
+                limit_bytes: limit,
+            });
+        }
+        return plan.with_budget(limit);
+    }
 }
 
 /// Selectively re-simulates the strike cones of `nodes` only, with the
@@ -431,7 +773,8 @@ pub fn resimulate_rows_chunked(
         seed,
         threads,
         n_words,
-        |root, cols, counts, obs_count| {
+        None,
+        |root, cols, counts, obs_count, _| {
             let t = first_slot[root as usize] as usize;
             for (ci, &col) in cols.iter().enumerate() {
                 p[t * n_pos + col as usize] = counts[ci] as f64 / total;
@@ -469,19 +812,36 @@ pub fn resimulate_rows_chunked(
 /// regardless of the chunk count, so the chunk size trades only peak
 /// arena memory against per-block recompilation, not simulation time.
 ///
-/// `sink(root_node, reachable_cols, counts_per_col, union_count)` is
-/// invoked exactly once per planned root, after the last block. Peak
+/// `sink(root_node, reachable_cols, counts_per_col, union_count, words)`
+/// is invoked exactly once per planned root, after the last completed
+/// block; `words` is the number of 64-vector words actually simulated
+/// (equal to `n_words` unless a governor interrupted the run). Peak
 /// tracked memory is one chunk's arena + programs; on top of that live
-/// the block's base rows (`node_count × block` words) and one set of
-/// integer hit counters per planned root.
+/// the block's base rows (`node_count × block` words), one set of
+/// integer hit counters per planned root, and a copy of each root's
+/// reachable-column list (captured on the first block so the counters
+/// can be finalized even after the chunk arenas are gone).
+///
+/// When `govern` is `Some`, the deadline/cancel token is checked at
+/// every word-block boundary — the only points where every counter
+/// holds a consistent prefix of the vector stream — and an expiry stops
+/// the loop there, finalizing whatever blocks completed.
+///
+/// When the governor's `keep_resident` is set (governed runs with an
+/// LRU byte budget installed on `plan`), chunk arenas stay resident
+/// across blocks and the budget decides what to shed, trading the
+/// per-block rebuild for governed memory; otherwise each chunk is
+/// released as soon as its block slice is replayed, exactly like the
+/// ungoverned streamer.
 fn estimate_chunks(
     csr: &CsrView,
     plan: &mut ChunkedConeArena,
     seed: u64,
     threads: usize,
     n_words: usize,
-    mut sink: impl FnMut(u32, &[u32], &[u64], u64),
-) -> EstimateStats {
+    govern: Option<Governor<'_>>,
+    mut sink: impl FnMut(u32, &[u32], &[u64], u64, usize),
+) -> (EstimateStats, usize, Option<Interrupted>) {
     let n_chunks = plan.chunk_count();
     let mut pool: Vec<SimScratch> = (0..threads.max(1)).map(|_| SimScratch::default()).collect();
     let mut compile_scratch = CompileScratch::default();
@@ -489,18 +849,31 @@ fn estimate_chunks(
     let mut base: Vec<u64> = Vec::new();
     let mut tmp: Vec<u64> = vec![0; csr.node_count()];
     // Hit counters for every planned root, chunk-major in plan order;
-    // they persist across blocks (the arena chunks do not).
+    // they persist across blocks (the arena chunks need not).
     let mut counts: Vec<u64> = Vec::new();
     let mut obs_counts: Vec<u64> = Vec::new();
     let mut count_off: Vec<usize> = vec![0];
     let mut root_off: Vec<usize> = vec![0];
+    // Per-root reachable columns, flat in the same chunk-major order as
+    // `counts`; captured once on block 0.
+    let mut cols_flat: Vec<u32> = Vec::new();
+    let mut root_po_off: Vec<usize> = vec![0];
     let mut stats = EstimateStats {
         chunks: n_chunks,
         ..EstimateStats::default()
     };
 
+    let keep_resident = govern.as_ref().is_some_and(|g| g.keep_resident);
     let n_blocks = n_words.div_ceil(BLOCK);
+    let mut words_done = 0usize;
+    let mut interrupted = None;
     for b in 0..n_blocks {
+        if let Some(g) = &govern {
+            if let Err(stop) = g.deadline.check("sensitize::block") {
+                interrupted = Some(stop);
+                break;
+            }
+        }
         let w0 = b * BLOCK;
         let wc = BLOCK.min(n_words - w0);
         eval_base_block(csr, seed, w0, wc, &mut base, &mut tmp);
@@ -516,6 +889,10 @@ fn estimate_chunks(
                 root_off.push(root_off[k] + progs.root_count());
                 counts.resize(count_off[k + 1], 0);
                 obs_counts.resize(root_off[k + 1], 0);
+                for slot in 0..chunk_roots.len() {
+                    cols_flat.extend_from_slice(arena.reachable_cols(slot));
+                    root_po_off.push(cols_flat.len());
+                }
             }
             stats.peak_bytes = stats.peak_bytes.max(plan.peak_bytes() + progs.bytes());
 
@@ -528,22 +905,26 @@ fn estimate_chunks(
                 &mut obs_counts[root_off[k]..root_off[k + 1]],
             );
 
-            if b + 1 == n_blocks {
-                for (slot, &root) in chunk_roots.iter().enumerate() {
-                    let range =
-                        count_off[k] + progs.po_off[slot]..count_off[k] + progs.po_off[slot + 1];
-                    sink(
-                        root,
-                        arena.reachable_cols(slot),
-                        &counts[range],
-                        obs_counts[root_off[k] + slot],
-                    );
-                }
+            if !keep_resident {
+                plan.release(k);
             }
-            plan.release(k);
+        }
+        words_done += wc;
+    }
+
+    if words_done > 0 {
+        for (g, &root) in plan.planned_roots().iter().enumerate() {
+            let range = root_po_off[g]..root_po_off[g + 1];
+            sink(
+                root,
+                &cols_flat[range.clone()],
+                &counts[range],
+                obs_counts[g],
+                words_done,
+            );
         }
     }
-    stats
+    (stats, words_done, interrupted)
 }
 
 /// Evaluates the fault-free circuit for global words `w0 .. w0 + wc` and
@@ -972,6 +1353,7 @@ fn replay_roots(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ser_netlist::govern::{CancelToken, InterruptReason};
     use ser_netlist::{generate, CircuitBuilder, GateKind};
 
     #[test]
@@ -1233,5 +1615,166 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn raw_parts_round_trip_is_bitwise() {
+        let c = generate::sec32("t");
+        let m = sensitization_probabilities(&c, 512, 77);
+        let rebuilt = SensitizationMatrix::from_raw_parts(
+            m.outputs().to_vec(),
+            m.node_count(),
+            m.probabilities().to_vec(),
+            m.observabilities().to_vec(),
+            m.reach_offsets().to_vec(),
+            m.reach_columns_flat().to_vec(),
+            m.vectors_used(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, m);
+    }
+
+    /// A corruption applied to (p, reach_off, reach_cols, vectors_used).
+    type DamageFn = dyn Fn(&mut Vec<f64>, &mut Vec<usize>, &mut Vec<u32>, &mut usize);
+
+    #[test]
+    fn raw_parts_reject_structural_damage() {
+        let c = generate::c17();
+        let m = sensitization_probabilities(&c, 128, 5);
+        let parts = |f: &DamageFn| {
+            let mut p = m.probabilities().to_vec();
+            let mut off = m.reach_offsets().to_vec();
+            let mut cols = m.reach_columns_flat().to_vec();
+            let mut vecs = m.vectors_used();
+            f(&mut p, &mut off, &mut cols, &mut vecs);
+            SensitizationMatrix::from_raw_parts(
+                m.outputs().to_vec(),
+                m.node_count(),
+                p,
+                m.observabilities().to_vec(),
+                off,
+                cols,
+                vecs,
+            )
+        };
+        assert!(parts(&|p, _, _, _| p.truncate(3)).is_err(), "short p");
+        assert!(parts(&|p, _, _, _| p[0] = 1.5).is_err(), "p out of range");
+        assert!(parts(&|p, _, _, _| p[0] = f64::NAN).is_err(), "NaN p");
+        assert!(parts(&|_, off, _, _| off[1] = usize::MAX).is_err(), "off");
+        assert!(parts(&|_, _, cols, _| cols[0] = 999).is_err(), "col range");
+        assert!(parts(&|_, _, _, v| *v = 0).is_err(), "zero vectors");
+        assert!(
+            parts(&|_, off, cols, _| {
+                off.iter_mut().for_each(|o| *o = 0);
+                cols.clear();
+            })
+            .is_err(),
+            "offsets must cover the column list"
+        );
+    }
+
+    #[test]
+    fn governed_full_run_matches_ungoverned_bitwise() {
+        let c = generate::sec32("t");
+        let plain = sensitization_probabilities_chunked(&c, 512, 77, 2, 13);
+        let gov = sensitization_probabilities_governed_chunked(
+            &c,
+            512,
+            77,
+            2,
+            13,
+            &Deadline::none(),
+            None,
+        )
+        .unwrap();
+        assert!(gov.interrupted.is_none());
+        assert!(gov.events.is_empty());
+        assert_eq!(gov.vectors_completed, 512);
+        assert_eq!(gov.matrix, plain);
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_before_any_work() {
+        let c = generate::c17();
+        let deadline = Deadline::within(std::time::Duration::ZERO);
+        let err = sensitization_probabilities_governed_chunked(&c, 512, 7, 1, 16, &deadline, None)
+            .unwrap_err();
+        assert_eq!(err.stage, "sensitize::block");
+        assert_eq!(err.reason, InterruptReason::DeadlineExpired);
+    }
+
+    #[test]
+    fn cancelled_token_interrupts_with_typed_reason() {
+        let c = generate::c17();
+        let token = CancelToken::new();
+        token.cancel();
+        let deadline = Deadline::none().with_token(token);
+        let err = sensitization_probabilities_governed_chunked(&c, 512, 7, 1, 16, &deadline, None)
+            .unwrap_err();
+        assert_eq!(err.reason, InterruptReason::Cancelled);
+    }
+
+    #[test]
+    fn memory_governor_shrinks_chunks_and_stays_bitwise() {
+        let c = generate::sec32("t");
+        // A one-byte budget forces the preflight all the way down to
+        // one-root chunks and arms LRU shedding; the matrix must still
+        // be bitwise identical (chunk-size invariance).
+        let plain = sensitization_probabilities_chunked(&c, 512, 77, 2, 64);
+        let gov = sensitization_probabilities_governed_chunked(
+            &c,
+            512,
+            77,
+            2,
+            64,
+            &Deadline::none(),
+            Some(1),
+        )
+        .unwrap();
+        assert_eq!(gov.matrix, plain);
+        assert!(
+            gov.events
+                .iter()
+                .any(|e| matches!(e, DegradationEvent::ChunkShrunk { to: 1, .. })),
+            "events: {:?}",
+            gov.events
+        );
+        assert!(
+            gov.events
+                .iter()
+                .any(|e| matches!(e, DegradationEvent::ConesShed { .. })),
+            "events: {:?}",
+            gov.events
+        );
+    }
+
+    #[test]
+    fn generous_memory_budget_degrades_nothing() {
+        let c = generate::c17();
+        let gov = sensitization_probabilities_governed_chunked(
+            &c,
+            256,
+            5,
+            1,
+            16,
+            &Deadline::none(),
+            Some(1 << 30),
+        )
+        .unwrap();
+        assert!(gov.events.is_empty(), "events: {:?}", gov.events);
+        assert_eq!(
+            gov.matrix,
+            sensitization_probabilities_chunked(&c, 256, 5, 1, 16)
+        );
+    }
+
+    #[test]
+    fn byte_size_suffixes_parse() {
+        assert_eq!(parse_byte_size("65536"), Some(65536));
+        assert_eq!(parse_byte_size(" 64K "), Some(64 << 10));
+        assert_eq!(parse_byte_size("8m"), Some(8 << 20));
+        assert_eq!(parse_byte_size("1G"), Some(1 << 30));
+        assert_eq!(parse_byte_size("0"), None);
+        assert_eq!(parse_byte_size("lots"), None);
     }
 }

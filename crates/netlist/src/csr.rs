@@ -512,6 +512,7 @@ pub struct ChunkedConeArena {
     resident_bytes: usize,
     peak_bytes: usize,
     budget: Option<usize>,
+    evictions: usize,
 }
 
 impl ChunkedConeArena {
@@ -569,6 +570,7 @@ impl ChunkedConeArena {
             resident_bytes: 0,
             peak_bytes: 0,
             budget: None,
+            evictions: 0,
         }
     }
 
@@ -646,6 +648,7 @@ impl ChunkedConeArena {
                         self.resident.remove(0)
                     };
                     self.drop_chunk(victim);
+                    self.evictions += 1;
                 }
             }
         }
@@ -710,6 +713,15 @@ impl ChunkedConeArena {
     #[inline]
     pub fn peak_bytes(&self) -> usize {
         self.peak_bytes
+    }
+
+    /// Number of budget-driven LRU evictions since planning (explicit
+    /// [`release`](Self::release) calls are not counted) — the signal a
+    /// memory governor surfaces as a
+    /// [`DegradationEvent::ConesShed`](crate::govern::DegradationEvent).
+    #[inline]
+    pub fn evictions(&self) -> usize {
+        self.evictions
     }
 }
 
@@ -976,6 +988,18 @@ mod tests {
             assert_eq!(chunked.resident.len(), 1, "budget keeps one chunk");
         }
         assert!(chunked.peak_bytes() > 0);
+        // Every build after the first evicted its predecessor.
+        assert_eq!(chunked.evictions(), chunked.chunk_count() - 1);
+    }
+
+    #[test]
+    fn explicit_release_is_not_an_eviction() {
+        let c = generate::c17();
+        let csr = CsrView::build(&c);
+        let mut chunked = ChunkedConeArena::plan(&csr, 4);
+        chunked.ensure(&csr, 0);
+        chunked.release(0);
+        assert_eq!(chunked.evictions(), 0);
     }
 
     #[test]

@@ -44,6 +44,8 @@ struct Armed {
     action: FailAction,
     /// Remaining firings; `None` = unlimited.
     remaining: Option<usize>,
+    /// Executions to let pass before the first firing.
+    skip: usize,
 }
 
 #[derive(Debug, Default)]
@@ -71,6 +73,7 @@ pub fn set(name: &str, action: FailAction) {
         Armed {
             action,
             remaining: None,
+            skip: 0,
         },
     );
 }
@@ -84,6 +87,22 @@ pub fn set_times(name: &str, action: FailAction, times: usize) {
         Armed {
             action,
             remaining: Some(times),
+            skip: 0,
+        },
+    );
+}
+
+/// Arms `name` to let the next `skip` executions pass untouched, then
+/// fire on the `times` following ones and disarm itself. This targets
+/// the *k-th* traversal of a hook — e.g. the deadline checkpoint of one
+/// specific pipeline stage — without disturbing the earlier ones.
+pub fn set_after(name: &str, action: FailAction, skip: usize, times: usize) {
+    registry().armed.insert(
+        name.to_owned(),
+        Armed {
+            action,
+            remaining: Some(times),
+            skip,
         },
     );
 }
@@ -111,6 +130,10 @@ pub fn hits(name: &str) -> usize {
 pub fn check(name: &str) -> Option<FailAction> {
     let mut reg = registry();
     let armed = reg.armed.get_mut(name)?;
+    if armed.skip > 0 {
+        armed.skip -= 1;
+        return None;
+    }
     let action = armed.action;
     match &mut armed.remaining {
         Some(0) => return None,
@@ -179,6 +202,18 @@ mod tests {
         clear("netlist::test_unlimited");
         assert_eq!(check("netlist::test_unlimited"), None);
         assert_eq!(hits("netlist::test_unlimited"), 5);
+    }
+
+    #[test]
+    fn skipped_arm_passes_then_fires() {
+        let _guard = scenario();
+        set_after("netlist::test_skip", FailAction::Error, 2, 1);
+        assert_eq!(check("netlist::test_skip"), None);
+        assert_eq!(check("netlist::test_skip"), None);
+        assert_eq!(hits("netlist::test_skip"), 0, "skipped passes don't count");
+        assert_eq!(check("netlist::test_skip"), Some(FailAction::Error));
+        assert_eq!(check("netlist::test_skip"), None, "one-shot disarms");
+        assert_eq!(hits("netlist::test_skip"), 1);
     }
 
     #[test]

@@ -45,8 +45,10 @@ mod error;
 pub mod failpoint;
 mod gate;
 pub mod generate;
+pub mod govern;
 mod id;
 pub mod paths;
+pub mod snapshot;
 pub mod stats;
 pub mod topo;
 

@@ -72,6 +72,6 @@ pub use baseline::size_for_speed;
 pub use cost::{CostBreakdown, CostWeights, EnergyModel};
 pub use error::EvalError;
 pub use matching::MatchPlan;
-pub use optimize::{optimize_circuit, Algorithm, OptimizerConfig};
+pub use optimize::{optimize_circuit, optimize_circuit_with_budget, Algorithm, OptimizerConfig};
 pub use problem::{Candidate, DelayProblem, EvalStrategy};
-pub use result::Outcome;
+pub use result::{Outcome, Termination};

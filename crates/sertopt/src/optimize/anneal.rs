@@ -4,6 +4,8 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+use aserta::{Deadline, Interrupted};
+
 use crate::problem::DelayProblem;
 
 /// Runs `moves` Metropolis steps with a geometric cooling schedule.
@@ -11,15 +13,20 @@ use crate::problem::DelayProblem;
 /// step scaled to the current temperature. A move whose evaluation fails
 /// is rejected deterministically (cooling continues, history keeps its
 /// shape).
+///
+/// `deadline` is checked once per move (stage `"anneal::move"`); an
+/// exhausted budget stops the schedule and returns the best-so-far point
+/// with the typed [`Interrupted`] alongside.
 pub fn run(
     problem: &mut DelayProblem<'_>,
     moves: usize,
     initial_step: f64,
     seed: u64,
-) -> (Vec<f64>, Vec<f64>) {
+    deadline: &Deadline,
+) -> (Vec<f64>, Vec<f64>, Option<Interrupted>) {
     let dim = problem.dim();
     if dim == 0 {
-        return (Vec::new(), vec![start_cost(problem, &[])]);
+        return (Vec::new(), vec![start_cost(problem, &[])], None);
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut phi = vec![0.0f64; dim];
@@ -37,8 +44,13 @@ pub fn run(
         1.0
     };
     let mut temp = t_start;
+    let mut interrupted = None;
 
     for _ in 0..moves {
+        if let Err(i) = deadline.check("anneal::move") {
+            interrupted = Some(i);
+            break;
+        }
         let k_moves = 1 + rng.random_range(0..3.min(dim));
         let mut trial = phi.clone();
         for _ in 0..k_moves {
@@ -67,7 +79,7 @@ pub fn run(
         history.push(best_cost);
         temp *= cooling;
     }
-    (best_phi, history)
+    (best_phi, history, interrupted)
 }
 
 /// The cost of the search's starting point; a failed start reads as

@@ -4,21 +4,28 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use aserta::{Deadline, Interrupted};
+
 use crate::problem::DelayProblem;
 
 /// Runs `iterations` sweeps; each sweep tries ±step on every coordinate
 /// (shuffled order) and keeps improvements greedily. The step halves
 /// after a sweep without improvement. A trial whose evaluation fails is
 /// skipped deterministically (it counts as non-improving).
+///
+/// `deadline` is checked once per sweep (stage `"coord::sweep"`); an
+/// exhausted budget stops the search and returns the best-so-far point
+/// with the typed [`Interrupted`] alongside.
 pub fn run(
     problem: &mut DelayProblem<'_>,
     iterations: usize,
     initial_step: f64,
     seed: u64,
-) -> (Vec<f64>, Vec<f64>) {
+    deadline: &Deadline,
+) -> (Vec<f64>, Vec<f64>, Option<Interrupted>) {
     let dim = problem.dim();
     if dim == 0 {
-        return (Vec::new(), vec![start_cost(problem, &[])]);
+        return (Vec::new(), vec![start_cost(problem, &[])], None);
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut phi = vec![0.0f64; dim];
@@ -26,8 +33,13 @@ pub fn run(
     let mut history = vec![best_cost];
     let mut step = initial_step;
     let mut order: Vec<usize> = (0..dim).collect();
+    let mut interrupted = None;
 
     for _ in 0..iterations {
+        if let Err(i) = deadline.check("coord::sweep") {
+            interrupted = Some(i);
+            break;
+        }
         order.shuffle(&mut rng);
         let mut improved = false;
         for &k in &order {
@@ -53,7 +65,7 @@ pub fn run(
             }
         }
     }
-    (phi, history)
+    (phi, history, interrupted)
 }
 
 /// The cost of the search's starting point; a failed start reads as

@@ -4,6 +4,8 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+use aserta::{Deadline, Interrupted};
+
 use crate::problem::DelayProblem;
 
 const POPULATION: usize = 10;
@@ -21,19 +23,25 @@ const MUTATION_RATE: f64 = 0.3;
 /// Candidates whose evaluation fails are penalized with an infinite
 /// cost, so selection deterministically breeds past them and a fault
 /// never aborts the search.
+///
+/// `deadline` is checked once per generation (stage
+/// `"genetic::generation"`); an exhausted budget stops the breeding and
+/// returns the best genome bred so far with the typed [`Interrupted`]
+/// alongside.
 pub fn run(
     problem: &mut DelayProblem<'_>,
     generations: usize,
     initial_step: f64,
     seed: u64,
-) -> (Vec<f64>, Vec<f64>) {
+    deadline: &Deadline,
+) -> (Vec<f64>, Vec<f64>, Option<Interrupted>) {
     let dim = problem.dim();
     if dim == 0 {
         let cost = problem
             .try_evaluate_phi(&[])
             .map(|c| c.cost)
             .unwrap_or(f64::INFINITY);
-        return (Vec::new(), vec![cost]);
+        return (Vec::new(), vec![cost], None);
     }
     let mut rng = StdRng::seed_from_u64(seed);
 
@@ -55,7 +63,12 @@ pub fn run(
         .collect();
 
     let mut history = vec![best_of(&population).1];
+    let mut interrupted = None;
     for _ in 0..generations {
+        if let Err(i) = deadline.check("genetic::generation") {
+            interrupted = Some(i);
+            break;
+        }
         // Breed the full brood against the current generation…
         let mut brood: Vec<Vec<f64>> = Vec::with_capacity(POPULATION - 1);
         while brood.len() + 1 < POPULATION {
@@ -90,7 +103,7 @@ pub fn run(
         history.push(best_of(&population).1);
     }
     let (genes, _) = best_of(&population).clone();
-    (genes, history)
+    (genes, history, interrupted)
 }
 
 /// Failed evaluations count as infinitely bad — a deterministic penalty

@@ -16,7 +16,7 @@ pub mod coord;
 pub mod genetic;
 pub mod sqp;
 
-use aserta::AsertaConfig;
+use aserta::{AsertaConfig, Deadline};
 use ser_cells::Library;
 use ser_netlist::Circuit;
 use serde::{Deserialize, Serialize};
@@ -26,7 +26,7 @@ use crate::baseline::size_for_speed;
 use crate::cost::{CostWeights, EnergyModel};
 use crate::matching::MatchingConfig;
 use crate::problem::{DelayProblem, EvalStrategy};
-use crate::result::Outcome;
+use crate::result::{Outcome, Termination};
 
 /// Which search algorithm drives the Eq. 5 minimization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -115,6 +115,32 @@ pub fn optimize_circuit(
     library: &mut Library,
     cfg: &OptimizerConfig,
 ) -> Outcome {
+    optimize_circuit_with_budget(circuit, library, cfg, &Deadline::none())
+}
+
+/// [`optimize_circuit`] under a cooperative execution budget.
+///
+/// The `deadline` (wall clock and/or [`CancelToken`](aserta::CancelToken))
+/// is checked at every search-loop boundary — per SQP iteration,
+/// coordinate-descent sweep, annealing move and genetic generation. When
+/// it expires the search stops where it stands and the returned
+/// [`Outcome`] carries the best assignment found so far with
+/// [`Outcome::termination`] set to [`Termination::Interrupted`]; the
+/// result is always consistent because the same best-vs-zero-vs-baseline
+/// re-validation runs as for a completed search (a bounded amount of
+/// post-budget work, at worst two cost evaluations). The baseline
+/// speed-sizing pass and the initial `P_ij` estimate run before the
+/// first checkpoint, so an already-expired budget still yields a usable
+/// baseline-quality outcome rather than an error.
+///
+/// `Deadline` holds live wall-clock state, which is why it is a separate
+/// argument and not part of the serializable [`OptimizerConfig`].
+pub fn optimize_circuit_with_budget(
+    circuit: &Circuit,
+    library: &mut Library,
+    cfg: &OptimizerConfig,
+    deadline: &Deadline,
+) -> Outcome {
     let matching = MatchingConfig::new(cfg.allowed.clone());
     let baseline_cells = size_for_speed(
         circuit,
@@ -134,20 +160,35 @@ pub fn optimize_circuit(
     );
     problem.strategy = cfg.eval;
     problem.threads = cfg.threads;
-    let (best_phi, history) = match cfg.algorithm {
-        Algorithm::Sqp => sqp::run(&mut problem, cfg.iterations, cfg.initial_step, cfg.seed),
-        Algorithm::CoordinateDescent => {
-            coord::run(&mut problem, cfg.iterations, cfg.initial_step, cfg.seed)
-        }
+    let (best_phi, history, interrupted) = match cfg.algorithm {
+        Algorithm::Sqp => sqp::run(
+            &mut problem,
+            cfg.iterations,
+            cfg.initial_step,
+            cfg.seed,
+            deadline,
+        ),
+        Algorithm::CoordinateDescent => coord::run(
+            &mut problem,
+            cfg.iterations,
+            cfg.initial_step,
+            cfg.seed,
+            deadline,
+        ),
         Algorithm::Anneal => anneal::run(
             &mut problem,
             cfg.iterations * 10,
             cfg.initial_step,
             cfg.seed,
+            deadline,
         ),
-        Algorithm::Genetic => {
-            genetic::run(&mut problem, cfg.iterations, cfg.initial_step, cfg.seed)
-        }
+        Algorithm::Genetic => genetic::run(
+            &mut problem,
+            cfg.iterations,
+            cfg.initial_step,
+            cfg.seed,
+            deadline,
+        ),
     };
     // Guards against library-quantization drift: prefer the re-matched
     // zero move if it beats the search result, and fall back to the
@@ -198,5 +239,6 @@ pub fn optimize_circuit(
         history,
         evaluations: problem.evaluations,
         best_phi: final_phi,
+        termination: interrupted.map_or(Termination::Completed, Termination::Interrupted),
     }
 }

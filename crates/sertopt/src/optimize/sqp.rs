@@ -17,6 +17,8 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+use aserta::{Deadline, Interrupted};
+
 use crate::problem::DelayProblem;
 
 /// Coordinate count above which SPSA replaces full finite differences.
@@ -25,16 +27,21 @@ pub const FD_DIM_LIMIT: usize = 24;
 /// Random probes tried when the gradient reads zero (plateau escape).
 const PLATEAU_PROBES: usize = 6;
 
-/// Runs the search; returns `(best_phi, cost_history)`.
+/// Runs the search; returns `(best_phi, cost_history, interrupted)`.
+///
+/// `deadline` is checked once per iteration (stage `"sqp::iteration"`);
+/// an exhausted budget stops the search and returns the best-so-far
+/// point with the typed [`Interrupted`] alongside.
 pub fn run(
     problem: &mut DelayProblem<'_>,
     iterations: usize,
     initial_step: f64,
     seed: u64,
-) -> (Vec<f64>, Vec<f64>) {
+    deadline: &Deadline,
+) -> (Vec<f64>, Vec<f64>, Option<Interrupted>) {
     let dim = problem.dim();
     if dim == 0 {
-        return (Vec::new(), vec![start_cost(problem, &[])]);
+        return (Vec::new(), vec![start_cost(problem, &[])], None);
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut phi = vec![0.0f64; dim];
@@ -42,8 +49,13 @@ pub fn run(
     let mut best_cost = start_cost(problem, &phi);
     let mut history = vec![best_cost];
     let mut step = initial_step;
+    let mut interrupted = None;
 
     for _ in 0..iterations {
+        if let Err(i) = deadline.check("sqp::iteration") {
+            interrupted = Some(i);
+            break;
+        }
         // Probe at the full step scale so quantization boundaries are
         // crossed (see module docs).
         let h = step;
@@ -118,7 +130,7 @@ pub fn run(
         }
         history.push(best_cost);
     }
-    (best_phi, history)
+    (best_phi, history, interrupted)
 }
 
 /// The cost of the search's starting point; a failed start reads as

@@ -1,9 +1,31 @@
 //! The packaged result of one SERTOPT run — everything a Table 1 row
 //! needs.
 
-use aserta::CircuitCells;
+use aserta::{CircuitCells, Interrupted};
 
 use crate::cost::CostBreakdown;
+
+/// How the search loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum Termination {
+    /// The search ran its full course (iteration budget exhausted or the
+    /// step converged below its floor).
+    #[default]
+    Completed,
+    /// The execution budget ([`Deadline`](aserta::Deadline)) interrupted
+    /// the search at the recorded checkpoint; the [`Outcome`] carries the
+    /// best assignment found up to that point, re-validated by the same
+    /// never-regress guard as a completed run.
+    Interrupted(Interrupted),
+}
+
+impl Termination {
+    /// Whether the search was cut short by its execution budget.
+    pub fn was_interrupted(&self) -> bool {
+        matches!(self, Termination::Interrupted(_))
+    }
+}
 
 /// Outcome of [`optimize_circuit`](crate::optimize_circuit).
 #[derive(Debug, Clone)]
@@ -24,6 +46,9 @@ pub struct Outcome {
     pub evaluations: usize,
     /// The winning tension-space point.
     pub best_phi: Vec<f64>,
+    /// Whether the search completed or its execution budget cut it
+    /// short (in which case the fields above are the best-so-far state).
+    pub termination: Termination,
 }
 
 impl Outcome {
@@ -101,6 +126,7 @@ mod tests {
             history: vec![2.0, 1.5],
             evaluations: 10,
             best_phi: vec![],
+            termination: Termination::default(),
         }
     }
 

@@ -1,0 +1,144 @@
+//! Deadline/budget-governed optimization guarantees:
+//!
+//! * an unbounded budget is bitwise identical to the plain entry point;
+//! * an already-expired budget (or a cancelled token) stops every
+//!   algorithm at its first loop checkpoint, returning a typed
+//!   [`Termination::Interrupted`] with the algorithm's stage name;
+//! * an interrupted outcome is still consistent: the never-regress guard
+//!   ran, so the returned assignment is at least baseline quality.
+
+use std::time::Duration;
+
+use aserta::{CancelToken, Deadline};
+use ser_cells::{CharGrids, Library};
+use ser_netlist::generate;
+use ser_netlist::govern::InterruptReason;
+use ser_spice::Technology;
+use sertopt::{
+    optimize_circuit, optimize_circuit_with_budget, Algorithm, AllowedParams, OptimizerConfig,
+    Outcome, Termination,
+};
+
+const ALL: [Algorithm; 4] = [
+    Algorithm::Sqp,
+    Algorithm::CoordinateDescent,
+    Algorithm::Anneal,
+    Algorithm::Genetic,
+];
+
+fn lib() -> Library {
+    Library::new(Technology::ptm70(), CharGrids::coarse())
+}
+
+fn cfg(algorithm: Algorithm) -> OptimizerConfig {
+    let mut cfg = OptimizerConfig::fast();
+    cfg.algorithm = algorithm;
+    cfg.iterations = 3;
+    cfg.allowed = AllowedParams::tiny();
+    cfg.aserta.sensitization_vectors = 256;
+    cfg.threads = 1;
+    cfg
+}
+
+fn run_governed(cfg: &OptimizerConfig, deadline: &Deadline) -> Outcome {
+    let circuit = generate::c17();
+    let mut library = lib();
+    optimize_circuit_with_budget(&circuit, &mut library, cfg, deadline)
+}
+
+fn stage_of(algorithm: Algorithm) -> &'static str {
+    match algorithm {
+        Algorithm::Sqp => "sqp::iteration",
+        Algorithm::CoordinateDescent => "coord::sweep",
+        Algorithm::Anneal => "anneal::move",
+        Algorithm::Genetic => "genetic::generation",
+    }
+}
+
+#[test]
+fn unbounded_budget_matches_plain_entry_point_bitwise() {
+    for algorithm in ALL {
+        let c = cfg(algorithm);
+        let circuit = generate::c17();
+        let mut library = lib();
+        let plain = optimize_circuit(&circuit, &mut library, &c);
+        let governed = run_governed(&c, &Deadline::none());
+        assert_eq!(plain.history, governed.history, "{algorithm:?}: history");
+        assert_eq!(plain.best_phi, governed.best_phi, "{algorithm:?}: phi");
+        assert_eq!(
+            plain.optimized.unreliability, governed.optimized.unreliability,
+            "{algorithm:?}: U"
+        );
+        assert_eq!(
+            plain.optimized_cells, governed.optimized_cells,
+            "{algorithm:?}: cells"
+        );
+        assert_eq!(
+            governed.termination,
+            Termination::Completed,
+            "{algorithm:?}: unbounded budgets never interrupt"
+        );
+        assert!(!governed.termination.was_interrupted());
+    }
+}
+
+#[test]
+fn expired_budget_interrupts_every_algorithm_at_its_checkpoint() {
+    for algorithm in ALL {
+        let c = cfg(algorithm);
+        let out = run_governed(&c, &Deadline::within(Duration::ZERO));
+        let Termination::Interrupted(i) = out.termination else {
+            panic!("{algorithm:?}: an expired budget must interrupt the search");
+        };
+        assert_eq!(i.stage, stage_of(algorithm), "{algorithm:?}: stage name");
+        assert_eq!(i.reason, InterruptReason::DeadlineExpired, "{algorithm:?}");
+        // Best-so-far state is still a consistent, validated outcome:
+        // the never-regress guard ran after the interruption, so the
+        // returned assignment cannot be worse than the baseline.
+        assert!(
+            out.optimized.cost <= out.baseline.cost,
+            "{algorithm:?}: interrupted outcome regressed below the baseline"
+        );
+        assert!(out.optimized.cost.is_finite(), "{algorithm:?}");
+        assert!(
+            !out.history.is_empty(),
+            "{algorithm:?}: the starting point is always recorded"
+        );
+        assert_eq!(
+            out.best_phi.len(),
+            out.best_phi.iter().filter(|p| p.is_finite()).count(),
+            "{algorithm:?}: best-so-far phi is finite"
+        );
+    }
+}
+
+#[test]
+fn cancelled_token_interrupts_with_a_typed_reason() {
+    let token = CancelToken::new();
+    token.cancel();
+    let c = cfg(Algorithm::Sqp);
+    let out = run_governed(&c, &Deadline::none().with_token(token));
+    let Termination::Interrupted(i) = out.termination else {
+        panic!("a cancelled token must interrupt the search");
+    };
+    assert_eq!(i.reason, InterruptReason::Cancelled);
+    assert_eq!(i.stage, "sqp::iteration");
+    assert!(out.optimized.cost <= out.baseline.cost);
+}
+
+#[test]
+fn generous_budget_completes_and_matches_unbounded_bitwise() {
+    // An hour-scale budget never fires on a c17-sized search, so the
+    // governed run must be indistinguishable from the unbounded one.
+    let c = cfg(Algorithm::CoordinateDescent);
+    let unbounded = run_governed(&c, &Deadline::none());
+    let generous = run_governed(&c, &Deadline::within(Duration::from_secs(3600)));
+    assert_eq!(generous.termination, Termination::Completed);
+    assert_eq!(unbounded.history, generous.history);
+    assert_eq!(unbounded.best_phi, generous.best_phi);
+    assert_eq!(
+        unbounded.optimized.unreliability,
+        generous.optimized.unreliability
+    );
+    assert_eq!(unbounded.optimized_cells, generous.optimized_cells);
+}

@@ -10,10 +10,15 @@
 
 use std::fs;
 
-use soft_error::aserta::{analyze_fresh, report, validate, AsertaConfig, CircuitCells};
+use soft_error::aserta::{report, try_analyze_fresh, validate, AsertaConfig, CircuitCells};
 use soft_error::cells::{CharGrids, Library};
 use soft_error::netlist::{bench_format, generate, stats::CircuitStats, Circuit};
 use soft_error::spice::Technology;
+
+fn die(context: &str, err: impl std::fmt::Display) -> ! {
+    eprintln!("error: {context}: {err}");
+    std::process::exit(1);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -21,10 +26,15 @@ fn main() {
     let do_validate = args.iter().any(|a| a == "--validate");
 
     let circuit: Circuit = if name.ends_with(".bench") {
-        let text = fs::read_to_string(name).expect("readable .bench file");
-        bench_format::parse(&text, name).expect("valid .bench netlist")
+        let text = fs::read_to_string(name).unwrap_or_else(|e| die(&format!("reading {name}"), e));
+        bench_format::parse(&text, name).unwrap_or_else(|e| die(&format!("parsing {name}"), e))
     } else {
-        generate::iscas85(name).expect("an ISCAS'85 name (c17, c432, …) or a .bench path")
+        generate::iscas85(name).unwrap_or_else(|| {
+            die(
+                "loading circuit",
+                format!("`{name}` is not an ISCAS'85 name (c17, c432, …) or a .bench path"),
+            )
+        })
     };
 
     println!("{}", CircuitStats::compute_fast(&circuit));
@@ -36,7 +46,8 @@ fn main() {
 
     let (rep, secs) = {
         let t0 = std::time::Instant::now();
-        let r = analyze_fresh(&circuit, &cells, &mut library, &cfg);
+        let r = try_analyze_fresh(&circuit, &cells, &mut library, &cfg)
+            .unwrap_or_else(|e| die(&format!("analyzing {name}"), e));
         (r, t0.elapsed().as_secs_f64())
     };
     println!("\nASERTA finished in {secs:.2} s");

@@ -11,6 +11,11 @@ use soft_error::netlist::GateKind;
 use soft_error::spice::units::{FC, FF, PS};
 use soft_error::spice::Technology;
 
+fn die(context: &str, err: impl std::fmt::Display) -> ! {
+    eprintln!("error: {context}: {err}");
+    std::process::exit(1);
+}
+
 fn main() {
     let path = std::env::args()
         .nth(1)
@@ -59,8 +64,10 @@ fn main() {
     );
     println!("  leakage power    = {:.2} nW", cell.leak_power * 1e9);
 
-    library.save(&path).expect("writable output path");
-    let reloaded = Library::load(&path).expect("file we just wrote parses");
+    library
+        .save(&path)
+        .unwrap_or_else(|e| die(&format!("saving {path}"), e));
+    let reloaded = Library::load(&path).unwrap_or_else(|e| die(&format!("reloading {path}"), e));
     println!(
         "\nsaved {} cells to {path} and reloaded {} — round trip OK",
         library.len(),

@@ -40,7 +40,10 @@ fn main() {
     // session boots from) so neither engine times first-touch cell
     // characterization.
     let mut library = Library::new(Technology::ptm70(), CharGrids::coarse());
-    soft_error::aserta::analyze_fresh(&circuit, &base, &mut library, &cfg);
+    if let Err(e) = soft_error::aserta::try_analyze_fresh(&circuit, &base, &mut library, &cfg) {
+        eprintln!("error: warming the library: {e}");
+        std::process::exit(1);
+    }
     sweep_fresh(&circuit, &base, &mut library, &cfg, &corners);
     let session_library = library.clone();
 

@@ -24,6 +24,11 @@ use soft_error::netlist::{generate, topo};
 use soft_error::sertopt::{optimize_circuit, Algorithm, AllowedParams, OptimizerConfig};
 use soft_error::spice::Technology;
 
+fn die(context: &str, err: impl std::fmt::Display) -> ! {
+    eprintln!("error: {context}: {err}");
+    std::process::exit(1);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let name = args.get(1).map(String::as_str).unwrap_or("c432");
@@ -34,7 +39,12 @@ fn main() {
         _ => Algorithm::Sqp,
     };
 
-    let circuit = generate::iscas85(name).expect("an ISCAS'85 benchmark name");
+    let circuit = generate::iscas85(name).unwrap_or_else(|| {
+        die(
+            "loading circuit",
+            format!("`{name}` is not an ISCAS'85 benchmark name"),
+        )
+    });
     let mut library = Library::new(Technology::ptm70(), CharGrids::standard());
     let mut cfg = OptimizerConfig {
         algorithm: algo,
@@ -74,7 +84,9 @@ fn main() {
     let levels = topo::levels_from_inputs(&circuit);
     let mut by_level: BTreeMap<usize, (usize, usize)> = BTreeMap::new();
     for g in circuit.gates() {
-        let p = outcome.optimized_cells.get(g).expect("gate params");
+        let Some(p) = outcome.optimized_cells.get(g) else {
+            continue; // the optimizer assigns every gate; skip defensively
+        };
         let entry = by_level.entry(levels[g.index()]).or_default();
         entry.0 += 1;
         if p.vdd < 1.0 || p.vth > 0.2 || p.l_nm > 70.0 {
@@ -90,17 +102,22 @@ fn main() {
     // persistent AnalysisSession one gate at a time. Each apply() scopes
     // recomputation to the cones/rows the delta invalidates — this is
     // exactly what the optimizer's inner loop does per candidate move.
-    let mut session = AnalysisSession::new(
+    let mut session = AnalysisSession::try_new(
         &circuit,
         outcome.baseline_cells.clone(),
         library.clone(),
         cfg.aserta.clone(),
-    );
+    )
+    .unwrap_or_else(|e| die("building the replay session", e));
     println!("\nsession replay (gate deltas baseline -> optimized):");
     let (mut moves, mut rows) = (0usize, 0usize);
     for g in circuit.gates() {
-        let p = *outcome.optimized_cells.get(g).expect("gate params");
-        let stats = session.apply(&[(g, p)]);
+        let Some(&p) = outcome.optimized_cells.get(g) else {
+            continue;
+        };
+        let stats = session
+            .try_apply(&[(g, p)])
+            .unwrap_or_else(|e| die("replaying a gate delta", e));
         if stats.gates_changed > 0 {
             moves += 1;
             rows += stats.rows_recomputed;

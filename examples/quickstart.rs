@@ -4,11 +4,16 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use soft_error::aserta::{analyze_fresh, AsertaConfig, CircuitCells};
+use soft_error::aserta::{try_analyze_fresh, AsertaConfig, CircuitCells};
 use soft_error::cells::{CharGrids, Library};
 use soft_error::netlist::generate;
 use soft_error::sertopt::{optimize_circuit, OptimizerConfig};
 use soft_error::spice::Technology;
+
+fn die(context: &str, err: impl std::fmt::Display) -> ! {
+    eprintln!("error: {context}: {err}");
+    std::process::exit(1);
+}
 
 fn main() {
     // 1. A circuit: the exact ISCAS'85 c17 (six NAND gates).
@@ -26,7 +31,8 @@ fn main() {
 
     // 3. ASERTA: how soft is the nominal circuit?
     let cells = CircuitCells::nominal(&circuit);
-    let report = analyze_fresh(&circuit, &cells, &mut library, &AsertaConfig::default());
+    let report = try_analyze_fresh(&circuit, &cells, &mut library, &AsertaConfig::default())
+        .unwrap_or_else(|e| die("analyzing c17", e));
     println!(
         "unreliability U = {:.3e} (size x seconds of latched glitch)",
         report.unreliability

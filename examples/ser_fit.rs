@@ -17,7 +17,10 @@ use soft_error::spice::Technology;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "c432".to_owned());
-    let circuit = generate::iscas85(&name).expect("an ISCAS'85 benchmark name");
+    let circuit = generate::iscas85(&name).unwrap_or_else(|| {
+        eprintln!("error: loading circuit: `{name}` is not an ISCAS'85 benchmark name");
+        std::process::exit(1);
+    });
     let mut library = Library::new(Technology::ptm70(), CharGrids::standard());
     let cfg = AsertaConfig::default();
     let model = SerModel::default();

@@ -146,11 +146,9 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
             "critical_path_s": rep.timing.critical_path_delay(&circuit),
             "gates": per_gate,
         });
-        fs::write(
-            path,
-            serde_json::to_string_pretty(&doc).expect("serializable"),
-        )
-        .map_err(|e| format!("writing {path}: {e}"))?;
+        let text = serde_json::to_string_pretty(&doc)
+            .map_err(|e| format!("serializing the JSON report: {e}"))?;
+        fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
         println!("\nwrote {path}");
     }
     Ok(())

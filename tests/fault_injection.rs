@@ -12,6 +12,12 @@
 //! 3. recovery works: `recover`/`recover_with` restores a clean state
 //!    whose subsequent results are bitwise identical to the twin's.
 //!
+//! The persistence and budget hooks extend the same contract to I/O and
+//! time: a torn snapshot write never replaces the target file, corrupted
+//! reads are typed decode rejections, and an injected deadline at any
+//! budget checkpoint is either a clean entry rejection or an explicit
+//! poisoning — never a torn in-between.
+//!
 //! Build with `cargo test --features fail-points`; without the feature
 //! this file compiles to nothing and the hooks cost zero in production.
 
@@ -19,10 +25,14 @@
 
 use ser_bench::corners::{try_sweep_session, CornerGrid, SweepError};
 use soft_error::aserta::{
-    AnalysisError, AnalysisSession, AsertaConfig, CircuitCells, PoisonReason,
+    AnalysisError, AnalysisSession, AsertaConfig, CircuitCells, Deadline, DegradationEvent,
+    PoisonReason, SessionSnapshot, SessionSnapshotError,
 };
 use soft_error::cells::{CharGrids, Library};
 use soft_error::netlist::failpoint::{self, FailAction};
+use soft_error::netlist::generate::TiledSpec;
+use soft_error::netlist::govern::InterruptReason;
+use soft_error::netlist::snapshot::SnapshotError;
 use soft_error::netlist::{generate, Circuit, NodeId};
 use soft_error::sertopt::matching::MatchingConfig;
 use soft_error::sertopt::{AllowedParams, CostWeights, DelayProblem, EnergyModel, EvalError};
@@ -390,13 +400,263 @@ fn corner_faults_and_panics_are_contained_per_corner() {
     }
 }
 
+// ------------------------------------------------- snapshot: persistence I/O
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sersnap-fi-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// `snapshot::torn_write` — a crash mid-write leaves only a torn
+/// temporary file: the target keeps its previous good image, the torn
+/// bytes never decode, and a retry after the fault lands a snapshot that
+/// restores bitwise.
+#[test]
+fn torn_snapshot_write_never_replaces_the_target() {
+    let circuit = generate::c17();
+    let (session, _twin) = session_pair(&circuit);
+    let dir = temp_dir("torn");
+    let path = dir.join("c17.sersnap");
+
+    session.snapshot_to(&path).expect("clean write");
+    let good = std::fs::read(&path).expect("target exists");
+
+    let _guard = failpoint::scenario();
+    failpoint::set_times("snapshot::torn_write", FailAction::Error, 1);
+    let err = session.snapshot_to(&path).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            SessionSnapshotError::Codec(SnapshotError::FaultInjected("snapshot::torn_write"))
+        ),
+        "{err}"
+    );
+    assert_eq!(failpoint::hits("snapshot::torn_write"), 1);
+    assert_eq!(
+        std::fs::read(&path).expect("target still exists"),
+        good,
+        "a torn write must never replace the target"
+    );
+    // The half-written temporary is not a decodable snapshot.
+    if let Ok(torn) = std::fs::read(dir.join("c17.sersnap.tmp")) {
+        assert!(SessionSnapshot::from_bytes(&torn).is_err());
+    }
+
+    // Disarmed: the retry succeeds and the image restores bitwise.
+    session.snapshot_to(&path).expect("disarmed");
+    let snap = SessionSnapshot::read_file(&path).expect("read back");
+    let restored = AnalysisSession::restore_from(&snap).expect("restore");
+    assert_eq!(snapshot(&session), snapshot(&restored));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `snapshot::short_read` and `snapshot::crc_flip` — I/O corruption on
+/// the read path surfaces as typed decode rejections; once the fault
+/// clears, the same file restores bitwise.
+#[test]
+fn short_reads_and_bit_rot_are_typed_decode_rejections() {
+    let circuit = generate::c17();
+    let (session, _twin) = session_pair(&circuit);
+    let dir = temp_dir("rot");
+    let path = dir.join("c17.sersnap");
+    session.snapshot_to(&path).expect("clean write");
+
+    let _guard = failpoint::scenario();
+    failpoint::set_times("snapshot::short_read", FailAction::Error, 1);
+    let err = SessionSnapshot::read_file(&path).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            SnapshotError::Truncated { .. } | SnapshotError::CrcMismatch { .. }
+        ),
+        "a short read must be a typed rejection, got {err}"
+    );
+    assert_eq!(failpoint::hits("snapshot::short_read"), 1);
+
+    failpoint::set_times("snapshot::crc_flip", FailAction::Error, 1);
+    let err = SessionSnapshot::read_file(&path).unwrap_err();
+    assert!(
+        matches!(err, SnapshotError::CrcMismatch { .. }),
+        "bit rot must trip a section CRC, got {err}"
+    );
+    assert_eq!(failpoint::hits("snapshot::crc_flip"), 1);
+
+    // Disarmed: the untouched file on disk is still perfectly good.
+    let snap = SessionSnapshot::read_file(&path).expect("disarmed");
+    let restored = AnalysisSession::restore_from(&snap).expect("restore");
+    assert_eq!(snapshot(&session), snapshot(&restored));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ------------------------------------------------ govern: deadline injection
+
+/// `govern::deadline` — walks the injected interruption through *every*
+/// budget checkpoint a mutation crosses, in order: checkpoint 0 is the
+/// clean entry rejection (session bitwise intact), every later one is a
+/// mid-recompute poisoning, and in both cases the session lands bitwise
+/// on a fault-free twin after retry/recovery.
+#[test]
+fn deadline_at_every_checkpoint_is_typed_and_recoverable() {
+    let circuit = generate::c17();
+    let g = first_gate(&circuit);
+    let delta = upsize(&circuit, g);
+    let mut k = 0usize;
+    loop {
+        let (mut session, mut twin) = session_pair(&circuit);
+
+        let _guard = failpoint::scenario();
+        failpoint::set_after("govern::deadline", FailAction::Error, k, 1);
+        let result = session.try_apply(&[(g, delta.clone())]);
+        if failpoint::hits("govern::deadline") == 0 {
+            // The call crossed fewer than k+1 checkpoints and ran clean.
+            result.expect("unarmed run succeeds");
+            assert!(
+                k >= 3,
+                "expected an entry checkpoint plus several stage checkpoints, found only {k}"
+            );
+            break;
+        }
+
+        match result.unwrap_err() {
+            // Checkpoint 0: the entry check refuses before any mutation.
+            AnalysisError::Interrupted(i) => {
+                assert_eq!(i.stage, "session::entry", "checkpoint {k}");
+                assert_eq!(i.reason, InterruptReason::Injected);
+                assert!(!session.is_poisoned(), "entry rejection must not poison");
+                // The exhausted fail point lets the retry through.
+                session.try_apply(&[(g, delta.clone())]).expect("retry");
+            }
+            // Later checkpoints: stage boundaries inside the recompute
+            // poison (caches are partially updated there).
+            AnalysisError::Poisoned(PoisonReason::Interrupted(i)) => {
+                assert!(
+                    i.stage.starts_with("session::"),
+                    "checkpoint {k}: unexpected stage {}",
+                    i.stage
+                );
+                assert!(session.is_poisoned());
+                session.recover().expect("recovery after interruption");
+            }
+            other => panic!("checkpoint {k}: unexpected error {other:?}"),
+        }
+
+        twin.try_apply(&[(g, delta.clone())])
+            .expect("twin is clean");
+        assert_eq!(
+            snapshot(&session),
+            snapshot(&twin),
+            "checkpoint {k}: session must land bitwise on the twin"
+        );
+        k += 1;
+    }
+}
+
+/// `govern::deadline` during governed construction — interrupting before
+/// any Monte-Carlo block is a typed construction failure; interrupting
+/// after the first block yields a *usable* session whose truncated
+/// estimate is surfaced as a degradation event.
+#[test]
+fn deadline_mid_estimate_truncates_or_rejects_construction() {
+    let circuit = generate::sec32("c499");
+    let lib = Library::new(Technology::ptm70(), CharGrids::coarse());
+    let mut cfg = fast_cfg();
+    // Two 4096-vector estimation blocks, so there is a consistent
+    // boundary to interrupt at.
+    cfg.sensitization_vectors = 8192;
+    let cells = CircuitCells::nominal(&circuit);
+
+    {
+        let _guard = failpoint::scenario();
+        failpoint::set_times("govern::deadline", FailAction::Error, 1);
+        let err = AnalysisSession::try_new_governed(
+            &circuit,
+            cells.clone(),
+            lib.clone(),
+            cfg.clone(),
+            Deadline::none(),
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert!(
+            matches!(err, AnalysisError::Interrupted(_)),
+            "zero completed blocks must reject construction, got {err}"
+        );
+    }
+
+    {
+        let _guard = failpoint::scenario();
+        failpoint::set_after("govern::deadline", FailAction::Error, 1, 1);
+        let session =
+            AnalysisSession::try_new_governed(&circuit, cells, lib, cfg.clone(), Deadline::none())
+                .expect("a partial estimate is still usable");
+        assert_eq!(failpoint::hits("govern::deadline"), 1);
+        let truncated = session.degradations().iter().find_map(|e| match e {
+            DegradationEvent::EstimateTruncated {
+                completed,
+                requested,
+            } => Some((*completed, *requested)),
+            _ => None,
+        });
+        let (completed, requested) =
+            truncated.expect("truncation must surface as a degradation event");
+        assert_eq!(requested, cfg.sensitization_vectors);
+        assert!(
+            completed > 0 && completed < requested,
+            "a consistent partial estimate: {completed}/{requested}"
+        );
+        assert!(session.unreliability().is_finite());
+        assert!(
+            !session.report().degradations.is_empty(),
+            "the report must carry the degradation"
+        );
+    }
+}
+
+// --------------------------------------------------- recovery at 10k scale
+
+/// `aserta::session_recompute` at tiled-10k scale — a poisoning
+/// mid-recompute on a 10 000-gate session recovers via `recover_with`
+/// back to a state bitwise identical to the fresh build (this test also
+/// runs under the CI scaling job's 64 MiB address-space ulimit).
+#[test]
+fn tiled10k_poisoned_session_recovers_bitwise_fresh() {
+    let circuit = generate::tiled(&TiledSpec::scaled("tiled10k", 10_000));
+    let lib = Library::new(Technology::ptm70(), CharGrids::coarse());
+    let mut cfg = AsertaConfig::fast();
+    cfg.sensitization_vectors = 128;
+    let nominal = CircuitCells::nominal(&circuit);
+    let mut session = AnalysisSession::new(&circuit, nominal.clone(), lib, cfg);
+    let fresh = snapshot(&session);
+
+    let g = first_gate(&circuit);
+    let delta = upsize(&circuit, g);
+    let _guard = failpoint::scenario();
+    failpoint::set_times("aserta::session_recompute", FailAction::Error, 1);
+    let err = session.try_apply(&[(g, delta)]).unwrap_err();
+    assert!(matches!(err, AnalysisError::Poisoned(_)));
+    assert!(session.is_poisoned());
+
+    // Recover *with* the original nominal assignment: the rebuild must
+    // land bitwise on the fresh-construction state.
+    session
+        .recover_with(nominal)
+        .expect("recovery at 10k gates");
+    assert!(!session.is_poisoned());
+    assert_eq!(
+        snapshot(&session),
+        fresh,
+        "recover_with must be bitwise-fresh at scale"
+    );
+}
+
 // ------------------------------------------------------------ meta coverage
 
 /// The harness above must exercise every fail point the workspace
 /// declares — grep-level insurance that a new hook gets a test.
 #[test]
 fn harness_covers_all_declared_fail_points() {
-    const COVERED: [&str; 9] = [
+    const COVERED: [&str; 13] = [
         "aserta::set_charge",
         "aserta::resample_rows",
         "aserta::session_recompute",
@@ -406,6 +666,10 @@ fn harness_covers_all_declared_fail_points() {
         "sertopt::match_refine",
         "sertopt::replica_evaluate",
         "ser_bench::corner_eval",
+        "snapshot::torn_write",
+        "snapshot::short_read",
+        "snapshot::crc_flip",
+        "govern::deadline",
     ];
     assert!(COVERED.len() >= 8, "ISSUE floor: at least 8 fail points");
     // Each name must actually be armable and consumable.
