@@ -25,7 +25,7 @@ use ser_spice::units::{FF, PS};
 use ser_spice::{GateParams, Technology};
 use sertopt::nullspace::{exact_nullspace, TensionSpace};
 use sertopt::topology::TopologyMatrix;
-use sertopt::{optimize_circuit, Algorithm, AllowedParams, OptimizerConfig};
+use sertopt::{optimize, Algorithm, AllowedParams, OptimizeRequest, OptimizerConfig};
 
 fn main() {
     let tech = Technology::ptm70();
@@ -173,7 +173,7 @@ fn ablate_optimizers() {
         cfg.iterations = 8;
         cfg.allowed = AllowedParams::table1_dual();
         cfg.aserta.sensitization_vectors = 1024;
-        let o = optimize_circuit(&circuit, &mut library, &cfg);
+        let o = optimize(&circuit, &mut library, &OptimizeRequest::new(cfg));
         println!(
             "{:<18} {:>7.1}% {:>6.2}X {:>6.2}X {:>9}",
             format!("{algo:?}"),

@@ -27,6 +27,13 @@
 //!   redundant). The restored session is bitwise-verified against the
 //!   live one by construction, so the ratio is pure persistence win.
 //!
+//! A separate top-level `serve` section times the `ser-serve` daemon
+//! path on layered1k: requests/sec through an in-process daemon whose
+//! pooled warm session answers charge-delta analyze requests, against a
+//! fresh builder session per request. Under `--gate` the warm speedup
+//! is held to an **absolute** floor ([`SERVE_SPEEDUP_FLOOR`]), not a
+//! baseline ratio — the section is new and self-judging.
+//!
 //! ```text
 //! cargo run --release -p ser-bench --bin perf_snapshot -- \
 //!     [--smoke] [--gate] [--scaling] [--out PATH] [--baseline PATH] \
@@ -65,9 +72,11 @@ use ser_logicsim::sensitize::{
 };
 use ser_netlist::generate::{self, LayeredSpec, TiledSpec};
 use ser_netlist::Circuit;
+use ser_serve::api::AnalyzeResult;
+use ser_serve::{serve, CircuitSource, Client, GridKind, Listen, Request, Response, ServerConfig};
 use ser_spice::Technology;
 use serde_json::Value;
-use sertopt::{Algorithm, AllowedParams, EvalStrategy, OptimizerConfig};
+use sertopt::{Algorithm, AllowedParams, EvalStrategy, OptimizeRequest, OptimizerConfig};
 
 /// Fixed seed shared by every stochastic estimate in the snapshot.
 const SEED: u64 = 0xBE7C;
@@ -121,6 +130,15 @@ const TIMED_KEYS: [&str; 8] = [
     "snapshot_restore_s",
 ];
 
+/// Hard floor on the warm-daemon speedup over fresh-per-request
+/// analysis on layered1k under `--gate`. **Absolute**, not
+/// baseline-relative: the daemon's entire reason to exist is that a
+/// pooled warm session answers a charge-delta request without
+/// rebuilding the session (and re-running the Monte-Carlo `P_ij`
+/// estimate), so a ratio below this means the pool stopped serving
+/// warm.
+const SERVE_SPEEDUP_FLOOR: f64 = 5.0;
+
 /// Allowed additive increase of the fitted log-log `analyze_fresh` slope
 /// over the baseline's before the scaling gate fails. A slope step of
 /// this size means super-linear growth crept in (e.g. an accidental
@@ -165,6 +183,7 @@ fn main() {
         rows.push(row);
     }
     let scaling_doc = scaling_mode.then(|| measure_scaling(smoke));
+    let serve_doc = measure_serve(smoke);
 
     // An explicit --baseline is embedded in the document; the committed
     // smoke baseline is only *printed* (embedding it would nest forever
@@ -192,6 +211,23 @@ fn main() {
             regressions.extend(print_scaling_comparison(base, run_scaling));
         }
     }
+    // The serve section judges itself against an absolute floor rather
+    // than the committed baseline (which predates it), so a stale
+    // baseline can never mask a dead warm path.
+    if gate {
+        match num(&serve_doc, "warm_speedup") {
+            Some(s) if s >= SERVE_SPEEDUP_FLOOR => {
+                println!(
+                    "serve gate: warm speedup {s:.1}x (absolute floor {SERVE_SPEEDUP_FLOOR}x)"
+                );
+            }
+            Some(s) => regressions.push(format!(
+                "serve: warm-daemon speedup {s:.2}x below the absolute {SERVE_SPEEDUP_FLOOR}x floor"
+            )),
+            None => regressions
+                .push("serve: warm_speedup missing — the serve section stopped measuring".into()),
+        }
+    }
 
     let mut doc: Vec<(String, Value)> = vec![
         ("snapshot".into(), serde_json::to_value(&"pr7")),
@@ -200,6 +236,7 @@ fn main() {
         ("vectors".into(), serde_json::to_value(&(vectors as u64))),
         ("reps".into(), serde_json::to_value(&(reps as u64))),
         ("circuits".into(), Value::Array(rows)),
+        ("serve".into(), serve_doc),
     ];
     if let Some(s) = scaling_doc {
         doc.push(("scaling".into(), s));
@@ -327,9 +364,11 @@ fn measure_optimize(circuit: &Circuit, smoke: bool) -> Value {
     lib_inc.characterize_spec(&cfg.allowed.library_spec(circuit), 0);
 
     cfg.eval = EvalStrategy::FreshPerMove;
-    let (fresh, fresh_s) = timed(|| sertopt::optimize_circuit(circuit, &mut lib_fresh, &cfg));
+    let (fresh, fresh_s) =
+        timed(|| sertopt::optimize(circuit, &mut lib_fresh, &OptimizeRequest::new(cfg.clone())));
     cfg.eval = EvalStrategy::Incremental;
-    let (inc, inc_s) = timed(|| sertopt::optimize_circuit(circuit, &mut lib_inc, &cfg));
+    let (inc, inc_s) =
+        timed(|| sertopt::optimize(circuit, &mut lib_inc, &OptimizeRequest::new(cfg.clone())));
     assert_eq!(
         fresh.optimized.cost,
         inc.optimized.cost,
@@ -404,7 +443,7 @@ fn measure_corners(circuit: &Circuit, smoke: bool) -> Value {
 /// config, best-of-2 each: `snapshot_restore_s` covers `read_file` +
 /// `restore_from` (decode, CRC checks, re-derivation and the bitwise
 /// verification restore performs by construction), `snapshot_rebuild_s`
-/// covers `try_new` from scratch including the Monte-Carlo `P_ij`
+/// covers a builder `build()` from scratch including the Monte-Carlo `P_ij`
 /// estimate the snapshot makes redundant.
 fn measure_snapshot_restore(circuit: &Circuit, smoke: bool) -> Value {
     let vectors = if smoke { 512 } else { 2048 };
@@ -418,11 +457,13 @@ fn measure_snapshot_restore(circuit: &Circuit, smoke: bool) -> Value {
     // Warm the characterization cache so both paths time their own work.
     checked_analyze(circuit, &cells, &mut lib, &cfg);
 
-    let session = AnalysisSession::try_new(circuit, cells.clone(), lib.clone(), cfg.clone())
+    let session = AnalysisSession::builder(circuit, cells.clone(), lib.clone(), cfg.clone())
+        .build()
         .unwrap_or_else(|e| die(&format!("building session for {}", circuit.name()), e));
     let rebuild_s = best_of(2, || {
         timed(|| {
-            AnalysisSession::try_new(circuit, cells.clone(), lib.clone(), cfg.clone())
+            AnalysisSession::builder(circuit, cells.clone(), lib.clone(), cfg.clone())
+                .build()
                 .unwrap_or_else(|e| die(&format!("rebuilding session for {}", circuit.name()), e))
         })
         .1
@@ -473,6 +514,150 @@ fn measure_snapshot_restore(circuit: &Circuit, smoke: bool) -> Value {
     ])
 }
 
+/// Times the `ser-serve` daemon path on layered1k: boots an in-process
+/// server on a Unix socket, issues analyze requests that differ only in
+/// strike charge (after the first cold build each is a warm-session
+/// delta, since charge is excluded from the pool identity), and
+/// compares per-request wall time against a fresh builder session per
+/// request. Library characterization is warmed outside the clock on
+/// both sides, so the fresh cost is the per-request work a non-resident
+/// caller cannot avoid: the Monte-Carlo `P_ij` estimate plus session
+/// setup. One warm answer is asserted bitwise equal to its fresh
+/// counterpart — the fidelity contract the speedup rides on.
+fn measure_serve(smoke: bool) -> Value {
+    let vectors = if smoke { 512 } else { 2048 };
+    let cfg = AsertaConfig {
+        sensitization_vectors: vectors,
+        seed: SEED,
+        ..AsertaConfig::default()
+    };
+    let spec = LayeredSpec::new("layered1k", 40, 12, 1000);
+    let circuit = generate::layered(&spec);
+    let cells = CircuitCells::nominal(&circuit);
+    // Requests cycle through distinct charges: same session identity, so
+    // every daemon answer after the first is a warm delta, never a
+    // cache replay of an identical request.
+    let charges: Vec<f64> = (0..8)
+        .map(|i| cfg.charge * (1.0 + 0.125 * i as f64))
+        .collect();
+
+    let mut lib = Library::new(Technology::ptm70(), CharGrids::coarse());
+    checked_analyze(&circuit, &cells, &mut lib, &cfg);
+    let fresh_at = |charge: f64| {
+        let mut one = cfg.clone();
+        one.charge = charge;
+        AnalysisSession::builder(&circuit, cells.clone(), lib.clone(), one)
+            .build()
+            .unwrap_or_else(|e| die("building a fresh serve-baseline session", e))
+    };
+    let fresh_reqs = if smoke { 3 } else { 5 };
+    let (_, fresh_total_s) = timed(|| {
+        for i in 0..fresh_reqs {
+            let session = fresh_at(charges[i % charges.len()]);
+            assert!(session.unreliability() > 0.0);
+        }
+    });
+
+    let socket = std::env::temp_dir().join(format!("ser-serve-bench-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let mut server_cfg = ServerConfig::new(Listen::Unix(socket));
+    server_cfg.workers = 1;
+    let handle = serve(server_cfg).unwrap_or_else(|e| die("booting the in-process daemon", e));
+    let mut client =
+        Client::connect(&handle.endpoint()).unwrap_or_else(|e| die("connecting to the daemon", e));
+    let analyze_at = |client: &mut Client, charge: f64| -> AnalyzeResult {
+        let mut one = cfg.clone();
+        one.charge = charge;
+        let request = Request::Analyze {
+            circuit: CircuitSource::Layered {
+                name: spec.name.clone(),
+                inputs: spec.n_inputs as u64,
+                outputs: spec.n_outputs as u64,
+                gates: spec.n_gates as u64,
+                seed: spec.seed,
+            },
+            config: one,
+            grids: GridKind::Coarse,
+            deadline_ms: None,
+        };
+        match client.request(&request) {
+            Ok(Response::Analyzed(result)) => result,
+            Ok(other) => die("analyze request", format!("unexpected response {other:?}")),
+            Err(e) => die("analyze request", e),
+        }
+    };
+
+    // The first request pays the daemon's one cold session build; it is
+    // recorded separately and kept out of the warm clock.
+    let (cold, cold_s) = timed(|| analyze_at(&mut client, charges[0]));
+    let check = fresh_at(charges[0]);
+    assert_eq!(
+        cold.unreliability.to_bits(),
+        check.unreliability().to_bits(),
+        "daemon answer must be bitwise identical to the direct library call"
+    );
+
+    let warm_reqs = if smoke { 24 } else { 48 };
+    let (_, warm_total_s) = timed(|| {
+        for i in 0..warm_reqs {
+            let result = analyze_at(&mut client, charges[i % charges.len()]);
+            assert!(result.unreliability > 0.0);
+        }
+    });
+
+    match client.request(&Request::Shutdown) {
+        Ok(Response::ShuttingDown) => {}
+        Ok(other) => die(
+            "shutting the daemon down",
+            format!("unexpected response {other:?}"),
+        ),
+        Err(e) => die("shutting the daemon down", e),
+    }
+    drop(client);
+    handle.join();
+
+    let fresh_per = fresh_total_s / fresh_reqs as f64;
+    let warm_per = warm_total_s / warm_reqs as f64;
+    eprintln!(
+        "measured serve throughput ({:.0} warm req/s, {:.1}x over fresh-per-request)",
+        1.0 / warm_per,
+        fresh_per / warm_per
+    );
+
+    Value::Object(vec![
+        ("circuit".into(), serde_json::to_value(&"layered1k")),
+        ("vectors".into(), serde_json::to_value(&(vectors as u64))),
+        (
+            "warm_requests".into(),
+            serde_json::to_value(&(warm_reqs as u64)),
+        ),
+        ("warm_total_s".into(), serde_json::to_value(&warm_total_s)),
+        ("warm_per_request_s".into(), serde_json::to_value(&warm_per)),
+        (
+            "warm_requests_per_s".into(),
+            serde_json::to_value(&(1.0 / warm_per)),
+        ),
+        ("cold_first_request_s".into(), serde_json::to_value(&cold_s)),
+        (
+            "fresh_requests".into(),
+            serde_json::to_value(&(fresh_reqs as u64)),
+        ),
+        ("fresh_total_s".into(), serde_json::to_value(&fresh_total_s)),
+        (
+            "fresh_per_request_s".into(),
+            serde_json::to_value(&fresh_per),
+        ),
+        (
+            "fresh_requests_per_s".into(),
+            serde_json::to_value(&(1.0 / fresh_per)),
+        ),
+        (
+            "warm_speedup".into(),
+            serde_json::to_value(&(fresh_per / warm_per)),
+        ),
+    ])
+}
+
 /// Writes a known-good `.sersnap` image of the sec32 reference circuit
 /// at the current format version, then verifies it restores bitwise.
 fn emit_snapshot(path: &str) {
@@ -484,7 +669,8 @@ fn emit_snapshot(path: &str) {
     };
     let cells = CircuitCells::nominal(&circuit);
     let lib = Library::new(Technology::ptm70(), CharGrids::coarse());
-    let session = AnalysisSession::try_new(&circuit, cells, lib, cfg)
+    let session = AnalysisSession::builder(&circuit, cells, lib, cfg)
+        .build()
         .unwrap_or_else(|e| die("building the sample session", e));
     session
         .snapshot_to(path)

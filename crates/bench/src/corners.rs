@@ -232,7 +232,11 @@ pub fn try_sweep_session(
     corners: &[Corner],
     threads: usize,
 ) -> Vec<Result<CornerPoint, SweepError>> {
-    let mut session = AnalysisSession::new(circuit, base.clone(), library, cfg.clone());
+    let mut session =
+        match AnalysisSession::builder(circuit, base.clone(), library, cfg.clone()).build() {
+            Ok(s) => s,
+            Err(e) => panic!("sweep_session: {e}"),
+        };
     let workers = if threads == 0 {
         simulation_threads()
     } else {

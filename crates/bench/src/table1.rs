@@ -9,7 +9,7 @@ use ser_logicsim::sensitize::sensitization_probabilities;
 use ser_netlist::Circuit;
 use ser_spice::circuit_sim::{reference_unreliability, CircuitElectrical, CircuitSimConfig};
 use ser_spice::{Strike, Technology};
-use sertopt::{optimize_circuit, AllowedParams, OptimizerConfig, Outcome};
+use sertopt::{optimize, AllowedParams, OptimizeRequest, OptimizerConfig, Outcome};
 
 /// One circuit's experimental setup, mirroring the paper's table rows.
 #[derive(Debug, Clone)]
@@ -160,7 +160,8 @@ pub fn run_circuit(spec: &CircuitSpec, cfg: &Table1Config, library: &mut Library
     let mut opt_cfg = cfg.optimizer.clone();
     opt_cfg.allowed = spec.allowed.clone();
 
-    let (outcome, secs) = crate::timed(|| optimize_circuit(&circuit, library, &opt_cfg));
+    let (outcome, secs) =
+        crate::timed(|| optimize(&circuit, library, &OptimizeRequest::new(opt_cfg.clone())));
 
     // 50-vector columns: ASERTA with a 50-vector P_ij, and the analog
     // reference, both on baseline and optimized assignments.

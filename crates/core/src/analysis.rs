@@ -95,7 +95,7 @@ pub fn analyze(
 ///
 /// # Errors
 ///
-/// See [`AnalysisSession::try_with_pij`](AnalysisSession::try_with_pij).
+/// See [`SessionBuilder::build`](crate::SessionBuilder::build).
 pub fn try_analyze(
     circuit: &Circuit,
     cells: &CircuitCells,
@@ -113,7 +113,7 @@ pub fn try_analyze(
         })?;
         library.get_or_characterize(p);
     }
-    let session = AnalysisSession::try_with_pij(
+    let session = AnalysisSession::construct(
         circuit,
         cells.clone(),
         library.clone(),
@@ -148,7 +148,7 @@ pub fn analyze_fresh(
 ///
 /// # Errors
 ///
-/// See [`AnalysisSession::try_with_pij`](AnalysisSession::try_with_pij).
+/// See [`SessionBuilder::build`](crate::SessionBuilder::build).
 pub fn try_analyze_fresh(
     circuit: &Circuit,
     cells: &CircuitCells,

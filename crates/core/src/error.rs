@@ -27,6 +27,7 @@
 
 use std::fmt;
 
+use ser_logicsim::engine::EngineConfigError;
 use ser_netlist::govern::Interrupted;
 
 /// Why an [`AnalysisSession`](crate::AnalysisSession) is poisoned.
@@ -121,6 +122,17 @@ pub enum AnalysisError {
     /// The session is poisoned; only
     /// [`recover`](crate::AnalysisSession::recover) is accepted.
     Poisoned(PoisonReason),
+    /// The engine environment overlay
+    /// ([`EngineConfig::from_env`](ser_logicsim::engine::EngineConfig::from_env))
+    /// found a malformed `SER_*` variable while resolving a session
+    /// build; nothing was constructed.
+    Engine(EngineConfigError),
+}
+
+impl From<EngineConfigError> for AnalysisError {
+    fn from(e: EngineConfigError) -> Self {
+        AnalysisError::Engine(e)
+    }
 }
 
 impl fmt::Display for AnalysisError {
@@ -150,6 +162,7 @@ impl fmt::Display for AnalysisError {
             AnalysisError::Poisoned(reason) => {
                 write!(f, "session is poisoned ({reason}); recover() first")
             }
+            AnalysisError::Engine(e) => write!(f, "{e}"),
         }
     }
 }

@@ -73,6 +73,7 @@ pub use binding::{gate_input_ramp, node_load, timing_view, CircuitCells, LoadMod
 pub use config::AsertaConfig;
 pub use electrical::ExpectedWidths;
 pub use error::{AnalysisError, PoisonReason};
+pub use ser_logicsim::engine::{EngineConfig, EngineConfigError};
 pub use ser_netlist::govern::{CancelToken, Deadline, DegradationEvent, Interrupted};
-pub use session::{AnalysisSession, ApplyStats};
+pub use session::{AnalysisSession, ApplyStats, SessionBuilder};
 pub use snapshot::{SessionSnapshot, SessionSnapshotError};

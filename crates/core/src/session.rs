@@ -57,7 +57,9 @@
 //! let c17 = generate::c17();
 //! let lib = Library::new(Technology::ptm70(), CharGrids::coarse());
 //! let mut session =
-//!     AnalysisSession::new(&c17, CircuitCells::nominal(&c17), lib, AsertaConfig::fast());
+//!     AnalysisSession::builder(&c17, CircuitCells::nominal(&c17), lib, AsertaConfig::fast())
+//!         .build()
+//!         .unwrap();
 //! let g = c17.find("10").unwrap();
 //! let mut p = *session.cells().get(g).unwrap();
 //! p.size = 4.0;
@@ -72,9 +74,11 @@
 use std::path::Path;
 
 use ser_cells::{CharacterizedCell, Library};
+use ser_logicsim::engine::EngineConfig;
 use ser_logicsim::probability::static_probabilities_analytic;
 use ser_logicsim::sensitize::{
-    resimulate_rows, sensitization_probabilities, sensitization_probabilities_governed,
+    resimulate_rows, sensitization_probabilities_chunked,
+    sensitization_probabilities_governed_chunked,
 };
 use ser_logicsim::SensitizationMatrix;
 use ser_netlist::csr::CsrView;
@@ -171,55 +175,210 @@ pub struct AnalysisSession<'c> {
     unreliability: f64,
     poison: Option<PoisonReason>,
     deadline: Deadline,
+    engine: EngineConfig,
     degradations: Vec<DegradationEvent>,
     scratch: Scratch,
 }
 
+/// The single construction path for [`AnalysisSession`] — obtained via
+/// [`AnalysisSession::builder`], finished with
+/// [`SessionBuilder::build`].
+///
+/// The builder folds what used to be five constructor entry points
+/// (`new` / `try_new` / `with_pij` / `try_with_pij` /
+/// `try_new_governed`) into one fallible surface:
+///
+/// * [`SessionBuilder::pij`] supplies a precomputed sensitization
+///   matrix (to share one estimate across sessions); without it the
+///   builder runs the Monte-Carlo estimate itself;
+/// * [`SessionBuilder::deadline`] installs a cooperative execution
+///   budget; when the builder estimates `P_ij` the estimate runs
+///   *governed* under it (truncations and memory-governor events are
+///   recorded as [`DegradationEvent`]s, exactly as the former
+///   `try_new_governed`);
+/// * [`SessionBuilder::engine`] pins execution-resource knobs
+///   (threads, chunking, soft memory budget); unset fields fall
+///   through to the strict environment overlay
+///   ([`EngineConfig::from_env`]) and then the built-in defaults —
+///   explicit > env > default. Results are bitwise identical for every
+///   engine setting.
+#[derive(Debug)]
+#[must_use = "a SessionBuilder does nothing until `.build()`"]
+pub struct SessionBuilder<'c> {
+    circuit: &'c Circuit,
+    cells: CircuitCells,
+    library: Library,
+    cfg: AsertaConfig,
+    pij: Option<SensitizationMatrix>,
+    deadline: Option<Deadline>,
+    engine: EngineConfig,
+}
+
+impl<'c> SessionBuilder<'c> {
+    /// Supplies a precomputed sensitization matrix; the builder skips
+    /// its own estimate. The matrix must cover exactly the circuit's
+    /// primary outputs.
+    pub fn pij(mut self, pij: SensitizationMatrix) -> Self {
+        self.pij = Some(pij);
+        self
+    }
+
+    /// Installs a cooperative execution budget. A builder-run `P_ij`
+    /// estimate runs governed under it (see [`AnalysisSession::builder`]);
+    /// the deadline stays installed on the session, so later mutations
+    /// keep honoring it ([`AnalysisSession::set_deadline`]).
+    pub fn deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Pins execution-resource knobs for this build. Unset fields fall
+    /// through to the strict environment overlay and the built-in
+    /// defaults (explicit > env > default).
+    pub fn engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Builds the session: resolves the engine overlay, estimates
+    /// `P_ij` unless one was supplied, runs one full analysis and
+    /// materializes every cache the incremental path serves from.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnalysisError::Engine`] when the environment overlay finds a
+    ///   malformed `SER_*` variable (nothing is constructed);
+    /// * [`AnalysisError::InvalidConfig`] for unusable configuration
+    ///   scalars, or a supplied sensitization matrix that does not
+    ///   cover exactly the circuit's primary outputs;
+    /// * [`AnalysisError::MissingCellParams`] when a gate carries no
+    ///   parameters;
+    /// * [`AnalysisError::InvalidGateParams`] for non-finite or
+    ///   unphysical parameters;
+    /// * [`AnalysisError::BadCell`] when a gate's characterized library
+    ///   cell fails validation (non-finite lookup tables or scalars);
+    /// * [`AnalysisError::Interrupted`] when a deadline expires before
+    ///   even one estimate block completes (there is no partial state
+    ///   worth keeping).
+    pub fn build(self) -> Result<AnalysisSession<'c>, AnalysisError> {
+        validate_config(&self.cfg)?;
+        let engine = self.engine.overlay(&EngineConfig::from_env()?);
+        let (pij, events) = match (self.pij, &self.deadline) {
+            (Some(pij), _) => (pij, Vec::new()),
+            (None, None) => (
+                sensitization_probabilities_chunked(
+                    self.circuit,
+                    self.cfg.sensitization_vectors,
+                    self.cfg.seed,
+                    engine.threads(),
+                    engine.cone_chunk(),
+                ),
+                Vec::new(),
+            ),
+            (None, Some(deadline)) => {
+                let est = sensitization_probabilities_governed_chunked(
+                    self.circuit,
+                    self.cfg.sensitization_vectors,
+                    self.cfg.seed,
+                    engine.threads(),
+                    engine.cone_chunk(),
+                    deadline,
+                    engine.mem_soft_limit(),
+                )
+                .map_err(AnalysisError::Interrupted)?;
+                let mut events = est.events;
+                if est.interrupted.is_some()
+                    && est.vectors_completed < self.cfg.sensitization_vectors
+                {
+                    events.push(DegradationEvent::EstimateTruncated {
+                        completed: est.vectors_completed,
+                        requested: self.cfg.sensitization_vectors,
+                    });
+                }
+                (est.matrix, events)
+            }
+        };
+        let mut session =
+            AnalysisSession::construct(self.circuit, self.cells, self.library, self.cfg, pij)?;
+        session.engine = engine;
+        if let Some(deadline) = self.deadline {
+            session.deadline = deadline;
+        }
+        session.degradations = events;
+        Ok(session)
+    }
+}
+
 impl<'c> AnalysisSession<'c> {
+    /// Starts the single construction path: a [`SessionBuilder`] over
+    /// the circuit, cell assignment, library and analysis
+    /// configuration. See [`SessionBuilder`] for the optional pieces
+    /// (precomputed `P_ij`, deadline, engine knobs).
+    pub fn builder(
+        circuit: &'c Circuit,
+        cells: CircuitCells,
+        library: Library,
+        cfg: AsertaConfig,
+    ) -> SessionBuilder<'c> {
+        SessionBuilder {
+            circuit,
+            cells,
+            library,
+            cfg,
+            pij: None,
+            deadline: None,
+            engine: EngineConfig::new(),
+        }
+    }
+
     /// Builds a session: estimates `P_ij` (once), runs one full analysis
     /// and materializes every cache the incremental path serves from.
     ///
     /// # Panics
     ///
-    /// Panics on any [`AnalysisError`]; [`AnalysisSession::try_new`] is
-    /// the fallible form.
+    /// Panics on any [`AnalysisError`];
+    /// [`AnalysisSession::builder`] is the fallible form.
+    #[deprecated(since = "0.2.0", note = "use AnalysisSession::builder(..).build()")]
     pub fn new(
         circuit: &'c Circuit,
         cells: CircuitCells,
         library: Library,
         cfg: AsertaConfig,
     ) -> Self {
-        match Self::try_new(circuit, cells, library, cfg) {
+        match Self::builder(circuit, cells, library, cfg).build() {
             Ok(s) => s,
             Err(e) => panic!("{e}"),
         }
     }
 
-    /// Fallible [`AnalysisSession::new`]: validates the configuration
-    /// before the (expensive) `P_ij` estimate, then defers to
-    /// [`AnalysisSession::try_with_pij`].
+    /// Fallible constructor: validates the configuration before the
+    /// (expensive) `P_ij` estimate.
     ///
     /// # Errors
     ///
-    /// See [`AnalysisSession::try_with_pij`].
+    /// See [`SessionBuilder::build`].
+    #[deprecated(since = "0.2.0", note = "use AnalysisSession::builder(..).build()")]
     pub fn try_new(
         circuit: &'c Circuit,
         cells: CircuitCells,
         library: Library,
         cfg: AsertaConfig,
     ) -> Result<Self, AnalysisError> {
-        validate_config(&cfg)?;
-        let pij = sensitization_probabilities(circuit, cfg.sensitization_vectors, cfg.seed);
-        Self::try_with_pij(circuit, cells, library, cfg, pij)
+        Self::builder(circuit, cells, library, cfg).build()
     }
 
-    /// [`AnalysisSession::new`] with a caller-provided sensitization
-    /// matrix (to share one estimate across sessions).
+    /// Constructor with a caller-provided sensitization matrix (to
+    /// share one estimate across sessions).
     ///
     /// # Panics
     ///
     /// Panics on any [`AnalysisError`];
-    /// [`AnalysisSession::try_with_pij`] is the fallible form.
+    /// [`AnalysisSession::builder`] + [`SessionBuilder::pij`] is the
+    /// fallible form.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use AnalysisSession::builder(..).pij(..).build()"
+    )]
     pub fn with_pij(
         circuit: &'c Circuit,
         cells: CircuitCells,
@@ -227,27 +386,37 @@ impl<'c> AnalysisSession<'c> {
         cfg: AsertaConfig,
         pij: SensitizationMatrix,
     ) -> Self {
-        match Self::try_with_pij(circuit, cells, library, cfg, pij) {
+        match Self::builder(circuit, cells, library, cfg).pij(pij).build() {
             Ok(s) => s,
             Err(e) => panic!("{e}"),
         }
     }
 
-    /// Fallible [`AnalysisSession::with_pij`] — the untrusted-input
-    /// boundary of session construction.
+    /// Fallible constructor over a caller-provided sensitization
+    /// matrix.
     ///
     /// # Errors
     ///
-    /// * [`AnalysisError::InvalidConfig`] for unusable configuration
-    ///   scalars, or a sensitization matrix that does not cover exactly
-    ///   the circuit's primary outputs;
-    /// * [`AnalysisError::MissingCellParams`] when a gate carries no
-    ///   parameters;
-    /// * [`AnalysisError::InvalidGateParams`] for non-finite or
-    ///   unphysical parameters;
-    /// * [`AnalysisError::BadCell`] when a gate's characterized library
-    ///   cell fails validation (non-finite lookup tables or scalars).
+    /// See [`SessionBuilder::build`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use AnalysisSession::builder(..).pij(..).build()"
+    )]
     pub fn try_with_pij(
+        circuit: &'c Circuit,
+        cells: CircuitCells,
+        library: Library,
+        cfg: AsertaConfig,
+        pij: SensitizationMatrix,
+    ) -> Result<Self, AnalysisError> {
+        Self::builder(circuit, cells, library, cfg).pij(pij).build()
+    }
+
+    /// The untrusted-input boundary of session construction: validates
+    /// everything, runs the full analysis, materializes the caches. The
+    /// engine field is stamped by the caller (builder/restore) after
+    /// construction.
+    pub(crate) fn construct(
         circuit: &'c Circuit,
         cells: CircuitCells,
         mut library: Library,
@@ -331,6 +500,7 @@ impl<'c> AnalysisSession<'c> {
             unreliability: 0.0,
             poison: None,
             deadline: Deadline::none(),
+            engine: EngineConfig::new(),
             degradations: Vec::new(),
             scratch: Scratch::new(n),
         };
@@ -338,25 +508,21 @@ impl<'c> AnalysisSession<'c> {
         Ok(session)
     }
 
-    /// [`AnalysisSession::try_new`] under a cooperative execution budget.
-    ///
-    /// The Monte-Carlo `P_ij` estimate runs governed: when the budget
-    /// expires mid-estimate, the completed blocks (a consistent partial
-    /// estimate over fewer vectors) are kept, the truncation is recorded
-    /// as a [`DegradationEvent::EstimateTruncated`] (surfaced via
-    /// [`AnalysisSession::degradations`] and on the report), and
-    /// construction finishes over the partial matrix. Memory-governor
-    /// events from the estimator (chunk shrinks, cone evictions) are
-    /// recorded the same way. The deadline stays installed on the
-    /// session, so later mutations keep honoring it (see
-    /// [`AnalysisSession::set_deadline`]).
+    /// Governed constructor: the Monte-Carlo `P_ij` estimate runs under
+    /// a cooperative execution budget. When the budget expires
+    /// mid-estimate, the completed blocks (a consistent partial
+    /// estimate over fewer vectors) are kept, the truncation is
+    /// recorded as a [`DegradationEvent::EstimateTruncated`], and
+    /// construction finishes over the partial matrix. The deadline
+    /// stays installed on the session.
     ///
     /// # Errors
     ///
-    /// * [`AnalysisError::Interrupted`] when the budget expires before
-    ///   even one simulation block completes (there is no partial state
-    ///   worth keeping);
-    /// * anything [`AnalysisSession::try_with_pij`] rejects.
+    /// See [`SessionBuilder::build`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use AnalysisSession::builder(..).deadline(..).build()"
+    )]
     pub fn try_new_governed(
         circuit: &'c Circuit,
         cells: CircuitCells,
@@ -364,25 +530,9 @@ impl<'c> AnalysisSession<'c> {
         cfg: AsertaConfig,
         deadline: Deadline,
     ) -> Result<Self, AnalysisError> {
-        validate_config(&cfg)?;
-        let est = sensitization_probabilities_governed(
-            circuit,
-            cfg.sensitization_vectors,
-            cfg.seed,
-            &deadline,
-        )
-        .map_err(AnalysisError::Interrupted)?;
-        let mut events = est.events;
-        if est.interrupted.is_some() && est.vectors_completed < cfg.sensitization_vectors {
-            events.push(DegradationEvent::EstimateTruncated {
-                completed: est.vectors_completed,
-                requested: cfg.sensitization_vectors,
-            });
-        }
-        let mut session = Self::try_with_pij(circuit, cells, library, cfg, est.matrix)?;
-        session.deadline = deadline;
-        session.degradations = events;
-        Ok(session)
+        Self::builder(circuit, cells, library, cfg)
+            .deadline(deadline)
+            .build()
     }
 
     /// The circuit under analysis.
@@ -447,6 +597,33 @@ impl<'c> AnalysisSession<'c> {
     /// The execution budget in force ([`Deadline::none`] by default).
     pub fn deadline(&self) -> &Deadline {
         &self.deadline
+    }
+
+    /// The resolved engine configuration this session was built with
+    /// (explicit knobs overlaid on the environment at build time).
+    /// Purely an execution-resource record — results never depend on it.
+    pub fn engine(&self) -> &EngineConfig {
+        &self.engine
+    }
+
+    /// Approximate resident footprint of the session's caches, bytes —
+    /// the accounting unit a byte-budget session pool evicts by. The
+    /// estimate covers the dominant tables (`P_ij` rows, expected-width
+    /// tables, the per-node vectors); per-cell library state and
+    /// allocator overhead are not counted, so treat it as a lower-bound
+    /// proxy, not an allocator measurement.
+    pub fn resident_bytes(&self) -> usize {
+        let f = std::mem::size_of::<f64>();
+        let n = self.circuit.node_count();
+        let n_pos = self.circuit.primary_outputs().len();
+        // P_ij: dense row-major rows + union observability + reach CSR.
+        let pij = n * n_pos * f + n * f + self.pij.reachable_pairs() * 4;
+        // Expected-width tables (sparse per-node slabs).
+        let widths = std::mem::size_of_val(self.widths.ws());
+        // Per-node vectors: static probs, generated widths, per-gate U,
+        // 4 timing arrays, scratch arrival.
+        let per_node = 8 * n * f;
+        pij + widths + per_node
     }
 
     /// Installs a cooperative execution budget. Every mutating entry
@@ -588,8 +765,28 @@ impl<'c> AnalysisSession<'c> {
     ///   internally inconsistent image) — the snapshot is not trusted
     ///   and no session is returned.
     pub fn restore_from(snap: &'c SessionSnapshot) -> Result<Self, SessionSnapshotError> {
-        let session = Self::try_with_pij(
-            &snap.circuit,
+        Self::restore_against(snap.circuit(), snap)
+    }
+
+    /// [`AnalysisSession::restore_from`] against a caller-owned circuit
+    /// (the session borrows `circuit` instead of the snapshot, so the
+    /// snapshot can be dropped) — the form a long-lived session pool
+    /// uses, keying interned circuits separately from their images.
+    ///
+    /// # Errors
+    ///
+    /// As [`AnalysisSession::restore_from`], plus
+    /// [`SessionSnapshotError::StateMismatch`] when `circuit` differs
+    /// from the snapshot's captured circuit.
+    pub fn restore_against(
+        circuit: &'c Circuit,
+        snap: &SessionSnapshot,
+    ) -> Result<Self, SessionSnapshotError> {
+        if *circuit != snap.circuit {
+            return Err(SessionSnapshotError::StateMismatch { what: "circuit" });
+        }
+        let session = Self::construct(
+            circuit,
             snap.cells.clone(),
             snap.library.clone(),
             snap.cfg.clone(),
@@ -1197,14 +1394,15 @@ impl<'c> AnalysisSession<'c> {
         let empty = Library::new(self.library.tech().clone(), self.library.grids().clone());
         let library = std::mem::replace(&mut self.library, empty);
 
-        match Self::try_with_pij(
+        match Self::construct(
             self.circuit,
             cells,
             library,
             self.cfg.clone(),
             self.pij.clone(),
         ) {
-            Ok(fresh) => {
+            Ok(mut fresh) => {
+                fresh.engine = self.engine;
                 *self = fresh;
                 Ok(())
             }
@@ -1407,14 +1605,18 @@ mod tests {
     #[test]
     fn fresh_session_matches_analyze() {
         let c = generate::c17();
-        let session = AnalysisSession::new(&c, CircuitCells::nominal(&c), lib(), cfg());
+        let session = AnalysisSession::builder(&c, CircuitCells::nominal(&c), lib(), cfg())
+            .build()
+            .unwrap();
         assert_matches_fresh(&session);
     }
 
     #[test]
     fn single_delta_matches_fresh_bitwise() {
         let c = generate::c17();
-        let mut session = AnalysisSession::new(&c, CircuitCells::nominal(&c), lib(), cfg());
+        let mut session = AnalysisSession::builder(&c, CircuitCells::nominal(&c), lib(), cfg())
+            .build()
+            .unwrap();
         let g = c.find("10").unwrap();
         let mut p = *session.cells().get(g).unwrap();
         p.size = 4.0;
@@ -1426,7 +1628,9 @@ mod tests {
     #[test]
     fn delta_sequence_matches_fresh_on_sec32() {
         let c = generate::sec32("s");
-        let mut session = AnalysisSession::new(&c, CircuitCells::nominal(&c), lib(), cfg());
+        let mut session = AnalysisSession::builder(&c, CircuitCells::nominal(&c), lib(), cfg())
+            .build()
+            .unwrap();
         let gates: Vec<NodeId> = c.gates().collect();
         for step in 0..6 {
             let g = gates[(step * 37) % gates.len()];
@@ -1441,7 +1645,9 @@ mod tests {
     #[test]
     fn noop_delta_touches_nothing() {
         let c = generate::c17();
-        let mut session = AnalysisSession::new(&c, CircuitCells::nominal(&c), lib(), cfg());
+        let mut session = AnalysisSession::builder(&c, CircuitCells::nominal(&c), lib(), cfg())
+            .build()
+            .unwrap();
         let g = c.find("10").unwrap();
         let p = *session.cells().get(g).unwrap();
         let stats = session.apply(&[(g, p)]);
@@ -1453,7 +1659,9 @@ mod tests {
     #[test]
     fn set_cells_diffs_against_current() {
         let c = generate::c17();
-        let mut session = AnalysisSession::new(&c, CircuitCells::nominal(&c), lib(), cfg());
+        let mut session = AnalysisSession::builder(&c, CircuitCells::nominal(&c), lib(), cfg())
+            .build()
+            .unwrap();
         let mut target = session.cells().clone();
         for &po in c.primary_outputs() {
             let mut p = *target.get(po).unwrap();
@@ -1472,7 +1680,9 @@ mod tests {
     #[test]
     fn resample_with_session_settings_is_a_noop() {
         let c = generate::c17();
-        let mut session = AnalysisSession::new(&c, CircuitCells::nominal(&c), lib(), cfg());
+        let mut session = AnalysisSession::builder(&c, CircuitCells::nominal(&c), lib(), cfg())
+            .build()
+            .unwrap();
         let before_u = session.unreliability();
         let before_row = session.pij().row(c.find("10").unwrap()).to_vec();
         let stats = session.resample_pij_rows(
@@ -1489,7 +1699,9 @@ mod tests {
     #[test]
     fn resample_with_more_vectors_matches_a_patched_fresh_analysis() {
         let c = generate::sec32("s");
-        let mut session = AnalysisSession::new(&c, CircuitCells::nominal(&c), lib(), cfg());
+        let mut session = AnalysisSession::builder(&c, CircuitCells::nominal(&c), lib(), cfg())
+            .build()
+            .unwrap();
         let targets: Vec<NodeId> = c.gates().take(4).collect();
         session.resample_pij_rows(&targets, 2048, 99);
 
@@ -1506,7 +1718,9 @@ mod tests {
     #[test]
     fn set_charge_matches_fresh_at_the_new_charge() {
         let c = generate::sec32("s");
-        let mut session = AnalysisSession::new(&c, CircuitCells::nominal(&c), lib(), cfg());
+        let mut session = AnalysisSession::builder(&c, CircuitCells::nominal(&c), lib(), cfg())
+            .build()
+            .unwrap();
         let stats = session.set_charge(32.0e-15);
         assert!(
             stats.gates_changed > 0,
@@ -1530,7 +1744,9 @@ mod tests {
     #[test]
     fn sessions_clone_for_parallel_replicas() {
         let c = generate::c17();
-        let session = AnalysisSession::new(&c, CircuitCells::nominal(&c), lib(), cfg());
+        let session = AnalysisSession::builder(&c, CircuitCells::nominal(&c), lib(), cfg())
+            .build()
+            .unwrap();
         let mut clone = session.clone();
         let g = c.find("11").unwrap();
         let mut p = *clone.cells().get(g).unwrap();
@@ -1546,7 +1762,7 @@ mod tests {
         let c = generate::c17();
         let mut bad = cfg();
         bad.charge = f64::NAN;
-        let err = AnalysisSession::try_new(&c, CircuitCells::nominal(&c), lib(), bad);
+        let err = AnalysisSession::builder(&c, CircuitCells::nominal(&c), lib(), bad).build();
         assert!(matches!(err, Err(AnalysisError::InvalidConfig { .. })));
 
         let mut cells = CircuitCells::nominal(&c);
@@ -1554,14 +1770,16 @@ mod tests {
         let mut p = *cells.get(g).unwrap();
         p.vdd = f64::NAN;
         cells.set(g, p);
-        let err = AnalysisSession::try_new(&c, cells, lib(), cfg());
+        let err = AnalysisSession::builder(&c, cells, lib(), cfg()).build();
         assert!(matches!(err, Err(AnalysisError::InvalidGateParams { .. })));
     }
 
     #[test]
     fn delta_rejections_leave_the_session_bitwise_intact() {
         let c = generate::c17();
-        let mut session = AnalysisSession::new(&c, CircuitCells::nominal(&c), lib(), cfg());
+        let mut session = AnalysisSession::builder(&c, CircuitCells::nominal(&c), lib(), cfg())
+            .build()
+            .unwrap();
         let u_before = session.unreliability();
         let timing_before = session.timing().clone();
 
@@ -1641,7 +1859,9 @@ mod tests {
 
         // Construction validates only the *current* assignment (nominal),
         // which doesn't touch the bad key — so it succeeds.
-        let mut session = AnalysisSession::new(&c, CircuitCells::nominal(&c), l, cfg());
+        let mut session = AnalysisSession::builder(&c, CircuitCells::nominal(&c), l, cfg())
+            .build()
+            .unwrap();
         assert!(!session.is_poisoned());
 
         let err = session.try_apply(&[(g, p)]).unwrap_err();
@@ -1685,7 +1905,9 @@ mod tests {
     #[test]
     fn failed_recovery_on_a_clean_session_sets_recovery_failed_poison() {
         let c = generate::c17();
-        let mut session = AnalysisSession::new(&c, CircuitCells::nominal(&c), lib(), cfg());
+        let mut session = AnalysisSession::builder(&c, CircuitCells::nominal(&c), lib(), cfg())
+            .build()
+            .unwrap();
         assert!(!session.is_poisoned());
 
         // A rebuild target that fails construction-time validation: the
@@ -1712,9 +1934,23 @@ mod tests {
     }
 
     #[test]
-    fn governed_construction_matches_ungoverned_bitwise() {
-        let c = generate::sec32("s");
-        let plain = AnalysisSession::new(&c, CircuitCells::nominal(&c), lib(), cfg());
+    #[allow(deprecated)]
+    fn deprecated_constructor_shims_match_the_builder() {
+        let c = generate::c17();
+        let built = AnalysisSession::builder(&c, CircuitCells::nominal(&c), lib(), cfg())
+            .build()
+            .unwrap();
+        let legacy = AnalysisSession::try_new(&c, CircuitCells::nominal(&c), lib(), cfg()).unwrap();
+        assert_eq!(legacy.unreliability(), built.unreliability());
+        assert_eq!(legacy.pij(), built.pij());
+        let shared = AnalysisSession::with_pij(
+            &c,
+            CircuitCells::nominal(&c),
+            lib(),
+            cfg(),
+            built.pij().clone(),
+        );
+        assert_eq!(shared.unreliability(), built.unreliability());
         let governed = AnalysisSession::try_new_governed(
             &c,
             CircuitCells::nominal(&c),
@@ -1723,6 +1959,19 @@ mod tests {
             Deadline::within(std::time::Duration::from_secs(3600)),
         )
         .unwrap();
+        assert_eq!(governed.unreliability(), built.unreliability());
+    }
+
+    #[test]
+    fn governed_construction_matches_ungoverned_bitwise() {
+        let c = generate::sec32("s");
+        let plain = AnalysisSession::builder(&c, CircuitCells::nominal(&c), lib(), cfg())
+            .build()
+            .unwrap();
+        let governed = AnalysisSession::builder(&c, CircuitCells::nominal(&c), lib(), cfg())
+            .deadline(Deadline::within(std::time::Duration::from_secs(3600)))
+            .build()
+            .unwrap();
         assert_eq!(governed.pij(), plain.pij());
         assert_eq!(governed.unreliability(), plain.unreliability());
         assert_eq!(
@@ -1736,14 +1985,10 @@ mod tests {
     #[test]
     fn exhausted_budget_at_construction_is_a_typed_interruption() {
         let c = generate::c17();
-        let err = AnalysisSession::try_new_governed(
-            &c,
-            CircuitCells::nominal(&c),
-            lib(),
-            cfg(),
-            Deadline::within(std::time::Duration::ZERO),
-        )
-        .unwrap_err();
+        let err = AnalysisSession::builder(&c, CircuitCells::nominal(&c), lib(), cfg())
+            .deadline(Deadline::within(std::time::Duration::ZERO))
+            .build()
+            .unwrap_err();
         assert!(matches!(err, AnalysisError::Interrupted(_)), "{err}");
     }
 
@@ -1752,7 +1997,9 @@ mod tests {
         use ser_netlist::govern::{CancelToken, InterruptReason};
 
         let c = generate::c17();
-        let mut session = AnalysisSession::new(&c, CircuitCells::nominal(&c), lib(), cfg());
+        let mut session = AnalysisSession::builder(&c, CircuitCells::nominal(&c), lib(), cfg())
+            .build()
+            .unwrap();
         let token = CancelToken::new();
         session.set_deadline(Deadline::none().with_token(token.clone()));
 
@@ -1797,7 +2044,9 @@ mod tests {
     #[test]
     fn snapshot_of_recovered_session_round_trips() {
         let c = generate::sec32("s");
-        let mut session = AnalysisSession::new(&c, CircuitCells::nominal(&c), lib(), cfg());
+        let mut session = AnalysisSession::builder(&c, CircuitCells::nominal(&c), lib(), cfg())
+            .build()
+            .unwrap();
         let g = c.gates().next().unwrap();
         let mut p = *session.cells().get(g).unwrap();
         p.size = 4.0;

@@ -30,8 +30,9 @@
 //!
 //! let c17 = generate::c17();
 //! let lib = Library::new(Technology::ptm70(), CharGrids::coarse());
-//! let session =
-//!     AnalysisSession::new(&c17, CircuitCells::nominal(&c17), lib, AsertaConfig::fast());
+//! let session = AnalysisSession::builder(&c17, CircuitCells::nominal(&c17), lib, AsertaConfig::fast())
+//!     .build()
+//!     .unwrap();
 //!
 //! // Persist (atomic write-rename), then cold-start from the file.
 //! session.snapshot_to("c17.sersnap").unwrap();
@@ -480,7 +481,9 @@ mod tests {
         let lib = Library::new(Technology::ptm70(), CharGrids::coarse());
         let mut cfg = AsertaConfig::fast();
         cfg.sensitization_vectors = 512;
-        AnalysisSession::new(circuit, CircuitCells::nominal(circuit), lib, cfg)
+        AnalysisSession::builder(circuit, CircuitCells::nominal(circuit), lib, cfg)
+            .build()
+            .expect("session")
     }
 
     fn assert_restored_bitwise(live: &AnalysisSession<'_>, snap: &SessionSnapshot) {

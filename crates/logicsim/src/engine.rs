@@ -1,0 +1,284 @@
+//! [`EngineConfig`]: one explicit home for the execution knobs that
+//! used to live in scattered environment reads inside the kernels.
+//!
+//! Three knobs govern how (not what) the engine computes — none of them
+//! affects results, which are bitwise identical for every setting:
+//!
+//! * **worker threads** (`SER_SIM_THREADS`) — simulation/replica
+//!   parallelism;
+//! * **cone chunk size** (`SER_CONE_CHUNK`) — roots per streamed
+//!   cone-arena chunk (peak memory vs recompilation trade);
+//! * **soft memory limit** (`SER_MEM_SOFT_LIMIT`) — byte budget the
+//!   governed estimator degrades under instead of OOMing.
+//!
+//! Precedence is **explicit > environment > default**: a field set on
+//! the config wins; an unset field falls through to the environment
+//! overlay ([`EngineConfig::from_env`]) and then to the built-in
+//! default. The strict [`EngineConfig::from_env`] rejects malformed
+//! variable values with a typed [`EngineConfigError`];
+//! [`EngineConfig::lenient_env`] preserves the historical
+//! silently-ignore-garbage behavior for the legacy free functions
+//! ([`sensitize::simulation_threads`](crate::sensitize::simulation_threads)
+//! and friends) that cannot surface an error.
+//!
+//! # Example
+//!
+//! ```
+//! use ser_logicsim::engine::EngineConfig;
+//!
+//! // Explicit beats environment beats default.
+//! let cfg = EngineConfig::new().with_threads(2).overlay(
+//!     &EngineConfig::new().with_threads(8).with_cone_chunk(64),
+//! );
+//! assert_eq!(cfg.threads(), 2); // explicit
+//! assert_eq!(cfg.cone_chunk(), 64); // from the overlay
+//! assert_eq!(cfg.mem_soft_limit(), None); // default
+//! ```
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Default roots-per-chunk of the streamed estimator. At typical cone
+/// sizes a chunk's arena plus compiled programs stays in the low
+/// megabytes, which amortizes to tens of bytes per circuit node on
+/// 100k-gate designs.
+pub const DEFAULT_CONE_CHUNK: usize = 128;
+
+/// A malformed engine environment variable, rejected by the strict
+/// [`EngineConfig::from_env`] overlay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfigError {
+    /// The offending environment variable.
+    pub var: &'static str,
+    /// The value found there.
+    pub value: String,
+    /// What a valid value would look like.
+    pub expected: &'static str,
+}
+
+impl fmt::Display for EngineConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "malformed {}=`{}`: expected {}",
+            self.var, self.value, self.expected
+        )
+    }
+}
+
+impl std::error::Error for EngineConfigError {}
+
+/// Execution-resource configuration for the analysis engine: worker
+/// threads, streamed-arena chunk size and the soft memory budget.
+///
+/// All fields are optional; an unset field resolves through the
+/// layering described in the [module docs](self). The resolved
+/// accessors ([`EngineConfig::threads`], [`EngineConfig::cone_chunk`],
+/// [`EngineConfig::mem_soft_limit`]) apply the built-in defaults, so a
+/// fully-unset config is always usable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Worker threads (`None` = machine parallelism).
+    pub sim_threads: Option<usize>,
+    /// Roots per streamed cone-arena chunk (`None` =
+    /// [`DEFAULT_CONE_CHUNK`]).
+    pub cone_chunk: Option<usize>,
+    /// Soft memory budget in bytes for governed estimation (`None` =
+    /// ungoverned).
+    pub mem_soft_limit: Option<usize>,
+}
+
+impl EngineConfig {
+    /// An empty config: every knob falls through to its default.
+    pub const fn new() -> Self {
+        EngineConfig {
+            sim_threads: None,
+            cone_chunk: None,
+            mem_soft_limit: None,
+        }
+    }
+
+    /// Sets the worker-thread count (must be positive to take effect;
+    /// the resolved accessor treats 0 as unset).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.sim_threads = Some(threads);
+        self
+    }
+
+    /// Sets the streamed-arena chunk size (roots per chunk).
+    #[must_use]
+    pub fn with_cone_chunk(mut self, roots: usize) -> Self {
+        self.cone_chunk = Some(roots);
+        self
+    }
+
+    /// Sets the soft memory budget, bytes.
+    #[must_use]
+    pub fn with_mem_soft_limit(mut self, bytes: usize) -> Self {
+        self.mem_soft_limit = Some(bytes);
+        self
+    }
+
+    /// The **strict** environment overlay: reads `SER_SIM_THREADS`,
+    /// `SER_CONE_CHUNK` and `SER_MEM_SOFT_LIMIT`, rejecting malformed
+    /// or zero values with a typed [`EngineConfigError`] instead of
+    /// silently ignoring them. Unset variables leave the field unset.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineConfigError`] naming the offending variable when its
+    /// value is not a positive integer (threads, chunk) or a positive
+    /// byte count with optional `K`/`M`/`G` suffix (memory limit).
+    pub fn from_env() -> Result<Self, EngineConfigError> {
+        let mut cfg = EngineConfig::new();
+        if let Ok(v) = std::env::var("SER_SIM_THREADS") {
+            cfg.sim_threads = Some(parse_positive(&v).ok_or(EngineConfigError {
+                var: "SER_SIM_THREADS",
+                value: v,
+                expected: "a positive integer",
+            })?);
+        }
+        if let Ok(v) = std::env::var("SER_CONE_CHUNK") {
+            cfg.cone_chunk = Some(parse_positive(&v).ok_or(EngineConfigError {
+                var: "SER_CONE_CHUNK",
+                value: v,
+                expected: "a positive integer",
+            })?);
+        }
+        if let Ok(v) = std::env::var("SER_MEM_SOFT_LIMIT") {
+            cfg.mem_soft_limit = Some(parse_byte_size(&v).ok_or(EngineConfigError {
+                var: "SER_MEM_SOFT_LIMIT",
+                value: v,
+                expected: "a positive byte count with optional K/M/G suffix",
+            })?);
+        }
+        Ok(cfg)
+    }
+
+    /// The **lenient** environment overlay: like
+    /// [`EngineConfig::from_env`] but malformed values are silently
+    /// treated as unset — the historical behavior of the raw env reads,
+    /// kept only for the legacy free functions that return plain values
+    /// and cannot surface an error. New code should use the strict
+    /// form.
+    pub fn lenient_env() -> Self {
+        let mut cfg = EngineConfig::new();
+        if let Ok(v) = std::env::var("SER_SIM_THREADS") {
+            cfg.sim_threads = parse_positive(&v);
+        }
+        if let Ok(v) = std::env::var("SER_CONE_CHUNK") {
+            cfg.cone_chunk = parse_positive(&v);
+        }
+        if let Ok(v) = std::env::var("SER_MEM_SOFT_LIMIT") {
+            cfg.mem_soft_limit = parse_byte_size(&v);
+        }
+        cfg
+    }
+
+    /// Layers `self` over `under`: fields set on `self` win, unset
+    /// fields fall through — the "explicit > env > default" composition
+    /// (`explicit.overlay(&env)`), with the resolved accessors applying
+    /// the final defaults.
+    #[must_use]
+    pub fn overlay(&self, under: &EngineConfig) -> EngineConfig {
+        EngineConfig {
+            sim_threads: self.sim_threads.or(under.sim_threads),
+            cone_chunk: self.cone_chunk.or(under.cone_chunk),
+            mem_soft_limit: self.mem_soft_limit.or(under.mem_soft_limit),
+        }
+    }
+
+    /// Resolved worker-thread count: the configured value when
+    /// positive, else [`std::thread::available_parallelism`].
+    pub fn threads(&self) -> usize {
+        match self.sim_threads {
+            Some(n) if n > 0 => n,
+            _ => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+
+    /// Resolved streamed-arena chunk size: the configured value when
+    /// positive, else [`DEFAULT_CONE_CHUNK`].
+    pub fn cone_chunk(&self) -> usize {
+        match self.cone_chunk {
+            Some(n) if n > 0 => n,
+            _ => DEFAULT_CONE_CHUNK,
+        }
+    }
+
+    /// Resolved soft memory budget, bytes (`None` = ungoverned).
+    pub fn mem_soft_limit(&self) -> Option<usize> {
+        self.mem_soft_limit.filter(|&b| b > 0)
+    }
+}
+
+/// Parses a positive integer; `None` for malformed or zero values.
+fn parse_positive(s: &str) -> Option<usize> {
+    s.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
+/// Parses `"65536"`, `"64K"`, `"8M"`, `"1G"` into bytes (powers of
+/// 1024). `None` for malformed or zero values.
+pub(crate) fn parse_byte_size(s: &str) -> Option<usize> {
+    let t = s.trim();
+    let (num, mult) = match t.as_bytes().last()? {
+        b'k' | b'K' => (&t[..t.len() - 1], 1usize << 10),
+        b'm' | b'M' => (&t[..t.len() - 1], 1usize << 20),
+        b'g' | b'G' => (&t[..t.len() - 1], 1usize << 30),
+        _ => (t, 1),
+    };
+    let n: usize = num.trim().parse().ok()?;
+    (n > 0).then(|| n.saturating_mul(mult))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlay_prefers_upper_layer() {
+        let explicit = EngineConfig::new().with_threads(3);
+        let env = EngineConfig::new().with_threads(7).with_cone_chunk(32);
+        let merged = explicit.overlay(&env);
+        assert_eq!(merged.sim_threads, Some(3));
+        assert_eq!(merged.cone_chunk, Some(32));
+        assert_eq!(merged.mem_soft_limit, None);
+    }
+
+    #[test]
+    fn resolved_defaults_are_usable() {
+        let cfg = EngineConfig::new();
+        assert!(cfg.threads() >= 1);
+        assert_eq!(cfg.cone_chunk(), DEFAULT_CONE_CHUNK);
+        assert_eq!(cfg.mem_soft_limit(), None);
+    }
+
+    #[test]
+    fn byte_sizes_parse_with_suffixes() {
+        assert_eq!(parse_byte_size("65536"), Some(65536));
+        assert_eq!(parse_byte_size("64K"), Some(64 << 10));
+        assert_eq!(parse_byte_size(" 8M "), Some(8 << 20));
+        assert_eq!(parse_byte_size("1g"), Some(1 << 30));
+        assert_eq!(parse_byte_size("0"), None);
+        assert_eq!(parse_byte_size("lots"), None);
+        assert_eq!(parse_byte_size(""), None);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let cfg = EngineConfig::new()
+            .with_threads(4)
+            .with_mem_soft_limit(1 << 20);
+        let v = serde::Serialize::serialize(&cfg);
+        let back: EngineConfig = serde::Deserialize::deserialize(&v).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    // The env-reading paths are covered in `tests/engine_env.rs` as a
+    // separate process-wide-env test binary (env mutation races the
+    // in-crate parallel tests otherwise).
+}

@@ -33,10 +33,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod kernel;
 pub mod probability;
 pub mod random;
 pub mod sensitize;
 pub mod sim;
 
+pub use engine::{EngineConfig, EngineConfigError};
 pub use sensitize::{GovernedEstimate, PijRowUpdate, SensitizationMatrix};

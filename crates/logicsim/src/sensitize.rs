@@ -107,6 +107,12 @@ impl SensitizationMatrix {
         &self.reach_cols[self.reach_off[node.index()]..self.reach_off[node.index() + 1]]
     }
 
+    /// Total `(node, reachable PO)` pair count across the matrix — the
+    /// size of the reachability CSR, useful for footprint accounting.
+    pub fn reachable_pairs(&self) -> usize {
+        self.reach_cols.len()
+    }
+
     /// Number of nodes the matrix covers (the row space).
     #[inline]
     pub fn node_count(&self) -> usize {
@@ -287,36 +293,27 @@ impl PijRowUpdate {
 /// Worker-thread count used by [`sensitization_probabilities`]: the
 /// `SER_SIM_THREADS` environment override when set to a positive
 /// integer, else [`std::thread::available_parallelism`].
+///
+/// Legacy convenience over [`EngineConfig::lenient_env`](crate::engine::EngineConfig::lenient_env)
+/// — malformed values are silently ignored. Callers that can surface an
+/// error should use the strict
+/// [`EngineConfig::from_env`](crate::engine::EngineConfig::from_env).
 pub fn simulation_threads() -> usize {
-    std::env::var("SER_SIM_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        })
+    crate::engine::EngineConfig::lenient_env().threads()
 }
-
-/// Default roots-per-chunk of the streamed estimator. At typical cone
-/// sizes a chunk's arena plus compiled programs stays in the low
-/// megabytes, which amortizes to tens of bytes per circuit node on
-/// 100k-gate designs.
-const DEFAULT_CONE_CHUNK: usize = 128;
 
 /// Roots-per-chunk used by the streamed estimator: the `SER_CONE_CHUNK`
 /// environment override when set to a positive integer, else the
-/// built-in default of 128. Results are bitwise identical for every
-/// chunk size. The fault-free base evaluation is hoisted per word-block
-/// (not per chunk), so the knob trades peak arena memory against
-/// per-block program recompilation only — shrinking it is cheap.
+/// built-in default of [`crate::engine::DEFAULT_CONE_CHUNK`]. Results
+/// are bitwise identical for every chunk size. The fault-free base
+/// evaluation is hoisted per word-block (not per chunk), so the knob
+/// trades peak arena memory against per-block program recompilation
+/// only — shrinking it is cheap.
+///
+/// Legacy convenience over [`EngineConfig::lenient_env`](crate::engine::EngineConfig::lenient_env)
+/// — malformed values are silently ignored.
 pub fn cone_chunk_size() -> usize {
-    std::env::var("SER_CONE_CHUNK")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(DEFAULT_CONE_CHUNK)
+    crate::engine::EngineConfig::lenient_env().cone_chunk()
 }
 
 /// Memory/work profile of one streamed estimation run — the probe the
@@ -462,22 +459,11 @@ pub fn sensitization_probabilities_with_stats(
 /// byte count (optional `K`/`M`/`G` suffix, powers of 1024), else
 /// `None` (ungoverned). Only the *governed* estimation entry points
 /// honor it; see [`sensitization_probabilities_governed`].
+///
+/// Legacy convenience over [`EngineConfig::lenient_env`](crate::engine::EngineConfig::lenient_env)
+/// — malformed values are silently ignored.
 pub fn mem_soft_limit() -> Option<usize> {
-    parse_byte_size(&std::env::var("SER_MEM_SOFT_LIMIT").ok()?)
-}
-
-/// Parses `"65536"`, `"64K"`, `"8M"`, `"1G"` into bytes (powers of
-/// 1024). Returns `None` for malformed or zero values.
-fn parse_byte_size(s: &str) -> Option<usize> {
-    let t = s.trim();
-    let (num, mult) = match t.as_bytes().last()? {
-        b'k' | b'K' => (&t[..t.len() - 1], 1usize << 10),
-        b'm' | b'M' => (&t[..t.len() - 1], 1usize << 20),
-        b'g' | b'G' => (&t[..t.len() - 1], 1usize << 30),
-        _ => (t, 1),
-    };
-    let n: usize = num.trim().parse().ok()?;
-    (n > 0).then(|| n.saturating_mul(mult))
+    crate::engine::EngineConfig::lenient_env().mem_soft_limit()
 }
 
 /// Outcome of a *governed* estimation run: the matrix built from every
@@ -1766,15 +1752,5 @@ mod tests {
             gov.matrix,
             sensitization_probabilities_chunked(&c, 256, 5, 1, 16)
         );
-    }
-
-    #[test]
-    fn byte_size_suffixes_parse() {
-        assert_eq!(parse_byte_size("65536"), Some(65536));
-        assert_eq!(parse_byte_size(" 64K "), Some(64 << 10));
-        assert_eq!(parse_byte_size("8m"), Some(8 << 20));
-        assert_eq!(parse_byte_size("1G"), Some(1 << 30));
-        assert_eq!(parse_byte_size("0"), None);
-        assert_eq!(parse_byte_size("lots"), None);
     }
 }

@@ -35,15 +35,15 @@
 //! # Example
 //!
 //! ```no_run
-//! use sertopt::{optimize_circuit, AllowedParams, OptimizerConfig};
+//! use sertopt::{optimize, AllowedParams, OptimizeRequest, OptimizerConfig};
 //! use ser_cells::{CharGrids, Library};
 //! use ser_netlist::generate;
 //! use ser_spice::Technology;
 //!
 //! let c432 = generate::iscas85("c432").unwrap();
 //! let mut lib = Library::new(Technology::ptm70(), CharGrids::standard());
-//! let cfg = OptimizerConfig::default();
-//! let outcome = optimize_circuit(&c432, &mut lib, &cfg);
+//! let req = OptimizeRequest::new(OptimizerConfig::default());
+//! let outcome = optimize(&c432, &mut lib, &req);
 //! println!(
 //!     "unreliability −{:.0}% at {:.2}× delay",
 //!     100.0 * outcome.unreliability_decrease(),
@@ -72,6 +72,8 @@ pub use baseline::size_for_speed;
 pub use cost::{CostBreakdown, CostWeights, EnergyModel};
 pub use error::EvalError;
 pub use matching::MatchPlan;
-pub use optimize::{optimize_circuit, optimize_circuit_with_budget, Algorithm, OptimizerConfig};
+pub use optimize::{optimize, Algorithm, OptimizeRequest, OptimizerConfig};
+#[allow(deprecated)]
+pub use optimize::{optimize_circuit, optimize_circuit_with_budget};
 pub use problem::{Candidate, DelayProblem, EvalStrategy};
 pub use result::{Outcome, Termination};

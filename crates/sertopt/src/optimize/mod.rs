@@ -107,20 +107,107 @@ impl OptimizerConfig {
     }
 }
 
+/// One optimization request: the serializable [`OptimizerConfig`] plus
+/// the live execution budget — the single options struct shared by
+/// library ([`optimize`]), CLI and daemon callers.
+///
+/// The split matters: [`OptimizeRequest::config`] is pure data
+/// (algorithm, weights, grids, seeds — serde round-trippable), while
+/// [`OptimizeRequest::budget`] holds live wall-clock/cancellation state
+/// ([`Deadline`]) that only exists per call.
+///
+/// ```
+/// use sertopt::{Algorithm, OptimizeRequest, OptimizerConfig};
+///
+/// let req = OptimizeRequest::new(OptimizerConfig::fast()).strategy(Algorithm::CoordinateDescent);
+/// assert_eq!(req.config.algorithm, Algorithm::CoordinateDescent);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OptimizeRequest {
+    /// Full optimizer configuration; `config.algorithm` is the search
+    /// strategy.
+    pub config: OptimizerConfig,
+    /// Cooperative execution budget ([`Deadline::none`] = unbudgeted).
+    pub budget: Deadline,
+}
+
+impl Default for OptimizeRequest {
+    fn default() -> Self {
+        OptimizeRequest::new(OptimizerConfig::default())
+    }
+}
+
+impl OptimizeRequest {
+    /// A request over `config` with no execution budget.
+    pub fn new(config: OptimizerConfig) -> Self {
+        OptimizeRequest {
+            config,
+            budget: Deadline::none(),
+        }
+    }
+
+    /// Picks the search strategy (sets `config.algorithm`).
+    #[must_use]
+    pub fn strategy(mut self, algorithm: Algorithm) -> Self {
+        self.config.algorithm = algorithm;
+        self
+    }
+
+    /// Installs a cooperative execution budget for this request.
+    #[must_use]
+    pub fn budget(mut self, budget: Deadline) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
 /// End-to-end SERTOPT: speed-size the baseline (the paper's Design
 /// Compiler step), build the problem, run the configured search, and
 /// package the outcome.
+///
+/// # Panics
+///
+/// Panics on any [`AnalysisError`](aserta::AnalysisError) from the
+/// initial session construction (e.g. an unusable
+/// `request.config.aserta`); the inputs are caller-controlled
+/// configuration, not untrusted data.
+#[deprecated(since = "0.2.0", note = "use sertopt::optimize(.., &OptimizeRequest)")]
 pub fn optimize_circuit(
     circuit: &Circuit,
     library: &mut Library,
     cfg: &OptimizerConfig,
 ) -> Outcome {
-    optimize_circuit_with_budget(circuit, library, cfg, &Deadline::none())
+    optimize(circuit, library, &OptimizeRequest::new(cfg.clone()))
 }
 
-/// [`optimize_circuit`] under a cooperative execution budget.
+/// [`optimize`] under a cooperative execution budget, with the config
+/// and deadline as separate arguments.
+#[deprecated(
+    since = "0.2.0",
+    note = "use sertopt::optimize(.., &OptimizeRequest::new(..).budget(..))"
+)]
+pub fn optimize_circuit_with_budget(
+    circuit: &Circuit,
+    library: &mut Library,
+    cfg: &OptimizerConfig,
+    deadline: &Deadline,
+) -> Outcome {
+    optimize(
+        circuit,
+        library,
+        &OptimizeRequest {
+            config: cfg.clone(),
+            budget: deadline.clone(),
+        },
+    )
+}
+
+/// End-to-end SERTOPT over one [`OptimizeRequest`]: speed-size the
+/// baseline (the paper's Design Compiler step), build the problem, run
+/// the configured search under the request's budget, and package the
+/// outcome.
 ///
-/// The `deadline` (wall clock and/or [`CancelToken`](aserta::CancelToken))
+/// The budget (wall clock and/or [`CancelToken`](aserta::CancelToken))
 /// is checked at every search-loop boundary — per SQP iteration,
 /// coordinate-descent sweep, annealing move and genetic generation. When
 /// it expires the search stops where it stands and the returned
@@ -132,15 +219,9 @@ pub fn optimize_circuit(
 /// speed-sizing pass and the initial `P_ij` estimate run before the
 /// first checkpoint, so an already-expired budget still yields a usable
 /// baseline-quality outcome rather than an error.
-///
-/// `Deadline` holds live wall-clock state, which is why it is a separate
-/// argument and not part of the serializable [`OptimizerConfig`].
-pub fn optimize_circuit_with_budget(
-    circuit: &Circuit,
-    library: &mut Library,
-    cfg: &OptimizerConfig,
-    deadline: &Deadline,
-) -> Outcome {
+pub fn optimize(circuit: &Circuit, library: &mut Library, request: &OptimizeRequest) -> Outcome {
+    let cfg = &request.config;
+    let deadline = &request.budget;
     let matching = MatchingConfig::new(cfg.allowed.clone());
     let baseline_cells = size_for_speed(
         circuit,

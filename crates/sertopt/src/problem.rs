@@ -280,13 +280,18 @@ impl<'a> DelayProblem<'a> {
             .map(|&s| if s.is_finite() { s.max(0.0) } else { 0.0 })
             .collect();
 
-        let session = AnalysisSession::with_pij(
+        let session = match AnalysisSession::builder(
             circuit,
             baseline_cells.clone(),
             library.clone(),
             aserta_cfg.clone(),
-            pij.clone(),
-        );
+        )
+        .pij(pij.clone())
+        .build()
+        {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        };
         let replicas = vec![Replica::new(session, &energy)];
 
         DelayProblem {

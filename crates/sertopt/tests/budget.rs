@@ -15,8 +15,7 @@ use ser_netlist::generate;
 use ser_netlist::govern::InterruptReason;
 use ser_spice::Technology;
 use sertopt::{
-    optimize_circuit, optimize_circuit_with_budget, Algorithm, AllowedParams, OptimizerConfig,
-    Outcome, Termination,
+    optimize, Algorithm, AllowedParams, OptimizeRequest, OptimizerConfig, Outcome, Termination,
 };
 
 const ALL: [Algorithm; 4] = [
@@ -43,7 +42,8 @@ fn cfg(algorithm: Algorithm) -> OptimizerConfig {
 fn run_governed(cfg: &OptimizerConfig, deadline: &Deadline) -> Outcome {
     let circuit = generate::c17();
     let mut library = lib();
-    optimize_circuit_with_budget(&circuit, &mut library, cfg, deadline)
+    let req = OptimizeRequest::new(cfg.clone()).budget(deadline.clone());
+    optimize(&circuit, &mut library, &req)
 }
 
 fn stage_of(algorithm: Algorithm) -> &'static str {
@@ -61,7 +61,7 @@ fn unbounded_budget_matches_plain_entry_point_bitwise() {
         let c = cfg(algorithm);
         let circuit = generate::c17();
         let mut library = lib();
-        let plain = optimize_circuit(&circuit, &mut library, &c);
+        let plain = optimize(&circuit, &mut library, &OptimizeRequest::new(c.clone()));
         let governed = run_governed(&c, &Deadline::none());
         assert_eq!(plain.history, governed.history, "{algorithm:?}: history");
         assert_eq!(plain.best_phi, governed.best_phi, "{algorithm:?}: phi");

@@ -10,7 +10,9 @@
 use ser_cells::{CharGrids, Library};
 use ser_netlist::generate;
 use ser_spice::Technology;
-use sertopt::{optimize_circuit, Algorithm, AllowedParams, EvalStrategy, OptimizerConfig, Outcome};
+use sertopt::{
+    optimize, Algorithm, AllowedParams, EvalStrategy, OptimizeRequest, OptimizerConfig, Outcome,
+};
 
 fn lib() -> Library {
     Library::new(Technology::ptm70(), CharGrids::coarse())
@@ -29,7 +31,26 @@ fn cfg(algorithm: Algorithm) -> OptimizerConfig {
 fn run(cfg: &OptimizerConfig) -> Outcome {
     let circuit = generate::c17();
     let mut library = lib();
-    optimize_circuit(&circuit, &mut library, cfg)
+    optimize(&circuit, &mut library, &OptimizeRequest::new(cfg.clone()))
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_optimize_shims_match_the_request_entry_point() {
+    let c = cfg(Algorithm::CoordinateDescent);
+    let circuit = generate::c17();
+    let via_request = run(&c);
+    let mut library = lib();
+    let via_shim = sertopt::optimize_circuit(&circuit, &mut library, &c);
+    assert_outcomes_identical(&via_request, &via_shim, "optimize_circuit shim");
+    let mut library = lib();
+    let via_budget_shim = sertopt::optimize_circuit_with_budget(
+        &circuit,
+        &mut library,
+        &c,
+        &aserta::Deadline::none(),
+    );
+    assert_outcomes_identical(&via_request, &via_budget_shim, "with_budget shim");
 }
 
 fn assert_outcomes_identical(a: &Outcome, b: &Outcome, what: &str) {

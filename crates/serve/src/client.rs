@@ -1,0 +1,91 @@
+//! A blocking client for the daemon's frame protocol.
+
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+
+use crate::api::{Request, Response};
+use crate::proto::{self, Conn, FrameError, DEFAULT_MAX_FRAME};
+use crate::server::Listen;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting to the endpoint failed.
+    Connect(std::io::Error),
+    /// The request/response exchange failed at the frame layer.
+    Frame(FrameError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect(e) => write!(f, "connecting to the server failed: {e}"),
+            ClientError::Frame(e) => write!(f, "protocol exchange failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Connect(e) => Some(e),
+            ClientError::Frame(e) => Some(e),
+        }
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// One connection to a running daemon. Requests are synchronous:
+/// [`Client::request`] writes one frame and blocks for the reply.
+#[derive(Debug)]
+pub struct Client {
+    conn: Conn,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connects to a daemon endpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Connect`] when the endpoint is unreachable.
+    pub fn connect(endpoint: &Listen) -> Result<Self, ClientError> {
+        let conn = match endpoint {
+            Listen::Unix(path) => {
+                Conn::Unix(UnixStream::connect(path).map_err(ClientError::Connect)?)
+            }
+            Listen::Tcp(addr) => {
+                Conn::Tcp(TcpStream::connect(addr.as_str()).map_err(ClientError::Connect)?)
+            }
+        };
+        Ok(Client {
+            conn,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Overrides the response-frame ceiling (the server's replies to
+    /// huge sweeps can legitimately be large).
+    #[must_use]
+    pub fn with_max_frame(mut self, max_frame: usize) -> Self {
+        self.max_frame = max_frame;
+        self
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Frame`] when the exchange fails; a typed server
+    /// rejection is a *successful* exchange returning
+    /// [`Response::Error`].
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        proto::write_frame(&mut self.conn, request)?;
+        Ok(proto::read_message(&mut self.conn, self.max_frame)?)
+    }
+}

@@ -1,0 +1,231 @@
+//! Wire framing: 4-byte big-endian length prefix + UTF-8 JSON payload.
+//!
+//! The frame layer is deliberately dumb — one `u32` length, then that
+//! many bytes of JSON — so any language with sockets can speak it. The
+//! error taxonomy is the interesting part:
+//!
+//! * a clean EOF **between** frames is [`FrameError::Closed`] (the peer
+//!   hung up politely);
+//! * a length prefix above the configured limit is
+//!   [`FrameError::Oversized`] — the payload is *not* read, so the
+//!   stream cannot be resynchronized and the server closes the
+//!   connection after replying with the typed error;
+//! * bytes that are not valid JSON, or JSON that is not a known request,
+//!   are [`FrameError::Malformed`] — framing stayed intact, so the
+//!   connection remains usable after the typed rejection.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+
+use serde::{Deserialize, Serialize};
+
+/// Default per-frame payload ceiling: 8 MiB, comfortably above any
+/// realistic `.bench` upload while bounding a hostile prefix.
+pub const DEFAULT_MAX_FRAME: usize = 8 << 20;
+
+/// Why a frame could not be read or written.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed (or hit EOF mid-frame).
+    Io(io::Error),
+    /// The announced payload length exceeds the configured limit.
+    Oversized {
+        /// The limit in force, bytes.
+        limit: u64,
+        /// The announced length, bytes.
+        got: u64,
+    },
+    /// The payload was not a well-formed message.
+    Malformed(String),
+    /// The peer closed the stream cleanly between frames.
+    Closed,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame I/O failed: {e}"),
+            FrameError::Oversized { limit, got } => {
+                write!(f, "frame of {got} bytes exceeds the {limit}-byte limit")
+            }
+            FrameError::Malformed(detail) => write!(f, "malformed frame: {detail}"),
+            FrameError::Closed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one `value` as a frame: length prefix, then the JSON text.
+pub fn write_frame<T: Serialize>(w: &mut impl Write, value: &T) -> Result<(), FrameError> {
+    let text = serde_json::to_string(value)
+        .map_err(|e| FrameError::Malformed(format!("encoding reply: {e}")))?;
+    let bytes = text.as_bytes();
+    let len = u32::try_from(bytes.len()).map_err(|_| FrameError::Oversized {
+        limit: u64::from(u32::MAX),
+        got: bytes.len() as u64,
+    })?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame's raw payload, honouring `max_frame`.
+///
+/// A clean EOF before the first prefix byte is [`FrameError::Closed`];
+/// EOF anywhere later is a torn frame and surfaces as
+/// [`FrameError::Io`]. An oversized announcement returns without
+/// consuming the payload.
+pub fn read_frame_bytes(r: &mut impl Read, max_frame: usize) -> Result<Vec<u8>, FrameError> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match r.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Err(FrameError::Closed),
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside a frame length prefix",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > max_frame {
+        return Err(FrameError::Oversized {
+            limit: max_frame as u64,
+            got: len as u64,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Reads and decodes one typed message.
+pub fn read_message<T: Deserialize>(r: &mut impl Read, max_frame: usize) -> Result<T, FrameError> {
+    let payload = read_frame_bytes(r, max_frame)?;
+    let text = std::str::from_utf8(&payload)
+        .map_err(|e| FrameError::Malformed(format!("payload is not UTF-8: {e}")))?;
+    serde_json::from_str(text).map_err(|e| FrameError::Malformed(e.to_string()))
+}
+
+/// One byte stream, either transport. Exists so the server's worker
+/// loop and the client are transport-agnostic.
+#[derive(Debug)]
+pub enum Conn {
+    /// A TCP connection.
+    Tcp(TcpStream),
+    /// A Unix-domain connection.
+    Unix(UnixStream),
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{Request, Response};
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Ping).expect("write");
+        write_frame(&mut buf, &Request::Stats).expect("write");
+        let mut r = &buf[..];
+        let a: Request = read_message(&mut r, DEFAULT_MAX_FRAME).expect("read");
+        let b: Request = read_message(&mut r, DEFAULT_MAX_FRAME).expect("read");
+        assert_eq!(a, Request::Ping);
+        assert_eq!(b, Request::Stats);
+        assert!(matches!(
+            read_message::<Request>(&mut r, DEFAULT_MAX_FRAME),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_without_reading_the_payload() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1_000_000u32.to_be_bytes());
+        buf.extend_from_slice(b"junk that must not be consumed");
+        let mut r = &buf[..];
+        match read_frame_bytes(&mut r, 1024) {
+            Err(FrameError::Oversized {
+                limit: 1024,
+                got: 1_000_000,
+            }) => {}
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        // The payload bytes are still unread.
+        assert_eq!(r, b"junk that must not be consumed");
+    }
+
+    #[test]
+    fn torn_frames_and_non_json_are_typed() {
+        // EOF inside the prefix.
+        let mut r: &[u8] = &[0u8, 0];
+        assert!(matches!(
+            read_frame_bytes(&mut r, 64),
+            Err(FrameError::Io(_))
+        ));
+        // EOF inside the payload.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&10u32.to_be_bytes());
+        buf.extend_from_slice(b"shor");
+        let mut r = &buf[..];
+        assert!(matches!(
+            read_frame_bytes(&mut r, 64),
+            Err(FrameError::Io(_))
+        ));
+        // Valid frame, invalid payload.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&4u32.to_be_bytes());
+        buf.extend_from_slice(b"{{{{");
+        let mut r = &buf[..];
+        assert!(matches!(
+            read_message::<Response>(&mut r, 64),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+}

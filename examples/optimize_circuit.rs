@@ -21,7 +21,7 @@ use std::collections::BTreeMap;
 use soft_error::aserta::AnalysisSession;
 use soft_error::cells::{CharGrids, Library};
 use soft_error::netlist::{generate, topo};
-use soft_error::sertopt::{optimize_circuit, Algorithm, AllowedParams, OptimizerConfig};
+use soft_error::sertopt::{optimize, Algorithm, AllowedParams, OptimizeRequest, OptimizerConfig};
 use soft_error::spice::Technology;
 
 fn die(context: &str, err: impl std::fmt::Display) -> ! {
@@ -55,7 +55,7 @@ fn main() {
     cfg.aserta.sensitization_vectors = 4096;
 
     println!("optimizing {name} with {algo:?}…");
-    let outcome = optimize_circuit(&circuit, &mut library, &cfg);
+    let outcome = optimize(&circuit, &mut library, &OptimizeRequest::new(cfg.clone()));
 
     println!("\n=== outcome ===");
     println!(
@@ -102,12 +102,13 @@ fn main() {
     // persistent AnalysisSession one gate at a time. Each apply() scopes
     // recomputation to the cones/rows the delta invalidates — this is
     // exactly what the optimizer's inner loop does per candidate move.
-    let mut session = AnalysisSession::try_new(
+    let mut session = AnalysisSession::builder(
         &circuit,
         outcome.baseline_cells.clone(),
         library.clone(),
         cfg.aserta.clone(),
     )
+    .build()
     .unwrap_or_else(|e| die("building the replay session", e));
     println!("\nsession replay (gate deltas baseline -> optimized):");
     let (mut moves, mut rows) = (0usize, 0usize);

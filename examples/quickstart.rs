@@ -7,7 +7,7 @@
 use soft_error::aserta::{try_analyze_fresh, AsertaConfig, CircuitCells};
 use soft_error::cells::{CharGrids, Library};
 use soft_error::netlist::generate;
-use soft_error::sertopt::{optimize_circuit, OptimizerConfig};
+use soft_error::sertopt::{optimize, OptimizeRequest, OptimizerConfig};
 use soft_error::spice::Technology;
 
 fn die(context: &str, err: impl std::fmt::Display) -> ! {
@@ -45,7 +45,7 @@ fn main() {
     // 4. SERTOPT: harden it without touching path delays.
     let mut cfg = OptimizerConfig::fast();
     cfg.iterations = 12;
-    let outcome = optimize_circuit(&circuit, &mut library, &cfg);
+    let outcome = optimize(&circuit, &mut library, &OptimizeRequest::new(cfg));
     println!(
         "optimized: unreliability -{:.0}%  (delay {:.2}x, energy {:.2}x, area {:.2}x)",
         100.0 * outcome.unreliability_decrease(),

@@ -12,7 +12,7 @@ use soft_error::aserta::{AsertaConfig, CircuitCells};
 use soft_error::cells::{CharGrids, Library};
 use soft_error::logicsim::sensitize::sensitization_probabilities;
 use soft_error::netlist::generate;
-use soft_error::sertopt::{optimize_circuit, OptimizerConfig};
+use soft_error::sertopt::{optimize, OptimizeRequest, OptimizerConfig};
 use soft_error::spice::Technology;
 
 fn main() {
@@ -36,7 +36,7 @@ fn main() {
 
     let mut opt_cfg = OptimizerConfig::fast();
     opt_cfg.iterations = 10;
-    let outcome = optimize_circuit(&circuit, &mut library, &opt_cfg);
+    let outcome = optimize(&circuit, &mut library, &OptimizeRequest::new(opt_cfg));
     let after = soft_error_rate(
         &circuit,
         &outcome.optimized_cells,

@@ -14,10 +14,12 @@
 use std::fs;
 use std::process::ExitCode;
 
-use soft_error::aserta::{report, try_analyze_fresh, validate, AsertaConfig, CircuitCells};
+use soft_error::aserta::{
+    report, validate, AnalysisSession, AsertaConfig, CircuitCells, Deadline, EngineConfig,
+};
 use soft_error::cells::{CharGrids, Library, LibrarySpec};
 use soft_error::netlist::{bench_format, generate, stats::CircuitStats, Circuit, GateKind};
-use soft_error::sertopt::{optimize_circuit, Algorithm, AllowedParams, OptimizerConfig};
+use soft_error::sertopt::{optimize, Algorithm, AllowedParams, OptimizeRequest, OptimizerConfig};
 use soft_error::spice::Technology;
 
 fn main() -> ExitCode {
@@ -55,6 +57,7 @@ USAGE:
   soft-error analyze      <circuit> [--vectors N] [--seed S] [--top K] [--json FILE]
   soft-error optimize     <circuit> [--algo sqp|coord|anneal|genetic]
                                     [--iters N] [--profile dual|triple|sizing]
+                                    [--budget-ms MS]
   soft-error characterize <out.json> [--coarse]
   soft-error validate     <circuit> [--vectors N] [--levels L]
 
@@ -103,10 +106,17 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     cfg.seed = flag_parse(args, "--seed", cfg.seed)?;
     let top: usize = flag_parse(args, "--top", 10)?;
 
-    let mut library = Library::new(Technology::ptm70(), CharGrids::standard());
+    let library = Library::new(Technology::ptm70(), CharGrids::standard());
     let cells = CircuitCells::nominal(&circuit);
     let t0 = std::time::Instant::now();
-    let rep = try_analyze_fresh(&circuit, &cells, &mut library, &cfg).map_err(|e| e.to_string())?;
+    // The strict env overlay: malformed SER_* variables are a typed
+    // error here, not a silently-ignored knob.
+    let engine = EngineConfig::from_env().map_err(|e| e.to_string())?;
+    let rep = AnalysisSession::builder(&circuit, cells, library, cfg)
+        .engine(engine)
+        .build()
+        .map_err(|e| e.to_string())?
+        .into_report();
     let secs = t0.elapsed().as_secs_f64();
 
     println!("circuit          {}", circuit.name());
@@ -179,8 +189,15 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
         cfg.algorithm,
         cfg.iterations
     );
+    let mut request = OptimizeRequest::new(cfg);
+    if let Some(ms) = flag(args, "--budget-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("--budget-ms expects a number, got `{ms}`"))?;
+        request = request.budget(Deadline::within(std::time::Duration::from_millis(ms)));
+    }
     let mut library = Library::new(Technology::ptm70(), CharGrids::standard());
-    let outcome = optimize_circuit(&circuit, &mut library, &cfg);
+    let outcome = optimize(&circuit, &mut library, &request);
     println!(
         "unreliability  {:.3e} -> {:.3e}  (-{:.0}%)",
         outcome.baseline.unreliability,

@@ -9,7 +9,9 @@
 //! * [`cells`] — characterized cell library (lookup tables);
 //! * [`logicsim`] — bit-parallel logic simulation and probabilities;
 //! * [`aserta`] — soft-error tolerance **analysis** (the paper's §3);
-//! * [`sertopt`] — soft-error tolerance **optimization** (the paper's §4).
+//! * [`sertopt`] — soft-error tolerance **optimization** (the paper's §4);
+//! * [`serve`] — the resident analysis daemon (`ser-serve`) and its
+//!   typed wire API over warm, pooled analysis sessions.
 //!
 //! # Example: the paper's pipeline in six lines
 //!
@@ -30,5 +32,6 @@ pub use aserta;
 pub use ser_cells as cells;
 pub use ser_logicsim as logicsim;
 pub use ser_netlist as netlist;
+pub use ser_serve as serve;
 pub use ser_spice as spice;
 pub use sertopt;

@@ -6,7 +6,7 @@ use soft_error::aserta::{analyze_fresh, timing_view, AsertaConfig, CircuitCells,
 use soft_error::cells::{CharGrids, Library};
 use soft_error::netlist::generate;
 use soft_error::sertopt::matching::vdd_violations;
-use soft_error::sertopt::{optimize_circuit, Algorithm, OptimizerConfig};
+use soft_error::sertopt::{optimize, Algorithm, OptimizeRequest, OptimizerConfig};
 use soft_error::spice::Technology;
 
 fn fast_config(algorithm: Algorithm) -> OptimizerConfig {
@@ -21,7 +21,11 @@ fn fast_config(algorithm: Algorithm) -> OptimizerConfig {
 fn c17_optimization_never_regresses_and_keeps_timing() {
     let circuit = generate::c17();
     let mut library = Library::new(Technology::ptm70(), CharGrids::coarse());
-    let outcome = optimize_circuit(&circuit, &mut library, &fast_config(Algorithm::Sqp));
+    let outcome = optimize(
+        &circuit,
+        &mut library,
+        &OptimizeRequest::new(fast_config(Algorithm::Sqp)),
+    );
 
     // The zero-vector fallback guarantees no regression.
     assert!(
@@ -50,7 +54,11 @@ fn every_algorithm_runs_on_c17() {
         Algorithm::Genetic,
     ] {
         let mut library = Library::new(Technology::ptm70(), CharGrids::coarse());
-        let outcome = optimize_circuit(&circuit, &mut library, &fast_config(algo));
+        let outcome = optimize(
+            &circuit,
+            &mut library,
+            &OptimizeRequest::new(fast_config(algo)),
+        );
         assert!(
             outcome.optimized.unreliability.is_finite(),
             "{algo:?} produced garbage"
@@ -78,7 +86,11 @@ fn analysis_is_deterministic_across_library_instances() {
 fn optimized_assignment_realizes_a_valid_timing_view() {
     let circuit = generate::c17();
     let mut library = Library::new(Technology::ptm70(), CharGrids::coarse());
-    let outcome = optimize_circuit(&circuit, &mut library, &fast_config(Algorithm::Sqp));
+    let outcome = optimize(
+        &circuit,
+        &mut library,
+        &OptimizeRequest::new(fast_config(Algorithm::Sqp)),
+    );
     let lm = LoadModel {
         wire_cap_per_pin: 0.05e-15,
         po_load: 2.0e-15,

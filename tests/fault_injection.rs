@@ -50,7 +50,10 @@ fn fast_cfg() -> AsertaConfig {
 
 fn session_pair(circuit: &Circuit) -> (AnalysisSession<'_>, AnalysisSession<'_>) {
     let lib = Library::new(Technology::ptm70(), CharGrids::coarse());
-    let session = AnalysisSession::new(circuit, CircuitCells::nominal(circuit), lib, fast_cfg());
+    let session =
+        AnalysisSession::builder(circuit, CircuitCells::nominal(circuit), lib, fast_cfg())
+            .build()
+            .unwrap();
     let twin = session.clone();
     (session, twin)
 }
@@ -569,15 +572,11 @@ fn deadline_mid_estimate_truncates_or_rejects_construction() {
     {
         let _guard = failpoint::scenario();
         failpoint::set_times("govern::deadline", FailAction::Error, 1);
-        let err = AnalysisSession::try_new_governed(
-            &circuit,
-            cells.clone(),
-            lib.clone(),
-            cfg.clone(),
-            Deadline::none(),
-        )
-        .map(|_| ())
-        .unwrap_err();
+        let err = AnalysisSession::builder(&circuit, cells.clone(), lib.clone(), cfg.clone())
+            .deadline(Deadline::none())
+            .build()
+            .map(|_| ())
+            .unwrap_err();
         assert!(
             matches!(err, AnalysisError::Interrupted(_)),
             "zero completed blocks must reject construction, got {err}"
@@ -587,9 +586,10 @@ fn deadline_mid_estimate_truncates_or_rejects_construction() {
     {
         let _guard = failpoint::scenario();
         failpoint::set_after("govern::deadline", FailAction::Error, 1, 1);
-        let session =
-            AnalysisSession::try_new_governed(&circuit, cells, lib, cfg.clone(), Deadline::none())
-                .expect("a partial estimate is still usable");
+        let session = AnalysisSession::builder(&circuit, cells, lib, cfg.clone())
+            .deadline(Deadline::none())
+            .build()
+            .expect("a partial estimate is still usable");
         assert_eq!(failpoint::hits("govern::deadline"), 1);
         let truncated = session.degradations().iter().find_map(|e| match e {
             DegradationEvent::EstimateTruncated {
@@ -626,7 +626,9 @@ fn tiled10k_poisoned_session_recovers_bitwise_fresh() {
     let mut cfg = AsertaConfig::fast();
     cfg.sensitization_vectors = 128;
     let nominal = CircuitCells::nominal(&circuit);
-    let mut session = AnalysisSession::new(&circuit, nominal.clone(), lib, cfg);
+    let mut session = AnalysisSession::builder(&circuit, nominal.clone(), lib, cfg)
+        .build()
+        .unwrap();
     let fresh = snapshot(&session);
 
     let g = first_gate(&circuit);

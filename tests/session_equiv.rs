@@ -52,7 +52,9 @@ proptest! {
         let cfg = cfg();
         let lib = Library::new(Technology::ptm70(), CharGrids::coarse());
         let mut session =
-            AnalysisSession::new(&circuit, CircuitCells::nominal(&circuit), lib, cfg.clone());
+            AnalysisSession::builder(&circuit, CircuitCells::nominal(&circuit), lib, cfg.clone())
+                .build()
+                .unwrap();
 
         let gates: Vec<_> = circuit.gates().collect();
         for chunk in moves.chunks(2) {
@@ -142,7 +144,9 @@ proptest! {
         let cfg = cfg();
         let lib = Library::new(Technology::ptm70(), CharGrids::coarse());
         let mut session =
-            AnalysisSession::new(&circuit, CircuitCells::nominal(&circuit), lib, cfg.clone());
+            AnalysisSession::builder(&circuit, CircuitCells::nominal(&circuit), lib, cfg.clone())
+                .build()
+                .unwrap();
         let gates: Vec<_> = circuit.gates().collect();
         for &(sel, s, l, v, t) in &moves {
             let g = gates[sel % gates.len()];

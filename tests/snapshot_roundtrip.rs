@@ -29,12 +29,14 @@ fn fast_cfg(vectors: usize) -> AsertaConfig {
 
 fn session(circuit: &Circuit, vectors: usize) -> AnalysisSession<'_> {
     let lib = Library::new(Technology::ptm70(), CharGrids::coarse());
-    AnalysisSession::new(
+    AnalysisSession::builder(
         circuit,
         CircuitCells::nominal(circuit),
         lib,
         fast_cfg(vectors),
     )
+    .build()
+    .unwrap()
 }
 
 /// Every derived quantity of a session, bit for bit.
