@@ -34,11 +34,23 @@
 //! is held to an **absolute** floor ([`SERVE_SPEEDUP_FLOOR`]), not a
 //! baseline ratio — the section is new and self-judging.
 //!
+//! A `pij_kernel` section ablates the estimator modes on layered1k at a
+//! multi-block budget: the pre-PR scalar fixed-budget path against the
+//! wide kernels alone (asserted bitwise identical), adaptive sampling
+//! alone, exact small-cone mode alone, and the default combination —
+//! whose speedup over scalar is held to an **absolute**
+//! [`PIJ_KERNEL_SPEEDUP_FLOOR`] under `--gate`, serve-style.
+//!
 //! ```text
 //! cargo run --release -p ser-bench --bin perf_snapshot -- \
-//!     [--smoke] [--gate] [--scaling] [--out PATH] [--baseline PATH] \
-//!     [--emit-snapshot PATH]
+//!     [--smoke] [--gate] [--scaling] [--only SECTION] [--out PATH] \
+//!     [--baseline PATH] [--emit-snapshot PATH]
 //! ```
+//!
+//! `--only <circuits|serve|pij_kernel|scaling>` runs a single section
+//! (skipping the baseline comparison, whose coverage checks would
+//! otherwise fail loudly) — so e.g. the `pij_kernel` ablations can be
+//! iterated without paying the full suite.
 //!
 //! `--smoke` shrinks vector counts and repetitions for CI and compares
 //! against the **committed baseline** (`crates/bench/baselines/
@@ -67,8 +79,9 @@ use ser_bench::timed;
 use ser_cells::{CharGrids, Library};
 use ser_logicsim::probability::static_probabilities_analytic;
 use ser_logicsim::sensitize::{
-    cone_chunk_size, sensitization_probabilities, sensitization_probabilities_with_stats,
-    simulation_threads,
+    cone_chunk_size, sensitization_probabilities, sensitization_probabilities_cfg,
+    sensitization_probabilities_with_stats, sensitization_probabilities_with_stats_cfg,
+    simulation_threads, PijConfig,
 };
 use ser_netlist::generate::{self, LayeredSpec, TiledSpec};
 use ser_netlist::Circuit;
@@ -139,6 +152,14 @@ const TIMED_KEYS: [&str; 8] = [
 /// warm.
 const SERVE_SPEEDUP_FLOOR: f64 = 5.0;
 
+/// Hard floor on the default-mode `P_ij` speedup (wide kernels +
+/// adaptive sampling + exact small cones, at default accuracy) over the
+/// pre-PR scalar fixed-budget path on layered1k under `--gate`.
+/// **Absolute**, serve-style: the estimator rewrite's reason to exist
+/// is a multiple-× cut of the dominant `analyze_fresh` term, so a
+/// ratio below this means one of the three levers stopped pulling.
+const PIJ_KERNEL_SPEEDUP_FLOOR: f64 = 3.0;
+
 /// Allowed additive increase of the fitted log-log `analyze_fresh` slope
 /// over the baseline's before the scaling gate fails. A slope step of
 /// this size means super-linear growth crept in (e.g. an accidental
@@ -170,20 +191,35 @@ fn main() {
         std::process::exit(2);
     }
 
+    // `--only` narrows the run to one section and drops the baseline
+    // comparison (whose missing-section checks would fail loudly by
+    // design for every section that did not run).
+    let only = flag_value(&args, "--only");
+    if let Some(o) = &only {
+        if !["circuits", "serve", "pij_kernel", "scaling"].contains(&o.as_str()) {
+            eprintln!("error: unknown --only section {o:?} (circuits|serve|pij_kernel|scaling)");
+            std::process::exit(2);
+        }
+    }
+    let runs = |section: &str| only.as_deref().is_none_or(|o| o == section);
+
     let (vectors, reps) = if smoke { (512, 3) } else { (4096, 3) };
     let threads = simulation_threads();
 
     let mut rows: Vec<Value> = Vec::new();
-    for circuit in snapshot_circuits() {
-        let mut row = measure(&circuit, vectors, reps);
-        merge(&mut row, measure_optimize(&circuit, smoke));
-        merge(&mut row, measure_corners(&circuit, smoke));
-        merge(&mut row, measure_snapshot_restore(&circuit, smoke));
-        eprintln!("measured {}", circuit.name());
-        rows.push(row);
+    if runs("circuits") {
+        for circuit in snapshot_circuits() {
+            let mut row = measure(&circuit, vectors, reps);
+            merge(&mut row, measure_optimize(&circuit, smoke));
+            merge(&mut row, measure_corners(&circuit, smoke));
+            merge(&mut row, measure_snapshot_restore(&circuit, smoke));
+            eprintln!("measured {}", circuit.name());
+            rows.push(row);
+        }
     }
-    let scaling_doc = scaling_mode.then(|| measure_scaling(smoke));
-    let serve_doc = measure_serve(smoke);
+    let scaling_doc = (scaling_mode && runs("scaling")).then(|| measure_scaling(smoke));
+    let serve_doc = runs("serve").then(|| measure_serve(smoke));
+    let pij_kernel_doc = runs("pij_kernel").then(measure_pij_kernel);
 
     // An explicit --baseline is embedded in the document; the committed
     // smoke baseline is only *printed* (embedding it would nest forever
@@ -194,16 +230,20 @@ fn main() {
     });
     let speedups = explicit_baseline.as_ref().map(|b| speedups_vs(b, &rows));
 
-    let compare_against = explicit_baseline.clone().or_else(|| {
-        if smoke || gate {
-            Some(
-                serde_json::from_str::<Value>(EMBEDDED_SMOKE_BASELINE)
-                    .unwrap_or_else(|e| die("parsing the embedded smoke baseline", e)),
-            )
-        } else {
-            None
-        }
-    });
+    let compare_against = if only.is_some() {
+        None
+    } else {
+        explicit_baseline.clone().or_else(|| {
+            if smoke || gate {
+                Some(
+                    serde_json::from_str::<Value>(EMBEDDED_SMOKE_BASELINE)
+                        .unwrap_or_else(|e| die("parsing the embedded smoke baseline", e)),
+                )
+            } else {
+                None
+            }
+        })
+    };
     let mut regressions: Vec<String> = Vec::new();
     if let Some(base) = &compare_against {
         regressions = print_comparison(base, &rows);
@@ -211,21 +251,41 @@ fn main() {
             regressions.extend(print_scaling_comparison(base, run_scaling));
         }
     }
-    // The serve section judges itself against an absolute floor rather
-    // than the committed baseline (which predates it), so a stale
-    // baseline can never mask a dead warm path.
+    // The serve and pij_kernel sections judge themselves against
+    // absolute floors rather than the committed baseline, so a stale
+    // baseline can never mask a dead warm path or kernel path.
     if gate {
-        match num(&serve_doc, "warm_speedup") {
-            Some(s) if s >= SERVE_SPEEDUP_FLOOR => {
-                println!(
-                    "serve gate: warm speedup {s:.1}x (absolute floor {SERVE_SPEEDUP_FLOOR}x)"
-                );
+        if let Some(serve_doc) = &serve_doc {
+            match num(serve_doc, "warm_speedup") {
+                Some(s) if s >= SERVE_SPEEDUP_FLOOR => {
+                    println!(
+                        "serve gate: warm speedup {s:.1}x (absolute floor {SERVE_SPEEDUP_FLOOR}x)"
+                    );
+                }
+                Some(s) => regressions.push(format!(
+                    "serve: warm-daemon speedup {s:.2}x below the absolute {SERVE_SPEEDUP_FLOOR}x floor"
+                )),
+                None => regressions.push(
+                    "serve: warm_speedup missing — the serve section stopped measuring".into(),
+                ),
             }
-            Some(s) => regressions.push(format!(
-                "serve: warm-daemon speedup {s:.2}x below the absolute {SERVE_SPEEDUP_FLOOR}x floor"
-            )),
-            None => regressions
-                .push("serve: warm_speedup missing — the serve section stopped measuring".into()),
+        }
+        if let Some(pij_doc) = &pij_kernel_doc {
+            match num(pij_doc, "speedup_default") {
+                Some(s) if s >= PIJ_KERNEL_SPEEDUP_FLOOR => {
+                    println!(
+                        "pij_kernel gate: default-mode speedup {s:.1}x \
+                         (absolute floor {PIJ_KERNEL_SPEEDUP_FLOOR}x)"
+                    );
+                }
+                Some(s) => regressions.push(format!(
+                    "pij_kernel: default-mode speedup {s:.2}x below the absolute \
+                     {PIJ_KERNEL_SPEEDUP_FLOOR}x floor"
+                )),
+                None => regressions.push(
+                    "pij_kernel: speedup_default missing — the section stopped measuring".into(),
+                ),
+            }
         }
     }
 
@@ -236,8 +296,13 @@ fn main() {
         ("vectors".into(), serde_json::to_value(&(vectors as u64))),
         ("reps".into(), serde_json::to_value(&(reps as u64))),
         ("circuits".into(), Value::Array(rows)),
-        ("serve".into(), serve_doc),
     ];
+    if let Some(s) = serve_doc {
+        doc.push(("serve".into(), s));
+    }
+    if let Some(s) = pij_kernel_doc {
+        doc.push(("pij_kernel".into(), s));
+    }
     if let Some(s) = scaling_doc {
         doc.push(("scaling".into(), s));
     }
@@ -655,6 +720,126 @@ fn measure_serve(smoke: bool) -> Value {
             "warm_speedup".into(),
             serde_json::to_value(&(fresh_per / warm_per)),
         ),
+    ])
+}
+
+/// Ablates the estimator modes on layered1k at a deliberately
+/// multi-block budget (the adaptive stop rule only fires at 64-word
+/// block boundaries, so the 512-vector smoke budget — a single partial
+/// block — would show no adaptivity at all):
+///
+/// * `scalar_fixed` — one lane, tolerance 0, exact mode off: the
+///   pre-PR estimator, and the baseline every ratio is against;
+/// * `wide_fixed` — default lane width only; asserted **bitwise
+///   identical** to `scalar_fixed` (the CI-pin contract);
+/// * `adaptive` / `exact` — each remaining lever alone, on wide lanes;
+/// * `default` — all three levers at default accuracy; its deviation
+///   from scalar is reported (`max_abs_delta_p`) and sanity-bounded.
+fn measure_pij_kernel() -> Value {
+    let circuit = generate::layered(&LayeredSpec::new("layered1k", 40, 12, 1000));
+    let vectors = 200_000;
+    let reps = 3;
+    let threads = simulation_threads();
+    let chunk = cone_chunk_size();
+
+    let scalar_cfg = PijConfig::fixed();
+    let wide_cfg = PijConfig {
+        lanes: PijConfig::default().lanes,
+        ..PijConfig::fixed()
+    };
+    let adaptive_cfg = PijConfig {
+        exact_support: 0,
+        ..PijConfig::default()
+    };
+    let exact_cfg = PijConfig {
+        tolerance: 0.0,
+        ..PijConfig::default()
+    };
+    let default_cfg = PijConfig::default();
+
+    let run = |pij: &PijConfig| {
+        let (first, first_s) =
+            timed(|| sensitization_probabilities_cfg(&circuit, vectors, SEED, threads, chunk, pij));
+        let rest_s = best_of(reps - 1, || {
+            timed(|| sensitization_probabilities_cfg(&circuit, vectors, SEED, threads, chunk, pij))
+                .1
+        });
+        (first, first_s.min(rest_s))
+    };
+    let (scalar, scalar_s) = run(&scalar_cfg);
+    let (wide, wide_s) = run(&wide_cfg);
+    assert_eq!(
+        wide, scalar,
+        "wide kernels must be bitwise identical to scalar at tolerance 0"
+    );
+    let (_, adaptive_s) = run(&adaptive_cfg);
+    let (_, exact_s) = run(&exact_cfg);
+    let (default_m, default_s) = run(&default_cfg);
+    let ((_, stats), _) = timed(|| {
+        sensitization_probabilities_with_stats_cfg(
+            &circuit,
+            vectors,
+            SEED,
+            threads,
+            chunk,
+            &default_cfg,
+        )
+    });
+
+    // Default accuracy must stay default accuracy: the combined modes
+    // may not drift visibly from the fixed-budget estimate.
+    let mut max_delta = 0.0f64;
+    for id in circuit.node_ids() {
+        for j in 0..circuit.primary_outputs().len() {
+            max_delta = max_delta.max((default_m.p(id, j) - scalar.p(id, j)).abs());
+        }
+    }
+    assert!(
+        max_delta < 0.05,
+        "default estimator modes drifted {max_delta} from the fixed-budget estimate"
+    );
+
+    eprintln!(
+        "measured pij_kernel (scalar {:.1} ms, default {:.1} ms, {:.1}x)",
+        scalar_s * 1e3,
+        default_s * 1e3,
+        scalar_s / default_s
+    );
+    Value::Object(vec![
+        ("circuit".into(), serde_json::to_value(&"layered1k")),
+        ("vectors".into(), serde_json::to_value(&(vectors as u64))),
+        ("threads".into(), serde_json::to_value(&(threads as u64))),
+        ("chunk".into(), serde_json::to_value(&(chunk as u64))),
+        ("scalar_fixed_s".into(), serde_json::to_value(&scalar_s)),
+        ("wide_fixed_s".into(), serde_json::to_value(&wide_s)),
+        ("adaptive_s".into(), serde_json::to_value(&adaptive_s)),
+        ("exact_s".into(), serde_json::to_value(&exact_s)),
+        ("default_s".into(), serde_json::to_value(&default_s)),
+        (
+            "speedup_wide".into(),
+            serde_json::to_value(&(scalar_s / wide_s)),
+        ),
+        (
+            "speedup_adaptive".into(),
+            serde_json::to_value(&(scalar_s / adaptive_s)),
+        ),
+        (
+            "speedup_exact".into(),
+            serde_json::to_value(&(scalar_s / exact_s)),
+        ),
+        (
+            "speedup_default".into(),
+            serde_json::to_value(&(scalar_s / default_s)),
+        ),
+        (
+            "exact_roots".into(),
+            serde_json::to_value(&(stats.exact_roots as u64)),
+        ),
+        (
+            "adaptive_stops".into(),
+            serde_json::to_value(&(stats.adaptive_stops as u64)),
+        ),
+        ("max_abs_delta_p".into(), serde_json::to_value(&max_delta)),
     ])
 }
 

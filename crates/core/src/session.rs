@@ -77,8 +77,7 @@ use ser_cells::{CharacterizedCell, Library};
 use ser_logicsim::engine::EngineConfig;
 use ser_logicsim::probability::static_probabilities_analytic;
 use ser_logicsim::sensitize::{
-    resimulate_rows, sensitization_probabilities_chunked,
-    sensitization_probabilities_governed_chunked,
+    resimulate_rows_cfg, sensitization_probabilities_cfg, sensitization_probabilities_governed_cfg,
 };
 use ser_logicsim::SensitizationMatrix;
 use ser_netlist::csr::CsrView;
@@ -266,22 +265,24 @@ impl<'c> SessionBuilder<'c> {
         let (pij, events) = match (self.pij, &self.deadline) {
             (Some(pij), _) => (pij, Vec::new()),
             (None, None) => (
-                sensitization_probabilities_chunked(
+                sensitization_probabilities_cfg(
                     self.circuit,
                     self.cfg.sensitization_vectors,
                     self.cfg.seed,
                     engine.threads(),
                     engine.cone_chunk(),
+                    &engine.pij(),
                 ),
                 Vec::new(),
             ),
             (None, Some(deadline)) => {
-                let est = sensitization_probabilities_governed_chunked(
+                let est = sensitization_probabilities_governed_cfg(
                     self.circuit,
                     self.cfg.sensitization_vectors,
                     self.cfg.seed,
                     engine.threads(),
                     engine.cone_chunk(),
+                    &engine.pij(),
                     deadline,
                     engine.mem_soft_limit(),
                 )
@@ -976,7 +977,18 @@ impl<'c> AnalysisSession<'c> {
             "aserta::resample_rows",
             return Err(AnalysisError::FaultInjected("aserta::resample_rows"))
         );
-        let update = resimulate_rows(self.circuit, nodes, n_vectors, seed);
+        // Resampling must reuse the session's estimator modes: rows
+        // refilled under a different lane width / tolerance / exact
+        // threshold would silently mix accuracy settings in one matrix.
+        let update = resimulate_rows_cfg(
+            self.circuit,
+            nodes,
+            n_vectors,
+            seed,
+            self.engine.threads(),
+            self.engine.cone_chunk(),
+            &self.engine.pij(),
+        );
         self.pij.apply_update(&update);
         // π weights read P rows of both a node and its successors; a full
         // rebuild is simplest and exact (refinement is a rare, heavy op).
@@ -1707,7 +1719,7 @@ mod tests {
 
         // Oracle: fresh analysis over the hand-patched matrix.
         let mut pij = ser_logicsim::sensitize::sensitization_probabilities(&c, 512, cfg().seed);
-        let up = resimulate_rows(&c, &targets, 2048, 99);
+        let up = ser_logicsim::sensitize::resimulate_rows(&c, &targets, 2048, 99);
         pij.apply_update(&up);
         let mut l = lib();
         let fresh = analyze(&c, session.cells(), &mut l, &pij, session.config());

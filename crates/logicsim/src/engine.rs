@@ -11,6 +11,20 @@
 //! * **soft memory limit** (`SER_MEM_SOFT_LIMIT`) — byte budget the
 //!   governed estimator degrades under instead of OOMing.
 //!
+//! Three more knobs govern the `P_ij` **estimator** itself (see
+//! [`PijConfig`]). One is again purely about *how* (`SER_SIMD_LANES`,
+//! bitwise identical for every value); the other two trade accuracy
+//! bookkeeping for speed and are therefore part of a result's identity:
+//!
+//! * **SIMD lanes** (`SER_SIMD_LANES`) — `u64` words processed per
+//!   interpreter step in the wide cone-replay kernels (1, 2, 4 or 8);
+//! * **adaptive tolerance** (`SER_PIJ_TOL`) — per-cone relative
+//!   half-width target for early sampling stops (`0` = the fixed-budget
+//!   bitwise-pinned mode);
+//! * **exact support threshold** (`SER_EXACT_SUPPORT`) — cones whose
+//!   primary-input support is at most this are enumerated exactly
+//!   instead of sampled (`0` = never).
+//!
 //! Precedence is **explicit > environment > default**: a field set on
 //! the config wins; an unset field falls through to the environment
 //! overlay ([`EngineConfig::from_env`]) and then to the built-in
@@ -45,6 +59,27 @@ use serde::{Deserialize, Serialize};
 /// 100k-gate designs.
 pub const DEFAULT_CONE_CHUNK: usize = 128;
 
+/// Default `u64` lane width of the wide cone-replay kernels. Four
+/// 64-bit words per interpreter step keeps the unrolled row loops in
+/// registers on every x86-64/aarch64 target without spilling.
+pub const DEFAULT_SIMD_LANES: usize = 4;
+
+/// Lane widths the wide kernels are monomorphized for.
+pub const VALID_SIMD_LANES: [usize; 4] = [1, 2, 4, 8];
+
+/// Default relative tolerance of the adaptive sampler: a cone stops
+/// early once its observability confidence half-width drops below
+/// `tolerance * estimate` (never below the half-width the full
+/// requested budget would achieve, so the default preserves the
+/// fixed-budget accuracy). `0` disables adaptivity entirely.
+pub const DEFAULT_PIJ_TOLERANCE: f64 = 0.02;
+
+/// Default primary-input support threshold of the exact small-cone
+/// enumerator: cones observed through at most this many primary inputs
+/// are enumerated exhaustively instead of sampled. `0` disables the
+/// exact mode.
+pub const DEFAULT_EXACT_SUPPORT: usize = 20;
+
 /// A malformed engine environment variable, rejected by the strict
 /// [`EngineConfig::from_env`] overlay.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,7 +112,7 @@ impl std::error::Error for EngineConfigError {}
 /// accessors ([`EngineConfig::threads`], [`EngineConfig::cone_chunk`],
 /// [`EngineConfig::mem_soft_limit`]) apply the built-in defaults, so a
 /// fully-unset config is always usable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct EngineConfig {
     /// Worker threads (`None` = machine parallelism).
     pub sim_threads: Option<usize>,
@@ -87,6 +122,16 @@ pub struct EngineConfig {
     /// Soft memory budget in bytes for governed estimation (`None` =
     /// ungoverned).
     pub mem_soft_limit: Option<usize>,
+    /// `u64` lane width of the wide cone-replay kernels; must be one of
+    /// [`VALID_SIMD_LANES`] (`None` = [`DEFAULT_SIMD_LANES`]). Purely
+    /// an execution knob: every lane width is bitwise identical.
+    pub simd_lanes: Option<usize>,
+    /// Relative tolerance of the adaptive `P_ij` sampler; `0` pins the
+    /// fixed-budget bitwise path (`None` = [`DEFAULT_PIJ_TOLERANCE`]).
+    pub pij_tolerance: Option<f64>,
+    /// Primary-input support threshold of the exact small-cone
+    /// enumerator; `0` disables it (`None` = [`DEFAULT_EXACT_SUPPORT`]).
+    pub exact_support: Option<usize>,
 }
 
 impl EngineConfig {
@@ -96,6 +141,9 @@ impl EngineConfig {
             sim_threads: None,
             cone_chunk: None,
             mem_soft_limit: None,
+            simd_lanes: None,
+            pij_tolerance: None,
+            exact_support: None,
         }
     }
 
@@ -118,6 +166,29 @@ impl EngineConfig {
     #[must_use]
     pub fn with_mem_soft_limit(mut self, bytes: usize) -> Self {
         self.mem_soft_limit = Some(bytes);
+        self
+    }
+
+    /// Sets the wide-kernel lane width (one of [`VALID_SIMD_LANES`];
+    /// the resolved accessor treats other values as unset).
+    #[must_use]
+    pub fn with_simd_lanes(mut self, lanes: usize) -> Self {
+        self.simd_lanes = Some(lanes);
+        self
+    }
+
+    /// Sets the adaptive sampler's relative tolerance (`0` = fixed
+    /// budget, bitwise-pinned).
+    #[must_use]
+    pub fn with_pij_tolerance(mut self, tolerance: f64) -> Self {
+        self.pij_tolerance = Some(tolerance);
+        self
+    }
+
+    /// Sets the exact enumerator's support threshold (`0` = off).
+    #[must_use]
+    pub fn with_exact_support(mut self, support: usize) -> Self {
+        self.exact_support = Some(support);
         self
     }
 
@@ -154,6 +225,27 @@ impl EngineConfig {
                 expected: "a positive byte count with optional K/M/G suffix",
             })?);
         }
+        if let Ok(v) = std::env::var("SER_SIMD_LANES") {
+            cfg.simd_lanes = Some(parse_lanes(&v).ok_or(EngineConfigError {
+                var: "SER_SIMD_LANES",
+                value: v,
+                expected: "one of 1, 2, 4, 8",
+            })?);
+        }
+        if let Ok(v) = std::env::var("SER_PIJ_TOL") {
+            cfg.pij_tolerance = Some(parse_tolerance(&v).ok_or(EngineConfigError {
+                var: "SER_PIJ_TOL",
+                value: v,
+                expected: "a finite non-negative number (0 disables adaptivity)",
+            })?);
+        }
+        if let Ok(v) = std::env::var("SER_EXACT_SUPPORT") {
+            cfg.exact_support = Some(parse_support(&v).ok_or(EngineConfigError {
+                var: "SER_EXACT_SUPPORT",
+                value: v,
+                expected: "a non-negative integer (0 disables exact mode)",
+            })?);
+        }
         Ok(cfg)
     }
 
@@ -174,6 +266,15 @@ impl EngineConfig {
         if let Ok(v) = std::env::var("SER_MEM_SOFT_LIMIT") {
             cfg.mem_soft_limit = parse_byte_size(&v);
         }
+        if let Ok(v) = std::env::var("SER_SIMD_LANES") {
+            cfg.simd_lanes = parse_lanes(&v);
+        }
+        if let Ok(v) = std::env::var("SER_PIJ_TOL") {
+            cfg.pij_tolerance = parse_tolerance(&v);
+        }
+        if let Ok(v) = std::env::var("SER_EXACT_SUPPORT") {
+            cfg.exact_support = parse_support(&v);
+        }
         cfg
     }
 
@@ -187,6 +288,9 @@ impl EngineConfig {
             sim_threads: self.sim_threads.or(under.sim_threads),
             cone_chunk: self.cone_chunk.or(under.cone_chunk),
             mem_soft_limit: self.mem_soft_limit.or(under.mem_soft_limit),
+            simd_lanes: self.simd_lanes.or(under.simd_lanes),
+            pij_tolerance: self.pij_tolerance.or(under.pij_tolerance),
+            exact_support: self.exact_support.or(under.exact_support),
         }
     }
 
@@ -214,11 +318,123 @@ impl EngineConfig {
     pub fn mem_soft_limit(&self) -> Option<usize> {
         self.mem_soft_limit.filter(|&b| b > 0)
     }
+
+    /// Resolved wide-kernel lane width: the configured value when it is
+    /// one of [`VALID_SIMD_LANES`], else [`DEFAULT_SIMD_LANES`].
+    pub fn simd_lanes(&self) -> usize {
+        match self.simd_lanes {
+            Some(n) if VALID_SIMD_LANES.contains(&n) => n,
+            _ => DEFAULT_SIMD_LANES,
+        }
+    }
+
+    /// Resolved adaptive tolerance: the configured value when finite
+    /// and non-negative (including the pinned `0`), else
+    /// [`DEFAULT_PIJ_TOLERANCE`].
+    pub fn pij_tolerance(&self) -> f64 {
+        match self.pij_tolerance {
+            Some(t) if t.is_finite() && t >= 0.0 => t,
+            _ => DEFAULT_PIJ_TOLERANCE,
+        }
+    }
+
+    /// Resolved exact-enumerator support threshold (including the
+    /// disabling `0`); unset falls to [`DEFAULT_EXACT_SUPPORT`].
+    pub fn exact_support(&self) -> usize {
+        self.exact_support.unwrap_or(DEFAULT_EXACT_SUPPORT)
+    }
+
+    /// The resolved estimator configuration consumed by the `P_ij`
+    /// kernels (see [`crate::sensitize`]).
+    pub fn pij(&self) -> PijConfig {
+        PijConfig {
+            lanes: self.simd_lanes(),
+            tolerance: self.pij_tolerance(),
+            exact_support: self.exact_support(),
+        }
+    }
+}
+
+/// Resolved estimator knobs handed to the `P_ij` kernels: the wide
+/// lane width (execution-only — bitwise identical for every value),
+/// the adaptive sampler's relative tolerance and the exact
+/// enumerator's support threshold (both part of a result's identity
+/// unless pinned to their fixed-mode values).
+///
+/// [`PijConfig::default`] is the engine default (adaptive + exact on);
+/// [`PijConfig::fixed`] is the bitwise-pinned legacy mode that every
+/// historical estimate used (scalar lanes, no early stops, no
+/// enumeration).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PijConfig {
+    /// `u64` words per interpreter step (one of [`VALID_SIMD_LANES`]).
+    pub lanes: usize,
+    /// Relative half-width target for early sampling stops; `0`
+    /// disables adaptivity.
+    pub tolerance: f64,
+    /// Primary-input support threshold for exact enumeration; `0`
+    /// disables the exact mode.
+    pub exact_support: usize,
+}
+
+impl Default for PijConfig {
+    fn default() -> Self {
+        PijConfig {
+            lanes: DEFAULT_SIMD_LANES,
+            tolerance: DEFAULT_PIJ_TOLERANCE,
+            exact_support: DEFAULT_EXACT_SUPPORT,
+        }
+    }
+}
+
+impl PijConfig {
+    /// The fixed-budget scalar mode: bitwise identical to every
+    /// estimate the engine produced before the estimator knobs existed,
+    /// and the reference the wide/adaptive/exact paths are validated
+    /// against.
+    pub const fn fixed() -> Self {
+        PijConfig {
+            lanes: 1,
+            tolerance: 0.0,
+            exact_support: 0,
+        }
+    }
+
+    /// Resolves the estimator knobs from the lenient environment
+    /// overlay — the default used by the legacy entry points that take
+    /// no explicit config.
+    pub fn from_lenient_env() -> Self {
+        EngineConfig::lenient_env().pij()
+    }
 }
 
 /// Parses a positive integer; `None` for malformed or zero values.
 fn parse_positive(s: &str) -> Option<usize> {
     s.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
+/// Parses a wide-kernel lane width; `None` unless one of
+/// [`VALID_SIMD_LANES`].
+fn parse_lanes(s: &str) -> Option<usize> {
+    s.trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|n| VALID_SIMD_LANES.contains(n))
+}
+
+/// Parses an adaptive tolerance; `None` unless finite and
+/// non-negative (zero is the valid pinned mode).
+fn parse_tolerance(s: &str) -> Option<f64> {
+    s.trim()
+        .parse::<f64>()
+        .ok()
+        .filter(|t| t.is_finite() && *t >= 0.0)
+}
+
+/// Parses an exact-support threshold; any non-negative integer (zero
+/// disables the mode).
+fn parse_support(s: &str) -> Option<usize> {
+    s.trim().parse::<usize>().ok()
 }
 
 /// Parses `"65536"`, `"64K"`, `"8M"`, `"1G"` into bytes (powers of
@@ -272,10 +488,57 @@ mod tests {
     fn serde_round_trip() {
         let cfg = EngineConfig::new()
             .with_threads(4)
-            .with_mem_soft_limit(1 << 20);
+            .with_mem_soft_limit(1 << 20)
+            .with_simd_lanes(8)
+            .with_pij_tolerance(0.01)
+            .with_exact_support(12);
         let v = serde::Serialize::serialize(&cfg);
         let back: EngineConfig = serde::Deserialize::deserialize(&v).unwrap();
         assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn estimator_knobs_resolve_with_defaults() {
+        let cfg = EngineConfig::new();
+        assert_eq!(cfg.simd_lanes(), DEFAULT_SIMD_LANES);
+        assert_eq!(cfg.pij_tolerance(), DEFAULT_PIJ_TOLERANCE);
+        assert_eq!(cfg.exact_support(), DEFAULT_EXACT_SUPPORT);
+        assert_eq!(cfg.pij(), PijConfig::default());
+    }
+
+    #[test]
+    fn estimator_knobs_accept_pinned_zeroes() {
+        // 0 is meaningful (fixed budget / exact off), not "unset".
+        let cfg = EngineConfig::new()
+            .with_simd_lanes(1)
+            .with_pij_tolerance(0.0)
+            .with_exact_support(0);
+        assert_eq!(cfg.pij(), PijConfig::fixed());
+    }
+
+    #[test]
+    fn invalid_lane_width_falls_back_to_default() {
+        assert_eq!(
+            EngineConfig::new().with_simd_lanes(3).simd_lanes(),
+            DEFAULT_SIMD_LANES
+        );
+        assert_eq!(EngineConfig::new().with_simd_lanes(8).simd_lanes(), 8);
+        assert_eq!(
+            EngineConfig::new().with_pij_tolerance(-1.0).pij_tolerance(),
+            DEFAULT_PIJ_TOLERANCE
+        );
+    }
+
+    #[test]
+    fn overlay_carries_estimator_knobs() {
+        let explicit = EngineConfig::new().with_pij_tolerance(0.0);
+        let env = EngineConfig::new()
+            .with_pij_tolerance(0.1)
+            .with_simd_lanes(2);
+        let merged = explicit.overlay(&env);
+        assert_eq!(merged.pij_tolerance, Some(0.0));
+        assert_eq!(merged.simd_lanes, Some(2));
+        assert_eq!(merged.exact_support, None);
     }
 
     // The env-reading paths are covered in `tests/engine_env.rs` as a

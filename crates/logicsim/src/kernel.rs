@@ -21,7 +21,7 @@ use ser_netlist::GateKind;
 /// Callers guarantee `fanin` is non-empty (circuit validation enforces
 /// arity) and that `kind` is not [`GateKind::Input`].
 #[inline(always)]
-fn eval_gate(kind: GateKind, fanin: &[u32], words: &[u64]) -> u64 {
+pub(crate) fn eval_gate(kind: GateKind, fanin: &[u32], words: &[u64]) -> u64 {
     match *fanin {
         [a] => {
             let x = words[a as usize];
@@ -153,6 +153,217 @@ pub fn eval_word_with_flips(
         if flip[i] {
             words[i] = !golden[i];
         }
+    }
+}
+
+// --------------------------------------------------------- wide rows
+//
+// Row primitives for the cone-replay interpreter in
+// [`crate::sensitize`]: each operates on whole rows of packed words,
+// hand-unrolled `L` words at a time (`L` ∈ {1, 2, 4, 8}, selected by
+// `SER_SIMD_LANES` / `EngineConfig::simd_lanes` and monomorphized at
+// the replay loop). Every operation is a pure per-word bitwise
+// function, so the result is bitwise identical for every lane width —
+// the wide forms exist only to keep the interpreter's inner loops in
+// straight-line register code the compiler can turn into SIMD.
+
+/// `dst[k] = f(a[k])` over a whole row, `L` words per step.
+#[inline(always)]
+fn zip1_row<const L: usize>(dst: &mut [u64], a: &[u64], f: impl Fn(u64) -> u64) {
+    debug_assert_eq!(dst.len(), a.len());
+    let main = dst.len() - dst.len() % L;
+    let (dm, dt) = dst.split_at_mut(main);
+    let (am, at) = a.split_at(main);
+    for (d, x) in dm.chunks_exact_mut(L).zip(am.chunks_exact(L)) {
+        let mut out = [0u64; L];
+        for l in 0..L {
+            out[l] = f(x[l]);
+        }
+        d.copy_from_slice(&out);
+    }
+    for (d, &x) in dt.iter_mut().zip(at) {
+        *d = f(x);
+    }
+}
+
+/// `dst[k] = f(a[k], b[k])` over a whole row, `L` words per step.
+#[inline(always)]
+fn zip2_row<const L: usize>(dst: &mut [u64], a: &[u64], b: &[u64], f: impl Fn(u64, u64) -> u64) {
+    debug_assert_eq!(dst.len(), a.len());
+    debug_assert_eq!(dst.len(), b.len());
+    let main = dst.len() - dst.len() % L;
+    let (dm, dt) = dst.split_at_mut(main);
+    let (am, at) = a.split_at(main);
+    let (bm, bt) = b.split_at(main);
+    for ((d, x), y) in dm
+        .chunks_exact_mut(L)
+        .zip(am.chunks_exact(L))
+        .zip(bm.chunks_exact(L))
+    {
+        let mut out = [0u64; L];
+        for l in 0..L {
+            out[l] = f(x[l], y[l]);
+        }
+        d.copy_from_slice(&out);
+    }
+    for ((d, &x), &y) in dt.iter_mut().zip(at).zip(bt) {
+        *d = f(x, y);
+    }
+}
+
+/// Unary row op: copy or complement `a` into `dst`.
+#[inline(always)]
+pub(crate) fn unary_row<const L: usize>(dst: &mut [u64], a: &[u64], invert: bool) {
+    if invert {
+        zip1_row::<L>(dst, a, |x| !x);
+    } else {
+        dst.copy_from_slice(a);
+    }
+}
+
+/// Binary row op for the specialized 2-input gates.
+#[inline(always)]
+pub(crate) fn binary_row<const L: usize>(kind: GateKind, dst: &mut [u64], a: &[u64], b: &[u64]) {
+    match kind {
+        GateKind::And => zip2_row::<L>(dst, a, b, |x, y| x & y),
+        GateKind::Nand => zip2_row::<L>(dst, a, b, |x, y| !(x & y)),
+        GateKind::Or => zip2_row::<L>(dst, a, b, |x, y| x | y),
+        GateKind::Nor => zip2_row::<L>(dst, a, b, |x, y| !(x | y)),
+        GateKind::Xor => zip2_row::<L>(dst, a, b, |x, y| x ^ y),
+        GateKind::Xnor => zip2_row::<L>(dst, a, b, |x, y| !(x ^ y)),
+        GateKind::Not | GateKind::Buf | GateKind::Input => unreachable!(),
+    }
+}
+
+/// Fold step of the 3+-input gates: `dst[k] op= src[k]` with the gate's
+/// base connective (inversion is applied once at the end via
+/// [`invert_row`]).
+#[inline(always)]
+pub(crate) fn accumulate_row<const L: usize>(kind: GateKind, dst: &mut [u64], src: &[u64]) {
+    match kind {
+        GateKind::And | GateKind::Nand => zip2_in_place::<L>(dst, src, |x, y| x & y),
+        GateKind::Or | GateKind::Nor => zip2_in_place::<L>(dst, src, |x, y| x | y),
+        GateKind::Xor | GateKind::Xnor => zip2_in_place::<L>(dst, src, |x, y| x ^ y),
+        GateKind::Not | GateKind::Buf | GateKind::Input => unreachable!(),
+    }
+}
+
+/// `dst[k] = f(dst[k], src[k])` over a whole row, `L` words per step.
+#[inline(always)]
+fn zip2_in_place<const L: usize>(dst: &mut [u64], src: &[u64], f: impl Fn(u64, u64) -> u64) {
+    debug_assert_eq!(dst.len(), src.len());
+    let main = dst.len() - dst.len() % L;
+    let (dm, dt) = dst.split_at_mut(main);
+    let (sm, st) = src.split_at(main);
+    for (d, s) in dm.chunks_exact_mut(L).zip(sm.chunks_exact(L)) {
+        let mut out = [0u64; L];
+        for l in 0..L {
+            out[l] = f(d[l], s[l]);
+        }
+        d.copy_from_slice(&out);
+    }
+    for (d, &s) in dt.iter_mut().zip(st) {
+        *d = f(*d, s);
+    }
+}
+
+/// In-place complement of a whole row.
+#[inline(always)]
+pub(crate) fn invert_row<const L: usize>(dst: &mut [u64]) {
+    let main = dst.len() - dst.len() % L;
+    let (dm, dt) = dst.split_at_mut(main);
+    for d in dm.chunks_exact_mut(L) {
+        let mut out = [0u64; L];
+        for l in 0..L {
+            out[l] = !d[l];
+        }
+        d.copy_from_slice(&out);
+    }
+    for d in dt {
+        *d = !*d;
+    }
+}
+
+/// Diff-and-count row: XORs the faulty row `v` against the fault-free
+/// row `p`, ORs the difference into `union_buf` and returns the total
+/// popcount — the per-output hit counting step of the replay loop.
+#[inline(always)]
+pub(crate) fn diff_count_union_row<const L: usize>(
+    v: &[u64],
+    p: &[u64],
+    union_buf: &mut [u64],
+) -> u64 {
+    debug_assert_eq!(v.len(), p.len());
+    debug_assert_eq!(v.len(), union_buf.len());
+    let mut hits = 0u64;
+    let main = v.len() - v.len() % L;
+    let (vm, vt) = v.split_at(main);
+    let (pm, pt) = p.split_at(main);
+    let (um, ut) = union_buf.split_at_mut(main);
+    for ((x, y), u) in vm
+        .chunks_exact(L)
+        .zip(pm.chunks_exact(L))
+        .zip(um.chunks_exact_mut(L))
+    {
+        let mut out = [0u64; L];
+        for l in 0..L {
+            let d = x[l] ^ y[l];
+            out[l] = u[l] | d;
+            hits += d.count_ones() as u64;
+        }
+        u.copy_from_slice(&out);
+    }
+    for ((&x, &y), u) in vt.iter().zip(pt).zip(ut) {
+        let d = x ^ y;
+        *u |= d;
+        hits += d.count_ones() as u64;
+    }
+    hits
+}
+
+/// A `u64` scratch buffer whose live window starts on a 64-byte
+/// boundary — cache-line-aligned rows for the wide kernels. `Vec<u64>`
+/// only guarantees 8-byte alignment, so the buffer over-allocates by up
+/// to 7 words and offsets the window.
+#[derive(Default)]
+pub(crate) struct AlignedWords {
+    buf: Vec<u64>,
+    off: usize,
+    len: usize,
+}
+
+impl AlignedWords {
+    /// Resizes the live window to `len` words without zeroing on the
+    /// reuse path — for callers that overwrite every word before
+    /// reading. Reallocates (and re-derives the alignment offset) only
+    /// on growth.
+    pub(crate) fn ensure(&mut self, len: usize) {
+        if self.buf.len() < len + 7 {
+            self.buf = vec![0u64; len + 7];
+        }
+        self.off = (self.buf.as_ptr() as usize).wrapping_neg() % 64 / 8;
+        self.len = len;
+    }
+
+    /// Resizes the live window to `len` zeroed words, reallocating only
+    /// on growth.
+    #[cfg(test)]
+    pub(crate) fn reset(&mut self, len: usize) {
+        let fresh = self.buf.len() < len + 7;
+        self.ensure(len);
+        if !fresh {
+            self.buf.iter_mut().for_each(|w| *w = 0);
+        }
+    }
+
+    /// The aligned live window.
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.buf[self.off..self.off + self.len]
+    }
+
+    /// The aligned live window, mutable.
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.buf[self.off..self.off + self.len]
     }
 }
 
@@ -311,5 +522,68 @@ mod tests {
         let csr = CsrView::build(&c);
         let mut out = vec![0u64; c.node_count()];
         eval_word(&csr, &[0, 0], &mut out);
+    }
+
+    /// Every wide row primitive must be bitwise identical to its L=1
+    /// form at every supported lane width, including rows whose length
+    /// is not a multiple of the lane count (remainder path).
+    #[test]
+    fn wide_rows_match_scalar_at_every_lane_width() {
+        let kinds = [
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ];
+        // 13 words: exercises both the unrolled body and the tail for
+        // L ∈ {2, 4, 8}.
+        let a: Vec<u64> = (0..13u64)
+            .map(|k| k.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
+        let b: Vec<u64> = (0..13u64)
+            .map(|k| k.wrapping_mul(0xD1B54A32D192ED03))
+            .collect();
+
+        fn run<const L: usize>(kinds: &[GateKind], a: &[u64], b: &[u64]) -> Vec<Vec<u64>> {
+            let mut out = Vec::new();
+            for &kind in kinds {
+                let mut d = vec![0u64; a.len()];
+                binary_row::<L>(kind, &mut d, a, b);
+                out.push(d.clone());
+                accumulate_row::<L>(kind, &mut d, a);
+                out.push(d.clone());
+                invert_row::<L>(&mut d);
+                out.push(d.clone());
+                let mut u = vec![0u64; a.len()];
+                let hits = diff_count_union_row::<L>(&d, b, &mut u);
+                out.push(u);
+                out.push(vec![hits]);
+            }
+            let mut d = vec![0u64; a.len()];
+            unary_row::<L>(&mut d, a, true);
+            out.push(d.clone());
+            unary_row::<L>(&mut d, b, false);
+            out.push(d);
+            out
+        }
+
+        let scalar = run::<1>(&kinds, &a, &b);
+        assert_eq!(scalar, run::<2>(&kinds, &a, &b));
+        assert_eq!(scalar, run::<4>(&kinds, &a, &b));
+        assert_eq!(scalar, run::<8>(&kinds, &a, &b));
+    }
+
+    #[test]
+    fn aligned_words_window_is_cache_line_aligned() {
+        let mut w = AlignedWords::default();
+        for len in [1usize, 7, 64, 1000] {
+            w.reset(len);
+            assert_eq!(w.words().len(), len);
+            assert!(w.words().iter().all(|&x| x == 0));
+            assert_eq!(w.words().as_ptr() as usize % 64, 0);
+            w.words_mut().iter_mut().for_each(|x| *x = !0);
+        }
     }
 }

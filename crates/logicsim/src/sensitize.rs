@@ -34,12 +34,51 @@
 //! thread accumulates integer hit counts privately, and the per-word
 //! counts are merged by integer summation (associative and commutative)
 //! before a single final division.
+//!
+//! # Estimator modes ([`PijConfig`])
+//!
+//! Three composable speedups sit on top of the streamed driver, all
+//! governed by the resolved [`PijConfig`] (knobs: `SER_SIMD_LANES`,
+//! `SER_PIJ_TOL`, `SER_EXACT_SUPPORT`; see [`crate::engine`]):
+//!
+//! * **Wide kernels** (`lanes`): the cone-replay interpreter processes
+//!   1, 2, 4 or 8 packed words per step through the hand-unrolled row
+//!   primitives in [`crate::kernel`]. Purely an execution knob — every
+//!   lane width is bitwise identical to the scalar path, and the
+//!   workspace proptests pin every `lanes × threads × chunk_size`
+//!   combination.
+//! * **Adaptive sampling** (`tolerance > 0`): vectors still run in
+//!   64-word blocks, but each root tracks its any-PO observability
+//!   counter and stops early at a block boundary once the
+//!   Wilson-score half-width of that proportion falls under
+//!   `max(tolerance × estimate, floor)`, where `floor` is the
+//!   half-width the full requested budget would reach — so the default
+//!   tolerance can only stop once a cone is at least as tight as the
+//!   fixed budget's own resolution. A run stops outright when every
+//!   root has converged. `tolerance = 0` disables all early stopping
+//!   and reproduces the historical fixed-budget stream bitwise.
+//! * **Exact small cones** (`exact_support > 0`): a root whose strike
+//!   cone is observed through at most `exact_support` primary inputs
+//!   (the transitive fan-in support of the cone) and whose `2^support`
+//!   assignments do not exceed the requested vector budget is
+//!   *enumerated* instead of sampled — every assignment weighted
+//!   equally (PI probability 0.5), zero variance, and never more work
+//!   than the sampling it replaces.
+//!
+//! Adaptive and exact results remain bitwise identical across thread
+//! counts, chunk sizes and lane widths; they differ from the fixed
+//! budget (deliberately) in *sample counts*, which is why the
+//! tolerance and support threshold are part of a result's identity —
+//! see [`SensitizationMatrix::vectors_used`] and the serve-pool session
+//! keys.
 
 use ser_netlist::csr::{ChunkedConeArena, ConeArena, CsrView};
 use ser_netlist::govern::{Deadline, DegradationEvent, Interrupted};
 use ser_netlist::{Circuit, GateKind, NodeId};
 
+pub use crate::engine::PijConfig;
 use crate::kernel;
+use crate::kernel::AlignedWords;
 use crate::random::random_word;
 
 /// Dense `node × PO` matrix of sensitization probabilities, plus the
@@ -329,6 +368,12 @@ pub struct EstimateStats {
     pub peak_bytes: usize,
     /// Total cone entries replayed (the Σ|cone| work term).
     pub cone_entries: usize,
+    /// Roots resolved by the exact small-cone enumerator instead of
+    /// sampling (0 unless [`PijConfig::exact_support`] is enabled).
+    pub exact_roots: usize,
+    /// Roots the adaptive sampler stopped before the full vector
+    /// budget (0 unless [`PijConfig::tolerance`] is positive).
+    pub adaptive_stops: usize,
 }
 
 /// Estimates the full matrix with `n_vectors` random vectors (rounded up
@@ -383,7 +428,8 @@ pub fn sensitization_probabilities_chunked(
 }
 
 /// [`sensitization_probabilities_chunked`] plus the [`EstimateStats`]
-/// memory/work profile of the run.
+/// memory/work profile of the run. Estimator modes resolve from the
+/// lenient environment ([`PijConfig::from_lenient_env`]).
 ///
 /// # Panics
 ///
@@ -394,6 +440,49 @@ pub fn sensitization_probabilities_with_stats(
     seed: u64,
     threads: usize,
     chunk_size: usize,
+) -> (SensitizationMatrix, EstimateStats) {
+    sensitization_probabilities_with_stats_cfg(
+        circuit,
+        n_vectors,
+        seed,
+        threads,
+        chunk_size,
+        &PijConfig::from_lenient_env(),
+    )
+}
+
+/// [`sensitization_probabilities_chunked`] with the estimator modes
+/// explicit — the entry point consumers use to pin a lane width,
+/// adaptive tolerance or exact-support threshold (see the module docs
+/// and [`PijConfig`]).
+///
+/// # Panics
+///
+/// Panics if `n_vectors`, `threads` or `chunk_size` is 0.
+pub fn sensitization_probabilities_cfg(
+    circuit: &Circuit,
+    n_vectors: usize,
+    seed: u64,
+    threads: usize,
+    chunk_size: usize,
+    pij: &PijConfig,
+) -> SensitizationMatrix {
+    sensitization_probabilities_with_stats_cfg(circuit, n_vectors, seed, threads, chunk_size, pij).0
+}
+
+/// [`sensitization_probabilities_cfg`] plus the [`EstimateStats`]
+/// memory/work profile of the run.
+///
+/// # Panics
+///
+/// Panics if `n_vectors`, `threads` or `chunk_size` is 0.
+pub fn sensitization_probabilities_with_stats_cfg(
+    circuit: &Circuit,
+    n_vectors: usize,
+    seed: u64,
+    threads: usize,
+    chunk_size: usize,
+    pij: &PijConfig,
 ) -> (SensitizationMatrix, EstimateStats) {
     assert!(n_vectors > 0, "need at least one vector");
     assert!(threads > 0, "need at least one worker thread");
@@ -409,18 +498,19 @@ pub fn sensitization_probabilities_with_stats(
     // matrix; unreachable columns stay at their structural zero. The
     // (node, col) pairs rebuild the node-ordered reachability CSR after
     // the chunk arenas (which visit roots in PO-region order) are gone.
-    let total = (n_words * 64) as f64;
     let mut p = vec![0.0f64; n_nodes * n_pos];
     let mut obs = vec![0.0f64; n_nodes];
     let mut pairs: Vec<(u32, u32)> = Vec::new();
-    let (stats, _, _) = estimate_chunks(
+    let (stats, words_done, _) = estimate_chunks(
         &csr,
         &mut plan,
         seed,
         threads,
         n_words,
+        pij,
         None,
-        |root, cols, counts, obs_count, _| {
+        |root, cols, counts, obs_count, samples| {
+            let total = samples as f64;
             let i = root as usize;
             for (t, &col) in cols.iter().enumerate() {
                 p[i * n_pos + col as usize] = counts[t] as f64 / total;
@@ -448,7 +538,7 @@ pub fn sensitization_probabilities_with_stats(
             obs,
             reach_off,
             reach_cols,
-            vectors_used: n_words * 64,
+            vectors_used: words_done * 64,
         },
         stats,
     )
@@ -472,10 +562,16 @@ pub fn mem_soft_limit() -> Option<usize> {
 ///
 /// When `interrupted` is `None` the run finished in full and `matrix`
 /// is bitwise identical to the ungoverned estimate at the same
-/// parameters. When it is `Some`, `matrix` is bitwise identical to a
-/// *fresh* ungoverned estimate over exactly `vectors_completed` vectors
-/// at the same seed — a consistent, smaller-sample result, never a torn
-/// one.
+/// parameters. When it is `Some`, the run stopped at a word-block
+/// boundary and `matrix` is a consistent, smaller-sample result —
+/// never a torn one. In the fixed-budget estimator mode
+/// ([`PijConfig::fixed`], or `tolerance = 0` with the exact enumerator
+/// off) that truncated matrix is additionally bitwise identical to a
+/// *fresh* ungoverned estimate over exactly `vectors_completed`
+/// vectors at the same seed; with adaptive stopping or exact
+/// enumeration enabled the per-root sample counts depend on the
+/// requested budget, so the truncation is consistent but not
+/// budget-renamable.
 #[derive(Debug, Clone)]
 pub struct GovernedEstimate {
     /// The estimated matrix (over `vectors_completed` vectors).
@@ -552,6 +648,39 @@ pub fn sensitization_probabilities_governed_chunked(
     deadline: &Deadline,
     mem_soft_limit: Option<usize>,
 ) -> Result<GovernedEstimate, Interrupted> {
+    sensitization_probabilities_governed_cfg(
+        circuit,
+        n_vectors,
+        seed,
+        threads,
+        chunk_size,
+        &PijConfig::from_lenient_env(),
+        deadline,
+        mem_soft_limit,
+    )
+}
+
+/// [`sensitization_probabilities_governed_chunked`] with the estimator
+/// modes explicit (see [`PijConfig`] and the module docs).
+///
+/// # Errors
+///
+/// See [`sensitization_probabilities_governed`].
+///
+/// # Panics
+///
+/// Panics if `n_vectors`, `threads` or `chunk_size` is 0.
+#[allow(clippy::too_many_arguments)]
+pub fn sensitization_probabilities_governed_cfg(
+    circuit: &Circuit,
+    n_vectors: usize,
+    seed: u64,
+    threads: usize,
+    chunk_size: usize,
+    pij: &PijConfig,
+    deadline: &Deadline,
+    mem_soft_limit: Option<usize>,
+) -> Result<GovernedEstimate, Interrupted> {
     assert!(n_vectors > 0, "need at least one vector");
     assert!(threads > 0, "need at least one worker thread");
     let outputs: Vec<NodeId> = circuit.primary_outputs().to_vec();
@@ -572,12 +701,13 @@ pub fn sensitization_probabilities_governed_chunked(
         seed,
         threads,
         n_words,
+        pij,
         Some(Governor {
             deadline,
             keep_resident: mem_soft_limit.is_some(),
         }),
-        |root, cols, counts, obs_count, words| {
-            let total = (words * 64) as f64;
+        |root, cols, counts, obs_count, samples| {
+            let total = samples as f64;
             let i = root as usize;
             for (t, &col) in cols.iter().enumerate() {
                 p[i * n_pos + col as usize] = counts[t] as f64 / total;
@@ -721,6 +851,35 @@ pub fn resimulate_rows_chunked(
     threads: usize,
     chunk_size: usize,
 ) -> PijRowUpdate {
+    resimulate_rows_cfg(
+        circuit,
+        nodes,
+        n_vectors,
+        seed,
+        threads,
+        chunk_size,
+        &PijConfig::from_lenient_env(),
+    )
+}
+
+/// [`resimulate_rows_chunked`] with the estimator modes explicit. Rows
+/// are bitwise identical to the corresponding rows of
+/// [`sensitization_probabilities_cfg`] at the same `(n_vectors, seed,
+/// pij)` — sessions that cache a matrix must refill it with the same
+/// [`PijConfig`] it was built with.
+///
+/// # Panics
+///
+/// Panics if `n_vectors`, `threads` or `chunk_size` is 0.
+pub fn resimulate_rows_cfg(
+    circuit: &Circuit,
+    nodes: &[NodeId],
+    n_vectors: usize,
+    seed: u64,
+    threads: usize,
+    chunk_size: usize,
+    pij: &PijConfig,
+) -> PijRowUpdate {
     assert!(n_vectors > 0, "need at least one vector");
     assert!(threads > 0, "need at least one worker thread");
     let n_pos = circuit.primary_outputs().len();
@@ -750,7 +909,6 @@ pub fn resimulate_rows_chunked(
             first_slot[r as usize] = t as u32;
         }
     }
-    let total = (n_words * 64) as f64;
     let mut p = vec![0.0f64; roots.len() * n_pos];
     let mut obs = vec![0.0f64; roots.len()];
     estimate_chunks(
@@ -759,8 +917,10 @@ pub fn resimulate_rows_chunked(
         seed,
         threads,
         n_words,
+        pij,
         None,
-        |root, cols, counts, obs_count, _| {
+        |root, cols, counts, obs_count, samples| {
+            let total = samples as f64;
             let t = first_slot[root as usize] as usize;
             for (ci, &col) in cols.iter().enumerate() {
                 p[t * n_pos + col as usize] = counts[ci] as f64 / total;
@@ -798,15 +958,17 @@ pub fn resimulate_rows_chunked(
 /// regardless of the chunk count, so the chunk size trades only peak
 /// arena memory against per-block recompilation, not simulation time.
 ///
-/// `sink(root_node, reachable_cols, counts_per_col, union_count, words)`
-/// is invoked exactly once per planned root, after the last completed
-/// block; `words` is the number of 64-vector words actually simulated
-/// (equal to `n_words` unless a governor interrupted the run). Peak
-/// tracked memory is one chunk's arena + programs; on top of that live
-/// the block's base rows (`node_count × block` words), one set of
-/// integer hit counters per planned root, and a copy of each root's
-/// reachable-column list (captured on the first block so the counters
-/// can be finalized even after the chunk arenas are gone).
+/// `sink(root_node, reachable_cols, counts_per_col, union_count,
+/// samples)` is invoked exactly once per planned root, after the last
+/// completed block; `samples` is the number of input assignments behind
+/// that root's counters — `n_words * 64` in the fixed mode, the
+/// early-stop prefix for an adaptively converged root, `2^support` for
+/// an exactly enumerated one. Peak tracked memory is one chunk's arena
+/// plus programs; on top of that live the block's base rows
+/// (`node_count × block` words), one set of integer hit counters per
+/// planned root, and a copy of each root's reachable-column list
+/// (captured on the first block so the counters can be finalized even
+/// after the chunk arenas are gone).
 ///
 /// When `govern` is `Some`, the deadline/cancel token is checked at
 /// every word-block boundary — the only points where every counter
@@ -819,21 +981,31 @@ pub fn resimulate_rows_chunked(
 /// per-block rebuild for governed memory; otherwise each chunk is
 /// released as soon as its block slice is replayed, exactly like the
 /// ungoverned streamer.
+///
+/// Estimator modes (`pij`): lane width selects the wide replay kernels
+/// (bitwise-neutral); a positive tolerance arms the per-root Wilson
+/// convergence check at block boundaries; a positive exact-support
+/// threshold routes qualifying roots through [`exact_roots_pass`] on
+/// block 0. Roots that are done (exact, converged, or with no
+/// reachable PO) are skipped by the replay workers, and chunks whose
+/// roots are all done are skipped entirely — including their arena
+/// rebuild.
+#[allow(clippy::too_many_arguments)]
 fn estimate_chunks(
     csr: &CsrView,
     plan: &mut ChunkedConeArena,
     seed: u64,
     threads: usize,
     n_words: usize,
+    pij: &PijConfig,
     govern: Option<Governor<'_>>,
-    mut sink: impl FnMut(u32, &[u32], &[u64], u64, usize),
+    mut sink: impl FnMut(u32, &[u32], &[u64], u64, u64),
 ) -> (EstimateStats, usize, Option<Interrupted>) {
     let n_chunks = plan.chunk_count();
     let mut pool: Vec<SimScratch> = (0..threads.max(1)).map(|_| SimScratch::default()).collect();
     let mut compile_scratch = CompileScratch::default();
     let mut progs = ConePrograms::default();
-    let mut base: Vec<u64> = Vec::new();
-    let mut tmp: Vec<u64> = vec![0; csr.node_count()];
+    let mut base = AlignedWords::default();
     // Hit counters for every planned root, chunk-major in plan order;
     // they persist across blocks (the arena chunks need not).
     let mut counts: Vec<u64> = Vec::new();
@@ -844,16 +1016,31 @@ fn estimate_chunks(
     // `counts`; captured once on block 0.
     let mut cols_flat: Vec<u32> = Vec::new();
     let mut root_po_off: Vec<usize> = vec![0];
+    // Per-root completion state: a done root's counters are final and
+    // its sample count fixed (0 = still sampling, finalized at the end).
+    let mut done: Vec<bool> = Vec::new();
+    let mut samples: Vec<u64> = Vec::new();
+    let mut active: Vec<usize> = Vec::with_capacity(n_chunks);
     let mut stats = EstimateStats {
         chunks: n_chunks,
         ..EstimateStats::default()
     };
 
     let keep_resident = govern.as_ref().is_some_and(|g| g.keep_resident);
+    let total_vectors = (n_words * 64) as u64;
+    // A root may stop early only once it is at least as tight as the
+    // full requested budget's own worst-case resolution.
+    let floor = CONV_Z * (0.25 / total_vectors as f64).sqrt();
+    let adaptive = pij.tolerance > 0.0;
     let n_blocks = n_words.div_ceil(BLOCK);
     let mut words_done = 0usize;
     let mut interrupted = None;
     for b in 0..n_blocks {
+        if b > 0 && active.iter().all(|&a| a == 0) {
+            // Every root is exact or converged: the remaining budget
+            // cannot change any counter.
+            break;
+        }
         if let Some(g) = &govern {
             if let Err(stop) = g.deadline.check("sensitize::block") {
                 interrupted = Some(stop);
@@ -862,9 +1049,12 @@ fn estimate_chunks(
         }
         let w0 = b * BLOCK;
         let wc = BLOCK.min(n_words - w0);
-        eval_base_block(csr, seed, w0, wc, &mut base, &mut tmp);
+        eval_base_block(csr, seed, w0, wc, &mut base);
 
         for k in 0..n_chunks {
+            if b > 0 && active[k] == 0 {
+                continue;
+            }
             plan.ensure(csr, k);
             let arena = plan.chunk_arena(k).expect("chunk built above");
             let chunk_roots = plan.chunk_roots(k);
@@ -875,17 +1065,46 @@ fn estimate_chunks(
                 root_off.push(root_off[k] + progs.root_count());
                 counts.resize(count_off[k + 1], 0);
                 obs_counts.resize(root_off[k + 1], 0);
+                done.resize(root_off[k + 1], false);
+                samples.resize(root_off[k + 1], 0);
                 for slot in 0..chunk_roots.len() {
                     cols_flat.extend_from_slice(arena.reachable_cols(slot));
                     root_po_off.push(cols_flat.len());
+                    // No reachable PO: every counter is structurally
+                    // zero, nothing to replay.
+                    if arena.reachable_cols(slot).is_empty() {
+                        done[root_off[k] + slot] = true;
+                    }
                 }
+                if pij.exact_support > 0 {
+                    stats.exact_roots += exact_roots_pass(
+                        csr,
+                        &progs,
+                        arena,
+                        pij.exact_support,
+                        total_vectors,
+                        &mut pool,
+                        &mut counts[count_off[k]..count_off[k + 1]],
+                        &mut obs_counts[root_off[k]..root_off[k + 1]],
+                        &mut done[root_off[k]..root_off[k + 1]],
+                        &mut samples[root_off[k]..root_off[k + 1]],
+                    );
+                }
+                active.push(
+                    done[root_off[k]..root_off[k + 1]]
+                        .iter()
+                        .filter(|&&d| !d)
+                        .count(),
+                );
             }
             stats.peak_bytes = stats.peak_bytes.max(plan.peak_bytes() + progs.bytes());
 
             replay_block(
                 &progs,
-                &base,
+                base.words(),
                 wc,
+                pij.lanes,
+                &done[root_off[k]..root_off[k + 1]],
                 &mut pool,
                 &mut counts[count_off[k]..count_off[k + 1]],
                 &mut obs_counts[root_off[k]..root_off[k + 1]],
@@ -896,41 +1115,155 @@ fn estimate_chunks(
             }
         }
         words_done += wc;
+
+        // Convergence sweep at the block boundary: each root's decision
+        // depends only on its own counter and the global word prefix,
+        // so it is identical for every thread count, chunk size and
+        // lane width — and for any co-scheduled root set (selective
+        // re-simulation reproduces full-run rows bitwise).
+        if adaptive && words_done < n_words {
+            let n_samp = (words_done * 64) as u64;
+            for k in 0..n_chunks {
+                if active[k] == 0 {
+                    continue;
+                }
+                for g in root_off[k]..root_off[k + 1] {
+                    if done[g] {
+                        continue;
+                    }
+                    let p_hat = obs_counts[g] as f64 / n_samp as f64;
+                    let hw = wilson_half_width(obs_counts[g], n_samp);
+                    if hw <= (pij.tolerance * p_hat).max(floor) {
+                        done[g] = true;
+                        samples[g] = n_samp;
+                        active[k] -= 1;
+                        stats.adaptive_stops += 1;
+                    }
+                }
+            }
+        }
     }
 
     if words_done > 0 {
         for (g, &root) in plan.planned_roots().iter().enumerate() {
             let range = root_po_off[g]..root_po_off[g + 1];
+            let samp = if samples[g] > 0 {
+                samples[g]
+            } else {
+                (words_done * 64) as u64
+            };
             sink(
                 root,
                 &cols_flat[range.clone()],
                 &counts[range],
                 obs_counts[g],
-                words_done,
+                samp,
             );
         }
     }
     (stats, words_done, interrupted)
 }
 
-/// Evaluates the fault-free circuit for global words `w0 .. w0 + wc` and
-/// transposes the results into node-major rows (`base[node * wc + lane]`)
-/// shared read-only by every worker replaying the block.
-fn eval_base_block(
-    csr: &CsrView,
-    seed: u64,
-    w0: usize,
-    wc: usize,
-    base: &mut Vec<u64>,
-    tmp: &mut [u64],
-) {
+/// `z` of the adaptive convergence test: 95% two-sided confidence —
+/// the standard level for a convergence criterion, and the one the
+/// stop tolerance is advertised at.
+const CONV_Z: f64 = 1.96;
+
+/// Wilson-score half-width of a binomial proportion with `hits`
+/// successes in `n` trials at [`CONV_Z`]. Unlike the plain Wald
+/// interval this stays honest at `p̂` near 0 or 1 — exactly where
+/// observability estimates live — so a zero-hit cone is *not* declared
+/// converged after one block.
+fn wilson_half_width(hits: u64, n: u64) -> f64 {
+    let nf = n as f64;
+    let x = hits as f64;
+    CONV_Z / (nf + CONV_Z * CONV_Z) * (x * (nf - x) / nf + CONV_Z * CONV_Z / 4.0).sqrt()
+}
+
+/// Evaluates the fault-free circuit for global words `w0 .. w0 + wc`
+/// directly into node-major rows (`base[node * wc + lane]`) shared
+/// read-only by every worker replaying the block. Stimulus words are
+/// scattered into the PI rows first, then one topological pass
+/// evaluates each gate over its whole `wc`-lane row — contiguous runs
+/// the compiler vectorizes, with no transpose step.
+fn eval_base_block(csr: &CsrView, seed: u64, w0: usize, wc: usize, base: &mut AlignedWords) {
     let n_pi = csr.inputs().len();
-    base.resize(csr.node_count() * wc, 0);
+    base.ensure(csr.node_count() * wc);
+    let words = base.words_mut();
     for wl in 0..wc {
         let pi_words = random_word(n_pi, 0.5, seed.wrapping_add((w0 + wl) as u64));
-        kernel::eval_word(csr, &pi_words, tmp);
-        for (i, &v) in tmp.iter().enumerate() {
-            base[i * wc + wl] = v;
+        for (k, &pi) in csr.inputs().iter().enumerate() {
+            words[pi as usize * wc + wl] = pi_words[k];
+        }
+    }
+    for &id in csr.topo() {
+        let i = id as usize;
+        let kind = csr.kind(i);
+        if kind.is_input() {
+            continue;
+        }
+        let fanin = csr.fanin_of(i);
+        let d0 = i * wc;
+        match *fanin {
+            [a] => {
+                let s0 = a as usize * wc;
+                if kind.is_inverting() {
+                    for l in 0..wc {
+                        words[d0 + l] = !words[s0 + l];
+                    }
+                } else {
+                    for l in 0..wc {
+                        words[d0 + l] = words[s0 + l];
+                    }
+                }
+            }
+            [a, b] => {
+                let s0 = a as usize * wc;
+                let s1 = b as usize * wc;
+                macro_rules! lanes {
+                    ($f:expr) => {
+                        for l in 0..wc {
+                            words[d0 + l] = $f(words[s0 + l], words[s1 + l]);
+                        }
+                    };
+                }
+                match kind {
+                    GateKind::And => lanes!(|x, y| x & y),
+                    GateKind::Nand => lanes!(|x: u64, y: u64| !(x & y)),
+                    GateKind::Or => lanes!(|x, y| x | y),
+                    GateKind::Nor => lanes!(|x: u64, y: u64| !(x | y)),
+                    GateKind::Xor => lanes!(|x, y| x ^ y),
+                    GateKind::Xnor => lanes!(|x: u64, y: u64| !(x ^ y)),
+                    GateKind::Not | GateKind::Buf | GateKind::Input => unreachable!(),
+                }
+            }
+            _ => {
+                let s0 = fanin[0] as usize * wc;
+                for l in 0..wc {
+                    words[d0 + l] = words[s0 + l];
+                }
+                for &f in &fanin[1..] {
+                    let sf = f as usize * wc;
+                    macro_rules! lanes {
+                        ($f:expr) => {
+                            for l in 0..wc {
+                                words[d0 + l] = $f(words[d0 + l], words[sf + l]);
+                            }
+                        };
+                    }
+                    match kind {
+                        GateKind::And | GateKind::Nand => lanes!(|x, y| x & y),
+                        GateKind::Or | GateKind::Nor => lanes!(|x, y| x | y),
+                        GateKind::Xor | GateKind::Xnor => lanes!(|x, y| x ^ y),
+                        GateKind::Not | GateKind::Buf | GateKind::Input => unreachable!(),
+                    }
+                }
+                if kind.is_inverting() {
+                    for l in 0..wc {
+                        words[d0 + l] = !words[d0 + l];
+                    }
+                }
+            }
         }
     }
 }
@@ -939,28 +1272,50 @@ fn eval_base_block(
 /// splitting the roots into contiguous spans balanced by program size,
 /// one worker per span. Each `(root, word)` hit increments exactly one
 /// integer counter owned by exactly one worker, so the totals are
-/// bitwise identical for every thread count.
+/// bitwise identical for every thread count. Done roots weigh (almost)
+/// nothing in the balance and are skipped by the workers.
+#[allow(clippy::too_many_arguments)]
 fn replay_block(
     progs: &ConePrograms,
     base: &[u64],
     wc: usize,
+    lanes: usize,
+    done: &[bool],
+    pool: &mut [SimScratch],
+    counts: &mut [u64],
+    obs_counts: &mut [u64],
+) {
+    match lanes {
+        1 => replay_block_wide::<1>(progs, base, wc, done, pool, counts, obs_counts),
+        2 => replay_block_wide::<2>(progs, base, wc, done, pool, counts, obs_counts),
+        8 => replay_block_wide::<8>(progs, base, wc, done, pool, counts, obs_counts),
+        _ => replay_block_wide::<4>(progs, base, wc, done, pool, counts, obs_counts),
+    }
+}
+
+fn replay_block_wide<const L: usize>(
+    progs: &ConePrograms,
+    base: &[u64],
+    wc: usize,
+    done: &[bool],
     pool: &mut [SimScratch],
     counts: &mut [u64],
     obs_counts: &mut [u64],
 ) {
     let n_roots = progs.root_count();
-    if n_roots == 0 {
+    if n_roots == 0 || done.iter().all(|&d| d) {
         return;
     }
     let workers = pool.len().min(n_roots).max(1);
     if workers == 1 {
         pool[0].prepare(progs.max_cone, wc);
-        replay_roots(
+        replay_roots::<L>(
             progs,
             base,
             wc,
             0..n_roots,
-            &mut pool[0].vals,
+            done,
+            pool[0].vals.words_mut(),
             counts,
             obs_counts,
         );
@@ -968,14 +1323,27 @@ fn replay_block(
     }
 
     // Greedy spans weighted by op count (+1 per root so trivial cones
-    // still advance); the target guarantees at most `workers` spans.
-    let total_w = progs.ops.len() + n_roots;
+    // still advance; done roots weigh 1); the target guarantees at most
+    // `workers` spans.
+    let total_w: usize = (0..n_roots)
+        .map(|ri| {
+            if done[ri] {
+                1
+            } else {
+                progs.op_off[ri + 1] - progs.op_off[ri] + 1
+            }
+        })
+        .sum();
     let target = total_w / workers + 1;
     let mut spans: Vec<std::ops::Range<usize>> = Vec::with_capacity(workers);
     let mut start = 0usize;
     let mut acc = 0usize;
-    for ri in 0..n_roots {
-        acc += progs.op_off[ri + 1] - progs.op_off[ri] + 1;
+    for (ri, &root_done) in done.iter().enumerate().take(n_roots) {
+        acc += if root_done {
+            1
+        } else {
+            progs.op_off[ri + 1] - progs.op_off[ri] + 1
+        };
         if acc >= target {
             spans.push(start..ri + 1);
             start = ri + 1;
@@ -1001,9 +1369,11 @@ fn replay_block(
             root_consumed = span.end;
             counts_rest = c_rest;
             obs_rest = o_rest;
-            let vals = &mut scratch.vals;
+            let vals = scratch.vals.words_mut();
             let progs = &*progs;
-            scope.spawn(move || replay_roots(progs, base, wc, span, vals, c_span, o_span));
+            scope.spawn(move || {
+                replay_roots::<L>(progs, base, wc, span, done, vals, c_span, o_span)
+            });
         }
     });
 }
@@ -1187,88 +1557,37 @@ impl ConePrograms {
     }
 }
 
-/// `dst[w] = op(a[w])` over one block row.
-#[inline]
-fn unary_row(kind: GateKind, dst: &mut [u64], a: &[u64]) {
-    if kind.is_inverting() {
-        for (d, &x) in dst.iter_mut().zip(a) {
-            *d = !x;
-        }
-    } else {
-        dst.copy_from_slice(a);
-    }
-}
-
-/// `dst[w] = op(a[w], b[w])` over one block row, specialized per kind so
-/// the lane loop vectorizes.
-#[inline]
-fn binary_row(kind: GateKind, dst: &mut [u64], a: &[u64], b: &[u64]) {
-    macro_rules! lanes {
-        ($f:expr) => {
-            for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
-                *d = $f(x, y);
-            }
-        };
-    }
-    match kind {
-        GateKind::And => lanes!(|x, y| x & y),
-        GateKind::Nand => lanes!(|x: u64, y: u64| !(x & y)),
-        GateKind::Or => lanes!(|x, y| x | y),
-        GateKind::Nor => lanes!(|x: u64, y: u64| !(x | y)),
-        GateKind::Xor => lanes!(|x, y| x ^ y),
-        GateKind::Xnor => lanes!(|x: u64, y: u64| !(x ^ y)),
-        // NOT/BUF are unary; inputs never appear inside a cone tail.
-        GateKind::Not | GateKind::Buf | GateKind::Input => unreachable!(),
-    }
-}
-
-/// Folds `src` into `dst` with the kind's accumulate operation (3+-input
-/// gates; the final inversion is applied by the caller).
-#[inline]
-fn accumulate_row(kind: GateKind, dst: &mut [u64], src: &[u64]) {
-    macro_rules! lanes {
-        ($f:expr) => {
-            for (d, &x) in dst.iter_mut().zip(src) {
-                *d = $f(*d, x);
-            }
-        };
-    }
-    match kind {
-        GateKind::And | GateKind::Nand => lanes!(|acc: u64, x: u64| acc & x),
-        GateKind::Or | GateKind::Nor => lanes!(|acc: u64, x: u64| acc | x),
-        GateKind::Xor | GateKind::Xnor => lanes!(|acc: u64, x: u64| acc ^ x),
-        GateKind::Not | GateKind::Buf | GateKind::Input => unreachable!(),
-    }
-}
-
-/// Per-worker cone-local value rows, pooled across chunks and blocks by
-/// the streamed estimator. Grow-only, so a multi-chunk run performs no
-/// per-chunk reallocation beyond the first.
+/// Per-worker scratch pooled across chunks and blocks by the streamed
+/// estimator: the cone-local value rows of the sampling replay
+/// (cache-line aligned for the wide kernels) and the exact enumerator's
+/// closure/evaluation state. Grow-only, so a multi-chunk run performs
+/// no per-chunk reallocation beyond the first.
 #[derive(Default)]
 struct SimScratch {
-    vals: Vec<u64>,
+    vals: AlignedWords,
+    exact: ExactScratch,
 }
 
 impl SimScratch {
     fn prepare(&mut self, max_cone: usize, wc: usize) {
-        let need = max_cone.max(1) * wc;
-        if self.vals.len() < need {
-            self.vals.resize(need, 0);
-        }
+        self.vals.ensure(max_cone.max(1) * wc);
     }
 }
 
 /// Replays the strike of every root in `roots` against one block's base
 /// rows (stride `wc`, see [`eval_base_block`]), accumulating flat
-/// reachable-PO hit counts and per-root any-PO union counts. The
-/// `counts`/`obs_counts` slices cover exactly this span's po-slots and
-/// roots (offset by the span start), so concurrent spans never share a
-/// counter.
-fn replay_roots(
+/// reachable-PO hit counts and per-root any-PO union counts, `L` words
+/// per interpreter step. The `counts`/`obs_counts` slices cover exactly
+/// this span's po-slots and roots (offset by the span start), so
+/// concurrent spans never share a counter; `done` is chunk-relative and
+/// read-only (done roots are skipped).
+#[allow(clippy::too_many_arguments)]
+fn replay_roots<const L: usize>(
     progs: &ConePrograms,
     base: &[u64],
     wc: usize,
     roots: std::ops::Range<usize>,
+    done: &[bool],
     vals: &mut [u64],
     counts: &mut [u64],
     obs_counts: &mut [u64],
@@ -1278,34 +1597,33 @@ fn replay_roots(
     let mut union_buf = [0u64; BLOCK];
 
     for ri in roots {
+        if done[ri] {
+            continue;
+        }
         let i = progs.roots[ri] as usize;
         // Row 0: the struck node, flipped in every lane.
-        for (d, &x) in vals[..wc].iter_mut().zip(&base[i * wc..][..wc]) {
-            *d = !x;
-        }
+        kernel::unary_row::<L>(&mut vals[..wc], &base[i * wc..][..wc], true);
         for (e, op) in progs.ops_of(ri).iter().enumerate() {
-            let (done, rest) = vals.split_at_mut((e + 1) * wc);
+            let (prev, rest) = vals.split_at_mut((e + 1) * wc);
             let dst = &mut rest[..wc];
             let row = |t: u32| -> &[u64] {
                 if t & LOCAL != 0 {
-                    &done[((t & !LOCAL) as usize) * wc..][..wc]
+                    &prev[((t & !LOCAL) as usize) * wc..][..wc]
                 } else {
                     &base[(t as usize) * wc..][..wc]
                 }
             };
             let args = &progs.operands[op.off as usize..(op.off + op.n_in) as usize];
             match *args {
-                [a] => unary_row(op.kind, dst, row(a)),
-                [a, b] => binary_row(op.kind, dst, row(a), row(b)),
+                [a] => kernel::unary_row::<L>(dst, row(a), op.kind.is_inverting()),
+                [a, b] => kernel::binary_row::<L>(op.kind, dst, row(a), row(b)),
                 [a, ref more @ ..] => {
                     dst.copy_from_slice(row(a));
                     for &m in more {
-                        accumulate_row(op.kind, dst, row(m));
+                        kernel::accumulate_row::<L>(op.kind, dst, row(m));
                     }
                     if op.kind.is_inverting() {
-                        for d in dst.iter_mut() {
-                            *d = !*d;
-                        }
+                        kernel::invert_row::<L>(dst);
                     }
                 }
                 [] => unreachable!("gates have at least one fan-in"),
@@ -1321,18 +1639,372 @@ fn replay_roots(
         for (t, slot) in slots.iter().enumerate() {
             let vrow = &vals[(slot.local as usize) * wc..][..wc];
             let prow = &base[(slot.po as usize) * wc..][..wc];
-            let mut hits = 0u64;
-            for (u, (&v, &p)) in union_buf[..wc].iter_mut().zip(vrow.iter().zip(prow)) {
-                let diff = v ^ p;
-                hits += u64::from(diff.count_ones());
-                *u |= diff;
-            }
-            counts[start + t] += hits;
+            counts[start + t] +=
+                kernel::diff_count_union_row::<L>(vrow, prow, &mut union_buf[..wc]);
         }
         obs_counts[ri - obs_base] += union_buf[..wc]
             .iter()
             .map(|&u| u64::from(u.count_ones()))
             .sum::<u64>();
+    }
+}
+
+// ------------------------------------------------------- exact cones
+
+/// Hard cap on the fan-in-closure size the exact qualifier will walk
+/// before giving up on a root — bounds the per-root qualification cost
+/// on deep circuits where the support check alone would crawl a large
+/// region just to find the 21st primary input.
+const EXACT_CLOSURE_CAP: usize = 1 << 13;
+
+/// Bit patterns giving primary input `t < 6` its truth-table value for
+/// the 64 assignments packed in one word: bit `v` of `PAT[t]` is bit
+/// `t` of the assignment index `v`.
+const EXACT_PAT: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+/// Reusable per-worker state of the exact small-cone enumerator: the
+/// stamped visited map and work stack of the closure walk, the
+/// collected primary inputs and rank-ordered closure gates, and the
+/// node-indexed base values plus cone-local rows of the truth-table
+/// evaluation.
+#[derive(Default)]
+struct ExactScratch {
+    stamp: Vec<u32>,
+    epoch: u32,
+    stack: Vec<u32>,
+    pis: Vec<u32>,
+    gates: Vec<u32>,
+    node_vals: Vec<u64>,
+    local: Vec<u64>,
+}
+
+impl ExactScratch {
+    /// Sizes the maps for `n` nodes and returns a fresh stamp value.
+    fn begin(&mut self, n: usize) -> u32 {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        if self.node_vals.len() < n {
+            self.node_vals.resize(n, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+}
+
+/// Runs the exact enumerator over one compiled chunk: every root whose
+/// strike cone qualifies (see [`try_exact_root`]) gets its counters
+/// filled exactly, its `done` flag set and its sample count fixed to
+/// `2^support`. Roots are split into contiguous spans across the
+/// worker pool; per-root writes touch disjoint counter spans, so the
+/// result is bitwise identical for every thread count. Returns the
+/// number of roots enumerated.
+#[allow(clippy::too_many_arguments)]
+fn exact_roots_pass(
+    csr: &CsrView,
+    progs: &ConePrograms,
+    arena: &ConeArena,
+    max_support: usize,
+    budget_vectors: u64,
+    pool: &mut [SimScratch],
+    counts: &mut [u64],
+    obs_counts: &mut [u64],
+    done: &mut [bool],
+    samples: &mut [u64],
+) -> usize {
+    let n_roots = progs.root_count();
+    if n_roots == 0 {
+        return 0;
+    }
+    let before = done.iter().filter(|&&d| d).count();
+    let workers = pool.len().min(n_roots).max(1);
+    if workers == 1 {
+        exact_roots_span(
+            csr,
+            progs,
+            arena,
+            max_support,
+            budget_vectors,
+            0..n_roots,
+            &mut pool[0].exact,
+            counts,
+            obs_counts,
+            done,
+            samples,
+        );
+    } else {
+        let per = n_roots.div_ceil(workers);
+        std::thread::scope(|scope| {
+            let mut counts_rest = &mut *counts;
+            let mut obs_rest = &mut *obs_counts;
+            let mut done_rest = &mut *done;
+            let mut samples_rest = &mut *samples;
+            let mut count_consumed = 0usize;
+            let mut root_consumed = 0usize;
+            for (w, scratch) in pool.iter_mut().enumerate().take(workers) {
+                let span = (w * per).min(n_roots)..((w + 1) * per).min(n_roots);
+                if span.is_empty() {
+                    break;
+                }
+                let (c_span, c_rest) =
+                    counts_rest.split_at_mut(progs.po_off[span.end] - count_consumed);
+                let (o_span, o_rest) = obs_rest.split_at_mut(span.end - root_consumed);
+                let (d_span, d_rest) = done_rest.split_at_mut(span.end - root_consumed);
+                let (s_span, s_rest) = samples_rest.split_at_mut(span.end - root_consumed);
+                count_consumed = progs.po_off[span.end];
+                root_consumed = span.end;
+                counts_rest = c_rest;
+                obs_rest = o_rest;
+                done_rest = d_rest;
+                samples_rest = s_rest;
+                let exact = &mut scratch.exact;
+                scope.spawn(move || {
+                    exact_roots_span(
+                        csr,
+                        progs,
+                        arena,
+                        max_support,
+                        budget_vectors,
+                        span,
+                        exact,
+                        c_span,
+                        o_span,
+                        d_span,
+                        s_span,
+                    )
+                });
+            }
+        });
+    }
+    done.iter().filter(|&&d| d).count() - before
+}
+
+/// [`exact_roots_pass`] worker body over one contiguous root span; all
+/// counter slices are span-relative.
+#[allow(clippy::too_many_arguments)]
+fn exact_roots_span(
+    csr: &CsrView,
+    progs: &ConePrograms,
+    arena: &ConeArena,
+    max_support: usize,
+    budget_vectors: u64,
+    roots: std::ops::Range<usize>,
+    scratch: &mut ExactScratch,
+    counts: &mut [u64],
+    obs_counts: &mut [u64],
+    done: &mut [bool],
+    samples: &mut [u64],
+) {
+    let count_base = progs.po_off[roots.start];
+    let root_base = roots.start;
+    for ri in roots {
+        if done[ri - root_base] {
+            continue;
+        }
+        let start = progs.po_off[ri] - count_base;
+        let end = progs.po_off[ri + 1] - count_base;
+        if let Some((obs, samp)) = try_exact_root(
+            csr,
+            progs,
+            ri,
+            arena.cone(ri),
+            max_support,
+            budget_vectors,
+            scratch,
+            &mut counts[start..end],
+        ) {
+            obs_counts[ri - root_base] = obs;
+            samples[ri - root_base] = samp;
+            done[ri - root_base] = true;
+        }
+    }
+}
+
+/// Attempts to resolve one root exactly: walks the transitive fan-in
+/// closure of its strike cone, and if the primary-input support `s`
+/// stays within `max_support` (and the enumeration is no more work
+/// than the sampling it replaces), evaluates all `2^s` input
+/// assignments — 64 per word via truth-table patterns — writing exact
+/// hit counts. Returns `(union_count, 2^s)` on success, `None` when
+/// the root must be sampled.
+///
+/// The support walk and the per-word evaluation order are functions of
+/// the cone alone (inputs sorted by node index, closure gates by
+/// topological rank), so the exact counters are identical no matter
+/// which chunk, thread or run computes them.
+#[allow(clippy::too_many_arguments)]
+fn try_exact_root(
+    csr: &CsrView,
+    progs: &ConePrograms,
+    ri: usize,
+    cone: &[u32],
+    max_support: usize,
+    budget_vectors: u64,
+    scratch: &mut ExactScratch,
+    counts: &mut [u64],
+) -> Option<(u64, u64)> {
+    let mark = scratch.begin(csr.node_count());
+    scratch.stack.clear();
+    scratch.pis.clear();
+    scratch.gates.clear();
+    let mut visited = 0usize;
+    for &v in cone {
+        if scratch.stamp[v as usize] != mark {
+            scratch.stamp[v as usize] = mark;
+            scratch.stack.push(v);
+            visited += 1;
+        }
+    }
+    while let Some(v) = scratch.stack.pop() {
+        if csr.kind(v as usize).is_input() {
+            scratch.pis.push(v);
+            if scratch.pis.len() > max_support {
+                return None;
+            }
+        } else {
+            scratch.gates.push(v);
+            for &f in csr.fanin_of(v as usize) {
+                if scratch.stamp[f as usize] != mark {
+                    scratch.stamp[f as usize] = mark;
+                    visited += 1;
+                    if visited > EXACT_CLOSURE_CAP {
+                        return None;
+                    }
+                    scratch.stack.push(f);
+                }
+            }
+        }
+    }
+    let s = scratch.pis.len();
+    if s >= 63 {
+        return None;
+    }
+    let ops = progs.ops_of(ri);
+    let slots = progs.po_slots_of(ri);
+    let n_ew: u64 = if s >= 6 { 1u64 << (s - 6) } else { 1 };
+    // Profitability guard: enumeration (closure gates + cone replay per
+    // truth-table word) must not exceed the sampling work it replaces,
+    // so exact mode is a strict win keyed on the *requested* budget.
+    let exact_work = n_ew.saturating_mul((scratch.gates.len() + ops.len() + slots.len()) as u64);
+    let sampled_work = (budget_vectors / 64)
+        .max(1)
+        .saturating_mul((ops.len() + slots.len() + 1) as u64);
+    if exact_work > sampled_work {
+        return None;
+    }
+
+    // Canonical orders make the enumeration run-invariant.
+    scratch.pis.sort_unstable();
+    scratch
+        .gates
+        .sort_unstable_by_key(|&g| csr.rank_of(g as usize));
+
+    if scratch.local.len() < cone.len() {
+        scratch.local.resize(cone.len(), 0);
+    }
+    let mask: u64 = if s >= 6 {
+        !0
+    } else {
+        (1u64 << (1u32 << s)) - 1
+    };
+    let root = cone[0] as usize;
+    let mut obs = 0u64;
+    for w in 0..n_ew {
+        for (t, &pi) in scratch.pis.iter().enumerate() {
+            scratch.node_vals[pi as usize] = if t < 6 {
+                EXACT_PAT[t]
+            } else if (w >> (t - 6)) & 1 == 1 {
+                !0
+            } else {
+                0
+            };
+        }
+        for &g in &scratch.gates {
+            let gi = g as usize;
+            let v = kernel::eval_gate(csr.kind(gi), csr.fanin_of(gi), &scratch.node_vals);
+            scratch.node_vals[gi] = v;
+        }
+        scratch.local[0] = !scratch.node_vals[root];
+        for (e, op) in ops.iter().enumerate() {
+            let args = &progs.operands[op.off as usize..(op.off + op.n_in) as usize];
+            let v = eval_tagged_scalar(op.kind, args, &scratch.local, &scratch.node_vals);
+            scratch.local[e + 1] = v;
+        }
+        let mut union = 0u64;
+        for (t, slot) in slots.iter().enumerate() {
+            let diff =
+                (scratch.local[slot.local as usize] ^ scratch.node_vals[slot.po as usize]) & mask;
+            counts[t] += u64::from(diff.count_ones());
+            union |= diff;
+        }
+        obs += u64::from(union.count_ones());
+    }
+    Some((obs, 1u64 << s))
+}
+
+/// Scalar (one-word) evaluation of a compiled cone op whose operands
+/// carry the [`LOCAL`] tag — the exact enumerator's counterpart of the
+/// row interpreter in [`replay_roots`].
+#[inline(always)]
+fn eval_tagged_scalar(kind: GateKind, args: &[u32], local: &[u64], node_vals: &[u64]) -> u64 {
+    let rv = |t: u32| -> u64 {
+        if t & LOCAL != 0 {
+            local[(t & !LOCAL) as usize]
+        } else {
+            node_vals[t as usize]
+        }
+    };
+    match *args {
+        [a] => {
+            let x = rv(a);
+            if kind.is_inverting() {
+                !x
+            } else {
+                x
+            }
+        }
+        [a, b] => {
+            let x = rv(a);
+            let y = rv(b);
+            match kind {
+                GateKind::And => x & y,
+                GateKind::Nand => !(x & y),
+                GateKind::Or => x | y,
+                GateKind::Nor => !(x | y),
+                GateKind::Xor => x ^ y,
+                GateKind::Xnor => !(x ^ y),
+                GateKind::Not | GateKind::Buf | GateKind::Input => unreachable!(),
+            }
+        }
+        [a, ref more @ ..] => {
+            let mut acc = rv(a);
+            for &m in more {
+                let x = rv(m);
+                acc = match kind {
+                    GateKind::And | GateKind::Nand => acc & x,
+                    GateKind::Or | GateKind::Nor => acc | x,
+                    GateKind::Xor | GateKind::Xnor => acc ^ x,
+                    GateKind::Not | GateKind::Buf | GateKind::Input => unreachable!(),
+                };
+            }
+            if kind.is_inverting() {
+                !acc
+            } else {
+                acc
+            }
+        }
+        [] => unreachable!("gates have at least one fan-in"),
     }
 }
 
@@ -1536,6 +2208,123 @@ mod tests {
         );
         // And the stats probe returns the same matrix.
         assert_eq!(m, sensitization_probabilities_chunked(&c, 512, 77, 1, 32));
+    }
+
+    #[test]
+    fn exact_mode_resolves_small_cones_exactly() {
+        // y = AND(a, b) has a 2-input support: the exact enumerator
+        // covers all four assignments, so P(a→y) is 0.5 *exactly* even
+        // at a budget far too small for sampling to settle.
+        let mut bb = CircuitBuilder::new("and");
+        let a = bb.input("a");
+        let b2 = bb.input("b");
+        let y = bb.gate(GateKind::And, "y", &[a, b2]).unwrap();
+        bb.mark_output(y);
+        let c = bb.finish().unwrap();
+        let (m, stats) =
+            sensitization_probabilities_with_stats_cfg(&c, 128, 1, 1, 8, &PijConfig::default());
+        assert_eq!(m.p(a, 0), 0.5);
+        assert_eq!(m.p(b2, 0), 0.5);
+        assert_eq!(m.p(y, 0), 1.0);
+        assert_eq!(stats.exact_roots, c.node_count());
+        assert_eq!(stats.adaptive_stops, 0);
+    }
+
+    #[test]
+    fn exact_union_counter_is_exact() {
+        // Same circuit as `measured_union_can_exceed_row_max`: under
+        // exact mode the any-PO union lands on 0.75 with zero variance.
+        let mut bb = CircuitBuilder::new("u");
+        let a = bb.input("a");
+        let b = bb.input("b");
+        let c = bb.input("c");
+        let y0 = bb.gate(GateKind::And, "y0", &[a, b]).unwrap();
+        let y1 = bb.gate(GateKind::And, "y1", &[a, c]).unwrap();
+        bb.mark_output(y0);
+        bb.mark_output(y1);
+        let circ = bb.finish().unwrap();
+        let m = sensitization_probabilities_cfg(&circ, 256, 9, 1, 4, &PijConfig::default());
+        assert_eq!(m.p(a, 0), 0.5);
+        assert_eq!(m.p(a, 1), 0.5);
+        assert_eq!(m.observability(a), 0.75);
+    }
+
+    #[test]
+    fn wide_lanes_match_scalar_bitwise() {
+        // At tolerance=0 with exact mode off, every lane width must
+        // reproduce the scalar fixed-budget matrix bit-for-bit, for
+        // every thread count.
+        let c = generate::sec32("t");
+        let scalar = sensitization_probabilities_cfg(&c, 512, 77, 1, 13, &PijConfig::fixed());
+        for lanes in [2usize, 4, 8] {
+            for threads in [1usize, 3] {
+                let pij = PijConfig {
+                    lanes,
+                    ..PijConfig::fixed()
+                };
+                let m = sensitization_probabilities_cfg(&c, 512, 77, threads, 13, &pij);
+                assert_eq!(m, scalar, "lanes {lanes}, {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_sampling_stops_early_within_tolerance() {
+        // c17's cones all resolve exactly under the default config, so
+        // the exact run is an oracle. The adaptive-only run (exact mode
+        // off) must converge before exhausting a deliberately oversized
+        // budget, and land within the advertised tolerance of the
+        // oracle.
+        let c = generate::c17();
+        let (oracle, ostats) =
+            sensitization_probabilities_with_stats_cfg(&c, 256, 7, 1, 8, &PijConfig::default());
+        assert_eq!(ostats.exact_roots, c.node_count());
+        // A 10% relative tolerance so mid-probability cones (p ≈ 0.5,
+        // the slowest to converge) settle before the budget runs out —
+        // the default 2% needs nearly the full fixed budget there,
+        // which is exactly the accuracy-preserving intent.
+        let adaptive = PijConfig {
+            exact_support: 0,
+            tolerance: 0.1,
+            lanes: PijConfig::default().lanes,
+        };
+        let budget = 64 * 64 * 4; // four convergence blocks
+        let (m, stats) = sensitization_probabilities_with_stats_cfg(&c, budget, 7, 1, 8, &adaptive);
+        assert_eq!(stats.exact_roots, 0);
+        assert!(stats.adaptive_stops > 0, "no root converged: {stats:?}");
+        assert!(
+            m.vectors_used() < budget,
+            "no early exit: {} of {budget}",
+            m.vectors_used()
+        );
+        let floor = CONV_Z * (0.25 / budget as f64).sqrt();
+        for id in c.node_ids() {
+            for j in 0..m.outputs().len() {
+                let tol = (adaptive.tolerance * oracle.p(id, j)).max(floor) * 2.0;
+                assert!(
+                    (m.p(id, j) - oracle.p(id, j)).abs() <= tol,
+                    "node {id} col {j}: {} vs exact {}",
+                    m.p(id, j),
+                    oracle.p(id, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_and_exact_are_off_by_default_wrappers_env() {
+        // The legacy wrappers read the env leniently; with no SER_*
+        // vars set they resolve to the accuracy-preserving defaults,
+        // which on c17 means every root is exact — so two different
+        // seeds must agree perfectly.
+        let c = generate::c17();
+        let m1 = sensitization_probabilities(&c, 256, 1);
+        let m2 = sensitization_probabilities(&c, 256, 2);
+        for id in c.node_ids() {
+            for j in 0..m1.outputs().len() {
+                assert_eq!(m1.p(id, j), m2.p(id, j), "node {id} col {j}");
+            }
+        }
     }
 
     #[test]

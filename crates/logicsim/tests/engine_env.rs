@@ -13,7 +13,14 @@ use ser_logicsim::engine::{EngineConfig, EngineConfigError, DEFAULT_CONE_CHUNK};
 
 static ENV_LOCK: Mutex<()> = Mutex::new(());
 
-const VARS: [&str; 3] = ["SER_SIM_THREADS", "SER_CONE_CHUNK", "SER_MEM_SOFT_LIMIT"];
+const VARS: [&str; 6] = [
+    "SER_SIM_THREADS",
+    "SER_CONE_CHUNK",
+    "SER_MEM_SOFT_LIMIT",
+    "SER_SIMD_LANES",
+    "SER_PIJ_TOL",
+    "SER_EXACT_SUPPORT",
+];
 
 /// Runs `f` with exactly `set` in the engine environment, restoring the
 /// previous state afterwards.
@@ -106,6 +113,54 @@ fn lenient_overlay_silently_ignores_garbage() {
     });
     assert!(threads >= 1);
     assert_eq!(chunk, DEFAULT_CONE_CHUNK);
+}
+
+#[test]
+fn strict_overlay_reads_estimator_knobs() {
+    let cfg = with_env(
+        &[
+            ("SER_SIMD_LANES", "8"),
+            ("SER_PIJ_TOL", "0.05"),
+            ("SER_EXACT_SUPPORT", "12"),
+        ],
+        || EngineConfig::from_env().unwrap(),
+    );
+    assert_eq!(cfg.simd_lanes, Some(8));
+    assert_eq!(cfg.pij_tolerance, Some(0.05));
+    assert_eq!(cfg.exact_support, Some(12));
+    let pij = cfg.pij();
+    assert_eq!(pij.lanes, 8);
+    assert_eq!(pij.tolerance, 0.05);
+    assert_eq!(pij.exact_support, 12);
+}
+
+#[test]
+fn strict_overlay_rejects_malformed_estimator_knobs() {
+    let err = with_env(&[("SER_SIMD_LANES", "3")], || {
+        EngineConfig::from_env().unwrap_err()
+    });
+    assert_eq!(err.var, "SER_SIMD_LANES");
+
+    let err = with_env(&[("SER_PIJ_TOL", "-0.1")], || {
+        EngineConfig::from_env().unwrap_err()
+    });
+    assert_eq!(err.var, "SER_PIJ_TOL");
+
+    let err = with_env(&[("SER_EXACT_SUPPORT", "many")], || {
+        EngineConfig::from_env().unwrap_err()
+    });
+    assert_eq!(err.var, "SER_EXACT_SUPPORT");
+}
+
+#[test]
+fn lenient_estimator_knobs_ignore_garbage_but_honor_zero() {
+    let pij = with_env(
+        &[("SER_SIMD_LANES", "nope"), ("SER_PIJ_TOL", "0")],
+        ser_logicsim::sensitize::PijConfig::from_lenient_env,
+    );
+    assert_eq!(pij.lanes, 4); // garbage ignored → default
+    assert_eq!(pij.tolerance, 0.0); // an explicit 0 pins adaptivity off
+    assert_eq!(pij.exact_support, 20); // unset → default
 }
 
 #[test]

@@ -4,6 +4,7 @@
 //! ```text
 //! ser-serve serve    --listen unix:/tmp/ser.sock [--workers N] [--pool-budget BYTES]
 //!                    [--pool-dir DIR] [--max-frame BYTES] [--threads N] [--cone-chunk N]
+//!                    [--lanes 1|2|4|8] [--pij-tol T] [--exact-support N]
 //! ser-serve ping     --connect unix:/tmp/ser.sock
 //! ser-serve stats    --connect ...
 //! ser-serve analyze  --connect ... --circuit c17 [--vectors N] [--charge-fc Q]
@@ -109,6 +110,7 @@ const USAGE: &str =
     "usage: ser-serve <serve|ping|stats|analyze|sweep|optimize|snapshot|shutdown> [flags]
   serve     --listen unix:<path>|tcp:<host:port> [--workers N] [--pool-budget BYTES]
             [--pool-dir DIR] [--max-frame BYTES] [--threads N] [--cone-chunk N]
+            [--lanes 1|2|4|8] [--pij-tol T] [--exact-support N]
   clients   --connect unix:<path>|tcp:<host:port> plus per-command flags
             (see the crate README's Serving section)";
 
@@ -126,6 +128,26 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     }
     if let Some(chunk) = flag_parse_opt::<usize>(args, "--cone-chunk")? {
         explicit = explicit.with_cone_chunk(chunk);
+    }
+    // Estimator knobs are validated here, not silently sanitized at
+    // resolution: a daemon started with a bad accuracy flag must refuse
+    // to boot, exactly like a malformed SER_* variable.
+    if let Some(lanes) = flag_parse_opt::<usize>(args, "--lanes")? {
+        if !ser_logicsim::engine::VALID_SIMD_LANES.contains(&lanes) {
+            return Err(format!("--lanes expects one of 1, 2, 4, 8, got `{lanes}`"));
+        }
+        explicit = explicit.with_simd_lanes(lanes);
+    }
+    if let Some(tol) = flag_parse_opt::<f64>(args, "--pij-tol")? {
+        if !tol.is_finite() || tol < 0.0 {
+            return Err(format!(
+                "--pij-tol expects a finite non-negative number (0 disables adaptivity), got `{tol}`"
+            ));
+        }
+        explicit = explicit.with_pij_tolerance(tol);
+    }
+    if let Some(support) = flag_parse_opt::<usize>(args, "--exact-support")? {
+        explicit = explicit.with_exact_support(support);
     }
     let engine = explicit.overlay(&env_engine);
 

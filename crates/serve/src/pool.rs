@@ -4,13 +4,19 @@
 //! # Identity
 //!
 //! A pool slot is keyed by **(circuit, analysis config sans charge,
-//! grid kind)**. The strike charge is excluded deliberately: moving the
-//! charge is a cheap warm delta (`try_set_charge`), so requests that
-//! differ only in charge share one warm session instead of fragmenting
-//! the pool. The key is an FNV-1a hash of the circuit's canonical
-//! snapshot encoding plus the charge-zeroed config JSON; a hit
-//! additionally requires full equality on the circuit and config, so a
-//! hash collision can never alias two identities.
+//! grid kind, estimator knobs)**. The strike charge is excluded
+//! deliberately: moving the charge is a cheap warm delta
+//! (`try_set_charge`), so requests that differ only in charge share one
+//! warm session instead of fragmenting the pool. The resolved `P_ij`
+//! estimator knobs ([`EngineConfig::pij`]: lane width, adaptive
+//! tolerance, exact-support threshold) are *included*: a daemon
+//! restarted with different accuracy settings must never serve a
+//! `.sersnap` image whose matrices were estimated under the old ones,
+//! so warm hits never mix accuracy settings. The key is an FNV-1a hash
+//! of the circuit's canonical snapshot encoding plus the charge-zeroed
+//! config JSON plus the estimator tag; a hit additionally requires full
+//! equality on the circuit and config, so a hash collision can never
+//! alias two identities.
 //!
 //! # Lifetimes
 //!
@@ -38,6 +44,7 @@ use std::sync::Mutex;
 
 use aserta::{AnalysisSession, AsertaConfig, CircuitCells};
 use ser_cells::Library;
+use ser_logicsim::sensitize::PijConfig;
 use ser_logicsim::EngineConfig;
 use ser_netlist::snapshot::{write_circuit_section, SnapshotWriter};
 use ser_netlist::Circuit;
@@ -136,7 +143,20 @@ fn identity_cfg(cfg: &AsertaConfig) -> AsertaConfig {
     id
 }
 
-fn pool_key(circuit: &Circuit, cfg: &AsertaConfig, grids: GridKind) -> u64 {
+/// The estimator knobs' contribution to a pool identity. The tolerance
+/// is tagged by its exact bit pattern — two tolerances that differ in
+/// the last ulp are different accuracy contracts, and bit equality is
+/// the only float comparison that round-trips through text losslessly.
+fn estimator_tag(pij: &PijConfig) -> String {
+    format!(
+        "lanes={};tol={:016x};exact={}",
+        pij.lanes,
+        pij.tolerance.to_bits(),
+        pij.exact_support
+    )
+}
+
+fn pool_key(circuit: &Circuit, cfg: &AsertaConfig, grids: GridKind, pij: &PijConfig) -> u64 {
     let mut w = SnapshotWriter::new();
     write_circuit_section(&mut w, circuit);
     let circuit_bytes = w.to_bytes();
@@ -149,7 +169,13 @@ fn pool_key(circuit: &Circuit, cfg: &AsertaConfig, grids: GridKind) -> u64 {
         GridKind::Standard => b"standard",
         GridKind::Coarse => b"coarse",
     };
-    fnv1a64(&[&circuit_bytes, cfg_text.as_bytes(), grid_tag])
+    let pij_tag = estimator_tag(pij);
+    fnv1a64(&[
+        &circuit_bytes,
+        cfg_text.as_bytes(),
+        grid_tag,
+        pij_tag.as_bytes(),
+    ])
 }
 
 fn snapshot_path(dir: &Path, key: u64) -> PathBuf {
@@ -246,7 +272,7 @@ impl SessionPool {
         work: impl FnOnce(&mut AnalysisSession<'static>) -> Result<T, ApiError>,
     ) -> Result<T, ApiError> {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        let key = pool_key(circuit, cfg, grids);
+        let key = pool_key(circuit, cfg, grids, &self.config.engine.pij());
         let cfg_identity = identity_cfg(cfg);
 
         let checked_out = {
@@ -326,7 +352,7 @@ impl SessionPool {
                     .to_owned(),
             });
         };
-        let key = pool_key(circuit, cfg, grids);
+        let key = pool_key(circuit, cfg, grids, &self.config.engine.pij());
         let path = snapshot_path(&dir, key);
         self.with_session(circuit, cfg, grids, |session| {
             std::fs::create_dir_all(&dir).map_err(|e| ApiError::Analysis {
@@ -464,16 +490,44 @@ mod tests {
         let c17 = intern_circuit(generate::c17());
         let sec = intern_circuit(generate::sec32("sec32"));
         let cfg = fast_cfg();
-        let base = pool_key(c17, &cfg, GridKind::Coarse);
-        assert_ne!(base, pool_key(sec, &cfg, GridKind::Coarse));
-        assert_ne!(base, pool_key(c17, &cfg, GridKind::Standard));
+        let pij = PijConfig::default();
+        let base = pool_key(c17, &cfg, GridKind::Coarse, &pij);
+        assert_ne!(base, pool_key(sec, &cfg, GridKind::Coarse, &pij));
+        assert_ne!(base, pool_key(c17, &cfg, GridKind::Standard, &pij));
         let mut other = cfg.clone();
         other.sensitization_vectors += 1;
-        assert_ne!(base, pool_key(c17, &other, GridKind::Coarse));
+        assert_ne!(base, pool_key(c17, &other, GridKind::Coarse, &pij));
         // Charge is NOT identity: same key, served by a warm delta.
         let mut charged = cfg.clone();
         charged.charge *= 2.0;
-        assert_eq!(base, pool_key(c17, &charged, GridKind::Coarse));
+        assert_eq!(base, pool_key(c17, &charged, GridKind::Coarse, &pij));
+    }
+
+    #[test]
+    fn keys_separate_estimator_accuracy_settings() {
+        let c17 = intern_circuit(generate::c17());
+        let cfg = fast_cfg();
+        let base = pool_key(c17, &cfg, GridKind::Coarse, &PijConfig::default());
+        let tightened = PijConfig {
+            tolerance: PijConfig::default().tolerance / 2.0,
+            ..PijConfig::default()
+        };
+        assert_ne!(base, pool_key(c17, &cfg, GridKind::Coarse, &tightened));
+        let narrow = PijConfig {
+            lanes: 1,
+            ..PijConfig::default()
+        };
+        assert_ne!(base, pool_key(c17, &cfg, GridKind::Coarse, &narrow));
+        let no_exact = PijConfig {
+            exact_support: 0,
+            ..PijConfig::default()
+        };
+        assert_ne!(base, pool_key(c17, &cfg, GridKind::Coarse, &no_exact));
+        // The fully pinned fixed-budget estimator is its own identity.
+        assert_ne!(
+            base,
+            pool_key(c17, &cfg, GridKind::Coarse, &PijConfig::fixed())
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@ use ser_netlist::generate;
 use ser_serve::api::{AnalyzeResult, ApiError, CircuitSource, GridKind, Request, Response};
 use ser_serve::pool::PoolConfig;
 use ser_serve::server::{serve, Listen, ServerConfig};
-use ser_serve::Client;
+use ser_serve::{Client, EngineConfig};
 use ser_spice::Technology;
 
 fn fast_cfg(vectors: usize) -> AsertaConfig {
@@ -394,5 +394,96 @@ fn kill_dash_nine_restart_restores_the_pool_bitwise() {
         .filter(|d| d.path().extension().is_some_and(|e| e == "sersnap"))
         .collect();
     assert_eq!(snaps.len(), 1, "one identity, one image");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The resolved estimator knobs are part of the pool identity: a daemon
+/// restarted over the same snapshot directory with different accuracy
+/// settings must never serve an image whose `P_ij` matrices were
+/// estimated under the old ones — and restarting with the *original*
+/// settings serves the original image warm, bitwise.
+#[test]
+fn estimator_knobs_split_pool_identity_across_restarts() {
+    let dir = temp_dir("estimator-identity");
+    let pool_dir = dir.join("pool");
+    let cfg = fast_cfg(256);
+    let request = Request::Analyze {
+        circuit: CircuitSource::Named("c17".to_owned()),
+        config: cfg.clone(),
+        grids: GridKind::Coarse,
+        deadline_ms: None,
+    };
+    // The pre-PR estimator: one lane, fixed budget, no exact mode.
+    let fixed = EngineConfig::default()
+        .with_simd_lanes(1)
+        .with_pij_tolerance(0.0)
+        .with_exact_support(0);
+
+    let boot = |tag: &str, engine: EngineConfig| {
+        serve(ServerConfig {
+            listen: Listen::Unix(dir.join(format!("{tag}.sock"))),
+            workers: 1,
+            max_frame: ser_serve::DEFAULT_MAX_FRAME,
+            pool: PoolConfig {
+                dir: Some(pool_dir.clone()),
+                engine,
+                ..PoolConfig::default()
+            },
+        })
+        .expect("daemon boots")
+    };
+    let shutdown = |client: &mut Client, handle: ser_serve::server::ServerHandle| {
+        assert_eq!(
+            client.request(&Request::Shutdown).expect("shutdown"),
+            Response::ShuttingDown
+        );
+        handle.join();
+    };
+
+    // First life: fixed-budget estimator, one cold build (imaged).
+    let handle = boot("first", fixed);
+    let mut client = Client::connect(&handle.endpoint()).expect("connect");
+    let Response::Analyzed(under_fixed) = client.request(&request).expect("analyze") else {
+        panic!("expected Analyzed");
+    };
+    shutdown(&mut client, handle);
+
+    // Second life, same directory, default (adaptive + exact) knobs:
+    // the fixed-budget image restores but must NOT serve this request.
+    let handle = boot("second", EngineConfig::default());
+    let mut client = Client::connect(&handle.endpoint()).expect("connect");
+    let Response::Analyzed(_) = client.request(&request).expect("analyze") else {
+        panic!("expected Analyzed");
+    };
+    let stats = handle.pool().stats();
+    assert_eq!(stats.restored, 1, "{stats:?}");
+    assert_eq!(
+        stats.hits, 0,
+        "a warm hit here would mix accuracy settings: {stats:?}"
+    );
+    assert_eq!(stats.misses, 1, "{stats:?}");
+    shutdown(&mut client, handle);
+
+    // Third life, fixed knobs again: both images are on disk now, and
+    // the fixed one serves warm — bitwise equal to the first life.
+    let handle = boot("third", fixed);
+    let mut client = Client::connect(&handle.endpoint()).expect("connect");
+    let Response::Analyzed(again) = client.request(&request).expect("analyze") else {
+        panic!("expected Analyzed");
+    };
+    let stats = handle.pool().stats();
+    assert_eq!(stats.restored, 2, "{stats:?}");
+    assert_eq!(
+        stats.hits, 1,
+        "the matching-identity image serves warm: {stats:?}"
+    );
+    assert_eq!(stats.misses, 0, "{stats:?}");
+    let want = (
+        under_fixed.unreliability,
+        under_fixed.critical_delay_s,
+        under_fixed.per_gate_unreliability.clone(),
+    );
+    assert_bitwise(&again, &want, "fixed-knob restart");
+    shutdown(&mut client, handle);
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -13,7 +13,8 @@
 
 use proptest::prelude::*;
 use soft_error::logicsim::sensitize::{
-    resimulate_rows_chunked, sensitization_probabilities_chunked,
+    resimulate_rows_chunked, sensitization_probabilities_cfg, sensitization_probabilities_chunked,
+    PijConfig,
 };
 use soft_error::netlist::csr::{ChunkedConeArena, ConeArena, CsrView};
 use soft_error::netlist::generate::{layered, LayeredSpec};
@@ -88,6 +89,41 @@ proptest! {
                     &m, &monolithic,
                     "threads {} chunk {}", threads, chunk_size
                 );
+            }
+        }
+    }
+
+    /// The wide kernels change nothing: every lane width × thread count
+    /// × chunk size reproduces the one-lane reference bit for bit, both
+    /// in fixed-budget mode (`PijConfig::fixed`, the CI pin) and under
+    /// the default adaptive + exact configuration (whose convergence
+    /// and qualification decisions are integer-counter driven, hence
+    /// lane-invariant too).
+    #[test]
+    fn pij_bitwise_identical_across_lanes(
+        circuit in arbitrary_circuit(),
+        seed in 0u64..1 << 40,
+    ) {
+        let n_vectors = 192; // 3 words: exercises the wide-row tails
+        for base in [PijConfig::fixed(), PijConfig::default()] {
+            let scalar = sensitization_probabilities_cfg(
+                &circuit, n_vectors, seed, 1, circuit.node_count(),
+                &PijConfig { lanes: 1, ..base },
+            );
+            for lanes in [2usize, 4, 8] {
+                for threads in [1usize, 7] {
+                    for chunk_size in [3usize, 64] {
+                        let m = sensitization_probabilities_cfg(
+                            &circuit, n_vectors, seed, threads, chunk_size,
+                            &PijConfig { lanes, ..base },
+                        );
+                        prop_assert_eq!(
+                            &m, &scalar,
+                            "lanes {} threads {} chunk {} tol {}",
+                            lanes, threads, chunk_size, base.tolerance
+                        );
+                    }
+                }
             }
         }
     }

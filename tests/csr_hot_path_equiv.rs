@@ -16,7 +16,10 @@ use soft_error::aserta::electrical::ExpectedWidths;
 use soft_error::aserta::glitch::AttenuationModel;
 use soft_error::aserta::logical::{pi_weights, successor_sensitizations};
 use soft_error::logicsim::random::random_word;
-use soft_error::logicsim::sensitize::{sensitization_probabilities_threaded, SensitizationMatrix};
+use soft_error::logicsim::sensitize::{
+    sensitization_probabilities_cfg, sensitization_probabilities_threaded, PijConfig,
+    SensitizationMatrix,
+};
 use soft_error::logicsim::{kernel, probability};
 use soft_error::netlist::cone::fanout_cone;
 use soft_error::netlist::csr::CsrView;
@@ -224,8 +227,10 @@ proptest! {
         prop_assert_eq!(soft_error::logicsim::sim::eval_word(&circuit, &pi_words), want);
     }
 
-    /// The blocked/parallel estimator reproduces the seed estimate
-    /// exactly, and every thread count yields bitwise-identical matrices.
+    /// The blocked/parallel estimator in fixed-budget mode
+    /// ([`PijConfig::fixed`]: tolerance 0, exact mode off) reproduces
+    /// the seed estimate exactly, and every lane width × thread count
+    /// yields bitwise-identical matrices.
     #[test]
     fn pij_counts_match_seed_for_any_thread_count(
         circuit in arbitrary_circuit(),
@@ -234,16 +239,24 @@ proptest! {
         let n_vectors = 192; // 3 words: exercises uneven thread splits
         let want = reference_pij(&circuit, n_vectors, seed);
         let n_pos = circuit.primary_outputs().len();
-        let m1 = sensitization_probabilities_threaded(&circuit, n_vectors, seed, 1);
+        let chunk = circuit.node_count().max(1);
+        let m1 = sensitization_probabilities_cfg(
+            &circuit, n_vectors, seed, 1, chunk, &PijConfig::fixed(),
+        );
         for id in circuit.node_ids() {
             for j in 0..n_pos {
                 prop_assert_eq!(m1.p(id, j), want[id.index() * n_pos + j], "node {} col {}", id, j);
             }
         }
-        let m2 = sensitization_probabilities_threaded(&circuit, n_vectors, seed, 2);
-        let m7 = sensitization_probabilities_threaded(&circuit, n_vectors, seed, 7);
-        prop_assert_eq!(&m1, &m2);
-        prop_assert_eq!(&m1, &m7);
+        for lanes in [1usize, 2, 4, 8] {
+            for threads in [2usize, 7] {
+                let pij = PijConfig { lanes, ..PijConfig::fixed() };
+                let m = sensitization_probabilities_cfg(
+                    &circuit, n_vectors, seed, threads, chunk, &pij,
+                );
+                prop_assert_eq!(&m1, &m, "lanes {} threads {}", lanes, threads);
+            }
+        }
     }
 
     /// The bracket-hoisted, reachability-pruned width pass matches the
